@@ -1,0 +1,53 @@
+//! Shared baseline measurement types.
+
+use serde::{Deserialize, Serialize};
+
+/// Measurements from one baseline recording, comparable with
+/// [`dp_core::RecorderStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct BaselineStats {
+    /// Simulated end-to-end recorded runtime.
+    pub recorded_cycles: u64,
+    /// Native (unrecorded) runtime on the same schedule.
+    pub native_cycles: u64,
+    /// Encoded log bytes.
+    pub log_bytes: u64,
+    /// Scheme-specific event count (logged reads, CREW faults, slices).
+    pub events: u64,
+    /// Guest instructions executed.
+    pub instructions: u64,
+}
+
+impl BaselineStats {
+    /// Recording overhead relative to native.
+    pub fn overhead(&self) -> f64 {
+        if self.native_cycles == 0 {
+            return 0.0;
+        }
+        self.recorded_cycles as f64 / self.native_cycles as f64 - 1.0
+    }
+
+    /// Log rate in bytes per million native cycles.
+    pub fn log_bytes_per_mcycle(&self) -> f64 {
+        if self.native_cycles == 0 {
+            return 0.0;
+        }
+        self.log_bytes as f64 * 1e6 / self.native_cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_math() {
+        let s = BaselineStats {
+            recorded_cycles: 300,
+            native_cycles: 100,
+            ..Default::default()
+        };
+        assert!((s.overhead() - 2.0).abs() < 1e-9);
+        assert_eq!(BaselineStats::default().overhead(), 0.0);
+    }
+}

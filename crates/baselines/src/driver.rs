@@ -1,0 +1,305 @@
+//! A multi-CPU execution driver for the baseline recorders.
+//!
+//! Like the DoublePlay thread-parallel runner, this simulates `cpus`
+//! processors with jittered atomic micro-slices from a hidden seed — but
+//! instead of emitting uniparallel hints it calls back into a
+//! baseline-specific [`Hooks`] implementation, which doubles as the
+//! memory-access observer. Value logging and CREW both plug in here.
+
+use dp_core::logs::{request_hash, request_hash_args, SyscallLog, SyscallLogEntry};
+use dp_core::RecordError;
+use dp_os::abi;
+use dp_os::kernel::{Disposition, Kernel, Wake};
+use dp_vm::observer::MemObserver;
+use dp_vm::{Machine, SliceLimits, StopReason, Tid};
+use std::collections::BTreeMap;
+
+/// Baseline-specific instrumentation points.
+pub trait Hooks: MemObserver {
+    /// A syscall trapped on `tid` (before the kernel services it);
+    /// `icount` includes the trap instruction.
+    fn on_syscall(&mut self, tid: Tid, icount: u64) {
+        let _ = (tid, icount);
+    }
+
+    /// A blocked syscall completed for `tid`.
+    fn on_wake(&mut self, tid: Tid) {
+        let _ = tid;
+    }
+
+    /// A thread was spawned (recorders capture start conditions).
+    fn on_spawn(&mut self, tid: Tid, func: dp_vm::FuncId, args: [dp_vm::Word; 2]) {
+        let _ = (tid, func, args);
+    }
+
+    /// A signal was delivered to `tid` at `icount`.
+    fn on_signal(&mut self, tid: Tid, sig: dp_vm::Word, icount: u64) {
+        let _ = (tid, sig, icount);
+    }
+
+    /// A thread finished (exit or machine halt follows separately).
+    fn on_thread_done(&mut self, tid: Tid, icount: u64) {
+        let _ = (tid, icount);
+    }
+}
+
+/// Result of driving a run to completion.
+#[derive(Debug)]
+pub struct DriveOutcome {
+    /// Wall cycles across the CPUs.
+    pub cycles: u64,
+    /// Guest instructions executed.
+    pub instructions: u64,
+    /// Logged-class syscall completions, in completion order (every
+    /// baseline needs the same input log DoublePlay does).
+    pub syscalls: SyscallLog,
+    /// All syscall completions per thread, in order, including
+    /// deterministic ones — value-logging replay re-executes threads in
+    /// isolation and needs every result.
+    pub all_syscalls: BTreeMap<Tid, Vec<SyscallLogEntry>>,
+}
+
+/// SplitMix64 for schedule jitter (hidden from the recorders).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next() % bound
+        }
+    }
+}
+
+/// Drives the guest to completion on `cpus` simulated processors.
+///
+/// # Errors
+///
+/// Guest faults, deadlocks, or exceeding `max_instructions`.
+pub fn drive<H: Hooks>(
+    machine: &mut Machine,
+    kernel: &mut Kernel,
+    cpus: usize,
+    quantum: u64,
+    jitter: u64,
+    seed: u64,
+    max_instructions: u64,
+    hooks: &mut H,
+) -> Result<DriveOutcome, RecordError> {
+    let mut rng = Rng(seed ^ 0x6a09_e667_f3bc_c908);
+    let switch = kernel.cost_model().context_switch;
+    let mut clocks = vec![0u64; cpus];
+    let mut last_thread: Vec<Option<Tid>> = vec![None; cpus];
+    let mut available_at: BTreeMap<Tid, u64> = BTreeMap::new();
+    let mut out = DriveOutcome {
+        cycles: 0,
+        instructions: 0,
+        syscalls: SyscallLog::new(),
+        all_syscalls: BTreeMap::new(),
+    };
+
+    loop {
+        if machine.halted().is_some() || machine.live_threads() == 0 {
+            break;
+        }
+        if out.instructions > max_instructions {
+            return Err(RecordError::BudgetExhausted);
+        }
+        let cpu = (0..cpus).min_by_key(|&c| (clocks[c], c)).expect("cpus >= 1");
+        let now = clocks[cpu];
+
+        let wakes = kernel.advance_time(machine, now);
+        log_wakes(&mut out, hooks, &wakes);
+
+        let eligible: Vec<Tid> = machine
+            .threads()
+            .iter()
+            .filter(|t| t.is_ready())
+            .map(|t| t.tid)
+            .filter(|t| available_at.get(t).copied().unwrap_or(0) <= now)
+            .collect();
+        let Some(&tid) = eligible.get(rng.below(eligible.len() as u64) as usize) else {
+            let next_avail = machine
+                .threads()
+                .iter()
+                .filter(|t| t.is_ready())
+                .filter_map(|t| available_at.get(&t.tid).copied())
+                .filter(|&at| at > now)
+                .min();
+            let next_event = kernel.next_event_time(now);
+            match [next_avail, next_event].into_iter().flatten().min() {
+                Some(t) => clocks[cpu] = t.max(now + 1),
+                None => {
+                    if machine.threads().iter().any(|t| t.is_ready()) {
+                        // Work is mid-slice elsewhere; idle briefly.
+                        clocks[cpu] = now + quantum.max(1);
+                    } else if machine.live_threads() > 0 {
+                        return Err(RecordError::Deadlock {
+                            blocked: machine.live_threads(),
+                        });
+                    }
+                }
+            }
+            continue;
+        };
+
+        if let Some((sig, handler)) = kernel.take_pending_signal(tid) {
+            hooks.on_signal(tid, sig, machine.thread(tid).icount);
+            machine.push_signal_frame(tid, handler, &[sig]);
+        }
+        let budget = (quantum + rng.below(jitter + 1)).max(1);
+        let before_threads = machine.threads().len();
+        let run = machine.run_slice(tid, SliceLimits::budget(budget), hooks)?;
+        out.instructions += run.executed;
+        let mut slice_cycles = run.executed;
+        if last_thread[cpu] != Some(tid) {
+            slice_cycles += switch;
+            last_thread[cpu] = Some(tid);
+        }
+        match run.stop {
+            StopReason::Budget | StopReason::IcountTarget | StopReason::Atomic { .. } => {}
+            StopReason::Exited => {
+                hooks.on_thread_done(tid, machine.thread(tid).icount);
+                let wakes = kernel.on_thread_exited(machine, tid);
+                log_wakes(&mut out, hooks, &wakes);
+            }
+            StopReason::Syscall(req) => {
+                hooks.on_syscall(tid, machine.thread(tid).icount);
+                let arg_hash = request_hash(machine, &req);
+                let sys = kernel.handle(machine, req, now + slice_cycles);
+                slice_cycles += sys.cost;
+                if machine.threads().len() > before_threads {
+                    let new = machine.threads().last().unwrap();
+                    hooks.on_spawn(new.tid, new.pc.func, [new.regs[0], new.regs[1]]);
+                }
+                match sys.disposition {
+                    Disposition::Done { ret } => {
+                        let entry = SyscallLogEntry {
+                            tid,
+                            num: req.num,
+                            arg_hash,
+                            ret,
+                            effect: sys.effect,
+                            via_wake: false,
+                        };
+                        if abi::is_logged(req.num) {
+                            out.syscalls.push(entry.clone());
+                        }
+                        out.all_syscalls.entry(tid).or_default().push(entry);
+                    }
+                    Disposition::Blocked => {}
+                    Disposition::ThreadExited | Disposition::Halted { .. } => {
+                        // Exit-class syscalls never complete, but isolated
+                        // per-thread replay still needs them in the log.
+                        hooks.on_thread_done(tid, machine.thread(tid).icount);
+                        out.all_syscalls.entry(tid).or_default().push(SyscallLogEntry {
+                            tid,
+                            num: req.num,
+                            arg_hash,
+                            ret: 0,
+                            effect: sys.effect,
+                            via_wake: false,
+                        });
+                    }
+                }
+                log_wakes(&mut out, hooks, &sys.wakes);
+            }
+        }
+        clocks[cpu] = now + slice_cycles;
+        available_at.insert(tid, clocks[cpu]);
+    }
+
+    out.cycles = clocks.into_iter().max().unwrap_or(0);
+    Ok(out)
+}
+
+fn log_wakes<H: Hooks>(out: &mut DriveOutcome, hooks: &mut H, wakes: &[Wake]) {
+    for w in wakes {
+        let entry = SyscallLogEntry {
+            tid: w.tid,
+            num: w.num,
+            arg_hash: request_hash_args(&w.req),
+            ret: w.ret,
+            effect: w.effect.clone(),
+            via_wake: true,
+        };
+        if abi::is_logged(w.num) {
+            // Only logged-class completions appear as wake events:
+            // deterministic blocking (join) re-executes during replay.
+            hooks.on_wake(w.tid);
+            out.syscalls.push(entry.clone());
+        }
+        out.all_syscalls.entry(w.tid).or_default().push(entry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_vm::observer::Access;
+
+    struct CountingHooks {
+        accesses: u64,
+        syscalls: u64,
+    }
+
+    impl MemObserver for CountingHooks {
+        fn on_access(&mut self, _a: Access) {
+            self.accesses += 1;
+        }
+    }
+
+    impl Hooks for CountingHooks {
+        fn on_syscall(&mut self, _tid: Tid, _ic: u64) {
+            self.syscalls += 1;
+        }
+    }
+
+    #[test]
+    fn drives_a_workload_to_completion() {
+        let case = dp_workloads::pfscan::build(2, dp_workloads::Size::Small);
+        let (mut machine, mut kernel) = case.spec.boot();
+        let mut hooks = CountingHooks {
+            accesses: 0,
+            syscalls: 0,
+        };
+        let out = drive(
+            &mut machine, &mut kernel, 2, 2_000, 1_000, 42, 2_000_000_000, &mut hooks,
+        )
+        .unwrap();
+        (case.verify)(&machine, &kernel).unwrap();
+        assert!(out.instructions > 0);
+        assert!(out.cycles > 0);
+        assert!(hooks.accesses > 0);
+        assert!(hooks.syscalls > 0);
+        assert!(!out.all_syscalls.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let case = dp_workloads::kvstore::build(2, dp_workloads::Size::Small);
+        let mut hashes = Vec::new();
+        for _ in 0..2 {
+            let (mut machine, mut kernel) = case.spec.boot();
+            let mut hooks = CountingHooks {
+                accesses: 0,
+                syscalls: 0,
+            };
+            drive(
+                &mut machine, &mut kernel, 2, 1_000, 700, 9, 2_000_000_000, &mut hooks,
+            )
+            .unwrap();
+            hashes.push(machine.state_hash());
+        }
+        assert_eq!(hashes[0], hashes[1]);
+    }
+}

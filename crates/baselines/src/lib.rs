@@ -1,0 +1,30 @@
+//! # dp-baselines — conventional multiprocessor record/replay schemes
+//!
+//! The design space DoublePlay is positioned against (experiment E5):
+//!
+//! * [`uniproc`] — classic **uniprocessor record/replay**: timeslice all
+//!   threads on one CPU. Tiny logs, trivially correct, but forfeits all
+//!   parallelism (≈N× recording slowdown).
+//! * [`value_log`] — **shared-read value logging** (SMP-RR style): log the
+//!   value of every read from shared pages plus every syscall result, so
+//!   each thread replays in isolation. Handles arbitrary races and replays
+//!   embarrassingly parallel — at the price of per-access instrumentation
+//!   and enormous logs.
+//! * [`crew`] — **CREW page ownership** (SMP-ReVirt style): a
+//!   concurrent-read/exclusive-write state machine per page; ownership
+//!   transitions are logged and totally order all conflicts, so replay is
+//!   exact even for races — but fine-grained sharing causes fault storms.
+//!
+//! Each baseline produces real, replayable recordings (with verifying
+//! replayers), not just cost estimates, so the comparison table in the
+//! benchmark harness is backed by executable artifacts.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod crew;
+pub mod driver;
+pub mod uniproc;
+pub mod value_log;
+
+pub use common::BaselineStats;

@@ -1,0 +1,394 @@
+//! The shared-read **value logging** baseline (SMP-RR style).
+//!
+//! A conventional software approach to multiprocessor replay: instrument
+//! every read of *shared* memory (pages touched by more than one thread)
+//! and log the value observed, plus every syscall result per thread. Each
+//! thread then replays **in isolation**: its shared reads and atomics are
+//! satisfied from its log, its syscalls from its syscall log, so no
+//! cross-thread coordination is needed at all — replay is embarrassingly
+//! parallel, but the log is enormous and recording pays an instrumentation
+//! tax on every memory access. This is the "log values" end of the design
+//! space the paper contrasts uniparallelism against.
+
+use crate::common::BaselineStats;
+use crate::driver::{drive, DriveOutcome, Hooks};
+use dp_core::logs::SyscallLogEntry;
+use dp_core::{measure_native, DoublePlayConfig, GuestSpec, RecordError, ReplayError};
+use dp_vm::observer::{Access, MemObserver};
+use dp_vm::{memory::page_of, FuncId, Machine, SliceLimits, StopReason, Tid, Width, Word};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// One thread's recorded inputs and expected final state.
+#[derive(Debug, Clone)]
+pub struct ThreadLog {
+    /// Entry function (for threads spawned during the run).
+    pub func: FuncId,
+    /// Spawn arguments.
+    pub args: [Word; 2],
+    /// Values of logged (shared) reads and atomics, in per-thread order,
+    /// keyed by the thread's running count of read-class accesses.
+    pub reads: VecDeque<(u64, Word)>,
+    /// Every syscall completion, in order.
+    pub syscalls: VecDeque<SyscallLogEntry>,
+    /// Final instruction count (replay target).
+    pub final_icount: u64,
+    /// Digest of the thread's final architectural state.
+    pub final_thread_hash: u64,
+}
+
+/// A complete value-log recording.
+#[derive(Debug)]
+pub struct ValueLogRecording {
+    /// The guest this records (program hash).
+    pub program_hash: u64,
+    /// Per-thread logs.
+    pub threads: BTreeMap<Tid, ThreadLog>,
+    /// Measurements.
+    pub stats: BaselineStats,
+}
+
+#[derive(Default)]
+struct SharedTracker {
+    /// page -> first accessor, or None once shared.
+    page_owner: HashMap<u64, Option<Tid>>,
+    /// Per-thread count of read-class accesses (loads + atomics).
+    read_counts: BTreeMap<Tid, u64>,
+    /// Per-thread logged values.
+    logs: BTreeMap<Tid, Vec<(u64, Word)>>,
+    /// Total accesses (instrumentation cost) and logged reads.
+    accesses: u64,
+    logged: u64,
+    thread_meta: BTreeMap<Tid, (FuncId, [Word; 2])>,
+    finals: BTreeMap<Tid, u64>,
+}
+
+impl SharedTracker {
+    fn is_shared(&mut self, tid: Tid, addr: Word) -> bool {
+        let page = page_of(addr);
+        match self.page_owner.get_mut(&page) {
+            None => {
+                self.page_owner.insert(page, Some(tid));
+                false
+            }
+            Some(Some(owner)) if *owner == tid => false,
+            Some(slot) => {
+                *slot = None; // shared forever after
+                true
+            }
+        }
+    }
+}
+
+impl MemObserver for SharedTracker {
+    fn on_access(&mut self, a: Access) {
+        self.accesses += 1;
+        let shared = self.is_shared(a.tid, a.addr);
+        if a.kind.reads() {
+            let n = self.read_counts.entry(a.tid).or_insert(0);
+            *n += 1;
+            if shared {
+                self.logged += 1;
+                self.logs.entry(a.tid).or_default().push((*n, a.value));
+            }
+        }
+    }
+}
+
+impl Hooks for SharedTracker {
+    fn on_spawn(&mut self, tid: Tid, func: FuncId, args: [Word; 2]) {
+        self.thread_meta.insert(tid, (func, args));
+    }
+
+    fn on_thread_done(&mut self, tid: Tid, icount: u64) {
+        self.finals.insert(tid, icount);
+    }
+}
+
+fn thread_hash(machine: &Machine, tid: Tid) -> u64 {
+    let mut h = dp_vm::hash::Fnv1a::new();
+    machine.thread(tid).hash_into(&mut h);
+    h.finish()
+}
+
+/// Records `spec` under shared-read value logging.
+///
+/// # Errors
+///
+/// Guest faults, deadlocks, or budget exhaustion.
+pub fn record(
+    spec: &GuestSpec,
+    config: &DoublePlayConfig,
+) -> Result<ValueLogRecording, RecordError> {
+    let (mut machine, mut kernel) = spec.boot();
+    let mut tracker = SharedTracker::default();
+    let out: DriveOutcome = drive(
+        &mut machine,
+        &mut kernel,
+        config.cpus,
+        config.tp_quantum,
+        config.tp_jitter,
+        config.hidden_seed,
+        config.max_instructions,
+        &mut tracker,
+    )?;
+
+    let cost = kernel.cost_model();
+    // Log payload: ~9 bytes per logged value, plus per-thread syscall logs.
+    let read_bytes: u64 = tracker.logs.values().map(|v| v.len() as u64 * 9).sum();
+    let sys_bytes: u64 = out
+        .all_syscalls
+        .values()
+        .flat_map(|v| v.iter())
+        .map(|e| 12 + e.effect.bytes())
+        .sum();
+    let log_bytes = read_bytes + sys_bytes;
+    // Overhead: instrumentation tax on every access + log writes.
+    let instr_tax =
+        tracker.accesses * cost.value_log_instr_num / cost.value_log_instr_den.max(1);
+    let recorded_cycles =
+        out.cycles + (instr_tax + cost.log_write(log_bytes)) / config.cpus as u64;
+
+    let mut threads = BTreeMap::new();
+    for t in machine.threads() {
+        let (func, args) = tracker
+            .thread_meta
+            .get(&t.tid)
+            .copied()
+            .unwrap_or((spec.program.entry(), [0, 0]));
+        threads.insert(
+            t.tid,
+            ThreadLog {
+                func,
+                args,
+                reads: tracker
+                    .logs
+                    .remove(&t.tid)
+                    .unwrap_or_default()
+                    .into(),
+                syscalls: out
+                    .all_syscalls
+                    .get(&t.tid)
+                    .cloned()
+                    .unwrap_or_default()
+                    .into(),
+                final_icount: t.icount,
+                final_thread_hash: thread_hash(&machine, t.tid),
+            },
+        );
+    }
+    Ok(ValueLogRecording {
+        program_hash: spec.program_hash(),
+        threads,
+        stats: BaselineStats {
+            recorded_cycles,
+            native_cycles: measure_native(spec, config)?,
+            log_bytes,
+            events: tracker.logged,
+            instructions: out.instructions,
+        },
+    })
+}
+
+/// Replay observer: feeds logged values back at the recorded read ordinals.
+struct Feeder {
+    reads: VecDeque<(u64, Word)>,
+    count: u64,
+}
+
+impl MemObserver for Feeder {
+    fn on_access(&mut self, _a: Access) {}
+
+    fn intercept_load(&mut self, _tid: Tid, _addr: Word, _width: Width) -> Option<Word> {
+        self.count += 1;
+        self.feed()
+    }
+
+    fn intercept_atomic(&mut self, _tid: Tid, _addr: Word) -> Option<Word> {
+        self.count += 1;
+        self.feed()
+    }
+}
+
+impl Feeder {
+    fn feed(&mut self) -> Option<Word> {
+        match self.reads.front() {
+            Some(&(ord, v)) if ord == self.count => {
+                self.reads.pop_front();
+                Some(v)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Replays one thread **in isolation** and verifies its final state.
+///
+/// # Errors
+///
+/// [`ReplayError`] on any mismatch with the recording.
+pub fn replay_thread(
+    spec: &GuestSpec,
+    recording: &ValueLogRecording,
+    tid: Tid,
+) -> Result<(), ReplayError> {
+    if spec.program_hash() != recording.program_hash {
+        return Err(ReplayError::ProgramMismatch {
+            expected: recording.program_hash,
+            actual: spec.program_hash(),
+        });
+    }
+    let log = recording
+        .threads
+        .get(&tid)
+        .ok_or_else(|| ReplayError::BadRequest {
+            detail: format!("no thread log for {tid}"),
+        })?;
+    let (mut machine, _kernel) = spec.boot();
+    // Materialize earlier threads so tids and stacks line up.
+    for (other, other_log) in recording.threads.range(..=tid) {
+        if other.0 > 0 {
+            machine.spawn_thread(other_log.func, &other_log.args);
+        }
+    }
+    let mut feeder = Feeder {
+        reads: log.reads.clone(),
+        count: 0,
+    };
+    let mut syscalls = log.syscalls.clone();
+    loop {
+        let t = machine.thread(tid);
+        if t.is_exited() || t.icount >= log.final_icount {
+            break;
+        }
+        let run = machine.run_slice(
+            tid,
+            SliceLimits {
+                max_instrs: u64::MAX,
+                icount_target: Some(log.final_icount),
+                stop_at_atomics: false,
+            },
+            &mut feeder,
+        )?;
+        match run.stop {
+            StopReason::Syscall(req) => {
+                let entry = syscalls.pop_front().ok_or_else(|| ReplayError::LogMismatch {
+                    epoch: 0,
+                    tid,
+                    detail: format!("syscall {} beyond log", dp_os::abi::name(req.num)),
+                })?;
+                if entry.num != req.num {
+                    return Err(ReplayError::LogMismatch {
+                        epoch: 0,
+                        tid,
+                        detail: format!(
+                            "issued {} but log has {}",
+                            dp_os::abi::name(req.num),
+                            dp_os::abi::name(entry.num)
+                        ),
+                    });
+                }
+                for (addr, bytes) in &entry.effect.guest_writes {
+                    machine.mem_mut().write_bytes(*addr, bytes);
+                }
+                match req.num {
+                    dp_os::abi::SYS_EXIT => {
+                        machine.exit_thread(tid, entry.ret);
+                    }
+                    dp_os::abi::SYS_THREAD_EXIT => {
+                        machine.exit_thread(tid, req.args[0]);
+                    }
+                    _ => machine.complete_syscall(tid, entry.ret),
+                }
+            }
+            StopReason::Exited | StopReason::IcountTarget | StopReason::Budget => {}
+            StopReason::Atomic { .. } => {}
+        }
+        if machine.thread(tid).status == dp_vm::ThreadStatus::Waiting {
+            unreachable!("solo replay never blocks");
+        }
+    }
+    let actual = thread_hash(&machine, tid);
+    if actual != log.final_thread_hash {
+        return Err(ReplayError::HashMismatch {
+            epoch: 0,
+            expected: log.final_thread_hash,
+            actual,
+        });
+    }
+    Ok(())
+}
+
+/// Replays every thread (the embarrassingly parallel offline check).
+///
+/// # Errors
+///
+/// First per-thread mismatch.
+pub fn replay_all(spec: &GuestSpec, recording: &ValueLogRecording) -> Result<(), ReplayError> {
+    for tid in recording.threads.keys() {
+        replay_thread(spec, recording, *tid)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_workloads::Size;
+
+    #[test]
+    fn records_and_replays_every_thread_of_a_racy_program() {
+        // Value logging handles races by construction: each thread replays
+        // from its own value log regardless of what the others did.
+        let case = dp_workloads::racey::counter(2, Size::Small);
+        let config = DoublePlayConfig {
+            tp_quantum: 300,
+            tp_jitter: 400,
+            ..DoublePlayConfig::new(2)
+        };
+        let rec = record(&case.spec, &config).unwrap();
+        assert!(rec.stats.events > 0, "racy counter must log shared reads");
+        replay_all(&case.spec, &rec).unwrap();
+    }
+
+    #[test]
+    fn records_and_replays_a_locked_program() {
+        let case = dp_workloads::kvstore::build(2, Size::Small);
+        let config = DoublePlayConfig::new(2);
+        let rec = record(&case.spec, &config).unwrap();
+        replay_all(&case.spec, &rec).unwrap();
+        assert!(rec.stats.log_bytes > 0);
+    }
+
+    #[test]
+    fn log_dwarfs_doubleplay_for_sharing_heavy_code() {
+        let case = dp_workloads::ocean::build(2, Size::Small);
+        let config = DoublePlayConfig::new(2);
+        let vl = record(&case.spec, &config).unwrap();
+        let dp = dp_core::record(&case.spec, &config).unwrap();
+        assert!(
+            vl.stats.log_bytes > 10 * dp.stats.log_bytes(),
+            "value log {} should dwarf DoublePlay log {}",
+            vl.stats.log_bytes,
+            dp.stats.log_bytes()
+        );
+    }
+
+    #[test]
+    fn tampered_value_breaks_replay() {
+        let case = dp_workloads::racey::counter(2, Size::Small);
+        let config = DoublePlayConfig {
+            tp_quantum: 300,
+            tp_jitter: 400,
+            ..DoublePlayConfig::new(2)
+        };
+        let mut rec = record(&case.spec, &config).unwrap();
+        let log = rec.threads.get_mut(&Tid(1)).unwrap();
+        // Tamper with the last logged value: it lands in the thread's final
+        // register state, so the digest check must catch it. (Earlier
+        // values can legitimately wash out.)
+        if let Some(last) = log.reads.back_mut() {
+            last.1 ^= 0xff;
+            assert!(replay_thread(&case.spec, &rec, Tid(1)).is_err());
+        }
+    }
+}

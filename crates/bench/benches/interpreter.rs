@@ -1,0 +1,45 @@
+//! Raw interpreter throughput (instructions/second) — the substrate speed
+//! every simulated-time result is built on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dp_vm::builder::ProgramBuilder;
+use dp_vm::observer::NullObserver;
+use dp_vm::{BinOp, Machine, Reg, SliceLimits, Src, Tid, Width};
+use std::sync::Arc;
+
+fn program(iters: i64) -> Arc<dp_vm::Program> {
+    let mut pb = ProgramBuilder::new();
+    let g = pb.global("g", 64);
+    let mut f = pb.function("main");
+    let top = f.label();
+    f.consti(Reg(1), 0);
+    f.consti(Reg(9), g as i64);
+    f.bind(top);
+    f.add(Reg(1), Reg(1), 1i64);
+    f.load(Reg(2), Reg(9), 0, Width::W8);
+    f.add(Reg(2), Reg(2), Reg(1));
+    f.store(Reg(2), Reg(9), 0, Width::W8);
+    f.bin(BinOp::Ltu, Reg(3), Reg(1), Src::Imm(iters));
+    f.jnz(Reg(3), top);
+    f.ret();
+    f.finish();
+    Arc::new(pb.finish("main"))
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let iters = 200_000i64;
+    let p = program(iters);
+    let mut g = c.benchmark_group("interpreter");
+    g.throughput(Throughput::Elements(iters as u64 * 6));
+    g.bench_function("arith-load-store-loop", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(p.clone(), &[]);
+            m.run_slice(Tid(0), SliceLimits::budget(u64::MAX), &mut NullObserver)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_interpreter);
+criterion_main!(benches);

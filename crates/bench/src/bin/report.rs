@@ -1,0 +1,54 @@
+//! Regenerates the paper's tables and figures. Usage:
+//!
+//! ```text
+//! report [small|medium|large] [e1 e2 e3 e4 e5 e6 e7 e8 e9 | all]
+//! ```
+
+use dp_bench::experiments as exp;
+use dp_workloads::Size;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let size = match args.first().map(|s| s.as_str()) {
+        Some("small") => Size::Small,
+        Some("large") => Size::Large,
+        _ => Size::Medium,
+    };
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| a.starts_with('e') || *a == "all")
+        .map(|s| s.as_str())
+        .collect();
+    let want = |id: &str| which.is_empty() || which.contains(&"all") || which.contains(&id);
+
+    println!("DoublePlay reproduction report (size = {size})");
+    println!("================================================\n");
+    if want("e1") {
+        println!("{}", exp::table1(size));
+    }
+    if want("e2") {
+        println!("{}", exp::fig_overhead(size, true));
+    }
+    if want("e3") {
+        println!("{}", exp::fig_overhead(size, false));
+    }
+    if want("e4") {
+        println!("{}", exp::table_logsize(size));
+    }
+    if want("e5") {
+        println!("{}", exp::table_baselines(size));
+    }
+    if want("e6") {
+        println!("{}", exp::fig_epoch_length(size));
+        println!("{}", exp::fig_adaptive(size));
+    }
+    if want("e7") {
+        println!("{}", exp::fig_replay_speed(size));
+    }
+    if want("e8") {
+        println!("{}", exp::table_rollback(size));
+    }
+    if want("e9") {
+        println!("{}", exp::fig_recovery_ablation(size));
+    }
+}

@@ -1,0 +1,67 @@
+//! Plain-text table rendering for the experiment reports.
+
+use std::fmt;
+
+/// A printable experiment artifact (one table or figure's data series).
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id + paper artifact, e.g. "E2 / Fig: overhead, spare cores".
+    pub title: String,
+    /// Explanation of what to look for (the paper-shape claim).
+    pub caption: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        caption: impl Into<String>,
+        headers: &[&str],
+    ) -> Self {
+        Table {
+            title: title.into(),
+            caption: caption.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "== {}", self.title)?;
+        if !self.caption.is_empty() {
+            writeln!(f, "   {}", self.caption)?;
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "  ")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, "| {:width$} ", c, width = widths[i])?;
+            }
+            writeln!(f, "|")
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+        writeln!(f, "  {}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,168 @@
+//! Checkpoints: copy-on-write snapshots of (machine, kernel) pairs.
+//!
+//! A checkpoint captures the *entire* recorded world — guest memory and
+//! threads plus all kernel state (files, sockets, futex queues, timers,
+//! entropy). Cloning is cheap (page tables and file contents are
+//! `Arc`-shared); mutation after a checkpoint pays copy-on-write, which is
+//! what the cost model charges per dirty page, mirroring the paper's
+//! `fork()`-based checkpoints.
+
+use dp_os::kernel::Kernel;
+use dp_vm::{Machine, MachineImage, Program, Tid};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Where each thread must stop in the epoch-parallel execution: the
+/// per-thread instruction counts captured at the *next* checkpoint. This is
+/// the simulated stand-in for the paper's syscall + hardware-branch-counter
+/// epoch boundary markers.
+pub type EpochTargets = BTreeMap<Tid, ThreadTarget>;
+
+/// One thread's epoch-boundary position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadTarget {
+    /// Instruction count the thread must reach.
+    pub icount: u64,
+    /// Whether the thread had exited by the boundary.
+    pub exited: bool,
+}
+
+/// A snapshot of the full world at an epoch boundary.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// The machine at the boundary.
+    pub machine: Machine,
+    /// The kernel at the boundary.
+    pub kernel: Kernel,
+    /// Cached machine state hash (divergence detection compares these).
+    pub machine_hash: u64,
+}
+
+impl Checkpoint {
+    /// Snapshots the current world.
+    pub fn capture(machine: &Machine, kernel: &Kernel) -> Self {
+        Checkpoint {
+            machine: machine.clone(),
+            kernel: kernel.clone(),
+            machine_hash: machine.state_hash(),
+        }
+    }
+
+    /// Epoch-boundary targets derived from this checkpoint's thread table:
+    /// running the previous epoch must bring every thread to exactly these
+    /// instruction counts.
+    pub fn targets(&self) -> EpochTargets {
+        self.machine
+            .threads()
+            .iter()
+            .map(|t| {
+                (
+                    t.tid,
+                    ThreadTarget {
+                        icount: t.icount,
+                        exited: t.is_exited(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Converts to a serializable image.
+    pub fn to_image(&self) -> CheckpointImage {
+        CheckpointImage {
+            machine: self.machine.image(),
+            kernel: self.kernel.clone(),
+            machine_hash: self.machine_hash,
+        }
+    }
+
+    /// Restores from an image, reattaching the program.
+    pub fn from_image(program: Arc<Program>, image: CheckpointImage) -> Self {
+        Checkpoint {
+            machine: Machine::from_image(program, image.machine),
+            kernel: image.kernel,
+            machine_hash: image.machine_hash,
+        }
+    }
+}
+
+/// Serializable form of a [`Checkpoint`] (program detached).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CheckpointImage {
+    /// Machine state.
+    pub machine: MachineImage,
+    /// Kernel state.
+    pub kernel: Kernel,
+    /// Cached machine hash.
+    pub machine_hash: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::GuestSpec;
+    use dp_os::kernel::WorldConfig;
+    use dp_vm::builder::ProgramBuilder;
+    use dp_vm::observer::NullObserver;
+    use dp_vm::{Reg, SliceLimits};
+
+    fn spec() -> GuestSpec {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let top = f.label();
+        f.bind(top);
+        f.add(Reg(1), Reg(1), 1i64);
+        f.store(Reg(1), Reg(2), 0x2000, dp_vm::Width::W8);
+        f.jmp(top);
+        f.finish();
+        GuestSpec::new(
+            "loop",
+            std::sync::Arc::new(pb.finish("main")),
+            WorldConfig::default(),
+        )
+    }
+
+    #[test]
+    fn capture_restore_identical() {
+        let (mut m, k) = spec().boot();
+        m.run_slice(Tid(0), SliceLimits::budget(10), &mut NullObserver)
+            .unwrap();
+        let ckpt = Checkpoint::capture(&m, &k);
+        assert_eq!(ckpt.machine_hash, m.state_hash());
+        // Mutating the live machine does not disturb the checkpoint.
+        m.run_slice(Tid(0), SliceLimits::budget(10), &mut NullObserver)
+            .unwrap();
+        assert_ne!(ckpt.machine.state_hash(), m.state_hash());
+        assert_eq!(ckpt.machine.state_hash(), ckpt.machine_hash);
+    }
+
+    #[test]
+    fn targets_reflect_icounts_and_exits() {
+        let (mut m, k) = spec().boot();
+        m.run_slice(Tid(0), SliceLimits::budget(7), &mut NullObserver)
+            .unwrap();
+        let entry = m.program().entry();
+        let t1 = m.spawn_thread(entry, &[]);
+        m.exit_thread(t1, 9);
+        let ckpt = Checkpoint::capture(&m, &k);
+        let targets = ckpt.targets();
+        assert_eq!(targets[&Tid(0)].icount, 7);
+        assert!(!targets[&Tid(0)].exited);
+        assert!(targets[&t1].exited);
+    }
+
+    #[test]
+    fn image_roundtrip() {
+        let s = spec();
+        let (mut m, k) = s.boot();
+        m.run_slice(Tid(0), SliceLimits::budget(25), &mut NullObserver)
+            .unwrap();
+        let ckpt = Checkpoint::capture(&m, &k);
+        let image = ckpt.to_image();
+        let restored = Checkpoint::from_image(s.program.clone(), image);
+        assert_eq!(restored.machine_hash, ckpt.machine_hash);
+        assert_eq!(restored.machine.state_hash(), ckpt.machine.state_hash());
+        assert_eq!(restored.kernel, ckpt.kernel);
+    }
+}

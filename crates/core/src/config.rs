@@ -1,0 +1,172 @@
+//! Recorder configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a DoublePlay recording run.
+///
+/// Construct with [`DoublePlayConfig::new`] (worker-thread count) and adjust
+/// with the builder-style setters:
+///
+/// ```
+/// use dp_core::DoublePlayConfig;
+/// let config = DoublePlayConfig::new(4)
+///     .epoch_cycles(500_000)
+///     .spare_workers(4)
+///     .adaptive_epochs(true);
+/// assert_eq!(config.cpus, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DoublePlayConfig {
+    /// CPUs used by the thread-parallel execution (the application's worker
+    /// parallelism, "2 worker threads" / "4 worker threads" in the paper).
+    pub cpus: usize,
+    /// Extra cores available for epoch-parallel execution. The paper's
+    /// headline numbers use "spare cores" (`spare_workers == cpus`); setting
+    /// `0` models the no-spare-cores configuration where both executions
+    /// compete for the same CPUs.
+    pub spare_workers: usize,
+    /// Epoch length in thread-parallel cycles.
+    pub epoch_cycles: u64,
+    /// Scheduling quantum (instructions) of the epoch-parallel timeslicer.
+    /// This bounds schedule-log density: one log entry per slice.
+    pub ep_quantum: u64,
+    /// Base scheduling quantum (instructions) of the thread-parallel run.
+    pub tp_quantum: u64,
+    /// Max random jitter added to thread-parallel quanta. This models
+    /// scheduler/timing nondeterminism: it is drawn from the *hidden* seed,
+    /// which the recorder must not rely on.
+    pub tp_jitter: u64,
+    /// Seed of the hidden nondeterminism source.
+    pub hidden_seed: u64,
+    /// Adapt epoch length to divergence rate (shrink on rollback, grow after
+    /// sustained clean commits), as the paper's epoch-sizing discussion
+    /// describes.
+    pub adaptive: bool,
+    /// Use forward recovery on divergence (adopt the epoch-parallel state
+    /// and restart only the thread-parallel side). When disabled, a
+    /// divergence additionally pays for re-running the thread-parallel
+    /// epoch, modelling full rollback of both executions.
+    pub forward_recovery: bool,
+    /// Store a full checkpoint with every epoch record (enables parallel
+    /// replay and replay-to-point; costs memory).
+    pub keep_checkpoints: bool,
+    /// Hard bound on guest instructions per recording.
+    pub max_instructions: u64,
+}
+
+impl DoublePlayConfig {
+    /// A configuration for `cpus` worker threads with paper-like defaults
+    /// and `cpus` spare worker cores (the "spare cores" setup).
+    pub fn new(cpus: usize) -> Self {
+        assert!(cpus >= 1, "at least one CPU required");
+        DoublePlayConfig {
+            cpus,
+            spare_workers: cpus,
+            epoch_cycles: 400_000,
+            ep_quantum: 20_000,
+            tp_quantum: 10_000,
+            tp_jitter: 7_000,
+            hidden_seed: 0x5eed_0fd0_0b1e,
+            adaptive: false,
+            forward_recovery: true,
+            keep_checkpoints: true,
+            max_instructions: 2_000_000_000,
+        }
+    }
+
+    /// Sets the epoch length in cycles.
+    pub fn epoch_cycles(mut self, cycles: u64) -> Self {
+        assert!(cycles > 0);
+        self.epoch_cycles = cycles;
+        self
+    }
+
+    /// Sets the number of spare worker cores (0 = share cores).
+    pub fn spare_workers(mut self, workers: usize) -> Self {
+        self.spare_workers = workers;
+        self
+    }
+
+    /// Sets the epoch-parallel scheduling quantum.
+    pub fn ep_quantum(mut self, quantum: u64) -> Self {
+        assert!(quantum > 0);
+        self.ep_quantum = quantum;
+        self
+    }
+
+    /// Sets the hidden nondeterminism seed.
+    pub fn hidden_seed(mut self, seed: u64) -> Self {
+        self.hidden_seed = seed;
+        self
+    }
+
+    /// Enables or disables adaptive epoch sizing.
+    pub fn adaptive_epochs(mut self, on: bool) -> Self {
+        self.adaptive = on;
+        self
+    }
+
+    /// Enables or disables forward recovery.
+    pub fn forward_recovery(mut self, on: bool) -> Self {
+        self.forward_recovery = on;
+        self
+    }
+
+    /// Enables or disables per-epoch checkpoints in the recording.
+    pub fn keep_checkpoints(mut self, on: bool) -> Self {
+        self.keep_checkpoints = on;
+        self
+    }
+
+    /// Sets the instruction budget.
+    pub fn max_instructions(mut self, max: u64) -> Self {
+        self.max_instructions = max;
+        self
+    }
+}
+
+impl Default for DoublePlayConfig {
+    fn default() -> Self {
+        Self::new(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let c = DoublePlayConfig::new(4)
+            .epoch_cycles(123)
+            .spare_workers(2)
+            .ep_quantum(9)
+            .hidden_seed(7)
+            .adaptive_epochs(true)
+            .forward_recovery(false)
+            .keep_checkpoints(false)
+            .max_instructions(10);
+        assert_eq!(c.cpus, 4);
+        assert_eq!(c.epoch_cycles, 123);
+        assert_eq!(c.spare_workers, 2);
+        assert_eq!(c.ep_quantum, 9);
+        assert_eq!(c.hidden_seed, 7);
+        assert!(c.adaptive);
+        assert!(!c.forward_recovery);
+        assert!(!c.keep_checkpoints);
+        assert_eq!(c.max_instructions, 10);
+    }
+
+    #[test]
+    fn defaults_have_spare_cores() {
+        let c = DoublePlayConfig::new(4);
+        assert_eq!(c.spare_workers, 4);
+        assert!(c.forward_recovery);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one CPU")]
+    fn zero_cpus_panics() {
+        DoublePlayConfig::new(0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Errors surfaced by recording and replay.
+
+use dp_vm::{Fault, Tid};
+use std::fmt;
+
+/// Errors raised while recording an execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// A guest thread faulted (the guest program is buggy; faults are
+    /// deterministic, so this is not a recorder failure).
+    Guest(Fault),
+    /// The guest deadlocked: no runnable threads and no future events.
+    Deadlock {
+        /// Live (blocked) threads at the deadlock.
+        blocked: usize,
+    },
+    /// The per-run instruction budget was exhausted.
+    BudgetExhausted,
+    /// The recorder hit its bound on consecutive divergences for one epoch,
+    /// which indicates a recorder bug rather than ordinary races.
+    DivergenceLoop {
+        /// Epoch index that would not converge.
+        epoch: u32,
+    },
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::Guest(fault) => write!(f, "guest fault while recording: {fault}"),
+            RecordError::Deadlock { blocked } => {
+                write!(f, "guest deadlock while recording ({blocked} threads blocked)")
+            }
+            RecordError::BudgetExhausted => write!(f, "recording instruction budget exhausted"),
+            RecordError::DivergenceLoop { epoch } => {
+                write!(f, "epoch {epoch} failed to converge after repeated divergence")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+impl From<Fault> for RecordError {
+    fn from(fault: Fault) -> Self {
+        RecordError::Guest(fault)
+    }
+}
+
+/// Errors raised while replaying a recording. Any of these mean the replay
+/// does not reproduce the recorded execution — the failure deterministic
+/// replay is designed to make impossible, so they indicate corruption or a
+/// mismatched program/world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The supplied program does not match the recording's program hash.
+    ProgramMismatch {
+        /// Hash stored in the recording.
+        expected: u64,
+        /// Hash of the supplied program.
+        actual: u64,
+    },
+    /// A schedule-log slice could not be followed (thread not runnable or
+    /// wrong instruction count).
+    ScheduleMismatch {
+        /// Epoch where the mismatch occurred.
+        epoch: u32,
+        /// Thread the schedule named.
+        tid: Tid,
+        /// Description of the mismatch.
+        detail: String,
+    },
+    /// A syscall trap did not match the next log entry for its thread.
+    LogMismatch {
+        /// Epoch where the mismatch occurred.
+        epoch: u32,
+        /// Thread whose syscall mismatched.
+        tid: Tid,
+        /// Description of the mismatch.
+        detail: String,
+    },
+    /// The replayed epoch's final state hash differs from the recording.
+    HashMismatch {
+        /// Epoch whose end state differed.
+        epoch: u32,
+        /// Hash stored in the recording.
+        expected: u64,
+        /// Hash produced by the replay.
+        actual: u64,
+    },
+    /// A guest fault occurred at a point where the recording had none.
+    Guest(Fault),
+    /// The recording has no stored checkpoints but a parallel replay was
+    /// requested, or an epoch index was out of range.
+    BadRequest {
+        /// Description of the unusable request.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::ProgramMismatch { expected, actual } => write!(
+                f,
+                "program hash {actual:#x} does not match recording ({expected:#x})"
+            ),
+            ReplayError::ScheduleMismatch { epoch, tid, detail } => {
+                write!(f, "schedule mismatch in epoch {epoch} on {tid}: {detail}")
+            }
+            ReplayError::LogMismatch { epoch, tid, detail } => {
+                write!(f, "syscall log mismatch in epoch {epoch} on {tid}: {detail}")
+            }
+            ReplayError::HashMismatch {
+                epoch,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "state hash mismatch at end of epoch {epoch}: expected {expected:#x}, got {actual:#x}"
+            ),
+            ReplayError::Guest(fault) => write!(f, "unexpected guest fault in replay: {fault}"),
+            ReplayError::BadRequest { detail } => write!(f, "bad replay request: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<Fault> for ReplayError {
+    fn from(fault: Fault) -> Self {
+        ReplayError::Guest(fault)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_vm::{FuncId, Pc};
+
+    #[test]
+    fn record_error_display() {
+        let e = RecordError::Deadlock { blocked: 3 };
+        assert!(e.to_string().contains("3 threads"));
+        let f = RecordError::from(Fault::FellOffFunction {
+            tid: Tid(1),
+            func: FuncId(0),
+        });
+        assert!(f.to_string().contains("guest fault"));
+    }
+
+    #[test]
+    fn replay_error_display() {
+        let e = ReplayError::HashMismatch {
+            epoch: 4,
+            expected: 0xabc,
+            actual: 0xdef,
+        };
+        let s = e.to_string();
+        assert!(s.contains("epoch 4"));
+        assert!(s.contains("0xabc"));
+        let e = ReplayError::ScheduleMismatch {
+            epoch: 1,
+            tid: Tid(2),
+            detail: "thread exited early".into(),
+        };
+        assert!(e.to_string().contains("t2"));
+        let _ = ReplayError::Guest(Fault::DivideByZero {
+            tid: Tid(0),
+            pc: Pc {
+                func: FuncId(0),
+                idx: 0,
+            },
+        })
+        .to_string();
+    }
+}

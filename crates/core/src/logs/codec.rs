@@ -1,0 +1,342 @@
+//! Compact binary encoding of logs.
+//!
+//! The paper's log-size table reports *compressed* log rates; this codec is
+//! the reproduction's analogue: LEB128 varints for counts and deltas, raw
+//! bytes for payloads. It is used both to measure realistic log sizes
+//! (Table "log sizes", experiment E4) and as the wire format when a
+//! recording is saved.
+
+use super::schedule::{SchedEvent, ScheduleLog};
+use super::syscalls::{SyscallLog, SyscallLogEntry};
+use dp_os::kernel::{ExternalChunk, ExternalDest, SyscallEffect};
+use dp_vm::Tid;
+
+/// Encoding/decoding failure (truncated or corrupt input).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// Offset at which decoding failed.
+    pub offset: usize,
+    /// What was being decoded.
+    pub context: &'static str,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "log decode error at byte {}: {}", self.offset, self.context)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Appends a LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint, advancing `pos`.
+///
+/// # Errors
+///
+/// Fails on truncation or overlong (>10-byte) encodings.
+pub fn get_varint(buf: &[u8], pos: &mut usize, context: &'static str) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(CodecError {
+            offset: *pos,
+            context,
+        })?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(CodecError {
+                offset: *pos,
+                context,
+            });
+        }
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_varint(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+fn get_bytes(buf: &[u8], pos: &mut usize, context: &'static str) -> Result<Vec<u8>, CodecError> {
+    let len = get_varint(buf, pos, context)? as usize;
+    let end = pos.checked_add(len).ok_or(CodecError {
+        offset: *pos,
+        context,
+    })?;
+    if end > buf.len() {
+        return Err(CodecError {
+            offset: *pos,
+            context,
+        });
+    }
+    let out = buf[*pos..end].to_vec();
+    *pos = end;
+    Ok(out)
+}
+
+const TAG_SLICE: u64 = 0;
+const TAG_WAKE: u64 = 1;
+const TAG_SIGNAL: u64 = 2;
+
+/// Encodes a schedule log.
+pub fn encode_schedule(log: &ScheduleLog) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_varint(&mut out, log.len() as u64);
+    for e in log.events() {
+        match e {
+            SchedEvent::Slice { tid, instrs } => {
+                put_varint(&mut out, TAG_SLICE);
+                put_varint(&mut out, tid.0 as u64);
+                put_varint(&mut out, *instrs);
+            }
+            SchedEvent::LoggedWake { tid } => {
+                put_varint(&mut out, TAG_WAKE);
+                put_varint(&mut out, tid.0 as u64);
+            }
+            SchedEvent::Signal { tid, sig } => {
+                put_varint(&mut out, TAG_SIGNAL);
+                put_varint(&mut out, tid.0 as u64);
+                put_varint(&mut out, *sig);
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a schedule log.
+///
+/// # Errors
+///
+/// Fails on truncated or corrupt input.
+pub fn decode_schedule(buf: &[u8]) -> Result<ScheduleLog, CodecError> {
+    let mut pos = 0;
+    let count = get_varint(buf, &mut pos, "schedule count")?;
+    let mut events = Vec::new();
+    for _ in 0..count {
+        let tag = get_varint(buf, &mut pos, "schedule tag")?;
+        let tid = Tid(get_varint(buf, &mut pos, "schedule tid")? as u32);
+        events.push(match tag {
+            TAG_SLICE => SchedEvent::Slice {
+                tid,
+                instrs: get_varint(buf, &mut pos, "slice length")?,
+            },
+            TAG_WAKE => SchedEvent::LoggedWake { tid },
+            TAG_SIGNAL => SchedEvent::Signal {
+                tid,
+                sig: get_varint(buf, &mut pos, "signal number")?,
+            },
+            _ => {
+                return Err(CodecError {
+                    offset: pos,
+                    context: "unknown schedule tag",
+                })
+            }
+        });
+    }
+    // Bypass coalescing: the encoded form is already canonical.
+    Ok(events.into_iter().collect())
+}
+
+const DEST_CONSOLE: u64 = 0;
+const DEST_SOCKET: u64 = 1;
+
+fn put_effect(out: &mut Vec<u8>, effect: &SyscallEffect) {
+    put_varint(out, effect.guest_writes.len() as u64);
+    for (addr, bytes) in &effect.guest_writes {
+        put_varint(out, *addr);
+        put_bytes(out, bytes);
+    }
+    put_varint(out, effect.external.len() as u64);
+    for chunk in &effect.external {
+        match &chunk.dest {
+            ExternalDest::Console => put_varint(out, DEST_CONSOLE),
+            ExternalDest::Socket(fd) => {
+                put_varint(out, DEST_SOCKET);
+                put_varint(out, *fd as u64);
+            }
+        }
+        put_bytes(out, &chunk.bytes);
+    }
+}
+
+fn get_effect(buf: &[u8], pos: &mut usize) -> Result<SyscallEffect, CodecError> {
+    let mut effect = SyscallEffect::default();
+    let writes = get_varint(buf, pos, "guest write count")?;
+    for _ in 0..writes {
+        let addr = get_varint(buf, pos, "guest write addr")?;
+        let bytes = get_bytes(buf, pos, "guest write bytes")?;
+        effect.guest_writes.push((addr, bytes));
+    }
+    let chunks = get_varint(buf, pos, "external chunk count")?;
+    for _ in 0..chunks {
+        let dest = match get_varint(buf, pos, "external dest")? {
+            DEST_CONSOLE => ExternalDest::Console,
+            DEST_SOCKET => ExternalDest::Socket(get_varint(buf, pos, "socket fd")? as u32),
+            _ => {
+                return Err(CodecError {
+                    offset: *pos,
+                    context: "unknown external dest",
+                })
+            }
+        };
+        let bytes = get_bytes(buf, pos, "external bytes")?;
+        effect.external.push(ExternalChunk { dest, bytes });
+    }
+    Ok(effect)
+}
+
+/// Encodes a syscall log.
+pub fn encode_syscalls(log: &SyscallLog) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_varint(&mut out, log.len() as u64);
+    for e in log.entries() {
+        put_varint(&mut out, e.tid.0 as u64);
+        put_varint(&mut out, e.num as u64);
+        out.extend_from_slice(&e.arg_hash.to_le_bytes());
+        put_varint(&mut out, e.ret);
+        put_varint(&mut out, e.via_wake as u64);
+        put_effect(&mut out, &e.effect);
+    }
+    out
+}
+
+/// Decodes a syscall log.
+///
+/// # Errors
+///
+/// Fails on truncated or corrupt input.
+pub fn decode_syscalls(buf: &[u8]) -> Result<SyscallLog, CodecError> {
+    let mut pos = 0;
+    let count = get_varint(buf, &mut pos, "syscall count")?;
+    let mut log = SyscallLog::new();
+    for _ in 0..count {
+        let tid = Tid(get_varint(buf, &mut pos, "syscall tid")? as u32);
+        let num = get_varint(buf, &mut pos, "syscall num")? as u32;
+        if pos + 8 > buf.len() {
+            return Err(CodecError {
+                offset: pos,
+                context: "arg hash",
+            });
+        }
+        let arg_hash = u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap());
+        pos += 8;
+        let ret = get_varint(buf, &mut pos, "syscall ret")?;
+        let via_wake = get_varint(buf, &mut pos, "via wake flag")? != 0;
+        let effect = get_effect(buf, &mut pos)?;
+        log.push(SyscallLogEntry {
+            tid,
+            num,
+            arg_hash,
+            ret,
+            effect,
+            via_wake,
+        });
+    }
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_os::abi;
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(get_varint(&buf, &mut pos, "test").unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_truncation_is_an_error() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1 << 40);
+        buf.truncate(buf.len() - 1);
+        let mut pos = 0;
+        assert!(get_varint(&buf, &mut pos, "test").is_err());
+    }
+
+    #[test]
+    fn schedule_roundtrip() {
+        let mut log = ScheduleLog::new();
+        log.push_slice(Tid(0), 10_000);
+        log.push_wake(Tid(3));
+        log.push_signal(Tid(1), 9);
+        log.push_slice(Tid(1), 1);
+        let buf = encode_schedule(&log);
+        let back = decode_schedule(&buf).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn syscall_roundtrip_with_effects() {
+        let mut log = SyscallLog::new();
+        log.push(SyscallLogEntry {
+            tid: Tid(2),
+            num: abi::SYS_RECV,
+            arg_hash: 0xdead_beef_cafe_f00d,
+            ret: 5,
+            via_wake: true,
+            effect: SyscallEffect {
+                guest_writes: vec![(0x3000, b"hello".to_vec())],
+                external: vec![ExternalChunk {
+                    dest: ExternalDest::Socket(1001),
+                    bytes: b"out".to_vec(),
+                }],
+            },
+        });
+        log.push(SyscallLogEntry {
+            tid: Tid(0),
+            num: abi::SYS_CLOCK,
+            arg_hash: 1,
+            ret: u64::MAX,
+            effect: SyscallEffect::default(),
+            via_wake: false,
+        });
+        let buf = encode_syscalls(&log);
+        let back = decode_syscalls(&buf).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn corrupt_tags_rejected() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1); // one event
+        put_varint(&mut buf, 9); // bad tag
+        put_varint(&mut buf, 0);
+        assert!(decode_schedule(&buf).is_err());
+    }
+
+    #[test]
+    fn schedule_encoding_is_compact() {
+        // A full epoch of one thread = a handful of bytes; this is the
+        // paper's claim that uniparallel logging is tiny.
+        let mut log = ScheduleLog::new();
+        log.push_slice(Tid(0), 1_000_000);
+        assert!(encode_schedule(&log).len() <= 8);
+    }
+}

@@ -1,0 +1,348 @@
+//! The uniparallel coordinator: ties the thread-parallel and epoch-parallel
+//! executions into one recording run.
+//!
+//! For each epoch the coordinator:
+//!
+//! 1. runs the thread-parallel execution one epoch forward (producing the
+//!    next checkpoint and the epoch's syscall log);
+//! 2. runs the epoch-parallel execution of that epoch in verify mode from
+//!    the previous checkpoint;
+//! 3. **commits** if the epoch-parallel end state matches the next
+//!    checkpoint, releasing the epoch's external output; otherwise a
+//!    **divergence** occurred (a data race resolved differently): the epoch
+//!    is re-executed live on one CPU, its end state *becomes* the truth
+//!    (forward recovery), and the thread-parallel side restarts from it.
+//!
+//! The coordinator executes epochs in lockstep but accounts for time as the
+//! real system would pipeline them: the thread-parallel side runs ahead on
+//! `cpus` cores while committed epochs' single-CPU re-executions occupy the
+//! spare worker cores ([`crate::record::pipeline::WorkerPool`]). The
+//! recorded end-to-end runtime is the later of the two timelines; native
+//! runtime is measured by a separate thread-parallel run with recording
+//! work disabled (same hidden seed).
+
+use crate::checkpoint::Checkpoint;
+use crate::config::DoublePlayConfig;
+use crate::error::RecordError;
+use crate::logs::codec;
+use crate::record::epoch_parallel::{run_live, run_verify, VerifyInputs};
+use crate::record::pipeline::WorkerPool;
+use crate::record::thread_parallel::TpRunner;
+use crate::recording::{EpochRecord, Recording, RecordingMeta};
+use crate::stats::RecorderStats;
+use crate::world::GuestSpec;
+
+/// A finished recording plus its measurements.
+#[derive(Debug)]
+pub struct RecordingBundle {
+    /// The replayable artifact.
+    pub recording: Recording,
+    /// Overhead/log/divergence measurements.
+    pub stats: RecorderStats,
+}
+
+/// Hard cap on recorded epochs (runaway-guest backstop).
+const MAX_EPOCHS: u32 = 1_000_000;
+
+/// Records one execution of `spec` under `config`.
+///
+/// # Errors
+///
+/// Guest faults, true deadlocks, or budget exhaustion.
+pub fn record(spec: &GuestSpec, config: &DoublePlayConfig) -> Result<RecordingBundle, RecordError> {
+    let (mut machine, mut kernel) = spec.boot();
+    machine.mem_mut().take_dirty();
+    let cost = *kernel.cost_model();
+    let initial = Checkpoint::capture(&machine, &kernel);
+    let mut tp = TpRunner::new(config);
+    let mut pool = WorkerPool::new(config.spare_workers.max(1));
+    let mut stats = RecorderStats::default();
+    let mut epochs: Vec<EpochRecord> = Vec::new();
+
+    let mut prev = initial.clone();
+    let mut tp_time = 0u64; // thread-parallel timeline (with recording costs)
+    let mut commit_time = 0u64; // epoch-commit timeline
+    let mut epoch_len = config.epoch_cycles;
+    let mut clean_streak = 0u32;
+    let mut guest_clock = 0u64; // virtual time base for the guest
+    let mut index = 0u32;
+
+    loop {
+        if stats.tp_instructions > config.max_instructions || index >= MAX_EPOCHS {
+            return Err(RecordError::BudgetExhausted);
+        }
+        let epoch_start = guest_clock;
+        let tp_out = tp.run_epoch(&mut machine, &mut kernel, epoch_start, epoch_len)?;
+        guest_clock += tp_out.cycles;
+        let dirty = machine.mem_mut().take_dirty().len() as u64;
+        kernel.take_external(); // thread-parallel output is speculative only
+        let ckpt_next = Checkpoint::capture(&machine, &kernel);
+
+        let sys_bytes = codec::encode_syscalls(&tp_out.syscalls).len() as u64;
+        let ckpt_cost = cost.checkpoint(dirty);
+        let tp_log_cost = cost.log_write(sys_bytes);
+        stats.tp_exec_cycles += tp_out.cycles;
+        stats.tp_instructions += tp_out.instructions;
+        stats.dirty_pages += dirty;
+        stats.checkpoint_cycles += ckpt_cost;
+        stats.log_write_cycles += tp_log_cost;
+        tp_time += tp_out.cycles + ckpt_cost + tp_log_cost;
+
+        let targets = ckpt_next.targets();
+        let ep = run_verify(
+            &prev,
+            VerifyInputs {
+                hint: &tp_out.hint,
+                targets: &targets,
+                log: &tp_out.syscalls,
+                expected_hash: ckpt_next.machine_hash,
+                expected_machine: Some(&ckpt_next.machine),
+            },
+        )?;
+        let hash_cost = cost.state_hash(ep.machine.mem().resident_pages() as u64);
+
+        if ep.divergence.is_none() {
+            // Commit.
+            let sched_bytes = codec::encode_schedule(&ep.schedule).len() as u64;
+            let ep_task = ep.cycles + hash_cost + cost.log_write(sched_bytes);
+            stats.ep_cycles += ep_task;
+            stats.log_write_cycles += cost.log_write(sched_bytes);
+            stats.schedule_bytes += sched_bytes;
+            stats.syscall_bytes += sys_bytes;
+            let ready = tp_time;
+            commit_time = finish_epoch_task(config, &mut tp_time, &mut pool, ep_task, ready)
+                .max(commit_time);
+            epochs.push(EpochRecord {
+                index,
+                schedule: ep.schedule,
+                syscalls: tp_out.syscalls,
+                end_machine_hash: ckpt_next.machine_hash,
+                external: ep.external,
+                start: config.keep_checkpoints.then(|| prev.to_image()),
+                tp_cycles: tp_out.cycles,
+            });
+            prev = ckpt_next;
+            stats.committed += 1;
+            clean_streak += 1;
+            if config.adaptive && clean_streak >= 8 {
+                epoch_len = (epoch_len + epoch_len / 4).min(config.epoch_cycles * 8);
+                clean_streak = 0;
+            }
+        } else {
+            // Divergence: the verify attempt is wasted; re-execute the
+            // epoch live from the previous checkpoint. Its end state is
+            // adopted as the new truth (forward recovery).
+            stats.divergences += 1;
+            clean_streak = 0;
+            if config.adaptive {
+                epoch_len = (epoch_len / 2).max(config.epoch_cycles / 16).max(1_000);
+            }
+            let verify_task = ep.cycles + hash_cost;
+            let ready = tp_time;
+            let detect = finish_epoch_task(config, &mut tp_time, &mut pool, verify_task, ready)
+                .max(commit_time);
+            stats.wasted_tp_cycles += detect.saturating_sub(tp_time);
+
+            let live_duration = tp_out.cycles.saturating_mul(config.cpus as u64).max(1);
+            let live = run_live(&prev, live_duration, config.ep_quantum, epoch_start)?;
+            let live_sched_bytes = codec::encode_schedule(&live.schedule).len() as u64;
+            let live_sys_bytes = codec::encode_syscalls(&live.generated).len() as u64;
+            let live_hash_cost = cost.state_hash(live.machine.mem().resident_pages() as u64);
+            let live_task = live.cycles
+                + live_hash_cost
+                + cost.log_write(live_sched_bytes + live_sys_bytes);
+            stats.recovery_cycles += live_task;
+            stats.ep_cycles += live_task;
+            stats.schedule_bytes += live_sched_bytes;
+            stats.syscall_bytes += live_sys_bytes;
+
+            let mut resume = detect + live_task;
+            if !config.forward_recovery {
+                // Full rollback also re-runs the thread-parallel epoch.
+                resume += tp_out.cycles;
+                stats.wasted_tp_cycles += tp_out.cycles;
+            }
+            commit_time = resume;
+            tp_time = resume;
+
+            machine = live.machine.clone();
+            kernel = live.kernel.clone();
+            guest_clock = epoch_start + live.cycles;
+            epochs.push(EpochRecord {
+                index,
+                schedule: live.schedule,
+                syscalls: live.generated,
+                end_machine_hash: live.end_hash,
+                external: live.external,
+                start: config.keep_checkpoints.then(|| prev.to_image()),
+                tp_cycles: tp_out.cycles,
+            });
+            prev = Checkpoint::capture(&machine, &kernel);
+        }
+
+        index += 1;
+        stats.epochs += 1;
+        if machine.halted().is_some() || machine.live_threads() == 0 {
+            break;
+        }
+    }
+
+    stats.recorded_cycles = tp_time.max(commit_time);
+    stats.native_cycles = measure_native(spec, config)?;
+    Ok(RecordingBundle {
+        recording: Recording {
+            meta: RecordingMeta {
+                guest_name: spec.name.clone(),
+                program_hash: spec.program_hash(),
+                initial_machine_hash: initial.machine_hash,
+                config: *config,
+            },
+            initial: initial.to_image(),
+            epochs,
+        },
+        stats,
+    })
+}
+
+/// Accounts for one epoch-parallel task and returns its completion time.
+/// With spare workers it runs on the pool; without, it steals time from the
+/// thread-parallel cores (approximated as perfectly divisible work).
+fn finish_epoch_task(
+    config: &DoublePlayConfig,
+    a: &mut u64,
+    b: &mut WorkerPool,
+    task: u64,
+    ready: u64,
+) -> u64 {
+    let (tp_time, pool) = (a, b);
+    if config.spare_workers > 0 {
+        pool.schedule(ready, task)
+    } else {
+        *tp_time += task / config.cpus as u64 + 1;
+        *tp_time
+    }
+}
+
+/// Measures the native (unrecorded) runtime of `spec`: the same
+/// thread-parallel execution with the same hidden seed and epoch-aligned
+/// scheduling, but no checkpoint, log, or verification work.
+///
+/// # Errors
+///
+/// Guest faults, deadlocks, or budget exhaustion.
+pub fn measure_native(spec: &GuestSpec, config: &DoublePlayConfig) -> Result<u64, RecordError> {
+    let (mut machine, mut kernel) = spec.boot();
+    let mut tp = TpRunner::new(config);
+    let mut t = 0u64;
+    let mut instructions = 0u64;
+    for _ in 0..MAX_EPOCHS {
+        let out = tp.run_epoch(&mut machine, &mut kernel, t, config.epoch_cycles)?;
+        t += out.cycles;
+        instructions += out.instructions;
+        if out.finished {
+            return Ok(t);
+        }
+        if instructions > config.max_instructions {
+            return Err(RecordError::BudgetExhausted);
+        }
+    }
+    Err(RecordError::BudgetExhausted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::testutil::{atomic_counter_spec, compute_counter_spec, racy_counter_spec};
+
+    #[test]
+    fn records_a_synchronized_program_without_divergence() {
+        let spec = compute_counter_spec(3_000, 2);
+        let config = DoublePlayConfig::new(2).epoch_cycles(25_000);
+        let bundle = record(&spec, &config).unwrap();
+        assert_eq!(bundle.stats.divergences, 0);
+        assert!(bundle.stats.epochs >= 2);
+        assert_eq!(bundle.stats.committed, bundle.stats.epochs);
+        assert!(bundle.recording.has_checkpoints());
+        assert!(bundle.stats.native_cycles > 0);
+        assert!(bundle.stats.recorded_cycles >= bundle.stats.native_cycles);
+        // Overhead should be bounded for a clean run with spare cores
+        // (the run is still short, so the pipeline tail is a large
+        // fraction; benchmark-sized runs land in the tens of percent).
+        assert!(
+            bundle.stats.overhead() < 2.0,
+            "overhead {} too large",
+            bundle.stats.overhead()
+        );
+    }
+
+    #[test]
+    fn racy_program_records_with_divergences() {
+        // With fine-grained interleaving some seed must diverge; recording
+        // must still complete and stay internally consistent.
+        let mut total_div = 0;
+        for seed in 0..6 {
+            let spec = racy_counter_spec(3000);
+            let config = DoublePlayConfig {
+                tp_quantum: 200,
+                tp_jitter: 300,
+                ..DoublePlayConfig::new(2).epoch_cycles(20_000).hidden_seed(seed)
+            };
+            let bundle = record(&spec, &config).unwrap();
+            total_div += bundle.stats.divergences;
+            assert_eq!(
+                bundle.stats.committed + bundle.stats.divergences,
+                bundle.stats.epochs
+            );
+        }
+        assert!(total_div > 0, "no divergences across seeds");
+    }
+
+    #[test]
+    fn recording_is_deterministic_given_seed() {
+        let spec = atomic_counter_spec(1000, 2);
+        let config = DoublePlayConfig::new(2).epoch_cycles(4_000);
+        let a = record(&spec, &config).unwrap();
+        let b = record(&spec, &config).unwrap();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.recording.epochs.len(), b.recording.epochs.len());
+        for (ea, eb) in a.recording.epochs.iter().zip(&b.recording.epochs) {
+            assert_eq!(ea.end_machine_hash, eb.end_machine_hash);
+            assert_eq!(ea.schedule, eb.schedule);
+        }
+    }
+
+    #[test]
+    fn no_spare_cores_costs_more() {
+        let spec = compute_counter_spec(5_000, 2);
+        let spare = DoublePlayConfig::new(2).epoch_cycles(30_000);
+        let shared = spare.spare_workers(0);
+        let with_spare = record(&spec, &spare).unwrap();
+        let without = record(&spec, &shared).unwrap();
+        assert!(
+            without.stats.recorded_cycles > with_spare.stats.recorded_cycles,
+            "shared cores should be slower: {} vs {}",
+            without.stats.recorded_cycles,
+            with_spare.stats.recorded_cycles
+        );
+    }
+
+    #[test]
+    fn native_measurement_is_reproducible() {
+        let spec = atomic_counter_spec(1500, 2);
+        let config = DoublePlayConfig::new(2).epoch_cycles(6_000);
+        assert_eq!(
+            measure_native(&spec, &config).unwrap(),
+            measure_native(&spec, &config).unwrap()
+        );
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let spec = atomic_counter_spec(100_000, 2);
+        let config = DoublePlayConfig::new(2).max_instructions(10_000);
+        assert!(matches!(
+            record(&spec, &config),
+            Err(RecordError::BudgetExhausted)
+        ));
+    }
+}

@@ -1,0 +1,82 @@
+//! The hidden nondeterminism source driving the thread-parallel execution.
+//!
+//! On real hardware, thread interleaving is decided by cache misses,
+//! interrupts and the OS scheduler — none of it visible to the recorder.
+//! Here an explicitly *hidden* PRNG stands in: it jitters quantum lengths
+//! and picks among runnable threads, so data races genuinely resolve
+//! differently run-to-run (different seeds) and differently from the
+//! epoch-parallel execution's deterministic round-robin — which is what
+//! gives the divergence-detection machinery real work to do.
+//!
+//! The recorder never reads this state; only the thread-parallel driver
+//! does. A recording must replay correctly *without* knowing the seed.
+
+/// SplitMix64: small, fast, good enough for schedule jitter.
+#[derive(Debug, Clone)]
+pub struct HiddenRng {
+    state: u64,
+}
+
+impl HiddenRng {
+    /// Creates the generator from the configured hidden seed.
+    pub fn new(seed: u64) -> Self {
+        HiddenRng {
+            state: seed ^ 0x6a09_e667_f3bc_c908,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; returns 0 for bound 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = HiddenRng::new(1);
+        let mut b = HiddenRng::new(1);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = HiddenRng::new(2);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = HiddenRng::new(7);
+        for _ in 0..100 {
+            assert!(r.below(13) < 13);
+        }
+        assert_eq!(r.below(0), 0);
+        assert_eq!(r.below(1), 0);
+    }
+
+    #[test]
+    fn reasonably_spread() {
+        let mut r = HiddenRng::new(42);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[r.below(4) as usize] += 1;
+        }
+        for c in counts {
+            assert!(c > 800, "bucket too empty: {counts:?}");
+        }
+    }
+}

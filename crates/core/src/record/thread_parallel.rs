@@ -1,0 +1,477 @@
+//! The thread-parallel execution driver.
+//!
+//! This is the "first" execution of uniparallelism: the application's
+//! threads run concurrently across `cpus` simulated CPUs at full speed. It
+//! exists to (a) generate the checkpoints that let epochs run in parallel,
+//! (b) produce the syscall log, and (c) emit the **schedule hint** the
+//! epoch-parallel execution follows. It is *not* the execution of record —
+//! its results are speculative and its external output is discarded.
+//!
+//! # Concurrency model and the hint
+//!
+//! True parallelism is simulated with an event loop over per-CPU clocks:
+//! each iteration runs one atomic *micro-slice* (a few hundred
+//! instructions, hidden-seed jittered) on the least-advanced CPU, so racy
+//! guests interleave nondeterministically at micro-slice granularity.
+//!
+//! The hint must let a single-CPU execution reproduce every outcome that is
+//! *not* a data race — that is, it must preserve the global order of
+//! synchronization: atomic instructions and syscalls. Micro-slices
+//! therefore stop at every atomic ([`dp_vm::SliceLimits::stop_at_atomics`])
+//! and at every trap, and the hint records one slice per thread per
+//! inter-sync run, in global sync order. The interleaving of *plain*
+//! instructions between sync points is deliberately **not** recorded — the
+//! epoch-parallel run serializes those chunks atomically. For data-race-free
+//! programs this reproduces the thread-parallel state exactly (conflicting
+//! accesses are ordered through recorded sync); for racy programs the
+//! serializations can disagree, which is precisely the divergence the
+//! paper's rollback machinery exists to catch. This mirrors the original
+//! system, whose epoch-parallel run replays logged synchronization order
+//! from a modified glibc but cannot reproduce untracked races.
+
+use dp_os::abi;
+use dp_os::kernel::{Disposition, Kernel, Wake};
+use dp_vm::observer::NullObserver;
+use dp_vm::{Machine, SliceLimits, StopReason, Tid};
+use std::collections::BTreeMap;
+
+use crate::config::DoublePlayConfig;
+use crate::error::RecordError;
+use crate::logs::{request_hash, request_hash_args, ScheduleLog, SyscallLog, SyscallLogEntry};
+use crate::record::interleave::HiddenRng;
+
+/// What one thread-parallel epoch produced.
+#[derive(Debug)]
+pub struct TpEpochOutcome {
+    /// Logged-class syscall completions, in completion order.
+    pub syscalls: SyscallLog,
+    /// The schedule hint: sync-ordered slices for the epoch-parallel run.
+    pub hint: ScheduleLog,
+    /// Wall cycles the epoch took across the CPUs (max CPU clock advance).
+    pub cycles: u64,
+    /// Guest instructions executed.
+    pub instructions: u64,
+    /// Whether the machine halted (or all threads exited) inside the epoch.
+    pub finished: bool,
+}
+
+/// Drives one epoch of thread-parallel execution.
+pub struct TpRunner<'a> {
+    config: &'a DoublePlayConfig,
+    rng: HiddenRng,
+    /// Last thread to perform a *writing* atomic on each address. Persists
+    /// across epochs: a lock can be held across an epoch boundary, and its
+    /// owner's identity is what pins contended accesses in the hint.
+    owners: BTreeMap<dp_vm::Word, Tid>,
+}
+
+/// Mutable per-epoch logging state threaded through the helpers.
+struct EpochLogs {
+    syscalls: SyscallLog,
+    hint: ScheduleLog,
+    /// Instructions executed per thread since its last hint emission.
+    acc: BTreeMap<Tid, u64>,
+}
+
+impl EpochLogs {
+    fn emit(&mut self, tid: Tid) {
+        if let Some(n) = self.acc.remove(&tid) {
+            self.hint.push_slice(tid, n);
+        }
+    }
+
+    fn accumulate(&mut self, tid: Tid, instrs: u64) {
+        if instrs > 0 {
+            *self.acc.entry(tid).or_insert(0) += instrs;
+        }
+    }
+}
+
+impl<'a> TpRunner<'a> {
+    /// Creates a runner; the hidden RNG persists across epochs so the whole
+    /// run sees one nondeterministic schedule stream.
+    pub fn new(config: &'a DoublePlayConfig) -> Self {
+        TpRunner {
+            config,
+            rng: HiddenRng::new(config.hidden_seed),
+            owners: BTreeMap::new(),
+        }
+    }
+
+    /// Runs one epoch of at most `epoch_cycles` (per-CPU) on the live
+    /// state, logging nondeterministic syscall results and the schedule
+    /// hint.
+    ///
+    /// # Errors
+    ///
+    /// Returns guest faults and true deadlocks.
+    pub fn run_epoch(
+        &mut self,
+        machine: &mut Machine,
+        kernel: &mut Kernel,
+        epoch_start: u64,
+        epoch_cycles: u64,
+    ) -> Result<TpEpochOutcome, RecordError> {
+        let cpus = self.config.cpus;
+        let end = epoch_start + epoch_cycles;
+        let switch = kernel.cost_model().context_switch;
+        let mut clocks = vec![epoch_start; cpus];
+        let mut last_thread: Vec<Option<Tid>> = vec![None; cpus];
+        let mut available_at: BTreeMap<Tid, u64> = BTreeMap::new();
+        let mut logs = EpochLogs {
+            syscalls: SyscallLog::new(),
+            hint: ScheduleLog::new(),
+            acc: BTreeMap::new(),
+        };
+        let mut instructions = 0u64;
+
+        loop {
+            if machine.halted().is_some() || machine.live_threads() == 0 {
+                break;
+            }
+            // Least-advanced CPU that still has time in this epoch.
+            let cpu = match (0..cpus)
+                .filter(|&c| clocks[c] < end)
+                .min_by_key(|&c| (clocks[c], c))
+            {
+                Some(c) => c,
+                None => break, // epoch complete
+            };
+            let now = clocks[cpu];
+
+            // Expire timers and retry blocked I/O as of this CPU's time.
+            let wakes = kernel.advance_time(machine, now);
+            self.log_wakes(&mut logs, &wakes);
+
+            // Threads runnable on this CPU right now.
+            let eligible: Vec<Tid> = machine
+                .threads()
+                .iter()
+                .filter(|t| t.is_ready())
+                .map(|t| t.tid)
+                .filter(|t| available_at.get(t).copied().unwrap_or(0) <= now)
+                .collect();
+
+            let Some(&tid) = eligible.get(self.rng.below(eligible.len() as u64) as usize) else {
+                // Nothing to run here now: hop this CPU's clock forward to
+                // the next point at which work could exist.
+                let next_avail = machine
+                    .threads()
+                    .iter()
+                    .filter(|t| t.is_ready())
+                    .filter_map(|t| available_at.get(&t.tid).copied())
+                    .filter(|&at| at > now)
+                    .min();
+                let next_event = kernel.next_event_time(now);
+                match [next_avail, next_event].into_iter().flatten().min() {
+                    Some(t) => clocks[cpu] = t.clamp(now + 1, end),
+                    None => {
+                        let any_ready = machine.threads().iter().any(|t| t.is_ready());
+                        if any_ready {
+                            clocks[cpu] = end;
+                        } else if machine.live_threads() > 0 {
+                            return Err(RecordError::Deadlock {
+                                blocked: machine.live_threads(),
+                            });
+                        }
+                    }
+                }
+                continue;
+            };
+
+            // Signal delivery happens at micro-slice boundaries; the hint
+            // records the exact position in the thread's stream.
+            if let Some((sig, handler)) = kernel.take_pending_signal(tid) {
+                logs.emit(tid);
+                logs.hint.push_signal(tid, sig);
+                machine.push_signal_frame(tid, handler, &[sig]);
+            }
+
+            // Jittered micro-slice, capped to the epoch.
+            let quantum = self.config.tp_quantum + self.rng.below(self.config.tp_jitter + 1);
+            let budget = quantum.min(end - now).max(1);
+            let run = machine.run_slice(
+                tid,
+                SliceLimits::budget(budget).stopping_at_atomics(),
+                &mut NullObserver,
+            )?;
+            instructions += run.executed;
+            logs.accumulate(tid, run.executed);
+            let mut slice_cycles = run.executed;
+            if last_thread[cpu] != Some(tid) {
+                slice_cycles += switch;
+                last_thread[cpu] = Some(tid);
+            }
+
+            match run.stop {
+                StopReason::Budget | StopReason::IcountTarget => {
+                    // Plain chunk continues accumulating: the interleaving
+                    // at this boundary is hidden from the hint.
+                }
+                StopReason::Atomic { addr, wrote } => {
+                    // Sync point. A cross-thread atomic access is ordered
+                    // both ways: it observes the owner's last write (and,
+                    // for locks, its plain release store), so the owner's
+                    // accumulated chunk must precede this thread's — and it
+                    // must itself precede whatever the owner does next
+                    // (e.g. a failed lock CAS precedes the holder's
+                    // release), so this thread's own chunk is pinned here
+                    // too. Same-thread re-accesses impose no cross-thread
+                    // ordering and keep coalescing, which is what keeps the
+                    // schedule log small for low-contention programs. Only
+                    // *writing* atomics take ownership — a failed CAS
+                    // merely read.
+                    if let Some(&prev) = self.owners.get(&addr) {
+                        if prev != tid {
+                            logs.emit(prev);
+                            logs.emit(tid);
+                        }
+                    }
+                    if wrote {
+                        self.owners.insert(addr, tid);
+                    }
+                }
+                StopReason::Exited => {
+                    logs.emit(tid);
+                    let wakes = kernel.on_thread_exited(machine, tid);
+                    self.log_wakes(&mut logs, &wakes);
+                }
+                StopReason::Syscall(req) => {
+                    logs.emit(tid);
+                    let arg_hash = request_hash(machine, &req);
+                    let out = kernel.handle(machine, req, now + slice_cycles);
+                    slice_cycles += out.cost;
+                    if abi::is_logged(req.num) {
+                        match out.disposition {
+                            Disposition::Done { ret } => logs.syscalls.push(SyscallLogEntry {
+                                tid,
+                                num: req.num,
+                                arg_hash,
+                                ret,
+                                effect: out.effect,
+                                via_wake: false,
+                            }),
+                            Disposition::Blocked => {
+                                // Digested at wake time from the stored
+                                // request (`Wake::req`).
+                            }
+                            Disposition::ThreadExited | Disposition::Halted { .. } => {}
+                        }
+                    }
+                    self.log_wakes(&mut logs, &out.wakes);
+                }
+            }
+            clocks[cpu] = now + slice_cycles;
+            available_at.insert(tid, clocks[cpu]);
+        }
+
+        // Trailing plain chunks, canonically in thread order.
+        let trailing: Vec<Tid> = logs.acc.keys().copied().collect();
+        for tid in trailing {
+            logs.emit(tid);
+        }
+
+        let max_clock = clocks.iter().copied().max().unwrap_or(epoch_start);
+        let finished = machine.halted().is_some() || machine.live_threads() == 0;
+        Ok(TpEpochOutcome {
+            syscalls: logs.syscalls,
+            hint: logs.hint,
+            cycles: max_clock.saturating_sub(epoch_start).max(1),
+            instructions,
+            finished,
+        })
+    }
+
+    fn log_wakes(&mut self, logs: &mut EpochLogs, wakes: &[Wake]) {
+        for w in wakes {
+            if abi::is_logged(w.num) {
+                logs.hint.push_wake(w.tid);
+                logs.syscalls.push(SyscallLogEntry {
+                    tid: w.tid,
+                    num: w.num,
+                    arg_hash: request_hash_args(&w.req),
+                    ret: w.ret,
+                    effect: w.effect.clone(),
+                    via_wake: true,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::GuestSpec;
+    use dp_os::kernel::WorldConfig;
+    use dp_vm::builder::ProgramBuilder;
+    use dp_vm::Reg;
+    use std::sync::Arc;
+
+    fn racy_spec() -> GuestSpec {
+        crate::record::testutil::racy_counter_spec(5000)
+    }
+
+    fn run_to_halt(spec: &GuestSpec, config: &DoublePlayConfig) -> (Machine, u64) {
+        let (mut machine, mut kernel) = spec.boot();
+        let mut tp = TpRunner::new(config);
+        let mut t = 0u64;
+        for _ in 0..10_000 {
+            let out = tp
+                .run_epoch(&mut machine, &mut kernel, t, config.epoch_cycles)
+                .unwrap();
+            t += out.cycles;
+            if out.finished {
+                return (machine, t);
+            }
+        }
+        panic!("did not halt");
+    }
+
+    #[test]
+    fn same_seed_reproduces_same_interleaving() {
+        let spec = racy_spec();
+        let config = DoublePlayConfig::new(2).epoch_cycles(3_000);
+        let (m1, t1) = run_to_halt(&spec, &config);
+        let (m2, t2) = run_to_halt(&spec, &config);
+        assert_eq!(m1.state_hash(), m2.state_hash());
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn racy_program_loses_updates_under_some_seed() {
+        // With unsynchronized increments interleaved at micro-slice
+        // granularity, at least one of several seeds must lose updates.
+        let spec = racy_spec();
+        let mut saw_loss = false;
+        let mut results = Vec::new();
+        for seed in 0..8 {
+            let config = DoublePlayConfig {
+                tp_quantum: 300,
+                tp_jitter: 400,
+                ..DoublePlayConfig::new(2).epoch_cycles(2_500).hidden_seed(seed)
+            };
+            let (m, _) = run_to_halt(&spec, &config);
+            let count = m.halted().unwrap();
+            results.push(count);
+            assert!(count <= 10_000);
+            if count < 10_000 {
+                saw_loss = true;
+            }
+        }
+        assert!(
+            saw_loss,
+            "no seed lost updates; interleaving too coarse: {results:?}"
+        );
+    }
+
+    #[test]
+    fn logged_syscalls_are_captured() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        f.syscall(abi::SYS_CLOCK);
+        f.syscall(abi::SYS_RANDOM);
+        f.syscall(abi::SYS_GETTID); // det class: not logged
+        f.consti(Reg(0), 0);
+        f.syscall(abi::SYS_EXIT);
+        f.finish();
+        let spec = GuestSpec::new(
+            "syscalls",
+            Arc::new(pb.finish("main")),
+            WorldConfig::default(),
+        );
+        let config = DoublePlayConfig::new(2);
+        let (mut machine, mut kernel) = spec.boot();
+        let mut tp = TpRunner::new(&config);
+        let out = tp
+            .run_epoch(&mut machine, &mut kernel, 0, config.epoch_cycles)
+            .unwrap();
+        assert!(out.finished);
+        let nums: Vec<u32> = out.syscalls.entries().iter().map(|e| e.num).collect();
+        assert_eq!(nums, vec![abi::SYS_CLOCK, abi::SYS_RANDOM]);
+        assert!(out.syscalls.entries().iter().all(|e| !e.via_wake));
+    }
+
+    #[test]
+    fn sleep_completion_is_logged_with_pending_hash_and_wake_event() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        f.consti(Reg(0), 5_000);
+        f.syscall(abi::SYS_SLEEP);
+        f.consti(Reg(0), 0);
+        f.syscall(abi::SYS_EXIT);
+        f.finish();
+        let spec = GuestSpec::new(
+            "sleeper",
+            Arc::new(pb.finish("main")),
+            WorldConfig::default(),
+        );
+        let config = DoublePlayConfig::new(1).epoch_cycles(1_000_000);
+        let (mut machine, mut kernel) = spec.boot();
+        let mut tp = TpRunner::new(&config);
+        let out = tp
+            .run_epoch(&mut machine, &mut kernel, 0, config.epoch_cycles)
+            .unwrap();
+        assert!(out.finished);
+        assert_eq!(out.syscalls.len(), 1);
+        let e = &out.syscalls.entries()[0];
+        assert_eq!(e.num, abi::SYS_SLEEP);
+        assert!(e.via_wake);
+        assert_ne!(e.arg_hash, 0, "pending hash must be attached at wake");
+        // The hint contains the wake delivery point.
+        assert!(out
+            .hint
+            .events()
+            .iter()
+            .any(|ev| matches!(ev, crate::logs::SchedEvent::LoggedWake { .. })));
+    }
+
+    #[test]
+    fn hint_slices_cover_all_instructions() {
+        let spec = racy_spec();
+        let config = DoublePlayConfig::new(2).epoch_cycles(4_000);
+        let (mut machine, mut kernel) = spec.boot();
+        let mut tp = TpRunner::new(&config);
+        let out = tp
+            .run_epoch(&mut machine, &mut kernel, 0, config.epoch_cycles)
+            .unwrap();
+        assert_eq!(out.hint.total_instructions(), out.instructions);
+        // Per-thread hint totals equal per-thread icounts.
+        let mut per_tid: BTreeMap<Tid, u64> = BTreeMap::new();
+        for ev in out.hint.events() {
+            if let crate::logs::SchedEvent::Slice { tid, instrs } = ev {
+                *per_tid.entry(*tid).or_insert(0) += instrs;
+            }
+        }
+        for t in machine.threads() {
+            assert_eq!(
+                per_tid.get(&t.tid).copied().unwrap_or(0),
+                t.icount,
+                "hint does not cover {}'s instructions",
+                t.tid
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_boundaries_partition_execution() {
+        let spec = racy_spec();
+        let config = DoublePlayConfig::new(2).epoch_cycles(2_000);
+        let (mut machine, mut kernel) = spec.boot();
+        let mut tp = TpRunner::new(&config);
+        let mut epochs = 0;
+        let mut t = 0;
+        loop {
+            let out = tp
+                .run_epoch(&mut machine, &mut kernel, t, config.epoch_cycles)
+                .unwrap();
+            t += out.cycles;
+            epochs += 1;
+            if out.finished {
+                break;
+            }
+            assert!(out.cycles <= config.epoch_cycles + config.tp_quantum * 4);
+        }
+        assert!(epochs > 3, "expected multiple epochs, got {epochs}");
+    }
+}

@@ -1,0 +1,209 @@
+//! Recordings: the persistent artifact a DoublePlay run produces.
+//!
+//! A recording is *complete*: given the same [`crate::GuestSpec`] (verified
+//! by program hash), any consumer can re-create the recorded execution —
+//! sequentially from the initial state, or epoch-by-epoch in parallel when
+//! per-epoch checkpoints were kept.
+
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+use crate::checkpoint::CheckpointImage;
+use crate::config::DoublePlayConfig;
+use crate::logs::{codec, ScheduleLog, SyscallLog};
+use dp_os::kernel::ExternalChunk;
+
+/// Identity and configuration of a recording.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecordingMeta {
+    /// Name of the recorded guest.
+    pub guest_name: String,
+    /// Content hash of the recorded program.
+    pub program_hash: u64,
+    /// Digest of the boot state.
+    pub initial_machine_hash: u64,
+    /// The recorder configuration used.
+    pub config: DoublePlayConfig,
+}
+
+/// One epoch of the recorded execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// Epoch number (0-based).
+    pub index: u32,
+    /// Time-slice order of the epoch-parallel execution.
+    pub schedule: ScheduleLog,
+    /// Logged-class syscall results consumed within the epoch.
+    pub syscalls: SyscallLog,
+    /// Digest of the machine state at the epoch's end.
+    pub end_machine_hash: u64,
+    /// External output released when this epoch committed.
+    pub external: Vec<ExternalChunk>,
+    /// Start-of-epoch checkpoint (present when the recorder kept
+    /// checkpoints; enables parallel replay and replay-to-point).
+    pub start: Option<CheckpointImage>,
+    /// Thread-parallel wall cycles of the epoch (diagnostics).
+    pub tp_cycles: u64,
+}
+
+/// A complete recording.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Recording {
+    /// Identity and configuration.
+    pub meta: RecordingMeta,
+    /// The boot state.
+    pub initial: CheckpointImage,
+    /// Epochs in order.
+    pub epochs: Vec<EpochRecord>,
+}
+
+impl Recording {
+    /// Encoded size of all schedule logs (compact wire format).
+    pub fn schedule_bytes(&self) -> u64 {
+        self.epochs
+            .iter()
+            .map(|e| codec::encode_schedule(&e.schedule).len() as u64)
+            .sum()
+    }
+
+    /// Encoded size of all syscall logs.
+    pub fn syscall_bytes(&self) -> u64 {
+        self.epochs
+            .iter()
+            .map(|e| codec::encode_syscalls(&e.syscalls).len() as u64)
+            .sum()
+    }
+
+    /// Total encoded log size (the paper's log-size metric; checkpoints are
+    /// accounted separately, as in the paper).
+    pub fn log_bytes(&self) -> u64 {
+        self.schedule_bytes() + self.syscall_bytes()
+    }
+
+    /// All external output in commit order, flattened to bytes per
+    /// destination-agnostic stream (convenient for asserting console
+    /// output in tests and examples).
+    pub fn console_output(&self) -> Vec<u8> {
+        self.epochs
+            .iter()
+            .flat_map(|e| e.external.iter())
+            .filter(|c| matches!(c.dest, dp_os::kernel::ExternalDest::Console))
+            .flat_map(|c| c.bytes.iter().copied())
+            .collect()
+    }
+
+    /// All external output chunks in commit order.
+    pub fn external(&self) -> impl Iterator<Item = &ExternalChunk> {
+        self.epochs.iter().flat_map(|e| e.external.iter())
+    }
+
+    /// Total schedule events across epochs.
+    pub fn schedule_events(&self) -> u64 {
+        self.epochs.iter().map(|e| e.schedule.len() as u64).sum()
+    }
+
+    /// Total logged syscalls across epochs.
+    pub fn logged_syscalls(&self) -> u64 {
+        self.epochs.iter().map(|e| e.syscalls.len() as u64).sum()
+    }
+
+    /// True when every epoch carries a start checkpoint.
+    pub fn has_checkpoints(&self) -> bool {
+        self.epochs.iter().all(|e| e.start.is_some())
+    }
+
+    /// Serializes the recording to a writer (bincode).
+    ///
+    /// # Errors
+    ///
+    /// I/O or encoding failures.
+    pub fn save<W: Write>(&self, writer: W) -> Result<(), bincode::Error> {
+        bincode::serialize_into(writer, self)
+    }
+
+    /// Deserializes a recording from a reader.
+    ///
+    /// # Errors
+    ///
+    /// I/O or decoding failures.
+    pub fn load<R: Read>(reader: R) -> Result<Self, bincode::Error> {
+        bincode::deserialize_from(reader)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_os::kernel::ExternalDest;
+    use dp_vm::Tid;
+
+    fn tiny_recording() -> Recording {
+        let mut schedule = ScheduleLog::new();
+        schedule.push_slice(Tid(0), 100);
+        Recording {
+            meta: RecordingMeta {
+                guest_name: "t".into(),
+                program_hash: 1,
+                initial_machine_hash: 2,
+                config: DoublePlayConfig::new(2),
+            },
+            initial: CheckpointImage {
+                machine: dp_vm::Machine::new(
+                    std::sync::Arc::new({
+                        let mut pb = dp_vm::builder::ProgramBuilder::new();
+                        let mut f = pb.function("main");
+                        f.ret();
+                        f.finish();
+                        pb.finish("main")
+                    }),
+                    &[],
+                )
+                .image(),
+                kernel: dp_os::kernel::Kernel::new(Default::default()),
+                machine_hash: 2,
+            },
+            epochs: vec![EpochRecord {
+                index: 0,
+                schedule,
+                syscalls: SyscallLog::new(),
+                end_machine_hash: 3,
+                external: vec![ExternalChunk {
+                    dest: ExternalDest::Console,
+                    bytes: b"hi".to_vec(),
+                }],
+                start: None,
+                tp_cycles: 500,
+            }],
+        }
+    }
+
+    #[test]
+    fn size_accounting() {
+        let r = tiny_recording();
+        assert!(r.schedule_bytes() > 0);
+        assert!(r.syscall_bytes() > 0); // count prefix
+        assert_eq!(r.log_bytes(), r.schedule_bytes() + r.syscall_bytes());
+        assert_eq!(r.schedule_events(), 1);
+        assert_eq!(r.logged_syscalls(), 0);
+        assert!(!r.has_checkpoints());
+    }
+
+    #[test]
+    fn console_output_concatenates() {
+        let r = tiny_recording();
+        assert_eq!(r.console_output(), b"hi");
+        assert_eq!(r.external().count(), 1);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let r = tiny_recording();
+        let mut buf = Vec::new();
+        r.save(&mut buf).unwrap();
+        let back = Recording::load(&buf[..]).unwrap();
+        assert_eq!(back.meta.guest_name, "t");
+        assert_eq!(back.epochs.len(), 1);
+        assert_eq!(back.epochs[0].end_machine_hash, 3);
+        assert_eq!(back.console_output(), b"hi");
+    }
+}

@@ -1,0 +1,98 @@
+//! Recorder statistics: the numbers behind every table and figure.
+
+use serde::{Deserialize, Serialize};
+
+/// Measurements accumulated while recording one execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecorderStats {
+    /// Epochs recorded (committed + recovered).
+    pub epochs: u64,
+    /// Epochs that verified cleanly on the first try.
+    pub committed: u64,
+    /// Divergences detected (each triggers a live re-execution).
+    pub divergences: u64,
+    /// Guest instructions executed by the thread-parallel run.
+    pub tp_instructions: u64,
+    /// Pure thread-parallel execution cycles (no recording costs): the
+    /// timeline the thread-parallel side would take if recording were free.
+    pub tp_exec_cycles: u64,
+    /// Cycles charged for checkpoints (COW page copies).
+    pub checkpoint_cycles: u64,
+    /// Cycles charged for log writes.
+    pub log_write_cycles: u64,
+    /// Single-CPU cycles consumed by all epoch-parallel runs (worker
+    /// occupancy).
+    pub ep_cycles: u64,
+    /// Cycles spent re-executing divergent epochs live.
+    pub recovery_cycles: u64,
+    /// Thread-parallel work discarded by divergences (speculation beyond
+    /// the divergent epoch).
+    pub wasted_tp_cycles: u64,
+    /// Schedule-log bytes (encoded).
+    pub schedule_bytes: u64,
+    /// Syscall-log bytes (encoded).
+    pub syscall_bytes: u64,
+    /// Pages dirtied across all epochs (checkpoint COW traffic).
+    pub dirty_pages: u64,
+    /// End-to-end recorded runtime in simulated cycles (the uniparallel
+    /// pipeline's completion time).
+    pub recorded_cycles: u64,
+    /// Native runtime in simulated cycles (same thread-parallel execution,
+    /// no recording work) — measured by a separate clean run.
+    pub native_cycles: u64,
+}
+
+impl RecorderStats {
+    /// Total log bytes.
+    pub fn log_bytes(&self) -> u64 {
+        self.schedule_bytes + self.syscall_bytes
+    }
+
+    /// Recording overhead relative to native: `recorded/native - 1`.
+    /// The paper's headline metric ("15% with two worker threads").
+    pub fn overhead(&self) -> f64 {
+        if self.native_cycles == 0 {
+            return 0.0;
+        }
+        self.recorded_cycles as f64 / self.native_cycles as f64 - 1.0
+    }
+
+    /// Log production rate in bytes per million native cycles (the
+    /// analogue of the paper's log-size-per-second table).
+    pub fn log_bytes_per_mcycle(&self) -> f64 {
+        if self.native_cycles == 0 {
+            return 0.0;
+        }
+        self.log_bytes() as f64 * 1e6 / self.native_cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_math() {
+        let s = RecorderStats {
+            recorded_cycles: 115,
+            native_cycles: 100,
+            ..Default::default()
+        };
+        assert!((s.overhead() - 0.15).abs() < 1e-9);
+        let zero = RecorderStats::default();
+        assert_eq!(zero.overhead(), 0.0);
+        assert_eq!(zero.log_bytes_per_mcycle(), 0.0);
+    }
+
+    #[test]
+    fn log_byte_accounting() {
+        let s = RecorderStats {
+            schedule_bytes: 10,
+            syscall_bytes: 32,
+            native_cycles: 1_000_000,
+            ..Default::default()
+        };
+        assert_eq!(s.log_bytes(), 42);
+        assert!((s.log_bytes_per_mcycle() - 42.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,86 @@
+//! Guest specifications: a program plus the world it runs in.
+
+use dp_os::kernel::{Kernel, WorldConfig};
+use dp_vm::{Machine, Program, Word};
+use std::sync::Arc;
+
+/// Everything needed to boot (and re-boot, for replay) a guest execution:
+/// the program, the world script (files, network peers, entropy seed, cost
+/// model), and the entry arguments.
+///
+/// Recording and replay must start from *identical* worlds, so workloads
+/// hand around a `GuestSpec` rather than live machines.
+#[derive(Debug, Clone)]
+pub struct GuestSpec {
+    /// Display name (used in reports).
+    pub name: String,
+    /// The guest program.
+    pub program: Arc<Program>,
+    /// The world script.
+    pub world: WorldConfig,
+    /// Arguments passed to the entry function.
+    pub args: Vec<Word>,
+}
+
+impl GuestSpec {
+    /// Creates a spec.
+    pub fn new(name: impl Into<String>, program: Arc<Program>, world: WorldConfig) -> Self {
+        GuestSpec {
+            name: name.into(),
+            program,
+            world,
+            args: Vec::new(),
+        }
+    }
+
+    /// Sets entry arguments.
+    pub fn with_args(mut self, args: Vec<Word>) -> Self {
+        self.args = args;
+        self
+    }
+
+    /// Boots a fresh machine/kernel pair for this spec.
+    pub fn boot(&self) -> (Machine, Kernel) {
+        (
+            Machine::new(self.program.clone(), &self.args),
+            Kernel::new(self.world.clone()),
+        )
+    }
+
+    /// Stable identity of the guest (program content hash), used to pair
+    /// recordings with the right program.
+    pub fn program_hash(&self) -> u64 {
+        self.program.content_hash()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_vm::builder::ProgramBuilder;
+
+    fn spec() -> GuestSpec {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        f.ret();
+        f.finish();
+        GuestSpec::new("tiny", Arc::new(pb.finish("main")), WorldConfig::default())
+            .with_args(vec![5])
+    }
+
+    #[test]
+    fn boot_is_reproducible() {
+        let s = spec();
+        let (m1, k1) = s.boot();
+        let (m2, k2) = s.boot();
+        assert_eq!(m1.state_hash(), m2.state_hash());
+        assert_eq!(k1, k2);
+        assert_eq!(m1.thread(dp_vm::Tid(0)).regs[0], 5);
+    }
+
+    #[test]
+    fn program_hash_is_stable() {
+        let s = spec();
+        assert_eq!(s.program_hash(), spec().program_hash());
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests for the recording logs: codec roundtrips over arbitrary
+//! log contents, schedule-log coalescing invariants, and cursor semantics.
+
+use dp_core::logs::{
+    codec, SchedEvent, ScheduleLog, SyscallLog, SyscallLogEntry,
+};
+use dp_os::kernel::{ExternalChunk, ExternalDest, SyscallEffect};
+use dp_vm::Tid;
+use proptest::prelude::*;
+
+fn sched_event() -> impl Strategy<Value = SchedEvent> {
+    prop_oneof![
+        (0u32..8, 1u64..1_000_000).prop_map(|(t, n)| SchedEvent::Slice {
+            tid: Tid(t),
+            instrs: n
+        }),
+        (0u32..8).prop_map(|t| SchedEvent::LoggedWake { tid: Tid(t) }),
+        (0u32..8, 0u64..64).prop_map(|(t, s)| SchedEvent::Signal {
+            tid: Tid(t),
+            sig: s
+        }),
+    ]
+}
+
+fn syscall_entry() -> impl Strategy<Value = SyscallLogEntry> {
+    (
+        0u32..8,
+        0u32..28,
+        any::<u64>(),
+        any::<u64>(),
+        any::<bool>(),
+        proptest::collection::vec((any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)), 0..3),
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..2),
+    )
+        .prop_map(|(tid, num, arg_hash, ret, via_wake, writes, ext)| SyscallLogEntry {
+            tid: Tid(tid),
+            num,
+            arg_hash,
+            ret,
+            via_wake,
+            effect: SyscallEffect {
+                guest_writes: writes,
+                external: ext
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, bytes)| ExternalChunk {
+                        dest: if i % 2 == 0 {
+                            ExternalDest::Console
+                        } else {
+                            ExternalDest::Socket(1000 + i as u32)
+                        },
+                        bytes,
+                    })
+                    .collect(),
+            },
+        })
+}
+
+proptest! {
+    /// Any schedule log survives encode/decode bit-for-bit.
+    #[test]
+    fn schedule_codec_roundtrips(events in proptest::collection::vec(sched_event(), 0..200)) {
+        let log: ScheduleLog = events.into_iter().collect();
+        let encoded = codec::encode_schedule(&log);
+        let decoded = codec::decode_schedule(&encoded).unwrap();
+        prop_assert_eq!(decoded, log);
+    }
+
+    /// Any syscall log survives encode/decode, including effects.
+    #[test]
+    fn syscall_codec_roundtrips(entries in proptest::collection::vec(syscall_entry(), 0..60)) {
+        let log: SyscallLog = entries.into_iter().collect();
+        let encoded = codec::encode_syscalls(&log);
+        let decoded = codec::decode_syscalls(&encoded).unwrap();
+        prop_assert_eq!(decoded, log);
+    }
+
+    /// Truncating an encoded log never panics — it errors.
+    #[test]
+    fn truncated_logs_error_cleanly(
+        entries in proptest::collection::vec(syscall_entry(), 1..20),
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        let log: SyscallLog = entries.into_iter().collect();
+        let encoded = codec::encode_syscalls(&log);
+        let n = cut.index(encoded.len().max(1));
+        if n < encoded.len() {
+            // Either a clean decode error, or (if the cut landed after all
+            // payload) a successful prefix decode — never a panic.
+            let _ = codec::decode_syscalls(&encoded[..n]);
+        }
+    }
+
+    /// Coalescing preserves per-thread instruction totals and never leaves
+    /// two adjacent slices of the same thread.
+    #[test]
+    fn coalescing_preserves_totals(events in proptest::collection::vec(sched_event(), 0..300)) {
+        use std::collections::BTreeMap;
+        let mut expect: BTreeMap<Tid, u64> = BTreeMap::new();
+        for e in &events {
+            if let SchedEvent::Slice { tid, instrs } = e {
+                *expect.entry(*tid).or_insert(0) += instrs;
+            }
+        }
+        let log: ScheduleLog = events.into_iter().collect();
+        let mut got: BTreeMap<Tid, u64> = BTreeMap::new();
+        let mut prev: Option<Tid> = None;
+        for e in log.events() {
+            match e {
+                SchedEvent::Slice { tid, instrs } => {
+                    prop_assert!(*instrs > 0, "zero-length slice survived");
+                    prop_assert_ne!(prev, Some(*tid), "adjacent same-thread slices");
+                    *got.entry(*tid).or_insert(0) += instrs;
+                    prev = Some(*tid);
+                }
+                _ => prev = None,
+            }
+        }
+        prop_assert_eq!(log.total_instructions(), expect.values().sum::<u64>());
+        prop_assert_eq!(got, expect);
+    }
+
+    /// The per-thread cursor dispenses exactly the per-thread subsequences.
+    #[test]
+    fn cursor_is_a_partition(entries in proptest::collection::vec(syscall_entry(), 0..80)) {
+        let log: SyscallLog = entries.clone().into_iter().collect();
+        let mut cursor = log.cursor();
+        for tid in (0..8).map(Tid) {
+            let mine: Vec<&SyscallLogEntry> =
+                entries.iter().filter(|e| e.tid == tid).collect();
+            for want in mine {
+                let got = cursor.pop(tid).expect("cursor exhausted early");
+                prop_assert_eq!(got, want);
+            }
+            prop_assert!(cursor.pop(tid).is_none());
+        }
+        prop_assert!(cursor.exhausted());
+    }
+}

@@ -1,0 +1,246 @@
+//! The guest/kernel ABI: syscall numbers, argument conventions, error codes,
+//! and the determinism classification that record/replay is built on.
+//!
+//! # Argument convention
+//!
+//! Arguments are taken from `r0..r5` at the trap; the result is written to
+//! `r0` on completion. Errors are returned as negative values (two's
+//! complement in the `u64`), checked guest-side with a signed compare.
+//!
+//! # Determinism classification
+//!
+//! DoublePlay's epoch-parallel (recorded) execution re-executes syscalls
+//! whose results are a pure function of guest + kernel-snapshot state and
+//! the schedule (*re-executed* class), and consumes logged results for
+//! syscalls whose results depend on timing or cross the process boundary
+//! (*logged* class: clock, sleep, randomness, all socket traffic, console).
+//! This mirrors the paper's split between syscalls whose effects Speculator
+//! can re-produce and inputs that must be logged. [`is_logged`] encodes the
+//! classification; `dp-core` consults it in both the recorder and replayer.
+
+use dp_vm::Word;
+
+/// Halt the machine. `args: (code)`. Never returns.
+pub const SYS_EXIT: u32 = 0;
+/// Spawn a thread. `args: (func_id, a0, a1)` → new tid.
+pub const SYS_SPAWN: u32 = 1;
+/// Exit the calling thread. `args: (exit_value)`. Never returns.
+pub const SYS_THREAD_EXIT: u32 = 2;
+/// Wait for a thread to exit. `args: (tid)` → its exit value. Blocks.
+pub const SYS_JOIN: u32 = 3;
+/// Yield the processor (scheduling hint only). → 0.
+pub const SYS_YIELD: u32 = 4;
+/// Sleep until `mem[addr] != expected`, `args: (addr, expected)` →
+/// 0 if woken, 1 if the value already differed. Blocks.
+pub const SYS_FUTEX_WAIT: u32 = 5;
+/// Wake up to `count` waiters on `addr`. `args: (addr, count)` → woken.
+pub const SYS_FUTEX_WAKE: u32 = 6;
+/// → the calling thread's id.
+pub const SYS_GETTID: u32 = 7;
+/// → current virtual time in cycles. **Logged.**
+pub const SYS_CLOCK: u32 = 8;
+/// Sleep for `args: (cycles)` → 0. Blocks. **Logged.**
+pub const SYS_SLEEP: u32 = 9;
+/// → 64 random bits from the kernel entropy stream. **Logged.**
+pub const SYS_RANDOM: u32 = 10;
+/// Grow the heap. `args: (bytes)` → previous break address.
+pub const SYS_SBRK: u32 = 11;
+/// Open a file. `args: (path_ptr, path_len, flags)` → fd.
+pub const SYS_OPEN: u32 = 12;
+/// Close an fd. `args: (fd)` → 0.
+pub const SYS_CLOSE: u32 = 13;
+/// Read from a file. `args: (fd, buf, len)` → bytes read.
+pub const SYS_READ: u32 = 14;
+/// Write to a file. `args: (fd, buf, len)` → bytes written.
+pub const SYS_WRITE: u32 = 15;
+/// Reposition a file offset. `args: (fd, offset, whence)` → new offset.
+pub const SYS_LSEEK: u32 = 16;
+/// → size in bytes of the open file `args: (fd)`.
+pub const SYS_FSIZE: u32 = 17;
+/// Delete a file. `args: (path_ptr, path_len)` → 0.
+pub const SYS_UNLINK: u32 = 18;
+/// Write bytes to the (external) console. `args: (buf, len)` → len.
+/// **Logged** (external output).
+pub const SYS_CONSOLE: u32 = 19;
+/// Create a client socket connected to peer `args: (peer_id)` → fd.
+/// **Logged.**
+pub const SYS_CONNECT: u32 = 20;
+/// Send on a socket. `args: (fd, buf, len)` → bytes sent. **Logged.**
+pub const SYS_SEND: u32 = 21;
+/// Receive from a socket. `args: (fd, buf, len)` → bytes received
+/// (0 = peer closed). Blocks. **Logged.**
+pub const SYS_RECV: u32 = 22;
+/// Open a listening endpoint. `args: (port)` → listener fd. **Logged.**
+pub const SYS_LISTEN: u32 = 23;
+/// Accept a connection. `args: (listener_fd)` → socket fd. Blocks.
+/// **Logged.**
+pub const SYS_ACCEPT: u32 = 24;
+/// Install a signal handler. `args: (sig, func_id)` → 0.
+pub const SYS_SIGACTION: u32 = 25;
+/// Post a signal to a thread. `args: (tid, sig)` → 0.
+pub const SYS_KILL: u32 = 26;
+/// Close a socket / listener. `args: (fd)` → 0. **Logged.**
+pub const SYS_SOCK_CLOSE: u32 = 27;
+
+/// Number of distinct syscalls (for table sizing / fuzzing).
+pub const SYSCALL_COUNT: u32 = 28;
+
+/// `open` flag: read-only.
+pub const O_RDONLY: Word = 0;
+/// `open` flag: write, create if missing, truncate.
+pub const O_WRONLY: Word = 1;
+/// `open` flag: read-write, create if missing, keep contents.
+pub const O_RDWR: Word = 2;
+/// `open` flag: write, create if missing, append.
+pub const O_APPEND: Word = 3;
+
+/// `lseek` whence: absolute.
+pub const SEEK_SET: Word = 0;
+/// `lseek` whence: relative to current.
+pub const SEEK_CUR: Word = 1;
+/// `lseek` whence: relative to end.
+pub const SEEK_END: Word = 2;
+
+/// Error: bad file descriptor.
+pub const EBADF: i64 = -9;
+/// Error: no such file.
+pub const ENOENT: i64 = -2;
+/// Error: invalid argument.
+pub const EINVAL: i64 = -22;
+/// Error: no such syscall.
+pub const ENOSYS: i64 = -38;
+/// Error: operation on something that does not support it.
+pub const EPERM: i64 = -1;
+
+/// Encodes an errno as a syscall return value.
+#[inline]
+pub fn err(e: i64) -> Word {
+    e as Word
+}
+
+/// True if a syscall return value signals an error.
+#[inline]
+pub fn is_err(ret: Word) -> bool {
+    (ret as i64) < 0
+}
+
+/// True for syscalls whose results are **logged** during recording and
+/// consumed from the log by the epoch-parallel execution and the replayer;
+/// false for syscalls that are deterministically re-executed.
+///
+/// Futex operations are logged even though the simulated kernel could
+/// re-execute them: a futex wait's block-or-return outcome races (benignly)
+/// with the unlocking store, so it is timing-dependent in exactly the way
+/// the paper's syscall-result logging absorbs.
+pub fn is_logged(num: u32) -> bool {
+    matches!(
+        num,
+        SYS_CLOCK
+            | SYS_SLEEP
+            | SYS_RANDOM
+            | SYS_FUTEX_WAIT
+            | SYS_FUTEX_WAKE
+            | SYS_CONSOLE
+            | SYS_CONNECT
+            | SYS_SEND
+            | SYS_RECV
+            | SYS_LISTEN
+            | SYS_ACCEPT
+            | SYS_SOCK_CLOSE
+    )
+}
+
+/// True for syscalls that may block the calling thread.
+pub fn may_block(num: u32) -> bool {
+    matches!(
+        num,
+        SYS_JOIN | SYS_FUTEX_WAIT | SYS_SLEEP | SYS_RECV | SYS_ACCEPT
+    )
+}
+
+/// Human-readable name of a syscall (diagnostics, log dumps).
+pub fn name(num: u32) -> &'static str {
+    match num {
+        SYS_EXIT => "exit",
+        SYS_SPAWN => "spawn",
+        SYS_THREAD_EXIT => "thread_exit",
+        SYS_JOIN => "join",
+        SYS_YIELD => "yield",
+        SYS_FUTEX_WAIT => "futex_wait",
+        SYS_FUTEX_WAKE => "futex_wake",
+        SYS_GETTID => "gettid",
+        SYS_CLOCK => "clock",
+        SYS_SLEEP => "sleep",
+        SYS_RANDOM => "random",
+        SYS_SBRK => "sbrk",
+        SYS_OPEN => "open",
+        SYS_CLOSE => "close",
+        SYS_READ => "read",
+        SYS_WRITE => "write",
+        SYS_LSEEK => "lseek",
+        SYS_FSIZE => "fsize",
+        SYS_UNLINK => "unlink",
+        SYS_CONSOLE => "console",
+        SYS_CONNECT => "connect",
+        SYS_SEND => "send",
+        SYS_RECV => "recv",
+        SYS_LISTEN => "listen",
+        SYS_ACCEPT => "accept",
+        SYS_SIGACTION => "sigaction",
+        SYS_KILL => "kill",
+        SYS_SOCK_CLOSE => "sock_close",
+        _ => "unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_encoding_roundtrips() {
+        assert!(is_err(err(EBADF)));
+        assert!(is_err(err(ENOENT)));
+        assert!(!is_err(0));
+        assert!(!is_err(12345));
+        assert_eq!(err(EBADF) as i64, -9);
+    }
+
+    #[test]
+    fn logged_class_is_exactly_the_timing_and_boundary_syscalls() {
+        let logged: Vec<u32> = (0..SYSCALL_COUNT).filter(|&n| is_logged(n)).collect();
+        assert_eq!(
+            logged,
+            vec![
+                SYS_FUTEX_WAIT,
+                SYS_FUTEX_WAKE,
+                SYS_CLOCK,
+                SYS_SLEEP,
+                SYS_RANDOM,
+                SYS_CONSOLE,
+                SYS_CONNECT,
+                SYS_SEND,
+                SYS_RECV,
+                SYS_LISTEN,
+                SYS_ACCEPT,
+                SYS_SOCK_CLOSE
+            ]
+        );
+    }
+
+    #[test]
+    fn blocking_class() {
+        assert!(may_block(SYS_FUTEX_WAIT));
+        assert!(may_block(SYS_RECV));
+        assert!(!may_block(SYS_FUTEX_WAKE));
+        assert!(!may_block(SYS_GETTID));
+    }
+
+    #[test]
+    fn every_syscall_has_a_name() {
+        for n in 0..SYSCALL_COUNT {
+            assert_ne!(name(n), "unknown", "syscall {n} unnamed");
+        }
+        assert_eq!(name(999), "unknown");
+    }
+}

@@ -1,0 +1,270 @@
+//! A plain round-robin executor: one simulated CPU, no recording.
+//!
+//! This is the reference semantics for guest programs — the workload test
+//! suites use it to establish expected results, and the DoublePlay drivers
+//! in `dp-core` must agree with it bit-for-bit when given equivalent
+//! schedules. It also exercises the kernel's blocking/waking machinery.
+
+use dp_vm::observer::NullObserver;
+use dp_vm::{Fault, Machine, SliceLimits, StopReason, Tid, Word};
+
+use crate::kernel::{Disposition, Kernel};
+
+/// Why a [`DirectExecutor`] run ended abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A guest thread faulted.
+    Fault(Fault),
+    /// No thread is runnable, nothing is pending, and no future event
+    /// exists: the guest deadlocked.
+    Deadlock {
+        /// Threads alive (all blocked) at the deadlock.
+        blocked: usize,
+    },
+    /// The instruction budget was exhausted before the guest finished.
+    BudgetExhausted,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Fault(fault) => write!(f, "guest fault: {fault}"),
+            ExecError::Deadlock { blocked } => {
+                write!(f, "guest deadlock with {blocked} blocked threads")
+            }
+            ExecError::BudgetExhausted => write!(f, "instruction budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<Fault> for ExecError {
+    fn from(fault: Fault) -> Self {
+        ExecError::Fault(fault)
+    }
+}
+
+/// Outcome of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// Total guest instructions executed.
+    pub instructions: u64,
+    /// Simulated cycles consumed (instructions + syscall and switch costs).
+    pub cycles: u64,
+    /// The machine's exit code if it halted via `exit`, else `None`
+    /// (all threads returned).
+    pub exit_code: Option<Word>,
+    /// Number of scheduling slices executed.
+    pub slices: u64,
+}
+
+/// Round-robin single-CPU executor.
+#[derive(Debug, Clone, Copy)]
+pub struct DirectExecutor {
+    /// Instructions per scheduling quantum.
+    pub quantum: u64,
+}
+
+impl Default for DirectExecutor {
+    fn default() -> Self {
+        DirectExecutor { quantum: 10_000 }
+    }
+}
+
+impl DirectExecutor {
+    /// Runs the guest to completion (halt or all threads exited).
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Fault`] if guest code faults, [`ExecError::Deadlock`]
+    /// if no progress is possible, [`ExecError::BudgetExhausted`] if
+    /// `max_instrs` is consumed first.
+    pub fn run(
+        &self,
+        machine: &mut Machine,
+        kernel: &mut Kernel,
+        max_instrs: u64,
+    ) -> Result<ExecOutcome, ExecError> {
+        let mut instructions = 0u64;
+        let mut cycles = 0u64;
+        let mut slices = 0u64;
+        let mut cursor = 0usize;
+        let switch_cost = kernel.cost_model().context_switch;
+
+        loop {
+            if machine.halted().is_some() || machine.live_threads() == 0 {
+                return Ok(ExecOutcome {
+                    instructions,
+                    cycles,
+                    exit_code: machine.halted(),
+                    slices,
+                });
+            }
+            if instructions >= max_instrs {
+                return Err(ExecError::BudgetExhausted);
+            }
+
+            // Pick the next ready thread round-robin from the cursor.
+            let n = machine.threads().len();
+            let pick = (0..n)
+                .map(|i| (cursor + i) % n)
+                .find(|&i| machine.threads()[i].is_ready());
+            let Some(idx) = pick else {
+                // Nobody is ready: advance virtual time to the next event.
+                match kernel.next_event_time(cycles) {
+                    Some(t) => {
+                        cycles = cycles.max(t);
+                        kernel.advance_time(machine, cycles);
+                        continue;
+                    }
+                    None => {
+                        return Err(ExecError::Deadlock {
+                            blocked: machine.live_threads(),
+                        })
+                    }
+                }
+            };
+            cursor = (idx + 1) % n;
+            let tid = Tid(idx as u32);
+
+            // Deliver one pending signal at the slice boundary.
+            if let Some((sig, handler)) = kernel.take_pending_signal(tid) {
+                machine.push_signal_frame(tid, handler, &[sig]);
+            }
+
+            slices += 1;
+            cycles += switch_cost;
+            let run = machine.run_slice(tid, SliceLimits::budget(self.quantum), &mut NullObserver)?;
+            instructions += run.executed;
+            cycles += run.executed;
+            match run.stop {
+                StopReason::Budget | StopReason::IcountTarget | StopReason::Atomic { .. } => {}
+                StopReason::Exited => {
+                    kernel.on_thread_exited(machine, tid);
+                }
+                StopReason::Syscall(req) => {
+                    let out = kernel.handle(machine, req, cycles);
+                    cycles += out.cost;
+                    if let Disposition::Halted { .. } = out.disposition {
+                        continue; // loop exits at the top
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abi;
+    use crate::kernel::WorldConfig;
+    use dp_vm::builder::ProgramBuilder;
+    use dp_vm::Reg;
+    use std::sync::Arc;
+
+    #[test]
+    fn runs_spawn_join_to_completion() {
+        let mut pb = ProgramBuilder::new();
+        let mut w = pb.function("worker");
+        w.mov(Reg(2), Reg(0)); // arg
+        w.mul(Reg(0), Reg(2), 2i64);
+        w.syscall(abi::SYS_THREAD_EXIT);
+        w.finish();
+        let worker = pb.declare("worker");
+        let mut f = pb.function("main");
+        f.consti(Reg(0), worker.0 as i64);
+        f.consti(Reg(1), 21);
+        f.consti(Reg(2), 0);
+        f.syscall(abi::SYS_SPAWN);
+        f.mov(Reg(0), Reg(0)); // tid in r0
+        f.syscall(abi::SYS_JOIN);
+        f.syscall(abi::SYS_EXIT); // exit(join result)
+        f.finish();
+        let mut m = Machine::new(Arc::new(pb.finish("main")), &[]);
+        let mut k = Kernel::new(WorldConfig::default());
+        let out = DirectExecutor::default().run(&mut m, &mut k, 1_000_000).unwrap();
+        assert_eq!(out.exit_code, Some(42));
+        assert!(out.instructions > 0);
+        assert!(out.cycles > out.instructions);
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        f.consti(Reg(0), 0x5000);
+        f.consti(Reg(1), 0);
+        f.syscall(abi::SYS_FUTEX_WAIT); // nobody will ever wake us
+        f.ret();
+        f.finish();
+        let mut m = Machine::new(Arc::new(pb.finish("main")), &[]);
+        let mut k = Kernel::new(WorldConfig::default());
+        let err = DirectExecutor::default().run(&mut m, &mut k, 1_000_000).unwrap_err();
+        assert_eq!(err, ExecError::Deadlock { blocked: 1 });
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let top = f.label();
+        f.bind(top);
+        f.jmp(top); // infinite loop
+        f.finish();
+        let mut m = Machine::new(Arc::new(pb.finish("main")), &[]);
+        let mut k = Kernel::new(WorldConfig::default());
+        let err = DirectExecutor::default().run(&mut m, &mut k, 50_000).unwrap_err();
+        assert_eq!(err, ExecError::BudgetExhausted);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        f.consti(Reg(0), 1_000_000);
+        f.syscall(abi::SYS_SLEEP);
+        f.syscall(abi::SYS_CLOCK);
+        f.syscall(abi::SYS_EXIT); // exit(clock)
+        f.finish();
+        let mut m = Machine::new(Arc::new(pb.finish("main")), &[]);
+        let mut k = Kernel::new(WorldConfig::default());
+        let out = DirectExecutor::default().run(&mut m, &mut k, 1_000_000).unwrap();
+        assert!(out.exit_code.unwrap() >= 1_000_000);
+        assert!(out.cycles >= 1_000_000);
+    }
+
+    #[test]
+    fn signal_handler_runs() {
+        let mut pb = ProgramBuilder::new();
+        let flag = pb.global("flag", 8);
+        let mut h = pb.function("handler");
+        // r0 = signal number; store it to flag.
+        h.consti(Reg(1), flag as i64);
+        h.store(Reg(0), Reg(1), 0, dp_vm::Width::W8);
+        h.ret();
+        h.finish();
+        let handler = pb.declare("handler");
+        let mut f = pb.function("main");
+        let spin = f.label();
+        f.consti(Reg(0), 7);
+        f.consti(Reg(1), handler.0 as i64);
+        f.syscall(abi::SYS_SIGACTION);
+        f.consti(Reg(0), 0); // self tid
+        f.consti(Reg(1), 7);
+        f.syscall(abi::SYS_KILL);
+        // Spin until the handler (delivered at a slice boundary) sets flag.
+        f.bind(spin);
+        f.consti(Reg(2), flag as i64);
+        f.load(Reg(3), Reg(2), 0, dp_vm::Width::W8);
+        f.jz(Reg(3), spin);
+        f.mov(Reg(0), Reg(3));
+        f.syscall(abi::SYS_EXIT);
+        f.finish();
+        let mut m = Machine::new(Arc::new(pb.finish("main")), &[]);
+        let mut k = Kernel::new(WorldConfig::default());
+        let out = DirectExecutor { quantum: 100 }.run(&mut m, &mut k, 10_000_000).unwrap();
+        assert_eq!(out.exit_code, Some(7));
+    }
+}

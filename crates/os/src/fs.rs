@@ -1,0 +1,324 @@
+//! An in-memory filesystem with copy-on-write file contents.
+//!
+//! The filesystem is *inside* the recorded world: checkpoints snapshot it
+//! (cloning is cheap — contents are `Arc`-shared) and rollback restores it,
+//! which is the simulated equivalent of the paper running the recorded
+//! process under Speculator so that speculative file writes can be undone.
+//! Filesystem operations are therefore in the *re-executed* syscall class:
+//! given identical guest states they produce identical results.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::abi::{self, EBADF, EINVAL, ENOENT};
+
+/// Open-file access mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Mode {
+    Read,
+    Write,
+    ReadWrite,
+    Append,
+}
+
+/// An open file description.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct FileDesc {
+    path: String,
+    offset: u64,
+    mode: Mode,
+}
+
+/// The in-memory filesystem. `Clone` is a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimFs {
+    files: BTreeMap<String, Arc<Vec<u8>>>,
+    fds: BTreeMap<u32, FileDesc>,
+    next_fd: u32,
+    /// Total bytes moved through read/write (workload characterization).
+    pub io_bytes: u64,
+}
+
+/// First file descriptor handed out (0–2 are reserved by convention).
+pub const FIRST_FILE_FD: u32 = 3;
+
+impl SimFs {
+    /// Creates an empty filesystem.
+    pub fn new() -> Self {
+        SimFs {
+            files: BTreeMap::new(),
+            fds: BTreeMap::new(),
+            next_fd: FIRST_FILE_FD,
+            io_bytes: 0,
+        }
+    }
+
+    /// Installs a file before execution starts (world setup).
+    pub fn preload(&mut self, path: &str, contents: Vec<u8>) {
+        self.files.insert(path.to_string(), Arc::new(contents));
+    }
+
+    /// Reads a whole file (host-side verification helper).
+    pub fn contents(&self, path: &str) -> Option<&[u8]> {
+        self.files.get(path).map(|a| a.as_slice())
+    }
+
+    /// Lists all paths (host-side verification helper).
+    pub fn paths(&self) -> Vec<&str> {
+        self.files.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Opens `path` with an [`crate::abi`] flag value.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` for reads of missing files, `EINVAL` for unknown flags.
+    pub fn open(&mut self, path: &str, flags: u64) -> Result<u32, i64> {
+        let mode = match flags {
+            abi::O_RDONLY => Mode::Read,
+            abi::O_WRONLY => Mode::Write,
+            abi::O_RDWR => Mode::ReadWrite,
+            abi::O_APPEND => Mode::Append,
+            _ => return Err(EINVAL),
+        };
+        match mode {
+            Mode::Read => {
+                if !self.files.contains_key(path) {
+                    return Err(ENOENT);
+                }
+            }
+            Mode::Write => {
+                self.files.insert(path.to_string(), Arc::new(Vec::new()));
+            }
+            Mode::ReadWrite | Mode::Append => {
+                self.files
+                    .entry(path.to_string())
+                    .or_insert_with(|| Arc::new(Vec::new()));
+            }
+        }
+        let offset = match mode {
+            Mode::Append => self.files[path].len() as u64,
+            _ => 0,
+        };
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        self.fds.insert(
+            fd,
+            FileDesc {
+                path: path.to_string(),
+                offset,
+                mode,
+            },
+        );
+        Ok(fd)
+    }
+
+    /// Closes an fd.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` if not open.
+    pub fn close(&mut self, fd: u32) -> Result<(), i64> {
+        self.fds.remove(&fd).map(|_| ()).ok_or(EBADF)
+    }
+
+    /// Reads up to `len` bytes at the fd's offset, advancing it.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` for bad fds or write-only fds.
+    pub fn read(&mut self, fd: u32, len: u64) -> Result<Vec<u8>, i64> {
+        let desc = self.fds.get_mut(&fd).ok_or(EBADF)?;
+        if desc.mode == Mode::Write || desc.mode == Mode::Append {
+            return Err(EBADF);
+        }
+        let file = self.files.get(&desc.path).ok_or(ENOENT)?;
+        let start = (desc.offset as usize).min(file.len());
+        let end = (start + len as usize).min(file.len());
+        let data = file[start..end].to_vec();
+        desc.offset = end as u64;
+        self.io_bytes += data.len() as u64;
+        Ok(data)
+    }
+
+    /// Writes bytes at the fd's offset, advancing it and growing the file.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` for bad fds or read-only fds.
+    pub fn write(&mut self, fd: u32, data: &[u8]) -> Result<u64, i64> {
+        let desc = self.fds.get_mut(&fd).ok_or(EBADF)?;
+        if desc.mode == Mode::Read {
+            return Err(EBADF);
+        }
+        let file = self.files.get_mut(&desc.path).ok_or(ENOENT)?;
+        let contents = Arc::make_mut(file);
+        let start = desc.offset as usize;
+        if contents.len() < start + data.len() {
+            contents.resize(start + data.len(), 0);
+        }
+        contents[start..start + data.len()].copy_from_slice(data);
+        desc.offset += data.len() as u64;
+        self.io_bytes += data.len() as u64;
+        Ok(data.len() as u64)
+    }
+
+    /// Repositions an fd's offset.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` / `EINVAL` for bad fds / whence, or seeking before zero.
+    pub fn lseek(&mut self, fd: u32, offset: i64, whence: u64) -> Result<u64, i64> {
+        let size = {
+            let desc = self.fds.get(&fd).ok_or(EBADF)?;
+            self.files.get(&desc.path).ok_or(ENOENT)?.len() as i64
+        };
+        let desc = self.fds.get_mut(&fd).ok_or(EBADF)?;
+        let base = match whence {
+            abi::SEEK_SET => 0,
+            abi::SEEK_CUR => desc.offset as i64,
+            abi::SEEK_END => size,
+            _ => return Err(EINVAL),
+        };
+        let target = base + offset;
+        if target < 0 {
+            return Err(EINVAL);
+        }
+        desc.offset = target as u64;
+        Ok(desc.offset)
+    }
+
+    /// Size of the open file behind `fd`.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` for bad fds.
+    pub fn fsize(&self, fd: u32) -> Result<u64, i64> {
+        let desc = self.fds.get(&fd).ok_or(EBADF)?;
+        Ok(self.files.get(&desc.path).ok_or(ENOENT)?.len() as u64)
+    }
+
+    /// Removes a file by path (open fds keep working on nothing).
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` if missing.
+    pub fn unlink(&mut self, path: &str) -> Result<(), i64> {
+        self.files.remove(path).map(|_| ()).ok_or(ENOENT)
+    }
+}
+
+impl Default for SimFs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut fs = SimFs::new();
+        let w = fs.open("a.txt", abi::O_WRONLY).unwrap();
+        assert_eq!(fs.write(w, b"hello").unwrap(), 5);
+        fs.close(w).unwrap();
+        let r = fs.open("a.txt", abi::O_RDONLY).unwrap();
+        assert_eq!(fs.read(r, 100).unwrap(), b"hello");
+        assert_eq!(fs.read(r, 100).unwrap(), b""); // EOF
+        assert_eq!(fs.fsize(r), Ok(5));
+    }
+
+    #[test]
+    fn open_missing_for_read_fails() {
+        let mut fs = SimFs::new();
+        assert_eq!(fs.open("nope", abi::O_RDONLY), Err(ENOENT));
+        assert_eq!(fs.open("nope", 99), Err(EINVAL));
+    }
+
+    #[test]
+    fn truncate_on_wronly_reopen() {
+        let mut fs = SimFs::new();
+        fs.preload("f", b"0123456789".to_vec());
+        let w = fs.open("f", abi::O_WRONLY).unwrap();
+        fs.write(w, b"ab").unwrap();
+        assert_eq!(fs.contents("f").unwrap(), b"ab");
+    }
+
+    #[test]
+    fn append_mode_appends() {
+        let mut fs = SimFs::new();
+        fs.preload("f", b"abc".to_vec());
+        let a = fs.open("f", abi::O_APPEND).unwrap();
+        fs.write(a, b"def").unwrap();
+        assert_eq!(fs.contents("f").unwrap(), b"abcdef");
+    }
+
+    #[test]
+    fn rdwr_sparse_write_zero_fills() {
+        let mut fs = SimFs::new();
+        let fd = fs.open("f", abi::O_RDWR).unwrap();
+        fs.lseek(fd, 4, abi::SEEK_SET).unwrap();
+        fs.write(fd, b"x").unwrap();
+        assert_eq!(fs.contents("f").unwrap(), &[0, 0, 0, 0, b'x']);
+    }
+
+    #[test]
+    fn lseek_whence_variants() {
+        let mut fs = SimFs::new();
+        fs.preload("f", b"0123456789".to_vec());
+        let fd = fs.open("f", abi::O_RDONLY).unwrap();
+        assert_eq!(fs.lseek(fd, 4, abi::SEEK_SET), Ok(4));
+        assert_eq!(fs.lseek(fd, 2, abi::SEEK_CUR), Ok(6));
+        assert_eq!(fs.lseek(fd, -1, abi::SEEK_END), Ok(9));
+        assert_eq!(fs.lseek(fd, -100, abi::SEEK_CUR), Err(EINVAL));
+        assert_eq!(fs.lseek(fd, 0, 7), Err(EINVAL));
+        assert_eq!(fs.read(fd, 10).unwrap(), b"9");
+    }
+
+    #[test]
+    fn mode_enforcement() {
+        let mut fs = SimFs::new();
+        fs.preload("f", b"abc".to_vec());
+        let r = fs.open("f", abi::O_RDONLY).unwrap();
+        assert_eq!(fs.write(r, b"x"), Err(EBADF));
+        let w = fs.open("f", abi::O_WRONLY).unwrap();
+        assert_eq!(fs.read(w, 1), Err(EBADF));
+    }
+
+    #[test]
+    fn close_and_unlink() {
+        let mut fs = SimFs::new();
+        let fd = fs.open("f", abi::O_WRONLY).unwrap();
+        assert_eq!(fs.close(fd), Ok(()));
+        assert_eq!(fs.close(fd), Err(EBADF));
+        assert_eq!(fs.unlink("f"), Ok(()));
+        assert_eq!(fs.unlink("f"), Err(ENOENT));
+        assert_eq!(fs.read(99, 1), Err(EBADF));
+    }
+
+    #[test]
+    fn clone_is_cow_checkpoint() {
+        let mut fs = SimFs::new();
+        fs.preload("f", b"abc".to_vec());
+        let snap = fs.clone();
+        let fd = fs.open("f", abi::O_RDWR).unwrap();
+        fs.write(fd, b"XYZ").unwrap();
+        assert_eq!(snap.contents("f").unwrap(), b"abc");
+        assert_eq!(fs.contents("f").unwrap(), b"XYZ");
+        assert_ne!(snap, fs);
+    }
+
+    #[test]
+    fn fd_allocation_is_deterministic() {
+        let mut a = SimFs::new();
+        let mut b = SimFs::new();
+        for fs in [&mut a, &mut b] {
+            fs.open("x", abi::O_WRONLY).unwrap();
+            fs.open("y", abi::O_WRONLY).unwrap();
+        }
+        assert_eq!(a, b);
+    }
+}

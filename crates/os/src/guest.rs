@@ -1,0 +1,670 @@
+//! The guest runtime library: synchronization and utility routines written
+//! in VM bytecode, linked into workload programs.
+//!
+//! These are the Pthreads-alike primitives the paper's benchmarks rely on:
+//! futex-based mutexes, a generation barrier, a blocking bounded MPMC work
+//! queue, plus `memcpy`/`memset`, a guest-side PRNG, and console printing.
+//! Workloads call them through [`Rt`]'s function ids.
+//!
+//! # Memory layouts
+//!
+//! * **mutex** — one word: 0 unlocked, 1 locked.
+//! * **barrier** — two words: `[+0]` arrival count, `[+8]` generation.
+//! * **queue** — `[+0]` mutex, `[+8]` head, `[+16]` tail, `[+24]` count,
+//!   `[+32]` capacity, `[+40..]` capacity slots of one word each.
+
+use dp_vm::builder::ProgramBuilder;
+use dp_vm::{BinOp, FuncId, Reg, Width};
+
+use crate::abi;
+
+/// Bytes of queue header before the slots.
+pub const QUEUE_HEADER: u64 = 40;
+
+/// Total bytes needed for a queue of `cap` slots.
+pub fn queue_bytes(cap: u64) -> u64 {
+    QUEUE_HEADER + cap * 8
+}
+
+/// Function ids of the installed runtime routines.
+#[derive(Debug, Clone, Copy)]
+pub struct Rt {
+    /// `fn mutex_lock(addr)` — acquire the mutex at `addr` (blocking).
+    pub mutex_lock: FuncId,
+    /// `fn mutex_unlock(addr)` — release and wake one waiter.
+    pub mutex_unlock: FuncId,
+    /// `fn barrier_wait(addr, n)` — wait until `n` threads arrive.
+    pub barrier_wait: FuncId,
+    /// `fn queue_init(q, cap)` — initialize a queue in place.
+    pub queue_init: FuncId,
+    /// `fn queue_push(q, val)` — append (blocks while full).
+    pub queue_push: FuncId,
+    /// `fn queue_pop(q) -> val` — remove from the front (blocks while empty).
+    pub queue_pop: FuncId,
+    /// `fn memcpy(dst, src, len)`.
+    pub memcpy: FuncId,
+    /// `fn memset(dst, byte, len)`.
+    pub memset: FuncId,
+    /// `fn print(ptr, len)` — write bytes to the console.
+    pub print: FuncId,
+    /// `fn print_u64(v)` — write a decimal number and newline.
+    pub print_u64: FuncId,
+    /// `fn xorshift(state_ptr) -> u64` — guest-side PRNG step.
+    pub xorshift: FuncId,
+    /// `fn alloc(bytes) -> ptr` — bump-allocate heap memory (`sbrk`).
+    pub alloc: FuncId,
+}
+
+impl Rt {
+    /// Installs the runtime library into `pb` and returns the ids.
+    pub fn install(pb: &mut ProgramBuilder) -> Rt {
+        let rt = Rt {
+            mutex_lock: pb.declare("__rt_mutex_lock"),
+            mutex_unlock: pb.declare("__rt_mutex_unlock"),
+            barrier_wait: pb.declare("__rt_barrier_wait"),
+            queue_init: pb.declare("__rt_queue_init"),
+            queue_push: pb.declare("__rt_queue_push"),
+            queue_pop: pb.declare("__rt_queue_pop"),
+            memcpy: pb.declare("__rt_memcpy"),
+            memset: pb.declare("__rt_memset"),
+            print: pb.declare("__rt_print"),
+            print_u64: pb.declare("__rt_print_u64"),
+            xorshift: pb.declare("__rt_xorshift"),
+            alloc: pb.declare("__rt_alloc"),
+        };
+        build_mutex_lock(pb);
+        build_mutex_unlock(pb);
+        build_barrier_wait(pb);
+        build_queue_init(pb);
+        build_queue_push(pb, rt);
+        build_queue_pop(pb, rt);
+        build_memcpy(pb);
+        build_memset(pb);
+        build_print(pb);
+        build_print_u64(pb);
+        build_xorshift(pb);
+        build_alloc(pb);
+        rt
+    }
+}
+
+fn build_mutex_lock(pb: &mut ProgramBuilder) {
+    let mut f = pb.function("__rt_mutex_lock");
+    let retry = f.label();
+    let done = f.label();
+    f.mov(Reg(7), Reg(0)); // r7 = mutex addr
+    f.bind(retry);
+    f.consti(Reg(1), 0); // expected: unlocked
+    f.consti(Reg(2), 1); // new: locked
+    f.cas(Reg(3), Reg(7), Reg(1), Reg(2));
+    f.jz(Reg(3), done); // old value 0 => acquired
+    // futex_wait(addr, 1): sleep while it remains locked.
+    f.mov(Reg(0), Reg(7));
+    f.consti(Reg(1), 1);
+    f.syscall(abi::SYS_FUTEX_WAIT);
+    f.jmp(retry);
+    f.bind(done);
+    f.ret();
+    f.finish();
+}
+
+fn build_mutex_unlock(pb: &mut ProgramBuilder) {
+    let mut f = pb.function("__rt_mutex_unlock");
+    f.mov(Reg(7), Reg(0));
+    f.consti(Reg(1), 0);
+    f.store(Reg(1), Reg(7), 0, Width::W8);
+    f.mov(Reg(0), Reg(7));
+    f.consti(Reg(1), 1);
+    f.syscall(abi::SYS_FUTEX_WAKE);
+    f.ret();
+    f.finish();
+}
+
+fn build_barrier_wait(pb: &mut ProgramBuilder) {
+    let mut f = pb.function("__rt_barrier_wait");
+    let wait = f.label();
+    let done = f.label();
+    f.mov(Reg(7), Reg(0)); // barrier addr
+    f.mov(Reg(6), Reg(1)); // n
+    f.load(Reg(5), Reg(7), 8, Width::W8); // my generation
+    f.fetch_add(Reg(4), Reg(7), 1i64); // old arrival count
+    f.add(Reg(4), Reg(4), 1i64);
+    f.bin(BinOp::Eq, Reg(3), Reg(4), Reg(6));
+    f.jz(Reg(3), wait);
+    // Last arriver: reset count, bump generation, wake everyone.
+    // (Safe to reset before bumping: no thread can re-arrive until the
+    // generation changes.)
+    f.consti(Reg(2), 0);
+    f.store(Reg(2), Reg(7), 0, Width::W8);
+    f.add(Reg(5), Reg(5), 1i64);
+    f.store(Reg(5), Reg(7), 8, Width::W8);
+    f.add(Reg(0), Reg(7), 8i64);
+    f.consti(Reg(1), i64::MAX);
+    f.syscall(abi::SYS_FUTEX_WAKE);
+    f.ret();
+    f.bind(wait);
+    f.load(Reg(3), Reg(7), 8, Width::W8);
+    f.bin(BinOp::Ne, Reg(2), Reg(3), Reg(5));
+    f.jnz(Reg(2), done);
+    f.add(Reg(0), Reg(7), 8i64);
+    f.mov(Reg(1), Reg(5)); // wait while generation == mine
+    f.syscall(abi::SYS_FUTEX_WAIT);
+    f.jmp(wait);
+    f.bind(done);
+    f.ret();
+    f.finish();
+}
+
+fn build_queue_init(pb: &mut ProgramBuilder) {
+    let mut f = pb.function("__rt_queue_init");
+    f.consti(Reg(2), 0);
+    f.store(Reg(2), Reg(0), 0, Width::W8); // lock
+    f.store(Reg(2), Reg(0), 8, Width::W8); // head
+    f.store(Reg(2), Reg(0), 16, Width::W8); // tail
+    f.store(Reg(2), Reg(0), 24, Width::W8); // count
+    f.store(Reg(1), Reg(0), 32, Width::W8); // capacity
+    f.ret();
+    f.finish();
+}
+
+fn build_queue_push(pb: &mut ProgramBuilder, rt: Rt) {
+    let mut f = pb.function("__rt_queue_push");
+    let full = f.label();
+    let have_space = f.label();
+    f.mov(Reg(7), Reg(0)); // q
+    f.mov(Reg(6), Reg(1)); // value
+    f.mov(Reg(0), Reg(7));
+    f.call(rt.mutex_lock);
+    f.bind(full);
+    f.load(Reg(5), Reg(7), 24, Width::W8); // count
+    f.load(Reg(4), Reg(7), 32, Width::W8); // cap
+    f.bin(BinOp::Ltu, Reg(3), Reg(5), Reg(4));
+    f.jnz(Reg(3), have_space);
+    f.mov(Reg(0), Reg(7));
+    f.call(rt.mutex_unlock);
+    f.add(Reg(0), Reg(7), 24i64);
+    f.mov(Reg(1), Reg(4)); // wait while count == cap
+    f.syscall(abi::SYS_FUTEX_WAIT);
+    f.mov(Reg(0), Reg(7));
+    f.call(rt.mutex_lock);
+    f.jmp(full);
+    f.bind(have_space);
+    f.load(Reg(3), Reg(7), 16, Width::W8); // tail
+    f.bin(BinOp::Remu, Reg(2), Reg(3), Reg(4));
+    f.mul(Reg(2), Reg(2), 8i64);
+    f.add(Reg(2), Reg(2), Reg(7));
+    f.store(Reg(6), Reg(2), QUEUE_HEADER as i64, Width::W8);
+    f.add(Reg(3), Reg(3), 1i64);
+    f.store(Reg(3), Reg(7), 16, Width::W8);
+    f.add(Reg(5), Reg(5), 1i64);
+    f.store(Reg(5), Reg(7), 24, Width::W8);
+    f.mov(Reg(0), Reg(7));
+    f.call(rt.mutex_unlock);
+    f.add(Reg(0), Reg(7), 24i64);
+    f.consti(Reg(1), i64::MAX);
+    f.syscall(abi::SYS_FUTEX_WAKE);
+    f.ret();
+    f.finish();
+}
+
+fn build_queue_pop(pb: &mut ProgramBuilder, rt: Rt) {
+    let mut f = pb.function("__rt_queue_pop");
+    let empty = f.label();
+    let have_item = f.label();
+    f.mov(Reg(7), Reg(0)); // q
+    f.mov(Reg(0), Reg(7));
+    f.call(rt.mutex_lock);
+    f.bind(empty);
+    f.load(Reg(5), Reg(7), 24, Width::W8); // count
+    f.jnz(Reg(5), have_item);
+    f.mov(Reg(0), Reg(7));
+    f.call(rt.mutex_unlock);
+    f.add(Reg(0), Reg(7), 24i64);
+    f.consti(Reg(1), 0); // wait while count == 0
+    f.syscall(abi::SYS_FUTEX_WAIT);
+    f.mov(Reg(0), Reg(7));
+    f.call(rt.mutex_lock);
+    f.jmp(empty);
+    f.bind(have_item);
+    f.load(Reg(4), Reg(7), 32, Width::W8); // cap
+    f.load(Reg(3), Reg(7), 8, Width::W8); // head
+    f.bin(BinOp::Remu, Reg(2), Reg(3), Reg(4));
+    f.mul(Reg(2), Reg(2), 8i64);
+    f.add(Reg(2), Reg(2), Reg(7));
+    f.load(Reg(6), Reg(2), QUEUE_HEADER as i64, Width::W8); // value
+    f.add(Reg(3), Reg(3), 1i64);
+    f.store(Reg(3), Reg(7), 8, Width::W8);
+    f.sub(Reg(5), Reg(5), 1i64);
+    f.store(Reg(5), Reg(7), 24, Width::W8);
+    f.mov(Reg(0), Reg(7));
+    f.call(rt.mutex_unlock);
+    f.add(Reg(0), Reg(7), 24i64);
+    f.consti(Reg(1), i64::MAX);
+    f.syscall(abi::SYS_FUTEX_WAKE);
+    f.mov(Reg(0), Reg(6));
+    f.ret();
+    f.finish();
+}
+
+fn build_memcpy(pb: &mut ProgramBuilder) {
+    let mut f = pb.function("__rt_memcpy");
+    let words = f.label();
+    let bytes_loop = f.label();
+    let bytes_check = f.label();
+    let done = f.label();
+    // r0 dst, r1 src, r2 len
+    f.bind(words);
+    f.bin(BinOp::Ltu, Reg(3), Reg(2), 8i64);
+    f.jnz(Reg(3), bytes_check);
+    f.load(Reg(4), Reg(1), 0, Width::W8);
+    f.store(Reg(4), Reg(0), 0, Width::W8);
+    f.add(Reg(0), Reg(0), 8i64);
+    f.add(Reg(1), Reg(1), 8i64);
+    f.sub(Reg(2), Reg(2), 8i64);
+    f.jmp(words);
+    f.bind(bytes_loop);
+    f.load(Reg(4), Reg(1), 0, Width::W1);
+    f.store(Reg(4), Reg(0), 0, Width::W1);
+    f.add(Reg(0), Reg(0), 1i64);
+    f.add(Reg(1), Reg(1), 1i64);
+    f.sub(Reg(2), Reg(2), 1i64);
+    f.bind(bytes_check);
+    f.jnz(Reg(2), bytes_loop);
+    f.jmp(done);
+    f.bind(done);
+    f.ret();
+    f.finish();
+}
+
+fn build_memset(pb: &mut ProgramBuilder) {
+    let mut f = pb.function("__rt_memset");
+    let top = f.label();
+    let done = f.label();
+    // r0 dst, r1 byte, r2 len
+    f.bind(top);
+    f.jz(Reg(2), done);
+    f.store(Reg(1), Reg(0), 0, Width::W1);
+    f.add(Reg(0), Reg(0), 1i64);
+    f.sub(Reg(2), Reg(2), 1i64);
+    f.jmp(top);
+    f.bind(done);
+    f.ret();
+    f.finish();
+}
+
+fn build_print(pb: &mut ProgramBuilder) {
+    let mut f = pb.function("__rt_print");
+    f.syscall(abi::SYS_CONSOLE);
+    f.ret();
+    f.finish();
+}
+
+fn build_print_u64(pb: &mut ProgramBuilder) {
+    let mut f = pb.function("__rt_print_u64");
+    let digits = f.label();
+    // r0 = value. Build the string backward below the stack pointer.
+    f.mov(Reg(7), Reg(0));
+    f.mov(Reg(5), Reg(31)); // cursor
+    f.sub(Reg(5), Reg(5), 1i64);
+    f.consti(Reg(4), b'\n' as i64);
+    f.store(Reg(4), Reg(5), 0, Width::W1);
+    f.bind(digits);
+    f.bin(BinOp::Remu, Reg(4), Reg(7), 10i64);
+    f.add(Reg(4), Reg(4), b'0' as i64);
+    f.sub(Reg(5), Reg(5), 1i64);
+    f.store(Reg(4), Reg(5), 0, Width::W1);
+    f.bin(BinOp::Divu, Reg(7), Reg(7), 10i64);
+    f.jnz(Reg(7), digits);
+    f.mov(Reg(0), Reg(5));
+    f.mov(Reg(1), Reg(31));
+    f.sub(Reg(1), Reg(1), Reg(5));
+    f.syscall(abi::SYS_CONSOLE);
+    f.ret();
+    f.finish();
+}
+
+fn build_xorshift(pb: &mut ProgramBuilder) {
+    let mut f = pb.function("__rt_xorshift");
+    // r0 = state pointer; returns next value in r0.
+    f.mov(Reg(7), Reg(0));
+    f.load(Reg(1), Reg(7), 0, Width::W8);
+    f.bin(BinOp::Shl, Reg(2), Reg(1), 13i64);
+    f.bin(BinOp::Xor, Reg(1), Reg(1), Reg(2));
+    f.bin(BinOp::Shr, Reg(2), Reg(1), 7i64);
+    f.bin(BinOp::Xor, Reg(1), Reg(1), Reg(2));
+    f.bin(BinOp::Shl, Reg(2), Reg(1), 17i64);
+    f.bin(BinOp::Xor, Reg(1), Reg(1), Reg(2));
+    f.store(Reg(1), Reg(7), 0, Width::W8);
+    f.mov(Reg(0), Reg(1));
+    f.ret();
+    f.finish();
+}
+
+fn build_alloc(pb: &mut ProgramBuilder) {
+    let mut f = pb.function("__rt_alloc");
+    // r0 = bytes; round up to 8 and sbrk.
+    f.add(Reg(0), Reg(0), 7i64);
+    f.consti(Reg(1), !7i64);
+    f.bin(BinOp::And, Reg(0), Reg(0), Reg(1));
+    f.syscall(abi::SYS_SBRK);
+    f.ret();
+    f.finish();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::DirectExecutor;
+    use crate::kernel::{Kernel, WorldConfig};
+    use dp_vm::{Machine, Tid};
+    use std::sync::Arc;
+
+    fn run(pb: ProgramBuilder) -> (Machine, Kernel) {
+        let program = Arc::new(pb.finish("main"));
+        let mut machine = Machine::new(program, &[]);
+        let mut kernel = Kernel::new(WorldConfig::default());
+        DirectExecutor::default()
+            .run(&mut machine, &mut kernel, 50_000_000)
+            .expect("guest run failed");
+        (machine, kernel)
+    }
+
+    #[test]
+    fn mutex_protects_a_counter() {
+        // 4 threads increment a shared counter 1000 times under a mutex.
+        let mut pb = ProgramBuilder::new();
+        let rt = Rt::install(&mut pb);
+        let lock = pb.global("lock", 8);
+        let counter = pb.global("counter", 8);
+
+        let mut w = pb.function("worker");
+        let top = w.label();
+        let done = w.label();
+        w.consti(Reg(10), 0);
+        w.bind(top);
+        w.bin(BinOp::Ltu, Reg(11), Reg(10), 1000i64);
+        w.jz(Reg(11), done);
+        w.consti(Reg(0), lock as i64);
+        w.call(rt.mutex_lock);
+        // Deliberately non-atomic increment: load, add, store.
+        w.consti(Reg(12), counter as i64);
+        w.load(Reg(13), Reg(12), 0, Width::W8);
+        w.add(Reg(13), Reg(13), 1i64);
+        w.store(Reg(13), Reg(12), 0, Width::W8);
+        w.consti(Reg(0), lock as i64);
+        w.call(rt.mutex_unlock);
+        w.add(Reg(10), Reg(10), 1i64);
+        w.jmp(top);
+        w.bind(done);
+        w.consti(Reg(0), 0);
+        w.syscall(abi::SYS_THREAD_EXIT);
+        w.finish();
+
+        let worker_id = pb.declare("worker");
+        let mut f = pb.function("main");
+        // Spawn 4 workers then join them.
+        for _ in 0..4 {
+            f.consti(Reg(0), worker_id.0 as i64);
+            f.consti(Reg(1), 0);
+            f.consti(Reg(2), 0);
+            f.syscall(abi::SYS_SPAWN);
+        }
+        for t in 1..=4 {
+            f.consti(Reg(0), t);
+            f.syscall(abi::SYS_JOIN);
+        }
+        f.consti(Reg(9), counter as i64);
+        f.load(Reg(0), Reg(9), 0, Width::W8);
+        f.syscall(abi::SYS_EXIT);
+        f.finish();
+
+        let (machine, _) = run(pb);
+        assert_eq!(machine.halted(), Some(4000));
+    }
+
+    #[test]
+    fn barrier_synchronizes_phases() {
+        // 3 threads run 5 phases; each phase each thread adds its phase
+        // number to its slot only after all have finished the previous
+        // phase; a checker thread is not needed because any barrier failure
+        // shows up as a wrong final sum under phase-dependent writes.
+        let mut pb = ProgramBuilder::new();
+        let rt = Rt::install(&mut pb);
+        let barrier = pb.global("barrier", 16);
+        let slots = pb.global("slots", 3 * 8);
+        let phase_sum = pb.global("phase_sum", 8);
+
+        let mut w = pb.function("worker");
+        // r0 = my index
+        let top = w.label();
+        let done = w.label();
+        let skip = w.label();
+        w.mov(Reg(10), Reg(0)); // idx
+        w.consti(Reg(11), 0); // phase
+        w.bind(top);
+        w.bin(BinOp::Ltu, Reg(12), Reg(11), 5i64);
+        w.jz(Reg(12), done);
+        // slots[idx] += phase; then barrier; then (idx 0 only) fold the sum.
+        w.consti(Reg(13), slots as i64);
+        w.mul(Reg(14), Reg(10), 8i64);
+        w.add(Reg(13), Reg(13), Reg(14));
+        w.load(Reg(15), Reg(13), 0, Width::W8);
+        w.add(Reg(15), Reg(15), Reg(11));
+        w.store(Reg(15), Reg(13), 0, Width::W8);
+        w.consti(Reg(0), barrier as i64);
+        w.consti(Reg(1), 3);
+        w.call(rt.barrier_wait);
+        // Phase complete for everyone; worker 0 accumulates a checksum that
+        // depends on all slots being current.
+        w.jnz(Reg(10), skip);
+        w.consti(Reg(16), slots as i64);
+        w.load(Reg(17), Reg(16), 0, Width::W8);
+        w.load(Reg(18), Reg(16), 8, Width::W8);
+        w.load(Reg(19), Reg(16), 16, Width::W8);
+        w.add(Reg(17), Reg(17), Reg(18));
+        w.add(Reg(17), Reg(17), Reg(19));
+        w.consti(Reg(20), phase_sum as i64);
+        w.load(Reg(21), Reg(20), 0, Width::W8);
+        w.add(Reg(21), Reg(21), Reg(17));
+        w.store(Reg(21), Reg(20), 0, Width::W8);
+        w.bind(skip);
+        w.add(Reg(11), Reg(11), 1i64);
+        // Second barrier so nobody races ahead into the next phase while
+        // worker 0 reads slots.
+        w.consti(Reg(0), barrier as i64);
+        w.consti(Reg(1), 3);
+        w.call(rt.barrier_wait);
+        w.jmp(top);
+        w.bind(done);
+        w.consti(Reg(0), 0);
+        w.syscall(abi::SYS_THREAD_EXIT);
+        w.finish();
+
+        let worker_id = pb.declare("worker");
+        let mut f = pb.function("main");
+        for i in 0..3 {
+            f.consti(Reg(0), worker_id.0 as i64);
+            f.consti(Reg(1), i);
+            f.consti(Reg(2), 0);
+            f.syscall(abi::SYS_SPAWN);
+        }
+        for t in 1..=3 {
+            f.consti(Reg(0), t);
+            f.syscall(abi::SYS_JOIN);
+        }
+        f.consti(Reg(9), phase_sum as i64);
+        f.load(Reg(0), Reg(9), 0, Width::W8);
+        f.syscall(abi::SYS_EXIT);
+        f.finish();
+
+        let (machine, _) = run(pb);
+        // Each phase p, each slot holds sum(0..=p); worker 0 adds all 3
+        // slots each phase: sum over p of 3 * (p*(p+1)/2)... slots grow by
+        // p at phase p, so at phase p slot value = 0+1+..+p = p(p+1)/2.
+        // checksum = sum_p 3*p(p+1)/2 for p in 0..5 = 3*(0+1+3+6+10) = 60.
+        assert_eq!(machine.halted(), Some(60));
+    }
+
+    #[test]
+    fn queue_delivers_every_item_exactly_once() {
+        // 2 producers push 50 items each; 2 consumers pop and sum; total
+        // must equal the sum of all pushed values.
+        let mut pb = ProgramBuilder::new();
+        let rt = Rt::install(&mut pb);
+        let q = pb.global("q", queue_bytes(8));
+        let total = pb.global("total", 8);
+
+        let mut prod = pb.function("producer");
+        // r0 = base value
+        let top = prod.label();
+        let done = prod.label();
+        prod.mov(Reg(10), Reg(0));
+        prod.consti(Reg(11), 0);
+        prod.bind(top);
+        prod.bin(BinOp::Ltu, Reg(12), Reg(11), 50i64);
+        prod.jz(Reg(12), done);
+        prod.consti(Reg(0), q as i64);
+        prod.add(Reg(1), Reg(10), Reg(11));
+        prod.call(rt.queue_push);
+        prod.add(Reg(11), Reg(11), 1i64);
+        prod.jmp(top);
+        prod.bind(done);
+        prod.consti(Reg(0), 0);
+        prod.syscall(abi::SYS_THREAD_EXIT);
+        prod.finish();
+
+        let mut cons = pb.function("consumer");
+        let top = cons.label();
+        let done = cons.label();
+        cons.consti(Reg(10), 0); // popped count
+        cons.bind(top);
+        cons.bin(BinOp::Ltu, Reg(11), Reg(10), 50i64);
+        cons.jz(Reg(11), done);
+        cons.consti(Reg(0), q as i64);
+        cons.call(rt.queue_pop);
+        cons.consti(Reg(12), total as i64);
+        cons.fetch_add(Reg(13), Reg(12), dp_vm::Src::Reg(Reg(0)));
+        cons.add(Reg(10), Reg(10), 1i64);
+        cons.jmp(top);
+        cons.bind(done);
+        cons.consti(Reg(0), 0);
+        cons.syscall(abi::SYS_THREAD_EXIT);
+        cons.finish();
+
+        let producer_id = pb.declare("producer");
+        let consumer_id = pb.declare("consumer");
+        let mut f = pb.function("main");
+        f.consti(Reg(0), q as i64);
+        f.consti(Reg(1), 8);
+        f.call(rt.queue_init);
+        for base in [1000i64, 2000] {
+            f.consti(Reg(0), producer_id.0 as i64);
+            f.consti(Reg(1), base);
+            f.consti(Reg(2), 0);
+            f.syscall(abi::SYS_SPAWN);
+        }
+        for _ in 0..2 {
+            f.consti(Reg(0), consumer_id.0 as i64);
+            f.consti(Reg(1), 0);
+            f.consti(Reg(2), 0);
+            f.syscall(abi::SYS_SPAWN);
+        }
+        for t in 1..=4 {
+            f.consti(Reg(0), t);
+            f.syscall(abi::SYS_JOIN);
+        }
+        f.consti(Reg(9), total as i64);
+        f.load(Reg(0), Reg(9), 0, Width::W8);
+        f.syscall(abi::SYS_EXIT);
+        f.finish();
+
+        let (machine, _) = run(pb);
+        let expect: u64 = (0..50).map(|i| 1000 + i).sum::<u64>()
+            + (0..50).map(|i| 2000 + i).sum::<u64>();
+        assert_eq!(machine.halted(), Some(expect));
+    }
+
+    #[test]
+    fn print_u64_formats_decimals() {
+        let mut pb = ProgramBuilder::new();
+        let rt = Rt::install(&mut pb);
+        let mut f = pb.function("main");
+        f.consti(Reg(0), 0);
+        f.call(rt.print_u64);
+        f.consti(Reg(0), 90210);
+        f.call(rt.print_u64);
+        f.consti(Reg(0), 0);
+        f.syscall(abi::SYS_EXIT);
+        f.finish();
+        let (_, mut kernel) = run(pb);
+        let out: Vec<u8> = kernel
+            .take_external()
+            .into_iter()
+            .flat_map(|c| c.bytes)
+            .collect();
+        assert_eq!(out, b"0\n90210\n");
+    }
+
+    #[test]
+    fn memcpy_and_memset_move_bytes() {
+        let mut pb = ProgramBuilder::new();
+        let rt = Rt::install(&mut pb);
+        let src = pb.global_data("src", b"0123456789abcdef_tail");
+        let dst = pb.global("dst", 32);
+        let mut f = pb.function("main");
+        f.consti(Reg(0), dst as i64);
+        f.consti(Reg(1), src as i64);
+        f.consti(Reg(2), 21);
+        f.call(rt.memcpy);
+        f.consti(Reg(0), dst as i64);
+        f.consti(Reg(1), b'x' as i64);
+        f.consti(Reg(2), 4);
+        f.call(rt.memset);
+        f.consti(Reg(0), 0);
+        f.syscall(abi::SYS_EXIT);
+        f.finish();
+        let (machine, _) = run(pb);
+        assert_eq!(
+            machine.mem().read_bytes(dst, 21),
+            b"xxxx456789abcdef_tail"
+        );
+    }
+
+    #[test]
+    fn xorshift_matches_host_reference() {
+        let mut pb = ProgramBuilder::new();
+        let rt = Rt::install(&mut pb);
+        let state = pb.global("state", 8);
+        let mut f = pb.function("main");
+        f.consti(Reg(9), state as i64);
+        f.consti(Reg(1), 88172645463325252u64 as i64);
+        f.store(Reg(1), Reg(9), 0, Width::W8);
+        f.consti(Reg(0), state as i64);
+        f.call(rt.xorshift);
+        f.syscall(abi::SYS_EXIT); // exit code = first random
+        f.finish();
+        let (machine, _) = run(pb);
+        let mut s: u64 = 88172645463325252;
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        assert_eq!(machine.halted(), Some(s));
+    }
+
+    #[test]
+    fn alloc_returns_distinct_aligned_blocks() {
+        let mut pb = ProgramBuilder::new();
+        let rt = Rt::install(&mut pb);
+        let mut f = pb.function("main");
+        f.consti(Reg(0), 13);
+        f.call(rt.alloc);
+        f.mov(Reg(9), Reg(0));
+        f.consti(Reg(0), 5);
+        f.call(rt.alloc);
+        f.sub(Reg(0), Reg(0), Reg(9)); // distance between blocks
+        f.syscall(abi::SYS_EXIT);
+        f.finish();
+        let (machine, _) = run(pb);
+        assert_eq!(machine.halted(), Some(16)); // 13 rounded to 16
+    }
+}

@@ -1,0 +1,66 @@
+//! # dp-os — the simulated operating system substrate
+//!
+//! DoublePlay records a process at the OS boundary: syscall results, signal
+//! delivery, and thread scheduling. The original runs on a modified Linux
+//! kernel with Speculator support for deferring and undoing speculative
+//! syscall effects; this crate is the simulated equivalent, built so that
+//! **the entire world state is checkpointable**: [`kernel::Kernel`] is
+//! `Clone`, and `(Machine, Kernel)` pairs snapshot and roll back together.
+//!
+//! What lives here:
+//!
+//! * [`abi`] — syscall numbers, conventions, and the logged/re-executed
+//!   determinism classification that record/replay is built on;
+//! * [`kernel`] — dispatch, futexes, joins, virtual timers, signals, the
+//!   speculative external-output journal;
+//! * [`fs`] / [`net`] — an in-memory filesystem and a scripted external
+//!   network (peers and clients) providing realistic nondeterministic input;
+//! * [`cost`] — the simulated-time cost model behind every overhead figure;
+//! * [`guest`] — a Pthreads-alike runtime library (mutex, barrier, blocking
+//!   queue, memcpy, printing) written in guest bytecode;
+//! * [`exec`] — a plain uniprocessor executor used as reference semantics.
+//!
+//! ## Example: run a guest that prints
+//!
+//! ```
+//! use dp_os::exec::DirectExecutor;
+//! use dp_os::kernel::{Kernel, WorldConfig};
+//! use dp_os::{abi, guest::Rt};
+//! use dp_vm::builder::ProgramBuilder;
+//! use dp_vm::{Machine, Reg};
+//! use std::sync::Arc;
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let rt = Rt::install(&mut pb);
+//! let mut f = pb.function("main");
+//! f.consti(Reg(0), 42);
+//! f.call(rt.print_u64);
+//! f.consti(Reg(0), 0);
+//! f.syscall(abi::SYS_EXIT);
+//! f.finish();
+//!
+//! let mut machine = Machine::new(Arc::new(pb.finish("main")), &[]);
+//! let mut kernel = Kernel::new(WorldConfig::default());
+//! DirectExecutor::default().run(&mut machine, &mut kernel, 1_000_000)?;
+//! let out: Vec<u8> = kernel.take_external().into_iter().flat_map(|c| c.bytes).collect();
+//! assert_eq!(out, b"42\n");
+//! # Ok::<(), dp_os::exec::ExecError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod abi;
+pub mod cost;
+pub mod exec;
+pub mod fs;
+pub mod guest;
+pub mod kernel;
+pub mod net;
+
+pub use cost::CostModel;
+pub use exec::{DirectExecutor, ExecError, ExecOutcome};
+pub use kernel::{
+    Disposition, ExternalChunk, ExternalDest, Kernel, KernelStats, SysOutcome, SyscallEffect,
+    Wake, WorldConfig,
+};
+pub use net::{ClientSpec, NetConfig, PeerBehavior};

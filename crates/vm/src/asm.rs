@@ -1,0 +1,639 @@
+//! A textual assembly format for VM programs: parse `.tasm` text into a
+//! [`Program`], and dump any program back to parseable text.
+//!
+//! The format mirrors the disassembler's mnemonics:
+//!
+//! ```text
+//! ; tiny guest
+//! .global counter 8
+//! .data banner "hi\n"
+//!
+//! func main {
+//!     const r9, counter
+//!     const r1, 0
+//! loop:
+//!     add r1, r1, 1
+//!     ltu r2, r1, 10
+//!     jnz r2, loop
+//!     store8 [r9+0], r1
+//!     call helper
+//!     syscall 0
+//! }
+//!
+//! func helper {
+//!     ret
+//! }
+//! ```
+//!
+//! Numeric literals are decimal or `0x` hex; named globals are usable as
+//! immediates anywhere a number is. Jump targets are `label:` definitions
+//! within the function. [`program_to_asm`] emits text that reparses into a
+//! structurally identical program (the roundtrip property the test suite
+//! checks).
+
+use crate::builder::{FunctionBuilder, Label, ProgramBuilder};
+use crate::instr::{BinOp, Instr, UnOp};
+use crate::program::Program;
+use crate::value::{Reg, Src, Width};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parse failure, with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// Line the error was found on.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "asm error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn binop_of(m: &str) -> Option<BinOp> {
+    Some(match m {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "divu" => BinOp::Divu,
+        "remu" => BinOp::Remu,
+        "divs" => BinOp::Divs,
+        "rems" => BinOp::Rems,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        "shl" => BinOp::Shl,
+        "shr" => BinOp::Shr,
+        "sar" => BinOp::Sar,
+        "eq" => BinOp::Eq,
+        "ne" => BinOp::Ne,
+        "ltu" => BinOp::Ltu,
+        "leu" => BinOp::Leu,
+        "lts" => BinOp::Lts,
+        "les" => BinOp::Les,
+        "minu" => BinOp::Minu,
+        "maxu" => BinOp::Maxu,
+        _ => return None,
+    })
+}
+
+fn width_of(suffix: &str) -> Option<Width> {
+    Some(match suffix {
+        "1" => Width::W1,
+        "2" => Width::W2,
+        "4" => Width::W4,
+        "8" => Width::W8,
+        _ => return None,
+    })
+}
+
+struct Ctx<'a> {
+    line: usize,
+    symbols: &'a BTreeMap<String, u64>,
+}
+
+impl Ctx<'_> {
+    fn reg(&self, tok: &str) -> Result<Reg, AsmError> {
+        let n = tok
+            .strip_prefix('r')
+            .and_then(|s| s.parse::<u8>().ok())
+            .filter(|&n| n < 32)
+            .ok_or_else(|| err(self.line, format!("expected register, got `{tok}`")))?;
+        Ok(Reg(n))
+    }
+
+    fn imm(&self, tok: &str) -> Result<i64, AsmError> {
+        if let Some(&addr) = self.symbols.get(tok) {
+            return Ok(addr as i64);
+        }
+        let (neg, body) = match tok.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, tok),
+        };
+        let v = if let Some(hex) = body.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16).map_err(|_| err(self.line, format!("bad number `{tok}`")))?
+        } else {
+            body.parse::<u64>()
+                .map_err(|_| err(self.line, format!("bad number `{tok}`")))?
+        };
+        Ok(if neg { -(v as i64) } else { v as i64 })
+    }
+
+    fn src(&self, tok: &str) -> Result<Src, AsmError> {
+        if tok.starts_with('r') && tok[1..].chars().all(|c| c.is_ascii_digit()) {
+            Ok(Src::Reg(self.reg(tok)?))
+        } else {
+            Ok(Src::Imm(self.imm(tok)?))
+        }
+    }
+
+    /// Parses `[rN+OFF]` / `[rN-OFF]` / `[rN]` into (reg, offset).
+    fn mem(&self, tok: &str) -> Result<(Reg, i64), AsmError> {
+        let inner = tok
+            .strip_prefix('[')
+            .and_then(|s| s.strip_suffix(']'))
+            .ok_or_else(|| err(self.line, format!("expected [reg+off], got `{tok}`")))?;
+        if let Some(plus) = inner.find('+') {
+            Ok((self.reg(&inner[..plus])?, self.imm(&inner[plus + 1..])?))
+        } else if let Some(minus) = inner[1..].find('-') {
+            let minus = minus + 1;
+            Ok((self.reg(&inner[..minus])?, -self.imm(&inner[minus + 1..])?))
+        } else {
+            Ok((self.reg(inner)?, 0))
+        }
+    }
+}
+
+/// Unescapes a `"..."` string literal (supports `\n`, `\t`, `\\`, `\"`,
+/// `\xNN`).
+fn unescape(line: usize, lit: &str) -> Result<Vec<u8>, AsmError> {
+    let inner = lit
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| err(line, "expected string literal"))?;
+    let mut out = Vec::new();
+    let bytes = inner.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'\\' {
+            i += 1;
+            match bytes.get(i) {
+                Some(b'n') => out.push(b'\n'),
+                Some(b't') => out.push(b'\t'),
+                Some(b'\\') => out.push(b'\\'),
+                Some(b'"') => out.push(b'"'),
+                Some(b'x') => {
+                    let hex = inner
+                        .get(i + 1..i + 3)
+                        .ok_or_else(|| err(line, "truncated \\x escape"))?;
+                    out.push(
+                        u8::from_str_radix(hex, 16)
+                            .map_err(|_| err(line, "bad \\x escape"))?,
+                    );
+                    i += 2;
+                }
+                _ => return Err(err(line, "unknown escape")),
+            }
+        } else {
+            out.push(bytes[i]);
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+fn escape(bytes: &[u8]) -> String {
+    let mut out = String::from("\"");
+    for &b in bytes {
+        match b {
+            b'\n' => out.push_str("\\n"),
+            b'\t' => out.push_str("\\t"),
+            b'\\' => out.push_str("\\\\"),
+            b'"' => out.push_str("\\\""),
+            0x20..=0x7e => out.push(b as char),
+            _ => {
+                let _ = write!(out, "\\x{b:02x}");
+            }
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Assembles `.tasm` source into a [`Program`] whose entry is `main`.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending line.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut pb = ProgramBuilder::new();
+    let mut symbols: BTreeMap<String, u64> = BTreeMap::new();
+
+    // First, collect function names and directives so forward references
+    // and symbol immediates resolve.
+    #[derive(Debug)]
+    enum Piece<'a> {
+        Func { name: &'a str, body: Vec<(usize, &'a str)> },
+    }
+    let mut pieces: Vec<Piece<'_>> = Vec::new();
+    let mut current: Option<(&str, Vec<(usize, &str)>)> = None;
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".global") {
+            let mut parts = rest.split_whitespace();
+            let (name, size) = (parts.next(), parts.next());
+            let (Some(name), Some(size)) = (name, size) else {
+                return Err(err(line_no, ".global needs a name and a size"));
+            };
+            let size: u64 = size
+                .parse()
+                .map_err(|_| err(line_no, "bad .global size"))?;
+            let addr = pb.global(name, size);
+            symbols.insert(name.to_string(), addr);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".dataat") {
+            let rest = rest.trim_start();
+            let (addr, lit) = rest
+                .split_once(' ')
+                .ok_or_else(|| err(line_no, ".dataat needs an address and a string"))?;
+            let addr = if let Some(hex) = addr.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16).map_err(|_| err(line_no, "bad .dataat address"))?
+            } else {
+                addr.parse().map_err(|_| err(line_no, "bad .dataat address"))?
+            };
+            let bytes = unescape(line_no, lit.trim())?;
+            pb.data_at(addr, &bytes);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".data") {
+            let rest = rest.trim_start();
+            let (name, lit) = rest
+                .split_once(' ')
+                .ok_or_else(|| err(line_no, ".data needs a name and a string"))?;
+            let bytes = unescape(line_no, lit.trim())?;
+            let addr = pb.global_data(name, &bytes);
+            symbols.insert(name.to_string(), addr);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("func") {
+            if current.is_some() {
+                return Err(err(line_no, "nested func"));
+            }
+            let name = rest.trim().trim_end_matches('{').trim();
+            if name.is_empty() {
+                return Err(err(line_no, "func needs a name"));
+            }
+            current = Some((name, Vec::new()));
+            continue;
+        }
+        if line == "}" {
+            let (name, body) = current
+                .take()
+                .ok_or_else(|| err(line_no, "`}` without func"))?;
+            pieces.push(Piece::Func { name, body });
+            continue;
+        }
+        match &mut current {
+            Some((_, body)) => body.push((line_no, line)),
+            None => return Err(err(line_no, format!("statement outside func: `{line}`"))),
+        }
+    }
+    if current.is_some() {
+        return Err(err(source.lines().count(), "unterminated func"));
+    }
+
+    // Declare all functions first (forward calls), then emit bodies.
+    for piece in &pieces {
+        let Piece::Func { name, .. } = piece;
+        pb.declare(name);
+    }
+    for piece in &pieces {
+        let Piece::Func { name, body } = piece;
+        let mut f = pb.function(name);
+        let mut labels: BTreeMap<&str, Label> = BTreeMap::new();
+        // Pre-create labels for every `x:` definition.
+        for (_, line) in body {
+            if let Some(label) = line.strip_suffix(':') {
+                if !label.contains(' ') {
+                    let l = f.label();
+                    labels.insert(label, l);
+                }
+            }
+        }
+        for &(line_no, line) in body {
+            emit_line(&mut f, &labels, &symbols, line_no, line)?;
+        }
+        f.finish();
+    }
+    if pb.declare("main").index() >= pieces.len() {
+        return Err(err(1, "no `func main` defined"));
+    }
+    Ok(pb.finish("main"))
+}
+
+fn emit_line(
+    f: &mut FunctionBuilder<'_>,
+    labels: &BTreeMap<&str, Label>,
+    symbols: &BTreeMap<String, u64>,
+    line_no: usize,
+    line: &str,
+) -> Result<(), AsmError> {
+    if let Some(label) = line.strip_suffix(':') {
+        if !label.contains(' ') {
+            f.bind(labels[label]);
+            return Ok(());
+        }
+    }
+    let ctx = Ctx {
+        line: line_no,
+        symbols,
+    };
+    let (mn, rest) = line
+        .split_once(char::is_whitespace)
+        .map(|(a, b)| (a, b.trim()))
+        .unwrap_or((line, ""));
+    let ops: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let want = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(line_no, format!("`{mn}` takes {n} operands, got {}", ops.len())))
+        }
+    };
+    let label_of = |tok: &str| -> Result<Label, AsmError> {
+        labels
+            .get(tok)
+            .copied()
+            .ok_or_else(|| err(line_no, format!("unknown label `{tok}`")))
+    };
+
+    if let Some(op) = binop_of(mn) {
+        want(3)?;
+        f.bin(op, ctx.reg(ops[0])?, ctx.reg(ops[1])?, ctx.src(ops[2])?);
+        return Ok(());
+    }
+    if let Some(w) = mn.strip_prefix("load").and_then(width_of) {
+        want(2)?;
+        let (addr, off) = ctx.mem(ops[1])?;
+        f.load(ctx.reg(ops[0])?, addr, off, w);
+        return Ok(());
+    }
+    if let Some(w) = mn.strip_prefix("store").and_then(width_of) {
+        want(2)?;
+        let (addr, off) = ctx.mem(ops[0])?;
+        f.store(ctx.reg(ops[1])?, addr, off, w);
+        return Ok(());
+    }
+    match mn {
+        "const" => {
+            want(2)?;
+            f.constu(ctx.reg(ops[0])?, ctx.imm(ops[1])? as u64);
+        }
+        "mov" => {
+            want(2)?;
+            f.mov(ctx.reg(ops[0])?, ctx.src(ops[1])?);
+        }
+        "not" => {
+            want(2)?;
+            f.un(UnOp::Not, ctx.reg(ops[0])?, ctx.reg(ops[1])?);
+        }
+        "neg" => {
+            want(2)?;
+            f.un(UnOp::Neg, ctx.reg(ops[0])?, ctx.reg(ops[1])?);
+        }
+        "cas" => {
+            want(4)?;
+            let (addr, off) = ctx.mem(ops[1])?;
+            if off != 0 {
+                return Err(err(line_no, "cas takes no offset"));
+            }
+            f.cas(ctx.reg(ops[0])?, addr, ctx.reg(ops[2])?, ctx.reg(ops[3])?);
+        }
+        "faa" => {
+            want(3)?;
+            let (addr, off) = ctx.mem(ops[1])?;
+            if off != 0 {
+                return Err(err(line_no, "faa takes no offset"));
+            }
+            f.fetch_add(ctx.reg(ops[0])?, addr, ctx.src(ops[2])?);
+        }
+        "xchg" => {
+            want(3)?;
+            let (addr, off) = ctx.mem(ops[1])?;
+            if off != 0 {
+                return Err(err(line_no, "xchg takes no offset"));
+            }
+            f.swap(ctx.reg(ops[0])?, addr, ctx.reg(ops[2])?);
+        }
+        "jmp" => {
+            want(1)?;
+            f.jmp(label_of(ops[0])?);
+        }
+        "jnz" => {
+            want(2)?;
+            f.jnz(ctx.reg(ops[0])?, label_of(ops[1])?);
+        }
+        "jz" => {
+            want(2)?;
+            f.jz(ctx.reg(ops[0])?, label_of(ops[1])?);
+        }
+        "call" => {
+            want(1)?;
+            f.call_named(ops[0]);
+        }
+        "calli" => {
+            want(1)?;
+            f.call_indirect(ctx.reg(ops[0])?);
+        }
+        "ret" => {
+            want(0)?;
+            f.ret();
+        }
+        "syscall" => {
+            want(1)?;
+            f.syscall(ctx.imm(ops[0])? as u32);
+        }
+        "nop" => {
+            want(0)?;
+            f.nop();
+        }
+        _ => return Err(err(line_no, format!("unknown mnemonic `{mn}`"))),
+    }
+    Ok(())
+}
+
+/// Dumps a program as assembly text that [`assemble`] reparses into a
+/// structurally identical program. Jump targets become `Ln:` labels;
+/// globals are not reconstructed (they appear as raw addresses), so the
+/// dump uses `.data` only to reproduce the data segments.
+pub fn program_to_asm(program: &Program) -> String {
+    let mut out = String::new();
+    for seg in program.data() {
+        let _ = writeln!(out, ".dataat {:#x} {}", seg.addr, escape(&seg.bytes));
+    }
+    if !program.data().is_empty() {
+        out.push('\n');
+    }
+    // Order functions so `main` parses as the entry.
+    let mut order: Vec<usize> = (0..program.functions().len()).collect();
+    order.sort_by_key(|&i| program.functions()[i].name != "main");
+    for &fi in &order {
+        let func = &program.functions()[fi];
+        let _ = writeln!(out, "func {} {{", func.name);
+        // Collect jump targets.
+        let mut targets: BTreeMap<u32, String> = BTreeMap::new();
+        for instr in &func.code {
+            if let Instr::Jmp { target } | Instr::Jnz { target, .. } | Instr::Jz { target, .. } =
+                instr
+            {
+                let n = targets.len();
+                targets.entry(*target).or_insert_with(|| format!("L{n}"));
+            }
+        }
+        for (idx, instr) in func.code.iter().enumerate() {
+            if let Some(label) = targets.get(&(idx as u32)) {
+                let _ = writeln!(out, "{label}:");
+            }
+            let text = match instr {
+                Instr::Jmp { target } => format!("jmp {}", targets[target]),
+                Instr::Jnz { cond, target } => format!("jnz {cond}, {}", targets[target]),
+                Instr::Jz { cond, target } => format!("jz {cond}, {}", targets[target]),
+                Instr::Call { func } => format!(
+                    "call {}",
+                    program.function(*func).map(|f| f.name.as_str()).unwrap_or("?")
+                ),
+                other => crate::disasm::format_instr(other),
+            };
+            let _ = writeln!(out, "    {text}");
+        }
+        // A label bound at the end of the function.
+        if let Some(label) = targets.get(&(func.code.len() as u32)) {
+            let _ = writeln!(out, "{label}:");
+            let _ = writeln!(out, "    nop");
+        }
+        let _ = writeln!(out, "}}");
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Machine, SliceLimits};
+    use crate::observer::NullObserver;
+    use crate::value::Tid;
+    use std::sync::Arc;
+
+    const DEMO: &str = r#"
+; compute 10 factorial-ish and store it
+.global result 8
+.data banner "ok\n"
+
+func main {
+    const r1, 1
+    const r2, 1
+loop:
+    mul r1, r1, r2
+    add r2, r2, 1
+    leu r3, r2, 10
+    jnz r3, loop
+    const r9, result
+    store8 [r9+0], r1
+    mov r8, r1          ; r1 is a return register; stash across the call
+    call finish
+    mov r0, r8
+    ret
+}
+
+func finish {
+    load8 r1, [r9+0]
+    nop
+    ret
+}
+"#;
+
+    #[test]
+    fn assembles_and_runs() {
+        let program = Arc::new(assemble(DEMO).expect("parse failed"));
+        let result = program.symbol("result").unwrap();
+        let mut m = Machine::new(program, &[]);
+        m.run_slice(Tid(0), SliceLimits::budget(10_000), &mut NullObserver)
+            .unwrap();
+        let ten_fact: u64 = (1..=10).product();
+        assert_eq!(m.mem().read(result, Width::W8), ten_fact);
+        assert_eq!(m.thread(Tid(0)).exit_value, ten_fact);
+    }
+
+    #[test]
+    fn roundtrip_is_structurally_identical() {
+        let original = assemble(DEMO).unwrap();
+        let text = program_to_asm(&original);
+        let back = assemble(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        assert_eq!(original.functions().len(), back.functions().len());
+        for (a, b) in original.functions().iter().zip(back.functions()) {
+            assert_eq!(a.code, b.code, "function {} differs", a.name);
+        }
+        assert_eq!(original.data(), back.data());
+    }
+
+    #[test]
+    fn error_reporting_names_the_line() {
+        let bad = "func main {\n    frobnicate r1\n}\n";
+        let e = assemble(bad).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn rejects_structural_mistakes() {
+        assert!(assemble("const r0, 1\n").is_err()); // outside func
+        assert!(assemble("func main {\n").is_err()); // unterminated
+        assert!(assemble("func main {\n jmp nowhere\n}\n").is_err());
+        assert!(assemble("func main {\n add r0, r1\n}\n").is_err()); // arity
+        assert!(assemble("func main {\n mov r99, 1\n}\n").is_err()); // bad reg
+        assert!(assemble("func helper {\n ret\n}\n").is_err()); // no main
+    }
+
+    #[test]
+    fn numeric_formats_and_memory_syntax() {
+        let src = "func main {\n const r1, 0xff\n const r2, -5\n load1 r3, [r1-8]\n store2 [r1+0x10], r3\n ret\n}\n";
+        let p = assemble(src).unwrap();
+        let code = &p.functions()[0].code;
+        assert_eq!(code[0], Instr::Const { dst: Reg(1), imm: 0xff });
+        assert_eq!(
+            code[1],
+            Instr::Const {
+                dst: Reg(2),
+                imm: (-5i64) as u64
+            }
+        );
+        assert_eq!(
+            code[2],
+            Instr::Load {
+                dst: Reg(3),
+                addr: Reg(1),
+                offset: -8,
+                width: Width::W1
+            }
+        );
+        assert_eq!(
+            code[3],
+            Instr::Store {
+                src: Reg(3),
+                addr: Reg(1),
+                offset: 0x10,
+                width: Width::W2
+            }
+        );
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let bytes = unescape(1, "\"a\\n\\t\\\\\\\"\\x7f\"").unwrap();
+        assert_eq!(bytes, b"a\n\t\\\"\x7f");
+        let lit = escape(&bytes);
+        assert_eq!(unescape(1, &lit).unwrap(), bytes);
+    }
+}

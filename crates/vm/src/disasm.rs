@@ -1,0 +1,104 @@
+//! Human-readable program listings, for debugging guests and for error
+//! reports that quote the faulting instruction.
+
+use crate::instr::Instr;
+use crate::program::{FuncId, Program};
+use std::fmt::Write as _;
+
+/// Formats one instruction as assembly-like text.
+pub fn format_instr(instr: &Instr) -> String {
+    match instr {
+        Instr::Const { dst, imm } => format!("const {dst}, {imm:#x}"),
+        Instr::Mov { dst, src } => format!("mov {dst}, {src}"),
+        Instr::Bin { op, dst, a, b } => format!("{} {dst}, {a}, {b}", op.mnemonic()),
+        Instr::Un { op, dst, a } => format!("{} {dst}, {a}", op.mnemonic()),
+        Instr::Load {
+            dst,
+            addr,
+            offset,
+            width,
+        } => format!("load{width} {dst}, [{addr}{offset:+}]"),
+        Instr::Store {
+            src,
+            addr,
+            offset,
+            width,
+        } => format!("store{width} [{addr}{offset:+}], {src}"),
+        Instr::Cas {
+            dst,
+            addr,
+            expected,
+            new,
+        } => format!("cas {dst}, [{addr}], {expected}, {new}"),
+        Instr::FetchAdd { dst, addr, val } => format!("faa {dst}, [{addr}], {val}"),
+        Instr::Swap { dst, addr, val } => format!("xchg {dst}, [{addr}], {val}"),
+        Instr::Jmp { target } => format!("jmp @{target}"),
+        Instr::Jnz { cond, target } => format!("jnz {cond}, @{target}"),
+        Instr::Jz { cond, target } => format!("jz {cond}, @{target}"),
+        Instr::Call { func } => format!("call {func}"),
+        Instr::CallIndirect { func } => format!("calli {func}"),
+        Instr::Ret => "ret".to_string(),
+        Instr::Syscall { num } => format!("syscall {num}"),
+        Instr::Nop => "nop".to_string(),
+    }
+}
+
+/// Formats one function as a labelled listing.
+pub fn format_function(program: &Program, id: FuncId) -> String {
+    let mut out = String::new();
+    let Some(f) = program.function(id) else {
+        return format!("<unknown function {id}>\n");
+    };
+    let _ = writeln!(out, "{id} <{}>:", f.name);
+    for (i, instr) in f.code.iter().enumerate() {
+        let _ = writeln!(out, "  {i:4}: {}", format_instr(instr));
+    }
+    out
+}
+
+/// Formats the whole program.
+pub fn format_program(program: &Program) -> String {
+    let mut out = String::new();
+    for i in 0..program.functions().len() {
+        out.push_str(&format_function(program, FuncId(i as u32)));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::value::{Reg, Width};
+
+    #[test]
+    fn listing_contains_every_instruction() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let l = f.label();
+        f.bind(l);
+        f.consti(Reg(0), 1);
+        f.load(Reg(1), Reg(0), 8, Width::W4);
+        f.store(Reg(1), Reg(0), -8, Width::W1);
+        f.jmp(l);
+        f.finish();
+        let p = pb.finish("main");
+        let text = format_program(&p);
+        assert!(text.contains("<main>"));
+        assert!(text.contains("const r0, 0x1"));
+        assert!(text.contains("load4 r1, [r0+8]"));
+        assert!(text.contains("store1 [r0-8], r1"));
+        assert!(text.contains("jmp @0"));
+    }
+
+    #[test]
+    fn unknown_function_is_reported() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        f.ret();
+        f.finish();
+        let p = pb.finish("main");
+        assert!(format_function(&p, FuncId(9)).contains("unknown"));
+    }
+}

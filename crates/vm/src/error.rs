@@ -1,0 +1,124 @@
+//! Guest faults: the ways a guest program can go wrong.
+
+use crate::program::FuncId;
+use crate::thread::Pc;
+use crate::value::Tid;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fault raised by the interpreter while executing guest code.
+///
+/// Faults are deterministic properties of the guest program and schedule, so
+/// a fault recorded during logging reproduces identically during replay —
+/// which is much of the point of deterministic replay.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)] // fields (tid/pc/...) are self-describing locations
+pub enum Fault {
+    /// Integer division or remainder by zero.
+    DivideByZero { tid: Tid, pc: Pc },
+    /// `Call`/`CallIndirect` to a function id that does not exist.
+    BadFunction { tid: Tid, pc: Pc, func: FuncId },
+    /// Execution ran past the last instruction of a function.
+    FellOffFunction { tid: Tid, func: FuncId },
+    /// An instruction referenced a register outside `r0..r31`.
+    BadRegister { tid: Tid, pc: Pc, reg: u8 },
+    /// Call stack exceeded the configured depth limit (runaway recursion).
+    StackOverflow { tid: Tid, pc: Pc },
+    /// A step was requested for a thread that cannot run (exited or waiting
+    /// on a syscall). This is a host-driver bug rather than a guest bug, but
+    /// is reported uniformly.
+    NotRunnable { tid: Tid },
+}
+
+impl Fault {
+    /// The thread that faulted.
+    pub fn tid(&self) -> Tid {
+        match self {
+            Fault::DivideByZero { tid, .. }
+            | Fault::BadFunction { tid, .. }
+            | Fault::FellOffFunction { tid, .. }
+            | Fault::BadRegister { tid, .. }
+            | Fault::StackOverflow { tid, .. }
+            | Fault::NotRunnable { tid } => *tid,
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::DivideByZero { tid, pc } => {
+                write!(f, "divide by zero in {tid} at {}:{}", pc.func, pc.idx)
+            }
+            Fault::BadFunction { tid, pc, func } => {
+                write!(f, "call to unknown function {func} in {tid} at {}:{}", pc.func, pc.idx)
+            }
+            Fault::FellOffFunction { tid, func } => {
+                write!(f, "execution fell off the end of {func} in {tid}")
+            }
+            Fault::BadRegister { tid, pc, reg } => {
+                write!(f, "bad register r{reg} in {tid} at {}:{}", pc.func, pc.idx)
+            }
+            Fault::StackOverflow { tid, pc } => {
+                write!(f, "call-stack overflow in {tid} at {}:{}", pc.func, pc.idx)
+            }
+            Fault::NotRunnable { tid } => {
+                write!(f, "attempt to step non-runnable thread {tid}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let fault = Fault::DivideByZero {
+            tid: Tid(2),
+            pc: Pc {
+                func: FuncId(1),
+                idx: 7,
+            },
+        };
+        let msg = fault.to_string();
+        assert!(msg.contains("divide by zero"));
+        assert!(msg.contains("t2"));
+        assert!(msg.contains("f1:7"));
+        assert_eq!(fault.tid(), Tid(2));
+    }
+
+    #[test]
+    fn tid_extraction_covers_all_variants() {
+        let pc = Pc {
+            func: FuncId(0),
+            idx: 0,
+        };
+        let faults = [
+            Fault::DivideByZero { tid: Tid(1), pc },
+            Fault::BadFunction {
+                tid: Tid(1),
+                pc,
+                func: FuncId(9),
+            },
+            Fault::FellOffFunction {
+                tid: Tid(1),
+                func: FuncId(0),
+            },
+            Fault::BadRegister {
+                tid: Tid(1),
+                pc,
+                reg: 40,
+            },
+            Fault::StackOverflow { tid: Tid(1), pc },
+            Fault::NotRunnable { tid: Tid(1) },
+        ];
+        for f in faults {
+            assert_eq!(f.tid(), Tid(1));
+            assert!(!f.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! FNV-1a hashing used for state digests.
+//!
+//! DoublePlay detects divergence between the epoch-parallel execution and the
+//! thread-parallel execution by comparing digests of entire machine states at
+//! epoch boundaries, so the hash must be deterministic across platforms and
+//! cheap to compute over page-sized buffers. FNV-1a over explicit field
+//! encodings satisfies both; it is *not* cryptographic (an adversarial guest
+//! is out of scope, as in the paper).
+
+/// A 64-bit FNV-1a hasher with helpers for the field types state digests use.
+#[derive(Debug, Clone)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv1a {
+    /// Creates a hasher in the standard initial state.
+    pub fn new() -> Self {
+        Fnv1a { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    #[inline]
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        let mut s = self.state;
+        for &b in bytes {
+            s ^= b as u64;
+            s = s.wrapping_mul(FNV_PRIME);
+        }
+        self.state = s;
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u32` in little-endian byte order.
+    #[inline]
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Returns the digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Convenience: hash a byte slice in one call.
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(hash_bytes(b""), 0xcbf29ce484222325);
+        assert_eq!(hash_bytes(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(hash_bytes(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn field_encoding_is_order_sensitive() {
+        let mut a = Fnv1a::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv1a::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn u64_equals_bytes() {
+        let mut a = Fnv1a::new();
+        a.write_u64(0x0123_4567_89ab_cdef);
+        let mut b = Fnv1a::new();
+        b.write_bytes(&[0xef, 0xcd, 0xab, 0x89, 0x67, 0x45, 0x23, 0x01]);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

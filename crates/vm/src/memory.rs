@@ -1,0 +1,371 @@
+//! Paged guest memory with copy-on-write snapshots and dirty-page tracking.
+//!
+//! Memory is a sparse map of 4 KiB pages shared via `Arc`. Cloning a
+//! `Memory` (the checkpoint operation at the heart of DoublePlay) only clones
+//! the page table; pages are copied lazily on the next write — the same
+//! asymptotics as the paper's `fork()`-based checkpoints. Reads of unmapped
+//! addresses return zero (anonymous-mapping semantics), which keeps guest
+//! programs simple and makes the zero page irrelevant to state digests.
+//!
+//! Dirty-page tracking serves two masters: the checkpoint cost model (cost is
+//! proportional to pages dirtied per epoch) and fast divergence diagnostics
+//! (only dirty pages need diffing).
+
+use crate::hash::Fnv1a;
+use crate::value::{Width, Word};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
+
+/// A fast, deterministic hasher for page numbers (FxHash-style multiply).
+/// Page tables are in the interpreter's hottest path; SipHash would cost
+/// more than the interpretation itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PageHasher {
+    state: u64,
+}
+
+impl Hasher for PageHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state.rotate_left(5) ^ b as u64).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.state = (self.state.rotate_left(5) ^ v).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+}
+
+type PageMap = HashMap<u64, Arc<Page>, BuildHasherDefault<PageHasher>>;
+
+/// Bytes per page.
+pub const PAGE_SIZE: u64 = 4096;
+const PAGE_SHIFT: u32 = 12;
+
+/// Page number containing `addr`.
+#[inline]
+pub fn page_of(addr: Word) -> u64 {
+    addr >> PAGE_SHIFT
+}
+
+type Page = [u8; PAGE_SIZE as usize];
+
+fn no_last_dirty() -> u64 {
+    u64::MAX
+}
+
+fn zero_page() -> Arc<Page> {
+    Arc::new([0u8; PAGE_SIZE as usize])
+}
+
+/// Sparse, copy-on-write paged memory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Memory {
+    #[serde(with = "page_map_serde")]
+    pages: PageMap,
+    /// Pages written since the last [`Memory::take_dirty`].
+    dirty: BTreeSet<u64>,
+    /// Fast path: the page most recently marked dirty (writes cluster).
+    #[serde(skip, default = "no_last_dirty")]
+    last_dirty: u64,
+}
+
+impl Memory {
+    /// Creates empty (all-zero) memory.
+    pub fn new() -> Self {
+        Memory {
+            pages: PageMap::default(),
+            dirty: BTreeSet::new(),
+            last_dirty: u64::MAX,
+        }
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn read_u8(&self, addr: Word) -> u8 {
+        match self.pages.get(&page_of(addr)) {
+            Some(p) => p[(addr % PAGE_SIZE) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte, allocating or copying the page as needed.
+    #[inline]
+    pub fn write_u8(&mut self, addr: Word, value: u8) {
+        let pno = page_of(addr);
+        let page = self.pages.entry(pno).or_insert_with(zero_page);
+        Arc::make_mut(page)[(addr % PAGE_SIZE) as usize] = value;
+        self.mark_dirty(pno);
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, pno: u64) {
+        if self.last_dirty != pno {
+            self.last_dirty = pno;
+            self.dirty.insert(pno);
+        }
+    }
+
+    /// Reads `width` bytes little-endian, zero-extended to a word.
+    /// Accesses may be unaligned and may straddle pages.
+    pub fn read(&self, addr: Word, width: Width) -> Word {
+        let n = width.bytes();
+        // Fast path: access within one page.
+        let off = (addr % PAGE_SIZE) as usize;
+        if off as u64 + n <= PAGE_SIZE {
+            if let Some(p) = self.pages.get(&page_of(addr)) {
+                let mut buf = [0u8; 8];
+                buf[..n as usize].copy_from_slice(&p[off..off + n as usize]);
+                return u64::from_le_bytes(buf);
+            }
+            return 0;
+        }
+        let mut v: Word = 0;
+        for i in 0..n {
+            v |= (self.read_u8(addr.wrapping_add(i)) as Word) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `width` bytes of `value` little-endian.
+    pub fn write(&mut self, addr: Word, value: Word, width: Width) {
+        let n = width.bytes();
+        let off = (addr % PAGE_SIZE) as usize;
+        if off as u64 + n <= PAGE_SIZE {
+            let pno = page_of(addr);
+            let page = self.pages.entry(pno).or_insert_with(zero_page);
+            let bytes = value.to_le_bytes();
+            Arc::make_mut(page)[off..off + n as usize].copy_from_slice(&bytes[..n as usize]);
+            self.mark_dirty(pno);
+            return;
+        }
+        for i in 0..n {
+            self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Copies `len` bytes out of guest memory.
+    pub fn read_bytes(&self, addr: Word, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len as u64 {
+            out.push(self.read_u8(addr.wrapping_add(i)));
+        }
+        out
+    }
+
+    /// Copies bytes into guest memory.
+    pub fn write_bytes(&mut self, addr: Word, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), b);
+        }
+    }
+
+    /// Number of resident (allocated) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Returns and clears the set of pages written since the last call.
+    /// Used by the recorder to charge checkpoint cost per epoch.
+    pub fn take_dirty(&mut self) -> BTreeSet<u64> {
+        self.last_dirty = u64::MAX;
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// Pages written since the last [`Memory::take_dirty`], without clearing.
+    pub fn dirty(&self) -> &BTreeSet<u64> {
+        &self.dirty
+    }
+
+    /// Digest of memory contents. All-zero pages hash identically to
+    /// unmapped pages, so zero-fill semantics cannot cause false divergence.
+    pub fn hash_into(&self, h: &mut Fnv1a) {
+        let mut pnos: Vec<u64> = self.pages.keys().copied().collect();
+        pnos.sort_unstable();
+        for pno in pnos {
+            let page = &self.pages[&pno];
+            if page.iter().all(|&b| b == 0) {
+                continue;
+            }
+            h.write_u64(pno);
+            h.write_bytes(page.as_slice());
+        }
+    }
+
+    /// Finds the first byte address at which `self` and `other` differ, if
+    /// any — the divergence-diagnostics path.
+    pub fn first_difference(&self, other: &Memory) -> Option<Word> {
+        let pnos: BTreeSet<u64> = self
+            .pages
+            .keys()
+            .chain(other.pages.keys())
+            .copied()
+            .collect();
+        let zero = zero_page();
+        for pno in pnos {
+            let a = self.pages.get(&pno).unwrap_or(&zero);
+            let b = other.pages.get(&pno).unwrap_or(&zero);
+            if Arc::ptr_eq(a, b) {
+                continue;
+            }
+            for i in 0..PAGE_SIZE as usize {
+                if a[i] != b[i] {
+                    return Some(pno * PAGE_SIZE + i as u64);
+                }
+            }
+        }
+        None
+    }
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Serde adapter: serialize the page map as `(page_no, bytes)` pairs so the
+/// `Arc` sharing is transparent to the wire format.
+mod page_map_serde {
+    use super::*;
+    use serde::de::Deserializer;
+    use serde::ser::{SerializeSeq, Serializer};
+
+    pub fn serialize<S: Serializer>(pages: &PageMap, ser: S) -> Result<S::Ok, S::Error> {
+        let mut pnos: Vec<u64> = pages.keys().copied().collect();
+        pnos.sort_unstable();
+        let mut seq = ser.serialize_seq(Some(pages.len()))?;
+        for pno in pnos {
+            seq.serialize_element(&(pno, pages[&pno].to_vec()))?;
+        }
+        seq.end()
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(de: D) -> Result<PageMap, D::Error> {
+        let raw: Vec<(u64, Vec<u8>)> = serde::Deserialize::deserialize(de)?;
+        let mut map = PageMap::default();
+        for (pno, bytes) in raw {
+            let mut page = [0u8; PAGE_SIZE as usize];
+            let n = bytes.len().min(PAGE_SIZE as usize);
+            page[..n].copy_from_slice(&bytes[..n]);
+            map.insert(pno, Arc::new(page));
+        }
+        Ok(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_reads() {
+        let m = Memory::new();
+        assert_eq!(m.read(0xdead_beef, Width::W8), 0);
+        assert_eq!(m.read_u8(12345), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn read_write_roundtrip_all_widths() {
+        let mut m = Memory::new();
+        for (w, v) in [
+            (Width::W1, 0xabu64),
+            (Width::W2, 0xabcd),
+            (Width::W4, 0xdead_beef),
+            (Width::W8, 0x0123_4567_89ab_cdef),
+        ] {
+            m.write(0x2000, v, w);
+            assert_eq!(m.read(0x2000, w), v);
+        }
+    }
+
+    #[test]
+    fn truncation_on_narrow_write() {
+        let mut m = Memory::new();
+        m.write(0x100, u64::MAX, Width::W8);
+        m.write(0x100, 0, Width::W1);
+        assert_eq!(m.read(0x100, Width::W8), u64::MAX & !0xff);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        let addr = PAGE_SIZE - 3; // straddles page 0 and 1
+        m.write(addr, 0x1122_3344_5566_7788, Width::W8);
+        assert_eq!(m.read(addr, Width::W8), 0x1122_3344_5566_7788);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn cow_snapshot_isolation() {
+        let mut a = Memory::new();
+        a.write(0x1000, 7, Width::W8);
+        let snap = a.clone();
+        a.write(0x1000, 9, Width::W8);
+        assert_eq!(snap.read(0x1000, Width::W8), 7);
+        assert_eq!(a.read(0x1000, Width::W8), 9);
+    }
+
+    #[test]
+    fn dirty_tracking() {
+        let mut m = Memory::new();
+        m.write(0x1000, 1, Width::W8);
+        m.write(0x1008, 2, Width::W8);
+        m.write(PAGE_SIZE * 5, 3, Width::W1);
+        let dirty = m.take_dirty();
+        assert_eq!(dirty.len(), 2);
+        assert!(m.take_dirty().is_empty());
+        m.write(0x1000, 4, Width::W8);
+        assert_eq!(m.take_dirty().len(), 1);
+    }
+
+    #[test]
+    fn hash_ignores_zero_pages() {
+        let mut a = Memory::new();
+        let b = Memory::new();
+        a.write(0x5000, 1, Width::W8);
+        a.write(0x5000, 0, Width::W8); // page now all-zero again
+        let mut ha = Fnv1a::new();
+        a.hash_into(&mut ha);
+        let mut hb = Fnv1a::new();
+        b.hash_into(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn first_difference_finds_exact_byte() {
+        let mut a = Memory::new();
+        let mut b = Memory::new();
+        a.write_bytes(0x3000, b"hello world");
+        b.write_bytes(0x3000, b"hello_world");
+        assert_eq!(a.first_difference(&b), Some(0x3005));
+        assert_eq!(a.first_difference(&a.clone()), None);
+    }
+
+    #[test]
+    fn first_difference_vs_unmapped() {
+        let mut a = Memory::new();
+        a.write(0x9000, 0xff, Width::W1);
+        let b = Memory::new();
+        assert_eq!(a.first_difference(&b), Some(0x9000));
+        assert_eq!(b.first_difference(&a), Some(0x9000));
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut m = Memory::new();
+        let data: Vec<u8> = (0..=255).collect();
+        m.write_bytes(PAGE_SIZE - 100, &data);
+        assert_eq!(m.read_bytes(PAGE_SIZE - 100, 256), data);
+    }
+}

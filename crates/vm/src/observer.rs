@@ -1,0 +1,130 @@
+//! Memory-access observation hooks.
+//!
+//! The DoublePlay recorder itself never needs these — that is the paper's
+//! central claim — but the baseline recorders it is compared against do:
+//! value logging records every shared read, and CREW page-ownership logging
+//! must see every access to drive its page state machine. The interpreter
+//! reports each data access to an observer so those baselines can be built
+//! without touching the interpreter.
+
+use crate::value::{Tid, Width, Word};
+
+/// Kind of data access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A plain load.
+    Read,
+    /// A plain store.
+    Write,
+    /// An atomic read-modify-write (counts as both a read and a write).
+    Atomic,
+}
+
+impl AccessKind {
+    /// Whether the access reads memory.
+    pub fn reads(self) -> bool {
+        matches!(self, AccessKind::Read | AccessKind::Atomic)
+    }
+
+    /// Whether the access writes memory.
+    pub fn writes(self) -> bool {
+        matches!(self, AccessKind::Write | AccessKind::Atomic)
+    }
+}
+
+/// One observed data access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Thread performing the access.
+    pub tid: Tid,
+    /// The accessing thread's instruction count *after* the instruction.
+    pub icount: u64,
+    /// Byte address.
+    pub addr: Word,
+    /// Access width.
+    pub width: Width,
+    /// Kind of access.
+    pub kind: AccessKind,
+    /// Value read (for reads/atomics) or written (for writes).
+    pub value: Word,
+}
+
+/// Receives every data access the interpreter performs.
+///
+/// Implementations must be cheap: the interpreter calls this on the hot path.
+pub trait MemObserver {
+    /// Called after each data memory access.
+    fn on_access(&mut self, access: Access);
+
+    /// Called *before* a plain load; returning `Some(v)` makes the load
+    /// yield `v` instead of reading memory. Value-logging replay uses this
+    /// to feed a thread the shared-memory values it saw during recording.
+    /// The default never intercepts.
+    fn intercept_load(&mut self, tid: Tid, addr: Word, width: Width) -> Option<Word> {
+        let _ = (tid, addr, width);
+        None
+    }
+
+    /// Called *before* an atomic read-modify-write; returning `Some(old)`
+    /// makes the atomic observe `old` and suppresses its memory write
+    /// (value-logging replay runs each thread in isolation, so its view of
+    /// shared atomics comes entirely from the log). The default never
+    /// intercepts.
+    fn intercept_atomic(&mut self, tid: Tid, addr: Word) -> Option<Word> {
+        let _ = (tid, addr);
+        None
+    }
+}
+
+/// An observer that ignores everything; used by the DoublePlay recorder and
+/// anywhere access tracking is not needed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl MemObserver for NullObserver {
+    #[inline]
+    fn on_access(&mut self, _access: Access) {}
+}
+
+/// Test helper: collects all accesses into a vector.
+#[derive(Debug, Default)]
+pub struct CollectingObserver {
+    /// Accesses in program order.
+    pub accesses: Vec<Access>,
+}
+
+impl MemObserver for CollectingObserver {
+    fn on_access(&mut self, access: Access) {
+        self.accesses.push(access);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_classification() {
+        assert!(AccessKind::Read.reads());
+        assert!(!AccessKind::Read.writes());
+        assert!(!AccessKind::Write.reads());
+        assert!(AccessKind::Write.writes());
+        assert!(AccessKind::Atomic.reads());
+        assert!(AccessKind::Atomic.writes());
+    }
+
+    #[test]
+    fn collecting_observer_collects() {
+        let mut obs = CollectingObserver::default();
+        let a = Access {
+            tid: Tid(0),
+            icount: 1,
+            addr: 0x1000,
+            width: Width::W8,
+            kind: AccessKind::Read,
+            value: 5,
+        };
+        obs.on_access(a);
+        assert_eq!(obs.accesses, vec![a]);
+    }
+}

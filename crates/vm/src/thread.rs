@@ -1,0 +1,324 @@
+//! Per-thread execution state: register file, program counter, call stack,
+//! instruction count, and syscall trap status.
+
+use crate::program::FuncId;
+use crate::value::{Tid, Word, ARG_REGS, NUM_REGS, RET_REGS, THREAD_REG_BASE};
+use serde::{Deserialize, Serialize};
+
+/// A program counter: function and instruction index within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pc {
+    /// Current function.
+    pub func: FuncId,
+    /// Index of the *next* instruction to execute.
+    pub idx: u32,
+}
+
+/// A saved caller frame.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Where to resume in the caller.
+    pub ret_pc: Pc,
+    /// The caller's full register file, restored on return (with `r0..r1`
+    /// and the thread registers overwritten by the callee's).
+    pub regs: [Word; NUM_REGS],
+    /// When true, *all* caller registers are restored on return, with no
+    /// copy-back of results. Used for asynchronous signal-handler frames,
+    /// which must be transparent to the interrupted code.
+    pub full_restore: bool,
+}
+
+/// Lifecycle status of a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ThreadStatus {
+    /// Can execute instructions.
+    Ready,
+    /// Trapped into the kernel; waiting for the pending syscall to complete.
+    Waiting,
+    /// Finished (returned from the bottom frame, exited via syscall, or the
+    /// machine halted).
+    Exited,
+}
+
+/// A syscall trap captured by the interpreter, to be serviced by the host
+/// kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyscallRequest {
+    /// Thread that trapped.
+    pub tid: Tid,
+    /// Syscall number (from the instruction immediate).
+    pub num: u32,
+    /// Snapshot of `r0..r5` at the trap.
+    pub args: [Word; 6],
+}
+
+/// Execution state of one thread.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadState {
+    /// This thread's id.
+    pub tid: Tid,
+    /// Program counter (next instruction).
+    pub pc: Pc,
+    /// Current register file.
+    pub regs: [Word; NUM_REGS],
+    /// Saved caller frames (bottom frame is index 0).
+    pub frames: Vec<Frame>,
+    /// Lifecycle status.
+    pub status: ThreadStatus,
+    /// Total instructions executed by this thread since it started. This is
+    /// the coordinate system for epoch boundaries and schedule-log entries.
+    pub icount: u64,
+    /// The syscall currently being serviced, if any.
+    pub pending: Option<SyscallRequest>,
+    /// Exit value (`r0` at exit), once exited.
+    pub exit_value: Word,
+}
+
+impl ThreadState {
+    /// Creates a thread poised to run `func` with the given arguments in
+    /// `r0..` and the stack pointer preset by the machine.
+    pub fn new(tid: Tid, func: FuncId, args: &[Word], sp: Word) -> Self {
+        assert!(
+            args.len() <= ARG_REGS,
+            "at most {ARG_REGS} thread arguments supported, got {}",
+            args.len()
+        );
+        let mut regs = [0u64; NUM_REGS];
+        regs[..args.len()].copy_from_slice(args);
+        regs[NUM_REGS - 1] = sp; // r31 = SP
+        ThreadState {
+            tid,
+            pc: Pc { func, idx: 0 },
+            regs,
+            frames: Vec::new(),
+            status: ThreadStatus::Ready,
+            icount: 0,
+            pending: None,
+            exit_value: 0,
+        }
+    }
+
+    /// True while the thread can be stepped.
+    pub fn is_ready(&self) -> bool {
+        self.status == ThreadStatus::Ready
+    }
+
+    /// True once the thread has finished for good.
+    pub fn is_exited(&self) -> bool {
+        self.status == ThreadStatus::Exited
+    }
+
+    /// Pushes a call frame and enters `func`, implementing the ABI:
+    /// the callee gets a fresh register file with the argument registers and
+    /// thread registers copied from the caller.
+    pub fn enter_call(&mut self, func: FuncId, ret_pc: Pc) {
+        let caller_regs = self.regs;
+        self.frames.push(Frame {
+            ret_pc,
+            regs: caller_regs,
+            full_restore: false,
+        });
+        let mut callee = [0u64; NUM_REGS];
+        callee[..ARG_REGS].copy_from_slice(&caller_regs[..ARG_REGS]);
+        callee[THREAD_REG_BASE..].copy_from_slice(&caller_regs[THREAD_REG_BASE..]);
+        self.regs = callee;
+        self.pc = Pc { func, idx: 0 };
+    }
+
+    /// Pushes a *signal* frame: like [`ThreadState::enter_call`], but the
+    /// interrupted context is restored in full when the handler returns, so
+    /// delivery is transparent to the interrupted code. `args` are placed in
+    /// the handler's argument registers.
+    pub fn enter_signal_call(&mut self, func: FuncId, args: &[Word]) {
+        assert!(args.len() <= ARG_REGS);
+        let interrupted_regs = self.regs;
+        self.frames.push(Frame {
+            ret_pc: self.pc,
+            regs: interrupted_regs,
+            full_restore: true,
+        });
+        let mut callee = [0u64; NUM_REGS];
+        callee[..args.len()].copy_from_slice(args);
+        callee[THREAD_REG_BASE..].copy_from_slice(&interrupted_regs[THREAD_REG_BASE..]);
+        self.regs = callee;
+        self.pc = Pc { func, idx: 0 };
+    }
+
+    /// Pops a call frame, copying return and thread registers back to the
+    /// caller. Returns `false` when the bottom frame was popped, i.e. the
+    /// thread has finished and `exit_value` is set.
+    pub fn leave_call(&mut self) -> bool {
+        let callee_regs = self.regs;
+        match self.frames.pop() {
+            Some(frame) => {
+                self.regs = frame.regs;
+                if !frame.full_restore {
+                    self.regs[..RET_REGS].copy_from_slice(&callee_regs[..RET_REGS]);
+                    self.regs[THREAD_REG_BASE..].copy_from_slice(&callee_regs[THREAD_REG_BASE..]);
+                }
+                self.pc = frame.ret_pc;
+                true
+            }
+            None => {
+                self.exit_value = callee_regs[0];
+                self.status = ThreadStatus::Exited;
+                false
+            }
+        }
+    }
+
+    /// Digest of the full thread state (registers, pc, frames, icount,
+    /// status, pending trap) for divergence detection.
+    pub fn hash_into(&self, h: &mut crate::hash::Fnv1a) {
+        h.write_u32(self.tid.0);
+        h.write_u32(self.pc.func.0);
+        h.write_u32(self.pc.idx);
+        for r in &self.regs {
+            h.write_u64(*r);
+        }
+        h.write_u64(self.frames.len() as u64);
+        for f in &self.frames {
+            h.write_u32(f.ret_pc.func.0);
+            h.write_u32(f.ret_pc.idx);
+            h.write_u32(f.full_restore as u32);
+            for r in &f.regs {
+                h.write_u64(*r);
+            }
+        }
+        h.write_u64(self.icount);
+        h.write_u32(match self.status {
+            ThreadStatus::Ready => 0,
+            ThreadStatus::Waiting => 1,
+            ThreadStatus::Exited => 2,
+        });
+        match &self.pending {
+            None => h.write_u32(0),
+            Some(req) => {
+                h.write_u32(1);
+                h.write_u32(req.num);
+                for a in &req.args {
+                    h.write_u64(*a);
+                }
+            }
+        }
+        h.write_u64(self.exit_value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::Fnv1a;
+
+    fn thread() -> ThreadState {
+        ThreadState::new(Tid(1), FuncId(0), &[10, 20], 0x7000_0000)
+    }
+
+    #[test]
+    fn new_thread_register_setup() {
+        let t = thread();
+        assert_eq!(t.regs[0], 10);
+        assert_eq!(t.regs[1], 20);
+        assert_eq!(t.regs[2], 0);
+        assert_eq!(t.regs[31], 0x7000_0000);
+        assert!(t.is_ready());
+        assert_eq!(t.icount, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread arguments")]
+    fn too_many_args_panics() {
+        ThreadState::new(Tid(0), FuncId(0), &[0; 9], 0);
+    }
+
+    #[test]
+    fn call_abi_copies_args_and_thread_regs() {
+        let mut t = thread();
+        t.regs[5] = 55;
+        t.regs[10] = 99; // scratch, must not leak to callee
+        t.regs[28] = 77; // thread register, must propagate
+        let ret = Pc {
+            func: FuncId(0),
+            idx: 3,
+        };
+        t.enter_call(FuncId(1), ret);
+        assert_eq!(t.pc, Pc { func: FuncId(1), idx: 0 });
+        assert_eq!(t.regs[0], 10);
+        assert_eq!(t.regs[5], 55);
+        assert_eq!(t.regs[10], 0);
+        assert_eq!(t.regs[28], 77);
+        assert_eq!(t.regs[31], 0x7000_0000);
+    }
+
+    #[test]
+    fn return_abi_copies_results_back() {
+        let mut t = thread();
+        t.regs[10] = 42; // caller scratch survives the call
+        t.enter_call(FuncId(1), Pc { func: FuncId(0), idx: 9 });
+        t.regs[0] = 111;
+        t.regs[1] = 222;
+        t.regs[31] = 0x6fff_0000; // callee adjusted SP
+        assert!(t.leave_call());
+        assert_eq!(t.pc.idx, 9);
+        assert_eq!(t.regs[0], 111);
+        assert_eq!(t.regs[1], 222);
+        assert_eq!(t.regs[10], 42);
+        assert_eq!(t.regs[31], 0x6fff_0000);
+    }
+
+    #[test]
+    fn bottom_frame_return_exits_thread() {
+        let mut t = thread();
+        t.regs[0] = 7;
+        assert!(!t.leave_call());
+        assert!(t.is_exited());
+        assert_eq!(t.exit_value, 7);
+    }
+
+    #[test]
+    fn signal_frame_is_transparent() {
+        let mut t = thread();
+        t.regs[0] = 1;
+        t.regs[1] = 2;
+        t.regs[10] = 3;
+        t.pc = Pc {
+            func: FuncId(0),
+            idx: 5,
+        };
+        let before = t.regs;
+        t.enter_signal_call(FuncId(2), &[9]);
+        assert_eq!(t.regs[0], 9); // signal number in r0
+        assert_eq!(t.pc.func, FuncId(2));
+        // Handler clobbers everything it can.
+        t.regs = [0xdead; NUM_REGS];
+        assert!(t.leave_call());
+        assert_eq!(t.regs, before);
+        assert_eq!(
+            t.pc,
+            Pc {
+                func: FuncId(0),
+                idx: 5
+            }
+        );
+    }
+
+    #[test]
+    fn hash_sensitive_to_registers_and_pc() {
+        let t1 = thread();
+        let mut t2 = thread();
+        let digest = |t: &ThreadState| {
+            let mut h = Fnv1a::new();
+            t.hash_into(&mut h);
+            h.finish()
+        };
+        assert_eq!(digest(&t1), digest(&t2));
+        t2.regs[3] = 1;
+        assert_ne!(digest(&t1), digest(&t2));
+        let mut t3 = thread();
+        t3.pc.idx = 1;
+        assert_ne!(digest(&t1), digest(&t3));
+        let mut t4 = thread();
+        t4.icount = 5;
+        assert_ne!(digest(&t1), digest(&t4));
+    }
+}

@@ -1,0 +1,216 @@
+//! Fundamental value types shared across the VM: machine words, register
+//! names, thread identifiers, and operand widths.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A machine word. The VM is a 64-bit machine: registers, addresses and
+/// immediate values are all `Word`s.
+pub type Word = u64;
+
+/// Number of general-purpose registers per frame.
+pub const NUM_REGS: usize = 32;
+
+/// Registers carrying call arguments (`r0..r7`).
+pub const ARG_REGS: usize = 8;
+
+/// Registers carrying return values back to the caller (`r0..r1`).
+pub const RET_REGS: usize = 2;
+
+/// First of the "thread registers" (`r28..r31`) which are propagated both
+/// into a callee frame and back to the caller on return. By convention `r31`
+/// is the stack pointer.
+pub const THREAD_REG_BASE: usize = 28;
+
+/// Conventional stack-pointer register (`r31`).
+pub const SP: Reg = Reg(31);
+
+/// A register name (`r0` .. `r31`).
+///
+/// Registers are per-frame: every `Call` gives the callee a fresh register
+/// file (see the ABI description on [`crate::Machine`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Returns the register index as a `usize`, for indexing register files.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register number is out of range (>= [`NUM_REGS`]).
+    #[inline]
+    pub fn index(self) -> usize {
+        let i = self.0 as usize;
+        assert!(i < NUM_REGS, "register r{} out of range", self.0);
+        i
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u8> for Reg {
+    fn from(v: u8) -> Self {
+        Reg(v)
+    }
+}
+
+/// An instruction operand: either a register or a sign-extended immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Src {
+    /// Read the operand from a register.
+    Reg(Reg),
+    /// Use the immediate value (sign-extended to 64 bits).
+    Imm(i64),
+}
+
+impl fmt::Display for Src {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Src::Reg(r) => write!(f, "{r}"),
+            Src::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<Reg> for Src {
+    fn from(r: Reg) -> Self {
+        Src::Reg(r)
+    }
+}
+
+impl From<i64> for Src {
+    fn from(v: i64) -> Self {
+        Src::Imm(v)
+    }
+}
+
+impl From<u32> for Src {
+    fn from(v: u32) -> Self {
+        Src::Imm(v as i64)
+    }
+}
+
+/// Width of a memory access in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Width {
+    /// 1 byte.
+    W1,
+    /// 2 bytes.
+    W2,
+    /// 4 bytes.
+    W4,
+    /// 8 bytes (a full word).
+    W8,
+}
+
+impl Width {
+    /// Number of bytes covered by this width.
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        match self {
+            Width::W1 => 1,
+            Width::W2 => 2,
+            Width::W4 => 4,
+            Width::W8 => 8,
+        }
+    }
+
+    /// Truncates `value` to this width (zero-extending back to a `Word`).
+    #[inline]
+    pub fn truncate(self, value: Word) -> Word {
+        match self {
+            Width::W1 => value & 0xff,
+            Width::W2 => value & 0xffff,
+            Width::W4 => value & 0xffff_ffff,
+            Width::W8 => value,
+        }
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bytes())
+    }
+}
+
+/// A thread identifier within one [`crate::Machine`].
+///
+/// Thread ids are dense, deterministic, and never reused: the first thread is
+/// `Tid(0)` and each spawn allocates the next integer.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Tid(pub u32);
+
+impl Tid {
+    /// Returns the id as a `usize` for indexing thread tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u32> for Tid {
+    fn from(v: u32) -> Self {
+        Tid(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_truncation() {
+        assert_eq!(Width::W1.truncate(0x1ff), 0xff);
+        assert_eq!(Width::W2.truncate(0x1_ffff), 0xffff);
+        assert_eq!(Width::W4.truncate(0x1_ffff_ffff), 0xffff_ffff);
+        assert_eq!(Width::W8.truncate(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn width_bytes() {
+        assert_eq!(Width::W1.bytes(), 1);
+        assert_eq!(Width::W2.bytes(), 2);
+        assert_eq!(Width::W4.bytes(), 4);
+        assert_eq!(Width::W8.bytes(), 8);
+    }
+
+    #[test]
+    fn reg_display_and_index() {
+        assert_eq!(Reg(7).to_string(), "r7");
+        assert_eq!(Reg(31).index(), 31);
+        assert_eq!(SP, Reg(31));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_index_out_of_range_panics() {
+        Reg(32).index();
+    }
+
+    #[test]
+    fn src_conversions() {
+        assert_eq!(Src::from(Reg(3)), Src::Reg(Reg(3)));
+        assert_eq!(Src::from(-5i64), Src::Imm(-5));
+        assert_eq!(Src::Imm(42).to_string(), "42");
+        assert_eq!(Src::Reg(Reg(2)).to_string(), "r2");
+    }
+
+    #[test]
+    fn tid_ordering_is_dense() {
+        assert!(Tid(0) < Tid(1));
+        assert_eq!(Tid(4).index(), 4);
+        assert_eq!(Tid(9).to_string(), "t9");
+    }
+}

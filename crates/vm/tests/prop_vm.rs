@@ -1,0 +1,329 @@
+//! Property-based tests for the VM substrate: memory model equivalence,
+//! copy-on-write isolation, and the determinism contract that the whole
+//! DoublePlay stack relies on.
+
+use dp_vm::builder::ProgramBuilder;
+use dp_vm::memory::Memory;
+use dp_vm::observer::NullObserver;
+use dp_vm::{BinOp, Machine, Reg, SliceLimits, Src, Tid, Width};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A write operation for the memory model test.
+#[derive(Debug, Clone)]
+struct WriteOp {
+    addr: u64,
+    value: u64,
+    width: Width,
+}
+
+fn width_strategy() -> impl Strategy<Value = Width> {
+    prop_oneof![
+        Just(Width::W1),
+        Just(Width::W2),
+        Just(Width::W4),
+        Just(Width::W8),
+    ]
+}
+
+fn write_op() -> impl Strategy<Value = WriteOp> {
+    // Cluster addresses near page boundaries to exercise straddling.
+    (0u64..4, 0u64..32, any::<u64>(), width_strategy()).prop_map(|(page, off, value, width)| {
+        WriteOp {
+            addr: page * 4096 + if off < 16 { off } else { 4096 - 8 + (off - 16) % 8 },
+            value,
+            width,
+        }
+    })
+}
+
+proptest! {
+    /// Memory behaves like a flat byte array initialized to zero.
+    #[test]
+    fn memory_matches_byte_model(ops in proptest::collection::vec(write_op(), 1..64)) {
+        let mut mem = Memory::new();
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for op in &ops {
+            mem.write(op.addr, op.value, op.width);
+            for i in 0..op.width.bytes() {
+                model.insert(op.addr.wrapping_add(i), (op.value >> (8 * i)) as u8);
+            }
+        }
+        // Every byte the model knows about must match; and reads of each
+        // written word must reassemble little-endian.
+        for (&addr, &byte) in &model {
+            prop_assert_eq!(mem.read_u8(addr), byte);
+        }
+        for op in &ops {
+            let read = mem.read(op.addr, op.width);
+            let mut expect = 0u64;
+            for i in 0..op.width.bytes() {
+                expect |= (*model.get(&op.addr.wrapping_add(i)).unwrap() as u64) << (8 * i);
+            }
+            prop_assert_eq!(read, expect);
+        }
+    }
+
+    /// Snapshots are immune to later writes, and writes to a snapshot do not
+    /// leak back — the checkpoint property.
+    #[test]
+    fn cow_snapshots_are_isolated(
+        before in proptest::collection::vec(write_op(), 1..32),
+        after in proptest::collection::vec(write_op(), 1..32),
+    ) {
+        let mut mem = Memory::new();
+        for op in &before {
+            mem.write(op.addr, op.value, op.width);
+        }
+        let snap = mem.clone();
+        let baseline: Vec<u64> = before.iter().map(|op| snap.read(op.addr, op.width)).collect();
+        let mut snap2 = mem.clone();
+        for op in &after {
+            mem.write(op.addr, op.value.wrapping_add(1), op.width);
+            snap2.write(op.addr, op.value.wrapping_sub(1), op.width);
+        }
+        for (op, expect) in before.iter().zip(baseline) {
+            prop_assert_eq!(snap.read(op.addr, op.width), expect);
+        }
+        prop_assert_eq!(snap.first_difference(&snap.clone()), None);
+    }
+
+    /// Executing the same straight-line program with arbitrary slice
+    /// boundaries produces identical final state hashes.
+    #[test]
+    fn slicing_does_not_change_semantics(
+        seeds in proptest::collection::vec(any::<u64>(), 4..16),
+        slice_len in 1u64..7,
+    ) {
+        let mut pb = ProgramBuilder::new();
+        let scratch = pb.global("scratch", 64);
+        let mut f = pb.function("main");
+        f.consti(Reg(10), scratch as i64);
+        for (i, &s) in seeds.iter().enumerate() {
+            f.constu(Reg(1), s);
+            f.bin(BinOp::Xor, Reg(2), Reg(2), Src::Reg(Reg(1)));
+            f.bin(BinOp::Add, Reg(3), Reg(3), Src::Reg(Reg(2)));
+            f.bin(BinOp::Mul, Reg(4), Reg(3), Src::Imm(31));
+            f.store(Reg(4), Reg(10), (i as i64 % 8) * 8, Width::W8);
+        }
+        f.mov(Reg(0), Reg(4));
+        f.ret();
+        f.finish();
+        let program = Arc::new(pb.finish("main"));
+
+        let mut whole = Machine::new(program.clone(), &[]);
+        whole
+            .run_slice(Tid(0), SliceLimits::budget(1_000_000), &mut NullObserver)
+            .unwrap();
+
+        let mut sliced = Machine::new(program, &[]);
+        while !sliced.thread(Tid(0)).is_exited() {
+            sliced
+                .run_slice(Tid(0), SliceLimits::budget(slice_len), &mut NullObserver)
+                .unwrap();
+        }
+        prop_assert_eq!(whole.state_hash(), sliced.state_hash());
+        prop_assert_eq!(
+            whole.thread(Tid(0)).exit_value,
+            sliced.thread(Tid(0)).exit_value
+        );
+    }
+
+    /// state_hash distinguishes states that differ in a single memory byte.
+    #[test]
+    fn state_hash_detects_byte_flips(addr in 0x1000u64..0x9000, val in 1u8..=255) {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        f.ret();
+        f.finish();
+        let p = Arc::new(pb.finish("main"));
+        let a = Machine::new(p.clone(), &[]);
+        let mut b = Machine::new(p, &[]);
+        b.mem_mut().write_u8(addr, val);
+        prop_assert_ne!(a.state_hash(), b.state_hash());
+    }
+}
+
+mod asm_props {
+    use dp_vm::asm::{assemble, program_to_asm};
+    use dp_vm::{BinOp, Instr, Reg, Src, UnOp, Width};
+    use proptest::prelude::*;
+
+    fn reg() -> impl Strategy<Value = Reg> {
+        (0u8..32).prop_map(Reg)
+    }
+
+    fn src() -> impl Strategy<Value = Src> {
+        prop_oneof![
+            reg().prop_map(Src::Reg),
+            any::<i32>().prop_map(|v| Src::Imm(v as i64)),
+        ]
+    }
+
+    fn width() -> impl Strategy<Value = Width> {
+        prop_oneof![
+            Just(Width::W1),
+            Just(Width::W2),
+            Just(Width::W4),
+            Just(Width::W8)
+        ]
+    }
+
+    fn binop() -> impl Strategy<Value = BinOp> {
+        prop_oneof![
+            Just(BinOp::Add),
+            Just(BinOp::Sub),
+            Just(BinOp::Mul),
+            Just(BinOp::Xor),
+            Just(BinOp::Shl),
+            Just(BinOp::Ltu),
+            Just(BinOp::Les),
+            Just(BinOp::Minu),
+        ]
+    }
+
+    /// Straight-line instructions only (jumps are added separately with
+    /// valid targets).
+    fn instr() -> impl Strategy<Value = Instr> {
+        prop_oneof![
+            (reg(), any::<u64>()).prop_map(|(dst, imm)| Instr::Const { dst, imm }),
+            (reg(), src()).prop_map(|(dst, src)| Instr::Mov { dst, src }),
+            (binop(), reg(), reg(), src())
+                .prop_map(|(op, dst, a, b)| Instr::Bin { op, dst, a, b }),
+            (reg(), reg()).prop_map(|(dst, a)| Instr::Un {
+                op: UnOp::Not,
+                dst,
+                a
+            }),
+            (reg(), reg(), -64i64..64, width()).prop_map(|(dst, addr, offset, width)| {
+                Instr::Load {
+                    dst,
+                    addr,
+                    offset,
+                    width,
+                }
+            }),
+            (reg(), reg(), -64i64..64, width()).prop_map(|(src, addr, offset, width)| {
+                Instr::Store {
+                    src,
+                    addr,
+                    offset,
+                    width,
+                }
+            }),
+            (reg(), reg(), reg(), reg()).prop_map(|(dst, addr, expected, new)| Instr::Cas {
+                dst,
+                addr,
+                expected,
+                new
+            }),
+            (reg(), reg(), src()).prop_map(|(dst, addr, val)| Instr::FetchAdd { dst, addr, val }),
+            (0u32..28).prop_map(|num| Instr::Syscall { num }),
+            Just(Instr::Nop),
+        ]
+    }
+
+    proptest! {
+        /// Any program of random instructions (plus valid jumps and a final
+        /// ret) survives a dump/parse roundtrip instruction-for-instruction.
+        #[test]
+        fn asm_roundtrip_random_programs(
+            body in proptest::collection::vec(instr(), 1..40),
+            jump_points in proptest::collection::vec((any::<proptest::sample::Index>(), any::<proptest::sample::Index>(), 0u8..3), 0..6),
+        ) {
+            use dp_vm::builder::ProgramBuilder;
+            // Interleave jumps with valid in-range targets.
+            let mut code = body;
+            for (at, to, kind) in jump_points {
+                let at = at.index(code.len());
+                let target = to.index(code.len() + 1) as u32;
+                let j = match kind {
+                    0 => Instr::Jmp { target },
+                    1 => Instr::Jnz { cond: Reg(1), target },
+                    _ => Instr::Jz { cond: Reg(2), target },
+                };
+                code.insert(at, j);
+            }
+            // Fix up targets that insertion may have shifted out of range.
+            let len = code.len() as u32 + 1;
+            for i in &mut code {
+                if let Instr::Jmp { target } | Instr::Jnz { target, .. } | Instr::Jz { target, .. } = i {
+                    *target %= len;
+                }
+            }
+            code.push(Instr::Ret);
+
+            let mut pb = ProgramBuilder::new();
+            let mut f = pb.function("main");
+            // Install raw instructions via the builder's label machinery:
+            // bind a label per index so jumps resolve identically.
+            let labels: Vec<_> = (0..=code.len()).map(|_| f.label()).collect();
+            for (i, instr) in code.iter().enumerate() {
+                f.bind(labels[i]);
+                match *instr {
+                    Instr::Jmp { target } => {
+                        f.jmp(labels[target as usize]);
+                    }
+                    Instr::Jnz { cond, target } => {
+                        f.jnz(cond, labels[target as usize]);
+                    }
+                    Instr::Jz { cond, target } => {
+                        f.jz(cond, labels[target as usize]);
+                    }
+                    Instr::Const { dst, imm } => {
+                        f.constu(dst, imm);
+                    }
+                    Instr::Mov { dst, src } => {
+                        f.mov(dst, src);
+                    }
+                    Instr::Bin { op, dst, a, b } => {
+                        f.bin(op, dst, a, b);
+                    }
+                    Instr::Un { op, dst, a } => {
+                        f.un(op, dst, a);
+                    }
+                    Instr::Load { dst, addr, offset, width } => {
+                        f.load(dst, addr, offset, width);
+                    }
+                    Instr::Store { src, addr, offset, width } => {
+                        f.store(src, addr, offset, width);
+                    }
+                    Instr::Cas { dst, addr, expected, new } => {
+                        f.cas(dst, addr, expected, new);
+                    }
+                    Instr::FetchAdd { dst, addr, val } => {
+                        f.fetch_add(dst, addr, val);
+                    }
+                    Instr::Syscall { num } => {
+                        f.syscall(num);
+                    }
+                    Instr::Ret => {
+                        f.ret();
+                    }
+                    Instr::Nop => {
+                        f.nop();
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            f.bind(labels[code.len()]);
+            f.nop(); // landing pad for end-of-function jump targets
+            f.finish();
+            let original = pb.finish("main");
+
+            let text = program_to_asm(&original);
+            let reparsed = assemble(&text)
+                .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
+            let a = &original.functions()[0].code;
+            let b = &reparsed.functions()[0].code;
+            // The dump may add a trailing landing-pad nop; compare the
+            // common prefix plus require only nops beyond it.
+            let n = a.len().min(b.len());
+            prop_assert_eq!(&a[..n], &b[..n], "\n---\n{}", text);
+            for extra in b.iter().skip(n).chain(a.iter().skip(n)) {
+                prop_assert_eq!(extra, &Instr::Nop);
+            }
+        }
+    }
+}

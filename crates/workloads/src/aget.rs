@@ -1,0 +1,186 @@
+//! `aget` — a parallel downloader.
+//!
+//! `N` threads each open their own connection to a range-serving peer,
+//! request a disjoint stripe of the remote blob (`send` a 16-byte
+//! offset/length request), receive it in bounded chunks, and write it into
+//! the shared output file at the right offset through a private fd. Main
+//! pre-creates the file, joins the workers, and exits with the byte total.
+//!
+//! Concurrency shape: network-input dominated with almost no shared
+//! memory — the syscall log, not the schedule log, carries the weight.
+
+use crate::gbuild::{self, gen_blob};
+use crate::harness::{expect_eq, Category, Size, VerifyError, WorkloadCase};
+use dp_core::GuestSpec;
+use dp_os::abi;
+use dp_os::guest::Rt;
+use dp_os::kernel::WorldConfig;
+use dp_os::net::PeerBehavior;
+use dp_vm::builder::ProgramBuilder;
+use dp_vm::{BinOp, Reg, Width};
+use std::sync::Arc;
+
+/// Peer id the blob is served from.
+const PEER: i64 = 1;
+/// Receive chunk size.
+const CHUNK: i64 = 1500;
+
+/// Builds an `aget` instance.
+pub fn build(threads: usize, size: Size) -> WorkloadCase {
+    let blob = gen_blob(0xD01_4D, (256 * 1024 * size.factor()) as usize);
+    let total = blob.len() as u64;
+
+    let mut pb = ProgramBuilder::new();
+    let rt = Rt::install(&mut pb);
+    let g_done = pb.global("done_bytes", 8);
+    let g_size = pb.global_data("blob_size", &total.to_le_bytes());
+    let path_out = pb.global_data("path_out", b"dl.bin");
+    let nthreads = threads as i64;
+
+    // Worker(idx): fetch stripe [idx*total/n, (idx+1)*total/n).
+    {
+        let mut w = pb.function("worker");
+        let recv_loop = w.label();
+        let recv_done = w.label();
+        w.mov(Reg(20), Reg(0)); // idx
+        w.consti(Reg(9), g_size as i64);
+        w.load(Reg(10), Reg(9), 0, Width::W8); // total
+        w.mul(Reg(11), Reg(20), Reg(10));
+        w.bin(BinOp::Divu, Reg(11), Reg(11), nthreads); // offset
+        w.add(Reg(12), Reg(20), 1i64);
+        w.mul(Reg(12), Reg(12), Reg(10));
+        w.bin(BinOp::Divu, Reg(12), Reg(12), nthreads);
+        w.sub(Reg(12), Reg(12), Reg(11)); // len
+        // sock = connect(PEER)
+        w.consti(Reg(0), PEER);
+        w.syscall(abi::SYS_CONNECT);
+        w.mov(Reg(21), Reg(0)); // sock
+        // request = (offset, len) le on the stack
+        w.sub(Reg(22), Reg(31), 32i64);
+        w.store(Reg(11), Reg(22), 0, Width::W8);
+        w.store(Reg(12), Reg(22), 8, Width::W8);
+        w.mov(Reg(0), Reg(21));
+        w.mov(Reg(1), Reg(22));
+        w.consti(Reg(2), 16);
+        w.syscall(abi::SYS_SEND);
+        // buf = alloc(len)
+        w.mov(Reg(0), Reg(12));
+        w.call(rt.alloc);
+        w.mov(Reg(23), Reg(0)); // buf
+        w.consti(Reg(24), 0); // received
+        w.bind(recv_loop);
+        w.bin(BinOp::Ltu, Reg(16), Reg(24), Reg(12));
+        w.jz(Reg(16), recv_done);
+        w.mov(Reg(0), Reg(21));
+        w.add(Reg(1), Reg(23), Reg(24));
+        w.consti(Reg(2), CHUNK);
+        w.syscall(abi::SYS_RECV);
+        w.jz(Reg(0), recv_done); // EOF
+        w.add(Reg(24), Reg(24), Reg(0));
+        w.jmp(recv_loop);
+        w.bind(recv_done);
+        w.mov(Reg(0), Reg(21));
+        w.syscall(abi::SYS_SOCK_CLOSE);
+        // Integrity pass over the stripe (aget verifies checksums): mix
+        // every byte into an accumulator — the CPU work that makes the
+        // download worth parallelizing.
+        let ck_top = w.label();
+        let ck_done = w.label();
+        w.consti(Reg(26), 0); // i
+        w.consti(Reg(27), 0); // acc
+        w.bind(ck_top);
+        w.bin(BinOp::Ltu, Reg(16), Reg(26), Reg(24));
+        w.jz(Reg(16), ck_done);
+        w.add(Reg(17), Reg(23), Reg(26));
+        w.load(Reg(17), Reg(17), 0, Width::W1);
+        w.add(Reg(27), Reg(27), Reg(17));
+        w.mul(Reg(27), Reg(27), 131i64);
+        w.bin(BinOp::Xor, Reg(27), Reg(27), Reg(17));
+        w.add(Reg(26), Reg(26), 1i64);
+        w.jmp(ck_top);
+        w.bind(ck_done);
+        // Write stripe into the shared file at offset via a private fd.
+        w.consti(Reg(0), path_out as i64);
+        w.consti(Reg(1), 6);
+        w.consti(Reg(2), abi::O_RDWR as i64);
+        w.syscall(abi::SYS_OPEN);
+        w.mov(Reg(25), Reg(0)); // fd
+        w.mov(Reg(1), Reg(11)); // offset
+        w.consti(Reg(2), abi::SEEK_SET as i64);
+        w.syscall(abi::SYS_LSEEK);
+        w.mov(Reg(0), Reg(25));
+        w.mov(Reg(1), Reg(23));
+        w.mov(Reg(2), Reg(24));
+        w.syscall(abi::SYS_WRITE);
+        w.mov(Reg(0), Reg(25));
+        w.syscall(abi::SYS_CLOSE);
+        w.consti(Reg(9), g_done as i64);
+        w.fetch_add(Reg(16), Reg(9), dp_vm::Src::Reg(Reg(24)));
+        gbuild::thread_exit0(&mut w);
+        w.finish();
+    }
+    let worker = pb.declare("worker");
+
+    {
+        let mut f = pb.function("main");
+        // Pre-create the output file.
+        f.consti(Reg(0), path_out as i64);
+        f.consti(Reg(1), 6);
+        f.consti(Reg(2), abi::O_WRONLY as i64);
+        f.syscall(abi::SYS_OPEN);
+        f.syscall(abi::SYS_CLOSE); // close(fd) — fd is already in r0
+        gbuild::spawn_workers(&mut f, worker, threads);
+        gbuild::join_workers(&mut f, threads);
+        gbuild::exit_with_global(&mut f, g_done);
+        f.finish();
+    }
+
+    let mut world = WorldConfig::default();
+    world
+        .net
+        .peers
+        .insert(PEER as u32, PeerBehavior::RangeSource { blob: blob.clone() });
+    let spec = GuestSpec::new("aget", Arc::new(pb.finish("main")), world);
+    WorkloadCase {
+        name: "aget",
+        category: Category::Client,
+        threads,
+        spec,
+        verify: Box::new(move |machine, kernel| -> Result<(), VerifyError> {
+            let _ = kernel;
+            expect_eq("downloaded bytes", machine.halted(), Some(total))?;
+            let file = kernel
+                .fs()
+                .contents("dl.bin")
+                .ok_or_else(|| crate::harness::verify_err("dl.bin missing"))?;
+            if file != blob.as_slice() {
+                return Err(crate::harness::verify_err(format!(
+                    "dl.bin differs from blob ({} vs {} bytes)",
+                    file.len(),
+                    blob.len()
+                )));
+            }
+            Ok(())
+        }),
+        expected_external_bytes: Some(16 * threads as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_os::exec::DirectExecutor;
+
+    #[test]
+    fn aget_downloads_and_reassembles() {
+        for threads in [1, 2, 4] {
+            let case = build(threads, Size::Small);
+            let (mut machine, mut kernel) = case.spec.boot();
+            DirectExecutor::default()
+                .run(&mut machine, &mut kernel, 2_000_000_000)
+                .expect("aget failed");
+            (case.verify)(&machine, &kernel).expect("verification failed");
+            assert!(kernel.net().bytes_in > 0, "no network input consumed");
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Guest-program building blocks shared by the workloads: spawn/join
+//! boilerplate, host-side data generation, and reference implementations of
+//! the guest algorithms (used by verifiers).
+
+use dp_os::abi;
+use dp_vm::builder::FunctionBuilder;
+use dp_vm::{FuncId, Reg, Width};
+
+/// Emits code to spawn `n` workers running `worker`, passing each its
+/// index in `r0` (thread ids will be `1..=n`).
+pub fn spawn_workers(f: &mut FunctionBuilder<'_>, worker: FuncId, n: usize) {
+    for i in 0..n {
+        f.consti(Reg(0), worker.0 as i64);
+        f.consti(Reg(1), i as i64);
+        f.consti(Reg(2), 0);
+        f.syscall(abi::SYS_SPAWN);
+    }
+}
+
+/// Emits code to join threads `1..=n`.
+pub fn join_workers(f: &mut FunctionBuilder<'_>, n: usize) {
+    for t in 1..=n as i64 {
+        f.consti(Reg(0), t);
+        f.syscall(abi::SYS_JOIN);
+    }
+}
+
+/// Emits `exit(mem[addr])`.
+pub fn exit_with_global(f: &mut FunctionBuilder<'_>, addr: u64) {
+    f.consti(Reg(9), addr as i64);
+    f.load(Reg(0), Reg(9), 0, Width::W8);
+    f.syscall(abi::SYS_EXIT);
+}
+
+/// Emits `thread_exit(0)`.
+pub fn thread_exit0(f: &mut FunctionBuilder<'_>) {
+    f.consti(Reg(0), 0);
+    f.syscall(abi::SYS_THREAD_EXIT);
+}
+
+/// Host-side xorshift64 matching the guest runtime's `__rt_xorshift`.
+#[derive(Debug, Clone)]
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    /// Creates the generator (seed must be nonzero).
+    pub fn new(seed: u64) -> Self {
+        XorShift {
+            state: if seed == 0 { 0x9e3779b97f4a7c15 } else { seed },
+        }
+    }
+
+    /// Next value (identical sequence to the guest routine).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut s = self.state;
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        self.state = s;
+        s
+    }
+}
+
+/// Deterministic pseudo-text: lowercase letters and spaces, newline every
+/// ~64 bytes. Used as scan/compress input.
+pub fn gen_text(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = XorShift::new(seed);
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        let v = rng.next_u64();
+        for i in 0..8 {
+            if out.len() >= len {
+                break;
+            }
+            let b = ((v >> (i * 8)) & 0xff) as u8;
+            let ch = match b % 32 {
+                0..=25 => b'a' + (b % 26),
+                26..=29 => b' ',
+                30 => b'\n',
+                _ => b'e',
+            };
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// Deterministic binary blob with enough runs to make RLE interesting.
+pub fn gen_blob(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = XorShift::new(seed);
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        let v = rng.next_u64();
+        let byte = (v & 0xff) as u8;
+        let run = 1 + ((v >> 8) % 7) as usize;
+        for _ in 0..run.min(len - out.len()) {
+            out.push(byte);
+        }
+    }
+    out
+}
+
+/// Reference RLE encoder matching the guest compressor in `pcomp`:
+/// pairs of `(count: u8 up to 255, byte)`.
+pub fn rle_encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < data.len() {
+        let b = data[i];
+        let mut run = 1usize;
+        while i + run < data.len() && data[i + run] == b && run < 255 {
+            run += 1;
+        }
+        out.push(run as u8);
+        out.push(b);
+        i += run;
+    }
+    out
+}
+
+/// Counts non-overlapping occurrences of `needle` in `hay`, matching the
+/// guest scanner in `pfscan`.
+pub fn count_occurrences(hay: &[u8], needle: &[u8]) -> u64 {
+    if needle.is_empty() || hay.len() < needle.len() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i + needle.len() <= hay.len() {
+        if &hay[i..i + needle.len()] == needle {
+            count += 1;
+            i += needle.len();
+        } else {
+            i += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_is_deterministic_and_printable() {
+        let a = gen_text(7, 1000);
+        let b = gen_text(7, 1000);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1000);
+        assert!(a.iter().all(|&c| c.is_ascii_lowercase() || c == b' ' || c == b'\n'));
+        assert_ne!(gen_text(8, 1000), a);
+    }
+
+    #[test]
+    fn blob_has_runs() {
+        let blob = gen_blob(3, 4096);
+        assert_eq!(blob.len(), 4096);
+        let runs = blob.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(runs > 500, "blob not run-heavy enough: {runs}");
+    }
+
+    #[test]
+    fn rle_roundtrip_via_decode() {
+        let data = gen_blob(5, 2000);
+        let enc = rle_encode(&data);
+        // Decode and compare.
+        let mut dec = Vec::new();
+        for pair in enc.chunks(2) {
+            for _ in 0..pair[0] {
+                dec.push(pair[1]);
+            }
+        }
+        assert_eq!(dec, data);
+        assert!(enc.len() < data.len(), "RLE should compress runs");
+    }
+
+    #[test]
+    fn occurrence_counting() {
+        assert_eq!(count_occurrences(b"abcabcab", b"abc"), 2);
+        assert_eq!(count_occurrences(b"aaaa", b"aa"), 2); // non-overlapping
+        assert_eq!(count_occurrences(b"xyz", b"abc"), 0);
+        assert_eq!(count_occurrences(b"", b"a"), 0);
+        assert_eq!(count_occurrences(b"a", b""), 0);
+    }
+
+    #[test]
+    fn xorshift_matches_guest_semantics() {
+        let mut x = XorShift::new(88172645463325252);
+        let v = x.next_u64();
+        let mut s: u64 = 88172645463325252;
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        assert_eq!(v, s);
+    }
+}

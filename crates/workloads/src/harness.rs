@@ -1,0 +1,193 @@
+//! The workload harness: a uniform interface over the benchmark programs,
+//! mirroring the paper's client/server/scientific suite.
+
+use dp_core::GuestSpec;
+use dp_os::kernel::Kernel;
+use dp_vm::Machine;
+use std::fmt;
+
+/// How large a workload instance to build. The evaluation uses `Medium`;
+/// tests use `Small` to stay fast; `Large` stresses the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Size {
+    /// Seconds-scale unit-test size.
+    Small,
+    /// Benchmark size (tens of millions of instructions).
+    Medium,
+    /// Stress size.
+    Large,
+}
+
+impl Size {
+    /// A scale factor the generators multiply their iteration counts by.
+    pub fn factor(self) -> u64 {
+        match self {
+            Size::Small => 1,
+            Size::Medium => 8,
+            Size::Large => 24,
+        }
+    }
+}
+
+impl fmt::Display for Size {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Size::Small => write!(f, "small"),
+            Size::Medium => write!(f, "medium"),
+            Size::Large => write!(f, "large"),
+        }
+    }
+}
+
+/// Workload category, as the paper groups its benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Client-style parallel utilities (pbzip2, pfscan, aget).
+    Client,
+    /// Server-style request handlers (Apache, MySQL).
+    Server,
+    /// Scientific kernels (SPLASH-2-style).
+    Scientific,
+    /// Intentionally racy microbenchmarks (divergence studies).
+    Racy,
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Category::Client => write!(f, "client"),
+            Category::Server => write!(f, "server"),
+            Category::Scientific => write!(f, "scientific"),
+            Category::Racy => write!(f, "racy"),
+        }
+    }
+}
+
+/// A workload verification failure.
+#[derive(Debug, Clone)]
+pub struct VerifyError {
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "workload verification failed: {}", self.detail)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// A convenience constructor used by the verifiers.
+pub fn verify_err(detail: impl Into<String>) -> VerifyError {
+    VerifyError {
+        detail: detail.into(),
+    }
+}
+
+/// Asserts equality in a verifier, with context.
+pub fn expect_eq<T: PartialEq + fmt::Debug>(
+    what: &str,
+    actual: T,
+    expected: T,
+) -> Result<(), VerifyError> {
+    if actual == expected {
+        Ok(())
+    } else {
+        Err(verify_err(format!(
+            "{what}: got {actual:?}, expected {expected:?}"
+        )))
+    }
+}
+
+/// One runnable benchmark instance: a guest spec plus a verifier that
+/// checks the final world state for correctness (so every experiment
+/// double-checks that record/replay didn't corrupt the application).
+pub struct WorkloadCase {
+    /// Short name ("pcomp", "ocean", ...).
+    pub name: &'static str,
+    /// Category for report grouping.
+    pub category: Category,
+    /// Worker-thread count the instance was built for.
+    pub threads: usize,
+    /// The bootable guest.
+    pub spec: GuestSpec,
+    /// Checks the final state (exit code, file contents, network traffic).
+    pub verify: Box<dyn Fn(&Machine, &Kernel) -> Result<(), VerifyError> + Send + Sync>,
+    /// Expected total external (world-visible) output bytes, when the
+    /// workload's traffic is deterministic. Recording consumers check this
+    /// against the recording's committed external chunks.
+    pub expected_external_bytes: Option<u64>,
+}
+
+impl fmt::Debug for WorkloadCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkloadCase")
+            .field("name", &self.name)
+            .field("category", &self.category)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+/// Builds the full paper-style suite for a worker-thread count: client
+/// utilities, servers, and scientific kernels (no racy microbenchmarks).
+pub fn suite(threads: usize, size: Size) -> Vec<WorkloadCase> {
+    vec![
+        crate::pcomp::build(threads, size),
+        crate::pfscan::build(threads, size),
+        crate::aget::build(threads, size),
+        crate::webserve::build(threads, size),
+        crate::kvstore::build(threads, size),
+        crate::ocean::build(threads, size),
+        crate::water::build(threads, size),
+        crate::radix::build(threads, size),
+    ]
+}
+
+/// The racy microbenchmarks (experiment E8).
+pub fn racy_suite(threads: usize, size: Size) -> Vec<WorkloadCase> {
+    vec![
+        crate::racey::counter(threads, size),
+        crate::racey::sparse_counter(threads, size),
+        crate::racey::lazy_init(threads, size),
+        crate::racey::banking(threads, size),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_all_categories() {
+        let suite = suite(2, Size::Small);
+        assert_eq!(suite.len(), 8);
+        for cat in [Category::Client, Category::Server, Category::Scientific] {
+            assert!(
+                suite.iter().any(|w| w.category == cat),
+                "missing {cat} workloads"
+            );
+        }
+        let names: Vec<_> = suite.iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec!["pcomp", "pfscan", "aget", "webserve", "kvstore", "ocean", "water", "radix"]
+        );
+    }
+
+    #[test]
+    fn size_factors_are_ordered() {
+        assert!(Size::Small.factor() < Size::Medium.factor());
+        assert!(Size::Medium.factor() < Size::Large.factor());
+        assert_eq!(Size::Small.to_string(), "small");
+    }
+
+    #[test]
+    fn expect_eq_formats_errors() {
+        assert!(expect_eq("x", 1, 1).is_ok());
+        let err = expect_eq("exit code", 1, 2).unwrap_err();
+        assert!(err.to_string().contains("exit code"));
+        assert!(err.to_string().contains("got 1"));
+    }
+}

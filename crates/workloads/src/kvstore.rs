@@ -1,0 +1,224 @@
+//! `kvstore` — a MySQL-stand-in: a bucketed in-memory key/value store with
+//! per-bucket locks under a mixed get/put workload.
+//!
+//! Each worker drives its own deterministic client stream (guest-side
+//! xorshift): pick a key, hash to a bucket, lock the bucket, linear-scan
+//! the slots, read or upsert, unlock. The store's *contents* depend on the
+//! cross-thread interleaving (which client's put lands last), but the
+//! program is data-race-free: every access happens under the bucket lock,
+//! so recording must never diverge while the final state is genuinely
+//! schedule-dependent — the property that makes lock-based servers the
+//! interesting case for record/replay.
+//!
+//! Concurrency shape: fine-grained locking with real contention, little
+//! I/O — sync-order hints carry the weight.
+
+use crate::gbuild;
+use crate::harness::{expect_eq, Category, Size, VerifyError, WorkloadCase};
+use dp_core::GuestSpec;
+use dp_os::guest::Rt;
+use dp_os::kernel::WorldConfig;
+use dp_vm::builder::ProgramBuilder;
+use dp_vm::{BinOp, Reg, Width};
+use std::sync::Arc;
+
+/// Buckets in the table.
+const BUCKETS: u64 = 64;
+/// Slots per bucket.
+const CAP: u64 = 8;
+/// Key space (≤ BUCKETS*CAP/2 keeps overflow rare).
+const KEYSPACE: u64 = 256;
+/// One in `CROSS` operations targets the shared key range; the rest stay
+/// in the worker's own range (clients mostly touch their own rows, with
+/// occasional cross-traffic — the contention profile of a real server).
+const CROSS: u64 = 8;
+/// Bucket layout: lock, count, then CAP (key, value) pairs.
+const BUCKET_BYTES: u64 = 16 + CAP * 16;
+
+/// Builds a `kvstore` instance.
+pub fn build(threads: usize, size: Size) -> WorkloadCase {
+    let ops_per_worker = 2_000 * size.factor();
+
+    let mut pb = ProgramBuilder::new();
+    let rt = Rt::install(&mut pb);
+    let g_table = pb.global("table", BUCKETS * BUCKET_BYTES);
+    let g_ops = pb.global("ops_done", 8);
+    let g_gets = pb.global("get_hits", 8);
+
+    // Worker(idx): ops_per_worker operations from stream seeded by idx.
+    {
+        let mut w = pb.function("worker");
+        let op_top = w.label();
+        let op_done = w.label();
+        let scan = w.label();
+        let scan_miss = w.label();
+        let found = w.label();
+        let do_put = w.label();
+        let insert = w.label();
+        let skip_insert = w.label();
+        let op_end = w.label();
+        let get_missed = w.label();
+
+        // r20 idx, r21 rng state ptr (stack), r22 op counter, r23 hits
+        w.mov(Reg(20), Reg(0));
+        w.sub(Reg(21), Reg(31), 16i64);
+        w.add(Reg(16), Reg(20), 1i64);
+        w.mul(Reg(16), Reg(16), 0x9E3779B9i64);
+        w.add(Reg(16), Reg(16), 0x51ED2701i64);
+        w.store(Reg(16), Reg(21), 0, Width::W8);
+        w.consti(Reg(22), 0);
+        w.consti(Reg(23), 0);
+
+        w.bind(op_top);
+        w.bin(BinOp::Ltu, Reg(16), Reg(22), ops_per_worker as i64);
+        w.jz(Reg(16), op_done);
+        // r = xorshift(state)
+        w.mov(Reg(0), Reg(21));
+        w.call(rt.xorshift);
+        w.mov(Reg(24), Reg(0)); // r
+        // "Query processing": mix the request through a few hash rounds
+        // before touching the store (the compute a real server does per
+        // statement).
+        let qp_top = w.label();
+        let qp_done = w.label();
+        w.consti(Reg(14), 0);
+        w.mov(Reg(13), Reg(24));
+        w.bind(qp_top);
+        w.bin(BinOp::Ltu, Reg(16), Reg(14), 24i64);
+        w.jz(Reg(16), qp_done);
+        w.mul(Reg(13), Reg(13), 0x100000001B3u64 as i64);
+        w.bin(BinOp::Xor, Reg(13), Reg(13), Reg(24));
+        w.bin(BinOp::Shr, Reg(15), Reg(13), 29i64);
+        w.add(Reg(13), Reg(13), Reg(15));
+        w.add(Reg(14), Reg(14), 1i64);
+        w.jmp(qp_top);
+        w.bind(qp_done);
+        // Key choice: mostly our own shard, occasionally cross-traffic.
+        let shard = KEYSPACE as i64 / 8; // per-worker shard width (<= 8 workers)
+        let cross = w.label();
+        let key_done = w.label();
+        w.bin(BinOp::Remu, Reg(15), Reg(24), CROSS as i64);
+        w.jz(Reg(15), cross);
+        w.bin(BinOp::Remu, Reg(25), Reg(24), shard);
+        w.mul(Reg(15), Reg(20), shard);
+        w.add(Reg(25), Reg(25), Reg(15));
+        w.jmp(key_done);
+        w.bind(cross);
+        w.bin(BinOp::Remu, Reg(25), Reg(24), KEYSPACE as i64);
+        w.bind(key_done);
+        w.bin(BinOp::Remu, Reg(26), Reg(25), BUCKETS as i64);
+        w.mul(Reg(26), Reg(26), BUCKET_BYTES as i64);
+        w.add(Reg(26), Reg(26), gaddr(g_table)); // bucket base
+        // lock(bucket)
+        w.mov(Reg(0), Reg(26));
+        w.call(rt.mutex_lock);
+        // scan slots for key
+        w.load(Reg(27), Reg(26), 8, Width::W8); // count
+        w.consti(Reg(17), 0); // slot i
+        w.bind(scan);
+        w.bin(BinOp::Ltu, Reg(16), Reg(17), Reg(27));
+        w.jz(Reg(16), scan_miss);
+        w.mul(Reg(18), Reg(17), 16i64);
+        w.add(Reg(18), Reg(18), Reg(26));
+        w.load(Reg(19), Reg(18), 16, Width::W8); // slot key
+        w.bin(BinOp::Eq, Reg(16), Reg(19), Reg(25));
+        w.jnz(Reg(16), found);
+        w.add(Reg(17), Reg(17), 1i64);
+        w.jmp(scan);
+
+        w.bind(found);
+        // r18 = slot base (key at +16, value at +24). op = bit 33 of r.
+        w.bin(BinOp::Shr, Reg(16), Reg(24), 33i64);
+        w.bin(BinOp::And, Reg(16), Reg(16), 1i64);
+        w.jnz(Reg(16), do_put);
+        // get: read value, count a hit
+        w.load(Reg(19), Reg(18), 24, Width::W8);
+        w.add(Reg(23), Reg(23), 1i64);
+        w.jmp(op_end);
+        w.bind(do_put);
+        w.store(Reg(24), Reg(18), 24, Width::W8); // value = r
+        w.jmp(op_end);
+
+        w.bind(scan_miss);
+        // Key absent. Put inserts if space; get misses.
+        w.bin(BinOp::Shr, Reg(16), Reg(24), 33i64);
+        w.bin(BinOp::And, Reg(16), Reg(16), 1i64);
+        w.jz(Reg(16), get_missed);
+        w.bind(insert);
+        w.bin(BinOp::Ltu, Reg(16), Reg(27), CAP as i64);
+        w.jz(Reg(16), skip_insert);
+        w.mul(Reg(18), Reg(27), 16i64);
+        w.add(Reg(18), Reg(18), Reg(26));
+        w.store(Reg(25), Reg(18), 16, Width::W8);
+        w.store(Reg(24), Reg(18), 24, Width::W8);
+        w.add(Reg(27), Reg(27), 1i64);
+        w.store(Reg(27), Reg(26), 8, Width::W8);
+        w.bind(skip_insert);
+        w.bind(get_missed);
+        w.bind(op_end);
+        // unlock(bucket)
+        w.mov(Reg(0), Reg(26));
+        w.call(rt.mutex_unlock);
+        w.add(Reg(22), Reg(22), 1i64);
+        w.jmp(op_top);
+
+        w.bind(op_done);
+        w.consti(Reg(9), g_ops as i64);
+        w.fetch_add(Reg(16), Reg(9), dp_vm::Src::Reg(Reg(22)));
+        w.consti(Reg(9), g_gets as i64);
+        w.fetch_add(Reg(16), Reg(9), dp_vm::Src::Reg(Reg(23)));
+        gbuild::thread_exit0(&mut w);
+        w.finish();
+    }
+    let worker = pb.declare("worker");
+
+    {
+        let mut f = pb.function("main");
+        gbuild::spawn_workers(&mut f, worker, threads);
+        gbuild::join_workers(&mut f, threads);
+        gbuild::exit_with_global(&mut f, g_ops);
+        f.finish();
+    }
+
+    let spec = GuestSpec::new("kvstore", Arc::new(pb.finish("main")), WorldConfig::default());
+    let expected_ops = ops_per_worker * threads as u64;
+    WorkloadCase {
+        name: "kvstore",
+        category: Category::Server,
+        threads,
+        spec,
+        verify: Box::new(move |machine, _kernel| -> Result<(), VerifyError> {
+            expect_eq("operations completed", machine.halted(), Some(expected_ops))
+        }),
+        expected_external_bytes: None,
+    }
+}
+
+fn gaddr(addr: u64) -> i64 {
+    addr as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_os::exec::DirectExecutor;
+
+    #[test]
+    fn kvstore_completes_all_ops() {
+        for threads in [1, 2, 4] {
+            let case = build(threads, Size::Small);
+            let (mut machine, mut kernel) = case.spec.boot();
+            DirectExecutor::default()
+                .run(&mut machine, &mut kernel, 2_000_000_000)
+                .expect("kvstore failed");
+            (case.verify)(&machine, &kernel).expect("verification failed");
+        }
+    }
+
+    #[test]
+    fn table_fits_in_globals() {
+        // Layout sanity: bucket stride covers lock+count+slots.
+        assert_eq!(BUCKET_BYTES, 16 + CAP * 16);
+        assert!(KEYSPACE <= BUCKETS * CAP);
+    }
+}

@@ -1,0 +1,39 @@
+//! # dp-workloads — the benchmark suite
+//!
+//! Guest programs with the same concurrency structure as the paper's
+//! evaluation suite, written against the `dp-vm` builder API and the
+//! `dp-os` runtime library:
+//!
+//! | Paper benchmark | Here | Shape |
+//! |---|---|---|
+//! | pbzip2 | [`pcomp`] | work queue + per-block compression |
+//! | pfscan | [`pfscan`] | partitioned read-only scan |
+//! | aget | [`aget`] | parallel ranged download |
+//! | Apache | [`webserve`] | accept loop + worker pool |
+//! | MySQL | [`kvstore`] | fine-grained per-bucket locking |
+//! | SPLASH-2 ocean | [`ocean`] | barrier-phased stencil |
+//! | SPLASH-2 water | [`water`] | barrier-phased n-body |
+//! | SPLASH-2 radix | [`radix`] | data-parallel sort with serial step |
+//! | (rollback study) | [`racey`] | genuine data races |
+//!
+//! Every workload carries a verifier that checks the final world state
+//! (exit code, file contents, bytes served) against a host-side reference,
+//! so recording and replay are continuously cross-checked against ground
+//! truth. Build instances via [`harness::suite`] or the per-module
+//! `build` functions.
+
+#![warn(missing_docs)]
+
+pub mod aget;
+pub mod gbuild;
+pub mod harness;
+pub mod kvstore;
+pub mod ocean;
+pub mod pcomp;
+pub mod pfscan;
+pub mod racey;
+pub mod radix;
+pub mod water;
+pub mod webserve;
+
+pub use harness::{racy_suite, suite, Category, Size, VerifyError, WorkloadCase};

@@ -1,0 +1,230 @@
+//! `ocean` — a SPLASH-2-style iterative grid relaxation (Jacobi stencil).
+//!
+//! A `G×G` integer grid; each iteration computes every interior cell as
+//! the average of its four neighbours, reading one buffer and writing the
+//! other, with a barrier between iterations. Rows are statically
+//! partitioned across workers. After the final iteration each worker
+//! atomically folds a checksum of its rows into a global, and main exits
+//! with it. Boundary cells are fixed.
+//!
+//! Concurrency shape: bulk compute with barrier phases — the classic
+//! scientific profile whose whole-epoch state is schedule-independent.
+
+use crate::gbuild;
+use crate::harness::{expect_eq, Category, Size, VerifyError, WorkloadCase};
+use dp_core::GuestSpec;
+use dp_os::guest::Rt;
+use dp_os::kernel::WorldConfig;
+use dp_vm::builder::ProgramBuilder;
+use dp_vm::{BinOp, Reg, Width};
+use std::sync::Arc;
+
+/// Grid dimension.
+const G: u64 = 64;
+
+/// Host reference computing the same stencil and checksum.
+pub fn reference(iterations: u64) -> u64 {
+    let mut a = initial_grid();
+    let mut b = a.clone();
+    for _ in 0..iterations {
+        for i in 1..(G - 1) as usize {
+            for j in 1..(G - 1) as usize {
+                b[i * G as usize + j] = a[(i - 1) * G as usize + j]
+                    .wrapping_add(a[(i + 1) * G as usize + j])
+                    .wrapping_add(a[i * G as usize + j - 1])
+                    .wrapping_add(a[i * G as usize + j + 1])
+                    / 4;
+            }
+        }
+        std::mem::swap(&mut a, &mut b);
+    }
+    let mut sum = 0u64;
+    for i in 1..(G - 1) as usize {
+        for j in 1..(G - 1) as usize {
+            sum = sum.wrapping_add(a[i * G as usize + j]);
+        }
+    }
+    sum
+}
+
+fn initial_grid() -> Vec<u64> {
+    let mut rng = gbuild::XorShift::new(0x0CEA_0CEA);
+    (0..(G * G) as usize).map(|_| rng.next_u64() % 10_000).collect()
+}
+
+/// Builds an `ocean` instance.
+pub fn build(threads: usize, size: Size) -> WorkloadCase {
+    let iterations = 32 * size.factor();
+    let expected = reference(iterations);
+
+    let grid: Vec<u8> = initial_grid()
+        .iter()
+        .flat_map(|v| v.to_le_bytes())
+        .collect();
+
+    let mut pb = ProgramBuilder::new();
+    let rt = Rt::install(&mut pb);
+    let g_a = pb.global_data("grid_a", &grid);
+    let g_b = pb.global_data("grid_b", &grid);
+    let g_barrier = pb.global("barrier", 16);
+    let g_sum = pb.global("checksum", 8);
+    let nthreads = threads as i64;
+    let row_bytes = (G * 8) as i64;
+
+    // Worker(idx): relax its rows each iteration, with barriers.
+    {
+        let mut w = pb.function("worker");
+        let iter_top = w.label();
+        let iter_done = w.label();
+        let row_top = w.label();
+        let row_done = w.label();
+        let col_top = w.label();
+        let col_done = w.label();
+        let pick_a = w.label();
+        let picked = w.label();
+        let sum_row = w.label();
+        let sum_row_done = w.label();
+        let sum_col = w.label();
+        let sum_col_done = w.label();
+
+        // r20 idx, r21 iter, r22 row_start, r23 row_end
+        w.mov(Reg(20), Reg(0));
+        // Interior rows 1..G-1 split across workers.
+        let interior = (G - 2) as i64;
+        w.mul(Reg(22), Reg(20), interior);
+        w.bin(BinOp::Divu, Reg(22), Reg(22), nthreads);
+        w.add(Reg(22), Reg(22), 1i64);
+        w.add(Reg(23), Reg(20), 1i64);
+        w.mul(Reg(23), Reg(23), interior);
+        w.bin(BinOp::Divu, Reg(23), Reg(23), nthreads);
+        w.add(Reg(23), Reg(23), 1i64);
+        w.consti(Reg(21), 0);
+
+        w.bind(iter_top);
+        w.bin(BinOp::Ltu, Reg(16), Reg(21), iterations as i64);
+        w.jz(Reg(16), iter_done);
+        // src/dst by parity: even iter reads A writes B.
+        w.bin(BinOp::And, Reg(16), Reg(21), 1i64);
+        w.jz(Reg(16), pick_a);
+        w.consti(Reg(24), g_b as i64); // src
+        w.consti(Reg(25), g_a as i64); // dst
+        w.jmp(picked);
+        w.bind(pick_a);
+        w.consti(Reg(24), g_a as i64);
+        w.consti(Reg(25), g_b as i64);
+        w.bind(picked);
+        // rows
+        w.mov(Reg(26), Reg(22));
+        w.bind(row_top);
+        w.bin(BinOp::Ltu, Reg(16), Reg(26), Reg(23));
+        w.jz(Reg(16), row_done);
+        w.consti(Reg(27), 1); // col
+        w.bind(col_top);
+        w.bin(BinOp::Ltu, Reg(16), Reg(27), (G - 1) as i64);
+        w.jz(Reg(16), col_done);
+        // addr = base + (row*G + col)*8
+        w.mul(Reg(17), Reg(26), G as i64);
+        w.add(Reg(17), Reg(17), Reg(27));
+        w.mul(Reg(17), Reg(17), 8i64);
+        w.add(Reg(18), Reg(24), Reg(17)); // src cell
+        w.load(Reg(19), Reg(18), -row_bytes, Width::W8); // up
+        w.load(Reg(15), Reg(18), row_bytes, Width::W8); // down
+        w.add(Reg(19), Reg(19), Reg(15));
+        w.load(Reg(15), Reg(18), -8, Width::W8); // left
+        w.add(Reg(19), Reg(19), Reg(15));
+        w.load(Reg(15), Reg(18), 8, Width::W8); // right
+        w.add(Reg(19), Reg(19), Reg(15));
+        w.bin(BinOp::Divu, Reg(19), Reg(19), 4i64);
+        w.add(Reg(18), Reg(25), Reg(17)); // dst cell
+        w.store(Reg(19), Reg(18), 0, Width::W8);
+        w.add(Reg(27), Reg(27), 1i64);
+        w.jmp(col_top);
+        w.bind(col_done);
+        w.add(Reg(26), Reg(26), 1i64);
+        w.jmp(row_top);
+        w.bind(row_done);
+        // barrier
+        w.consti(Reg(0), g_barrier as i64);
+        w.consti(Reg(1), nthreads);
+        w.call(rt.barrier_wait);
+        w.add(Reg(21), Reg(21), 1i64);
+        w.jmp(iter_top);
+
+        w.bind(iter_done);
+        // Checksum own rows of the final buffer (parity of `iterations`).
+        if iterations % 2 == 0 {
+            w.consti(Reg(24), g_a as i64);
+        } else {
+            w.consti(Reg(24), g_b as i64);
+        }
+        w.consti(Reg(28), 0); // local sum
+        w.mov(Reg(26), Reg(22));
+        w.bind(sum_row);
+        w.bin(BinOp::Ltu, Reg(16), Reg(26), Reg(23));
+        w.jz(Reg(16), sum_row_done);
+        w.consti(Reg(27), 1);
+        w.bind(sum_col);
+        w.bin(BinOp::Ltu, Reg(16), Reg(27), (G - 1) as i64);
+        w.jz(Reg(16), sum_col_done);
+        w.mul(Reg(17), Reg(26), G as i64);
+        w.add(Reg(17), Reg(17), Reg(27));
+        w.mul(Reg(17), Reg(17), 8i64);
+        w.add(Reg(18), Reg(24), Reg(17));
+        w.load(Reg(19), Reg(18), 0, Width::W8);
+        w.add(Reg(28), Reg(28), Reg(19));
+        w.add(Reg(27), Reg(27), 1i64);
+        w.jmp(sum_col);
+        w.bind(sum_col_done);
+        w.add(Reg(26), Reg(26), 1i64);
+        w.jmp(sum_row);
+        w.bind(sum_row_done);
+        w.consti(Reg(9), g_sum as i64);
+        w.fetch_add(Reg(16), Reg(9), dp_vm::Src::Reg(Reg(28)));
+        gbuild::thread_exit0(&mut w);
+        w.finish();
+    }
+    let worker = pb.declare("worker");
+
+    {
+        let mut f = pb.function("main");
+        gbuild::spawn_workers(&mut f, worker, threads);
+        gbuild::join_workers(&mut f, threads);
+        gbuild::exit_with_global(&mut f, g_sum);
+        f.finish();
+    }
+
+    let spec = GuestSpec::new("ocean", Arc::new(pb.finish("main")), WorldConfig::default());
+    WorkloadCase {
+        name: "ocean",
+        category: Category::Scientific,
+        threads,
+        spec,
+        verify: Box::new(move |machine, _kernel| -> Result<(), VerifyError> {
+            expect_eq("grid checksum", machine.halted(), Some(expected))
+        }),
+        expected_external_bytes: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_os::exec::DirectExecutor;
+
+    #[test]
+    fn ocean_matches_reference_for_all_thread_counts() {
+        for threads in [1, 2, 3, 4] {
+            let case = build(threads, Size::Small);
+            let (mut machine, mut kernel) = case.spec.boot();
+            DirectExecutor::default()
+                .run(&mut machine, &mut kernel, 2_000_000_000)
+                .expect("ocean failed");
+            (case.verify)(&machine, &kernel).expect("verification failed");
+        }
+    }
+
+    #[test]
+    fn reference_is_iteration_sensitive() {
+        assert_ne!(reference(2), reference(3));
+    }
+}

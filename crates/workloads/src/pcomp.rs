@@ -1,0 +1,269 @@
+//! `pcomp` — a pbzip2-style parallel block compressor.
+//!
+//! Structure mirrors pbzip2: the main thread reads the input file, splits
+//! it into fixed-size blocks, and feeds block indices through a blocking
+//! work queue to `N` worker threads; each worker compresses its block (RLE)
+//! into a private heap buffer; main then writes the compressed blocks to
+//! the output file *in order* and exits with the total compressed size.
+//!
+//! Concurrency shape: a contended MPMC queue (mutex + futex), bulk private
+//! compute per block, and file I/O at the edges — the compute-heavy,
+//! coarse-sync profile that gives DoublePlay its best numbers in the paper.
+
+use crate::gbuild::{self, gen_blob, rle_encode};
+use crate::harness::{expect_eq, Category, Size, WorkloadCase};
+use dp_core::GuestSpec;
+use dp_os::guest::{queue_bytes, Rt};
+use dp_os::kernel::WorldConfig;
+use dp_os::abi;
+use dp_vm::builder::ProgramBuilder;
+use dp_vm::{BinOp, Reg, Width};
+use std::sync::Arc;
+
+/// Block size in bytes.
+const BLOCK: u64 = 8 * 1024;
+/// Queue sentinel telling a worker to exit.
+const SENTINEL: i64 = 0x7fff_ffff;
+
+/// Builds a `pcomp` instance.
+pub fn build(threads: usize, size: Size) -> WorkloadCase {
+    let input = gen_blob(0xC0_FFEE, (128 * 1024 * size.factor()) as usize);
+    // The guest compresses block-by-block (runs never span blocks), so the
+    // reference does the same.
+    let expected: Vec<u8> = input
+        .chunks(BLOCK as usize)
+        .flat_map(|b| rle_encode(b))
+        .collect();
+    let nblocks = (input.len() as u64).div_ceil(BLOCK);
+
+    let mut pb = ProgramBuilder::new();
+    let rt = Rt::install(&mut pb);
+    let g_q = pb.global("queue", queue_bytes(16));
+    let g_input = pb.global("input_ptr", 8);
+    let g_size = pb.global("input_size", 8);
+    let g_results = pb.global("results_ptr", 8);
+    let path_in = pb.global_data("path_in", b"input.dat");
+    let path_out = pb.global_data("path_out", b"out.rle");
+
+    build_rle(&mut pb);
+    let rle = pb.declare("rle_compress");
+
+    // Worker: pop block index, compress it, record (ptr, len).
+    {
+        let mut w = pb.function("worker");
+        let top = w.label();
+        let done = w.label();
+        w.bind(top);
+        w.consti(Reg(0), g_q as i64);
+        w.call(rt.queue_pop);
+        w.mov(Reg(20), Reg(0)); // block index
+        w.bin(BinOp::Eq, Reg(1), Reg(20), SENTINEL);
+        w.jnz(Reg(1), done);
+        // src = input_ptr + idx*BLOCK ; len = min(BLOCK, size - idx*BLOCK)
+        w.consti(Reg(9), g_input as i64);
+        w.load(Reg(21), Reg(9), 0, Width::W8);
+        w.mul(Reg(22), Reg(20), BLOCK as i64);
+        w.add(Reg(21), Reg(21), Reg(22)); // src
+        w.consti(Reg(9), g_size as i64);
+        w.load(Reg(23), Reg(9), 0, Width::W8);
+        w.sub(Reg(23), Reg(23), Reg(22)); // remaining
+        w.bin(BinOp::Minu, Reg(23), Reg(23), BLOCK as i64); // len
+        // dst = alloc(2*len + 16)
+        w.mul(Reg(0), Reg(23), 2i64);
+        w.add(Reg(0), Reg(0), 16i64);
+        w.call(rt.alloc);
+        w.mov(Reg(24), Reg(0)); // dst
+        // out_len = rle_compress(src, len, dst)
+        w.mov(Reg(0), Reg(21));
+        w.mov(Reg(1), Reg(23));
+        w.mov(Reg(2), Reg(24));
+        w.call(rle);
+        w.mov(Reg(25), Reg(0)); // out_len
+        // results[idx] = (dst, out_len)
+        w.consti(Reg(9), g_results as i64);
+        w.load(Reg(26), Reg(9), 0, Width::W8);
+        w.mul(Reg(27), Reg(20), 16i64);
+        w.add(Reg(26), Reg(26), Reg(27));
+        w.store(Reg(24), Reg(26), 0, Width::W8);
+        w.store(Reg(25), Reg(26), 8, Width::W8);
+        w.jmp(top);
+        w.bind(done);
+        gbuild::thread_exit0(&mut w);
+        w.finish();
+    }
+    let worker = pb.declare("worker");
+
+    // Main.
+    {
+        let mut f = pb.function("main");
+        // fd = open(input, O_RDONLY); size = fsize(fd)
+        f.consti(Reg(0), path_in as i64);
+        f.consti(Reg(1), 9); // strlen("input.dat")
+        f.consti(Reg(2), abi::O_RDONLY as i64);
+        f.syscall(abi::SYS_OPEN);
+        f.mov(Reg(20), Reg(0)); // fd
+        f.syscall(abi::SYS_FSIZE); // r0 = fd still? fsize(fd): args r0 = fd
+        f.mov(Reg(21), Reg(0)); // size
+        f.consti(Reg(9), g_size as i64);
+        f.store(Reg(21), Reg(9), 0, Width::W8);
+        // buf = alloc(size); read(fd, buf, size)
+        f.mov(Reg(0), Reg(21));
+        f.call(rt.alloc);
+        f.mov(Reg(22), Reg(0)); // buf
+        f.consti(Reg(9), g_input as i64);
+        f.store(Reg(22), Reg(9), 0, Width::W8);
+        f.mov(Reg(0), Reg(20));
+        f.mov(Reg(1), Reg(22));
+        f.mov(Reg(2), Reg(21));
+        f.syscall(abi::SYS_READ);
+        f.mov(Reg(0), Reg(20));
+        f.syscall(abi::SYS_CLOSE);
+        // results = alloc(nblocks * 16)
+        f.consti(Reg(0), (nblocks * 16) as i64);
+        f.call(rt.alloc);
+        f.consti(Reg(9), g_results as i64);
+        f.store(Reg(0), Reg(9), 0, Width::W8);
+        // queue_init
+        f.consti(Reg(0), g_q as i64);
+        f.consti(Reg(1), 16);
+        f.call(rt.queue_init);
+        gbuild::spawn_workers(&mut f, worker, threads);
+        // Push block indices then sentinels.
+        let push_top = f.label();
+        let push_done = f.label();
+        f.consti(Reg(20), 0);
+        f.bind(push_top);
+        f.bin(BinOp::Ltu, Reg(21), Reg(20), nblocks as i64);
+        f.jz(Reg(21), push_done);
+        f.consti(Reg(0), g_q as i64);
+        f.mov(Reg(1), Reg(20));
+        f.call(rt.queue_push);
+        f.add(Reg(20), Reg(20), 1i64);
+        f.jmp(push_top);
+        f.bind(push_done);
+        for _ in 0..threads {
+            f.consti(Reg(0), g_q as i64);
+            f.consti(Reg(1), SENTINEL);
+            f.call(rt.queue_push);
+        }
+        gbuild::join_workers(&mut f, threads);
+        // Write compressed blocks in order; total in r25.
+        f.consti(Reg(0), path_out as i64);
+        f.consti(Reg(1), 7); // strlen("out.rle")
+        f.consti(Reg(2), abi::O_WRONLY as i64);
+        f.syscall(abi::SYS_OPEN);
+        f.mov(Reg(20), Reg(0)); // out fd
+        f.consti(Reg(25), 0); // total
+        f.consti(Reg(21), 0); // block
+        let w_top = f.label();
+        let w_done = f.label();
+        f.bind(w_top);
+        f.bin(BinOp::Ltu, Reg(22), Reg(21), nblocks as i64);
+        f.jz(Reg(22), w_done);
+        f.consti(Reg(9), g_results as i64);
+        f.load(Reg(23), Reg(9), 0, Width::W8);
+        f.mul(Reg(24), Reg(21), 16i64);
+        f.add(Reg(23), Reg(23), Reg(24));
+        f.load(Reg(1), Reg(23), 0, Width::W8); // ptr
+        f.load(Reg(2), Reg(23), 8, Width::W8); // len
+        f.mov(Reg(0), Reg(20));
+        f.add(Reg(25), Reg(25), Reg(2));
+        f.syscall(abi::SYS_WRITE);
+        f.add(Reg(21), Reg(21), 1i64);
+        f.jmp(w_top);
+        f.bind(w_done);
+        f.mov(Reg(0), Reg(25));
+        f.syscall(abi::SYS_EXIT);
+        f.finish();
+    }
+
+    let world = WorldConfig {
+        files: vec![("input.dat".to_string(), input)],
+        ..WorldConfig::default()
+    };
+    let spec = GuestSpec::new("pcomp", Arc::new(pb.finish("main")), world);
+    let expected_len = expected.len() as u64;
+    WorkloadCase {
+        name: "pcomp",
+        category: Category::Client,
+        threads,
+        spec,
+        verify: Box::new(move |machine, kernel| {
+            expect_eq("exit code (compressed bytes)", machine.halted(), Some(expected_len))?;
+            let out = kernel
+                .fs()
+                .contents("out.rle")
+                .ok_or_else(|| crate::harness::verify_err("out.rle missing"))?;
+            if out != expected.as_slice() {
+                return Err(crate::harness::verify_err(format!(
+                    "out.rle differs: {} vs {} bytes",
+                    out.len(),
+                    expected.len()
+                )));
+            }
+            Ok(())
+        }),
+        expected_external_bytes: None,
+    }
+}
+
+/// Emits the per-block RLE compressor:
+/// `fn rle_compress(src, len, dst) -> out_len` producing `(run, byte)` pairs.
+fn build_rle(pb: &mut ProgramBuilder) {
+    let mut f = pb.function("rle_compress");
+    let outer = f.label();
+    let inner = f.label();
+    let inner_done = f.label();
+    let done = f.label();
+    f.mov(Reg(10), Reg(0)); // src
+    f.mov(Reg(11), Reg(1)); // len
+    f.mov(Reg(12), Reg(2)); // dst base
+    f.mov(Reg(13), Reg(2)); // dst cursor
+    f.consti(Reg(14), 0); // i
+    f.bind(outer);
+    f.bin(BinOp::Ltu, Reg(17), Reg(14), Reg(11));
+    f.jz(Reg(17), done);
+    f.add(Reg(18), Reg(10), Reg(14));
+    f.load(Reg(15), Reg(18), 0, Width::W1); // b = src[i]
+    f.consti(Reg(16), 1); // run
+    f.bind(inner);
+    f.add(Reg(17), Reg(14), Reg(16));
+    f.bin(BinOp::Ltu, Reg(19), Reg(17), Reg(11));
+    f.jz(Reg(19), inner_done);
+    f.bin(BinOp::Ltu, Reg(19), Reg(16), 255i64);
+    f.jz(Reg(19), inner_done);
+    f.add(Reg(18), Reg(10), Reg(17));
+    f.load(Reg(18), Reg(18), 0, Width::W1);
+    f.bin(BinOp::Eq, Reg(19), Reg(18), Reg(15));
+    f.jz(Reg(19), inner_done);
+    f.add(Reg(16), Reg(16), 1i64);
+    f.jmp(inner);
+    f.bind(inner_done);
+    f.store(Reg(16), Reg(13), 0, Width::W1);
+    f.store(Reg(15), Reg(13), 1, Width::W1);
+    f.add(Reg(13), Reg(13), 2i64);
+    f.add(Reg(14), Reg(14), Reg(16));
+    f.jmp(outer);
+    f.bind(done);
+    f.bin(BinOp::Sub, Reg(0), Reg(13), dp_vm::Src::Reg(Reg(12)));
+    f.ret();
+    f.finish();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_os::exec::DirectExecutor;
+
+    #[test]
+    fn pcomp_runs_and_verifies() {
+        for threads in [1, 2, 3] {
+            let case = build(threads, Size::Small);
+            let (mut machine, mut kernel) = case.spec.boot();
+            DirectExecutor::default()
+                .run(&mut machine, &mut kernel, 2_000_000_000)
+                .expect("pcomp failed");
+            (case.verify)(&machine, &kernel).expect("verification failed");
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! `pfscan` — a parallel file scanner (parallel `grep -c`).
+//!
+//! Main reads the input file into memory and statically partitions it;
+//! each worker counts (overlapping) occurrences of a fixed pattern whose
+//! match *starts* inside its chunk, then atomically adds to a global
+//! total. Main joins and exits with the count.
+//!
+//! Concurrency shape: embarrassingly parallel read-only compute with one
+//! atomic at the very end — near-zero sync, high memory traffic.
+
+use crate::gbuild::{self, gen_text};
+use crate::harness::{expect_eq, Category, Size, VerifyError, WorkloadCase};
+use dp_core::GuestSpec;
+use dp_os::abi;
+use dp_os::guest::Rt;
+use dp_os::kernel::WorldConfig;
+use dp_vm::builder::ProgramBuilder;
+use dp_vm::{BinOp, Reg, Width};
+use std::sync::Arc;
+
+/// The pattern scanned for.
+pub const PATTERN: &[u8] = b"ee";
+
+/// Counts occurrences whose start lies in `[0, hay_len)`, allowing the
+/// match to extend past the end of the slice into `tail` (chunk overlap
+/// semantics identical to the guest's).
+pub fn count_starts(hay: &[u8], needle: &[u8]) -> u64 {
+    let mut count = 0;
+    if hay.len() < needle.len() {
+        return 0;
+    }
+    for i in 0..=hay.len() - needle.len() {
+        if &hay[i..i + needle.len()] == needle {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Builds a `pfscan` instance.
+pub fn build(threads: usize, size: Size) -> WorkloadCase {
+    let input = gen_text(0x5CA7, (192 * 1024 * size.factor()) as usize);
+    let expected = count_starts(&input, PATTERN);
+
+    let mut pb = ProgramBuilder::new();
+    let rt = Rt::install(&mut pb);
+    let g_input = pb.global("input_ptr", 8);
+    let g_size = pb.global("input_size", 8);
+    let g_total = pb.global("total", 8);
+    let g_pattern = pb.global_data("pattern", PATTERN);
+    let path_in = pb.global_data("path_in", b"corpus.txt");
+    let nthreads = threads as i64;
+
+    // Worker(idx): scan [idx*size/n, (idx+1)*size/n) for match starts.
+    {
+        let mut w = pb.function("worker");
+        let outer = w.label();
+        let cmp = w.label();
+        let nomatch = w.label();
+        let matched = w.label();
+        let done = w.label();
+        w.mov(Reg(20), Reg(0)); // idx
+        w.consti(Reg(9), g_input as i64);
+        w.load(Reg(10), Reg(9), 0, Width::W8); // base
+        w.consti(Reg(9), g_size as i64);
+        w.load(Reg(11), Reg(9), 0, Width::W8); // size
+        // start = idx*size/n ; end = (idx+1)*size/n
+        w.mul(Reg(12), Reg(20), Reg(11));
+        w.bin(BinOp::Divu, Reg(12), Reg(12), nthreads);
+        w.add(Reg(13), Reg(20), 1i64);
+        w.mul(Reg(13), Reg(13), Reg(11));
+        w.bin(BinOp::Divu, Reg(13), Reg(13), nthreads);
+        // last valid start overall = size - plen
+        w.sub(Reg(14), Reg(11), PATTERN.len() as i64);
+        w.add(Reg(14), Reg(14), 1i64); // exclusive bound on starts
+        w.bin(BinOp::Minu, Reg(13), Reg(13), Reg(14));
+        w.consti(Reg(15), 0); // local count
+        // for i in start..end
+        w.bind(outer);
+        w.bin(BinOp::Ltu, Reg(16), Reg(12), Reg(13));
+        w.jz(Reg(16), done);
+        // compare pattern at base+i
+        w.consti(Reg(17), 0); // j
+        w.bind(cmp);
+        w.bin(BinOp::Ltu, Reg(16), Reg(17), PATTERN.len() as i64);
+        w.jz(Reg(16), matched);
+        w.add(Reg(18), Reg(10), Reg(12));
+        w.add(Reg(18), Reg(18), Reg(17));
+        w.load(Reg(18), Reg(18), 0, Width::W1);
+        w.consti(Reg(19), g_pattern as i64);
+        w.add(Reg(19), Reg(19), Reg(17));
+        w.load(Reg(19), Reg(19), 0, Width::W1);
+        w.bin(BinOp::Ne, Reg(16), Reg(18), Reg(19));
+        w.jnz(Reg(16), nomatch);
+        w.add(Reg(17), Reg(17), 1i64);
+        w.jmp(cmp);
+        w.bind(matched);
+        w.add(Reg(15), Reg(15), 1i64);
+        w.bind(nomatch);
+        w.add(Reg(12), Reg(12), 1i64);
+        w.jmp(outer);
+        w.bind(done);
+        w.consti(Reg(9), g_total as i64);
+        w.fetch_add(Reg(16), Reg(9), dp_vm::Src::Reg(Reg(15)));
+        gbuild::thread_exit0(&mut w);
+        w.finish();
+    }
+    let worker = pb.declare("worker");
+
+    {
+        let mut f = pb.function("main");
+        f.consti(Reg(0), path_in as i64);
+        f.consti(Reg(1), 10); // strlen("corpus.txt")
+        f.consti(Reg(2), abi::O_RDONLY as i64);
+        f.syscall(abi::SYS_OPEN);
+        f.mov(Reg(20), Reg(0));
+        f.syscall(abi::SYS_FSIZE);
+        f.mov(Reg(21), Reg(0));
+        f.consti(Reg(9), g_size as i64);
+        f.store(Reg(21), Reg(9), 0, Width::W8);
+        f.mov(Reg(0), Reg(21));
+        f.call(rt.alloc);
+        f.mov(Reg(22), Reg(0));
+        f.consti(Reg(9), g_input as i64);
+        f.store(Reg(22), Reg(9), 0, Width::W8);
+        f.mov(Reg(0), Reg(20));
+        f.mov(Reg(1), Reg(22));
+        f.mov(Reg(2), Reg(21));
+        f.syscall(abi::SYS_READ);
+        f.mov(Reg(0), Reg(20));
+        f.syscall(abi::SYS_CLOSE);
+        gbuild::spawn_workers(&mut f, worker, threads);
+        gbuild::join_workers(&mut f, threads);
+        gbuild::exit_with_global(&mut f, g_total);
+        f.finish();
+    }
+
+    let world = WorldConfig {
+        files: vec![("corpus.txt".to_string(), input)],
+        ..WorldConfig::default()
+    };
+    let spec = GuestSpec::new("pfscan", Arc::new(pb.finish("main")), world);
+    WorkloadCase {
+        name: "pfscan",
+        category: Category::Client,
+        threads,
+        spec,
+        verify: Box::new(move |machine, _kernel| -> Result<(), VerifyError> {
+            expect_eq("match count", machine.halted(), Some(expected))
+        }),
+        expected_external_bytes: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_os::exec::DirectExecutor;
+
+    #[test]
+    fn pfscan_counts_match_reference() {
+        for threads in [1, 2, 4] {
+            let case = build(threads, Size::Small);
+            let (mut machine, mut kernel) = case.spec.boot();
+            DirectExecutor::default()
+                .run(&mut machine, &mut kernel, 2_000_000_000)
+                .expect("pfscan failed");
+            (case.verify)(&machine, &kernel).expect("verification failed");
+        }
+    }
+
+    #[test]
+    fn host_counter_handles_edges() {
+        assert_eq!(count_starts(b"eee", b"ee"), 2); // overlapping starts
+        assert_eq!(count_starts(b"e", b"ee"), 0);
+        assert_eq!(count_starts(b"", b"ee"), 0);
+    }
+}

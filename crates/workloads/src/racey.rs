@@ -1,0 +1,328 @@
+//! Intentionally racy microbenchmarks for the divergence/rollback study
+//! (experiment E8).
+//!
+//! Each has a real data race whose outcome depends on thread interleaving,
+//! so the thread-parallel and epoch-parallel executions genuinely disagree
+//! at some rate — exercising divergence detection, forward recovery, and
+//! the guarantee that the *recording* still replays exactly even when the
+//! original run diverged. Verifiers accept any racy-but-plausible outcome.
+
+use crate::gbuild;
+use crate::harness::{verify_err, Category, Size, VerifyError, WorkloadCase};
+use dp_core::GuestSpec;
+use dp_os::kernel::WorldConfig;
+use dp_vm::builder::ProgramBuilder;
+use dp_vm::{BinOp, Reg, Width};
+use std::sync::Arc;
+
+/// Plain (unsynchronized) read-modify-write counter: the canonical lost
+/// update race.
+pub fn counter(threads: usize, size: Size) -> WorkloadCase {
+    let iters = 4_000 * size.factor() as i64;
+    let mut pb = ProgramBuilder::new();
+    let g_counter = pb.global("counter", 8);
+
+    {
+        let mut w = pb.function("worker");
+        let top = w.label();
+        let done = w.label();
+        w.consti(Reg(10), 0);
+        w.consti(Reg(9), g_counter as i64);
+        w.bind(top);
+        w.bin(BinOp::Ltu, Reg(11), Reg(10), iters);
+        w.jz(Reg(11), done);
+        w.load(Reg(12), Reg(9), 0, Width::W8);
+        w.add(Reg(12), Reg(12), 1i64);
+        w.store(Reg(12), Reg(9), 0, Width::W8);
+        w.add(Reg(10), Reg(10), 1i64);
+        w.jmp(top);
+        w.bind(done);
+        gbuild::thread_exit0(&mut w);
+        w.finish();
+    }
+    let worker = pb.declare("worker");
+    {
+        let mut f = pb.function("main");
+        gbuild::spawn_workers(&mut f, worker, threads);
+        gbuild::join_workers(&mut f, threads);
+        gbuild::exit_with_global(&mut f, g_counter);
+        f.finish();
+    }
+    let spec = GuestSpec::new("racey-counter", Arc::new(pb.finish("main")), WorldConfig::default());
+    let max = (iters as u64) * threads as u64;
+    WorkloadCase {
+        name: "racey-counter",
+        category: Category::Racy,
+        threads,
+        spec,
+        verify: Box::new(move |machine, _| -> Result<(), VerifyError> {
+            let got = machine.halted().unwrap_or(0);
+            if got == 0 || got > max {
+                return Err(verify_err(format!("counter {got} outside (0, {max}]")));
+            }
+            Ok(())
+        }),
+        expected_external_bytes: None,
+    }
+}
+
+/// Like [`counter`] but with ~300 instructions of private compute per racy
+/// increment, so only a fraction of epochs contain a manifest race — the
+/// knob for divergence-rate and adaptive-epoch studies.
+pub fn sparse_counter(threads: usize, size: Size) -> WorkloadCase {
+    let iters = 4 * size.factor() as i64;
+    let mut pb = ProgramBuilder::new();
+    let g_counter = pb.global("counter", 8);
+    {
+        let mut w = pb.function("worker");
+        let top = w.label();
+        let busy = w.label();
+        let done = w.label();
+        w.consti(Reg(10), 0);
+        w.consti(Reg(9), g_counter as i64);
+        w.bind(top);
+        w.bin(BinOp::Ltu, Reg(11), Reg(10), iters);
+        w.jz(Reg(11), done);
+        // ~100k instructions of private compute between racy increments,
+        // so a given epoch usually sees at most one thread touch the
+        // counter and divergence is probabilistic rather than certain.
+        w.consti(Reg(14), 33_000);
+        w.bind(busy);
+        w.add(Reg(13), Reg(13), Reg(14));
+        w.sub(Reg(14), Reg(14), 1i64);
+        w.jnz(Reg(14), busy);
+        w.load(Reg(12), Reg(9), 0, Width::W8);
+        w.add(Reg(12), Reg(12), 1i64);
+        w.store(Reg(12), Reg(9), 0, Width::W8);
+        w.add(Reg(10), Reg(10), 1i64);
+        w.jmp(top);
+        w.bind(done);
+        gbuild::thread_exit0(&mut w);
+        w.finish();
+    }
+    let worker = pb.declare("worker");
+    {
+        let mut f = pb.function("main");
+        gbuild::spawn_workers(&mut f, worker, threads);
+        gbuild::join_workers(&mut f, threads);
+        gbuild::exit_with_global(&mut f, g_counter);
+        f.finish();
+    }
+    let spec = GuestSpec::new("racey-sparse", Arc::new(pb.finish("main")), WorldConfig::default());
+    let max = (iters as u64) * threads as u64;
+    WorkloadCase {
+        name: "racey-sparse",
+        category: Category::Racy,
+        threads,
+        spec,
+        verify: Box::new(move |machine, _| -> Result<(), VerifyError> {
+            let got = machine.halted().unwrap_or(0);
+            if got == 0 || got > max {
+                return Err(verify_err(format!("counter {got} outside (0, {max}]")));
+            }
+            Ok(())
+        }),
+        expected_external_bytes: None,
+    }
+}
+
+/// Racy lazy initialization: every thread checks a shared pointer and
+/// initializes it if it looks null (check-then-act without a lock), then
+/// uses whichever object it observed.
+pub fn lazy_init(threads: usize, size: Size) -> WorkloadCase {
+    let rounds = 1_500 * size.factor() as i64;
+    let mut pb = ProgramBuilder::new();
+    let rt = dp_os::guest::Rt::install(&mut pb);
+    let g_ptr = pb.global("shared_ptr", 8);
+    let g_sum = pb.global("use_sum", 8);
+
+    {
+        let mut w = pb.function("worker");
+        let top = w.label();
+        let done = w.label();
+        let have = w.label();
+        w.consti(Reg(10), 0);
+        w.bind(top);
+        w.bin(BinOp::Ltu, Reg(11), Reg(10), rounds);
+        w.jz(Reg(11), done);
+        // if shared_ptr == 0 { shared_ptr = alloc(64); *ptr = tid_marker }
+        w.consti(Reg(9), g_ptr as i64);
+        w.load(Reg(12), Reg(9), 0, Width::W8);
+        w.jnz(Reg(12), have);
+        w.consti(Reg(0), 64);
+        w.call(rt.alloc);
+        w.mov(Reg(12), Reg(0));
+        w.add(Reg(13), Reg(10), 7i64);
+        w.store(Reg(13), Reg(12), 0, Width::W8);
+        w.consti(Reg(9), g_ptr as i64);
+        w.store(Reg(12), Reg(9), 0, Width::W8);
+        w.bind(have);
+        // use: sum += *shared_ptr; occasionally reset to null (plain).
+        w.load(Reg(13), Reg(12), 0, Width::W8);
+        w.consti(Reg(9), g_sum as i64);
+        w.load(Reg(14), Reg(9), 0, Width::W8);
+        w.add(Reg(14), Reg(14), Reg(13));
+        w.store(Reg(14), Reg(9), 0, Width::W8);
+        w.bin(BinOp::And, Reg(15), Reg(10), 7i64);
+        let no_reset = w.label();
+        w.jnz(Reg(15), no_reset);
+        w.consti(Reg(9), g_ptr as i64);
+        w.consti(Reg(13), 0);
+        w.store(Reg(13), Reg(9), 0, Width::W8);
+        w.bind(no_reset);
+        w.add(Reg(10), Reg(10), 1i64);
+        w.jmp(top);
+        w.bind(done);
+        gbuild::thread_exit0(&mut w);
+        w.finish();
+    }
+    let worker = pb.declare("worker");
+    {
+        let mut f = pb.function("main");
+        gbuild::spawn_workers(&mut f, worker, threads);
+        gbuild::join_workers(&mut f, threads);
+        gbuild::exit_with_global(&mut f, g_sum);
+        f.finish();
+    }
+    let spec = GuestSpec::new("racey-lazyinit", Arc::new(pb.finish("main")), WorldConfig::default());
+    WorkloadCase {
+        name: "racey-lazyinit",
+        category: Category::Racy,
+        threads,
+        spec,
+        verify: Box::new(|machine, _| -> Result<(), VerifyError> {
+            machine
+                .halted()
+                .map(|_| ())
+                .ok_or_else(|| verify_err("did not halt"))
+        }),
+        expected_external_bytes: None,
+    }
+}
+
+/// Racy "bank": threads transfer between accounts with unsynchronized
+/// check-then-act balance updates; total money should be conserved but
+/// races can corrupt it.
+pub fn banking(threads: usize, size: Size) -> WorkloadCase {
+    const ACCOUNTS: i64 = 16;
+    const INITIAL: i64 = 1_000;
+    let transfers = 1_500 * size.factor() as i64;
+    let mut pb = ProgramBuilder::new();
+    let _rt = dp_os::guest::Rt::install(&mut pb);
+    let accounts_init: Vec<u8> = (0..ACCOUNTS)
+        .flat_map(|_| (INITIAL as u64).to_le_bytes())
+        .collect();
+    let g_acc = pb.global_data("accounts", &accounts_init);
+
+    {
+        let mut w = pb.function("worker");
+        let top = w.label();
+        let done = w.label();
+        let skip = w.label();
+        // Per-thread xorshift state on the stack.
+        w.mov(Reg(20), Reg(0));
+        w.sub(Reg(21), Reg(31), 16i64);
+        w.add(Reg(16), Reg(20), 3i64);
+        w.mul(Reg(16), Reg(16), 0x2545F491i64);
+        w.store(Reg(16), Reg(21), 0, Width::W8);
+        w.consti(Reg(10), 0);
+        w.bind(top);
+        w.bin(BinOp::Ltu, Reg(11), Reg(10), transfers);
+        w.jz(Reg(11), done);
+        w.mov(Reg(0), Reg(21));
+        w.call_named("__rt_xorshift");
+        w.mov(Reg(22), Reg(0));
+        // from = r % A ; to = (r>>16) % A ; amt = (r>>32) % 50
+        w.bin(BinOp::Remu, Reg(23), Reg(22), ACCOUNTS);
+        w.bin(BinOp::Shr, Reg(24), Reg(22), 16i64);
+        w.bin(BinOp::Remu, Reg(24), Reg(24), ACCOUNTS);
+        w.bin(BinOp::Shr, Reg(25), Reg(22), 32i64);
+        w.bin(BinOp::Remu, Reg(25), Reg(25), 50i64);
+        // if balance[from] >= amt: balance[from]-=amt; balance[to]+=amt
+        w.mul(Reg(23), Reg(23), 8i64);
+        w.add(Reg(23), Reg(23), g_acc as i64);
+        w.mul(Reg(24), Reg(24), 8i64);
+        w.add(Reg(24), Reg(24), g_acc as i64);
+        w.load(Reg(26), Reg(23), 0, Width::W8);
+        w.bin(BinOp::Ltu, Reg(16), Reg(26), Reg(25));
+        w.jnz(Reg(16), skip);
+        w.sub(Reg(26), Reg(26), Reg(25));
+        w.store(Reg(26), Reg(23), 0, Width::W8);
+        w.load(Reg(27), Reg(24), 0, Width::W8);
+        w.add(Reg(27), Reg(27), Reg(25));
+        w.store(Reg(27), Reg(24), 0, Width::W8);
+        w.bind(skip);
+        w.add(Reg(10), Reg(10), 1i64);
+        w.jmp(top);
+        w.bind(done);
+        gbuild::thread_exit0(&mut w);
+        w.finish();
+    }
+    let worker = pb.declare("worker");
+    {
+        let mut f = pb.function("main");
+        gbuild::spawn_workers(&mut f, worker, threads);
+        gbuild::join_workers(&mut f, threads);
+        // Exit with the total balance.
+        let sum_top = f.label();
+        let sum_done = f.label();
+        f.consti(Reg(20), 0);
+        f.consti(Reg(21), 0);
+        f.bind(sum_top);
+        f.bin(BinOp::Ltu, Reg(16), Reg(20), ACCOUNTS);
+        f.jz(Reg(16), sum_done);
+        f.mul(Reg(17), Reg(20), 8i64);
+        f.add(Reg(17), Reg(17), g_acc as i64);
+        f.load(Reg(18), Reg(17), 0, Width::W8);
+        f.add(Reg(21), Reg(21), Reg(18));
+        f.add(Reg(20), Reg(20), 1i64);
+        f.jmp(sum_top);
+        f.bind(sum_done);
+        f.mov(Reg(0), Reg(21));
+        f.syscall(dp_os::abi::SYS_EXIT);
+        f.finish();
+    }
+    let spec = GuestSpec::new("racey-bank", Arc::new(pb.finish("main")), WorldConfig::default());
+    WorkloadCase {
+        name: "racey-bank",
+        category: Category::Racy,
+        threads,
+        spec,
+        verify: Box::new(|machine, _| -> Result<(), VerifyError> {
+            machine
+                .halted()
+                .map(|_| ())
+                .ok_or_else(|| verify_err("did not halt"))
+        }),
+        expected_external_bytes: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_os::exec::DirectExecutor;
+
+    #[test]
+    fn racy_workloads_run_to_completion() {
+        for case in [counter(2, Size::Small), lazy_init(2, Size::Small), banking(2, Size::Small)] {
+            let (mut machine, mut kernel) = case.spec.boot();
+            DirectExecutor::default()
+                .run(&mut machine, &mut kernel, 2_000_000_000)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", case.name));
+            (case.verify)(&machine, &kernel).expect("verification failed");
+        }
+    }
+
+    #[test]
+    fn counter_is_exact_under_serial_execution() {
+        // The round-robin DirectExecutor with a long quantum rarely
+        // preempts mid-increment, so the serial result is the max.
+        let case = counter(2, Size::Small);
+        let (mut machine, mut kernel) = case.spec.boot();
+        DirectExecutor { quantum: 1 << 40 }
+            .run(&mut machine, &mut kernel, 2_000_000_000)
+            .unwrap();
+        assert_eq!(machine.halted(), Some(8_000));
+    }
+}

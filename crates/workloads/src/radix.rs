@@ -1,0 +1,261 @@
+//! `radix` — a SPLASH-2-style parallel radix sort.
+//!
+//! 32-bit keys sorted with four 8-bit passes. Each pass: every worker
+//! histograms its slice of the source array; barrier; worker 0 turns the
+//! per-worker histograms into per-worker scatter offsets (stable order:
+//! digit-major, worker-minor); barrier; every worker scatters its slice
+//! into the destination array through its own offsets (disjoint targets,
+//! no locks); barrier; buffers swap. Deterministic, so the result is
+//! verified against a host sort.
+//!
+//! Concurrency shape: data-parallel phases with a serial step on worker 0
+//! and barrier synchronization — plus heavy cross-buffer memory traffic.
+
+use crate::gbuild;
+use crate::harness::{Category, Size, VerifyError, WorkloadCase};
+use dp_core::GuestSpec;
+use dp_os::guest::Rt;
+use dp_os::kernel::WorldConfig;
+use dp_vm::builder::ProgramBuilder;
+use dp_vm::{BinOp, Reg, Width};
+use std::sync::Arc;
+
+/// Radix digit width (bits) and bucket count.
+const RADIX_BITS: u64 = 8;
+const BUCKETS: u64 = 1 << RADIX_BITS;
+/// Sort passes (covers 32-bit keys).
+const PASSES: u64 = 4;
+
+fn keys(size: Size) -> Vec<u64> {
+    let mut rng = gbuild::XorShift::new(0x5087);
+    (0..24_000 * size.factor())
+        .map(|_| rng.next_u64() & 0xffff_ffff)
+        .collect()
+}
+
+/// Builds a `radix` instance.
+pub fn build(threads: usize, size: Size) -> WorkloadCase {
+    let input = keys(size);
+    let n = input.len() as u64;
+    let mut expected = input.clone();
+    expected.sort_unstable();
+    // Exit code: checksum of the sorted array.
+    let expected_sum = expected
+        .iter()
+        .fold(0u64, |acc, &k| acc.wrapping_mul(1099511628211).wrapping_add(k));
+
+    let packed: Vec<u8> = input.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let mut pb = ProgramBuilder::new();
+    let rt = Rt::install(&mut pb);
+    let g_src = pb.global_data("keys_a", &packed);
+    let g_b = pb.global("keys_b", n * 8);
+    // hist[worker][bucket], then reused as offsets.
+    let g_hist = pb.global("hist", threads as u64 * BUCKETS * 8);
+    let g_barrier = pb.global("barrier", 16);
+    let g_sum = pb.global("checksum", 8);
+    let nthreads = threads as i64;
+
+    {
+        let mut w = pb.function("worker");
+        let pass_top = w.label();
+        let pass_done = w.label();
+        let zero_top = w.label();
+        let zero_done = w.label();
+        let count_top = w.label();
+        let count_done = w.label();
+        let not_zero_a = w.label();
+        let off_d_top = w.label();
+        let off_d_done = w.label();
+        let off_t_top = w.label();
+        let off_t_done = w.label();
+        let scat_top = w.label();
+        let scat_done = w.label();
+        let pick_a = w.label();
+        let picked = w.label();
+        let sum_top = w.label();
+        let sum_done = w.label();
+        let not_zero_b = w.label();
+
+        // r20 idx, r21 pass, r22 start, r23 end, r30 my hist base
+        w.mov(Reg(20), Reg(0));
+        w.mul(Reg(22), Reg(20), n as i64);
+        w.bin(BinOp::Divu, Reg(22), Reg(22), nthreads);
+        w.add(Reg(23), Reg(20), 1i64);
+        w.mul(Reg(23), Reg(23), n as i64);
+        w.bin(BinOp::Divu, Reg(23), Reg(23), nthreads);
+        w.mul(Reg(30), Reg(20), (BUCKETS * 8) as i64);
+        w.add(Reg(30), Reg(30), g_hist as i64);
+        w.consti(Reg(21), 0);
+
+        w.bind(pass_top);
+        w.bin(BinOp::Ltu, Reg(16), Reg(21), PASSES as i64);
+        w.jz(Reg(16), pass_done);
+        // src/dst by pass parity.
+        w.bin(BinOp::And, Reg(16), Reg(21), 1i64);
+        w.jz(Reg(16), pick_a);
+        w.consti(Reg(24), g_b as i64);
+        w.consti(Reg(25), g_src as i64);
+        w.jmp(picked);
+        w.bind(pick_a);
+        w.consti(Reg(24), g_src as i64);
+        w.consti(Reg(25), g_b as i64);
+        w.bind(picked);
+        // shift = pass * 8
+        w.mul(Reg(29), Reg(21), RADIX_BITS as i64);
+        // zero my histogram
+        w.consti(Reg(17), 0);
+        w.bind(zero_top);
+        w.bin(BinOp::Ltu, Reg(16), Reg(17), BUCKETS as i64);
+        w.jz(Reg(16), zero_done);
+        w.mul(Reg(18), Reg(17), 8i64);
+        w.add(Reg(18), Reg(18), Reg(30));
+        w.consti(Reg(19), 0);
+        w.store(Reg(19), Reg(18), 0, Width::W8);
+        w.add(Reg(17), Reg(17), 1i64);
+        w.jmp(zero_top);
+        w.bind(zero_done);
+        // count digits in my slice
+        w.mov(Reg(17), Reg(22));
+        w.bind(count_top);
+        w.bin(BinOp::Ltu, Reg(16), Reg(17), Reg(23));
+        w.jz(Reg(16), count_done);
+        w.mul(Reg(18), Reg(17), 8i64);
+        w.add(Reg(18), Reg(18), Reg(24));
+        w.load(Reg(19), Reg(18), 0, Width::W8);
+        w.bin(BinOp::Shr, Reg(19), Reg(19), Reg(29));
+        w.bin(BinOp::And, Reg(19), Reg(19), (BUCKETS - 1) as i64);
+        w.mul(Reg(19), Reg(19), 8i64);
+        w.add(Reg(19), Reg(19), Reg(30));
+        w.load(Reg(15), Reg(19), 0, Width::W8);
+        w.add(Reg(15), Reg(15), 1i64);
+        w.store(Reg(15), Reg(19), 0, Width::W8);
+        w.add(Reg(17), Reg(17), 1i64);
+        w.jmp(count_top);
+        w.bind(count_done);
+        w.consti(Reg(0), g_barrier as i64);
+        w.consti(Reg(1), nthreads);
+        w.call(rt.barrier_wait);
+        // Worker 0: prefix sums -> per-worker offsets (in place).
+        w.jnz(Reg(20), not_zero_a);
+        w.consti(Reg(26), 0); // running total
+        w.consti(Reg(17), 0); // digit
+        w.bind(off_d_top);
+        w.bin(BinOp::Ltu, Reg(16), Reg(17), BUCKETS as i64);
+        w.jz(Reg(16), off_d_done);
+        w.consti(Reg(18), 0); // worker t
+        w.bind(off_t_top);
+        w.bin(BinOp::Ltu, Reg(16), Reg(18), nthreads);
+        w.jz(Reg(16), off_t_done);
+        // addr = hist + t*BUCKETS*8 + digit*8
+        w.mul(Reg(19), Reg(18), (BUCKETS * 8) as i64);
+        w.mul(Reg(15), Reg(17), 8i64);
+        w.add(Reg(19), Reg(19), Reg(15));
+        w.add(Reg(19), Reg(19), g_hist as i64);
+        w.load(Reg(15), Reg(19), 0, Width::W8);
+        w.store(Reg(26), Reg(19), 0, Width::W8);
+        w.add(Reg(26), Reg(26), Reg(15));
+        w.add(Reg(18), Reg(18), 1i64);
+        w.jmp(off_t_top);
+        w.bind(off_t_done);
+        w.add(Reg(17), Reg(17), 1i64);
+        w.jmp(off_d_top);
+        w.bind(off_d_done);
+        w.bind(not_zero_a);
+        w.consti(Reg(0), g_barrier as i64);
+        w.consti(Reg(1), nthreads);
+        w.call(rt.barrier_wait);
+        // scatter my slice through my offsets
+        w.mov(Reg(17), Reg(22));
+        w.bind(scat_top);
+        w.bin(BinOp::Ltu, Reg(16), Reg(17), Reg(23));
+        w.jz(Reg(16), scat_done);
+        w.mul(Reg(18), Reg(17), 8i64);
+        w.add(Reg(18), Reg(18), Reg(24));
+        w.load(Reg(19), Reg(18), 0, Width::W8); // key
+        w.bin(BinOp::Shr, Reg(15), Reg(19), Reg(29));
+        w.bin(BinOp::And, Reg(15), Reg(15), (BUCKETS - 1) as i64);
+        w.mul(Reg(15), Reg(15), 8i64);
+        w.add(Reg(15), Reg(15), Reg(30)); // my offset slot
+        w.load(Reg(16), Reg(15), 0, Width::W8); // position
+        w.mul(Reg(18), Reg(16), 8i64);
+        w.add(Reg(18), Reg(18), Reg(25));
+        w.store(Reg(19), Reg(18), 0, Width::W8);
+        w.add(Reg(16), Reg(16), 1i64);
+        w.store(Reg(16), Reg(15), 0, Width::W8);
+        w.add(Reg(17), Reg(17), 1i64);
+        w.jmp(scat_top);
+        w.bind(scat_done);
+        w.consti(Reg(0), g_barrier as i64);
+        w.consti(Reg(1), nthreads);
+        w.call(rt.barrier_wait);
+        w.add(Reg(21), Reg(21), 1i64);
+        w.jmp(pass_top);
+
+        w.bind(pass_done);
+        // Worker 0 checksums the sorted array (PASSES even -> in keys_a).
+        w.jnz(Reg(20), not_zero_b);
+        w.consti(Reg(26), 0);
+        w.consti(Reg(17), 0);
+        w.bind(sum_top);
+        w.bin(BinOp::Ltu, Reg(16), Reg(17), n as i64);
+        w.jz(Reg(16), sum_done);
+        w.mul(Reg(18), Reg(17), 8i64);
+        w.add(Reg(18), Reg(18), g_src as i64);
+        w.load(Reg(19), Reg(18), 0, Width::W8);
+        w.constu(Reg(15), 1099511628211);
+        w.mul(Reg(26), Reg(26), Reg(15));
+        w.add(Reg(26), Reg(26), Reg(19));
+        w.add(Reg(17), Reg(17), 1i64);
+        w.jmp(sum_top);
+        w.bind(sum_done);
+        w.consti(Reg(9), g_sum as i64);
+        w.store(Reg(26), Reg(9), 0, Width::W8);
+        w.bind(not_zero_b);
+        gbuild::thread_exit0(&mut w);
+        w.finish();
+    }
+    let worker = pb.declare("worker");
+
+    {
+        let mut f = pb.function("main");
+        gbuild::spawn_workers(&mut f, worker, threads);
+        gbuild::join_workers(&mut f, threads);
+        gbuild::exit_with_global(&mut f, g_sum);
+        f.finish();
+    }
+
+    let spec = GuestSpec::new("radix", Arc::new(pb.finish("main")), WorldConfig::default());
+    WorkloadCase {
+        name: "radix",
+        category: Category::Scientific,
+        threads,
+        spec,
+        verify: Box::new(move |machine, _kernel| -> Result<(), VerifyError> {
+            crate::harness::expect_eq("sorted checksum", machine.halted(), Some(expected_sum))
+        }),
+        expected_external_bytes: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_os::exec::DirectExecutor;
+
+    #[test]
+    fn radix_sorts_for_all_thread_counts() {
+        for threads in [1, 2, 3] {
+            let case = build(threads, Size::Small);
+            let (mut machine, mut kernel) = case.spec.boot();
+            DirectExecutor::default()
+                .run(&mut machine, &mut kernel, 2_000_000_000)
+                .expect("radix failed");
+            (case.verify)(&machine, &kernel).expect("verification failed");
+        }
+    }
+
+    #[test]
+    fn passes_cover_key_width() {
+        assert!(PASSES * RADIX_BITS >= 32);
+    }
+}

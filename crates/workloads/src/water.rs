@@ -1,0 +1,294 @@
+//! `water` — a SPLASH-2-style n-body molecular-dynamics kernel.
+//!
+//! `P` particles in fixed-point 2D. Each timestep has two barrier-separated
+//! phases: every worker computes pairwise interactions for its particle
+//! range against *all* particle positions (O(P²/N) reads), then integrates
+//! its own particles (writes). Deterministic given the initial conditions,
+//! so the final checksum is verified against a host reference.
+//!
+//! Concurrency shape: compute-dominated with all-to-all read sharing and
+//! two barriers per step.
+
+use crate::gbuild;
+use crate::harness::{expect_eq, Category, Size, VerifyError, WorkloadCase};
+use dp_core::GuestSpec;
+use dp_os::guest::Rt;
+use dp_os::kernel::WorldConfig;
+use dp_vm::builder::ProgramBuilder;
+use dp_vm::{BinOp, Reg, Width};
+use std::sync::Arc;
+
+/// Particle count.
+const P: u64 = 96;
+
+/// The interaction force used by both guest and reference:
+/// `f(dx) = dx / (|dx|/1024 + 16)` — smooth, integer, zero-safe.
+fn force(dx: i64) -> i64 {
+    dx / (dx.unsigned_abs() as i64 / 1024 + 16)
+}
+
+/// Host reference simulation returning the checksum.
+pub fn reference(steps: u64) -> u64 {
+    let (mut x, mut y, mut vx, mut vy) = initial();
+    let n = P as usize;
+    for _ in 0..steps {
+        let mut ax = vec![0i64; n];
+        let mut ay = vec![0i64; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    ax[i] = ax[i].wrapping_add(force(x[j].wrapping_sub(x[i])));
+                    ay[i] = ay[i].wrapping_add(force(y[j].wrapping_sub(y[i])));
+                }
+            }
+        }
+        for i in 0..n {
+            vx[i] = vx[i].wrapping_add(ax[i] >> 4);
+            vy[i] = vy[i].wrapping_add(ay[i] >> 4);
+            x[i] = x[i].wrapping_add(vx[i] >> 4);
+            y[i] = y[i].wrapping_add(vy[i] >> 4);
+        }
+    }
+    let mut sum = 0u64;
+    for i in 0..n {
+        sum = sum
+            .wrapping_add(x[i] as u64)
+            .wrapping_mul(31)
+            .wrapping_add(y[i] as u64);
+    }
+    sum
+}
+
+fn initial() -> (Vec<i64>, Vec<i64>, Vec<i64>, Vec<i64>) {
+    let mut rng = gbuild::XorShift::new(0x3A7E5);
+    let n = P as usize;
+    let pos = |rng: &mut gbuild::XorShift| (rng.next_u64() % 2_000_000) as i64 - 1_000_000;
+    let x: Vec<i64> = (0..n).map(|_| pos(&mut rng)).collect();
+    let y: Vec<i64> = (0..n).map(|_| pos(&mut rng)).collect();
+    (x, y, vec![0; n], vec![0; n])
+}
+
+/// Builds a `water` instance.
+pub fn build(threads: usize, size: Size) -> WorkloadCase {
+    let steps = 4 * size.factor();
+    let expected = reference(steps);
+    let (x, y, vx, vy) = initial();
+    let pack = |v: &[i64]| -> Vec<u8> { v.iter().flat_map(|w| w.to_le_bytes()).collect() };
+
+    let mut pb = ProgramBuilder::new();
+    let rt = Rt::install(&mut pb);
+    let g_x = pb.global_data("px", &pack(&x));
+    let g_y = pb.global_data("py", &pack(&y));
+    let g_vx = pb.global_data("pvx", &pack(&vx));
+    let g_vy = pb.global_data("pvy", &pack(&vy));
+    let g_ax = pb.global("pax", P * 8);
+    let g_ay = pb.global("pay", P * 8);
+    let g_barrier = pb.global("barrier", 16);
+    let g_sum = pb.global("checksum", 8);
+    let nthreads = threads as i64;
+
+    // force(dx in r0) -> r0, preserves r1..: uses r2,r3.
+    {
+        let mut f = pb.function("force");
+        let neg = f.label();
+        let done = f.label();
+        f.mov(Reg(2), Reg(0));
+        f.bin(BinOp::Lts, Reg(3), Reg(2), 0i64);
+        f.jnz(Reg(3), neg);
+        f.mov(Reg(3), Reg(2));
+        f.jmp(done);
+        f.bind(neg);
+        f.un(dp_vm::UnOp::Neg, Reg(3), Reg(2));
+        f.bind(done);
+        // r3 = |dx|; f = dx / (|dx|/1024 + 16)
+        f.bin(BinOp::Divs, Reg(3), Reg(3), 1024i64);
+        f.add(Reg(3), Reg(3), 16i64);
+        f.bin(BinOp::Divs, Reg(0), Reg(2), Reg(3));
+        f.ret();
+        f.finish();
+    }
+    let force_fn = pb.declare("force");
+
+    {
+        let mut w = pb.function("worker");
+        let step_top = w.label();
+        let step_done = w.label();
+        let i_top = w.label();
+        let i_done = w.label();
+        let j_top = w.label();
+        let j_done = w.label();
+        let j_skip = w.label();
+        let int_top = w.label();
+        let int_done = w.label();
+        let sum_top = w.label();
+        let sum_done = w.label();
+
+        // r20 idx, r21 step, r22 start, r23 end (particle range)
+        w.mov(Reg(20), Reg(0));
+        w.mul(Reg(22), Reg(20), P as i64);
+        w.bin(BinOp::Divu, Reg(22), Reg(22), nthreads);
+        w.add(Reg(23), Reg(20), 1i64);
+        w.mul(Reg(23), Reg(23), P as i64);
+        w.bin(BinOp::Divu, Reg(23), Reg(23), nthreads);
+        w.consti(Reg(21), 0);
+
+        w.bind(step_top);
+        w.bin(BinOp::Ltu, Reg(16), Reg(21), steps as i64);
+        w.jz(Reg(16), step_done);
+        // Phase 1: accumulate accelerations for my particles.
+        w.mov(Reg(24), Reg(22)); // i
+        w.bind(i_top);
+        w.bin(BinOp::Ltu, Reg(16), Reg(24), Reg(23));
+        w.jz(Reg(16), i_done);
+        w.mul(Reg(25), Reg(24), 8i64); // i*8
+        w.consti(Reg(26), 0); // axi
+        w.consti(Reg(27), 0); // ayi
+        w.consti(Reg(28), 0); // j
+        w.bind(j_top);
+        w.bin(BinOp::Ltu, Reg(16), Reg(28), P as i64);
+        w.jz(Reg(16), j_done);
+        w.bin(BinOp::Eq, Reg(16), Reg(28), Reg(24));
+        w.jnz(Reg(16), j_skip);
+        w.mul(Reg(29), Reg(28), 8i64);
+        // dx = x[j] - x[i]
+        w.consti(Reg(17), g_x as i64);
+        w.add(Reg(18), Reg(17), Reg(29));
+        w.load(Reg(0), Reg(18), 0, Width::W8);
+        w.add(Reg(18), Reg(17), Reg(25));
+        w.load(Reg(18), Reg(18), 0, Width::W8);
+        w.sub(Reg(0), Reg(0), Reg(18));
+        w.call(force_fn);
+        w.add(Reg(26), Reg(26), Reg(0));
+        // dy
+        w.consti(Reg(17), g_y as i64);
+        w.add(Reg(18), Reg(17), Reg(29));
+        w.load(Reg(0), Reg(18), 0, Width::W8);
+        w.add(Reg(18), Reg(17), Reg(25));
+        w.load(Reg(18), Reg(18), 0, Width::W8);
+        w.sub(Reg(0), Reg(0), Reg(18));
+        w.call(force_fn);
+        w.add(Reg(27), Reg(27), Reg(0));
+        w.bind(j_skip);
+        w.add(Reg(28), Reg(28), 1i64);
+        w.jmp(j_top);
+        w.bind(j_done);
+        w.consti(Reg(17), g_ax as i64);
+        w.add(Reg(17), Reg(17), Reg(25));
+        w.store(Reg(26), Reg(17), 0, Width::W8);
+        w.consti(Reg(17), g_ay as i64);
+        w.add(Reg(17), Reg(17), Reg(25));
+        w.store(Reg(27), Reg(17), 0, Width::W8);
+        w.add(Reg(24), Reg(24), 1i64);
+        w.jmp(i_top);
+        w.bind(i_done);
+        // barrier, then integrate my particles.
+        w.consti(Reg(0), g_barrier as i64);
+        w.consti(Reg(1), nthreads);
+        w.call(rt.barrier_wait);
+        w.mov(Reg(24), Reg(22));
+        w.bind(int_top);
+        w.bin(BinOp::Ltu, Reg(16), Reg(24), Reg(23));
+        w.jz(Reg(16), int_done);
+        w.mul(Reg(25), Reg(24), 8i64);
+        for (gv, ga, gp) in [(g_vx, g_ax, g_x), (g_vy, g_ay, g_y)] {
+            // v += a >> 4 ; p += v >> 4
+            w.consti(Reg(17), ga as i64);
+            w.add(Reg(17), Reg(17), Reg(25));
+            w.load(Reg(18), Reg(17), 0, Width::W8);
+            w.bin(BinOp::Sar, Reg(18), Reg(18), 4i64);
+            w.consti(Reg(17), gv as i64);
+            w.add(Reg(17), Reg(17), Reg(25));
+            w.load(Reg(19), Reg(17), 0, Width::W8);
+            w.add(Reg(19), Reg(19), Reg(18));
+            w.store(Reg(19), Reg(17), 0, Width::W8);
+            w.bin(BinOp::Sar, Reg(19), Reg(19), 4i64);
+            w.consti(Reg(17), gp as i64);
+            w.add(Reg(17), Reg(17), Reg(25));
+            w.load(Reg(18), Reg(17), 0, Width::W8);
+            w.add(Reg(18), Reg(18), Reg(19));
+            w.store(Reg(18), Reg(17), 0, Width::W8);
+        }
+        w.add(Reg(24), Reg(24), 1i64);
+        w.jmp(int_top);
+        w.bind(int_done);
+        w.consti(Reg(0), g_barrier as i64);
+        w.consti(Reg(1), nthreads);
+        w.call(rt.barrier_wait);
+        w.add(Reg(21), Reg(21), 1i64);
+        w.jmp(step_top);
+
+        w.bind(step_done);
+        // Worker 0 computes the (order-sensitive) checksum alone.
+        let not_zero = w.label();
+        w.jnz(Reg(20), not_zero);
+        w.consti(Reg(26), 0); // sum
+        w.consti(Reg(24), 0); // i
+        w.bind(sum_top);
+        w.bin(BinOp::Ltu, Reg(16), Reg(24), P as i64);
+        w.jz(Reg(16), sum_done);
+        w.mul(Reg(25), Reg(24), 8i64);
+        w.consti(Reg(17), g_x as i64);
+        w.add(Reg(17), Reg(17), Reg(25));
+        w.load(Reg(18), Reg(17), 0, Width::W8);
+        w.add(Reg(26), Reg(26), Reg(18));
+        w.mul(Reg(26), Reg(26), 31i64);
+        w.consti(Reg(17), g_y as i64);
+        w.add(Reg(17), Reg(17), Reg(25));
+        w.load(Reg(18), Reg(17), 0, Width::W8);
+        w.add(Reg(26), Reg(26), Reg(18));
+        w.add(Reg(24), Reg(24), 1i64);
+        w.jmp(sum_top);
+        w.bind(sum_done);
+        w.consti(Reg(9), g_sum as i64);
+        w.store(Reg(26), Reg(9), 0, Width::W8);
+        w.bind(not_zero);
+        gbuild::thread_exit0(&mut w);
+        w.finish();
+    }
+    let worker = pb.declare("worker");
+
+    {
+        let mut f = pb.function("main");
+        gbuild::spawn_workers(&mut f, worker, threads);
+        gbuild::join_workers(&mut f, threads);
+        gbuild::exit_with_global(&mut f, g_sum);
+        f.finish();
+    }
+
+    let spec = GuestSpec::new("water", Arc::new(pb.finish("main")), WorldConfig::default());
+    WorkloadCase {
+        name: "water",
+        category: Category::Scientific,
+        threads,
+        spec,
+        verify: Box::new(move |machine, _kernel| -> Result<(), VerifyError> {
+            expect_eq("n-body checksum", machine.halted(), Some(expected))
+        }),
+        expected_external_bytes: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_os::exec::DirectExecutor;
+
+    #[test]
+    fn water_matches_reference() {
+        for threads in [1, 2, 4] {
+            let case = build(threads, Size::Small);
+            let (mut machine, mut kernel) = case.spec.boot();
+            DirectExecutor::default()
+                .run(&mut machine, &mut kernel, 2_000_000_000)
+                .expect("water failed");
+            (case.verify)(&machine, &kernel).expect("verification failed");
+        }
+    }
+
+    #[test]
+    fn force_is_odd_and_bounded() {
+        assert_eq!(force(0), 0);
+        assert_eq!(force(100), -force(-100));
+        assert!(force(1_000_000) < 1_000_000);
+    }
+}

@@ -1,0 +1,208 @@
+//! `webserve` — an Apache-style accept/worker-pool server.
+//!
+//! Main listens on a port, accepts a scripted sequence of client
+//! connections arriving over virtual time, and pushes the connection fds
+//! through the work queue. Each of the `N` workers pops a connection,
+//! receives a request naming one of the site's files, reads the file,
+//! computes a digest over it (the "dynamic content" work), sends the file
+//! back, and closes the connection. Main pushes sentinels, joins, and
+//! exits with the number of requests served.
+//!
+//! Concurrency shape: blocking accepts driven by client arrival times,
+//! queue handoffs, file reads, and response sends — the syscall-heavy
+//! server profile (the paper's Apache/MySQL group).
+
+use crate::gbuild::{self, gen_text};
+use crate::harness::{expect_eq, Category, Size, VerifyError, WorkloadCase};
+use dp_core::GuestSpec;
+use dp_os::abi;
+use dp_os::guest::{queue_bytes, Rt};
+use dp_os::kernel::WorldConfig;
+use dp_os::net::ClientSpec;
+use dp_vm::builder::ProgramBuilder;
+use dp_vm::{BinOp, Reg, Width};
+use std::sync::Arc;
+
+/// Server port.
+const PORT: i64 = 80;
+/// Queue sentinel.
+const SENTINEL: i64 = 0x7fff_ffff;
+/// Number of distinct site files.
+const NFILES: usize = 6;
+
+fn file_name(i: usize) -> String {
+    format!("site/page{i}.html")
+}
+
+/// Builds a `webserve` instance.
+pub fn build(threads: usize, size: Size) -> WorkloadCase {
+    let nrequests = (10 * size.factor()) as usize * threads;
+    let files: Vec<Vec<u8>> = (0..NFILES)
+        .map(|i| gen_text(0xAB0 + i as u64, 3000 + i * 700))
+        .collect();
+    // Client i requests file (i*7+3) % NFILES, arriving every 25k cycles.
+    let pick = |i: usize| (i * 7 + 3) % NFILES;
+    let clients: Vec<ClientSpec> = (0..nrequests)
+        .map(|i| ClientSpec {
+            arrival: 5_000 + i as u64 * 25_000,
+            port: PORT as u64,
+            requests: vec![(pick(i) as u64).to_le_bytes().to_vec()],
+        })
+        .collect();
+    let expected_out: u64 = (0..nrequests).map(|i| files[pick(i)].len() as u64).sum();
+
+    let mut pb = ProgramBuilder::new();
+    let rt = Rt::install(&mut pb);
+    let g_q = pb.global("queue", queue_bytes(32));
+    let g_served = pb.global("served", 8);
+    // File-name table: NFILES fixed-width 15-byte names.
+    let name_len = file_name(0).len() as i64;
+    let names: Vec<u8> = (0..NFILES).flat_map(|i| file_name(i).into_bytes()).collect();
+    let g_names = pb.global_data("names", &names);
+
+    // Worker: pop connection, serve one request.
+    {
+        let mut w = pb.function("worker");
+        let top = w.label();
+        let done = w.label();
+        w.bind(top);
+        w.consti(Reg(0), g_q as i64);
+        w.call(rt.queue_pop);
+        w.mov(Reg(20), Reg(0)); // conn fd
+        w.bin(BinOp::Eq, Reg(1), Reg(20), SENTINEL);
+        w.jnz(Reg(1), done);
+        // recv request (8 bytes: file index)
+        w.sub(Reg(21), Reg(31), 16i64); // stack scratch
+        w.mov(Reg(0), Reg(20));
+        w.mov(Reg(1), Reg(21));
+        w.consti(Reg(2), 8);
+        w.syscall(abi::SYS_RECV);
+        w.load(Reg(22), Reg(21), 0, Width::W8); // index
+        // open(names + index*name_len)
+        w.mul(Reg(0), Reg(22), name_len);
+        w.add(Reg(0), Reg(0), gbuild_addr(g_names));
+        w.consti(Reg(1), name_len);
+        w.consti(Reg(2), abi::O_RDONLY as i64);
+        w.syscall(abi::SYS_OPEN);
+        w.mov(Reg(23), Reg(0)); // file fd
+        w.syscall(abi::SYS_FSIZE); // r0 = fd
+        w.mov(Reg(24), Reg(0)); // size
+        w.mov(Reg(0), Reg(24));
+        w.call(rt.alloc);
+        w.mov(Reg(25), Reg(0)); // buf
+        w.mov(Reg(0), Reg(23));
+        w.mov(Reg(1), Reg(25));
+        w.mov(Reg(2), Reg(24));
+        w.syscall(abi::SYS_READ);
+        w.mov(Reg(0), Reg(23));
+        w.syscall(abi::SYS_CLOSE);
+        // "Dynamic content": checksum the page (compute per request).
+        let sum = w.label();
+        let sum_done = w.label();
+        w.consti(Reg(26), 0); // i
+        w.consti(Reg(27), 0); // acc
+        w.bind(sum);
+        w.bin(BinOp::Ltu, Reg(16), Reg(26), Reg(24));
+        w.jz(Reg(16), sum_done);
+        w.add(Reg(17), Reg(25), Reg(26));
+        w.load(Reg(17), Reg(17), 0, Width::W1);
+        w.add(Reg(27), Reg(27), Reg(17));
+        w.mul(Reg(27), Reg(27), 31i64);
+        w.add(Reg(26), Reg(26), 1i64);
+        w.jmp(sum);
+        w.bind(sum_done);
+        // send the page
+        w.mov(Reg(0), Reg(20));
+        w.mov(Reg(1), Reg(25));
+        w.mov(Reg(2), Reg(24));
+        w.syscall(abi::SYS_SEND);
+        w.mov(Reg(0), Reg(20));
+        w.syscall(abi::SYS_SOCK_CLOSE);
+        w.consti(Reg(9), g_served as i64);
+        w.fetch_add(Reg(16), Reg(9), 1i64);
+        w.jmp(top);
+        w.bind(done);
+        gbuild::thread_exit0(&mut w);
+        w.finish();
+    }
+    let worker = pb.declare("worker");
+
+    {
+        let mut f = pb.function("main");
+        f.consti(Reg(0), g_q as i64);
+        f.consti(Reg(1), 32);
+        f.call(rt.queue_init);
+        f.consti(Reg(0), PORT);
+        f.syscall(abi::SYS_LISTEN);
+        f.mov(Reg(20), Reg(0)); // listener
+        gbuild::spawn_workers(&mut f, worker, threads);
+        // Accept loop.
+        let acc_top = f.label();
+        let acc_done = f.label();
+        f.consti(Reg(21), 0);
+        f.bind(acc_top);
+        f.bin(BinOp::Ltu, Reg(22), Reg(21), nrequests as i64);
+        f.jz(Reg(22), acc_done);
+        f.mov(Reg(0), Reg(20));
+        f.syscall(abi::SYS_ACCEPT);
+        f.mov(Reg(1), Reg(0));
+        f.consti(Reg(0), g_q as i64);
+        f.call(rt.queue_push);
+        f.add(Reg(21), Reg(21), 1i64);
+        f.jmp(acc_top);
+        f.bind(acc_done);
+        for _ in 0..threads {
+            f.consti(Reg(0), g_q as i64);
+            f.consti(Reg(1), SENTINEL);
+            f.call(rt.queue_push);
+        }
+        gbuild::join_workers(&mut f, threads);
+        gbuild::exit_with_global(&mut f, g_served);
+        f.finish();
+    }
+
+    let mut world = WorldConfig {
+        files: (0..NFILES)
+            .map(|i| (file_name(i), files[i].clone()))
+            .collect(),
+        ..WorldConfig::default()
+    };
+    world.net.clients = clients;
+    let spec = GuestSpec::new("webserve", Arc::new(pb.finish("main")), world);
+    let nreq = nrequests as u64;
+    WorkloadCase {
+        name: "webserve",
+        category: Category::Server,
+        threads,
+        spec,
+        verify: Box::new(move |machine, _kernel| -> Result<(), VerifyError> {
+            expect_eq("requests served", machine.halted(), Some(nreq))
+        }),
+        expected_external_bytes: Some(expected_out),
+    }
+}
+
+/// Helper: a `Src` immediate for a global address (readability shim).
+fn gbuild_addr(addr: u64) -> i64 {
+    addr as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_os::exec::DirectExecutor;
+
+    #[test]
+    fn webserve_serves_all_requests() {
+        for threads in [1, 2, 4] {
+            let case = build(threads, Size::Small);
+            let (mut machine, mut kernel) = case.spec.boot();
+            DirectExecutor::default()
+                .run(&mut machine, &mut kernel, 2_000_000_000)
+                .expect("webserve failed");
+            (case.verify)(&machine, &kernel).expect("verification failed");
+            assert_eq!(kernel.net().pending_clients(), 0);
+            assert_eq!(Some(kernel.net().bytes_out), case.expected_external_bytes);
+        }
+    }
+}

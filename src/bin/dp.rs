@@ -1,0 +1,172 @@
+//! `dp` — command-line record/replay for the bundled workloads.
+//!
+//! ```text
+//! dp record <workload> [--threads N] [--size small|medium|large]
+//!           [--epoch CYCLES] [--seed S] [--out FILE]
+//! dp replay <FILE> --workload <workload> [--threads N] [--size ...] [--parallel N]
+//! dp inspect <FILE>
+//! dp list
+//! ```
+//!
+//! The workload name selects the guest program; `replay` and `inspect`
+//! need it again (with the same parameters) because recordings carry only
+//! a program hash, not the program itself.
+
+use doubleplay::prelude::*;
+use doubleplay::workloads::{racy_suite, suite};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  dp list\n  dp record <workload> [--threads N] [--size S] [--epoch C] [--seed X] [--out FILE]\n  dp replay <FILE> --workload <name> [--threads N] [--size S] [--parallel N]\n  dp inspect <FILE>"
+    );
+    exit(2);
+}
+
+fn parse_size(s: &str) -> Size {
+    match s {
+        "small" => Size::Small,
+        "medium" => Size::Medium,
+        "large" => Size::Large,
+        _ => usage(),
+    }
+}
+
+struct Opts {
+    threads: usize,
+    size: Size,
+    epoch: u64,
+    seed: u64,
+    out: Option<String>,
+    workload: Option<String>,
+    parallel: usize,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts {
+        threads: 2,
+        size: Size::Small,
+        epoch: 200_000,
+        seed: DoublePlayConfig::new(2).hidden_seed,
+        out: None,
+        workload: None,
+        parallel: 0,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || it.next().cloned().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--threads" => o.threads = val().parse().unwrap_or_else(|_| usage()),
+            "--size" => o.size = parse_size(&val()),
+            "--epoch" => o.epoch = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => o.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--out" => o.out = Some(val()),
+            "--workload" => o.workload = Some(val()),
+            "--parallel" => o.parallel = val().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    o
+}
+
+fn find_case(name: &str, threads: usize, size: Size) -> WorkloadCase {
+    suite(threads, size)
+        .into_iter()
+        .chain(racy_suite(threads, size))
+        .find(|c| c.name == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown workload `{name}` (try `dp list`)");
+            exit(2);
+        })
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else { usage() };
+    match cmd.as_str() {
+        "list" => {
+            for c in suite(2, Size::Small).iter().chain(racy_suite(2, Size::Small).iter()) {
+                println!("{:16} {}", c.name, c.category);
+            }
+        }
+        "record" => {
+            let Some(name) = argv.get(1) else { usage() };
+            let o = parse_opts(&argv[2..]);
+            let case = find_case(name, o.threads, o.size);
+            let config = DoublePlayConfig::new(o.threads)
+                .epoch_cycles(o.epoch)
+                .hidden_seed(o.seed);
+            let bundle = match record(&case.spec, &config) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("record failed: {e}");
+                    exit(1);
+                }
+            };
+            let s = &bundle.stats;
+            println!(
+                "{name}: {} epochs, {} divergences, overhead {:.1}%, log {} B",
+                s.epochs,
+                s.divergences,
+                s.overhead() * 100.0,
+                s.log_bytes()
+            );
+            let path = o
+                .out
+                .unwrap_or_else(|| format!("{name}.dprec"));
+            let file = std::fs::File::create(&path).expect("cannot create output file");
+            bundle.recording.save(file).expect("serialization failed");
+            println!("wrote {path}");
+        }
+        "replay" => {
+            let Some(path) = argv.get(1) else { usage() };
+            let o = parse_opts(&argv[2..]);
+            let Some(name) = o.workload else { usage() };
+            let case = find_case(&name, o.threads, o.size);
+            let file = std::fs::File::open(path).expect("cannot open recording");
+            let recording = Recording::load(file).expect("cannot parse recording");
+            let result = if o.parallel > 1 {
+                replay_parallel(&recording, &case.spec.program, o.parallel)
+            } else {
+                replay_sequential(&recording, &case.spec.program)
+            };
+            match result {
+                Ok(report) => println!(
+                    "replayed {} epochs, {} instructions, exit {:?} — verified",
+                    report.epochs, report.instructions, report.exit_code
+                ),
+                Err(e) => {
+                    eprintln!("replay FAILED: {e}");
+                    exit(1);
+                }
+            }
+        }
+        "inspect" => {
+            let Some(path) = argv.get(1) else { usage() };
+            let file = std::fs::File::open(path).expect("cannot open recording");
+            let r = Recording::load(file).expect("cannot parse recording");
+            println!("guest:         {}", r.meta.guest_name);
+            println!("program hash:  {:#018x}", r.meta.program_hash);
+            println!("config:        {} cpus, epoch {} cycles", r.meta.config.cpus, r.meta.config.epoch_cycles);
+            println!("epochs:        {}", r.epochs.len());
+            println!("checkpoints:   {}", if r.has_checkpoints() { "per-epoch (parallel replay ok)" } else { "initial only" });
+            println!("schedule:      {} events, {} bytes", r.schedule_events(), r.schedule_bytes());
+            println!("syscall log:   {} entries, {} bytes", r.logged_syscalls(), r.syscall_bytes());
+            let ext: u64 = r.external().map(|c| c.bytes.len() as u64).sum();
+            println!("external out:  {ext} bytes");
+            for e in r.epochs.iter().take(5) {
+                println!(
+                    "  epoch {:3}: {:6} sched events, {:5} syscalls, end hash {:#018x}",
+                    e.index,
+                    e.schedule.len(),
+                    e.syscalls.len(),
+                    e.end_machine_hash
+                );
+            }
+            if r.epochs.len() > 5 {
+                println!("  ... {} more", r.epochs.len() - 5);
+            }
+        }
+        _ => usage(),
+    }
+}

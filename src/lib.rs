@@ -1,0 +1,41 @@
+//! # doubleplay — uniparallel deterministic record/replay
+//!
+//! The facade crate of the DoublePlay (ASPLOS 2011) reproduction: a full
+//! record/replay stack for multithreaded guest programs, built on
+//! uniparallelism. Re-exports the layered crates:
+//!
+//! * [`vm`] — the deterministic multithreaded bytecode VM substrate;
+//! * [`os`] — the simulated kernel (filesystem, sockets, futexes, signals,
+//!   speculative output, cost model);
+//! * [`core`] — DoublePlay itself: the uniparallel recorder, divergence
+//!   detection with forward recovery, and sequential/parallel replay;
+//! * [`baselines`] — conventional multiprocessor record/replay schemes for
+//!   comparison;
+//! * [`workloads`] — the paper-style benchmark suite.
+//!
+//! ## Record and replay in five lines
+//!
+//! ```
+//! use doubleplay::prelude::*;
+//!
+//! let case = doubleplay::workloads::pfscan::build(2, Size::Small);
+//! let bundle = record(&case.spec, &DoublePlayConfig::new(2))?;
+//! let report = replay_sequential(&bundle.recording, &case.spec.program)?;
+//! assert_eq!(report.epochs as u64, bundle.stats.epochs);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use dp_baselines as baselines;
+pub use dp_core as core;
+pub use dp_os as os;
+pub use dp_vm as vm;
+pub use dp_workloads as workloads;
+
+/// The commonly-used surface in one import.
+pub mod prelude {
+    pub use dp_core::{
+        measure_native, record, replay_parallel, replay_sequential, replay_to_point,
+        DoublePlayConfig, GuestSpec, RecorderStats, Recording, RecordingBundle,
+    };
+    pub use dp_workloads::{racy_suite, suite, Size, WorkloadCase};
+}

@@ -1,0 +1,130 @@
+//! End-to-end integration: record every workload in the suite under
+//! DoublePlay, verify the application still behaves correctly (via each
+//! workload's ground-truth verifier applied to the replayed final state),
+//! and check that sequential and parallel replay reproduce the recording
+//! exactly.
+
+use doubleplay::prelude::*;
+use dp_core::checkpoint::Checkpoint;
+
+fn record_and_replay(case: &WorkloadCase, cpus: usize) {
+    let config = DoublePlayConfig::new(cpus).epoch_cycles(120_000);
+    let bundle = record(&case.spec, &config)
+        .unwrap_or_else(|e| panic!("{}: record failed: {e}", case.name));
+    let stats = &bundle.stats;
+    assert!(stats.epochs > 0, "{}: no epochs", case.name);
+    assert_eq!(
+        stats.committed + stats.divergences,
+        stats.epochs,
+        "{}: epoch accounting broken",
+        case.name
+    );
+
+    // Sequential replay must verify every epoch and reproduce the final
+    // application state; the workload verifier then checks ground truth.
+    let initial = Checkpoint::from_image(case.spec.program.clone(), bundle.recording.initial.clone());
+    let mut state = (initial.machine, initial.kernel);
+    for epoch in &bundle.recording.epochs {
+        let start = Checkpoint::capture(&state.0, &state.1);
+        let (m, k, _) = dp_core::replay_epoch(&start, epoch)
+            .unwrap_or_else(|e| panic!("{}: replay failed: {e}", case.name));
+        state = (m, k);
+    }
+    (case.verify)(&state.0, &state.1)
+        .unwrap_or_else(|e| panic!("{}: replayed state wrong: {e}", case.name));
+
+    // External output committed by the recording matches ground truth.
+    if let Some(expected) = case.expected_external_bytes {
+        let total: u64 = bundle
+            .recording
+            .external()
+            .map(|c| c.bytes.len() as u64)
+            .sum();
+        assert_eq!(total, expected, "{}: external output bytes", case.name);
+    }
+
+    // Parallel replay agrees.
+    let seq = replay_sequential(&bundle.recording, &case.spec.program).unwrap();
+    let par = replay_parallel(&bundle.recording, &case.spec.program, 4).unwrap();
+    assert_eq!(seq.final_hash, par.final_hash, "{}: parallel replay differs", case.name);
+    assert_eq!(seq.instructions, par.instructions, "{}", case.name);
+}
+
+#[test]
+fn pcomp_records_and_replays() {
+    record_and_replay(&doubleplay::workloads::pcomp::build(2, Size::Small), 2);
+}
+
+#[test]
+fn pfscan_records_and_replays() {
+    record_and_replay(&doubleplay::workloads::pfscan::build(2, Size::Small), 2);
+}
+
+#[test]
+fn aget_records_and_replays() {
+    record_and_replay(&doubleplay::workloads::aget::build(2, Size::Small), 2);
+}
+
+#[test]
+fn webserve_records_and_replays() {
+    record_and_replay(&doubleplay::workloads::webserve::build(2, Size::Small), 2);
+}
+
+#[test]
+fn kvstore_records_and_replays() {
+    record_and_replay(&doubleplay::workloads::kvstore::build(2, Size::Small), 2);
+}
+
+#[test]
+fn ocean_records_and_replays() {
+    record_and_replay(&doubleplay::workloads::ocean::build(2, Size::Small), 2);
+}
+
+#[test]
+fn water_records_and_replays() {
+    record_and_replay(&doubleplay::workloads::water::build(2, Size::Small), 2);
+}
+
+#[test]
+fn radix_records_and_replays() {
+    record_and_replay(&doubleplay::workloads::radix::build(2, Size::Small), 2);
+}
+
+#[test]
+fn four_thread_suite_records_cleanly() {
+    for case in doubleplay::workloads::suite(4, Size::Small) {
+        let config = DoublePlayConfig::new(4).epoch_cycles(150_000);
+        let bundle = record(&case.spec, &config)
+            .unwrap_or_else(|e| panic!("{}: record failed: {e}", case.name));
+        let report = replay_sequential(&bundle.recording, &case.spec.program)
+            .unwrap_or_else(|e| panic!("{}: replay failed: {e}", case.name));
+        assert_eq!(report.epochs as u64, bundle.stats.epochs, "{}", case.name);
+    }
+}
+
+#[test]
+fn racy_workloads_record_with_recovery_and_replay_exactly() {
+    for case in doubleplay::workloads::racy_suite(2, Size::Small) {
+        let config = DoublePlayConfig {
+            tp_quantum: 300,
+            tp_jitter: 400,
+            ..DoublePlayConfig::new(2).epoch_cycles(60_000)
+        };
+        let bundle = record(&case.spec, &config)
+            .unwrap_or_else(|e| panic!("{}: record failed: {e}", case.name));
+        // Replay must be exact even when the original diverged.
+        let report = replay_sequential(&bundle.recording, &case.spec.program)
+            .unwrap_or_else(|e| panic!("{}: replay failed: {e}", case.name));
+        assert_eq!(report.epochs as u64, bundle.stats.epochs, "{}", case.name);
+        // And the replayed state satisfies the (loose) racy verifier.
+        let initial = Checkpoint::from_image(case.spec.program.clone(), bundle.recording.initial.clone());
+        let mut state = (initial.machine, initial.kernel);
+        for epoch in &bundle.recording.epochs {
+            let start = Checkpoint::capture(&state.0, &state.1);
+            let (m, k, _) = dp_core::replay_epoch(&start, epoch).unwrap();
+            state = (m, k);
+        }
+        (case.verify)(&state.0, &state.1)
+            .unwrap_or_else(|e| panic!("{}: replayed state wrong: {e}", case.name));
+    }
+}

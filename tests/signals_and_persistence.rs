@@ -1,0 +1,145 @@
+//! Integration: asynchronous signal delivery through the full
+//! record/verify/replay stack, and recording persistence through disk.
+
+use doubleplay::os::{abi, kernel::WorldConfig};
+use doubleplay::prelude::*;
+use doubleplay::vm::builder::ProgramBuilder;
+use doubleplay::vm::{BinOp, Reg, Width};
+use std::sync::Arc;
+
+/// A guest where a "supervisor" thread periodically signals a worker; the
+/// worker's handler increments a counter; the worker spins doing compute
+/// until it has seen enough signals. Signal delivery points are
+/// scheduling decisions that must be recorded and replayed exactly.
+fn signal_spec() -> GuestSpec {
+    let mut pb = ProgramBuilder::new();
+    let hits = pb.global("hits", 8);
+    let work = pb.global("work", 8);
+
+    let mut h = pb.function("handler");
+    h.consti(Reg(1), hits as i64);
+    h.load(Reg(2), Reg(1), 0, Width::W8);
+    h.add(Reg(2), Reg(2), 1i64);
+    h.store(Reg(2), Reg(1), 0, Width::W8);
+    h.ret();
+    h.finish();
+    let handler = pb.declare("handler");
+
+    // Worker (tid 1): install handler, spin until hits >= 5.
+    let mut w = pb.function("worker");
+    let spin = w.label();
+    let done = w.label();
+    w.consti(Reg(0), 7);
+    w.consti(Reg(1), handler.0 as i64);
+    w.syscall(abi::SYS_SIGACTION);
+    w.bind(spin);
+    w.consti(Reg(9), work as i64);
+    w.load(Reg(10), Reg(9), 0, Width::W8);
+    w.add(Reg(10), Reg(10), 1i64);
+    w.store(Reg(10), Reg(9), 0, Width::W8);
+    w.consti(Reg(9), hits as i64);
+    w.load(Reg(11), Reg(9), 0, Width::W8);
+    w.bin(BinOp::Ltu, Reg(12), Reg(11), 5i64);
+    w.jnz(Reg(12), spin);
+    w.jmp(done);
+    w.bind(done);
+    w.consti(Reg(0), 0);
+    w.syscall(abi::SYS_THREAD_EXIT);
+    w.finish();
+    let worker = pb.declare("worker");
+
+    // Supervisor (tid 2): send 5 signals to the worker, sleeping between.
+    let mut s = pb.function("supervisor");
+    let top = s.label();
+    let fin = s.label();
+    s.consti(Reg(10), 0);
+    s.bind(top);
+    s.bin(BinOp::Ltu, Reg(11), Reg(10), 5i64);
+    s.jz(Reg(11), fin);
+    s.consti(Reg(0), 3_000);
+    s.syscall(abi::SYS_SLEEP);
+    s.consti(Reg(0), 1); // worker tid
+    s.consti(Reg(1), 7);
+    s.syscall(abi::SYS_KILL);
+    s.add(Reg(10), Reg(10), 1i64);
+    s.jmp(top);
+    s.bind(fin);
+    s.consti(Reg(0), 0);
+    s.syscall(abi::SYS_THREAD_EXIT);
+    s.finish();
+    let supervisor = pb.declare("supervisor");
+
+    let mut f = pb.function("main");
+    for func in [worker, supervisor] {
+        f.consti(Reg(0), func.0 as i64);
+        f.consti(Reg(1), 0);
+        f.consti(Reg(2), 0);
+        f.syscall(abi::SYS_SPAWN);
+    }
+    for t in 1..=2 {
+        f.consti(Reg(0), t);
+        f.syscall(abi::SYS_JOIN);
+    }
+    f.consti(Reg(9), hits as i64);
+    f.load(Reg(0), Reg(9), 0, Width::W8);
+    f.syscall(abi::SYS_EXIT);
+    f.finish();
+
+    GuestSpec::new("signals", Arc::new(pb.finish("main")), WorldConfig::default())
+}
+
+#[test]
+fn signals_record_and_replay_exactly() {
+    let spec = signal_spec();
+    for seed in 0..3 {
+        let config = DoublePlayConfig::new(2)
+            .epoch_cycles(20_000)
+            .hidden_seed(seed);
+        let bundle = record(&spec, &config)
+            .unwrap_or_else(|e| panic!("seed {seed}: record failed: {e}"));
+        let report = replay_sequential(&bundle.recording, &spec.program)
+            .unwrap_or_else(|e| panic!("seed {seed}: replay failed: {e}"));
+        assert_eq!(report.exit_code, Some(5), "seed {seed}: handler ran 5 times");
+        // At least one epoch's schedule must carry a signal event.
+        let signals: usize = bundle
+            .recording
+            .epochs
+            .iter()
+            .flat_map(|e| e.schedule.events())
+            .filter(|ev| matches!(ev, doubleplay::core::logs::SchedEvent::Signal { .. }))
+            .count();
+        assert_eq!(signals, 5, "seed {seed}: all deliveries recorded");
+    }
+}
+
+#[test]
+fn recording_survives_disk_roundtrip_and_replays() {
+    let case = doubleplay::workloads::pcomp::build(2, Size::Small);
+    let bundle = record(&case.spec, &DoublePlayConfig::new(2).epoch_cycles(100_000)).unwrap();
+    let path = std::env::temp_dir().join(format!("dp-test-{}.rec", std::process::id()));
+    bundle.recording.save(std::fs::File::create(&path).unwrap()).unwrap();
+    let loaded = Recording::load(std::fs::File::open(&path).unwrap()).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(loaded.epochs.len(), bundle.recording.epochs.len());
+    assert_eq!(loaded.log_bytes(), bundle.recording.log_bytes());
+    let a = replay_sequential(&bundle.recording, &case.spec.program).unwrap();
+    let b = replay_sequential(&loaded, &case.spec.program).unwrap();
+    assert_eq!(a, b);
+    let par = replay_parallel(&loaded, &case.spec.program, 3).unwrap();
+    assert_eq!(par.final_hash, a.final_hash);
+}
+
+#[test]
+fn compact_recordings_replay_without_checkpoints() {
+    let case = doubleplay::workloads::radix::build(2, Size::Small);
+    let config = DoublePlayConfig::new(2)
+        .epoch_cycles(150_000)
+        .keep_checkpoints(false);
+    let bundle = record(&case.spec, &config).unwrap();
+    assert!(!bundle.recording.has_checkpoints());
+    let report = replay_sequential(&bundle.recording, &case.spec.program).unwrap();
+    assert_eq!(report.epochs as u64, bundle.stats.epochs);
+    // Parallel replay needs checkpoints and must refuse cleanly.
+    assert!(replay_parallel(&bundle.recording, &case.spec.program, 2).is_err());
+}
