@@ -1,10 +1,8 @@
 //! Shared baseline measurement types.
 
-use serde::{Deserialize, Serialize};
-
 /// Measurements from one baseline recording, comparable with
 /// [`dp_core::RecorderStats`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct BaselineStats {
     /// Simulated end-to-end recorded runtime.
     pub recorded_cycles: u64,

@@ -176,7 +176,11 @@ pub fn record(spec: &GuestSpec, config: &DoublePlayConfig) -> Result<CrewRecordi
         &mut tracker,
     )?;
     // Close out every thread's trailing chunk (deterministic order).
-    let finals: Vec<(Tid, u64)> = machine.threads().iter().map(|t| (t.tid, t.icount)).collect();
+    let finals: Vec<(Tid, u64)> = machine
+        .threads()
+        .iter()
+        .map(|t| (t.tid, t.icount))
+        .collect();
     for (tid, ic) in finals {
         tracker.emit(tid, ic);
     }
@@ -261,10 +265,8 @@ mod tests {
             dp_workloads::radix::build(2, Size::Small),
         ] {
             let rec = record(&case.spec, &config()).unwrap();
-            let (machine, kernel) =
-                replay(&rec).unwrap_or_else(|e| panic!("{}: {e}", case.name));
-            (case.verify)(&machine, &kernel)
-                .unwrap_or_else(|e| panic!("{}: {e}", case.name));
+            let (machine, kernel) = replay(&rec).unwrap_or_else(|e| panic!("{}: {e}", case.name));
+            (case.verify)(&machine, &kernel).unwrap_or_else(|e| panic!("{}: {e}", case.name));
         }
     }
 

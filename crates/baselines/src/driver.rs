@@ -85,6 +85,7 @@ impl Rng {
 /// # Errors
 ///
 /// Guest faults, deadlocks, or exceeding `max_instructions`.
+#[allow(clippy::too_many_arguments)]
 pub fn drive<H: Hooks>(
     machine: &mut Machine,
     kernel: &mut Kernel,
@@ -114,7 +115,9 @@ pub fn drive<H: Hooks>(
         if out.instructions > max_instructions {
             return Err(RecordError::BudgetExhausted);
         }
-        let cpu = (0..cpus).min_by_key(|&c| (clocks[c], c)).expect("cpus >= 1");
+        let cpu = (0..cpus)
+            .min_by_key(|&c| (clocks[c], c))
+            .expect("cpus >= 1");
         let now = clocks[cpu];
 
         let wakes = kernel.advance_time(machine, now);
@@ -201,14 +204,17 @@ pub fn drive<H: Hooks>(
                         // Exit-class syscalls never complete, but isolated
                         // per-thread replay still needs them in the log.
                         hooks.on_thread_done(tid, machine.thread(tid).icount);
-                        out.all_syscalls.entry(tid).or_default().push(SyscallLogEntry {
-                            tid,
-                            num: req.num,
-                            arg_hash,
-                            ret: 0,
-                            effect: sys.effect,
-                            via_wake: false,
-                        });
+                        out.all_syscalls
+                            .entry(tid)
+                            .or_default()
+                            .push(SyscallLogEntry {
+                                tid,
+                                num: req.num,
+                                arg_hash,
+                                ret: 0,
+                                effect: sys.effect,
+                                via_wake: false,
+                            });
                     }
                 }
                 log_wakes(&mut out, hooks, &sys.wakes);
@@ -273,7 +279,14 @@ mod tests {
             syscalls: 0,
         };
         let out = drive(
-            &mut machine, &mut kernel, 2, 2_000, 1_000, 42, 2_000_000_000, &mut hooks,
+            &mut machine,
+            &mut kernel,
+            2,
+            2_000,
+            1_000,
+            42,
+            2_000_000_000,
+            &mut hooks,
         )
         .unwrap();
         (case.verify)(&machine, &kernel).unwrap();
@@ -295,7 +308,14 @@ mod tests {
                 syscalls: 0,
             };
             drive(
-                &mut machine, &mut kernel, 2, 1_000, 700, 9, 2_000_000_000, &mut hooks,
+                &mut machine,
+                &mut kernel,
+                2,
+                1_000,
+                700,
+                9,
+                2_000_000_000,
+                &mut hooks,
             )
             .unwrap();
             hashes.push(machine.state_hash());

@@ -36,7 +36,10 @@ pub struct UniprocRecording {
 /// # Errors
 ///
 /// Guest faults or deadlocks.
-pub fn record(spec: &GuestSpec, config: &DoublePlayConfig) -> Result<UniprocRecording, RecordError> {
+pub fn record(
+    spec: &GuestSpec,
+    config: &DoublePlayConfig,
+) -> Result<UniprocRecording, RecordError> {
     let (machine, kernel) = spec.boot();
     let initial = Checkpoint::capture(&machine, &kernel);
     let ep = dp_core::record::run_live(&initial, u64::MAX, config.ep_quantum, 0)?;

@@ -143,10 +143,8 @@ pub fn record(
         .sum();
     let log_bytes = read_bytes + sys_bytes;
     // Overhead: instrumentation tax on every access + log writes.
-    let instr_tax =
-        tracker.accesses * cost.value_log_instr_num / cost.value_log_instr_den.max(1);
-    let recorded_cycles =
-        out.cycles + (instr_tax + cost.log_write(log_bytes)) / config.cpus as u64;
+    let instr_tax = tracker.accesses * cost.value_log_instr_num / cost.value_log_instr_den.max(1);
+    let recorded_cycles = out.cycles + (instr_tax + cost.log_write(log_bytes)) / config.cpus as u64;
 
     let mut threads = BTreeMap::new();
     for t in machine.threads() {
@@ -160,11 +158,7 @@ pub fn record(
             ThreadLog {
                 func,
                 args,
-                reads: tracker
-                    .logs
-                    .remove(&t.tid)
-                    .unwrap_or_default()
-                    .into(),
+                reads: tracker.logs.remove(&t.tid).unwrap_or_default().into(),
                 syscalls: out
                     .all_syscalls
                     .get(&t.tid)
@@ -271,11 +265,13 @@ pub fn replay_thread(
         )?;
         match run.stop {
             StopReason::Syscall(req) => {
-                let entry = syscalls.pop_front().ok_or_else(|| ReplayError::LogMismatch {
-                    epoch: 0,
-                    tid,
-                    detail: format!("syscall {} beyond log", dp_os::abi::name(req.num)),
-                })?;
+                let entry = syscalls
+                    .pop_front()
+                    .ok_or_else(|| ReplayError::LogMismatch {
+                        epoch: 0,
+                        tid,
+                        detail: format!("syscall {} beyond log", dp_os::abi::name(req.num)),
+                    })?;
                 if entry.num != req.num {
                     return Err(ReplayError::LogMismatch {
                         epoch: 0,

@@ -1,32 +1,26 @@
 //! Wall-clock recording cost of the baseline schemes vs DoublePlay
 //! (experiment E5's real-time side).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dp_bench::config_for;
+use dp_bench::walltime::bench;
 use dp_workloads::{suite, Size};
 
-fn bench_baselines(c: &mut Criterion) {
+fn main() {
     let case = suite(2, Size::Small)
         .into_iter()
         .find(|w| w.name == "kvstore")
         .unwrap();
     let config = config_for(2);
-    let mut g = c.benchmark_group("baselines-kvstore");
-    g.sample_size(10);
-    g.bench_function("doubleplay", |b| {
-        b.iter(|| dp_core::record(&case.spec, &config).unwrap())
+    bench("baselines-kvstore", "doubleplay", 10, || {
+        dp_core::record(&case.spec, &config).unwrap()
     });
-    g.bench_function("uniprocessor", |b| {
-        b.iter(|| dp_baselines::uniproc::record(&case.spec, &config).unwrap())
+    bench("baselines-kvstore", "uniprocessor", 10, || {
+        dp_baselines::uniproc::record(&case.spec, &config).unwrap()
     });
-    g.bench_function("value-log", |b| {
-        b.iter(|| dp_baselines::value_log::record(&case.spec, &config).unwrap())
+    bench("baselines-kvstore", "value-log", 10, || {
+        dp_baselines::value_log::record(&case.spec, &config).unwrap()
     });
-    g.bench_function("crew", |b| {
-        b.iter(|| dp_baselines::crew::record(&case.spec, &config).unwrap())
+    bench("baselines-kvstore", "crew", 10, || {
+        dp_baselines::crew::record(&case.spec, &config).unwrap()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_baselines);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Raw interpreter throughput (instructions/second) — the substrate speed
 //! every simulated-time result is built on.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dp_bench::walltime::bench_throughput;
 use dp_vm::builder::ProgramBuilder;
 use dp_vm::observer::NullObserver;
 use dp_vm::{BinOp, Machine, Reg, SliceLimits, Src, Tid, Width};
@@ -26,20 +26,18 @@ fn program(iters: i64) -> Arc<dp_vm::Program> {
     Arc::new(pb.finish("main"))
 }
 
-fn bench_interpreter(c: &mut Criterion) {
+fn main() {
     let iters = 200_000i64;
     let p = program(iters);
-    let mut g = c.benchmark_group("interpreter");
-    g.throughput(Throughput::Elements(iters as u64 * 6));
-    g.bench_function("arith-load-store-loop", |b| {
-        b.iter(|| {
+    bench_throughput(
+        "interpreter",
+        "arith-load-store-loop",
+        10,
+        iters as u64 * 6,
+        || {
             let mut m = Machine::new(p.clone(), &[]);
             m.run_slice(Tid(0), SliceLimits::budget(u64::MAX), &mut NullObserver)
                 .unwrap()
-        })
-    });
-    g.finish();
+        },
+    );
 }
-
-criterion_group!(benches, bench_interpreter);
-criterion_main!(benches);

@@ -1,24 +1,18 @@
 //! Wall-clock cost of recording (the whole uniparallel pipeline) per
 //! workload — the engineering-side counterpart of experiment E2.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dp_bench::config_for;
+use dp_bench::walltime::bench;
 use dp_workloads::{suite, Size};
 
-fn bench_record(c: &mut Criterion) {
-    let mut g = c.benchmark_group("record");
-    g.sample_size(10);
+fn main() {
     for name in ["pfscan", "kvstore", "ocean"] {
         let case = suite(2, Size::Small)
             .into_iter()
             .find(|w| w.name == name)
             .unwrap();
-        g.bench_function(name, |b| {
-            b.iter(|| dp_core::record(&case.spec, &config_for(2)).unwrap())
+        bench("record", name, 10, || {
+            dp_core::record(&case.spec, &config_for(2)).unwrap()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_record);
-criterion_main!(benches);

@@ -1,30 +1,22 @@
 //! Wall-clock cost of sequential vs. parallel offline replay (experiment
 //! E7's real-time side).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dp_bench::config_for;
+use dp_bench::walltime::bench;
 use dp_workloads::{suite, Size};
 
-fn bench_replay(c: &mut Criterion) {
+fn main() {
     let case = suite(2, Size::Small)
         .into_iter()
         .find(|w| w.name == "ocean")
         .unwrap();
     let bundle = dp_core::record(&case.spec, &config_for(2)).unwrap();
-    let mut g = c.benchmark_group("replay");
-    g.sample_size(10);
-    g.bench_function("sequential", |b| {
-        b.iter(|| dp_core::replay_sequential(&bundle.recording, &case.spec.program).unwrap())
+    bench("replay", "sequential", 10, || {
+        dp_core::replay_sequential(&bundle.recording, &case.spec.program).unwrap()
     });
     for threads in [2usize, 4] {
-        g.bench_function(format!("parallel-{threads}"), |b| {
-            b.iter(|| {
-                dp_core::replay_parallel(&bundle.recording, &case.spec.program, threads).unwrap()
-            })
+        bench("replay", &format!("parallel-{threads}"), 10, || {
+            dp_core::replay_parallel(&bundle.recording, &case.spec.program, threads).unwrap()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_replay);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures. Usage:
 //!
 //! ```text
-//! report [small|medium|large] [e1 e2 e3 e4 e5 e6 e7 e8 e9 | all]
+//! report [small|medium|large] [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 | all]
 //! ```
 
 use dp_bench::experiments as exp;
@@ -50,5 +50,8 @@ fn main() {
     }
     if want("e9") {
         println!("{}", exp::fig_recovery_ablation(size));
+    }
+    if want("e10") {
+        println!("{}", exp::table_faults(size));
     }
 }

@@ -1,14 +1,15 @@
 //! # dp-bench — the evaluation harness
 //!
 //! Regenerates every table and figure of the DoublePlay evaluation
-//! (experiments E1–E9; the mapping to paper artifacts is in DESIGN.md).
-//! The `report` binary prints them; the Criterion benches measure the real
-//! wall-clock cost of the same operations.
+//! (experiments E1–E10; the mapping to paper artifacts is in DESIGN.md).
+//! The `report` binary prints them; the wall-clock benches (see
+//! [`walltime`]) measure the real cost of the same operations.
 
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod table;
+pub mod walltime;
 
 pub use experiments::config_for;
 pub use table::Table;

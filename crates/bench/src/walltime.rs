@@ -1,0 +1,47 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! The `[[bench]]` targets are plain `harness = false` binaries built on
+//! this module: each sample runs the closure once, and the line printed per
+//! benchmark reports the median and minimum over all samples. It trades
+//! Criterion's statistics for zero external dependencies — good enough to
+//! spot order-of-magnitude regressions in CI logs.
+
+use std::time::{Duration, Instant};
+
+/// Times `f` over `samples` runs (after one untimed warmup) and prints a
+/// `group/name: median .. min ..` line. Returns the median.
+pub fn bench<T>(group: &str, name: &str, samples: usize, mut f: impl FnMut() -> T) -> Duration {
+    std::hint::black_box(f());
+    let mut times: Vec<Duration> = (0..samples.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed()
+        })
+        .collect();
+    times.sort();
+    let median = times[times.len() / 2];
+    println!(
+        "{group}/{name}: median {median:?} min {:?} ({} samples)",
+        times[0],
+        times.len()
+    );
+    median
+}
+
+/// Like [`bench`], but annotates the line with a throughput figure derived
+/// from `elements` work items per run.
+pub fn bench_throughput<T>(
+    group: &str,
+    name: &str,
+    samples: usize,
+    elements: u64,
+    f: impl FnMut() -> T,
+) {
+    let median = bench(group, name, samples, f);
+    let secs = median.as_secs_f64();
+    if secs > 0.0 {
+        let rate = elements as f64 / secs;
+        println!("{group}/{name}: {rate:.3e} elements/s");
+    }
+}

@@ -9,7 +9,6 @@
 
 use dp_os::kernel::Kernel;
 use dp_vm::{Machine, MachineImage, Program, Tid};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -20,7 +19,7 @@ use std::sync::Arc;
 pub type EpochTargets = BTreeMap<Tid, ThreadTarget>;
 
 /// One thread's epoch-boundary position.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ThreadTarget {
     /// Instruction count the thread must reach.
     pub icount: u64,
@@ -88,7 +87,7 @@ impl Checkpoint {
 }
 
 /// Serializable form of a [`Checkpoint`] (program detached).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CheckpointImage {
     /// Machine state.
     pub machine: MachineImage,
@@ -97,6 +96,13 @@ pub struct CheckpointImage {
     /// Cached machine hash.
     pub machine_hash: u64,
 }
+
+dp_support::impl_wire_struct!(ThreadTarget { icount, exited });
+dp_support::impl_wire_struct!(CheckpointImage {
+    machine,
+    kernel,
+    machine_hash
+});
 
 #[cfg(test)]
 mod tests {

@@ -1,6 +1,6 @@
 //! Recorder configuration.
 
-use serde::{Deserialize, Serialize};
+use crate::faults::FaultPlan;
 
 /// Configuration for a DoublePlay recording run.
 ///
@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 ///     .adaptive_epochs(true);
 /// assert_eq!(config.cpus, 4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DoublePlayConfig {
     /// CPUs used by the thread-parallel execution (the application's worker
     /// parallelism, "2 worker threads" / "4 worker threads" in the paper).
@@ -52,6 +52,8 @@ pub struct DoublePlayConfig {
     pub keep_checkpoints: bool,
     /// Hard bound on guest instructions per recording.
     pub max_instructions: u64,
+    /// Deterministic fault-injection plan (default: no faults).
+    pub faults: FaultPlan,
 }
 
 impl DoublePlayConfig {
@@ -71,6 +73,7 @@ impl DoublePlayConfig {
             forward_recovery: true,
             keep_checkpoints: true,
             max_instructions: 2_000_000_000,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -123,7 +126,28 @@ impl DoublePlayConfig {
         self.max_instructions = max;
         self
     }
+
+    /// Sets the fault-injection plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
 }
+
+dp_support::impl_wire_struct!(DoublePlayConfig {
+    cpus,
+    spare_workers,
+    epoch_cycles,
+    ep_quantum,
+    tp_quantum,
+    tp_jitter,
+    hidden_seed,
+    adaptive,
+    forward_recovery,
+    keep_checkpoints,
+    max_instructions,
+    faults
+});
 
 impl Default for DoublePlayConfig {
     fn default() -> Self {

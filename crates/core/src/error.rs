@@ -29,11 +29,17 @@ impl fmt::Display for RecordError {
         match self {
             RecordError::Guest(fault) => write!(f, "guest fault while recording: {fault}"),
             RecordError::Deadlock { blocked } => {
-                write!(f, "guest deadlock while recording ({blocked} threads blocked)")
+                write!(
+                    f,
+                    "guest deadlock while recording ({blocked} threads blocked)"
+                )
             }
             RecordError::BudgetExhausted => write!(f, "recording instruction budget exhausted"),
             RecordError::DivergenceLoop { epoch } => {
-                write!(f, "epoch {epoch} failed to converge after repeated divergence")
+                write!(
+                    f,
+                    "epoch {epoch} failed to converge after repeated divergence"
+                )
             }
         }
     }
@@ -96,6 +102,23 @@ pub enum ReplayError {
         /// Description of the unusable request.
         detail: String,
     },
+    /// The recording container is corrupt: bad magic, unsupported format
+    /// version, a failed per-section CRC32, or an undecodable payload.
+    Corrupt {
+        /// What failed to validate.
+        detail: String,
+    },
+    /// Reading the recording container from its source failed.
+    Io {
+        /// The underlying I/O error, formatted.
+        detail: String,
+    },
+    /// A replay worker panicked and exhausted its retry budget (or died
+    /// outside an epoch).
+    WorkerPanicked {
+        /// Epoch being replayed when the worker died, if known.
+        epoch: Option<u32>,
+    },
 }
 
 impl fmt::Display for ReplayError {
@@ -121,6 +144,14 @@ impl fmt::Display for ReplayError {
             ),
             ReplayError::Guest(fault) => write!(f, "unexpected guest fault in replay: {fault}"),
             ReplayError::BadRequest { detail } => write!(f, "bad replay request: {detail}"),
+            ReplayError::Corrupt { detail } => write!(f, "corrupt recording: {detail}"),
+            ReplayError::Io { detail } => write!(f, "recording i/o error: {detail}"),
+            ReplayError::WorkerPanicked { epoch: Some(e) } => {
+                write!(f, "replay worker panicked in epoch {e} (retries exhausted)")
+            }
+            ReplayError::WorkerPanicked { epoch: None } => {
+                write!(f, "replay worker panicked outside an epoch")
+            }
         }
     }
 }

@@ -62,6 +62,7 @@
 pub mod checkpoint;
 mod config;
 mod error;
+pub mod faults;
 pub mod logs;
 pub mod record;
 pub mod recording;
@@ -72,11 +73,10 @@ mod world;
 pub use checkpoint::{Checkpoint, CheckpointImage, EpochTargets, ThreadTarget};
 pub use config::DoublePlayConfig;
 pub use error::{RecordError, ReplayError};
+pub use faults::FaultPlan;
 pub use record::coordinator::{measure_native, record, RecordingBundle};
 pub use record::epoch_parallel::Divergence;
 pub use recording::{EpochRecord, Recording, RecordingMeta};
-pub use replay::{
-    replay_epoch, replay_parallel, replay_sequential, replay_to_point, ReplayReport,
-};
+pub use replay::{replay_epoch, replay_parallel, replay_sequential, replay_to_point, ReplayReport};
 pub use stats::RecorderStats;
 pub use world::GuestSpec;

@@ -22,7 +22,11 @@ pub struct CodecError {
 
 impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "log decode error at byte {}: {}", self.offset, self.context)
+        write!(
+            f,
+            "log decode error at byte {}: {}",
+            self.offset, self.context
+        )
     }
 }
 

@@ -18,4 +18,6 @@ pub mod syscalls;
 
 pub use codec::{decode_schedule, decode_syscalls, encode_schedule, encode_syscalls, CodecError};
 pub use schedule::{SchedEvent, ScheduleLog};
-pub use syscalls::{apply_entry, request_hash, request_hash_args, SyscallCursor, SyscallLog, SyscallLogEntry};
+pub use syscalls::{
+    apply_entry, request_hash, request_hash_args, SyscallCursor, SyscallLog, SyscallLogEntry,
+};

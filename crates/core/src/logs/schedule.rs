@@ -8,10 +8,9 @@
 //! that is the paper's central saving.
 
 use dp_vm::{Tid, Word};
-use serde::{Deserialize, Serialize};
 
 /// One scheduling event in an epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedEvent {
     /// `tid` ran for exactly `instrs` instructions.
     Slice {
@@ -38,7 +37,7 @@ pub enum SchedEvent {
 }
 
 /// An epoch's schedule log.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ScheduleLog {
     events: Vec<SchedEvent>,
 }
@@ -118,6 +117,13 @@ impl FromIterator<SchedEvent> for ScheduleLog {
         log
     }
 }
+
+dp_support::impl_wire_enum!(SchedEvent {
+    0 => Slice { tid, instrs },
+    1 => LoggedWake { tid },
+    2 => Signal { tid, sig },
+});
+dp_support::impl_wire_struct!(ScheduleLog { events });
 
 #[cfg(test)]
 mod tests {

@@ -9,13 +9,12 @@
 
 use dp_os::kernel::SyscallEffect;
 use dp_vm::{Machine, SyscallRequest, Tid, Word};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 
 use dp_os::abi;
 
 /// One logged syscall completion.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SyscallLogEntry {
     /// Thread whose syscall completed.
     pub tid: Tid,
@@ -69,7 +68,7 @@ pub fn request_hash_args(req: &SyscallRequest) -> u64 {
 }
 
 /// An epoch's syscall log.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SyscallLog {
     entries: Vec<SyscallLogEntry>,
 }
@@ -171,6 +170,16 @@ pub fn apply_entry(machine: &mut Machine, entry: &SyscallLogEntry) {
     }
     machine.complete_syscall(entry.tid, entry.ret);
 }
+
+dp_support::impl_wire_struct!(SyscallLogEntry {
+    tid,
+    num,
+    arg_hash,
+    ret,
+    effect,
+    via_wake
+});
+dp_support::impl_wire_struct!(SyscallLog { entries });
 
 #[cfg(test)]
 mod tests {

@@ -24,13 +24,16 @@
 use crate::checkpoint::Checkpoint;
 use crate::config::DoublePlayConfig;
 use crate::error::RecordError;
+use crate::faults::{FaultPlan, INJECTED_PANIC_TAG};
 use crate::logs::codec;
-use crate::record::epoch_parallel::{run_live, run_verify, VerifyInputs};
+use crate::record::epoch_parallel::{run_live, run_verify, EpOutcome, VerifyInputs};
 use crate::record::pipeline::WorkerPool;
 use crate::record::thread_parallel::TpRunner;
 use crate::recording::{EpochRecord, Recording, RecordingMeta};
 use crate::stats::RecorderStats;
 use crate::world::GuestSpec;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// A finished recording plus its measurements.
 #[derive(Debug)]
@@ -44,6 +47,18 @@ pub struct RecordingBundle {
 /// Hard cap on recorded epochs (runaway-guest backstop).
 const MAX_EPOCHS: u32 = 1_000_000;
 
+/// How many times a panicked epoch worker is re-executed before the epoch
+/// is declared unconvergeable ([`RecordError::DivergenceLoop`]).
+const WORKER_RETRY_BUDGET: u32 = 3;
+
+/// Sliding window (epochs) over which the divergence rate is observed.
+const DEGRADE_WINDOW: usize = 8;
+/// Divergences within the window that trigger serialized fallback.
+const DEGRADE_THRESHOLD: usize = 4;
+/// Epochs recorded serialized (single execution, no speculation) before
+/// the coordinator attempts uniparallel recording again.
+const SERIALIZED_EPOCHS: u32 = 8;
+
 /// Records one execution of `spec` under `config`.
 ///
 /// # Errors
@@ -51,6 +66,11 @@ const MAX_EPOCHS: u32 = 1_000_000;
 /// Guest faults, true deadlocks, or budget exhaustion.
 pub fn record(spec: &GuestSpec, config: &DoublePlayConfig) -> Result<RecordingBundle, RecordError> {
     let (mut machine, mut kernel) = spec.boot();
+    if config.faults.is_active() {
+        // Install before the initial checkpoint so the plan rides inside
+        // every checkpoint and replay re-injects the same faults.
+        kernel.set_io_faults(config.faults.io_faults());
+    }
     machine.mem_mut().take_dirty();
     let cost = *kernel.cost_model();
     let initial = Checkpoint::capture(&machine, &kernel);
@@ -66,12 +86,70 @@ pub fn record(spec: &GuestSpec, config: &DoublePlayConfig) -> Result<RecordingBu
     let mut clean_streak = 0u32;
     let mut guest_clock = 0u64; // virtual time base for the guest
     let mut index = 0u32;
+    // Graceful degradation: recent divergence outcomes (true = diverged).
+    // When the window fills with divergences the coordinator stops
+    // speculating and records serialized epochs for a while.
+    let mut window: VecDeque<bool> = VecDeque::new();
+    let mut serialized_left = 0u32;
 
     loop {
         if stats.tp_instructions > config.max_instructions || index >= MAX_EPOCHS {
             return Err(RecordError::BudgetExhausted);
         }
         let epoch_start = guest_clock;
+
+        if serialized_left > 0 {
+            // Degraded mode: one uniprocessor-style execution per epoch —
+            // nothing speculative, nothing to diverge. Slower (no
+            // thread-parallelism) but guaranteed forward progress under a
+            // divergence storm.
+            serialized_left -= 1;
+            let duration = epoch_len.saturating_mul(config.cpus as u64).max(1);
+            let live = run_live_guarded(
+                &config.faults,
+                &mut stats,
+                index,
+                &prev,
+                duration,
+                config.ep_quantum,
+                epoch_start,
+            )?;
+            let sched_bytes = codec::encode_schedule(&live.schedule).len() as u64;
+            let sys_bytes = codec::encode_syscalls(&live.generated).len() as u64;
+            let hash_cost = cost.state_hash(live.machine.mem().resident_pages() as u64);
+            let task = live.cycles + hash_cost + cost.log_write(sched_bytes + sys_bytes);
+            stats.ep_cycles += task;
+            stats.log_write_cycles += cost.log_write(sched_bytes + sys_bytes);
+            stats.schedule_bytes += sched_bytes;
+            stats.syscall_bytes += sys_bytes;
+            stats.tp_instructions += live.instructions;
+            tp_time += task;
+            commit_time = commit_time.max(tp_time);
+
+            machine = live.machine;
+            kernel = live.kernel;
+            guest_clock = epoch_start + live.cycles;
+            epochs.push(EpochRecord {
+                index,
+                schedule: live.schedule,
+                syscalls: live.generated,
+                end_machine_hash: live.end_hash,
+                external: live.external,
+                start: config.keep_checkpoints.then(|| prev.to_image()),
+                tp_cycles: live.cycles,
+            });
+            prev = Checkpoint::capture(&machine, &kernel);
+            stats.committed += 1;
+            stats.serialized_epochs += 1;
+
+            index += 1;
+            stats.epochs += 1;
+            if machine.halted().is_some() || machine.live_threads() == 0 {
+                break;
+            }
+            continue;
+        }
+
         let tp_out = tp.run_epoch(&mut machine, &mut kernel, epoch_start, epoch_len)?;
         guest_clock += tp_out.cycles;
         let dirty = machine.mem_mut().take_dirty().len() as u64;
@@ -89,20 +167,36 @@ pub fn record(spec: &GuestSpec, config: &DoublePlayConfig) -> Result<RecordingBu
         tp_time += tp_out.cycles + ckpt_cost + tp_log_cost;
 
         let targets = ckpt_next.targets();
-        let ep = run_verify(
-            &prev,
-            VerifyInputs {
-                hint: &tp_out.hint,
-                targets: &targets,
-                log: &tp_out.syscalls,
-                expected_hash: ckpt_next.machine_hash,
-                expected_machine: Some(&ckpt_next.machine),
-            },
-        )?;
-        let hash_cost = cost.state_hash(ep.machine.mem().resident_pages() as u64);
+        // The verify worker is panic-isolated: an injected (or real) panic
+        // is contained by `catch_unwind` and handled like a divergence —
+        // the epoch is simply re-executed live.
+        let verified: Option<EpOutcome> = match catch_unwind(AssertUnwindSafe(|| {
+            if config.faults.worker_panics(index, 0) {
+                panic!("{INJECTED_PANIC_TAG} (epoch {index}, verify)");
+            }
+            run_verify(
+                &prev,
+                VerifyInputs {
+                    hint: &tp_out.hint,
+                    targets: &targets,
+                    log: &tp_out.syscalls,
+                    expected_hash: ckpt_next.machine_hash,
+                    expected_machine: Some(&ckpt_next.machine),
+                },
+            )
+        })) {
+            Ok(result) => Some(result?),
+            Err(_) => {
+                stats.worker_retries += 1;
+                None
+            }
+        };
 
-        if ep.divergence.is_none() {
+        let diverged = !matches!(&verified, Some(ep) if ep.divergence.is_none());
+        if !diverged {
             // Commit.
+            let ep = verified.expect("clean verify has an outcome");
+            let hash_cost = cost.state_hash(ep.machine.mem().resident_pages() as u64);
             let sched_bytes = codec::encode_schedule(&ep.schedule).len() as u64;
             let ep_task = ep.cycles + hash_cost + cost.log_write(sched_bytes);
             stats.ep_cycles += ep_task;
@@ -110,8 +204,8 @@ pub fn record(spec: &GuestSpec, config: &DoublePlayConfig) -> Result<RecordingBu
             stats.schedule_bytes += sched_bytes;
             stats.syscall_bytes += sys_bytes;
             let ready = tp_time;
-            commit_time = finish_epoch_task(config, &mut tp_time, &mut pool, ep_task, ready)
-                .max(commit_time);
+            commit_time =
+                finish_epoch_task(config, &mut tp_time, &mut pool, ep_task, ready).max(commit_time);
             epochs.push(EpochRecord {
                 index,
                 schedule: ep.schedule,
@@ -129,28 +223,41 @@ pub fn record(spec: &GuestSpec, config: &DoublePlayConfig) -> Result<RecordingBu
                 clean_streak = 0;
             }
         } else {
-            // Divergence: the verify attempt is wasted; re-execute the
-            // epoch live from the previous checkpoint. Its end state is
-            // adopted as the new truth (forward recovery).
+            // Divergence (or a panicked verify worker, handled the same
+            // way): the verify attempt is wasted; re-execute the epoch live
+            // from the previous checkpoint. Its end state is adopted as the
+            // new truth (forward recovery).
             stats.divergences += 1;
             clean_streak = 0;
             if config.adaptive {
                 epoch_len = (epoch_len / 2).max(config.epoch_cycles / 16).max(1_000);
             }
-            let verify_task = ep.cycles + hash_cost;
+            let verify_task = match &verified {
+                Some(ep) => ep.cycles + cost.state_hash(ep.machine.mem().resident_pages() as u64),
+                // A panicked worker's progress is unknowable; charge one
+                // epoch's worth of wasted work.
+                None => tp_out.cycles,
+            };
             let ready = tp_time;
             let detect = finish_epoch_task(config, &mut tp_time, &mut pool, verify_task, ready)
                 .max(commit_time);
             stats.wasted_tp_cycles += detect.saturating_sub(tp_time);
 
             let live_duration = tp_out.cycles.saturating_mul(config.cpus as u64).max(1);
-            let live = run_live(&prev, live_duration, config.ep_quantum, epoch_start)?;
+            let live = run_live_guarded(
+                &config.faults,
+                &mut stats,
+                index,
+                &prev,
+                live_duration,
+                config.ep_quantum,
+                epoch_start,
+            )?;
             let live_sched_bytes = codec::encode_schedule(&live.schedule).len() as u64;
             let live_sys_bytes = codec::encode_syscalls(&live.generated).len() as u64;
             let live_hash_cost = cost.state_hash(live.machine.mem().resident_pages() as u64);
-            let live_task = live.cycles
-                + live_hash_cost
-                + cost.log_write(live_sched_bytes + live_sys_bytes);
+            let live_task =
+                live.cycles + live_hash_cost + cost.log_write(live_sched_bytes + live_sys_bytes);
             stats.recovery_cycles += live_task;
             stats.ep_cycles += live_task;
             stats.schedule_bytes += live_sched_bytes;
@@ -180,6 +287,18 @@ pub fn record(spec: &GuestSpec, config: &DoublePlayConfig) -> Result<RecordingBu
             prev = Checkpoint::capture(&machine, &kernel);
         }
 
+        // Update the divergence window; a saturated window switches the
+        // coordinator to serialized recording for a while, making the
+        // DivergenceLoop abort a genuine last resort.
+        window.push_back(diverged);
+        if window.len() > DEGRADE_WINDOW {
+            window.pop_front();
+        }
+        if window.iter().filter(|&&d| d).count() >= DEGRADE_THRESHOLD {
+            serialized_left = SERIALIZED_EPOCHS;
+            window.clear();
+        }
+
         index += 1;
         stats.epochs += 1;
         if machine.halted().is_some() || machine.live_threads() == 0 {
@@ -188,6 +307,7 @@ pub fn record(spec: &GuestSpec, config: &DoublePlayConfig) -> Result<RecordingBu
     }
 
     stats.recorded_cycles = tp_time.max(commit_time);
+    stats.io_faults = kernel.stats.injected_faults;
     stats.native_cycles = measure_native(spec, config)?;
     Ok(RecordingBundle {
         recording: Recording {
@@ -202,6 +322,42 @@ pub fn record(spec: &GuestSpec, config: &DoublePlayConfig) -> Result<RecordingBu
         },
         stats,
     })
+}
+
+/// Runs the live (single-CPU) re-execution with panic isolation: a worker
+/// that panics — injected by a [`FaultPlan`] or real — is retried with a
+/// fresh attempt number up to [`WORKER_RETRY_BUDGET`] times before the
+/// epoch is declared unconvergeable.
+fn run_live_guarded(
+    plan: &FaultPlan,
+    stats: &mut RecorderStats,
+    index: u32,
+    start: &Checkpoint,
+    duration: u64,
+    quantum: u64,
+    base_now: u64,
+) -> Result<EpOutcome, RecordError> {
+    // Attempt 0 belongs to the verify pass of the same epoch, so injected
+    // decisions there and here never alias.
+    let mut attempt = 1u32;
+    loop {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            if plan.worker_panics(index, attempt) {
+                panic!("{INJECTED_PANIC_TAG} (epoch {index}, attempt {attempt})");
+            }
+            run_live(start, duration, quantum, base_now)
+        }));
+        match run {
+            Ok(result) => return result,
+            Err(_) => {
+                stats.worker_retries += 1;
+                attempt += 1;
+                if attempt > WORKER_RETRY_BUDGET {
+                    return Err(RecordError::DivergenceLoop { epoch: index });
+                }
+            }
+        }
+    }
 }
 
 /// Accounts for one epoch-parallel task and returns its completion time.
@@ -232,6 +388,9 @@ fn finish_epoch_task(
 /// Guest faults, deadlocks, or budget exhaustion.
 pub fn measure_native(spec: &GuestSpec, config: &DoublePlayConfig) -> Result<u64, RecordError> {
     let (mut machine, mut kernel) = spec.boot();
+    if config.faults.is_active() {
+        kernel.set_io_faults(config.faults.io_faults());
+    }
     let mut tp = TpRunner::new(config);
     let mut t = 0u64;
     let mut instructions = 0u64;
@@ -285,7 +444,9 @@ mod tests {
             let config = DoublePlayConfig {
                 tp_quantum: 200,
                 tp_jitter: 300,
-                ..DoublePlayConfig::new(2).epoch_cycles(20_000).hidden_seed(seed)
+                ..DoublePlayConfig::new(2)
+                    .epoch_cycles(20_000)
+                    .hidden_seed(seed)
             };
             let bundle = record(&spec, &config).unwrap();
             total_div += bundle.stats.divergences;
@@ -344,5 +505,142 @@ mod tests {
             record(&spec, &config),
             Err(RecordError::BudgetExhausted)
         ));
+    }
+
+    #[test]
+    fn injected_worker_panics_are_retried_and_recording_survives() {
+        crate::faults::silence_injected_panics();
+        let spec = atomic_counter_spec(1500, 2);
+        let plan = crate::faults::FaultPlan::none()
+            .seed(5)
+            .worker_panics_with(0.3);
+        let config = DoublePlayConfig::new(2).epoch_cycles(4_000).faults(plan);
+        let bundle = record(&spec, &config).unwrap();
+        assert!(
+            bundle.stats.worker_retries > 0,
+            "p=0.3 over {} epochs injected nothing",
+            bundle.stats.epochs
+        );
+        assert_eq!(
+            bundle.stats.committed + bundle.stats.divergences,
+            bundle.stats.epochs
+        );
+        // The surviving recording replays bit-exactly and preserves the
+        // guest's observable result.
+        let report = crate::replay::replay_sequential(&bundle.recording, &spec.program).unwrap();
+        assert_eq!(report.epochs as u64, bundle.stats.epochs);
+        assert_eq!(report.exit_code, Some(3000));
+    }
+
+    #[test]
+    fn certain_worker_panics_exhaust_the_retry_budget() {
+        crate::faults::silence_injected_panics();
+        let spec = atomic_counter_spec(1000, 2);
+        let plan = crate::faults::FaultPlan::none().worker_panics_with(1.0);
+        let config = DoublePlayConfig::new(2).epoch_cycles(4_000).faults(plan);
+        // Every verify and every live attempt panics: the bounded retry
+        // budget must surface DivergenceLoop instead of looping forever.
+        assert!(matches!(
+            record(&spec, &config),
+            Err(RecordError::DivergenceLoop { epoch: 0 })
+        ));
+    }
+
+    /// A storm-test config: the base micro-slice covers a whole per-CPU
+    /// epoch, so the thread-parallel interleaving degenerates to the same
+    /// thread-ordered serialization the hint encodes — zero baseline
+    /// divergence. A storm shrinks the slices 64x, making every storm epoch
+    /// race-divergent. The small `ep_quantum` keeps recovery round-robin
+    /// fair so no thread sprints to completion and ends the contention.
+    fn storm_config(seed: u64) -> DoublePlayConfig {
+        let plan = crate::faults::FaultPlan::none()
+            .seed(seed)
+            .storms(1.0, 4, 64);
+        DoublePlayConfig {
+            tp_quantum: 6_000,
+            tp_jitter: 2_000,
+            ..DoublePlayConfig::new(2)
+                .epoch_cycles(6_000)
+                .ep_quantum(512)
+                .hidden_seed(seed)
+                .faults(plan)
+        }
+    }
+
+    #[test]
+    fn divergence_storm_degrades_to_serialized_recording() {
+        let spec = racy_counter_spec(8_000);
+        // Storm: every epoch diverges until the sliding window trips and
+        // the coordinator records serialized epochs instead of aborting.
+        let bundle = record(&spec, &storm_config(3)).unwrap();
+        assert_eq!(
+            bundle.stats.committed + bundle.stats.divergences,
+            bundle.stats.epochs
+        );
+        assert!(
+            bundle.stats.divergences > 0,
+            "storm produced no divergences"
+        );
+        assert!(
+            bundle.stats.serialized_epochs > 0,
+            "storm never engaged the serialized fallback: {} divergences over {} epochs",
+            bundle.stats.divergences,
+            bundle.stats.epochs
+        );
+        // Degraded or not, the recording must still replay exactly.
+        let report = crate::replay::replay_sequential(&bundle.recording, &spec.program).unwrap();
+        assert_eq!(report.epochs as u64, bundle.stats.epochs);
+    }
+
+    #[test]
+    fn serialized_fallback_engages_under_some_seed() {
+        // Across a few seeds the forced storm must trip the sliding-window
+        // threshold at least once, proving the degradation path runs.
+        let mut engaged = 0u64;
+        for seed in 0..6 {
+            let spec = racy_counter_spec(8_000);
+            let bundle = record(&spec, &storm_config(seed)).unwrap();
+            engaged += bundle.stats.serialized_epochs;
+            let report =
+                crate::replay::replay_sequential(&bundle.recording, &spec.program).unwrap();
+            assert_eq!(report.epochs as u64, bundle.stats.epochs);
+        }
+        assert!(engaged > 0, "no seed engaged serialized fallback");
+    }
+
+    #[test]
+    fn full_rollback_records_and_replays_like_forward_recovery() {
+        // forward_recovery(false) models the paper's rollback alternative:
+        // the thread-parallel epoch is re-run too. It must cost at least as
+        // much, diverge identically, and still produce an exact recording.
+        let mut saw_divergence = false;
+        for seed in 0..6 {
+            let spec = racy_counter_spec(3_000);
+            let base = DoublePlayConfig {
+                tp_quantum: 200,
+                tp_jitter: 300,
+                ..DoublePlayConfig::new(2)
+                    .epoch_cycles(20_000)
+                    .hidden_seed(seed)
+            };
+            let rollback = base.forward_recovery(false);
+            let fwd = record(&spec, &base).unwrap();
+            let back = record(&spec, &rollback).unwrap();
+            assert_eq!(fwd.stats.divergences, back.stats.divergences);
+            if back.stats.divergences > 0 {
+                saw_divergence = true;
+                assert!(
+                    back.stats.recorded_cycles >= fwd.stats.recorded_cycles,
+                    "rollback cheaper than forward recovery: {} < {}",
+                    back.stats.recorded_cycles,
+                    fwd.stats.recorded_cycles
+                );
+                assert!(back.stats.wasted_tp_cycles >= fwd.stats.wasted_tp_cycles);
+            }
+            let r1 = crate::replay::replay_sequential(&back.recording, &spec.program).unwrap();
+            let r2 = crate::replay::replay_sequential(&fwd.recording, &spec.program).unwrap();
+            assert_eq!(r1.final_hash, r2.final_hash, "recovery modes disagree");
+        }
+        assert!(saw_divergence, "no seed diverged; rollback path untested");
     }
 }

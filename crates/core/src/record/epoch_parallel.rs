@@ -31,7 +31,10 @@ use dp_vm::{Fault, Machine, SliceLimits, StopReason, ThreadStatus, Tid, Word};
 
 use crate::checkpoint::{Checkpoint, EpochTargets};
 use crate::error::RecordError;
-use crate::logs::{apply_entry, request_hash, request_hash_args, SchedEvent, ScheduleLog, SyscallLog, SyscallLogEntry};
+use crate::logs::{
+    apply_entry, request_hash, request_hash_args, SchedEvent, ScheduleLog, SyscallLog,
+    SyscallLogEntry,
+};
 
 /// Why an epoch-parallel run diverged from the thread-parallel run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -250,7 +253,9 @@ pub fn run_verify(start: &Checkpoint, inputs: VerifyInputs<'_>) -> Result<EpOutc
                     cycles += run.executed;
                     remaining -= run.executed;
                     match run.stop {
-                        StopReason::Budget | StopReason::IcountTarget | StopReason::Atomic { .. } => {}
+                        StopReason::Budget
+                        | StopReason::IcountTarget
+                        | StopReason::Atomic { .. } => {}
                         StopReason::Exited => {
                             kernel.on_thread_exited(&mut machine, tid);
                             if remaining > 0 {
@@ -446,14 +451,14 @@ pub fn run_live(
                 machine.push_signal_frame(tid, handler, &[sig]);
                 schedule.push_signal(tid, sig);
             }
-            let mut remaining = quantum;
+            // Clamp the turn to the remaining duration: without this a
+            // quantum larger than the epoch would let the first runnable
+            // thread monopolize (and overshoot) the whole live epoch.
+            let mut remaining = quantum.min(duration.saturating_sub(cycles)).max(1);
             cycles += switch;
             while remaining > 0 && machine.thread(tid).is_ready() && machine.halted().is_none() {
-                let run = machine.run_slice(
-                    tid,
-                    SliceLimits::budget(remaining),
-                    &mut NullObserver,
-                )?;
+                let run =
+                    machine.run_slice(tid, SliceLimits::budget(remaining), &mut NullObserver)?;
                 if run.executed > 0 {
                     progress = true;
                 }
@@ -706,13 +711,19 @@ mod tests {
         f.load(Reg(0), Reg(9), 0, dp_vm::Width::W8);
         f.syscall(abi::SYS_EXIT);
         f.finish();
-        let spec = GuestSpec::new("mutexed", Arc::new(pb.finish("main")), WorldConfig::default());
+        let spec = GuestSpec::new(
+            "mutexed",
+            Arc::new(pb.finish("main")),
+            WorldConfig::default(),
+        );
 
         for seed in 0..4 {
             let config = DoublePlayConfig {
                 tp_quantum: 150,
                 tp_jitter: 250,
-                ..DoublePlayConfig::new(2).epoch_cycles(6_000).hidden_seed(seed)
+                ..DoublePlayConfig::new(2)
+                    .epoch_cycles(6_000)
+                    .hidden_seed(seed)
             };
             let (mut machine, mut kernel) = spec.boot();
             let mut tp = TpRunner::new(&config);
@@ -756,7 +767,9 @@ mod tests {
             let config = DoublePlayConfig {
                 tp_quantum: 200,
                 tp_jitter: 300,
-                ..DoublePlayConfig::new(2).epoch_cycles(50_000).hidden_seed(seed)
+                ..DoublePlayConfig::new(2)
+                    .epoch_cycles(50_000)
+                    .hidden_seed(seed)
             };
             let (ep, _, _) = one_epoch(&spec, &config);
             if ep.divergence.is_some() {

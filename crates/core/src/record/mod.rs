@@ -15,7 +15,7 @@ pub mod interleave;
 pub mod pipeline;
 pub mod thread_parallel;
 
-pub use coordinator::{record, measure_native, RecordingBundle};
+pub use coordinator::{measure_native, record, RecordingBundle};
 pub use epoch_parallel::{run_live, run_verify, Divergence, EpOutcome, VerifyInputs};
 pub use thread_parallel::{TpEpochOutcome, TpRunner};
 
@@ -123,6 +123,10 @@ pub(crate) mod testutil {
         f.load(Reg(0), Reg(9), 0, dp_vm::Width::W8);
         f.syscall(abi::SYS_EXIT);
         f.finish();
-        GuestSpec::new("atomic", Arc::new(pb.finish("main")), WorldConfig::default())
+        GuestSpec::new(
+            "atomic",
+            Arc::new(pb.finish("main")),
+            WorldConfig::default(),
+        )
     }
 }

@@ -63,6 +63,9 @@ pub struct TpRunner<'a> {
     /// across epochs: a lock can be held across an epoch boundary, and its
     /// owner's identity is what pins contended accesses in the hint.
     owners: BTreeMap<dp_vm::Word, Tid>,
+    /// How many epochs this runner has driven; indexes the fault plan's
+    /// divergence-storm windows.
+    epoch: u32,
 }
 
 /// Mutable per-epoch logging state threaded through the helpers.
@@ -95,6 +98,7 @@ impl<'a> TpRunner<'a> {
             config,
             rng: HiddenRng::new(config.hidden_seed),
             owners: BTreeMap::new(),
+            epoch: 0,
         }
     }
 
@@ -124,6 +128,16 @@ impl<'a> TpRunner<'a> {
             acc: BTreeMap::new(),
         };
         let mut instructions = 0u64;
+        // During an injected divergence storm the micro-slices shrink,
+        // amplifying the effective scheduling jitter and with it the
+        // race-divergence rate. One RNG draw per micro-slice either way,
+        // so the hidden stream stays aligned across fault plans.
+        let (tp_quantum, tp_jitter) = self.config.faults.storm_slice(
+            self.epoch,
+            self.config.tp_quantum,
+            self.config.tp_jitter,
+        );
+        self.epoch += 1;
 
         loop {
             if machine.halted().is_some() || machine.live_threads() == 0 {
@@ -188,7 +202,7 @@ impl<'a> TpRunner<'a> {
             }
 
             // Jittered micro-slice, capped to the epoch.
-            let quantum = self.config.tp_quantum + self.rng.below(self.config.tp_jitter + 1);
+            let quantum = tp_quantum + self.rng.below(tp_jitter + 1);
             let budget = quantum.min(end - now).max(1);
             let run = machine.run_slice(
                 tid,
@@ -349,7 +363,9 @@ mod tests {
             let config = DoublePlayConfig {
                 tp_quantum: 300,
                 tp_jitter: 400,
-                ..DoublePlayConfig::new(2).epoch_cycles(2_500).hidden_seed(seed)
+                ..DoublePlayConfig::new(2)
+                    .epoch_cycles(2_500)
+                    .hidden_seed(seed)
             };
             let (m, _) = run_to_halt(&spec, &config);
             let count = m.halted().unwrap();

@@ -5,16 +5,18 @@
 //! sequentially from the initial state, or epoch-by-epoch in parallel when
 //! per-epoch checkpoints were kept.
 
-use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 
 use crate::checkpoint::CheckpointImage;
 use crate::config::DoublePlayConfig;
+use crate::error::ReplayError;
 use crate::logs::{codec, ScheduleLog, SyscallLog};
 use dp_os::kernel::ExternalChunk;
+use dp_support::crc32::crc32;
+use dp_support::wire::{from_bytes, to_bytes, Wire};
 
 /// Identity and configuration of a recording.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RecordingMeta {
     /// Name of the recorded guest.
     pub guest_name: String,
@@ -27,7 +29,7 @@ pub struct RecordingMeta {
 }
 
 /// One epoch of the recorded execution.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EpochRecord {
     /// Epoch number (0-based).
     pub index: u32,
@@ -47,7 +49,7 @@ pub struct EpochRecord {
 }
 
 /// A complete recording.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Recording {
     /// Identity and configuration.
     pub meta: RecordingMeta,
@@ -112,24 +114,144 @@ impl Recording {
         self.epochs.iter().all(|e| e.start.is_some())
     }
 
-    /// Serializes the recording to a writer (bincode).
+    /// Serializes the recording to a writer in the versioned container
+    /// format: magic, format version, then CRC32-guarded sections (meta,
+    /// initial checkpoint, one per epoch).
     ///
     /// # Errors
     ///
-    /// I/O or encoding failures.
-    pub fn save<W: Write>(&self, writer: W) -> Result<(), bincode::Error> {
-        bincode::serialize_into(writer, self)
+    /// I/O failures from the writer.
+    pub fn save<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+        writer.write_all(&MAGIC)?;
+        writer.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        write_section(&mut writer, &to_bytes(&self.meta))?;
+        write_section(&mut writer, &to_bytes(&self.initial))?;
+        writer.write_all(&(self.epochs.len() as u32).to_le_bytes())?;
+        for epoch in &self.epochs {
+            write_section(&mut writer, &to_bytes(epoch))?;
+        }
+        Ok(())
     }
 
-    /// Deserializes a recording from a reader.
+    /// Deserializes a recording from a reader, validating magic, format
+    /// version, and every section checksum before decoding.
     ///
     /// # Errors
     ///
-    /// I/O or decoding failures.
-    pub fn load<R: Read>(reader: R) -> Result<Self, bincode::Error> {
-        bincode::deserialize_from(reader)
+    /// [`ReplayError::Io`] if the reader fails;
+    /// [`ReplayError::Corrupt`] for any malformed, truncated, or
+    /// bit-flipped container — never a panic.
+    pub fn load<R: Read>(mut reader: R) -> Result<Self, ReplayError> {
+        let mut buf = Vec::new();
+        reader.read_to_end(&mut buf).map_err(|e| ReplayError::Io {
+            detail: e.to_string(),
+        })?;
+        let mut c = Container { buf: &buf, pos: 0 };
+        let magic = c.bytes(4, "magic")?;
+        if magic != MAGIC {
+            return Err(corrupt(format!("bad magic {magic:02x?}")));
+        }
+        let version = c.u32_le("format version")?;
+        if version != FORMAT_VERSION {
+            return Err(corrupt(format!(
+                "unsupported format version {version} (expected {FORMAT_VERSION})"
+            )));
+        }
+        let meta: RecordingMeta = c.section("meta")?;
+        let initial: CheckpointImage = c.section("initial checkpoint")?;
+        let count = c.u32_le("epoch count")?;
+        let mut epochs = Vec::new();
+        for i in 0..count {
+            epochs.push(c.section_indexed("epoch", i)?);
+        }
+        if c.pos != c.buf.len() {
+            return Err(corrupt(format!(
+                "{} trailing bytes after last epoch",
+                c.buf.len() - c.pos
+            )));
+        }
+        Ok(Recording {
+            meta,
+            initial,
+            epochs,
+        })
     }
 }
+
+/// Container magic: "DPRC" (DoublePlay ReCording).
+const MAGIC: [u8; 4] = *b"DPRC";
+/// Container format version; bumped on any layout change.
+const FORMAT_VERSION: u32 = 1;
+
+fn corrupt(detail: String) -> ReplayError {
+    ReplayError::Corrupt { detail }
+}
+
+/// Writes one length-prefixed, CRC32-trailed section.
+fn write_section<W: Write>(writer: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    writer.write_all(&(payload.len() as u32).to_le_bytes())?;
+    writer.write_all(payload)?;
+    writer.write_all(&crc32(payload).to_le_bytes())
+}
+
+/// Bounds-checked cursor over the container bytes.
+struct Container<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Container<'a> {
+    fn bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8], ReplayError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| corrupt(format!("truncated at {what} (offset {})", self.pos)))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32_le(&mut self, what: &str) -> Result<u32, ReplayError> {
+        let raw = self.bytes(4, what)?;
+        Ok(u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]))
+    }
+
+    /// Reads one section: length prefix, payload, CRC32; validates the
+    /// checksum before handing the payload to the decoder.
+    fn section<T: Wire>(&mut self, what: &str) -> Result<T, ReplayError> {
+        let len = self.u32_le(what)? as usize;
+        let payload = self.bytes(len, what)?;
+        let stored = self.u32_le(what)?;
+        let actual = crc32(payload);
+        if stored != actual {
+            return Err(corrupt(format!(
+                "{what} checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
+            )));
+        }
+        from_bytes(payload).map_err(|e| corrupt(format!("{what} payload undecodable: {e}")))
+    }
+
+    fn section_indexed<T: Wire>(&mut self, what: &str, index: u32) -> Result<T, ReplayError> {
+        self.section(&format!("{what} {index}"))
+    }
+}
+
+dp_support::impl_wire_struct!(RecordingMeta {
+    guest_name,
+    program_hash,
+    initial_machine_hash,
+    config
+});
+dp_support::impl_wire_struct!(EpochRecord {
+    index,
+    schedule,
+    syscalls,
+    end_machine_hash,
+    external,
+    start,
+    tp_cycles
+});
 
 #[cfg(test)]
 mod tests {

@@ -9,18 +9,29 @@
 //! and finally verify the machine digest against the recording. Because
 //! epochs are independent given their checkpoints, offline replay
 //! parallelizes across real cores — the paper's replay-speed result, which
-//! this module reproduces with genuine `crossbeam` threads.
+//! this module reproduces with genuine OS threads.
+//!
+//! Parallel replay is panic-isolated: a worker that dies mid-epoch —
+//! whether from an injected [`crate::FaultPlan`] fault or a real bug — is
+//! caught with `catch_unwind` and the epoch re-executed up to a bounded
+//! retry budget; exhaustion surfaces as a typed
+//! [`ReplayError::WorkerPanicked`] instead of aborting the process.
 
 use dp_os::abi;
 use dp_os::kernel::Kernel;
 use dp_vm::observer::NullObserver;
 use dp_vm::{Machine, Program, SliceLimits, StopReason, ThreadStatus, Tid};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use crate::checkpoint::Checkpoint;
 use crate::error::ReplayError;
+use crate::faults::INJECTED_PANIC_TAG;
 use crate::logs::{apply_entry, request_hash, SchedEvent};
 use crate::recording::{EpochRecord, Recording};
+
+/// Re-executions of a panicked replay epoch before giving up.
+const REPLAY_RETRY_BUDGET: u32 = 3;
 
 /// Result of a verified replay.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,14 +91,13 @@ pub fn replay_epoch(
                 apply_entry(&mut machine, entry);
             }
             SchedEvent::Signal { tid, sig } => {
-                let (got, handler) =
-                    kernel
-                        .take_pending_signal(tid)
-                        .ok_or_else(|| ReplayError::ScheduleMismatch {
-                            epoch: epoch.index,
-                            tid,
-                            detail: "signal event but none pending".into(),
-                        })?;
+                let (got, handler) = kernel.take_pending_signal(tid).ok_or_else(|| {
+                    ReplayError::ScheduleMismatch {
+                        epoch: epoch.index,
+                        tid,
+                        detail: "signal event but none pending".into(),
+                    }
+                })?;
                 if got != sig {
                     return Err(err_sched(tid, format!("signal {got} logged as {sig}")));
                 }
@@ -105,8 +115,11 @@ pub fn replay_epoch(
                             ),
                         ));
                     }
-                    let run = machine
-                        .run_slice(tid, SliceLimits::budget(remaining), &mut NullObserver)?;
+                    let run = machine.run_slice(
+                        tid,
+                        SliceLimits::budget(remaining),
+                        &mut NullObserver,
+                    )?;
                     instructions += run.executed;
                     remaining -= run.executed;
                     match run.stop {
@@ -183,6 +196,40 @@ pub fn replay_epoch(
     Ok((machine, kernel, instructions))
 }
 
+/// Replays one epoch with panic isolation: a panicking worker — injected
+/// via the recording's [`crate::FaultPlan`] or real — is retried with a
+/// fresh attempt number up to [`REPLAY_RETRY_BUDGET`] times, then surfaced
+/// as [`ReplayError::WorkerPanicked`].
+fn replay_epoch_guarded(
+    plan: &crate::faults::FaultPlan,
+    start: &Checkpoint,
+    epoch: &EpochRecord,
+) -> Result<(Machine, Kernel, u64), ReplayError> {
+    let mut attempt = 0u32;
+    loop {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            if plan.worker_panics(epoch.index, attempt) {
+                panic!(
+                    "{INJECTED_PANIC_TAG} (replay epoch {}, attempt {attempt})",
+                    epoch.index
+                );
+            }
+            replay_epoch(start, epoch)
+        }));
+        match run {
+            Ok(result) => return result,
+            Err(_) => {
+                attempt += 1;
+                if attempt > REPLAY_RETRY_BUDGET {
+                    return Err(ReplayError::WorkerPanicked {
+                        epoch: Some(epoch.index),
+                    });
+                }
+            }
+        }
+    }
+}
+
 fn check_program(recording: &Recording, program: &Arc<Program>) -> Result<(), ReplayError> {
     let actual = program.content_hash();
     if actual != recording.meta.program_hash {
@@ -251,19 +298,22 @@ pub fn replay_parallel(
     for (i, e) in recording.epochs.iter().enumerate() {
         chunks[i % threads].push(e);
     }
-    let per_worker: Vec<Result<u64, ReplayError>> = crossbeam::thread::scope(|scope| {
+    // The recording carries the fault plan it was made under; replay
+    // re-injects the same worker panics to exercise the same recovery.
+    let plan = recording.meta.config.faults;
+    let per_worker: Vec<Result<u64, ReplayError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
                 let program = program.clone();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut instructions = 0u64;
                     for epoch in chunk {
-                        let start = Checkpoint::from_image(
-                            program.clone(),
-                            epoch.start.clone().expect("checked has_checkpoints"),
-                        );
-                        let (_, _, n) = replay_epoch(&start, epoch)?;
+                        let image = epoch.start.clone().ok_or_else(|| ReplayError::BadRequest {
+                            detail: format!("epoch {} has no checkpoint", epoch.index),
+                        })?;
+                        let start = Checkpoint::from_image(program.clone(), image);
+                        let (_, _, n) = replay_epoch_guarded(&plan, &start, epoch)?;
                         instructions += n;
                     }
                     Ok(instructions)
@@ -272,10 +322,15 @@ pub fn replay_parallel(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("replay worker panicked"))
+            .map(|h| {
+                // A worker that dies outside the guarded epoch body is a
+                // harness bug, not a corrupt recording — surface it as a
+                // typed error rather than aborting the replay.
+                h.join()
+                    .unwrap_or(Err(ReplayError::WorkerPanicked { epoch: None }))
+            })
             .collect()
-    })
-    .expect("replay scope failed");
+    });
     let mut instructions = 0u64;
     for res in per_worker {
         instructions += res?;
@@ -310,12 +365,13 @@ pub fn replay_to_point(
     icount: u64,
 ) -> Result<Machine, ReplayError> {
     check_program(recording, program)?;
-    let epoch = recording
-        .epochs
-        .get(epoch_index as usize)
-        .ok_or_else(|| ReplayError::BadRequest {
-            detail: format!("epoch {epoch_index} out of range"),
-        })?;
+    let epoch =
+        recording
+            .epochs
+            .get(epoch_index as usize)
+            .ok_or_else(|| ReplayError::BadRequest {
+                detail: format!("epoch {epoch_index} out of range"),
+            })?;
     let image = epoch.start.clone().ok_or_else(|| ReplayError::BadRequest {
         detail: "recording has no per-epoch checkpoints".into(),
     })?;
@@ -339,11 +395,7 @@ pub fn replay_to_point(
             SchedEvent::Slice { tid: t, instrs } => {
                 let mut remaining = instrs;
                 while remaining > 0 && machine.thread(t).is_ready() {
-                    let stop_at = if t == tid {
-                        Some(icount)
-                    } else {
-                        None
-                    };
+                    let stop_at = if t == tid { Some(icount) } else { None };
                     if let Some(target) = stop_at {
                         if machine.thread(t).icount >= target {
                             return Ok(machine);
@@ -425,7 +477,9 @@ mod tests {
             let config = DoublePlayConfig {
                 tp_quantum: 200,
                 tp_jitter: 300,
-                ..DoublePlayConfig::new(2).epoch_cycles(15_000).hidden_seed(seed)
+                ..DoublePlayConfig::new(2)
+                    .epoch_cycles(15_000)
+                    .hidden_seed(seed)
             };
             let bundle = record(&spec, &config).unwrap();
             let report = replay_sequential(&bundle.recording, &spec.program).unwrap();
@@ -483,6 +537,37 @@ mod tests {
         assert!(matches!(
             replay_to_point(&bundle.recording, &spec.program, 9999, Tid(0), 1),
             Err(ReplayError::BadRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn replay_worker_panics_retry_then_surface_typed_error() {
+        crate::faults::silence_injected_panics();
+        let spec = atomic_counter_spec(2000, 2);
+        let config = DoublePlayConfig::new(2).epoch_cycles(4_000);
+        let mut bundle = record(&spec, &config).unwrap();
+        let clean = replay_parallel(&bundle.recording, &spec.program, 2).unwrap();
+
+        // Sub-certain panics: workers die, retries converge, result exact.
+        bundle.recording.meta.config = bundle.recording.meta.config.faults(
+            crate::faults::FaultPlan::none()
+                .seed(9)
+                .worker_panics_with(0.25),
+        );
+        let report = replay_parallel(&bundle.recording, &spec.program, 2).unwrap();
+        assert_eq!(report.final_hash, clean.final_hash);
+        assert_eq!(report.instructions, clean.instructions);
+
+        // Certain panics: the retry budget must surface a typed error, not
+        // abort the process.
+        bundle.recording.meta.config = bundle
+            .recording
+            .meta
+            .config
+            .faults(crate::faults::FaultPlan::none().worker_panics_with(1.0));
+        assert!(matches!(
+            replay_parallel(&bundle.recording, &spec.program, 2),
+            Err(ReplayError::WorkerPanicked { epoch: Some(_) })
         ));
     }
 

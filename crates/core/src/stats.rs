@@ -1,9 +1,7 @@
 //! Recorder statistics: the numbers behind every table and figure.
 
-use serde::{Deserialize, Serialize};
-
 /// Measurements accumulated while recording one execution.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RecorderStats {
     /// Epochs recorded (committed + recovered).
     pub epochs: u64,
@@ -40,6 +38,14 @@ pub struct RecorderStats {
     /// Native runtime in simulated cycles (same thread-parallel execution,
     /// no recording work) — measured by a separate clean run.
     pub native_cycles: u64,
+    /// Epochs recorded in degraded serialized (uniprocessor-style) mode
+    /// after the divergence rate exceeded the coordinator's threshold.
+    pub serialized_epochs: u64,
+    /// Epoch-parallel worker executions retried after a (caught) panic.
+    pub worker_retries: u64,
+    /// Injected I/O faults delivered to the guest on the committed
+    /// timeline (syscall failures, short reads, connection resets).
+    pub io_faults: u64,
 }
 
 impl RecorderStats {

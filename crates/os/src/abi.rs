@@ -111,6 +111,11 @@ pub const EINVAL: i64 = -22;
 pub const ENOSYS: i64 = -38;
 /// Error: operation on something that does not support it.
 pub const EPERM: i64 = -1;
+/// Error: I/O error (surfaced by fault injection on file syscalls).
+pub const EIO: i64 = -5;
+/// Error: connection reset by peer (surfaced by fault injection on
+/// socket syscalls).
+pub const ECONNRESET: i64 = -104;
 
 /// Encodes an errno as a syscall return value.
 #[inline]

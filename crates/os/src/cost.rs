@@ -8,10 +8,8 @@
 //! where a syscall is a few hundred cycles and copying a 4 KiB page is a few
 //! hundred more.
 
-use serde::{Deserialize, Serialize};
-
 /// Cycle costs charged by drivers and the kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CostModel {
     /// Base cost of any syscall (trap + dispatch + return).
     pub syscall_base: u64,
@@ -85,6 +83,19 @@ impl Default for CostModel {
         }
     }
 }
+
+dp_support::impl_wire_struct!(CostModel {
+    syscall_base,
+    io_per_8_bytes,
+    context_switch,
+    page_copy,
+    hash_page,
+    log_byte,
+    checkpoint_base,
+    crew_fault,
+    value_log_instr_num,
+    value_log_instr_den,
+});
 
 #[cfg(test)]
 mod tests {

@@ -135,7 +135,8 @@ impl DirectExecutor {
 
             slices += 1;
             cycles += switch_cost;
-            let run = machine.run_slice(tid, SliceLimits::budget(self.quantum), &mut NullObserver)?;
+            let run =
+                machine.run_slice(tid, SliceLimits::budget(self.quantum), &mut NullObserver)?;
             instructions += run.executed;
             cycles += run.executed;
             match run.stop {
@@ -184,7 +185,9 @@ mod tests {
         f.finish();
         let mut m = Machine::new(Arc::new(pb.finish("main")), &[]);
         let mut k = Kernel::new(WorldConfig::default());
-        let out = DirectExecutor::default().run(&mut m, &mut k, 1_000_000).unwrap();
+        let out = DirectExecutor::default()
+            .run(&mut m, &mut k, 1_000_000)
+            .unwrap();
         assert_eq!(out.exit_code, Some(42));
         assert!(out.instructions > 0);
         assert!(out.cycles > out.instructions);
@@ -201,7 +204,9 @@ mod tests {
         f.finish();
         let mut m = Machine::new(Arc::new(pb.finish("main")), &[]);
         let mut k = Kernel::new(WorldConfig::default());
-        let err = DirectExecutor::default().run(&mut m, &mut k, 1_000_000).unwrap_err();
+        let err = DirectExecutor::default()
+            .run(&mut m, &mut k, 1_000_000)
+            .unwrap_err();
         assert_eq!(err, ExecError::Deadlock { blocked: 1 });
     }
 
@@ -215,7 +220,9 @@ mod tests {
         f.finish();
         let mut m = Machine::new(Arc::new(pb.finish("main")), &[]);
         let mut k = Kernel::new(WorldConfig::default());
-        let err = DirectExecutor::default().run(&mut m, &mut k, 50_000).unwrap_err();
+        let err = DirectExecutor::default()
+            .run(&mut m, &mut k, 50_000)
+            .unwrap_err();
         assert_eq!(err, ExecError::BudgetExhausted);
     }
 
@@ -230,7 +237,9 @@ mod tests {
         f.finish();
         let mut m = Machine::new(Arc::new(pb.finish("main")), &[]);
         let mut k = Kernel::new(WorldConfig::default());
-        let out = DirectExecutor::default().run(&mut m, &mut k, 1_000_000).unwrap();
+        let out = DirectExecutor::default()
+            .run(&mut m, &mut k, 1_000_000)
+            .unwrap();
         assert!(out.exit_code.unwrap() >= 1_000_000);
         assert!(out.cycles >= 1_000_000);
     }
@@ -264,7 +273,9 @@ mod tests {
         f.finish();
         let mut m = Machine::new(Arc::new(pb.finish("main")), &[]);
         let mut k = Kernel::new(WorldConfig::default());
-        let out = DirectExecutor { quantum: 100 }.run(&mut m, &mut k, 10_000_000).unwrap();
+        let out = DirectExecutor { quantum: 100 }
+            .run(&mut m, &mut k, 10_000_000)
+            .unwrap();
         assert_eq!(out.exit_code, Some(7));
     }
 }

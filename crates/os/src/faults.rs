@@ -1,0 +1,177 @@
+//! Deterministic syscall-level fault injection.
+//!
+//! An [`IoFaults`] plan makes the simulated kernel inject I/O errors, short
+//! reads, and connection resets — *deterministically*. Decisions are not
+//! drawn from a stateful RNG; they are a pure hash of semantic coordinates:
+//!
+//! ```text
+//! decide = roll(mix(seed, tid, thread-icount-at-trap, syscall, salt), p)
+//! ```
+//!
+//! A thread's instruction count at a trap is a property of the guest's own
+//! execution path, not of the interleaving, so the same trap gets the same
+//! verdict in the thread-parallel run, the epoch-parallel verify run, and
+//! every replay — which is exactly what keeps recordings of faulty runs
+//! bit-exactly replayable. No fault state needs checkpointing beyond the
+//! immutable plan itself.
+
+use dp_support::rng::{mix, roll};
+
+const SALT_FAIL: u64 = 0xfa11;
+const SALT_SHORT: u64 = 0x5047;
+const SALT_RESET: u64 = 0x7e5e;
+
+/// Syscall fault-injection plan carried by the kernel. `Default` is no
+/// faults at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IoFaults {
+    /// Seed that decorrelates plans with equal probabilities.
+    pub seed: u64,
+    /// Probability that an I/O syscall (open/read/send/recv) fails outright
+    /// with `EIO` / `ECONNRESET`.
+    pub fail_p: f64,
+    /// Probability that a read/recv is truncated to a shorter length.
+    pub short_read_p: f64,
+    /// Probability that a socket operation observes a connection reset.
+    pub reset_p: f64,
+}
+
+impl IoFaults {
+    /// No injected faults.
+    pub fn none() -> Self {
+        IoFaults::default()
+    }
+
+    /// True when any probability is non-zero (fast path gate).
+    pub fn is_active(&self) -> bool {
+        self.fail_p > 0.0 || self.short_read_p > 0.0 || self.reset_p > 0.0
+    }
+
+    /// Should this trap fail with an I/O error?
+    pub fn fail(&self, tid: u32, icount: u64, num: u32) -> bool {
+        self.fail_p > 0.0
+            && roll(
+                mix(&[self.seed, u64::from(tid), icount, u64::from(num), SALT_FAIL]),
+                self.fail_p,
+            )
+    }
+
+    /// Should this socket trap observe a connection reset?
+    pub fn reset(&self, tid: u32, icount: u64, num: u32) -> bool {
+        self.reset_p > 0.0
+            && roll(
+                mix(&[
+                    self.seed,
+                    u64::from(tid),
+                    icount,
+                    u64::from(num),
+                    SALT_RESET,
+                ]),
+                self.reset_p,
+            )
+    }
+
+    /// If a short read fires, the reduced transfer length in `[1, len]`;
+    /// `None` to use the full length. A zero-length result is never
+    /// produced because that would be indistinguishable from end-of-stream.
+    pub fn short_len(&self, tid: u32, icount: u64, num: u32, len: u64) -> Option<u64> {
+        if len <= 1 || self.short_read_p <= 0.0 {
+            return None;
+        }
+        let h = mix(&[
+            self.seed,
+            u64::from(tid),
+            icount,
+            u64::from(num),
+            SALT_SHORT,
+        ]);
+        if roll(h, self.short_read_p) {
+            Some(1 + mix(&[h, len]) % len)
+        } else {
+            None
+        }
+    }
+}
+
+dp_support::impl_wire_struct!(IoFaults {
+    seed,
+    fail_p,
+    short_read_p,
+    reset_p
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_by_default() {
+        let f = IoFaults::none();
+        assert!(!f.is_active());
+        assert!(!f.fail(0, 100, 14));
+        assert!(!f.reset(0, 100, 22));
+        assert_eq!(f.short_len(0, 100, 22, 4096), None);
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let f = IoFaults {
+            seed: 9,
+            fail_p: 0.5,
+            short_read_p: 0.5,
+            reset_p: 0.5,
+        };
+        for icount in 0..200 {
+            assert_eq!(f.fail(1, icount, 14), f.fail(1, icount, 14));
+            assert_eq!(
+                f.short_len(1, icount, 22, 100),
+                f.short_len(1, icount, 22, 100)
+            );
+        }
+    }
+
+    #[test]
+    fn fail_rate_tracks_probability() {
+        let f = IoFaults {
+            seed: 3,
+            fail_p: 0.1,
+            ..IoFaults::none()
+        };
+        let hits = (0..10_000).filter(|&i| f.fail(0, i, 14)).count();
+        assert!((800..1_200).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn short_len_is_in_range_and_never_zero() {
+        let f = IoFaults {
+            seed: 5,
+            short_read_p: 1.0,
+            ..IoFaults::none()
+        };
+        for len in 2..100u64 {
+            let s = f.short_len(2, len * 7, 22, len).expect("p=1 must fire");
+            assert!(s >= 1 && s <= len, "short {s} of {len}");
+        }
+        // len <= 1 never truncates.
+        assert_eq!(f.short_len(2, 1, 22, 1), None);
+        assert_eq!(f.short_len(2, 1, 22, 0), None);
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let a = IoFaults {
+            seed: 1,
+            fail_p: 0.5,
+            ..IoFaults::none()
+        };
+        let b = IoFaults {
+            seed: 2,
+            fail_p: 0.5,
+            ..IoFaults::none()
+        };
+        let same = (0..1_000)
+            .filter(|&i| a.fail(0, i, 14) == b.fail(0, i, 14))
+            .count();
+        assert!(same > 300 && same < 700, "agreement = {same}");
+    }
+}

@@ -7,14 +7,13 @@
 //! Filesystem operations are therefore in the *re-executed* syscall class:
 //! given identical guest states they produce identical results.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::abi::{self, EBADF, EINVAL, ENOENT};
 
 /// Open-file access mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mode {
     Read,
     Write,
@@ -23,7 +22,7 @@ enum Mode {
 }
 
 /// An open file description.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct FileDesc {
     path: String,
     offset: u64,
@@ -31,7 +30,7 @@ struct FileDesc {
 }
 
 /// The in-memory filesystem. `Clone` is a checkpoint.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimFs {
     files: BTreeMap<String, Arc<Vec<u8>>>,
     fds: BTreeMap<u32, FileDesc>,
@@ -214,6 +213,15 @@ impl Default for SimFs {
         Self::new()
     }
 }
+
+dp_support::impl_wire_enum!(Mode { 0 => Read, 1 => Write, 2 => ReadWrite, 3 => Append });
+dp_support::impl_wire_struct!(FileDesc { path, offset, mode });
+dp_support::impl_wire_struct!(SimFs {
+    files,
+    fds,
+    next_fd,
+    io_bytes
+});
 
 #[cfg(test)]
 mod tests {

@@ -98,7 +98,7 @@ fn build_mutex_lock(pb: &mut ProgramBuilder) {
     f.consti(Reg(2), 1); // new: locked
     f.cas(Reg(3), Reg(7), Reg(1), Reg(2));
     f.jz(Reg(3), done); // old value 0 => acquired
-    // futex_wait(addr, 1): sleep while it remains locked.
+                        // futex_wait(addr, 1): sleep while it remains locked.
     f.mov(Reg(0), Reg(7));
     f.consti(Reg(1), 1);
     f.syscall(abi::SYS_FUTEX_WAIT);
@@ -356,7 +356,7 @@ mod tests {
     use super::*;
     use crate::exec::DirectExecutor;
     use crate::kernel::{Kernel, WorldConfig};
-    use dp_vm::{Machine, Tid};
+    use dp_vm::Machine;
     use std::sync::Arc;
 
     fn run(pb: ProgramBuilder) -> (Machine, Kernel) {
@@ -579,8 +579,8 @@ mod tests {
         f.finish();
 
         let (machine, _) = run(pb);
-        let expect: u64 = (0..50).map(|i| 1000 + i).sum::<u64>()
-            + (0..50).map(|i| 2000 + i).sum::<u64>();
+        let expect: u64 =
+            (0..50).map(|i| 1000 + i).sum::<u64>() + (0..50).map(|i| 2000 + i).sum::<u64>();
         assert_eq!(machine.halted(), Some(expect));
     }
 
@@ -624,10 +624,7 @@ mod tests {
         f.syscall(abi::SYS_EXIT);
         f.finish();
         let (machine, _) = run(pb);
-        assert_eq!(
-            machine.mem().read_bytes(dst, 21),
-            b"xxxx456789abcdef_tail"
-        );
+        assert_eq!(machine.mem().read_bytes(dst, 21), b"xxxx456789abcdef_tail");
     }
 
     #[test]

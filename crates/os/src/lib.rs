@@ -16,6 +16,8 @@
 //! * [`fs`] / [`net`] — an in-memory filesystem and a scripted external
 //!   network (peers and clients) providing realistic nondeterministic input;
 //! * [`cost`] — the simulated-time cost model behind every overhead figure;
+//! * [`faults`] — deterministic syscall-level fault injection (I/O errors,
+//!   short reads, connection resets) that stays bit-exactly replayable;
 //! * [`guest`] — a Pthreads-alike runtime library (mutex, barrier, blocking
 //!   queue, memcpy, printing) written in guest bytecode;
 //! * [`exec`] — a plain uniprocessor executor used as reference semantics.
@@ -52,6 +54,7 @@
 pub mod abi;
 pub mod cost;
 pub mod exec;
+pub mod faults;
 pub mod fs;
 pub mod guest;
 pub mod kernel;
@@ -59,8 +62,9 @@ pub mod net;
 
 pub use cost::CostModel;
 pub use exec::{DirectExecutor, ExecError, ExecOutcome};
+pub use faults::IoFaults;
 pub use kernel::{
-    Disposition, ExternalChunk, ExternalDest, Kernel, KernelStats, SysOutcome, SyscallEffect,
-    Wake, WorldConfig,
+    Disposition, ExternalChunk, ExternalDest, Kernel, KernelStats, SysOutcome, SyscallEffect, Wake,
+    WorldConfig,
 };
 pub use net::{ClientSpec, NetConfig, PeerBehavior};

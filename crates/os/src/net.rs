@@ -11,7 +11,7 @@
 //! Blocking is handled by the kernel; this module only answers "what would
 //! this operation do right now" via [`NetPoll`].
 
-use serde::{Deserialize, Serialize};
+use dp_support::wire::{Reader, Wire, WireError};
 use std::collections::{BTreeMap, VecDeque};
 
 use crate::abi::{EBADF, EINVAL, ENOENT};
@@ -21,7 +21,7 @@ use crate::abi::{EBADF, EINVAL, ENOENT};
 pub const FIRST_SOCK_FD: u32 = 1000;
 
 /// What a scripted external peer does with a connection.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PeerBehavior {
     /// Streams a fixed byte sequence to each connection; `recv` drains it
     /// and returns EOF when exhausted. Guest sends are absorbed.
@@ -47,7 +47,7 @@ pub enum PeerBehavior {
 }
 
 /// A scripted external client that will connect to a guest listener.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClientSpec {
     /// Virtual time (cycles) at which the connection arrives.
     pub arrival: u64,
@@ -59,7 +59,7 @@ pub struct ClientSpec {
 }
 
 /// Declarative description of the whole external network.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetConfig {
     /// Peers addressable by id via `connect`.
     pub peers: BTreeMap<u32, PeerBehavior>,
@@ -80,13 +80,13 @@ pub enum NetPoll<T> {
     },
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 enum Endpoint {
     Peer(u32),
     Client(usize),
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct SockState {
     endpoint: Endpoint,
     /// Bytes available for the guest to receive.
@@ -96,7 +96,7 @@ struct SockState {
     closed: bool,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct ClientState {
     spec: ClientSpec,
     accepted_fd: Option<u32>,
@@ -107,7 +107,7 @@ struct ClientState {
 }
 
 /// The simulated network. `Clone` is a checkpoint.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimNet {
     peers: BTreeMap<u32, PeerBehavior>,
     clients: Vec<ClientState>,
@@ -158,9 +158,7 @@ impl SimNet {
         let behavior = self.peers.get(&peer_id).ok_or(ENOENT)?.clone();
         let fd = self.alloc_fd();
         let (inbox, responses_left) = match &behavior {
-            PeerBehavior::ChunkSource { chunks } => {
-                (chunks.iter().flatten().copied().collect(), 0)
-            }
+            PeerBehavior::ChunkSource { chunks } => (chunks.iter().flatten().copied().collect(), 0),
             PeerBehavior::RangeSource { .. } => (VecDeque::new(), usize::MAX),
             PeerBehavior::RequestResponse { responses } => (VecDeque::new(), responses.len()),
             PeerBehavior::Echo => (VecDeque::new(), usize::MAX),
@@ -203,12 +201,11 @@ impl SimNet {
         // Earliest unaccepted arrival for this port.
         let mut best: Option<usize> = None;
         for (i, c) in self.clients.iter().enumerate() {
-            if c.spec.port == port && c.accepted_fd.is_none() {
-                if best.map_or(true, |b| {
-                    c.spec.arrival < self.clients[b].spec.arrival
-                }) {
-                    best = Some(i);
-                }
+            if c.spec.port == port
+                && c.accepted_fd.is_none()
+                && best.is_none_or(|b| c.spec.arrival < self.clients[b].spec.arrival)
+            {
+                best = Some(i);
             }
         }
         match best {
@@ -362,9 +359,74 @@ impl SimNet {
 
     /// Number of scripted clients not yet accepted.
     pub fn pending_clients(&self) -> usize {
-        self.clients.iter().filter(|c| c.accepted_fd.is_none()).count()
+        self.clients
+            .iter()
+            .filter(|c| c.accepted_fd.is_none())
+            .count()
     }
 }
+
+dp_support::impl_wire_enum!(PeerBehavior {
+    0 => ChunkSource { chunks },
+    1 => RangeSource { blob },
+    2 => RequestResponse { responses },
+    3 => Echo,
+});
+dp_support::impl_wire_struct!(ClientSpec {
+    arrival,
+    port,
+    requests
+});
+dp_support::impl_wire_struct!(NetConfig { peers, clients });
+
+impl Wire for Endpoint {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            Endpoint::Peer(id) => {
+                out.push(0);
+                id.put(out);
+            }
+            Endpoint::Client(i) => {
+                out.push(1);
+                i.put(out);
+            }
+        }
+    }
+
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let off = r.pos();
+        match r.u8("Endpoint tag")? {
+            0 => Ok(Endpoint::Peer(Wire::get(r)?)),
+            1 => Ok(Endpoint::Client(Wire::get(r)?)),
+            _ => Err(WireError {
+                offset: off,
+                context: "unknown Endpoint tag",
+            }),
+        }
+    }
+}
+
+dp_support::impl_wire_struct!(SockState {
+    endpoint,
+    inbox,
+    responses_left,
+    closed
+});
+dp_support::impl_wire_struct!(ClientState {
+    spec,
+    accepted_fd,
+    next_req,
+    responses_seen
+});
+dp_support::impl_wire_struct!(SimNet {
+    peers,
+    clients,
+    listeners,
+    socks,
+    next_fd,
+    bytes_in,
+    bytes_out,
+});
 
 #[cfg(test)]
 mod tests {
@@ -421,9 +483,15 @@ mod tests {
             NetPoll::WouldBlock { .. }
         ));
         net.send(fd, b"q1").unwrap();
-        assert_eq!(net.recv(fd, 10, 0).unwrap(), NetPoll::Ready(b"one".to_vec()));
+        assert_eq!(
+            net.recv(fd, 10, 0).unwrap(),
+            NetPoll::Ready(b"one".to_vec())
+        );
         net.send(fd, b"q2").unwrap();
-        assert_eq!(net.recv(fd, 10, 0).unwrap(), NetPoll::Ready(b"two".to_vec()));
+        assert_eq!(
+            net.recv(fd, 10, 0).unwrap(),
+            NetPoll::Ready(b"two".to_vec())
+        );
         assert_eq!(net.recv(fd, 10, 0).unwrap(), NetPoll::Ready(vec![]));
     }
 
@@ -432,7 +500,10 @@ mod tests {
         let mut net = net_with_peer(PeerBehavior::Echo);
         let fd = net.connect(7).unwrap();
         net.send(fd, b"ping").unwrap();
-        assert_eq!(net.recv(fd, 10, 0).unwrap(), NetPoll::Ready(b"ping".to_vec()));
+        assert_eq!(
+            net.recv(fd, 10, 0).unwrap(),
+            NetPoll::Ready(b"ping".to_vec())
+        );
     }
 
     #[test]
@@ -462,7 +533,10 @@ mod tests {
             NetPoll::Ready(fd) => fd,
             other => panic!("{other:?}"),
         };
-        assert_eq!(net.recv(fd, 10, 60).unwrap(), NetPoll::Ready(b"PUT".to_vec()));
+        assert_eq!(
+            net.recv(fd, 10, 60).unwrap(),
+            NetPoll::Ready(b"PUT".to_vec())
+        );
         assert_eq!(net.next_event_after(60), Some(100));
         assert_eq!(net.pending_clients(), 1);
     }

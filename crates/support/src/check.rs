@@ -1,0 +1,130 @@
+//! A miniature property-test harness (stand-in for proptest).
+//!
+//! [`check`] runs a closure over a number of seeded cases. Each case gets
+//! a [`Gen`] for drawing random inputs; assertion failures inside the
+//! closure are caught, the failing case's seed is printed, and the panic
+//! is re-raised so the surrounding `#[test]` still fails. Re-run a single
+//! case by setting `DP_CHECK_SEED=<seed>` in the environment.
+
+use crate::rng::{mix, SplitMix64};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Base seed for a deterministic suite; changes only when tests opt in
+/// via the `DP_CHECK_SEED` environment variable.
+const BASE_SEED: u64 = 0xd0b1_e9a7_c0ff_ee00;
+
+/// Per-case random input source.
+pub struct Gen {
+    rng: SplitMix64,
+    /// Seed identifying this case (printed on failure).
+    pub case_seed: u64,
+}
+
+impl Gen {
+    /// Build a generator for one case.
+    pub fn new(case_seed: u64) -> Self {
+        Gen {
+            rng: SplitMix64::new(case_seed),
+            case_seed,
+        }
+    }
+
+    /// Uniform 64-bit value.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform value in `[0, bound)` (0 when `bound == 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.rng.below(bound)
+    }
+
+    /// Uniform value in `[lo, hi)`; requires `lo < hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.rng.below(hi - lo)
+    }
+
+    /// Uniform usize in `[0, bound)`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.rng.below(bound as u64) as usize
+    }
+
+    /// Fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.rng.next_u64() & 1 == 1
+    }
+
+    /// True with probability `p`.
+    pub fn prob(&mut self, p: f64) -> bool {
+        crate::rng::roll(self.rng.next_u64(), p)
+    }
+
+    /// Uniform byte.
+    pub fn u8(&mut self) -> u8 {
+        self.rng.next_u64() as u8
+    }
+
+    /// Random bytes with length in `[0, max_len]`.
+    pub fn bytes(&mut self, max_len: usize) -> Vec<u8> {
+        let len = self.rng.below(max_len as u64 + 1) as usize;
+        (0..len).map(|_| self.u8()).collect()
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "pick from empty slice");
+        &xs[self.index(xs.len())]
+    }
+}
+
+/// Run `cases` seeded cases of the property `f`. On failure, prints the
+/// case seed (re-runnable via `DP_CHECK_SEED`) and re-raises the panic.
+pub fn check(name: &str, cases: u64, mut f: impl FnMut(&mut Gen)) {
+    if let Ok(fixed) = std::env::var("DP_CHECK_SEED") {
+        let seed = parse_seed(&fixed);
+        let mut gen = Gen::new(seed);
+        f(&mut gen);
+        return;
+    }
+    for case in 0..cases {
+        let seed = mix(&[BASE_SEED, case]);
+        let mut gen = Gen::new(seed);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&mut gen))) {
+            eprintln!("property `{name}` failed: case {case}, DP_CHECK_SEED={seed:#x}");
+            resume_unwind(payload);
+        }
+    }
+}
+
+fn parse_seed(s: &str) -> u64 {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).expect("DP_CHECK_SEED: bad hex seed")
+    } else {
+        s.parse().expect("DP_CHECK_SEED: bad seed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first = Vec::new();
+        check("collect", 5, |g| first.push(g.u64()));
+        let mut second = Vec::new();
+        check("collect", 5, |g| second.push(g.u64()));
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 5);
+    }
+
+    #[test]
+    fn failures_propagate() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check("always-fails", 3, |_| panic!("boom"));
+        }));
+        assert!(result.is_err());
+    }
+}

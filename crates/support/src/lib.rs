@@ -1,0 +1,19 @@
+//! Dependency-free support layer for the DoublePlay workspace.
+//!
+//! The build environment is fully offline, so everything that the stack
+//! would normally pull from crates.io lives here instead:
+//!
+//! - [`wire`] — a compact, panic-free binary codec (the stand-in for
+//!   serde + bincode) used by checkpoints and the recording container.
+//! - [`crc32`] — IEEE CRC-32 for recording-frame integrity checks.
+//! - [`rng`] — SplitMix64 and the stateless `mix` hash that drives
+//!   deterministic fault injection.
+//! - [`check`] — a tiny seeded property-test harness (the stand-in for
+//!   proptest) used by the randomized test suites.
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod crc32;
+pub mod rng;
+pub mod wire;

@@ -1,0 +1,114 @@
+//! Deterministic randomness: SplitMix64 (sequential streams) and a
+//! stateless avalanche hash (`mix`) for order-independent decisions.
+//!
+//! Fault injection deliberately uses `mix` over *semantic* coordinates
+//! (seed, thread id, instruction count, syscall number) instead of a
+//! stateful RNG: the decision for a given trap is then identical no matter
+//! which run (thread-parallel, epoch-parallel verify, replay) encounters
+//! it, and no RNG state has to be checkpointed.
+
+/// Finalizing avalanche step from SplitMix64.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hash an arbitrary tuple of coordinates into a single well-mixed word.
+pub fn mix(parts: &[u64]) -> u64 {
+    let mut acc = 0x243f_6a88_85a3_08d3u64; // pi, nothing up the sleeve
+    for &p in parts {
+        acc = mix64(acc ^ p);
+    }
+    acc
+}
+
+/// Map a hash to a uniform probability in [0, 1) and compare against `p`.
+/// `p <= 0` never fires; `p >= 1` always fires.
+#[inline]
+pub fn roll(hash: u64, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    if p >= 1.0 {
+        return true;
+    }
+    // 53 high bits -> uniform double in [0, 1).
+    let unit = (hash >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    unit < p
+}
+
+/// SplitMix64: tiny, fast, and good enough for test-case generation and
+/// the recorder's hidden schedule jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; returns 0 when `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Multiply-shift; bias is negligible for our bounds.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_and_sensitive() {
+        assert_eq!(mix(&[1, 2, 3]), mix(&[1, 2, 3]));
+        assert_ne!(mix(&[1, 2, 3]), mix(&[1, 2, 4]));
+        assert_ne!(mix(&[1, 2, 3]), mix(&[3, 2, 1]));
+    }
+
+    #[test]
+    fn roll_edges() {
+        assert!(!roll(u64::MAX, 0.0));
+        assert!(roll(0, 1.0));
+        assert!(roll(u64::MAX, 1.5));
+        assert!(!roll(u64::MAX, 0.999_999));
+    }
+
+    #[test]
+    fn roll_rate_tracks_probability() {
+        let mut hits = 0u32;
+        for i in 0..10_000u64 {
+            if roll(mix(&[42, i]), 0.1) {
+                hits += 1;
+            }
+        }
+        assert!((800..1_200).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1_000 {
+            assert!(rng.below(13) < 13);
+        }
+        assert_eq!(rng.below(0), 0);
+        assert_eq!(rng.below(1), 0);
+    }
+}

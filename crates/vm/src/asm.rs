@@ -123,7 +123,8 @@ impl Ctx<'_> {
             None => (false, tok),
         };
         let v = if let Some(hex) = body.strip_prefix("0x") {
-            u64::from_str_radix(hex, 16).map_err(|_| err(self.line, format!("bad number `{tok}`")))?
+            u64::from_str_radix(hex, 16)
+                .map_err(|_| err(self.line, format!("bad number `{tok}`")))?
         } else {
             body.parse::<u64>()
                 .map_err(|_| err(self.line, format!("bad number `{tok}`")))?
@@ -178,10 +179,7 @@ fn unescape(line: usize, lit: &str) -> Result<Vec<u8>, AsmError> {
                     let hex = inner
                         .get(i + 1..i + 3)
                         .ok_or_else(|| err(line, "truncated \\x escape"))?;
-                    out.push(
-                        u8::from_str_radix(hex, 16)
-                            .map_err(|_| err(line, "bad \\x escape"))?,
-                    );
+                    out.push(u8::from_str_radix(hex, 16).map_err(|_| err(line, "bad \\x escape"))?);
                     i += 2;
                 }
                 _ => return Err(err(line, "unknown escape")),
@@ -225,7 +223,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
     // and symbol immediates resolve.
     #[derive(Debug)]
     enum Piece<'a> {
-        Func { name: &'a str, body: Vec<(usize, &'a str)> },
+        Func {
+            name: &'a str,
+            body: Vec<(usize, &'a str)>,
+        },
     }
     let mut pieces: Vec<Piece<'_>> = Vec::new();
     let mut current: Option<(&str, Vec<(usize, &str)>)> = None;
@@ -241,9 +242,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             let (Some(name), Some(size)) = (name, size) else {
                 return Err(err(line_no, ".global needs a name and a size"));
             };
-            let size: u64 = size
-                .parse()
-                .map_err(|_| err(line_no, "bad .global size"))?;
+            let size: u64 = size.parse().map_err(|_| err(line_no, "bad .global size"))?;
             let addr = pb.global(name, size);
             symbols.insert(name.to_string(), addr);
             continue;
@@ -256,7 +255,8 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             let addr = if let Some(hex) = addr.strip_prefix("0x") {
                 u64::from_str_radix(hex, 16).map_err(|_| err(line_no, "bad .dataat address"))?
             } else {
-                addr.parse().map_err(|_| err(line_no, "bad .dataat address"))?
+                addr.parse()
+                    .map_err(|_| err(line_no, "bad .dataat address"))?
             };
             let bytes = unescape(line_no, lit.trim())?;
             pb.data_at(addr, &bytes);
@@ -358,7 +358,10 @@ fn emit_line(
         if ops.len() == n {
             Ok(())
         } else {
-            Err(err(line_no, format!("`{mn}` takes {n} operands, got {}", ops.len())))
+            Err(err(
+                line_no,
+                format!("`{mn}` takes {n} operands, got {}", ops.len()),
+            ))
         }
     };
     let label_of = |tok: &str| -> Result<Label, AsmError> {
@@ -501,7 +504,10 @@ pub fn program_to_asm(program: &Program) -> String {
                 Instr::Jz { cond, target } => format!("jz {cond}, {}", targets[target]),
                 Instr::Call { func } => format!(
                     "call {}",
-                    program.function(*func).map(|f| f.name.as_str()).unwrap_or("?")
+                    program
+                        .function(*func)
+                        .map(|f| f.name.as_str())
+                        .unwrap_or("?")
                 ),
                 other => crate::disasm::format_instr(other),
             };
@@ -601,7 +607,13 @@ func finish {
         let src = "func main {\n const r1, 0xff\n const r2, -5\n load1 r3, [r1-8]\n store2 [r1+0x10], r3\n ret\n}\n";
         let p = assemble(src).unwrap();
         let code = &p.functions()[0].code;
-        assert_eq!(code[0], Instr::Const { dst: Reg(1), imm: 0xff });
+        assert_eq!(
+            code[0],
+            Instr::Const {
+                dst: Reg(1),
+                imm: 0xff
+            }
+        );
         assert_eq!(
             code[1],
             Instr::Const {

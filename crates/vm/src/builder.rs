@@ -141,7 +141,9 @@ impl ProgramBuilder {
             .functions
             .into_iter()
             .zip(&self.names)
-            .map(|(f, name)| f.unwrap_or_else(|| panic!("function `{name}` declared but never defined")))
+            .map(|(f, name)| {
+                f.unwrap_or_else(|| panic!("function `{name}` declared but never defined"))
+            })
             .collect();
         Program::new(functions, entry, self.data, self.symbols)
     }
@@ -367,12 +369,13 @@ impl<'a> FunctionBuilder<'a> {
             patches,
         } = self;
         for (idx, label) in patches {
-            let target = labels[label.0 as usize]
-                .unwrap_or_else(|| panic!("label used but never bound in `{}`", pb.names[id.index()]));
+            let target = labels[label.0 as usize].unwrap_or_else(|| {
+                panic!("label used but never bound in `{}`", pb.names[id.index()])
+            });
             match &mut code[idx] {
-                Instr::Jmp { target: t } | Instr::Jnz { target: t, .. } | Instr::Jz { target: t, .. } => {
-                    *t = target
-                }
+                Instr::Jmp { target: t }
+                | Instr::Jnz { target: t, .. }
+                | Instr::Jz { target: t, .. } => *t = target,
                 other => unreachable!("patch on non-jump {other:?}"),
             }
         }
@@ -456,7 +459,7 @@ mod tests {
         assert_eq!(a % 8, 0);
         assert_eq!(b % 8, 0);
         assert_eq!(c % 8, 0);
-        assert!(b >= a + 1);
+        assert!(b > a);
         assert!(c >= b + 13);
     }
 

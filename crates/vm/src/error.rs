@@ -3,7 +3,6 @@
 use crate::program::FuncId;
 use crate::thread::Pc;
 use crate::value::Tid;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A fault raised by the interpreter while executing guest code.
@@ -11,7 +10,7 @@ use std::fmt;
 /// Faults are deterministic properties of the guest program and schedule, so
 /// a fault recorded during logging reproduces identically during replay —
 /// which is much of the point of deterministic replay.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 #[allow(missing_docs)] // fields (tid/pc/...) are self-describing locations
 pub enum Fault {
     /// Integer division or remainder by zero.
@@ -51,7 +50,11 @@ impl fmt::Display for Fault {
                 write!(f, "divide by zero in {tid} at {}:{}", pc.func, pc.idx)
             }
             Fault::BadFunction { tid, pc, func } => {
-                write!(f, "call to unknown function {func} in {tid} at {}:{}", pc.func, pc.idx)
+                write!(
+                    f,
+                    "call to unknown function {func} in {tid} at {}:{}",
+                    pc.func, pc.idx
+                )
             }
             Fault::FellOffFunction { tid, func } => {
                 write!(f, "execution fell off the end of {func} in {tid}")
@@ -70,6 +73,15 @@ impl fmt::Display for Fault {
 }
 
 impl std::error::Error for Fault {}
+
+dp_support::impl_wire_enum!(Fault {
+    0 => DivideByZero { tid, pc },
+    1 => BadFunction { tid, pc, func },
+    2 => FellOffFunction { tid, func },
+    3 => BadRegister { tid, pc, reg },
+    4 => StackOverflow { tid, pc },
+    5 => NotRunnable { tid },
+});
 
 #[cfg(test)]
 mod tests {

@@ -11,13 +11,12 @@
 
 use crate::program::FuncId;
 use crate::value::{Reg, Src, Width};
-use serde::{Deserialize, Serialize};
 
 /// Binary operations for [`Instr::Bin`].
 ///
 /// Comparison operators produce `1` for true and `0` for false. Shift counts
 /// are taken modulo 64. Signed variants interpret their operands as `i64`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// Wrapping addition.
     Add,
@@ -144,7 +143,7 @@ impl BinOp {
 }
 
 /// Unary operations for [`Instr::Un`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnOp {
     /// Bitwise complement.
     Not,
@@ -176,7 +175,7 @@ impl UnOp {
 /// Control-flow targets (`Jmp`, `Jz`, `Jnz`) are indices into the containing
 /// function's instruction vector; the [`crate::builder::FunctionBuilder`]
 /// resolves symbolic labels to these indices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)] // operand fields are described in each variant's doc
 pub enum Instr {
     /// `dst = imm` — load a 64-bit constant.

@@ -58,7 +58,9 @@ mod value;
 
 pub use error::Fault;
 pub use instr::{BinOp, Instr, UnOp};
-pub use machine::{Machine, MachineImage, SliceLimits, SliceRun, Step, StopReason, DEFAULT_MAX_CALL_DEPTH};
+pub use machine::{
+    Machine, MachineImage, SliceLimits, SliceRun, Step, StopReason, DEFAULT_MAX_CALL_DEPTH,
+};
 pub use program::{
     initial_sp, DataSegment, FuncId, Function, Program, GLOBAL_BASE, HEAP_BASE, STACK_BASE,
     STACK_SIZE,

@@ -127,7 +127,7 @@ pub struct Machine {
 /// A serializable snapshot of everything in a [`Machine`] except the
 /// (immutable, shared) program. Recordings persist these as checkpoints;
 /// [`Machine::from_image`] reattaches the program.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MachineImage {
     /// Guest memory contents.
     pub mem: Memory,
@@ -138,6 +138,13 @@ pub struct MachineImage {
     /// Latched fault, if any.
     pub fault: Option<Fault>,
 }
+
+dp_support::impl_wire_struct!(MachineImage {
+    mem,
+    threads,
+    halted,
+    fault
+});
 
 impl Machine {
     /// Boots a machine: loads data segments and spawns thread 0 running the
@@ -277,10 +284,7 @@ impl Machine {
     /// The thread must be `Ready` (drivers deliver at slice boundaries).
     pub fn push_signal_frame(&mut self, tid: Tid, handler: FuncId, args: &[Word]) {
         let t = &mut self.threads[tid.index()];
-        assert!(
-            t.is_ready(),
-            "signal delivery to non-ready thread {tid}"
-        );
+        assert!(t.is_ready(), "signal delivery to non-ready thread {tid}");
         t.enter_signal_call(handler, args);
     }
 
@@ -316,11 +320,7 @@ impl Machine {
 
     /// Reconstructs a machine from an image and the program it was running.
     pub fn from_image(program: Arc<Program>, image: MachineImage) -> Self {
-        let live = image
-            .threads
-            .iter()
-            .filter(|t| !t.is_exited())
-            .count();
+        let live = image.threads.iter().filter(|t| !t.is_exited()).count();
         Machine {
             program,
             mem: image.mem,
@@ -427,22 +427,14 @@ impl Machine {
 
     fn exec_one(&mut self, tid: Tid, obs: &mut dyn MemObserver) -> Result<Step, Fault> {
         let pc = self.threads[tid.index()].pc;
-        let func = self
-            .program
-            .function(pc.func)
-            .ok_or(Fault::BadFunction {
-                tid,
-                pc,
-                func: pc.func,
-            })?;
+        let func = self.program.function(pc.func).ok_or(Fault::BadFunction {
+            tid,
+            pc,
+            func: pc.func,
+        })?;
         let instr = match func.code.get(pc.idx as usize) {
             Some(i) => *i,
-            None => {
-                return Err(Fault::FellOffFunction {
-                    tid,
-                    func: pc.func,
-                })
-            }
+            None => return Err(Fault::FellOffFunction { tid, func: pc.func }),
         };
 
         // Advance pc and icount first; control flow overwrites pc below.
@@ -521,7 +513,10 @@ impl Machine {
                 let a = self.reg(tid, addr);
                 if let Some(old) = obs.intercept_atomic(tid, a) {
                     set_reg!(dst, old);
-                    return Ok(Step::RanAtomic { addr: a, wrote: false });
+                    return Ok(Step::RanAtomic {
+                        addr: a,
+                        wrote: false,
+                    });
                 }
                 let old = self.mem.read(a, Width::W8);
                 let wrote = old == self.reg(tid, expected);
@@ -544,7 +539,10 @@ impl Machine {
                 let a = self.reg(tid, addr);
                 if let Some(old) = obs.intercept_atomic(tid, a) {
                     set_reg!(dst, old);
-                    return Ok(Step::RanAtomic { addr: a, wrote: false });
+                    return Ok(Step::RanAtomic {
+                        addr: a,
+                        wrote: false,
+                    });
                 }
                 let old = self.mem.read(a, Width::W8);
                 let add = self.src(tid, val);
@@ -558,13 +556,19 @@ impl Machine {
                     kind: AccessKind::Atomic,
                     value: old,
                 });
-                return Ok(Step::RanAtomic { addr: a, wrote: true });
+                return Ok(Step::RanAtomic {
+                    addr: a,
+                    wrote: true,
+                });
             }
             Instr::Swap { dst, addr, val } => {
                 let a = self.reg(tid, addr);
                 if let Some(old) = obs.intercept_atomic(tid, a) {
                     set_reg!(dst, old);
-                    return Ok(Step::RanAtomic { addr: a, wrote: false });
+                    return Ok(Step::RanAtomic {
+                        addr: a,
+                        wrote: false,
+                    });
                 }
                 let old = self.mem.read(a, Width::W8);
                 let nv = self.reg(tid, val);
@@ -578,7 +582,10 @@ impl Machine {
                     kind: AccessKind::Atomic,
                     value: old,
                 });
-                return Ok(Step::RanAtomic { addr: a, wrote: true });
+                return Ok(Step::RanAtomic {
+                    addr: a,
+                    wrote: true,
+                });
             }
             Instr::Jmp { target } => {
                 self.threads[tid.index()].pc.idx = target;

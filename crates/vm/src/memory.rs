@@ -13,7 +13,7 @@
 
 use crate::hash::Fnv1a;
 use crate::value::{Width, Word};
-use serde::{Deserialize, Serialize};
+use dp_support::wire::{put_varint, Reader, Wire, WireError};
 use std::collections::{BTreeSet, HashMap};
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
@@ -35,7 +35,8 @@ impl Hasher for PageHasher {
     #[inline]
     fn write(&mut self, bytes: &[u8]) {
         for &b in bytes {
-            self.state = (self.state.rotate_left(5) ^ b as u64).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+            self.state =
+                (self.state.rotate_left(5) ^ b as u64).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
         }
     }
 
@@ -59,23 +60,17 @@ pub fn page_of(addr: Word) -> u64 {
 
 type Page = [u8; PAGE_SIZE as usize];
 
-fn no_last_dirty() -> u64 {
-    u64::MAX
-}
-
 fn zero_page() -> Arc<Page> {
     Arc::new([0u8; PAGE_SIZE as usize])
 }
 
 /// Sparse, copy-on-write paged memory.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Memory {
-    #[serde(with = "page_map_serde")]
     pages: PageMap,
     /// Pages written since the last [`Memory::take_dirty`].
     dirty: BTreeSet<u64>,
     /// Fast path: the page most recently marked dirty (writes cluster).
-    #[serde(skip, default = "no_last_dirty")]
     last_dirty: u64,
 }
 
@@ -233,33 +228,37 @@ impl Default for Memory {
     }
 }
 
-/// Serde adapter: serialize the page map as `(page_no, bytes)` pairs so the
-/// `Arc` sharing is transparent to the wire format.
-mod page_map_serde {
-    use super::*;
-    use serde::de::Deserializer;
-    use serde::ser::{SerializeSeq, Serializer};
-
-    pub fn serialize<S: Serializer>(pages: &PageMap, ser: S) -> Result<S::Ok, S::Error> {
-        let mut pnos: Vec<u64> = pages.keys().copied().collect();
+/// Wire encoding: pages as sorted `(page_no, raw 4096 bytes)` pairs (so the
+/// `Arc` sharing is transparent to the format), then the dirty set. The
+/// `last_dirty` fast-path cache is reset on decode.
+impl Wire for Memory {
+    fn put(&self, out: &mut Vec<u8>) {
+        let mut pnos: Vec<u64> = self.pages.keys().copied().collect();
         pnos.sort_unstable();
-        let mut seq = ser.serialize_seq(Some(pages.len()))?;
+        put_varint(out, pnos.len() as u64);
         for pno in pnos {
-            seq.serialize_element(&(pno, pages[&pno].to_vec()))?;
+            pno.put(out);
+            out.extend_from_slice(&self.pages[&pno][..]);
         }
-        seq.end()
+        self.dirty.put(out);
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(de: D) -> Result<PageMap, D::Error> {
-        let raw: Vec<(u64, Vec<u8>)> = serde::Deserialize::deserialize(de)?;
-        let mut map = PageMap::default();
-        for (pno, bytes) in raw {
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let count = usize::get(r)?;
+        let mut pages = PageMap::default();
+        for _ in 0..count {
+            let pno = u64::get(r)?;
+            let raw = r.take(PAGE_SIZE as usize, "memory page")?;
             let mut page = [0u8; PAGE_SIZE as usize];
-            let n = bytes.len().min(PAGE_SIZE as usize);
-            page[..n].copy_from_slice(&bytes[..n]);
-            map.insert(pno, Arc::new(page));
+            page.copy_from_slice(raw);
+            pages.insert(pno, Arc::new(page));
         }
-        Ok(map)
+        let dirty = <BTreeSet<u64> as Wire>::get(r)?;
+        Ok(Memory {
+            pages,
+            dirty,
+            last_dirty: u64::MAX,
+        })
     }
 }
 
@@ -294,7 +293,7 @@ mod tests {
         let mut m = Memory::new();
         m.write(0x100, u64::MAX, Width::W8);
         m.write(0x100, 0, Width::W1);
-        assert_eq!(m.read(0x100, Width::W8), u64::MAX & !0xff);
+        assert_eq!(m.read(0x100, Width::W8), !0xff);
     }
 
     #[test]

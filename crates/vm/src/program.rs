@@ -3,14 +3,11 @@
 
 use crate::instr::Instr;
 use crate::value::Word;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifier of a function within a [`Program`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct FuncId(pub u32);
 
 impl FuncId {
@@ -26,6 +23,8 @@ impl fmt::Display for FuncId {
         write!(f, "f{}", self.0)
     }
 }
+
+dp_support::impl_wire_newtype!(FuncId);
 
 /// Start of the static data / globals region.
 pub const GLOBAL_BASE: Word = 0x0000_1000;
@@ -43,7 +42,7 @@ pub fn initial_sp(tid_index: usize) -> Word {
 }
 
 /// A function body.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Function {
     /// Human-readable name (used by the disassembler and error messages).
     pub name: String,
@@ -53,7 +52,7 @@ pub struct Function {
 }
 
 /// A chunk of static data copied into memory before execution starts.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DataSegment {
     /// Destination address.
     pub addr: Word,
@@ -66,7 +65,7 @@ pub struct DataSegment {
 /// Programs are immutable once built and shared via `Arc` between the many
 /// executions DoublePlay runs (thread-parallel, epoch-parallel, replay).
 /// Build one with [`crate::builder::ProgramBuilder`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {
     functions: Vec<Function>,
     entry: FuncId,

@@ -3,10 +3,9 @@
 
 use crate::program::FuncId;
 use crate::value::{Tid, Word, ARG_REGS, NUM_REGS, RET_REGS, THREAD_REG_BASE};
-use serde::{Deserialize, Serialize};
 
 /// A program counter: function and instruction index within it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Pc {
     /// Current function.
     pub func: FuncId,
@@ -15,7 +14,7 @@ pub struct Pc {
 }
 
 /// A saved caller frame.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
     /// Where to resume in the caller.
     pub ret_pc: Pc,
@@ -29,7 +28,7 @@ pub struct Frame {
 }
 
 /// Lifecycle status of a thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ThreadStatus {
     /// Can execute instructions.
     Ready,
@@ -42,7 +41,7 @@ pub enum ThreadStatus {
 
 /// A syscall trap captured by the interpreter, to be serviced by the host
 /// kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SyscallRequest {
     /// Thread that trapped.
     pub tid: Tid,
@@ -53,7 +52,7 @@ pub struct SyscallRequest {
 }
 
 /// Execution state of one thread.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ThreadState {
     /// This thread's id.
     pub tid: Tid,
@@ -205,6 +204,25 @@ impl ThreadState {
     }
 }
 
+dp_support::impl_wire_struct!(Pc { func, idx });
+dp_support::impl_wire_struct!(Frame {
+    ret_pc,
+    regs,
+    full_restore
+});
+dp_support::impl_wire_enum!(ThreadStatus { 0 => Ready, 1 => Waiting, 2 => Exited });
+dp_support::impl_wire_struct!(SyscallRequest { tid, num, args });
+dp_support::impl_wire_struct!(ThreadState {
+    tid,
+    pc,
+    regs,
+    frames,
+    status,
+    icount,
+    pending,
+    exit_value,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,7 +260,13 @@ mod tests {
             idx: 3,
         };
         t.enter_call(FuncId(1), ret);
-        assert_eq!(t.pc, Pc { func: FuncId(1), idx: 0 });
+        assert_eq!(
+            t.pc,
+            Pc {
+                func: FuncId(1),
+                idx: 0
+            }
+        );
         assert_eq!(t.regs[0], 10);
         assert_eq!(t.regs[5], 55);
         assert_eq!(t.regs[10], 0);
@@ -254,7 +278,13 @@ mod tests {
     fn return_abi_copies_results_back() {
         let mut t = thread();
         t.regs[10] = 42; // caller scratch survives the call
-        t.enter_call(FuncId(1), Pc { func: FuncId(0), idx: 9 });
+        t.enter_call(
+            FuncId(1),
+            Pc {
+                func: FuncId(0),
+                idx: 9,
+            },
+        );
         t.regs[0] = 111;
         t.regs[1] = 222;
         t.regs[31] = 0x6fff_0000; // callee adjusted SP

@@ -1,7 +1,6 @@
 //! Fundamental value types shared across the VM: machine words, register
 //! names, thread identifiers, and operand widths.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A machine word. The VM is a 64-bit machine: registers, addresses and
@@ -29,7 +28,7 @@ pub const SP: Reg = Reg(31);
 ///
 /// Registers are per-frame: every `Call` gives the callee a fresh register
 /// file (see the ABI description on [`crate::Machine`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Reg(pub u8);
 
 impl Reg {
@@ -59,7 +58,7 @@ impl From<u8> for Reg {
 }
 
 /// An instruction operand: either a register or a sign-extended immediate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Src {
     /// Read the operand from a register.
     Reg(Reg),
@@ -95,7 +94,7 @@ impl From<u32> for Src {
 }
 
 /// Width of a memory access in bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Width {
     /// 1 byte.
     W1,
@@ -141,9 +140,7 @@ impl fmt::Display for Width {
 ///
 /// Thread ids are dense, deterministic, and never reused: the first thread is
 /// `Tid(0)` and each spawn allocates the next integer.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Tid(pub u32);
 
 impl Tid {
@@ -165,6 +162,10 @@ impl From<u32> for Tid {
         Tid(v)
     }
 }
+
+dp_support::impl_wire_newtype!(Reg);
+dp_support::impl_wire_newtype!(Tid);
+dp_support::impl_wire_enum!(Width { 1 => W1, 2 => W2, 4 => W4, 8 => W8 });
 
 #[cfg(test)]
 mod tests {

@@ -2,11 +2,11 @@
 //! copy-on-write isolation, and the determinism contract that the whole
 //! DoublePlay stack relies on.
 
+use dp_support::check::{check, Gen};
 use dp_vm::builder::ProgramBuilder;
 use dp_vm::memory::Memory;
 use dp_vm::observer::NullObserver;
 use dp_vm::{BinOp, Machine, Reg, SliceLimits, Src, Tid, Width};
-use proptest::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -18,30 +18,34 @@ struct WriteOp {
     width: Width,
 }
 
-fn width_strategy() -> impl Strategy<Value = Width> {
-    prop_oneof![
-        Just(Width::W1),
-        Just(Width::W2),
-        Just(Width::W4),
-        Just(Width::W8),
-    ]
-}
+const WIDTHS: [Width; 4] = [Width::W1, Width::W2, Width::W4, Width::W8];
 
-fn write_op() -> impl Strategy<Value = WriteOp> {
+fn write_op(g: &mut Gen) -> WriteOp {
     // Cluster addresses near page boundaries to exercise straddling.
-    (0u64..4, 0u64..32, any::<u64>(), width_strategy()).prop_map(|(page, off, value, width)| {
-        WriteOp {
-            addr: page * 4096 + if off < 16 { off } else { 4096 - 8 + (off - 16) % 8 },
-            value,
-            width,
-        }
-    })
+    let page = g.below(4);
+    let off = g.below(32);
+    WriteOp {
+        addr: page * 4096
+            + if off < 16 {
+                off
+            } else {
+                4096 - 8 + (off - 16) % 8
+            },
+        value: g.u64(),
+        width: *g.pick(&WIDTHS),
+    }
 }
 
-proptest! {
-    /// Memory behaves like a flat byte array initialized to zero.
-    #[test]
-    fn memory_matches_byte_model(ops in proptest::collection::vec(write_op(), 1..64)) {
+fn write_ops(g: &mut Gen, min: usize, max: usize) -> Vec<WriteOp> {
+    let n = min + g.index(max - min);
+    (0..n).map(|_| write_op(g)).collect()
+}
+
+/// Memory behaves like a flat byte array initialized to zero.
+#[test]
+fn memory_matches_byte_model() {
+    check("memory_matches_byte_model", 96, |g| {
+        let ops = write_ops(g, 1, 64);
         let mut mem = Memory::new();
         let mut model: HashMap<u64, u8> = HashMap::new();
         for op in &ops {
@@ -53,7 +57,7 @@ proptest! {
         // Every byte the model knows about must match; and reads of each
         // written word must reassemble little-endian.
         for (&addr, &byte) in &model {
-            prop_assert_eq!(mem.read_u8(addr), byte);
+            assert_eq!(mem.read_u8(addr), byte);
         }
         for op in &ops {
             let read = mem.read(op.addr, op.width);
@@ -61,41 +65,46 @@ proptest! {
             for i in 0..op.width.bytes() {
                 expect |= (*model.get(&op.addr.wrapping_add(i)).unwrap() as u64) << (8 * i);
             }
-            prop_assert_eq!(read, expect);
+            assert_eq!(read, expect);
         }
-    }
+    });
+}
 
-    /// Snapshots are immune to later writes, and writes to a snapshot do not
-    /// leak back — the checkpoint property.
-    #[test]
-    fn cow_snapshots_are_isolated(
-        before in proptest::collection::vec(write_op(), 1..32),
-        after in proptest::collection::vec(write_op(), 1..32),
-    ) {
+/// Snapshots are immune to later writes, and writes to a snapshot do not
+/// leak back — the checkpoint property.
+#[test]
+fn cow_snapshots_are_isolated() {
+    check("cow_snapshots_are_isolated", 96, |g| {
+        let before = write_ops(g, 1, 32);
+        let after = write_ops(g, 1, 32);
         let mut mem = Memory::new();
         for op in &before {
             mem.write(op.addr, op.value, op.width);
         }
         let snap = mem.clone();
-        let baseline: Vec<u64> = before.iter().map(|op| snap.read(op.addr, op.width)).collect();
+        let baseline: Vec<u64> = before
+            .iter()
+            .map(|op| snap.read(op.addr, op.width))
+            .collect();
         let mut snap2 = mem.clone();
         for op in &after {
             mem.write(op.addr, op.value.wrapping_add(1), op.width);
             snap2.write(op.addr, op.value.wrapping_sub(1), op.width);
         }
         for (op, expect) in before.iter().zip(baseline) {
-            prop_assert_eq!(snap.read(op.addr, op.width), expect);
+            assert_eq!(snap.read(op.addr, op.width), expect);
         }
-        prop_assert_eq!(snap.first_difference(&snap.clone()), None);
-    }
+        assert_eq!(snap.first_difference(&snap.clone()), None);
+    });
+}
 
-    /// Executing the same straight-line program with arbitrary slice
-    /// boundaries produces identical final state hashes.
-    #[test]
-    fn slicing_does_not_change_semantics(
-        seeds in proptest::collection::vec(any::<u64>(), 4..16),
-        slice_len in 1u64..7,
-    ) {
+/// Executing the same straight-line program with arbitrary slice
+/// boundaries produces identical final state hashes.
+#[test]
+fn slicing_does_not_change_semantics() {
+    check("slicing_does_not_change_semantics", 48, |g| {
+        let seeds: Vec<u64> = (0..g.range(4, 16)).map(|_| g.u64()).collect();
+        let slice_len = g.range(1, 7);
         let mut pb = ProgramBuilder::new();
         let scratch = pb.global("scratch", 64);
         let mut f = pb.function("main");
@@ -123,16 +132,20 @@ proptest! {
                 .run_slice(Tid(0), SliceLimits::budget(slice_len), &mut NullObserver)
                 .unwrap();
         }
-        prop_assert_eq!(whole.state_hash(), sliced.state_hash());
-        prop_assert_eq!(
+        assert_eq!(whole.state_hash(), sliced.state_hash());
+        assert_eq!(
             whole.thread(Tid(0)).exit_value,
             sliced.thread(Tid(0)).exit_value
         );
-    }
+    });
+}
 
-    /// state_hash distinguishes states that differ in a single memory byte.
-    #[test]
-    fn state_hash_detects_byte_flips(addr in 0x1000u64..0x9000, val in 1u8..=255) {
+/// state_hash distinguishes states that differ in a single memory byte.
+#[test]
+fn state_hash_detects_byte_flips() {
+    check("state_hash_detects_byte_flips", 64, |g| {
+        let addr = g.range(0x1000, 0x9000);
+        let val = g.range(1, 256) as u8;
         let mut pb = ProgramBuilder::new();
         let mut f = pb.function("main");
         f.ret();
@@ -141,114 +154,132 @@ proptest! {
         let a = Machine::new(p.clone(), &[]);
         let mut b = Machine::new(p, &[]);
         b.mem_mut().write_u8(addr, val);
-        prop_assert_ne!(a.state_hash(), b.state_hash());
-    }
+        assert_ne!(a.state_hash(), b.state_hash());
+    });
 }
 
 mod asm_props {
+    use dp_support::check::{check, Gen};
     use dp_vm::asm::{assemble, program_to_asm};
     use dp_vm::{BinOp, Instr, Reg, Src, UnOp, Width};
-    use proptest::prelude::*;
 
-    fn reg() -> impl Strategy<Value = Reg> {
-        (0u8..32).prop_map(Reg)
+    fn reg(g: &mut Gen) -> Reg {
+        Reg(g.below(32) as u8)
     }
 
-    fn src() -> impl Strategy<Value = Src> {
-        prop_oneof![
-            reg().prop_map(Src::Reg),
-            any::<i32>().prop_map(|v| Src::Imm(v as i64)),
-        ]
+    fn src(g: &mut Gen) -> Src {
+        if g.bool() {
+            Src::Reg(reg(g))
+        } else {
+            Src::Imm(g.u64() as u32 as i32 as i64)
+        }
     }
 
-    fn width() -> impl Strategy<Value = Width> {
-        prop_oneof![
-            Just(Width::W1),
-            Just(Width::W2),
-            Just(Width::W4),
-            Just(Width::W8)
-        ]
+    fn width(g: &mut Gen) -> Width {
+        *g.pick(&[Width::W1, Width::W2, Width::W4, Width::W8])
     }
 
-    fn binop() -> impl Strategy<Value = BinOp> {
-        prop_oneof![
-            Just(BinOp::Add),
-            Just(BinOp::Sub),
-            Just(BinOp::Mul),
-            Just(BinOp::Xor),
-            Just(BinOp::Shl),
-            Just(BinOp::Ltu),
-            Just(BinOp::Les),
-            Just(BinOp::Minu),
-        ]
+    fn binop(g: &mut Gen) -> BinOp {
+        *g.pick(&[
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Xor,
+            BinOp::Shl,
+            BinOp::Ltu,
+            BinOp::Les,
+            BinOp::Minu,
+        ])
+    }
+
+    fn mem_offset(g: &mut Gen) -> i64 {
+        g.range(0, 128) as i64 - 64
     }
 
     /// Straight-line instructions only (jumps are added separately with
     /// valid targets).
-    fn instr() -> impl Strategy<Value = Instr> {
-        prop_oneof![
-            (reg(), any::<u64>()).prop_map(|(dst, imm)| Instr::Const { dst, imm }),
-            (reg(), src()).prop_map(|(dst, src)| Instr::Mov { dst, src }),
-            (binop(), reg(), reg(), src())
-                .prop_map(|(op, dst, a, b)| Instr::Bin { op, dst, a, b }),
-            (reg(), reg()).prop_map(|(dst, a)| Instr::Un {
+    fn instr(g: &mut Gen) -> Instr {
+        match g.index(10) {
+            0 => Instr::Const {
+                dst: reg(g),
+                imm: g.u64(),
+            },
+            1 => Instr::Mov {
+                dst: reg(g),
+                src: src(g),
+            },
+            2 => Instr::Bin {
+                op: binop(g),
+                dst: reg(g),
+                a: reg(g),
+                b: src(g),
+            },
+            3 => Instr::Un {
                 op: UnOp::Not,
-                dst,
-                a
-            }),
-            (reg(), reg(), -64i64..64, width()).prop_map(|(dst, addr, offset, width)| {
-                Instr::Load {
-                    dst,
-                    addr,
-                    offset,
-                    width,
-                }
-            }),
-            (reg(), reg(), -64i64..64, width()).prop_map(|(src, addr, offset, width)| {
-                Instr::Store {
-                    src,
-                    addr,
-                    offset,
-                    width,
-                }
-            }),
-            (reg(), reg(), reg(), reg()).prop_map(|(dst, addr, expected, new)| Instr::Cas {
-                dst,
-                addr,
-                expected,
-                new
-            }),
-            (reg(), reg(), src()).prop_map(|(dst, addr, val)| Instr::FetchAdd { dst, addr, val }),
-            (0u32..28).prop_map(|num| Instr::Syscall { num }),
-            Just(Instr::Nop),
-        ]
+                dst: reg(g),
+                a: reg(g),
+            },
+            4 => Instr::Load {
+                dst: reg(g),
+                addr: reg(g),
+                offset: mem_offset(g),
+                width: width(g),
+            },
+            5 => Instr::Store {
+                src: reg(g),
+                addr: reg(g),
+                offset: mem_offset(g),
+                width: width(g),
+            },
+            6 => Instr::Cas {
+                dst: reg(g),
+                addr: reg(g),
+                expected: reg(g),
+                new: reg(g),
+            },
+            7 => Instr::FetchAdd {
+                dst: reg(g),
+                addr: reg(g),
+                val: src(g),
+            },
+            8 => Instr::Syscall {
+                num: g.below(28) as u32,
+            },
+            _ => Instr::Nop,
+        }
     }
 
-    proptest! {
-        /// Any program of random instructions (plus valid jumps and a final
-        /// ret) survives a dump/parse roundtrip instruction-for-instruction.
-        #[test]
-        fn asm_roundtrip_random_programs(
-            body in proptest::collection::vec(instr(), 1..40),
-            jump_points in proptest::collection::vec((any::<proptest::sample::Index>(), any::<proptest::sample::Index>(), 0u8..3), 0..6),
-        ) {
+    /// Any program of random instructions (plus valid jumps and a final
+    /// ret) survives a dump/parse roundtrip instruction-for-instruction.
+    #[test]
+    fn asm_roundtrip_random_programs() {
+        check("asm_roundtrip_random_programs", 96, |g| {
             use dp_vm::builder::ProgramBuilder;
+            let mut code: Vec<Instr> = (0..g.range(1, 40)).map(|_| instr(g)).collect();
             // Interleave jumps with valid in-range targets.
-            let mut code = body;
-            for (at, to, kind) in jump_points {
-                let at = at.index(code.len());
-                let target = to.index(code.len() + 1) as u32;
-                let j = match kind {
+            for _ in 0..g.index(6) {
+                let at = g.index(code.len());
+                let target = g.index(code.len() + 1) as u32;
+                let j = match g.index(3) {
                     0 => Instr::Jmp { target },
-                    1 => Instr::Jnz { cond: Reg(1), target },
-                    _ => Instr::Jz { cond: Reg(2), target },
+                    1 => Instr::Jnz {
+                        cond: Reg(1),
+                        target,
+                    },
+                    _ => Instr::Jz {
+                        cond: Reg(2),
+                        target,
+                    },
                 };
                 code.insert(at, j);
             }
             // Fix up targets that insertion may have shifted out of range.
             let len = code.len() as u32 + 1;
             for i in &mut code {
-                if let Instr::Jmp { target } | Instr::Jnz { target, .. } | Instr::Jz { target, .. } = i {
+                if let Instr::Jmp { target }
+                | Instr::Jnz { target, .. }
+                | Instr::Jz { target, .. } = i
+                {
                     *target %= len;
                 }
             }
@@ -283,13 +314,28 @@ mod asm_props {
                     Instr::Un { op, dst, a } => {
                         f.un(op, dst, a);
                     }
-                    Instr::Load { dst, addr, offset, width } => {
+                    Instr::Load {
+                        dst,
+                        addr,
+                        offset,
+                        width,
+                    } => {
                         f.load(dst, addr, offset, width);
                     }
-                    Instr::Store { src, addr, offset, width } => {
+                    Instr::Store {
+                        src,
+                        addr,
+                        offset,
+                        width,
+                    } => {
                         f.store(src, addr, offset, width);
                     }
-                    Instr::Cas { dst, addr, expected, new } => {
+                    Instr::Cas {
+                        dst,
+                        addr,
+                        expected,
+                        new,
+                    } => {
                         f.cas(dst, addr, expected, new);
                     }
                     Instr::FetchAdd { dst, addr, val } => {
@@ -313,17 +359,17 @@ mod asm_props {
             let original = pb.finish("main");
 
             let text = program_to_asm(&original);
-            let reparsed = assemble(&text)
-                .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
+            let reparsed =
+                assemble(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
             let a = &original.functions()[0].code;
             let b = &reparsed.functions()[0].code;
             // The dump may add a trailing landing-pad nop; compare the
             // common prefix plus require only nops beyond it.
             let n = a.len().min(b.len());
-            prop_assert_eq!(&a[..n], &b[..n], "\n---\n{}", text);
+            assert_eq!(&a[..n], &b[..n], "\n---\n{}", text);
             for extra in b.iter().skip(n).chain(a.iter().skip(n)) {
-                prop_assert_eq!(extra, &Instr::Nop);
+                assert_eq!(extra, &Instr::Nop);
             }
-        }
+        });
     }
 }

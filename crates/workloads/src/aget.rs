@@ -27,7 +27,7 @@ const CHUNK: i64 = 1500;
 
 /// Builds an `aget` instance.
 pub fn build(threads: usize, size: Size) -> WorkloadCase {
-    let blob = gen_blob(0xD01_4D, (256 * 1024 * size.factor()) as usize);
+    let blob = gen_blob(0x000D_014D, (256 * 1024 * size.factor()) as usize);
     let total = blob.len() as u64;
 
     let mut pb = ProgramBuilder::new();
@@ -51,11 +51,11 @@ pub fn build(threads: usize, size: Size) -> WorkloadCase {
         w.mul(Reg(12), Reg(12), Reg(10));
         w.bin(BinOp::Divu, Reg(12), Reg(12), nthreads);
         w.sub(Reg(12), Reg(12), Reg(11)); // len
-        // sock = connect(PEER)
+                                          // sock = connect(PEER)
         w.consti(Reg(0), PEER);
         w.syscall(abi::SYS_CONNECT);
         w.mov(Reg(21), Reg(0)); // sock
-        // request = (offset, len) le on the stack
+                                // request = (offset, len) le on the stack
         w.sub(Reg(22), Reg(31), 32i64);
         w.store(Reg(11), Reg(22), 0, Width::W8);
         w.store(Reg(12), Reg(22), 8, Width::W8);
@@ -136,10 +136,10 @@ pub fn build(threads: usize, size: Size) -> WorkloadCase {
     }
 
     let mut world = WorldConfig::default();
-    world
-        .net
-        .peers
-        .insert(PEER as u32, PeerBehavior::RangeSource { blob: blob.clone() });
+    world.net.peers.insert(
+        PEER as u32,
+        PeerBehavior::RangeSource { blob: blob.clone() },
+    );
     let spec = GuestSpec::new("aget", Arc::new(pb.finish("main")), world);
     WorkloadCase {
         name: "aget",

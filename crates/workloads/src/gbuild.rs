@@ -149,7 +149,9 @@ mod tests {
         let b = gen_text(7, 1000);
         assert_eq!(a, b);
         assert_eq!(a.len(), 1000);
-        assert!(a.iter().all(|&c| c.is_ascii_lowercase() || c == b' ' || c == b'\n'));
+        assert!(a
+            .iter()
+            .all(|&c| c.is_ascii_lowercase() || c == b' ' || c == b'\n'));
         assert_ne!(gen_text(8, 1000), a);
     }
 

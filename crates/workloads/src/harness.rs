@@ -100,6 +100,9 @@ pub fn expect_eq<T: PartialEq + fmt::Debug>(
     }
 }
 
+/// Final-state check installed by each workload.
+pub type VerifyFn = Box<dyn Fn(&Machine, &Kernel) -> Result<(), VerifyError> + Send + Sync>;
+
 /// One runnable benchmark instance: a guest spec plus a verifier that
 /// checks the final world state for correctness (so every experiment
 /// double-checks that record/replay didn't corrupt the application).
@@ -113,7 +116,7 @@ pub struct WorkloadCase {
     /// The bootable guest.
     pub spec: GuestSpec,
     /// Checks the final state (exit code, file contents, network traffic).
-    pub verify: Box<dyn Fn(&Machine, &Kernel) -> Result<(), VerifyError> + Send + Sync>,
+    pub verify: VerifyFn,
     /// Expected total external (world-visible) output bytes, when the
     /// workload's traffic is deterministic. Recording consumers check this
     /// against the recording's committed external chunks.

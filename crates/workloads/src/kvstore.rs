@@ -76,9 +76,9 @@ pub fn build(threads: usize, size: Size) -> WorkloadCase {
         w.mov(Reg(0), Reg(21));
         w.call(rt.xorshift);
         w.mov(Reg(24), Reg(0)); // r
-        // "Query processing": mix the request through a few hash rounds
-        // before touching the store (the compute a real server does per
-        // statement).
+                                // "Query processing": mix the request through a few hash rounds
+                                // before touching the store (the compute a real server does per
+                                // statement).
         let qp_top = w.label();
         let qp_done = w.label();
         w.consti(Reg(14), 0);
@@ -109,7 +109,7 @@ pub fn build(threads: usize, size: Size) -> WorkloadCase {
         w.bin(BinOp::Remu, Reg(26), Reg(25), BUCKETS as i64);
         w.mul(Reg(26), Reg(26), BUCKET_BYTES as i64);
         w.add(Reg(26), Reg(26), gaddr(g_table)); // bucket base
-        // lock(bucket)
+                                                 // lock(bucket)
         w.mov(Reg(0), Reg(26));
         w.call(rt.mutex_lock);
         // scan slots for key
@@ -180,7 +180,11 @@ pub fn build(threads: usize, size: Size) -> WorkloadCase {
         f.finish();
     }
 
-    let spec = GuestSpec::new("kvstore", Arc::new(pb.finish("main")), WorldConfig::default());
+    let spec = GuestSpec::new(
+        "kvstore",
+        Arc::new(pb.finish("main")),
+        WorldConfig::default(),
+    );
     let expected_ops = ops_per_worker * threads as u64;
     WorkloadCase {
         name: "kvstore",
@@ -218,7 +222,10 @@ mod tests {
     #[test]
     fn table_fits_in_globals() {
         // Layout sanity: bucket stride covers lock+count+slots.
-        assert_eq!(BUCKET_BYTES, 16 + CAP * 16);
-        assert!(KEYSPACE <= BUCKETS * CAP);
+        #[allow(clippy::assertions_on_constants)]
+        {
+            assert_eq!(BUCKET_BYTES, 16 + CAP * 16);
+            assert!(KEYSPACE <= BUCKETS * CAP);
+        }
     }
 }

@@ -49,7 +49,9 @@ pub fn reference(iterations: u64) -> u64 {
 
 fn initial_grid() -> Vec<u64> {
     let mut rng = gbuild::XorShift::new(0x0CEA_0CEA);
-    (0..(G * G) as usize).map(|_| rng.next_u64() % 10_000).collect()
+    (0..(G * G) as usize)
+        .map(|_| rng.next_u64() % 10_000)
+        .collect()
 }
 
 /// Builds an `ocean` instance.
@@ -152,7 +154,7 @@ pub fn build(threads: usize, size: Size) -> WorkloadCase {
 
         w.bind(iter_done);
         // Checksum own rows of the final buffer (parity of `iterations`).
-        if iterations % 2 == 0 {
+        if iterations.is_multiple_of(2) {
             w.consti(Reg(24), g_a as i64);
         } else {
             w.consti(Reg(24), g_b as i64);

@@ -13,9 +13,9 @@
 use crate::gbuild::{self, gen_blob, rle_encode};
 use crate::harness::{expect_eq, Category, Size, WorkloadCase};
 use dp_core::GuestSpec;
+use dp_os::abi;
 use dp_os::guest::{queue_bytes, Rt};
 use dp_os::kernel::WorldConfig;
-use dp_os::abi;
 use dp_vm::builder::ProgramBuilder;
 use dp_vm::{BinOp, Reg, Width};
 use std::sync::Arc;
@@ -30,10 +30,7 @@ pub fn build(threads: usize, size: Size) -> WorkloadCase {
     let input = gen_blob(0xC0_FFEE, (128 * 1024 * size.factor()) as usize);
     // The guest compresses block-by-block (runs never span blocks), so the
     // reference does the same.
-    let expected: Vec<u8> = input
-        .chunks(BLOCK as usize)
-        .flat_map(|b| rle_encode(b))
-        .collect();
+    let expected: Vec<u8> = input.chunks(BLOCK as usize).flat_map(rle_encode).collect();
     let nblocks = (input.len() as u64).div_ceil(BLOCK);
 
     let mut pb = ProgramBuilder::new();
@@ -68,18 +65,18 @@ pub fn build(threads: usize, size: Size) -> WorkloadCase {
         w.load(Reg(23), Reg(9), 0, Width::W8);
         w.sub(Reg(23), Reg(23), Reg(22)); // remaining
         w.bin(BinOp::Minu, Reg(23), Reg(23), BLOCK as i64); // len
-        // dst = alloc(2*len + 16)
+                                                            // dst = alloc(2*len + 16)
         w.mul(Reg(0), Reg(23), 2i64);
         w.add(Reg(0), Reg(0), 16i64);
         w.call(rt.alloc);
         w.mov(Reg(24), Reg(0)); // dst
-        // out_len = rle_compress(src, len, dst)
+                                // out_len = rle_compress(src, len, dst)
         w.mov(Reg(0), Reg(21));
         w.mov(Reg(1), Reg(23));
         w.mov(Reg(2), Reg(24));
         w.call(rle);
         w.mov(Reg(25), Reg(0)); // out_len
-        // results[idx] = (dst, out_len)
+                                // results[idx] = (dst, out_len)
         w.consti(Reg(9), g_results as i64);
         w.load(Reg(26), Reg(9), 0, Width::W8);
         w.mul(Reg(27), Reg(20), 16i64);
@@ -189,7 +186,11 @@ pub fn build(threads: usize, size: Size) -> WorkloadCase {
         threads,
         spec,
         verify: Box::new(move |machine, kernel| {
-            expect_eq("exit code (compressed bytes)", machine.halted(), Some(expected_len))?;
+            expect_eq(
+                "exit code (compressed bytes)",
+                machine.halted(),
+                Some(expected_len),
+            )?;
             let out = kernel
                 .fs()
                 .contents("out.rle")

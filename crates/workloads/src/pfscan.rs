@@ -64,7 +64,7 @@ pub fn build(threads: usize, size: Size) -> WorkloadCase {
         w.load(Reg(10), Reg(9), 0, Width::W8); // base
         w.consti(Reg(9), g_size as i64);
         w.load(Reg(11), Reg(9), 0, Width::W8); // size
-        // start = idx*size/n ; end = (idx+1)*size/n
+                                               // start = idx*size/n ; end = (idx+1)*size/n
         w.mul(Reg(12), Reg(20), Reg(11));
         w.bin(BinOp::Divu, Reg(12), Reg(12), nthreads);
         w.add(Reg(13), Reg(20), 1i64);
@@ -75,7 +75,7 @@ pub fn build(threads: usize, size: Size) -> WorkloadCase {
         w.add(Reg(14), Reg(14), 1i64); // exclusive bound on starts
         w.bin(BinOp::Minu, Reg(13), Reg(13), Reg(14));
         w.consti(Reg(15), 0); // local count
-        // for i in start..end
+                              // for i in start..end
         w.bind(outer);
         w.bin(BinOp::Ltu, Reg(16), Reg(12), Reg(13));
         w.jz(Reg(16), done);

@@ -48,7 +48,11 @@ pub fn counter(threads: usize, size: Size) -> WorkloadCase {
         gbuild::exit_with_global(&mut f, g_counter);
         f.finish();
     }
-    let spec = GuestSpec::new("racey-counter", Arc::new(pb.finish("main")), WorldConfig::default());
+    let spec = GuestSpec::new(
+        "racey-counter",
+        Arc::new(pb.finish("main")),
+        WorldConfig::default(),
+    );
     let max = (iters as u64) * threads as u64;
     WorkloadCase {
         name: "racey-counter",
@@ -108,7 +112,11 @@ pub fn sparse_counter(threads: usize, size: Size) -> WorkloadCase {
         gbuild::exit_with_global(&mut f, g_counter);
         f.finish();
     }
-    let spec = GuestSpec::new("racey-sparse", Arc::new(pb.finish("main")), WorldConfig::default());
+    let spec = GuestSpec::new(
+        "racey-sparse",
+        Arc::new(pb.finish("main")),
+        WorldConfig::default(),
+    );
     let max = (iters as u64) * threads as u64;
     WorkloadCase {
         name: "racey-sparse",
@@ -184,7 +192,11 @@ pub fn lazy_init(threads: usize, size: Size) -> WorkloadCase {
         gbuild::exit_with_global(&mut f, g_sum);
         f.finish();
     }
-    let spec = GuestSpec::new("racey-lazyinit", Arc::new(pb.finish("main")), WorldConfig::default());
+    let spec = GuestSpec::new(
+        "racey-lazyinit",
+        Arc::new(pb.finish("main")),
+        WorldConfig::default(),
+    );
     WorkloadCase {
         name: "racey-lazyinit",
         category: Category::Racy,
@@ -282,7 +294,11 @@ pub fn banking(threads: usize, size: Size) -> WorkloadCase {
         f.syscall(dp_os::abi::SYS_EXIT);
         f.finish();
     }
-    let spec = GuestSpec::new("racey-bank", Arc::new(pb.finish("main")), WorldConfig::default());
+    let spec = GuestSpec::new(
+        "racey-bank",
+        Arc::new(pb.finish("main")),
+        WorldConfig::default(),
+    );
     WorkloadCase {
         name: "racey-bank",
         category: Category::Racy,
@@ -305,7 +321,11 @@ mod tests {
 
     #[test]
     fn racy_workloads_run_to_completion() {
-        for case in [counter(2, Size::Small), lazy_init(2, Size::Small), banking(2, Size::Small)] {
+        for case in [
+            counter(2, Size::Small),
+            lazy_init(2, Size::Small),
+            banking(2, Size::Small),
+        ] {
             let (mut machine, mut kernel) = case.spec.boot();
             DirectExecutor::default()
                 .run(&mut machine, &mut kernel, 2_000_000_000)

@@ -57,7 +57,9 @@ pub fn build(threads: usize, size: Size) -> WorkloadCase {
     let g_served = pb.global("served", 8);
     // File-name table: NFILES fixed-width 15-byte names.
     let name_len = file_name(0).len() as i64;
-    let names: Vec<u8> = (0..NFILES).flat_map(|i| file_name(i).into_bytes()).collect();
+    let names: Vec<u8> = (0..NFILES)
+        .flat_map(|i| file_name(i).into_bytes())
+        .collect();
     let g_names = pb.global_data("names", &names);
 
     // Worker: pop connection, serve one request.
@@ -78,7 +80,7 @@ pub fn build(threads: usize, size: Size) -> WorkloadCase {
         w.consti(Reg(2), 8);
         w.syscall(abi::SYS_RECV);
         w.load(Reg(22), Reg(21), 0, Width::W8); // index
-        // open(names + index*name_len)
+                                                // open(names + index*name_len)
         w.mul(Reg(0), Reg(22), name_len);
         w.add(Reg(0), Reg(0), gbuild_addr(g_names));
         w.consti(Reg(1), name_len);

@@ -62,13 +62,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     f.syscall(abi::SYS_EXIT);
     f.finish();
 
-    let spec = GuestSpec::new("quickstart", Arc::new(pb.finish("main")), WorldConfig::default());
+    let spec = GuestSpec::new(
+        "quickstart",
+        Arc::new(pb.finish("main")),
+        WorldConfig::default(),
+    );
 
     // Record with 2 worker CPUs and 2 spare cores (the paper's setup).
     let config = DoublePlayConfig::new(2).epoch_cycles(100_000);
     let bundle = record(&spec, &config)?;
     let stats = &bundle.stats;
-    println!("recorded {} epochs ({} divergences)", stats.epochs, stats.divergences);
+    println!(
+        "recorded {} epochs ({} divergences)",
+        stats.epochs, stats.divergences
+    );
     println!(
         "native {} cycles, recorded {} cycles -> overhead {:.1}%",
         stats.native_cycles,

@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (got < 8000).then_some((bundle, case, got))
         })
         .expect("no seed manifested the race");
-    println!("\nrecorded execution: counter = {buggy} (lost {})", 8000 - buggy);
+    println!(
+        "\nrecorded execution: counter = {buggy} (lost {})",
+        8000 - buggy
+    );
 
     // Deterministic: every replay gives the same answer.
     for _ in 0..3 {

@@ -85,7 +85,10 @@ fn main() {
     let Some(cmd) = argv.first() else { usage() };
     match cmd.as_str() {
         "list" => {
-            for c in suite(2, Size::Small).iter().chain(racy_suite(2, Size::Small).iter()) {
+            for c in suite(2, Size::Small)
+                .iter()
+                .chain(racy_suite(2, Size::Small).iter())
+            {
                 println!("{:16} {}", c.name, c.category);
             }
         }
@@ -111,9 +114,7 @@ fn main() {
                 s.overhead() * 100.0,
                 s.log_bytes()
             );
-            let path = o
-                .out
-                .unwrap_or_else(|| format!("{name}.dprec"));
+            let path = o.out.unwrap_or_else(|| format!("{name}.dprec"));
             let file = std::fs::File::create(&path).expect("cannot create output file");
             bundle.recording.save(file).expect("serialization failed");
             println!("wrote {path}");
@@ -124,7 +125,13 @@ fn main() {
             let Some(name) = o.workload else { usage() };
             let case = find_case(&name, o.threads, o.size);
             let file = std::fs::File::open(path).expect("cannot open recording");
-            let recording = Recording::load(file).expect("cannot parse recording");
+            let recording = match Recording::load(file) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("cannot parse recording: {e}");
+                    exit(1);
+                }
+            };
             let result = if o.parallel > 1 {
                 replay_parallel(&recording, &case.spec.program, o.parallel)
             } else {
@@ -144,14 +151,38 @@ fn main() {
         "inspect" => {
             let Some(path) = argv.get(1) else { usage() };
             let file = std::fs::File::open(path).expect("cannot open recording");
-            let r = Recording::load(file).expect("cannot parse recording");
+            let r = match Recording::load(file) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("cannot parse recording: {e}");
+                    exit(1);
+                }
+            };
             println!("guest:         {}", r.meta.guest_name);
             println!("program hash:  {:#018x}", r.meta.program_hash);
-            println!("config:        {} cpus, epoch {} cycles", r.meta.config.cpus, r.meta.config.epoch_cycles);
+            println!(
+                "config:        {} cpus, epoch {} cycles",
+                r.meta.config.cpus, r.meta.config.epoch_cycles
+            );
             println!("epochs:        {}", r.epochs.len());
-            println!("checkpoints:   {}", if r.has_checkpoints() { "per-epoch (parallel replay ok)" } else { "initial only" });
-            println!("schedule:      {} events, {} bytes", r.schedule_events(), r.schedule_bytes());
-            println!("syscall log:   {} entries, {} bytes", r.logged_syscalls(), r.syscall_bytes());
+            println!(
+                "checkpoints:   {}",
+                if r.has_checkpoints() {
+                    "per-epoch (parallel replay ok)"
+                } else {
+                    "initial only"
+                }
+            );
+            println!(
+                "schedule:      {} events, {} bytes",
+                r.schedule_events(),
+                r.schedule_bytes()
+            );
+            println!(
+                "syscall log:   {} entries, {} bytes",
+                r.logged_syscalls(),
+                r.syscall_bytes()
+            );
             let ext: u64 = r.external().map(|c| c.bytes.len() as u64).sum();
             println!("external out:  {ext} bytes");
             for e in r.epochs.iter().take(5) {

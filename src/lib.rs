@@ -24,6 +24,29 @@
 //! assert_eq!(report.epochs as u64, bundle.stats.epochs);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! ## Recording under injected faults
+//!
+//! A seeded [`core::FaultPlan`] deterministically injects syscall I/O
+//! faults, epoch-worker panics, and divergence storms; fault decisions
+//! are pure hashes of execution coordinates, so the recording still
+//! replays bit-exactly:
+//!
+//! ```
+//! use doubleplay::prelude::*;
+//!
+//! let plan = FaultPlan::none()
+//!     .seed(42)
+//!     .io(0.0, 0.01, 0.0)       // fail_p, short_read_p, reset_p
+//!     .worker_panics_with(0.01) // panics inside verify workers; retried
+//!     .storms(0.05, 4, 64);     // p, window length, jitter amplification
+//! doubleplay::core::faults::silence_injected_panics();
+//! let case = doubleplay::workloads::aget::build(2, Size::Small);
+//! let bundle = record(&case.spec, &DoublePlayConfig::new(2).faults(plan))?;
+//! let report = replay_sequential(&bundle.recording, &case.spec.program)?;
+//! assert_eq!(report.epochs as u64, bundle.stats.epochs);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 pub use dp_baselines as baselines;
 pub use dp_core as core;
@@ -35,7 +58,8 @@ pub use dp_workloads as workloads;
 pub mod prelude {
     pub use dp_core::{
         measure_native, record, replay_parallel, replay_sequential, replay_to_point,
-        DoublePlayConfig, GuestSpec, RecorderStats, Recording, RecordingBundle,
+        DoublePlayConfig, FaultPlan, GuestSpec, RecordError, RecorderStats, Recording,
+        RecordingBundle, ReplayError,
     };
     pub use dp_workloads::{racy_suite, suite, Size, WorkloadCase};
 }

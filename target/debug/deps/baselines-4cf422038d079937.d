@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-4cf422038d079937.d: crates/bench/benches/baselines.rs
+
+/root/repo/target/debug/deps/baselines-4cf422038d079937: crates/bench/benches/baselines.rs
+
+crates/bench/benches/baselines.rs:

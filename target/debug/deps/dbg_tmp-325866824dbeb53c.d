@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg_tmp-325866824dbeb53c.d: crates/core/tests/dbg_tmp.rs
+
+/root/repo/target/debug/deps/dbg_tmp-325866824dbeb53c: crates/core/tests/dbg_tmp.rs
+
+crates/core/tests/dbg_tmp.rs:

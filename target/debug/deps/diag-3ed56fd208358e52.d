@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag-3ed56fd208358e52.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/debug/deps/diag-3ed56fd208358e52: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag-4693fdc9e7e113dc.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/debug/deps/diag-4693fdc9e7e113dc: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

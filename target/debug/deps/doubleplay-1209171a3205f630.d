@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/doubleplay-1209171a3205f630.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdoubleplay-1209171a3205f630.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/doubleplay-6ad1adf19fabb0c9.d: src/lib.rs
+
+/root/repo/target/debug/deps/doubleplay-6ad1adf19fabb0c9: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/doubleplay-ab9345aee2249f1f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdoubleplay-ab9345aee2249f1f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdoubleplay-ab9345aee2249f1f.rmeta: src/lib.rs
+
+src/lib.rs:

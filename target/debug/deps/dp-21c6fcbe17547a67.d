@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dp-21c6fcbe17547a67.d: src/bin/dp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdp-21c6fcbe17547a67.rmeta: src/bin/dp.rs Cargo.toml
+
+src/bin/dp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

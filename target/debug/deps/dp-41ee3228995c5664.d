@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dp-41ee3228995c5664.d: src/bin/dp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdp-41ee3228995c5664.rmeta: src/bin/dp.rs Cargo.toml
+
+src/bin/dp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

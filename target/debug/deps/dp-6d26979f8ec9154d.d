@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dp-6d26979f8ec9154d.d: src/bin/dp.rs
+
+/root/repo/target/debug/deps/dp-6d26979f8ec9154d: src/bin/dp.rs
+
+src/bin/dp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dp-8ab47b76cdc8ce81.d: src/bin/dp.rs
+
+/root/repo/target/debug/deps/dp-8ab47b76cdc8ce81: src/bin/dp.rs
+
+src/bin/dp.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dp_baselines-7546d40935093b66.d: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/crew.rs crates/baselines/src/driver.rs crates/baselines/src/uniproc.rs crates/baselines/src/value_log.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdp_baselines-7546d40935093b66.rmeta: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/crew.rs crates/baselines/src/driver.rs crates/baselines/src/uniproc.rs crates/baselines/src/value_log.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/crew.rs:
+crates/baselines/src/driver.rs:
+crates/baselines/src/uniproc.rs:
+crates/baselines/src/value_log.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dp_baselines-7d30a7ae60de7382.d: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/crew.rs crates/baselines/src/driver.rs crates/baselines/src/uniproc.rs crates/baselines/src/value_log.rs
+
+/root/repo/target/debug/deps/dp_baselines-7d30a7ae60de7382: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/crew.rs crates/baselines/src/driver.rs crates/baselines/src/uniproc.rs crates/baselines/src/value_log.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/crew.rs:
+crates/baselines/src/driver.rs:
+crates/baselines/src/uniproc.rs:
+crates/baselines/src/value_log.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dp_baselines-963381dce5c58061.d: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/crew.rs crates/baselines/src/driver.rs crates/baselines/src/uniproc.rs crates/baselines/src/value_log.rs
+
+/root/repo/target/debug/deps/libdp_baselines-963381dce5c58061.rlib: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/crew.rs crates/baselines/src/driver.rs crates/baselines/src/uniproc.rs crates/baselines/src/value_log.rs
+
+/root/repo/target/debug/deps/libdp_baselines-963381dce5c58061.rmeta: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/crew.rs crates/baselines/src/driver.rs crates/baselines/src/uniproc.rs crates/baselines/src/value_log.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/crew.rs:
+crates/baselines/src/driver.rs:
+crates/baselines/src/uniproc.rs:
+crates/baselines/src/value_log.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dp_bench-8566bdd568bf290d.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs crates/bench/src/walltime.rs
+
+/root/repo/target/debug/deps/dp_bench-8566bdd568bf290d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs crates/bench/src/walltime.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/table.rs:
+crates/bench/src/walltime.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dp_bench-bf05e442801a91e4.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs crates/bench/src/walltime.rs
+
+/root/repo/target/debug/deps/libdp_bench-bf05e442801a91e4.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs crates/bench/src/walltime.rs
+
+/root/repo/target/debug/deps/libdp_bench-bf05e442801a91e4.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs crates/bench/src/walltime.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/table.rs:
+crates/bench/src/walltime.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dp_bench-cc184f96656a1593.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs crates/bench/src/walltime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdp_bench-cc184f96656a1593.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs crates/bench/src/walltime.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/table.rs:
+crates/bench/src/walltime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/dp_core-5768c613bf7dd3a0.d: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/faults.rs crates/core/src/logs/mod.rs crates/core/src/logs/codec.rs crates/core/src/logs/schedule.rs crates/core/src/logs/syscalls.rs crates/core/src/record/mod.rs crates/core/src/record/coordinator.rs crates/core/src/record/epoch_parallel.rs crates/core/src/record/interleave.rs crates/core/src/record/pipeline.rs crates/core/src/record/thread_parallel.rs crates/core/src/recording.rs crates/core/src/replay.rs crates/core/src/stats.rs crates/core/src/world.rs
+
+/root/repo/target/debug/deps/dp_core-5768c613bf7dd3a0: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/faults.rs crates/core/src/logs/mod.rs crates/core/src/logs/codec.rs crates/core/src/logs/schedule.rs crates/core/src/logs/syscalls.rs crates/core/src/record/mod.rs crates/core/src/record/coordinator.rs crates/core/src/record/epoch_parallel.rs crates/core/src/record/interleave.rs crates/core/src/record/pipeline.rs crates/core/src/record/thread_parallel.rs crates/core/src/recording.rs crates/core/src/replay.rs crates/core/src/stats.rs crates/core/src/world.rs
+
+crates/core/src/lib.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/faults.rs:
+crates/core/src/logs/mod.rs:
+crates/core/src/logs/codec.rs:
+crates/core/src/logs/schedule.rs:
+crates/core/src/logs/syscalls.rs:
+crates/core/src/record/mod.rs:
+crates/core/src/record/coordinator.rs:
+crates/core/src/record/epoch_parallel.rs:
+crates/core/src/record/interleave.rs:
+crates/core/src/record/pipeline.rs:
+crates/core/src/record/thread_parallel.rs:
+crates/core/src/recording.rs:
+crates/core/src/replay.rs:
+crates/core/src/stats.rs:
+crates/core/src/world.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dp_os-3eb41da94049e419.d: crates/os/src/lib.rs crates/os/src/abi.rs crates/os/src/cost.rs crates/os/src/exec.rs crates/os/src/faults.rs crates/os/src/fs.rs crates/os/src/guest.rs crates/os/src/kernel.rs crates/os/src/net.rs
+
+/root/repo/target/debug/deps/libdp_os-3eb41da94049e419.rlib: crates/os/src/lib.rs crates/os/src/abi.rs crates/os/src/cost.rs crates/os/src/exec.rs crates/os/src/faults.rs crates/os/src/fs.rs crates/os/src/guest.rs crates/os/src/kernel.rs crates/os/src/net.rs
+
+/root/repo/target/debug/deps/libdp_os-3eb41da94049e419.rmeta: crates/os/src/lib.rs crates/os/src/abi.rs crates/os/src/cost.rs crates/os/src/exec.rs crates/os/src/faults.rs crates/os/src/fs.rs crates/os/src/guest.rs crates/os/src/kernel.rs crates/os/src/net.rs
+
+crates/os/src/lib.rs:
+crates/os/src/abi.rs:
+crates/os/src/cost.rs:
+crates/os/src/exec.rs:
+crates/os/src/faults.rs:
+crates/os/src/fs.rs:
+crates/os/src/guest.rs:
+crates/os/src/kernel.rs:
+crates/os/src/net.rs:

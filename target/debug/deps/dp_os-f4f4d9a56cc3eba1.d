@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dp_os-f4f4d9a56cc3eba1.d: crates/os/src/lib.rs crates/os/src/abi.rs crates/os/src/cost.rs crates/os/src/exec.rs crates/os/src/faults.rs crates/os/src/fs.rs crates/os/src/guest.rs crates/os/src/kernel.rs crates/os/src/net.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdp_os-f4f4d9a56cc3eba1.rmeta: crates/os/src/lib.rs crates/os/src/abi.rs crates/os/src/cost.rs crates/os/src/exec.rs crates/os/src/faults.rs crates/os/src/fs.rs crates/os/src/guest.rs crates/os/src/kernel.rs crates/os/src/net.rs Cargo.toml
+
+crates/os/src/lib.rs:
+crates/os/src/abi.rs:
+crates/os/src/cost.rs:
+crates/os/src/exec.rs:
+crates/os/src/faults.rs:
+crates/os/src/fs.rs:
+crates/os/src/guest.rs:
+crates/os/src/kernel.rs:
+crates/os/src/net.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dp_os-f9257ba01f9d6014.d: crates/os/src/lib.rs crates/os/src/abi.rs crates/os/src/cost.rs crates/os/src/exec.rs crates/os/src/faults.rs crates/os/src/fs.rs crates/os/src/guest.rs crates/os/src/kernel.rs crates/os/src/net.rs
+
+/root/repo/target/debug/deps/dp_os-f9257ba01f9d6014: crates/os/src/lib.rs crates/os/src/abi.rs crates/os/src/cost.rs crates/os/src/exec.rs crates/os/src/faults.rs crates/os/src/fs.rs crates/os/src/guest.rs crates/os/src/kernel.rs crates/os/src/net.rs
+
+crates/os/src/lib.rs:
+crates/os/src/abi.rs:
+crates/os/src/cost.rs:
+crates/os/src/exec.rs:
+crates/os/src/faults.rs:
+crates/os/src/fs.rs:
+crates/os/src/guest.rs:
+crates/os/src/kernel.rs:
+crates/os/src/net.rs:

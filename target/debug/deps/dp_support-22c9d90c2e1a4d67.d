@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dp_support-22c9d90c2e1a4d67.d: crates/support/src/lib.rs crates/support/src/check.rs crates/support/src/crc32.rs crates/support/src/rng.rs crates/support/src/wire.rs
+
+/root/repo/target/debug/deps/dp_support-22c9d90c2e1a4d67: crates/support/src/lib.rs crates/support/src/check.rs crates/support/src/crc32.rs crates/support/src/rng.rs crates/support/src/wire.rs
+
+crates/support/src/lib.rs:
+crates/support/src/check.rs:
+crates/support/src/crc32.rs:
+crates/support/src/rng.rs:
+crates/support/src/wire.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dp_support-68de42e3cf164287.d: crates/support/src/lib.rs crates/support/src/check.rs crates/support/src/crc32.rs crates/support/src/rng.rs crates/support/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdp_support-68de42e3cf164287.rmeta: crates/support/src/lib.rs crates/support/src/check.rs crates/support/src/crc32.rs crates/support/src/rng.rs crates/support/src/wire.rs Cargo.toml
+
+crates/support/src/lib.rs:
+crates/support/src/check.rs:
+crates/support/src/crc32.rs:
+crates/support/src/rng.rs:
+crates/support/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dp_support-c0195b5d1f4d7106.d: crates/support/src/lib.rs crates/support/src/check.rs crates/support/src/crc32.rs crates/support/src/rng.rs crates/support/src/wire.rs
+
+/root/repo/target/debug/deps/libdp_support-c0195b5d1f4d7106.rlib: crates/support/src/lib.rs crates/support/src/check.rs crates/support/src/crc32.rs crates/support/src/rng.rs crates/support/src/wire.rs
+
+/root/repo/target/debug/deps/libdp_support-c0195b5d1f4d7106.rmeta: crates/support/src/lib.rs crates/support/src/check.rs crates/support/src/crc32.rs crates/support/src/rng.rs crates/support/src/wire.rs
+
+crates/support/src/lib.rs:
+crates/support/src/check.rs:
+crates/support/src/crc32.rs:
+crates/support/src/rng.rs:
+crates/support/src/wire.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/dp_vm-7bdc1968c1b9182f.d: crates/vm/src/lib.rs crates/vm/src/asm.rs crates/vm/src/builder.rs crates/vm/src/disasm.rs crates/vm/src/error.rs crates/vm/src/hash.rs crates/vm/src/instr.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/observer.rs crates/vm/src/program.rs crates/vm/src/thread.rs crates/vm/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdp_vm-7bdc1968c1b9182f.rmeta: crates/vm/src/lib.rs crates/vm/src/asm.rs crates/vm/src/builder.rs crates/vm/src/disasm.rs crates/vm/src/error.rs crates/vm/src/hash.rs crates/vm/src/instr.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/observer.rs crates/vm/src/program.rs crates/vm/src/thread.rs crates/vm/src/value.rs Cargo.toml
+
+crates/vm/src/lib.rs:
+crates/vm/src/asm.rs:
+crates/vm/src/builder.rs:
+crates/vm/src/disasm.rs:
+crates/vm/src/error.rs:
+crates/vm/src/hash.rs:
+crates/vm/src/instr.rs:
+crates/vm/src/machine.rs:
+crates/vm/src/memory.rs:
+crates/vm/src/observer.rs:
+crates/vm/src/program.rs:
+crates/vm/src/thread.rs:
+crates/vm/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/dp_vm-d1bd7958c9fe2dca.d: crates/vm/src/lib.rs crates/vm/src/asm.rs crates/vm/src/builder.rs crates/vm/src/disasm.rs crates/vm/src/error.rs crates/vm/src/hash.rs crates/vm/src/instr.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/observer.rs crates/vm/src/program.rs crates/vm/src/thread.rs crates/vm/src/value.rs
+
+/root/repo/target/debug/deps/libdp_vm-d1bd7958c9fe2dca.rlib: crates/vm/src/lib.rs crates/vm/src/asm.rs crates/vm/src/builder.rs crates/vm/src/disasm.rs crates/vm/src/error.rs crates/vm/src/hash.rs crates/vm/src/instr.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/observer.rs crates/vm/src/program.rs crates/vm/src/thread.rs crates/vm/src/value.rs
+
+/root/repo/target/debug/deps/libdp_vm-d1bd7958c9fe2dca.rmeta: crates/vm/src/lib.rs crates/vm/src/asm.rs crates/vm/src/builder.rs crates/vm/src/disasm.rs crates/vm/src/error.rs crates/vm/src/hash.rs crates/vm/src/instr.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/observer.rs crates/vm/src/program.rs crates/vm/src/thread.rs crates/vm/src/value.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/asm.rs:
+crates/vm/src/builder.rs:
+crates/vm/src/disasm.rs:
+crates/vm/src/error.rs:
+crates/vm/src/hash.rs:
+crates/vm/src/instr.rs:
+crates/vm/src/machine.rs:
+crates/vm/src/memory.rs:
+crates/vm/src/observer.rs:
+crates/vm/src/program.rs:
+crates/vm/src/thread.rs:
+crates/vm/src/value.rs:

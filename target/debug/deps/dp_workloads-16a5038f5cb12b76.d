@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/dp_workloads-16a5038f5cb12b76.d: crates/workloads/src/lib.rs crates/workloads/src/aget.rs crates/workloads/src/gbuild.rs crates/workloads/src/harness.rs crates/workloads/src/kvstore.rs crates/workloads/src/ocean.rs crates/workloads/src/pcomp.rs crates/workloads/src/pfscan.rs crates/workloads/src/racey.rs crates/workloads/src/radix.rs crates/workloads/src/water.rs crates/workloads/src/webserve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdp_workloads-16a5038f5cb12b76.rmeta: crates/workloads/src/lib.rs crates/workloads/src/aget.rs crates/workloads/src/gbuild.rs crates/workloads/src/harness.rs crates/workloads/src/kvstore.rs crates/workloads/src/ocean.rs crates/workloads/src/pcomp.rs crates/workloads/src/pfscan.rs crates/workloads/src/racey.rs crates/workloads/src/radix.rs crates/workloads/src/water.rs crates/workloads/src/webserve.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/aget.rs:
+crates/workloads/src/gbuild.rs:
+crates/workloads/src/harness.rs:
+crates/workloads/src/kvstore.rs:
+crates/workloads/src/ocean.rs:
+crates/workloads/src/pcomp.rs:
+crates/workloads/src/pfscan.rs:
+crates/workloads/src/racey.rs:
+crates/workloads/src/radix.rs:
+crates/workloads/src/water.rs:
+crates/workloads/src/webserve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

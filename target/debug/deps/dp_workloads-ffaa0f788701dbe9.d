@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dp_workloads-ffaa0f788701dbe9.d: crates/workloads/src/lib.rs crates/workloads/src/aget.rs crates/workloads/src/gbuild.rs crates/workloads/src/harness.rs crates/workloads/src/kvstore.rs crates/workloads/src/ocean.rs crates/workloads/src/pcomp.rs crates/workloads/src/pfscan.rs crates/workloads/src/racey.rs crates/workloads/src/radix.rs crates/workloads/src/water.rs crates/workloads/src/webserve.rs
+
+/root/repo/target/debug/deps/libdp_workloads-ffaa0f788701dbe9.rlib: crates/workloads/src/lib.rs crates/workloads/src/aget.rs crates/workloads/src/gbuild.rs crates/workloads/src/harness.rs crates/workloads/src/kvstore.rs crates/workloads/src/ocean.rs crates/workloads/src/pcomp.rs crates/workloads/src/pfscan.rs crates/workloads/src/racey.rs crates/workloads/src/radix.rs crates/workloads/src/water.rs crates/workloads/src/webserve.rs
+
+/root/repo/target/debug/deps/libdp_workloads-ffaa0f788701dbe9.rmeta: crates/workloads/src/lib.rs crates/workloads/src/aget.rs crates/workloads/src/gbuild.rs crates/workloads/src/harness.rs crates/workloads/src/kvstore.rs crates/workloads/src/ocean.rs crates/workloads/src/pcomp.rs crates/workloads/src/pfscan.rs crates/workloads/src/racey.rs crates/workloads/src/radix.rs crates/workloads/src/water.rs crates/workloads/src/webserve.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/aget.rs:
+crates/workloads/src/gbuild.rs:
+crates/workloads/src/harness.rs:
+crates/workloads/src/kvstore.rs:
+crates/workloads/src/ocean.rs:
+crates/workloads/src/pcomp.rs:
+crates/workloads/src/pfscan.rs:
+crates/workloads/src/racey.rs:
+crates/workloads/src/radix.rs:
+crates/workloads/src/water.rs:
+crates/workloads/src/webserve.rs:

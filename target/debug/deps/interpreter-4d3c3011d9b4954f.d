@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interpreter-4d3c3011d9b4954f.d: crates/bench/benches/interpreter.rs
+
+/root/repo/target/debug/deps/interpreter-4d3c3011d9b4954f: crates/bench/benches/interpreter.rs
+
+crates/bench/benches/interpreter.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interpreter-e759fca47199083a.d: crates/bench/benches/interpreter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterpreter-e759fca47199083a.rmeta: crates/bench/benches/interpreter.rs Cargo.toml
+
+crates/bench/benches/interpreter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

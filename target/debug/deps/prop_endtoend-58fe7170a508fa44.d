@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_endtoend-58fe7170a508fa44.d: tests/prop_endtoend.rs
+
+/root/repo/target/debug/deps/prop_endtoend-58fe7170a508fa44: tests/prop_endtoend.rs
+
+tests/prop_endtoend.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_endtoend-d2c3cc883edb262a.d: tests/prop_endtoend.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_endtoend-d2c3cc883edb262a.rmeta: tests/prop_endtoend.rs Cargo.toml
+
+tests/prop_endtoend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_logs-7c6652a953db7c19.d: crates/core/tests/prop_logs.rs
+
+/root/repo/target/debug/deps/prop_logs-7c6652a953db7c19: crates/core/tests/prop_logs.rs
+
+crates/core/tests/prop_logs.rs:

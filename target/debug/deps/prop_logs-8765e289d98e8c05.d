@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_logs-8765e289d98e8c05.d: crates/core/tests/prop_logs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_logs-8765e289d98e8c05.rmeta: crates/core/tests/prop_logs.rs Cargo.toml
+
+crates/core/tests/prop_logs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

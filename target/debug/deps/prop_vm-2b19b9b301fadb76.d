@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_vm-2b19b9b301fadb76.d: crates/vm/tests/prop_vm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_vm-2b19b9b301fadb76.rmeta: crates/vm/tests/prop_vm.rs Cargo.toml
+
+crates/vm/tests/prop_vm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

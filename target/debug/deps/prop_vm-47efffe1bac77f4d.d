@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_vm-47efffe1bac77f4d.d: crates/vm/tests/prop_vm.rs
+
+/root/repo/target/debug/deps/prop_vm-47efffe1bac77f4d: crates/vm/tests/prop_vm.rs
+
+crates/vm/tests/prop_vm.rs:

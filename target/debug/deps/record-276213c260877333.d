@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/record-276213c260877333.d: crates/bench/benches/record.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecord-276213c260877333.rmeta: crates/bench/benches/record.rs Cargo.toml
+
+crates/bench/benches/record.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/record-b300e4f96ffb22a5.d: crates/bench/benches/record.rs
+
+/root/repo/target/debug/deps/record-b300e4f96ffb22a5: crates/bench/benches/record.rs
+
+crates/bench/benches/record.rs:

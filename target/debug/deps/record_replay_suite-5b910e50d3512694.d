@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/record_replay_suite-5b910e50d3512694.d: tests/record_replay_suite.rs
+
+/root/repo/target/debug/deps/record_replay_suite-5b910e50d3512694: tests/record_replay_suite.rs
+
+tests/record_replay_suite.rs:

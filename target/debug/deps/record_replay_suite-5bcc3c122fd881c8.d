@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/record_replay_suite-5bcc3c122fd881c8.d: tests/record_replay_suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecord_replay_suite-5bcc3c122fd881c8.rmeta: tests/record_replay_suite.rs Cargo.toml
+
+tests/record_replay_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replay-0ceb65e41dc78305.d: crates/bench/benches/replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplay-0ceb65e41dc78305.rmeta: crates/bench/benches/replay.rs Cargo.toml
+
+crates/bench/benches/replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replay-44271d436d799666.d: crates/bench/benches/replay.rs
+
+/root/repo/target/debug/deps/replay-44271d436d799666: crates/bench/benches/replay.rs
+
+crates/bench/benches/replay.rs:

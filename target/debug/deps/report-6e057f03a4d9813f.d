@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-6e057f03a4d9813f.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-6e057f03a4d9813f: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

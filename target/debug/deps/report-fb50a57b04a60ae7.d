@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-fb50a57b04a60ae7.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-fb50a57b04a60ae7: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/signals_and_persistence-14ac07a9d9503379.d: tests/signals_and_persistence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsignals_and_persistence-14ac07a9d9503379.rmeta: tests/signals_and_persistence.rs Cargo.toml
+
+tests/signals_and_persistence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/signals_and_persistence-43954f59933e7086.d: tests/signals_and_persistence.rs
+
+/root/repo/target/debug/deps/signals_and_persistence-43954f59933e7086: tests/signals_and_persistence.rs
+
+tests/signals_and_persistence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/storm_scan-4da6a946bbf798b0.d: crates/core/tests/storm_scan.rs
+
+/root/repo/target/debug/deps/storm_scan-4da6a946bbf798b0: crates/core/tests/storm_scan.rs
+
+crates/core/tests/storm_scan.rs:

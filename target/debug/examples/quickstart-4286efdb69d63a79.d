@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4286efdb69d63a79.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4286efdb69d63a79: examples/quickstart.rs
+
+examples/quickstart.rs:

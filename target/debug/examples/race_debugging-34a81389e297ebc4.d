@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/race_debugging-34a81389e297ebc4.d: examples/race_debugging.rs Cargo.toml
+
+/root/repo/target/debug/examples/librace_debugging-34a81389e297ebc4.rmeta: examples/race_debugging.rs Cargo.toml
+
+examples/race_debugging.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/race_debugging-3a3e505f43baeb72.d: examples/race_debugging.rs
+
+/root/repo/target/debug/examples/race_debugging-3a3e505f43baeb72: examples/race_debugging.rs
+
+examples/race_debugging.rs:

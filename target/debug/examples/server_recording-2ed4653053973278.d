@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/server_recording-2ed4653053973278.d: examples/server_recording.rs
+
+/root/repo/target/debug/examples/server_recording-2ed4653053973278: examples/server_recording.rs
+
+examples/server_recording.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/server_recording-e2b3a7e1547fe22a.d: examples/server_recording.rs Cargo.toml
+
+/root/repo/target/debug/examples/libserver_recording-e2b3a7e1547fe22a.rmeta: examples/server_recording.rs Cargo.toml
+
+examples/server_recording.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/diag-ede2a6335b5cef8d.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/release/deps/diag-ede2a6335b5cef8d: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/doubleplay-3e8858a8b595c8d6.d: src/lib.rs
+
+/root/repo/target/release/deps/libdoubleplay-3e8858a8b595c8d6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdoubleplay-3e8858a8b595c8d6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dp-1e40524dac41c9ee.d: src/bin/dp.rs
+
+/root/repo/target/release/deps/dp-1e40524dac41c9ee: src/bin/dp.rs
+
+src/bin/dp.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dp_baselines-921f61559746e98d.d: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/crew.rs crates/baselines/src/driver.rs crates/baselines/src/uniproc.rs crates/baselines/src/value_log.rs
+
+/root/repo/target/release/deps/libdp_baselines-921f61559746e98d.rlib: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/crew.rs crates/baselines/src/driver.rs crates/baselines/src/uniproc.rs crates/baselines/src/value_log.rs
+
+/root/repo/target/release/deps/libdp_baselines-921f61559746e98d.rmeta: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/crew.rs crates/baselines/src/driver.rs crates/baselines/src/uniproc.rs crates/baselines/src/value_log.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/crew.rs:
+crates/baselines/src/driver.rs:
+crates/baselines/src/uniproc.rs:
+crates/baselines/src/value_log.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dp_bench-592d6b853d74bd8b.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs crates/bench/src/walltime.rs
+
+/root/repo/target/release/deps/libdp_bench-592d6b853d74bd8b.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs crates/bench/src/walltime.rs
+
+/root/repo/target/release/deps/libdp_bench-592d6b853d74bd8b.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs crates/bench/src/walltime.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/table.rs:
+crates/bench/src/walltime.rs:

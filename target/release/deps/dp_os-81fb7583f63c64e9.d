@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dp_os-81fb7583f63c64e9.d: crates/os/src/lib.rs crates/os/src/abi.rs crates/os/src/cost.rs crates/os/src/exec.rs crates/os/src/faults.rs crates/os/src/fs.rs crates/os/src/guest.rs crates/os/src/kernel.rs crates/os/src/net.rs
+
+/root/repo/target/release/deps/libdp_os-81fb7583f63c64e9.rlib: crates/os/src/lib.rs crates/os/src/abi.rs crates/os/src/cost.rs crates/os/src/exec.rs crates/os/src/faults.rs crates/os/src/fs.rs crates/os/src/guest.rs crates/os/src/kernel.rs crates/os/src/net.rs
+
+/root/repo/target/release/deps/libdp_os-81fb7583f63c64e9.rmeta: crates/os/src/lib.rs crates/os/src/abi.rs crates/os/src/cost.rs crates/os/src/exec.rs crates/os/src/faults.rs crates/os/src/fs.rs crates/os/src/guest.rs crates/os/src/kernel.rs crates/os/src/net.rs
+
+crates/os/src/lib.rs:
+crates/os/src/abi.rs:
+crates/os/src/cost.rs:
+crates/os/src/exec.rs:
+crates/os/src/faults.rs:
+crates/os/src/fs.rs:
+crates/os/src/guest.rs:
+crates/os/src/kernel.rs:
+crates/os/src/net.rs:

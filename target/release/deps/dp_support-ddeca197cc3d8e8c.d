@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dp_support-ddeca197cc3d8e8c.d: crates/support/src/lib.rs crates/support/src/check.rs crates/support/src/crc32.rs crates/support/src/rng.rs crates/support/src/wire.rs
+
+/root/repo/target/release/deps/libdp_support-ddeca197cc3d8e8c.rlib: crates/support/src/lib.rs crates/support/src/check.rs crates/support/src/crc32.rs crates/support/src/rng.rs crates/support/src/wire.rs
+
+/root/repo/target/release/deps/libdp_support-ddeca197cc3d8e8c.rmeta: crates/support/src/lib.rs crates/support/src/check.rs crates/support/src/crc32.rs crates/support/src/rng.rs crates/support/src/wire.rs
+
+crates/support/src/lib.rs:
+crates/support/src/check.rs:
+crates/support/src/crc32.rs:
+crates/support/src/rng.rs:
+crates/support/src/wire.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/dp_vm-86fdea777e07863f.d: crates/vm/src/lib.rs crates/vm/src/asm.rs crates/vm/src/builder.rs crates/vm/src/disasm.rs crates/vm/src/error.rs crates/vm/src/hash.rs crates/vm/src/instr.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/observer.rs crates/vm/src/program.rs crates/vm/src/thread.rs crates/vm/src/value.rs
+
+/root/repo/target/release/deps/libdp_vm-86fdea777e07863f.rlib: crates/vm/src/lib.rs crates/vm/src/asm.rs crates/vm/src/builder.rs crates/vm/src/disasm.rs crates/vm/src/error.rs crates/vm/src/hash.rs crates/vm/src/instr.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/observer.rs crates/vm/src/program.rs crates/vm/src/thread.rs crates/vm/src/value.rs
+
+/root/repo/target/release/deps/libdp_vm-86fdea777e07863f.rmeta: crates/vm/src/lib.rs crates/vm/src/asm.rs crates/vm/src/builder.rs crates/vm/src/disasm.rs crates/vm/src/error.rs crates/vm/src/hash.rs crates/vm/src/instr.rs crates/vm/src/machine.rs crates/vm/src/memory.rs crates/vm/src/observer.rs crates/vm/src/program.rs crates/vm/src/thread.rs crates/vm/src/value.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/asm.rs:
+crates/vm/src/builder.rs:
+crates/vm/src/disasm.rs:
+crates/vm/src/error.rs:
+crates/vm/src/hash.rs:
+crates/vm/src/instr.rs:
+crates/vm/src/machine.rs:
+crates/vm/src/memory.rs:
+crates/vm/src/observer.rs:
+crates/vm/src/program.rs:
+crates/vm/src/thread.rs:
+crates/vm/src/value.rs:

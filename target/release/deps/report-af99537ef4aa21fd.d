@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-af99537ef4aa21fd.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-af99537ef4aa21fd: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-28f6e13d481d22a6.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-28f6e13d481d22a6: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -4,59 +4,62 @@
 //! system's core guarantee under adversarial schedules.
 
 use doubleplay::prelude::*;
-use proptest::prelude::*;
+use dp_support::check::check;
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 12,
-        ..ProptestConfig::default()
-    })]
+#[test]
+fn any_schedule_of_a_racy_guest_records_and_replays() {
+    check(
+        "any_schedule_of_a_racy_guest_records_and_replays",
+        12,
+        |g| {
+            let seed = g.u64();
+            let epoch_kcycles = g.range(20, 200);
+            let quantum = g.range(100, 2_000);
+            let case = doubleplay::workloads::racey::counter(2, Size::Small);
+            let config = DoublePlayConfig {
+                tp_quantum: quantum,
+                tp_jitter: quantum,
+                ..DoublePlayConfig::new(2)
+                    .epoch_cycles(epoch_kcycles * 1_000)
+                    .hidden_seed(seed)
+            };
+            let bundle = record(&case.spec, &config).expect("record failed");
+            assert_eq!(
+                bundle.stats.committed + bundle.stats.divergences,
+                bundle.stats.epochs
+            );
+            let report =
+                replay_sequential(&bundle.recording, &case.spec.program).expect("replay failed");
+            assert_eq!(report.epochs as u64, bundle.stats.epochs);
+            // The recorded outcome is a plausible racy result.
+            let exit = report.exit_code.expect("guest halted");
+            assert!(exit > 0 && exit <= 8_000);
+            // Parallel replay agrees with sequential.
+            let par = replay_parallel(&bundle.recording, &case.spec.program, 3)
+                .expect("parallel replay failed");
+            assert_eq!(par.final_hash, report.final_hash);
+        },
+    );
+}
 
-    #[test]
-    fn any_schedule_of_a_racy_guest_records_and_replays(
-        seed in any::<u64>(),
-        epoch_kcycles in 20u64..200,
-        quantum in 100u64..2_000,
-    ) {
-        let case = doubleplay::workloads::racey::counter(2, Size::Small);
-        let config = DoublePlayConfig {
-            tp_quantum: quantum,
-            tp_jitter: quantum,
-            ..DoublePlayConfig::new(2)
+#[test]
+fn any_schedule_of_a_synchronized_guest_commits_every_epoch() {
+    check(
+        "any_schedule_of_a_synchronized_guest_commits_every_epoch",
+        8,
+        |g| {
+            let seed = g.u64();
+            let epoch_kcycles = g.range(20, 150);
+            let case = doubleplay::workloads::kvstore::build(2, Size::Small);
+            let config = DoublePlayConfig::new(2)
                 .epoch_cycles(epoch_kcycles * 1_000)
-                .hidden_seed(seed)
-        };
-        let bundle = record(&case.spec, &config).expect("record failed");
-        prop_assert_eq!(
-            bundle.stats.committed + bundle.stats.divergences,
-            bundle.stats.epochs
-        );
-        let report = replay_sequential(&bundle.recording, &case.spec.program)
-            .expect("replay failed");
-        prop_assert_eq!(report.epochs as u64, bundle.stats.epochs);
-        // The recorded outcome is a plausible racy result.
-        let exit = report.exit_code.expect("guest halted");
-        prop_assert!(exit > 0 && exit <= 8_000);
-        // Parallel replay agrees with sequential.
-        let par = replay_parallel(&bundle.recording, &case.spec.program, 3)
-            .expect("parallel replay failed");
-        prop_assert_eq!(par.final_hash, report.final_hash);
-    }
-
-    #[test]
-    fn any_schedule_of_a_synchronized_guest_commits_every_epoch(
-        seed in any::<u64>(),
-        epoch_kcycles in 20u64..150,
-    ) {
-        let case = doubleplay::workloads::kvstore::build(2, Size::Small);
-        let config = DoublePlayConfig::new(2)
-            .epoch_cycles(epoch_kcycles * 1_000)
-            .hidden_seed(seed);
-        let bundle = record(&case.spec, &config).expect("record failed");
-        // Data-race-free: the sync-ordered hints must always verify.
-        prop_assert_eq!(bundle.stats.divergences, 0, "DRF guest diverged");
-        let report = replay_sequential(&bundle.recording, &case.spec.program)
-            .expect("replay failed");
-        prop_assert_eq!(report.exit_code, Some(4_000));
-    }
+                .hidden_seed(seed);
+            let bundle = record(&case.spec, &config).expect("record failed");
+            // Data-race-free: the sync-ordered hints must always verify.
+            assert_eq!(bundle.stats.divergences, 0, "DRF guest diverged");
+            let report =
+                replay_sequential(&bundle.recording, &case.spec.program).expect("replay failed");
+            assert_eq!(report.exit_code, Some(4_000));
+        },
+    );
 }

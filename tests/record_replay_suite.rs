@@ -9,8 +9,8 @@ use dp_core::checkpoint::Checkpoint;
 
 fn record_and_replay(case: &WorkloadCase, cpus: usize) {
     let config = DoublePlayConfig::new(cpus).epoch_cycles(120_000);
-    let bundle = record(&case.spec, &config)
-        .unwrap_or_else(|e| panic!("{}: record failed: {e}", case.name));
+    let bundle =
+        record(&case.spec, &config).unwrap_or_else(|e| panic!("{}: record failed: {e}", case.name));
     let stats = &bundle.stats;
     assert!(stats.epochs > 0, "{}: no epochs", case.name);
     assert_eq!(
@@ -22,7 +22,8 @@ fn record_and_replay(case: &WorkloadCase, cpus: usize) {
 
     // Sequential replay must verify every epoch and reproduce the final
     // application state; the workload verifier then checks ground truth.
-    let initial = Checkpoint::from_image(case.spec.program.clone(), bundle.recording.initial.clone());
+    let initial =
+        Checkpoint::from_image(case.spec.program.clone(), bundle.recording.initial.clone());
     let mut state = (initial.machine, initial.kernel);
     for epoch in &bundle.recording.epochs {
         let start = Checkpoint::capture(&state.0, &state.1);
@@ -46,7 +47,11 @@ fn record_and_replay(case: &WorkloadCase, cpus: usize) {
     // Parallel replay agrees.
     let seq = replay_sequential(&bundle.recording, &case.spec.program).unwrap();
     let par = replay_parallel(&bundle.recording, &case.spec.program, 4).unwrap();
-    assert_eq!(seq.final_hash, par.final_hash, "{}: parallel replay differs", case.name);
+    assert_eq!(
+        seq.final_hash, par.final_hash,
+        "{}: parallel replay differs",
+        case.name
+    );
     assert_eq!(seq.instructions, par.instructions, "{}", case.name);
 }
 
@@ -117,7 +122,8 @@ fn racy_workloads_record_with_recovery_and_replay_exactly() {
             .unwrap_or_else(|e| panic!("{}: replay failed: {e}", case.name));
         assert_eq!(report.epochs as u64, bundle.stats.epochs, "{}", case.name);
         // And the replayed state satisfies the (loose) racy verifier.
-        let initial = Checkpoint::from_image(case.spec.program.clone(), bundle.recording.initial.clone());
+        let initial =
+            Checkpoint::from_image(case.spec.program.clone(), bundle.recording.initial.clone());
         let mut state = (initial.machine, initial.kernel);
         for epoch in &bundle.recording.epochs {
             let start = Checkpoint::capture(&state.0, &state.1);

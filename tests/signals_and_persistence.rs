@@ -85,7 +85,11 @@ fn signal_spec() -> GuestSpec {
     f.syscall(abi::SYS_EXIT);
     f.finish();
 
-    GuestSpec::new("signals", Arc::new(pb.finish("main")), WorldConfig::default())
+    GuestSpec::new(
+        "signals",
+        Arc::new(pb.finish("main")),
+        WorldConfig::default(),
+    )
 }
 
 #[test]
@@ -95,11 +99,15 @@ fn signals_record_and_replay_exactly() {
         let config = DoublePlayConfig::new(2)
             .epoch_cycles(20_000)
             .hidden_seed(seed);
-        let bundle = record(&spec, &config)
-            .unwrap_or_else(|e| panic!("seed {seed}: record failed: {e}"));
+        let bundle =
+            record(&spec, &config).unwrap_or_else(|e| panic!("seed {seed}: record failed: {e}"));
         let report = replay_sequential(&bundle.recording, &spec.program)
             .unwrap_or_else(|e| panic!("seed {seed}: replay failed: {e}"));
-        assert_eq!(report.exit_code, Some(5), "seed {seed}: handler ran 5 times");
+        assert_eq!(
+            report.exit_code,
+            Some(5),
+            "seed {seed}: handler ran 5 times"
+        );
         // At least one epoch's schedule must carry a signal event.
         let signals: usize = bundle
             .recording
@@ -117,7 +125,10 @@ fn recording_survives_disk_roundtrip_and_replays() {
     let case = doubleplay::workloads::pcomp::build(2, Size::Small);
     let bundle = record(&case.spec, &DoublePlayConfig::new(2).epoch_cycles(100_000)).unwrap();
     let path = std::env::temp_dir().join(format!("dp-test-{}.rec", std::process::id()));
-    bundle.recording.save(std::fs::File::create(&path).unwrap()).unwrap();
+    bundle
+        .recording
+        .save(std::fs::File::create(&path).unwrap())
+        .unwrap();
     let loaded = Recording::load(std::fs::File::open(&path).unwrap()).unwrap();
     std::fs::remove_file(&path).ok();
 
