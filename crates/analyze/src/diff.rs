@@ -1,0 +1,169 @@
+//! Structural comparison of two recordings of the same program.
+//!
+//! Two recordings of the same guest under different hidden schedules (or
+//! recorder versions) agree on everything deterministic and differ exactly
+//! where scheduling differed. The diff localizes the first divergence to
+//! an epoch, a schedule-event index, and a byte offset in the encoded log
+//! — the starting point for "why did these two runs disagree".
+
+use dp_core::logs::codec;
+use dp_core::Recording;
+use std::fmt;
+
+/// Where two recordings first diverge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DivergencePoint {
+    /// First epoch whose logs differ.
+    pub epoch: u32,
+    /// Which field of the epoch differs first.
+    pub field: &'static str,
+    /// Index of the first differing schedule event, when the schedules
+    /// differ.
+    pub event_index: Option<usize>,
+    /// Byte offset of the first difference within the epoch's encoded
+    /// schedule.
+    pub byte_offset: Option<usize>,
+    /// The same offset counted from the start of all schedule bytes.
+    pub cumulative_byte_offset: Option<u64>,
+}
+
+impl fmt::Display for DivergencePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "first divergence: epoch {} ({})", self.epoch, self.field)?;
+        if let Some(i) = self.event_index {
+            write!(f, ", schedule event {i}")?;
+        }
+        if let (Some(b), Some(c)) = (self.byte_offset, self.cumulative_byte_offset) {
+            write!(f, ", byte {b} of epoch schedule (byte {c} overall)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of diffing two recordings.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingDiff {
+    /// Human-readable differences, most significant first.
+    pub differences: Vec<String>,
+    /// The first log divergence, when the epoch logs differ.
+    pub first_divergence: Option<DivergencePoint>,
+}
+
+impl RecordingDiff {
+    /// True when the recordings are structurally identical.
+    pub fn identical(&self) -> bool {
+        self.differences.is_empty() && self.first_divergence.is_none()
+    }
+}
+
+impl fmt::Display for RecordingDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.identical() {
+            return write!(f, "recordings are structurally identical");
+        }
+        for d in &self.differences {
+            writeln!(f, "{d}")?;
+        }
+        if let Some(p) = &self.first_divergence {
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+fn first_differing_byte(a: &[u8], b: &[u8]) -> Option<usize> {
+    if a == b {
+        return None;
+    }
+    Some(
+        a.iter()
+            .zip(b.iter())
+            .position(|(x, y)| x != y)
+            .unwrap_or(a.len().min(b.len())),
+    )
+}
+
+/// Structurally compares two recordings.
+pub fn diff(a: &Recording, b: &Recording) -> RecordingDiff {
+    let mut out = RecordingDiff::default();
+    if a.meta.guest_name != b.meta.guest_name {
+        out.differences.push(format!(
+            "guest name: `{}` vs `{}`",
+            a.meta.guest_name, b.meta.guest_name
+        ));
+    }
+    if a.meta.program_hash != b.meta.program_hash {
+        out.differences.push(format!(
+            "program hash: {:#018x} vs {:#018x} (different programs — log diff below is not meaningful)",
+            a.meta.program_hash, b.meta.program_hash
+        ));
+    }
+    if a.meta.initial_machine_hash != b.meta.initial_machine_hash {
+        out.differences.push(format!(
+            "boot-state hash: {:#018x} vs {:#018x}",
+            a.meta.initial_machine_hash, b.meta.initial_machine_hash
+        ));
+    }
+    if a.epochs.len() != b.epochs.len() {
+        out.differences.push(format!(
+            "epoch count: {} vs {}",
+            a.epochs.len(),
+            b.epochs.len()
+        ));
+    }
+
+    let mut cumulative = 0u64;
+    for (ea, eb) in a.epochs.iter().zip(b.epochs.iter()) {
+        let sched_a = codec::encode_schedule(&ea.schedule);
+        let sched_b = codec::encode_schedule(&eb.schedule);
+        if ea.schedule != eb.schedule {
+            let event_index = ea
+                .schedule
+                .events()
+                .iter()
+                .zip(eb.schedule.events())
+                .position(|(x, y)| x != y)
+                .or(Some(ea.schedule.len().min(eb.schedule.len())));
+            let byte_offset = first_differing_byte(&sched_a, &sched_b);
+            out.first_divergence = Some(DivergencePoint {
+                epoch: ea.index,
+                field: "schedule",
+                event_index,
+                byte_offset,
+                cumulative_byte_offset: byte_offset.map(|b| cumulative + b as u64),
+            });
+            return out;
+        }
+        if ea.syscalls != eb.syscalls {
+            let sys_a = codec::encode_syscalls(&ea.syscalls);
+            let sys_b = codec::encode_syscalls(&eb.syscalls);
+            let byte_offset = first_differing_byte(&sys_a, &sys_b);
+            out.first_divergence = Some(DivergencePoint {
+                epoch: ea.index,
+                field: "syscall log",
+                event_index: ea
+                    .syscalls
+                    .entries()
+                    .iter()
+                    .zip(eb.syscalls.entries())
+                    .position(|(x, y)| x != y)
+                    .or(Some(ea.syscalls.len().min(eb.syscalls.len()))),
+                byte_offset,
+                cumulative_byte_offset: None,
+            });
+            return out;
+        }
+        if ea.end_machine_hash != eb.end_machine_hash {
+            out.first_divergence = Some(DivergencePoint {
+                epoch: ea.index,
+                field: "end-state hash",
+                event_index: None,
+                byte_offset: None,
+                cumulative_byte_offset: None,
+            });
+            return out;
+        }
+        cumulative += sched_a.len() as u64;
+    }
+    out
+}

@@ -1,0 +1,461 @@
+//! Vector-clock happens-before data-race detection over a recording.
+//!
+//! The detector re-runs the recording under the observed-replay hooks
+//! ([`dp_core::replay_observed`]) and checks every shared plain access
+//! against a FastTrack-style happens-before relation. Crucially, mere
+//! time-slice adjacency in the schedule log does *not* order accesses —
+//! the epoch-parallel interleaving that produced the log is just one of
+//! the interleavings the original thread-parallel run could have taken.
+//! Happens-before edges come only from real synchronization:
+//!
+//! * **program order** within each thread;
+//! * **spawn** (parent's clock seeds the child) and **join / thread exit**
+//!   (the exiting thread's clock flows to its joiners);
+//! * **synchronization words**: any address ever accessed atomically (CAS
+//!   mutex words, barrier counters) or ever used as a futex word. The
+//!   guest runtime releases locks with a plain store to the mutex word and
+//!   spins on barrier generations with plain loads, so every access to a
+//!   sync word is treated as an acquire+release on that word, and sync
+//!   words themselves are excluded from race candidacy;
+//! * **futex wake → wait** delivery, in the replay total order;
+//! * **signal send → delivery**.
+//!
+//! Detection is two-pass, both passes fully verified replays: pass one
+//! classifies addresses (shared? ever atomic? futex word?) with the VM's
+//! [`SharingTracker`]; pass two runs the vector-clock analysis on the
+//! candidate set (shared and not a sync word).
+
+use dp_core::{replay_observed, Recording, ReplayError, ReplayEvent, ReplayObserver, ReplayReport};
+use dp_os::abi;
+use dp_vm::observer::{Access, AccessKind, MemObserver, SharingTracker};
+use dp_vm::{Program, Tid, Width, Word};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// A vector clock: component `i` counts synchronization steps of thread
+/// `i` known to the clock's owner.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct VClock(Vec<u32>);
+
+impl VClock {
+    fn get(&self, i: usize) -> u32 {
+        self.0.get(i).copied().unwrap_or(0)
+    }
+
+    fn tick(&mut self, i: usize) {
+        if self.0.len() <= i {
+            self.0.resize(i + 1, 0);
+        }
+        self.0[i] += 1;
+    }
+
+    fn merge(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            self.0[i] = self.0[i].max(v);
+        }
+    }
+}
+
+/// One side of a racy pair: where an access happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessSite {
+    /// Thread that performed the access.
+    pub tid: Tid,
+    /// The thread's instruction count at the access.
+    pub icount: u64,
+    /// Epoch the access replayed in.
+    pub epoch: u32,
+    /// Kind of access.
+    pub kind: AccessKind,
+    /// Access width.
+    pub width: Width,
+}
+
+impl fmt::Display for AccessSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+            AccessKind::Atomic => "atomic",
+        };
+        write!(
+            f,
+            "{kind} by thread {} at icount {} (epoch {})",
+            self.tid.0, self.icount, self.epoch
+        )
+    }
+}
+
+/// A detected data race: two accesses to the same address, at least one a
+/// write, with no happens-before order between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Race {
+    /// The racy byte address.
+    pub addr: Word,
+    /// The earlier access (in the replayed total order).
+    pub first: AccessSite,
+    /// The later, conflicting access.
+    pub second: AccessSite,
+}
+
+impl fmt::Display for Race {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "race at {:#x}: {} vs {}",
+            self.addr, self.first, self.second
+        )
+    }
+}
+
+/// Result of a race-detection run.
+#[derive(Debug, Clone)]
+pub struct RaceReport {
+    /// One race per racy address (the first conflicting pair found on it),
+    /// in detection order.
+    pub races: Vec<Race>,
+    /// Unordered thread pairs seen racing, as `(addr, tid_a, tid_b)`.
+    pub racy_pairs: BTreeSet<(Word, u32, u32)>,
+    /// Addresses touched by more than one thread.
+    pub shared_addrs: usize,
+    /// Addresses classified as synchronization words (excluded from
+    /// candidacy).
+    pub sync_addrs: usize,
+    /// The verified replay the analysis rode on.
+    pub replay: ReplayReport,
+}
+
+impl RaceReport {
+    /// True if at least one race was found.
+    pub fn is_racy(&self) -> bool {
+        !self.races.is_empty()
+    }
+
+    /// The first race in replayed total order, if any.
+    pub fn first_race(&self) -> Option<&Race> {
+        self.races.first()
+    }
+}
+
+/// Pass 1: classify addresses. Shared/atomic classification comes from the
+/// VM's [`SharingTracker`]; futex words are collected from the syscall
+/// traps and wake deliveries.
+#[derive(Default)]
+struct ClassifyPass {
+    tracker: SharingTracker,
+    futex_words: BTreeSet<Word>,
+}
+
+impl MemObserver for ClassifyPass {
+    fn on_access(&mut self, access: Access) {
+        self.tracker.on_access(access);
+    }
+}
+
+impl ReplayObserver for ClassifyPass {
+    fn on_replay_event(&mut self, event: &ReplayEvent) {
+        match event {
+            ReplayEvent::Trap { req, .. } | ReplayEvent::Wake { req, .. }
+                if req.num == abi::SYS_FUTEX_WAIT || req.num == abi::SYS_FUTEX_WAKE =>
+            {
+                self.futex_words.insert(req.args[0]);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Per-candidate-address detector state: the last write and the reads
+/// since it, each with the clock snapshot of the accessing thread.
+#[derive(Default)]
+struct AddrState {
+    last_write: Option<(AccessSite, VClock)>,
+    reads: BTreeMap<u32, (AccessSite, VClock)>,
+    racy: bool,
+}
+
+/// Pass 2: the vector-clock detector.
+struct DetectPass {
+    /// Addresses tracked for races (shared, not sync).
+    candidates: BTreeSet<Word>,
+    /// Sync words: every access is an acquire+release on the word.
+    sync_words: BTreeSet<Word>,
+    /// Per-thread clocks, indexed by tid.
+    clocks: BTreeMap<u32, VClock>,
+    /// Per-sync-word clocks.
+    word_vc: BTreeMap<Word, VClock>,
+    /// Clocks of exited threads (join edges).
+    exited_vc: BTreeMap<u32, VClock>,
+    /// Pending join edges: joiner tid -> joined tid.
+    join_target: BTreeMap<u32, u32>,
+    /// Signal-send clocks, keyed by `(target tid, signal)`.
+    sig_vc: BTreeMap<(u32, u64), VClock>,
+    /// Per-candidate state.
+    addrs: BTreeMap<Word, AddrState>,
+    /// Accumulated races (one per address).
+    races: Vec<Race>,
+    racy_pairs: BTreeSet<(Word, u32, u32)>,
+    epoch: u32,
+}
+
+impl DetectPass {
+    fn new(candidates: BTreeSet<Word>, sync_words: BTreeSet<Word>) -> Self {
+        Self {
+            candidates,
+            sync_words,
+            clocks: BTreeMap::new(),
+            word_vc: BTreeMap::new(),
+            exited_vc: BTreeMap::new(),
+            join_target: BTreeMap::new(),
+            sig_vc: BTreeMap::new(),
+            addrs: BTreeMap::new(),
+            races: Vec::new(),
+            racy_pairs: BTreeSet::new(),
+            epoch: 0,
+        }
+    }
+
+    fn clock(&mut self, tid: Tid) -> &mut VClock {
+        self.clocks.entry(tid.0).or_default()
+    }
+
+    /// Acquire+release on a synchronization word: the thread learns
+    /// everything published at the word, publishes its own history there,
+    /// and advances its own component so later local work is not ordered
+    /// with the acquirer.
+    fn sync_on_word(&mut self, tid: Tid, addr: Word) {
+        let c = self.clocks.entry(tid.0).or_default();
+        let w = self.word_vc.entry(addr).or_default();
+        c.merge(w);
+        *w = c.clone();
+        c.tick(tid.0 as usize);
+    }
+
+    /// Did the access snapshotted as `(site, vc)` happen before the
+    /// current access of `tid` with clock `now`? True iff `tid` has seen
+    /// the accessor's component at its access point.
+    fn ordered(prev: &(AccessSite, VClock), now: &VClock) -> bool {
+        let i = prev.0.tid.0 as usize;
+        prev.1.get(i) <= now.get(i)
+    }
+
+    fn report(&mut self, addr: Word, prev: AccessSite, cur: AccessSite) {
+        let pair = (addr, prev.tid.0.min(cur.tid.0), prev.tid.0.max(cur.tid.0));
+        self.racy_pairs.insert(pair);
+        self.races.push(Race {
+            addr,
+            first: prev,
+            second: cur,
+        });
+    }
+}
+
+impl MemObserver for DetectPass {
+    fn on_access(&mut self, access: Access) {
+        if self.sync_words.contains(&access.addr) {
+            self.sync_on_word(access.tid, access.addr);
+            return;
+        }
+        if !self.candidates.contains(&access.addr) {
+            return;
+        }
+        let now = self.clocks.entry(access.tid.0).or_default().clone();
+        let site = AccessSite {
+            tid: access.tid,
+            icount: access.icount,
+            epoch: self.epoch,
+            kind: access.kind,
+            width: access.width,
+        };
+        let state = self.addrs.entry(access.addr).or_default();
+        if state.racy {
+            return; // one race per address is enough
+        }
+        let mut found: Option<AccessSite> = None;
+        if let Some(w) = &state.last_write {
+            if w.0.tid != access.tid && !Self::ordered(w, &now) {
+                found = Some(w.0);
+            }
+        }
+        if found.is_none() && access.kind.writes() {
+            for r in state.reads.values() {
+                if r.0.tid != access.tid && !Self::ordered(r, &now) {
+                    found = Some(r.0);
+                    break;
+                }
+            }
+        }
+        if access.kind.writes() {
+            state.last_write = Some((site, now));
+            state.reads.clear();
+        } else {
+            state.reads.insert(access.tid.0, (site, now));
+        }
+        if let Some(prev) = found {
+            self.addrs.get_mut(&access.addr).unwrap().racy = true;
+            self.report(access.addr, prev, site);
+        }
+    }
+}
+
+impl ReplayObserver for DetectPass {
+    fn on_epoch_start(&mut self, index: u32) {
+        self.epoch = index;
+    }
+
+    fn on_replay_event(&mut self, event: &ReplayEvent) {
+        match *event {
+            ReplayEvent::Spawned { parent, child } => {
+                // Child inherits the parent's pre-spawn history; both then
+                // advance so post-spawn work is unordered between them.
+                let mut c = self.clocks.entry(parent.0).or_default().clone();
+                c.tick(child.0 as usize);
+                self.clocks.insert(child.0, c);
+                self.clock(parent).tick(parent.0 as usize);
+            }
+            ReplayEvent::Trap { tid, req, .. } => match req.num {
+                // The wait side acquires at the trap (the immediate-return
+                // path) and again at its wake delivery below.
+                abi::SYS_FUTEX_WAIT | abi::SYS_FUTEX_WAKE => {
+                    self.sync_on_word(tid, req.args[0]);
+                }
+                abi::SYS_JOIN => {
+                    let target = req.args[0] as u32;
+                    if let Some(vc) = self.exited_vc.get(&target).cloned() {
+                        self.clock(tid).merge(&vc);
+                    } else {
+                        // Blocked join: the edge is applied when the
+                        // target exits (strictly before the joiner
+                        // resumes in the replayed total order).
+                        self.join_target.insert(tid.0, target);
+                    }
+                }
+                abi::SYS_THREAD_EXIT => self.on_exit(tid),
+                abi::SYS_KILL => {
+                    let key = (req.args[0] as u32, req.args[1]);
+                    let mut vc = self.clock(tid).clone();
+                    self.clock(tid).tick(tid.0 as usize);
+                    vc.tick(tid.0 as usize);
+                    self.sig_vc.insert(key, vc);
+                }
+                _ => {}
+            },
+            ReplayEvent::Wake { tid, req } => {
+                if req.num == abi::SYS_FUTEX_WAIT {
+                    self.sync_on_word(tid, req.args[0]);
+                }
+            }
+            ReplayEvent::SignalDelivered { tid, sig } => {
+                if let Some(vc) = self.sig_vc.get(&(tid.0, sig)).cloned() {
+                    self.clock(tid).merge(&vc);
+                }
+            }
+            ReplayEvent::ThreadExited { tid } => self.on_exit(tid),
+        }
+    }
+}
+
+impl DetectPass {
+    fn on_exit(&mut self, tid: Tid) {
+        let vc = self.clock(tid).clone();
+        self.exited_vc.insert(tid.0, vc.clone());
+        // Release to joiners already blocked on this thread.
+        let joiners: Vec<u32> = self
+            .join_target
+            .iter()
+            .filter(|&(_, &t)| t == tid.0)
+            .map(|(&j, _)| j)
+            .collect();
+        for j in joiners {
+            self.join_target.remove(&j);
+            self.clocks.entry(j).or_default().merge(&vc);
+        }
+    }
+}
+
+/// Runs the two-pass vector-clock race detection over a recording.
+///
+/// Both passes are fully verified sequential replays, so the analysis
+/// input is exactly the recorded execution; the result carries the replay
+/// report of the detection pass.
+///
+/// # Errors
+///
+/// Any [`ReplayError`] if the recording does not replay and verify.
+pub fn detect_races(
+    recording: &Recording,
+    program: &Arc<Program>,
+) -> Result<RaceReport, ReplayError> {
+    let mut classify = ClassifyPass::default();
+    replay_observed(recording, program, &mut classify)?;
+    let mut sync_words = classify.tracker.atomic_addrs;
+    sync_words.extend(classify.futex_words.iter().copied());
+    let candidates: BTreeSet<Word> = classify
+        .tracker
+        .shared_addrs
+        .difference(&sync_words)
+        .copied()
+        .collect();
+    let shared = classify.tracker.shared_addrs.len();
+    let mut detect = DetectPass::new(candidates, sync_words);
+    let replay = replay_observed(recording, program, &mut detect)?;
+    Ok(RaceReport {
+        races: detect.races,
+        racy_pairs: detect.racy_pairs,
+        shared_addrs: shared,
+        sync_addrs: detect.sync_words.len(),
+        replay,
+    })
+}
+
+/// Triage of a recording that needed rollbacks: the first racy access pair
+/// in the replayed total order, with enough context to start debugging.
+#[derive(Debug, Clone)]
+pub struct Triage {
+    /// The first race.
+    pub race: Race,
+    /// Total racy addresses in the recording.
+    pub racy_addrs: usize,
+    /// Epochs in the recording.
+    pub epochs: u32,
+}
+
+impl fmt::Display for Triage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "first {} (of {} racy address{} across {} epochs)",
+            self.race,
+            self.racy_addrs,
+            if self.racy_addrs == 1 { "" } else { "es" },
+            self.epochs
+        )?;
+        write!(
+            f,
+            "  likely divergence trigger: epoch {} — replay to this point with `dp replay`",
+            self.race.second.epoch
+        )
+    }
+}
+
+/// Localizes the first racy access pair of a recording, or `None` if the
+/// recording is race-free.
+///
+/// # Errors
+///
+/// Any [`ReplayError`] if the recording does not replay and verify.
+pub fn triage(
+    recording: &Recording,
+    program: &Arc<Program>,
+) -> Result<Option<Triage>, ReplayError> {
+    let report = detect_races(recording, program)?;
+    Ok(report.first_race().map(|race| Triage {
+        race: *race,
+        racy_addrs: report.races.len(),
+        epochs: report.replay.epochs,
+    }))
+}

@@ -1,5 +1,5 @@
 //! The experiment runners: one function per table/figure of the paper's
-//! evaluation (experiment ids E1–E10, see DESIGN.md).
+//! evaluation (experiment ids E1–E11, see DESIGN.md).
 //!
 //! Absolute numbers come from the simulated-time cost model and will not
 //! match the paper's testbed; the *shapes* — who wins, by what factor,
@@ -540,6 +540,77 @@ pub fn table_faults(size: Size) -> Table {
                 rejects,
             ]);
         }
+    }
+    t
+}
+
+/// E11 / Table: offline analysis — race detection and log compaction.
+///
+/// Runs the `dp-analyze` subsystem over fresh recordings of the sync-heavy
+/// and racy workloads: vector-clock race detection (races found, detector
+/// wall-clock vs. a plain verified replay of the same recording) and
+/// lossless schedule compaction (v1 vs. compact bytes, with the compacted
+/// recording replayed to prove the round trip).
+pub fn table_analyze(size: Size) -> Table {
+    let mut t = Table::new(
+        "E11 / Table: offline analysis — races & compaction (2 threads)",
+        "racy workloads report races with full site info, synchronized ones \
+         report none; compaction shrinks every schedule and still replays \
+         to the identical final hash",
+        &[
+            "workload",
+            "races",
+            "racy pairs",
+            "detect ms",
+            "replay ms",
+            "overhead",
+            "sched bytes",
+            "compact",
+            "ratio",
+            "replay ok",
+        ],
+    );
+    let cases = suite(2, size)
+        .into_iter()
+        .chain(racy_suite(2, size))
+        .filter(|c| {
+            matches!(
+                c.name,
+                "radix" | "water" | "pfscan" | "kvstore" | "racey-counter" | "racey-bank"
+            )
+        });
+    for case in cases {
+        let config = config_for(2).epoch_cycles(100_000);
+        let bundle = record(&case.spec, &config).expect("record failed");
+
+        let t0 = Instant::now();
+        let plain =
+            replay_sequential(&bundle.recording, &case.spec.program).expect("replay failed");
+        let replay_t = t0.elapsed();
+        let t0 = Instant::now();
+        let report = dp_analyze::detect_races(&bundle.recording, &case.spec.program)
+            .expect("race detection failed");
+        let detect_t = t0.elapsed();
+
+        let (canonical, stats) = dp_analyze::compact(&bundle.recording);
+        let compact_ok = replay_sequential(&canonical, &case.spec.program)
+            .map(|r| r.final_hash == plain.final_hash)
+            .unwrap_or(false);
+        t.row(vec![
+            case.name.to_string(),
+            report.races.len().to_string(),
+            report.racy_pairs.len().to_string(),
+            format!("{:.1}", detect_t.as_secs_f64() * 1e3),
+            format!("{:.1}", replay_t.as_secs_f64() * 1e3),
+            format!(
+                "{:.2}x",
+                detect_t.as_secs_f64() / replay_t.as_secs_f64().max(1e-9)
+            ),
+            stats.schedule_bytes_before.to_string(),
+            stats.schedule_bytes_after.to_string(),
+            format!("{:.2}x", stats.ratio()),
+            compact_ok.to_string(),
+        ]);
     }
     t
 }

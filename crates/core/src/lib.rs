@@ -64,6 +64,7 @@ mod config;
 mod error;
 pub mod faults;
 pub mod logs;
+pub mod observe;
 pub mod record;
 pub mod recording;
 pub mod replay;
@@ -74,9 +75,13 @@ pub use checkpoint::{Checkpoint, CheckpointImage, EpochTargets, ThreadTarget};
 pub use config::DoublePlayConfig;
 pub use error::{RecordError, ReplayError};
 pub use faults::FaultPlan;
+pub use observe::{replay_observed, ReplayEvent, ReplayObserver};
 pub use record::coordinator::{measure_native, record, RecordingBundle};
 pub use record::epoch_parallel::Divergence;
 pub use recording::{EpochRecord, Recording, RecordingMeta};
-pub use replay::{replay_epoch, replay_parallel, replay_sequential, replay_to_point, ReplayReport};
+pub use replay::{
+    replay_epoch, replay_epoch_observed, replay_parallel, replay_sequential, replay_to_point,
+    ReplayReport,
+};
 pub use stats::RecorderStats;
 pub use world::GuestSpec;

@@ -102,6 +102,37 @@ impl ScheduleLog {
             })
             .sum()
     }
+
+    /// Event counts by kind: `(slices, wakes, signals)`.
+    pub fn event_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for e in &self.events {
+            match e {
+                SchedEvent::Slice { .. } => counts.0 += 1,
+                SchedEvent::LoggedWake { .. } => counts.1 += 1,
+                SchedEvent::Signal { .. } => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Per-thread `(slice count, instruction total)`, sorted by thread id —
+    /// the per-thread view the inspection tooling prints.
+    pub fn per_thread_totals(&self) -> Vec<(Tid, usize, u64)> {
+        let mut totals: std::collections::BTreeMap<u32, (usize, u64)> =
+            std::collections::BTreeMap::new();
+        for e in &self.events {
+            if let SchedEvent::Slice { tid, instrs } = e {
+                let t = totals.entry(tid.0).or_default();
+                t.0 += 1;
+                t.1 += instrs;
+            }
+        }
+        totals
+            .into_iter()
+            .map(|(tid, (n, instrs))| (Tid(tid), n, instrs))
+            .collect()
+    }
 }
 
 impl FromIterator<SchedEvent> for ScheduleLog {

@@ -28,6 +28,7 @@ use crate::checkpoint::Checkpoint;
 use crate::error::ReplayError;
 use crate::faults::INJECTED_PANIC_TAG;
 use crate::logs::{apply_entry, request_hash, SchedEvent};
+use crate::observe::{ReplayEvent, ReplayObserver};
 use crate::recording::{EpochRecord, Recording};
 
 /// Re-executions of a panicked replay epoch before giving up.
@@ -55,6 +56,22 @@ pub struct ReplayReport {
 pub fn replay_epoch(
     start: &Checkpoint,
     epoch: &EpochRecord,
+) -> Result<(Machine, Kernel, u64), ReplayError> {
+    replay_epoch_observed(start, epoch, &mut NullObserver)
+}
+
+/// [`replay_epoch`] with an attached [`ReplayObserver`]: identical replay
+/// and verification, but every data access and kernel-level event is also
+/// fed to `obs` in the recorded total order.
+///
+/// # Errors
+///
+/// Any [`ReplayError`] if the recording cannot be followed or the end state
+/// does not verify.
+pub fn replay_epoch_observed<O: ReplayObserver>(
+    start: &Checkpoint,
+    epoch: &EpochRecord,
+    obs: &mut O,
 ) -> Result<(Machine, Kernel, u64), ReplayError> {
     let mut machine = start.machine.clone();
     let mut kernel = start.kernel.clone();
@@ -88,6 +105,7 @@ pub fn replay_epoch(
                         ),
                     });
                 }
+                obs.on_replay_event(&ReplayEvent::Wake { tid, req: pending });
                 apply_entry(&mut machine, entry);
             }
             SchedEvent::Signal { tid, sig } => {
@@ -101,6 +119,7 @@ pub fn replay_epoch(
                 if got != sig {
                     return Err(err_sched(tid, format!("signal {got} logged as {sig}")));
                 }
+                obs.on_replay_event(&ReplayEvent::SignalDelivered { tid, sig });
                 machine.push_signal_frame(tid, handler, &[sig]);
             }
             SchedEvent::Slice { tid, instrs } => {
@@ -115,17 +134,14 @@ pub fn replay_epoch(
                             ),
                         ));
                     }
-                    let run = machine.run_slice(
-                        tid,
-                        SliceLimits::budget(remaining),
-                        &mut NullObserver,
-                    )?;
+                    let run = machine.run_slice(tid, SliceLimits::budget(remaining), &mut *obs)?;
                     instructions += run.executed;
                     remaining -= run.executed;
                     match run.stop {
                         StopReason::Budget | StopReason::IcountTarget => {}
                         StopReason::Exited => {
                             kernel.on_thread_exited(&mut machine, tid);
+                            obs.on_replay_event(&ReplayEvent::ThreadExited { tid });
                             if remaining > 0 {
                                 return Err(err_sched(
                                     tid,
@@ -134,6 +150,11 @@ pub fn replay_epoch(
                             }
                         }
                         StopReason::Syscall(req) => {
+                            obs.on_replay_event(&ReplayEvent::Trap {
+                                tid,
+                                icount: machine.thread(tid).icount,
+                                req,
+                            });
                             if abi::is_logged(req.num) {
                                 let my_hash = request_hash(&machine, &req);
                                 match cursor.peek(tid) {
@@ -164,6 +185,15 @@ pub fn replay_epoch(
                                 }
                             } else {
                                 kernel.handle(&mut machine, req, 0);
+                                if req.num == abi::SYS_SPAWN {
+                                    let ret = machine.thread(tid).regs[0];
+                                    if !abi::is_err(ret) {
+                                        obs.on_replay_event(&ReplayEvent::Spawned {
+                                            parent: tid,
+                                            child: Tid(ret as u32),
+                                        });
+                                    }
+                                }
                             }
                         }
                         StopReason::Atomic { .. } => {}
@@ -230,7 +260,10 @@ fn replay_epoch_guarded(
     }
 }
 
-fn check_program(recording: &Recording, program: &Arc<Program>) -> Result<(), ReplayError> {
+pub(crate) fn check_program(
+    recording: &Recording,
+    program: &Arc<Program>,
+) -> Result<(), ReplayError> {
     let actual = program.content_hash();
     if actual != recording.meta.program_hash {
         return Err(ReplayError::ProgramMismatch {

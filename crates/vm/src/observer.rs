@@ -99,6 +99,48 @@ impl MemObserver for CollectingObserver {
     }
 }
 
+/// Classifies addresses by how they are used: which addresses are ever
+/// accessed atomically (synchronization candidates — mutex words, barrier
+/// counters) and which are touched by more than one thread (sharing
+/// candidates). Race detection uses a first pass with this observer to
+/// restrict its expensive vector-clock tracking to addresses that are
+/// shared but not themselves synchronization words.
+///
+/// Addresses are keyed by their start byte; the guest ABI accesses each
+/// location with a consistent width, so start-byte identity is sufficient.
+#[derive(Debug, Default)]
+pub struct SharingTracker {
+    /// Addresses ever accessed with [`AccessKind::Atomic`].
+    pub atomic_addrs: std::collections::BTreeSet<Word>,
+    /// Addresses accessed by at least two distinct threads.
+    pub shared_addrs: std::collections::BTreeSet<Word>,
+    first_owner: std::collections::BTreeMap<Word, Tid>,
+}
+
+impl SharingTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MemObserver for SharingTracker {
+    fn on_access(&mut self, access: Access) {
+        if access.kind == AccessKind::Atomic {
+            self.atomic_addrs.insert(access.addr);
+        }
+        match self.first_owner.get(&access.addr) {
+            None => {
+                self.first_owner.insert(access.addr, access.tid);
+            }
+            Some(owner) if *owner != access.tid => {
+                self.shared_addrs.insert(access.addr);
+            }
+            Some(_) => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +153,28 @@ mod tests {
         assert!(AccessKind::Write.writes());
         assert!(AccessKind::Atomic.reads());
         assert!(AccessKind::Atomic.writes());
+    }
+
+    #[test]
+    fn sharing_tracker_classifies_addresses() {
+        let mut t = SharingTracker::new();
+        let mk = |tid: u32, addr: Word, kind: AccessKind| Access {
+            tid: Tid(tid),
+            icount: 0,
+            addr,
+            width: Width::W8,
+            kind,
+            value: 0,
+        };
+        t.on_access(mk(0, 0x10, AccessKind::Write)); // private to tid 0
+        t.on_access(mk(0, 0x20, AccessKind::Write)); // shared below
+        t.on_access(mk(1, 0x20, AccessKind::Read));
+        t.on_access(mk(0, 0x30, AccessKind::Atomic)); // sync word, shared
+        t.on_access(mk(1, 0x30, AccessKind::Atomic));
+        assert!(!t.shared_addrs.contains(&0x10));
+        assert!(t.shared_addrs.contains(&0x20));
+        assert!(t.shared_addrs.contains(&0x30));
+        assert_eq!(t.atomic_addrs.iter().copied().collect::<Vec<_>>(), [0x30]);
     }
 
     #[test]

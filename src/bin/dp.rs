@@ -1,26 +1,51 @@
-//! `dp` — command-line record/replay for the bundled workloads.
+//! `dp` — command-line record/replay/analysis for the bundled workloads.
 //!
 //! ```text
 //! dp record <workload> [--threads N] [--size small|medium|large]
 //!           [--epoch CYCLES] [--seed S] [--out FILE]
 //! dp replay <FILE> --workload <workload> [--threads N] [--size ...] [--parallel N]
+//! dp analyze <FILE> race   --workload <name> [--threads N] [--size S]
+//!                          [--assert-races | --assert-clean]
+//! dp analyze <FILE> triage --workload <name> [--threads N] [--size S]
+//! dp analyze <FILE> inspect
+//! dp analyze <FILE> diff <FILE2>
+//! dp analyze <FILE> compact [--out FILE] [--workload <name> ...]
 //! dp inspect <FILE>
 //! dp list
 //! ```
 //!
-//! The workload name selects the guest program; `replay` and `inspect`
-//! need it again (with the same parameters) because recordings carry only
-//! a program hash, not the program itself.
+//! The workload name selects the guest program; `replay` and the
+//! replay-based analyses need it again (with the same parameters) because
+//! recordings carry only a program hash, not the program itself.
+//!
+//! Failures exit nonzero with a one-line `error: <command>: <detail>`
+//! message; a missing or truncated recording file is never a panic.
 
+use doubleplay::analyze;
 use doubleplay::prelude::*;
 use doubleplay::workloads::{racy_suite, suite};
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dp list\n  dp record <workload> [--threads N] [--size S] [--epoch C] [--seed X] [--out FILE]\n  dp replay <FILE> --workload <name> [--threads N] [--size S] [--parallel N]\n  dp inspect <FILE>"
+        "usage:\n  dp list\n  dp record <workload> [--threads N] [--size S] [--epoch C] [--seed X] [--out FILE]\n  dp replay <FILE> --workload <name> [--threads N] [--size S] [--parallel N]\n  dp analyze <FILE> race --workload <name> [--threads N] [--size S] [--assert-races|--assert-clean]\n  dp analyze <FILE> triage --workload <name> [--threads N] [--size S]\n  dp analyze <FILE> inspect\n  dp analyze <FILE> diff <FILE2>\n  dp analyze <FILE> compact [--out FILE] [--workload <name>]\n  dp inspect <FILE>"
     );
     exit(2);
+}
+
+/// One-line structured failure: `error: <what>: <detail>`, exit 1.
+fn fail(what: &str, detail: impl std::fmt::Display) -> ! {
+    eprintln!("error: {what}: {detail}");
+    exit(1);
+}
+
+/// Reads and parses a recording in either container format (`DPRC` or
+/// compact `DPRZ`), failing with a structured error instead of panicking.
+fn load_recording(cmd: &str, path: &str) -> Recording {
+    let bytes = std::fs::read(path)
+        .unwrap_or_else(|e| fail(cmd, format_args!("cannot read `{path}`: {e}")));
+    analyze::load_any(&bytes)
+        .unwrap_or_else(|e| fail(cmd, format_args!("cannot parse `{path}`: {e}")))
 }
 
 fn parse_size(s: &str) -> Size {
@@ -40,6 +65,8 @@ struct Opts {
     out: Option<String>,
     workload: Option<String>,
     parallel: usize,
+    assert_races: bool,
+    assert_clean: bool,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -51,6 +78,8 @@ fn parse_opts(args: &[String]) -> Opts {
         out: None,
         workload: None,
         parallel: 0,
+        assert_races: false,
+        assert_clean: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -63,6 +92,8 @@ fn parse_opts(args: &[String]) -> Opts {
             "--out" => o.out = Some(val()),
             "--workload" => o.workload = Some(val()),
             "--parallel" => o.parallel = val().parse().unwrap_or_else(|_| usage()),
+            "--assert-races" => o.assert_races = true,
+            "--assert-clean" => o.assert_clean = true,
             _ => usage(),
         }
     }
@@ -78,6 +109,117 @@ fn find_case(name: &str, threads: usize, size: Size) -> WorkloadCase {
             eprintln!("unknown workload `{name}` (try `dp list`)");
             exit(2);
         })
+}
+
+/// The replay-based analyses need the recorded program; resolve it from
+/// `--workload` or fail with a structured error.
+fn required_case(cmd: &str, o: &Opts) -> WorkloadCase {
+    let Some(name) = &o.workload else {
+        fail(
+            cmd,
+            "missing --workload <name> (the recording stores only a program hash)",
+        );
+    };
+    find_case(name, o.threads, o.size)
+}
+
+fn cmd_analyze(argv: &[String]) {
+    let Some(path) = argv.first() else { usage() };
+    let Some(mode) = argv.get(1) else { usage() };
+    match mode.as_str() {
+        "race" | "triage" => {
+            let o = parse_opts(&argv[2..]);
+            let case = required_case("analyze", &o);
+            let recording = load_recording("analyze", path);
+            let report = analyze::detect_races(&recording, &case.spec.program)
+                .unwrap_or_else(|e| fail("analyze", format_args!("replay failed: {e}")));
+            if mode == "triage" {
+                match analyze::triage(&recording, &case.spec.program) {
+                    Ok(Some(t)) => println!("{t}"),
+                    Ok(None) => println!("no races: the recording is happens-before clean"),
+                    Err(e) => fail("analyze", format_args!("replay failed: {e}")),
+                }
+                return;
+            }
+            println!(
+                "{}: {} racy address(es), {} racy pair(s), {} shared addr(s), {} sync addr(s), {} epochs",
+                recording.meta.guest_name,
+                report.races.len(),
+                report.racy_pairs.len(),
+                report.shared_addrs,
+                report.sync_addrs,
+                report.replay.epochs
+            );
+            for race in &report.races {
+                println!("  {race}");
+            }
+            if o.assert_races && !report.is_racy() {
+                fail("analyze", "--assert-races: no races found");
+            }
+            if o.assert_clean && report.is_racy() {
+                fail(
+                    "analyze",
+                    format_args!("--assert-clean: {} race(s) found", report.races.len()),
+                );
+            }
+        }
+        "inspect" => {
+            let recording = load_recording("analyze", path);
+            let report = analyze::inspect(&recording)
+                .unwrap_or_else(|e| fail("analyze", format_args!("inspect failed: {e}")));
+            print!("{report}");
+        }
+        "diff" => {
+            let Some(path_b) = argv.get(2) else { usage() };
+            let a = load_recording("analyze", path);
+            let b = load_recording("analyze", path_b);
+            let d = analyze::diff(&a, &b);
+            println!("{d}");
+            if !d.identical() {
+                exit(1);
+            }
+        }
+        "compact" => {
+            let o = parse_opts(&argv[2..]);
+            let recording = load_recording("analyze", path);
+            let (_, stats) = analyze::compact(&recording);
+            println!("{stats}");
+            let out_path = o.out.clone().unwrap_or_else(|| format!("{path}.dprz"));
+            let mut buf = Vec::new();
+            analyze::save_compact(&recording, &mut buf)
+                .unwrap_or_else(|e| fail("analyze", format_args!("serialization failed: {e}")));
+            std::fs::write(&out_path, &buf).unwrap_or_else(|e| {
+                fail("analyze", format_args!("cannot write `{out_path}`: {e}"))
+            });
+            println!("wrote {out_path} ({} bytes)", buf.len());
+            // With the workload at hand, prove the round trip.
+            if o.workload.is_some() {
+                let case = required_case("analyze", &o);
+                let original = replay_sequential(&recording, &case.spec.program)
+                    .unwrap_or_else(|e| fail("analyze", format_args!("replay failed: {e}")));
+                let loaded = analyze::load_any(&buf)
+                    .unwrap_or_else(|e| fail("analyze", format_args!("round trip failed: {e}")));
+                let compacted =
+                    replay_sequential(&loaded, &case.spec.program).unwrap_or_else(|e| {
+                        fail("analyze", format_args!("round trip replay failed: {e}"))
+                    });
+                if compacted.final_hash != original.final_hash {
+                    fail(
+                        "analyze",
+                        format_args!(
+                            "round trip hash mismatch: {:#018x} vs {:#018x}",
+                            compacted.final_hash, original.final_hash
+                        ),
+                    );
+                }
+                println!(
+                    "round trip verified: final hash {:#018x}",
+                    compacted.final_hash
+                );
+            }
+        }
+        _ => usage(),
+    }
 }
 
 fn main() {
@@ -101,10 +243,7 @@ fn main() {
                 .hidden_seed(o.seed);
             let bundle = match record(&case.spec, &config) {
                 Ok(b) => b,
-                Err(e) => {
-                    eprintln!("record failed: {e}");
-                    exit(1);
-                }
+                Err(e) => fail("record", e),
             };
             let s = &bundle.stats;
             println!(
@@ -115,23 +254,19 @@ fn main() {
                 s.log_bytes()
             );
             let path = o.out.unwrap_or_else(|| format!("{name}.dprec"));
-            let file = std::fs::File::create(&path).expect("cannot create output file");
-            bundle.recording.save(file).expect("serialization failed");
+            let file = std::fs::File::create(&path)
+                .unwrap_or_else(|e| fail("record", format_args!("cannot create `{path}`: {e}")));
+            bundle
+                .recording
+                .save(file)
+                .unwrap_or_else(|e| fail("record", format_args!("cannot write `{path}`: {e}")));
             println!("wrote {path}");
         }
         "replay" => {
             let Some(path) = argv.get(1) else { usage() };
             let o = parse_opts(&argv[2..]);
-            let Some(name) = o.workload else { usage() };
-            let case = find_case(&name, o.threads, o.size);
-            let file = std::fs::File::open(path).expect("cannot open recording");
-            let recording = match Recording::load(file) {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("cannot parse recording: {e}");
-                    exit(1);
-                }
-            };
+            let case = required_case("replay", &o);
+            let recording = load_recording("replay", path);
             let result = if o.parallel > 1 {
                 replay_parallel(&recording, &case.spec.program, o.parallel)
             } else {
@@ -142,22 +277,13 @@ fn main() {
                     "replayed {} epochs, {} instructions, exit {:?} — verified",
                     report.epochs, report.instructions, report.exit_code
                 ),
-                Err(e) => {
-                    eprintln!("replay FAILED: {e}");
-                    exit(1);
-                }
+                Err(e) => fail("replay", e),
             }
         }
+        "analyze" => cmd_analyze(&argv[1..]),
         "inspect" => {
             let Some(path) = argv.get(1) else { usage() };
-            let file = std::fs::File::open(path).expect("cannot open recording");
-            let r = match Recording::load(file) {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("cannot parse recording: {e}");
-                    exit(1);
-                }
-            };
+            let r = load_recording("inspect", path);
             println!("guest:         {}", r.meta.guest_name);
             println!("program hash:  {:#018x}", r.meta.program_hash);
             println!(

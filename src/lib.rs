@@ -9,6 +9,9 @@
 //!   speculative output, cost model);
 //! * [`core`] — DoublePlay itself: the uniparallel recorder, divergence
 //!   detection with forward recovery, and sequential/parallel replay;
+//! * [`analyze`] — offline analysis of saved recordings: vector-clock
+//!   data-race detection, divergence triage, inspection/diffing, and
+//!   lossless log compaction;
 //! * [`baselines`] — conventional multiprocessor record/replay schemes for
 //!   comparison;
 //! * [`workloads`] — the paper-style benchmark suite.
@@ -48,6 +51,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub use dp_analyze as analyze;
 pub use dp_baselines as baselines;
 pub use dp_core as core;
 pub use dp_os as os;
