@@ -298,14 +298,25 @@ fn decode_epoch(buf: &[u8]) -> Result<EpochRecord, ReplayError> {
 ///
 /// # Errors
 ///
-/// I/O failures from the writer.
+/// I/O failures from the writer, and `InvalidInput` when the epoch count
+/// does not fit the container's u32 count field (saving would silently
+/// truncate the tail).
 pub fn save_compact<W: Write>(recording: &Recording, mut writer: W) -> std::io::Result<()> {
     let (canonical, _) = compact(recording);
+    let count = u32::try_from(canonical.epochs.len()).map_err(|_| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!(
+                "{} epochs exceed the container's u32 epoch count",
+                canonical.epochs.len()
+            ),
+        )
+    })?;
     writer.write_all(&MAGIC)?;
     writer.write_all(&FORMAT_VERSION.to_le_bytes())?;
     write_section(&mut writer, &to_bytes(&canonical.meta))?;
     write_section(&mut writer, &to_bytes(&canonical.initial))?;
-    writer.write_all(&(canonical.epochs.len() as u32).to_le_bytes())?;
+    writer.write_all(&count.to_le_bytes())?;
     for epoch in &canonical.epochs {
         write_section(&mut writer, &encode_epoch(epoch))?;
     }
@@ -373,6 +384,15 @@ pub fn load_compact(buf: &[u8]) -> Result<Recording, ReplayError> {
     let initial = from_bytes(c.section("initial checkpoint")?)
         .map_err(|e| corrupt(format!("initial checkpoint undecodable: {e}")))?;
     let count = c.u32_le("epoch count")?;
+    // Plausibility: each epoch section costs at least its length prefix
+    // and CRC trailer; reject a count that cannot fit before looping.
+    let floor = (count as u64).saturating_mul(8);
+    let remaining = (c.buf.len() - c.pos) as u64;
+    if floor > remaining {
+        return Err(corrupt(format!(
+            "epoch count {count} implies at least {floor} bytes but only {remaining} remain"
+        )));
+    }
     let mut epochs = Vec::new();
     for i in 0..count {
         epochs.push(decode_epoch(c.section(&format!("epoch {i}"))?)?);
@@ -390,16 +410,36 @@ pub fn load_compact(buf: &[u8]) -> Result<Recording, ReplayError> {
     })
 }
 
-/// Loads a recording from either container format, dispatching on the
-/// magic: `DPRC` (standard) or `DPRZ` (compact).
+/// Loads a recording from any container format, dispatching on the magic:
+/// `DPRC` (standard), `DPRZ` (compact), or `DPRJ` (streaming journal).
+///
+/// A journal loads only when it is *clean* — finalized by a run that
+/// completed. A journal left behind by a crash is reported as corrupt
+/// here so the data loss is never silent; recover its committed prefix
+/// explicitly with `dp salvage` ([`dp_core::JournalReader::salvage`]).
 ///
 /// # Errors
 ///
-/// [`ReplayError::Corrupt`] for unrecognized or malformed containers.
+/// [`ReplayError::Corrupt`] for unrecognized or malformed containers and
+/// for unfinalized journals.
 pub fn load_any(buf: &[u8]) -> Result<Recording, ReplayError> {
     match buf.get(..4) {
         Some(m) if m == MAGIC => load_compact(buf),
         Some(m) if m == *b"DPRC" => Recording::load(buf),
+        Some(m) if m == dp_core::journal::JOURNAL_MAGIC => {
+            let salvaged = dp_core::JournalReader::salvage(buf)?;
+            if salvaged.clean {
+                Ok(salvaged.recording)
+            } else {
+                Err(corrupt(format!(
+                    "journal is not finalized ({}; {} committed epochs, {} bytes dropped) — \
+                     recover the committed prefix with `dp salvage`",
+                    salvaged.detail,
+                    salvaged.committed(),
+                    salvaged.dropped_bytes
+                )))
+            }
+        }
         Some(m) => Err(corrupt(format!("unrecognized container magic {m:02x?}"))),
         None => Err(corrupt(format!(
             "file too short to be a recording ({} bytes)",

@@ -1,5 +1,5 @@
 //! The experiment runners: one function per table/figure of the paper's
-//! evaluation (experiment ids E1–E11, see DESIGN.md).
+//! evaluation (experiment ids E1–E12, see DESIGN.md).
 //!
 //! Absolute numbers come from the simulated-time cost model and will not
 //! match the paper's testbed; the *shapes* — who wins, by what factor,
@@ -611,6 +611,140 @@ pub fn table_analyze(size: Size) -> Table {
             format!("{:.2}x", stats.ratio()),
             compact_ok.to_string(),
         ]);
+    }
+    t
+}
+
+/// E12 / Table: crash-consistent journaling & salvage (2 threads).
+///
+/// For each workload one reference run streams its recording through a
+/// healthy `DPRJ` journal (the `none` row — also the journal-vs-`DPRC`
+/// byte-overhead figure). Then the run is repeated against sinks that die
+/// deterministically: torn writes at byte offsets swept across the whole
+/// journal (including mid-frame cuts), `ENOSPC`, and a failed flush. Each
+/// crash leaves a journal prefix; `JournalReader::salvage` must recover
+/// every committed epoch as a replayable recording whose verified final
+/// hash equals the reference run's hash at the same epoch — sink faults
+/// never perturb the guest, so the prefixes are bit-identical.
+pub fn table_journal(size: Size) -> Table {
+    let mut t = Table::new(
+        "E12 / Table: crash-consistent journal & salvage (2 threads)",
+        "every crash offset salvages to a replayable prefix whose final \
+         hash matches the reference run; a journal with >=1 committed \
+         epoch is never unsalvageable",
+        &[
+            "workload",
+            "fault",
+            "at",
+            "durable B",
+            "committed",
+            "dropped B",
+            "outcome",
+        ],
+    );
+    for case in suite(2, size)
+        .into_iter()
+        .filter(|c| matches!(c.name, "pfscan" | "kvstore"))
+    {
+        let config = config_for(2).epoch_cycles(100_000);
+        // Reference run against a healthy in-memory sink.
+        let mut healthy = dp_core::JournalWriter::new(Vec::new()).expect("journal preamble");
+        let reference =
+            dp_core::record_to(&case.spec, &config, &mut healthy).expect("reference record");
+        let journal_len = healthy.bytes_written();
+        let journal = healthy.into_inner();
+        let mut dprc = Vec::new();
+        reference.recording.save(&mut dprc).expect("save failed");
+        let clean = dp_core::JournalReader::salvage(&journal).expect("clean salvage");
+        t.row(vec![
+            case.name.to_string(),
+            "none".to_string(),
+            "-".to_string(),
+            journal_len.to_string(),
+            format!("{}/{}", clean.committed(), reference.recording.epochs.len()),
+            "0".to_string(),
+            format!(
+                "clean; journal {:+.3}% vs DPRC",
+                (journal_len as f64 / dprc.len() as f64 - 1.0) * 100.0
+            ),
+        ]);
+
+        // Crash sweep: torn writes across the journal (the early cuts land
+        // inside the header frame, the rest mid-epoch or mid-commit), plus
+        // one ENOSPC and one failed flush.
+        let sweep: Vec<(&str, dp_core::FaultPlan)> = [2, 10, 30, 50, 70, 85, 99]
+            .into_iter()
+            .map(|pct| {
+                (
+                    "torn",
+                    dp_core::FaultPlan::none().sink_torn_at(journal_len * pct / 100),
+                )
+            })
+            .chain([
+                (
+                    "enospc",
+                    dp_core::FaultPlan::none().sink_enospc_at(journal_len * 60 / 100),
+                ),
+                ("flush", dp_core::FaultPlan::none().sink_fail_flush_at(3)),
+            ])
+            .collect();
+        for (fault, plan) in sweep {
+            let mut sink = dp_core::JournalWriter::new(dp_os::FaultedSink::new(
+                Vec::new(),
+                plan.sink_faults(),
+            ))
+            .expect("journal preamble");
+            let aborted = matches!(
+                dp_core::record_to(&case.spec, &config, &mut sink),
+                Err(dp_core::RecordError::Sink { .. })
+            );
+            let faulted = sink.into_inner();
+            let durable = faulted.durable_bytes();
+            let at = match fault {
+                "flush" => "flush #3".to_string(),
+                _ => format!("{durable} B"),
+            };
+            let outcome = if !aborted {
+                "RECORD DID NOT ABORT".to_string()
+            } else {
+                match dp_core::JournalReader::salvage(faulted.get_ref()) {
+                    Ok(s) => {
+                        let k = s.committed();
+                        let verified = replay_sequential(&s.recording, &case.spec.program)
+                            .ok()
+                            .map(|rep| {
+                                k == 0
+                                    || rep.final_hash
+                                        == reference.recording.epochs[k - 1].end_machine_hash
+                            });
+                        match verified {
+                            Some(true) => "salvaged exact".to_string(),
+                            Some(false) => "SALVAGE HASH MISMATCH".to_string(),
+                            None => "SALVAGE REPLAY FAILED".to_string(),
+                        }
+                    }
+                    // Only a cut inside the header frame leaves nothing to
+                    // salvage — no epoch was durable yet.
+                    Err(_) => "header lost (0 epochs durable)".to_string(),
+                }
+            };
+            let (committed, dropped) = match dp_core::JournalReader::salvage(faulted.get_ref()) {
+                Ok(s) => (
+                    format!("{}/{}", s.committed(), reference.recording.epochs.len()),
+                    s.dropped_bytes.to_string(),
+                ),
+                Err(_) => ("0".to_string(), durable.to_string()),
+            };
+            t.row(vec![
+                case.name.to_string(),
+                fault.to_string(),
+                at,
+                durable.to_string(),
+                committed,
+                dropped,
+                outcome,
+            ]);
+        }
     }
     t
 }

@@ -22,6 +22,13 @@ pub enum RecordError {
         /// Epoch index that would not converge.
         epoch: u32,
     },
+    /// The durable sink the recording journal streams to failed (torn
+    /// write, full disk, failed flush). Epochs committed to the journal
+    /// before the failure remain salvageable; the run itself is over.
+    Sink {
+        /// The underlying sink error, formatted.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RecordError {
@@ -41,11 +48,51 @@ impl fmt::Display for RecordError {
                     "epoch {epoch} failed to converge after repeated divergence"
                 )
             }
+            RecordError::Sink { detail } => {
+                write!(f, "recording journal sink failed: {detail}")
+            }
         }
     }
 }
 
 impl std::error::Error for RecordError {}
+
+/// Errors raised while serializing a recording.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SaveError {
+    /// The recording has more epochs than the container's u32 epoch count
+    /// can represent; saving would silently truncate the tail.
+    TooManyEpochs {
+        /// The unencodable epoch count.
+        count: usize,
+    },
+    /// The underlying writer failed.
+    Io {
+        /// The underlying I/O error, formatted.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SaveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SaveError::TooManyEpochs { count } => {
+                write!(f, "{count} epochs exceed the container's u32 epoch count")
+            }
+            SaveError::Io { detail } => write!(f, "recording write failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SaveError {}
+
+impl From<std::io::Error> for SaveError {
+    fn from(e: std::io::Error) -> Self {
+        SaveError::Io {
+            detail: e.to_string(),
+        }
+    }
+}
 
 impl From<Fault> for RecordError {
     fn from(fault: Fault) -> Self {

@@ -13,13 +13,18 @@
 //! * **divergence storms** (`storm_p`, `storm_len`, `storm_jitter_mult`) —
 //!   windows of epochs whose thread-parallel scheduling jitter is
 //!   amplified, driving up the data-race divergence rate until the
-//!   coordinator degrades to serialized recording.
+//!   coordinator degrades to serialized recording;
+//! * **sink faults** (`sink` — see [`dp_os::fs::SinkFaults`]) — the
+//!   durable sink the recording journal streams to dies mid-write (torn
+//!   write at an exact byte offset), fills up (`ENOSPC`), fails a flush,
+//!   or accepts short writes. These model a crash of the recording
+//!   machine and drive the journal-salvage experiments (`report e12`).
 //!
 //! Like [`IoFaults`], every decision is a pure hash of semantic
 //! coordinates (seed, epoch, attempt), so fault runs are reproducible and
 //! recordings of surviving runs replay bit-exactly.
 
-use dp_os::IoFaults;
+use dp_os::{IoFaults, SinkFaults};
 use dp_support::rng::{mix, roll};
 
 const SALT_PANIC: u64 = 0x70a1_c0de;
@@ -80,6 +85,10 @@ pub struct FaultPlan {
     /// relative variance of interleaving points) and with it the data-race
     /// divergence rate.
     pub storm_intensity: u64,
+    /// Faults of the durable sink the recording journal streams to. These
+    /// never perturb the guest (the sink is outside the recorded world);
+    /// they decide how much of the journal survives a simulated crash.
+    pub sink: SinkFaults,
 }
 
 impl FaultPlan {
@@ -88,7 +97,10 @@ impl FaultPlan {
         FaultPlan::default()
     }
 
-    /// True when any fault class is enabled.
+    /// True when any fault class that perturbs the *recorded world* is
+    /// enabled. Sink faults are deliberately excluded: they live outside
+    /// the recorded world, so they must not change what gets installed in
+    /// the kernel (and with it the guest's execution).
     pub fn is_active(&self) -> bool {
         self.fail_p > 0.0
             || self.short_read_p > 0.0
@@ -124,6 +136,47 @@ impl FaultPlan {
         self.storm_len = len;
         self.storm_intensity = intensity;
         self
+    }
+
+    /// Sets the whole sink-fault plan.
+    pub fn sink(mut self, sink: SinkFaults) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// The sink dies with a torn write once `offset` bytes are durable.
+    pub fn sink_torn_at(mut self, offset: u64) -> Self {
+        self.sink.torn_at = Some(offset);
+        self
+    }
+
+    /// The sink reports `ENOSPC` once `offset` bytes are durable.
+    pub fn sink_enospc_at(mut self, offset: u64) -> Self {
+        self.sink.enospc_at = Some(offset);
+        self
+    }
+
+    /// The sink's n-th flush (1-based) fails.
+    pub fn sink_fail_flush_at(mut self, n: u64) -> Self {
+        self.sink.fail_flush_at = Some(n);
+        self
+    }
+
+    /// Sink write calls accept only a prefix with probability `p`
+    /// (survivable: the journal writer retries them).
+    pub fn sink_short_writes(mut self, p: f64) -> Self {
+        self.sink.short_write_p = p;
+        self
+    }
+
+    /// The sink slice of this plan, seeded from the plan seed unless the
+    /// sink plan carries its own.
+    pub fn sink_faults(&self) -> SinkFaults {
+        let mut s = self.sink;
+        if s.seed == 0 {
+            s.seed = self.seed;
+        }
+        s
     }
 
     /// The kernel-level slice of this plan.
@@ -176,7 +229,8 @@ dp_support::impl_wire_struct!(FaultPlan {
     worker_panic_p,
     storm_p,
     storm_len,
-    storm_intensity
+    storm_intensity,
+    sink
 });
 
 #[cfg(test)]
@@ -206,6 +260,21 @@ mod tests {
         assert_eq!(io.fail_p, 0.1);
         assert_eq!(io.short_read_p, 0.2);
         assert_eq!(io.reset_p, 0.3);
+    }
+
+    #[test]
+    fn sink_faults_inherit_the_plan_seed() {
+        let p = FaultPlan::none().seed(9).sink_torn_at(100);
+        assert_eq!(p.sink_faults().seed, 9);
+        assert_eq!(p.sink_faults().torn_at, Some(100));
+        // Sink faults never activate the recorded-world fault path.
+        assert!(!p.is_active());
+        assert!(p.sink_faults().is_active());
+        let own_seed = FaultPlan::none().seed(9).sink(SinkFaults {
+            seed: 4,
+            ..SinkFaults::none()
+        });
+        assert_eq!(own_seed.sink_faults().seed, 4);
     }
 
     #[test]

@@ -1,0 +1,523 @@
+//! The crash-consistent streaming recording journal (`DPRJ`).
+//!
+//! [`Recording::save`] is monolithic: nothing is durable until the whole
+//! run finishes, so a crash of the recording machine forfeits everything
+//! captured so far. The journal is the streaming alternative: the record
+//! coordinator pushes every committed epoch through a [`RecordSink`], and
+//! a [`JournalWriter`] sink appends it to a durable file as a
+//! self-delimiting CRC32-framed record, flushing at each commit marker.
+//! After a crash — torn write, `ENOSPC`, failed flush, SIGKILL — a
+//! [`JournalReader::salvage`] scan reconstructs the longest committed
+//! epoch prefix as a valid, replayable [`Recording`].
+//!
+//! ## Frame format
+//!
+//! ```text
+//! journal := magic "DPRJ" | version u32 le | frame*
+//! frame   := tag u8 | len u32 le | payload[len] | crc32(tag|len|payload) u32 le
+//!
+//! tag 1 HEADER  payload = wire(meta) ++ wire(initial checkpoint)
+//! tag 2 EPOCH   payload = wire(EpochRecord)
+//! tag 3 COMMIT  payload = epoch index u32 le ++ crc32(epoch payload) u32 le
+//! tag 4 FINAL   payload = epoch count u32 le          (clean completion)
+//! ```
+//!
+//! ## Commit rule
+//!
+//! An epoch is **committed** iff its EPOCH frame is intact (CRC valid,
+//! payload decodable, index in sequence) *and* the immediately following
+//! COMMIT frame is intact and names that epoch's index and payload CRC.
+//! The writer flushes after each COMMIT frame, so the commit marker
+//! reaching the device is the durability point — exactly the write-ahead
+//! rule of database redo logs. A torn write can only ever hurt the
+//! youngest, uncommitted suffix; salvage drops it and keeps the prefix.
+
+use std::io::{self, Write};
+
+use crate::checkpoint::CheckpointImage;
+use crate::error::ReplayError;
+use crate::recording::{EpochRecord, Recording, RecordingMeta};
+use dp_support::crc32::crc32;
+use dp_support::wire::{to_bytes, Reader, Wire};
+
+/// Journal magic: "DPRJ" (DoublePlay Recording Journal).
+pub const JOURNAL_MAGIC: [u8; 4] = *b"DPRJ";
+/// Journal format version; bumped on any layout change.
+const FORMAT_VERSION: u32 = 1;
+
+const TAG_HEADER: u8 = 1;
+const TAG_EPOCH: u8 = 2;
+const TAG_COMMIT: u8 = 3;
+const TAG_FINAL: u8 = 4;
+
+/// Tag byte + u32 length prefix.
+const FRAME_HEAD: usize = 5;
+/// CRC32 trailer.
+const FRAME_TAIL: usize = 4;
+
+/// Where the coordinator streams a recording as it is produced.
+///
+/// Implementations must treat [`epoch`](RecordSink::epoch) as the commit
+/// point: when it returns `Ok`, the epoch is expected to survive a crash
+/// of the recording process. Errors abort the recording run with
+/// [`crate::RecordError::Sink`]; everything already committed remains
+/// salvageable.
+pub trait RecordSink {
+    /// Called once, before the first epoch, with the recording identity
+    /// and the boot state.
+    fn begin(&mut self, meta: &RecordingMeta, initial: &CheckpointImage) -> io::Result<()>;
+    /// Called after each epoch commits (including recovered divergent
+    /// epochs and serialized-fallback epochs — everything that becomes
+    /// part of the final recording, in order).
+    fn epoch(&mut self, epoch: &EpochRecord) -> io::Result<()>;
+    /// Called once on clean completion of the whole run.
+    fn finish(&mut self) -> io::Result<()>;
+}
+
+/// The no-op sink behind plain [`crate::record`]: recording stays
+/// in-memory-only, exactly as before journaling existed.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl RecordSink for NullSink {
+    fn begin(&mut self, _meta: &RecordingMeta, _initial: &CheckpointImage) -> io::Result<()> {
+        Ok(())
+    }
+    fn epoch(&mut self, _epoch: &EpochRecord) -> io::Result<()> {
+        Ok(())
+    }
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Streams a recording into a durable sink as a `DPRJ` journal.
+///
+/// Construction writes the magic and version immediately, so even a run
+/// that crashes before its first epoch leaves an identifiable journal.
+#[derive(Debug)]
+pub struct JournalWriter<W: Write> {
+    sink: W,
+    written: u64,
+    epochs: u32,
+}
+
+impl<W: Write> JournalWriter<W> {
+    /// Wraps `sink` and writes the journal preamble.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures from the sink.
+    pub fn new(mut sink: W) -> io::Result<Self> {
+        sink.write_all(&JOURNAL_MAGIC)?;
+        sink.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        Ok(JournalWriter {
+            sink,
+            written: (JOURNAL_MAGIC.len() + 4) as u64,
+            epochs: 0,
+        })
+    }
+
+    /// Total journal bytes written so far (the write-overhead metric).
+    pub fn bytes_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Epochs committed to the journal so far.
+    pub fn epochs_committed(&self) -> u32 {
+        self.epochs
+    }
+
+    /// A shared view of the sink.
+    pub fn get_ref(&self) -> &W {
+        &self.sink
+    }
+
+    /// Unwraps the sink (e.g. to salvage the bytes a faulted sink holds).
+    pub fn into_inner(self) -> W {
+        self.sink
+    }
+
+    /// Writes one framed record: tag, length, payload, CRC32 over all
+    /// three (so a flipped tag or length is caught, not just payload rot).
+    fn frame(&mut self, tag: u8, payload: &[u8]) -> io::Result<()> {
+        let len = u32::try_from(payload.len()).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "journal frame payload of {} bytes exceeds u32",
+                    payload.len()
+                ),
+            )
+        })?;
+        let mut head = [0u8; FRAME_HEAD];
+        head[0] = tag;
+        head[1..].copy_from_slice(&len.to_le_bytes());
+        let crc = frame_crc(&head, payload);
+        self.sink.write_all(&head)?;
+        self.sink.write_all(payload)?;
+        self.sink.write_all(&crc.to_le_bytes())?;
+        self.written += (FRAME_HEAD + payload.len() + FRAME_TAIL) as u64;
+        Ok(())
+    }
+}
+
+/// CRC32 over the frame head and payload as one logical buffer.
+fn frame_crc(head: &[u8], payload: &[u8]) -> u32 {
+    let mut buf = Vec::with_capacity(head.len() + payload.len());
+    buf.extend_from_slice(head);
+    buf.extend_from_slice(payload);
+    crc32(&buf)
+}
+
+impl<W: Write> RecordSink for JournalWriter<W> {
+    fn begin(&mut self, meta: &RecordingMeta, initial: &CheckpointImage) -> io::Result<()> {
+        let mut payload = Vec::new();
+        meta.put(&mut payload);
+        initial.put(&mut payload);
+        self.frame(TAG_HEADER, &payload)?;
+        self.sink.flush()
+    }
+
+    fn epoch(&mut self, epoch: &EpochRecord) -> io::Result<()> {
+        let payload = to_bytes(epoch);
+        let payload_crc = crc32(&payload);
+        self.frame(TAG_EPOCH, &payload)?;
+        let mut commit = [0u8; 8];
+        commit[..4].copy_from_slice(&epoch.index.to_le_bytes());
+        commit[4..].copy_from_slice(&payload_crc.to_le_bytes());
+        self.frame(TAG_COMMIT, &commit)?;
+        // The flush is the durability point: an epoch whose commit marker
+        // never reached the device is, by the commit rule, uncommitted.
+        self.sink.flush()?;
+        self.epochs += 1;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.frame(TAG_FINAL, &self.epochs.to_le_bytes())?;
+        self.sink.flush()
+    }
+}
+
+/// What a salvage scan recovered from a journal.
+#[derive(Debug)]
+pub struct Salvaged {
+    /// The reconstructed recording: header plus the longest committed
+    /// epoch prefix. Always valid and replayable (possibly zero epochs).
+    pub recording: Recording,
+    /// True when the journal carries a FINAL frame matching the epoch
+    /// count — the run completed cleanly; nothing was lost.
+    pub clean: bool,
+    /// Journal bytes consumed as valid frames.
+    pub salvaged_bytes: usize,
+    /// Trailing bytes dropped (torn frame, uncommitted epoch, garbage).
+    pub dropped_bytes: usize,
+    /// Why the scan stopped, for operator-facing reporting.
+    pub detail: String,
+}
+
+impl Salvaged {
+    /// Epochs recovered.
+    pub fn committed(&self) -> usize {
+        self.recording.epochs.len()
+    }
+}
+
+/// Parses `DPRJ` journals, including ones a crash left behind.
+pub struct JournalReader;
+
+/// One intact frame: tag, payload slice, and the offset just past it.
+struct Frame<'a> {
+    tag: u8,
+    payload: &'a [u8],
+    end: usize,
+}
+
+/// Reads the frame at `pos`, validating bounds and CRC. `None` means the
+/// bytes from `pos` on do not form an intact frame — truncation, a torn
+/// write, or corruption; salvage treats all three identically.
+fn read_frame(buf: &[u8], pos: usize) -> Option<Frame<'_>> {
+    let head = buf.get(pos..pos + FRAME_HEAD)?;
+    let len = u32::from_le_bytes(head[1..5].try_into().unwrap()) as usize;
+    let payload_end = pos.checked_add(FRAME_HEAD)?.checked_add(len)?;
+    let end = payload_end.checked_add(FRAME_TAIL)?;
+    if end > buf.len() {
+        return None;
+    }
+    let payload = &buf[pos + FRAME_HEAD..payload_end];
+    let stored = u32::from_le_bytes(buf[payload_end..end].try_into().unwrap());
+    if stored != frame_crc(head, payload) {
+        return None;
+    }
+    Some(Frame {
+        tag: head[0],
+        payload,
+        end,
+    })
+}
+
+impl JournalReader {
+    /// Reconstructs the longest committed epoch prefix from a journal,
+    /// applying the commit rule frame by frame. Works on intact journals
+    /// (returns everything, `clean == true` when finalized) and on any
+    /// crash-truncated or tail-corrupted byte prefix.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplayError::Corrupt`] only when nothing is salvageable: missing
+    /// or foreign magic, unsupported version, or an unrecoverable header
+    /// frame (without meta and the initial checkpoint there is no valid
+    /// `Recording` to build). Never panics, whatever the input.
+    pub fn salvage(buf: &[u8]) -> Result<Salvaged, ReplayError> {
+        let corrupt = |detail: String| ReplayError::Corrupt { detail };
+        if buf.len() < 8 {
+            return Err(corrupt(format!(
+                "file too short to be a journal ({} bytes)",
+                buf.len()
+            )));
+        }
+        if buf[..4] != JOURNAL_MAGIC {
+            return Err(corrupt(format!("bad journal magic {:02x?}", &buf[..4])));
+        }
+        let version = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(corrupt(format!(
+                "unsupported journal version {version} (expected {FORMAT_VERSION})"
+            )));
+        }
+        let header = read_frame(buf, 8)
+            .filter(|f| f.tag == TAG_HEADER)
+            .ok_or_else(|| corrupt("journal header frame missing or torn".into()))?;
+        let mut r = Reader::new(header.payload);
+        let meta = RecordingMeta::get(&mut r)
+            .map_err(|e| corrupt(format!("journal header meta undecodable: {e}")))?;
+        let initial = CheckpointImage::get(&mut r)
+            .map_err(|e| corrupt(format!("journal header checkpoint undecodable: {e}")))?;
+        if !r.is_empty() {
+            return Err(corrupt(format!(
+                "{} trailing bytes inside journal header frame",
+                r.remaining()
+            )));
+        }
+
+        let mut epochs: Vec<EpochRecord> = Vec::new();
+        let mut pos = header.end;
+        let mut clean = false;
+        let detail = loop {
+            let Some(frame) = read_frame(buf, pos) else {
+                break if pos == buf.len() {
+                    "journal ends mid-run (no final marker)".to_string()
+                } else {
+                    format!("torn or corrupt frame at byte {pos}")
+                };
+            };
+            match frame.tag {
+                TAG_EPOCH => {
+                    let index = epochs.len() as u32;
+                    let Ok(epoch) = dp_support::wire::from_bytes::<EpochRecord>(frame.payload)
+                    else {
+                        break format!("epoch frame at byte {pos} undecodable");
+                    };
+                    if epoch.index != index {
+                        break format!(
+                            "epoch frame at byte {pos} out of sequence \
+                             (index {}, expected {index})",
+                            epoch.index
+                        );
+                    }
+                    // The commit rule: the very next frame must be this
+                    // epoch's commit marker.
+                    let payload_crc = crc32(frame.payload);
+                    let Some(commit) = read_frame(buf, frame.end).filter(|c| {
+                        c.tag == TAG_COMMIT
+                            && c.payload.len() == 8
+                            && c.payload[..4] == index.to_le_bytes()
+                            && c.payload[4..] == payload_crc.to_le_bytes()
+                    }) else {
+                        break format!("epoch {index} has no commit marker (uncommitted)");
+                    };
+                    epochs.push(epoch);
+                    pos = commit.end;
+                }
+                TAG_FINAL => {
+                    let ok = frame.payload.len() == 4
+                        && frame.payload == (epochs.len() as u32).to_le_bytes();
+                    pos = frame.end;
+                    if ok {
+                        clean = true;
+                        break "clean completion".to_string();
+                    }
+                    break "final marker disagrees with committed epoch count".to_string();
+                }
+                TAG_COMMIT => break format!("orphan commit marker at byte {pos}"),
+                t => break format!("unknown frame tag {t} at byte {pos}"),
+            }
+        };
+
+        Ok(Salvaged {
+            recording: Recording {
+                meta,
+                initial,
+                epochs,
+            },
+            clean,
+            salvaged_bytes: pos,
+            dropped_bytes: buf.len() - pos,
+            detail,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DoublePlayConfig;
+    use crate::logs::{ScheduleLog, SyscallLog};
+    use dp_vm::Tid;
+
+    fn tiny_parts() -> (RecordingMeta, CheckpointImage, Vec<EpochRecord>) {
+        let meta = RecordingMeta {
+            guest_name: "j".into(),
+            program_hash: 11,
+            initial_machine_hash: 22,
+            config: DoublePlayConfig::new(2),
+        };
+        let initial = CheckpointImage {
+            machine: dp_vm::Machine::new(
+                std::sync::Arc::new({
+                    let mut pb = dp_vm::builder::ProgramBuilder::new();
+                    let mut f = pb.function("main");
+                    f.ret();
+                    f.finish();
+                    pb.finish("main")
+                }),
+                &[],
+            )
+            .image(),
+            kernel: dp_os::kernel::Kernel::new(Default::default()),
+            machine_hash: 22,
+        };
+        let epochs = (0..3)
+            .map(|i| {
+                let mut schedule = ScheduleLog::new();
+                schedule.push_slice(Tid(0), 100 + i as u64);
+                EpochRecord {
+                    index: i,
+                    schedule,
+                    syscalls: SyscallLog::new(),
+                    end_machine_hash: 100 + u64::from(i),
+                    external: Vec::new(),
+                    start: None,
+                    tp_cycles: 10,
+                }
+            })
+            .collect();
+        (meta, initial, epochs)
+    }
+
+    fn journal_bytes(finalize: bool) -> (Vec<u8>, Vec<u64>) {
+        let (meta, initial, epochs) = tiny_parts();
+        let mut w = JournalWriter::new(Vec::new()).unwrap();
+        w.begin(&meta, &initial).unwrap();
+        let mut commit_offsets = Vec::new();
+        for e in &epochs {
+            w.epoch(e).unwrap();
+            commit_offsets.push(w.bytes_written());
+        }
+        if finalize {
+            w.finish().unwrap();
+        }
+        assert_eq!(w.epochs_committed(), 3);
+        (w.into_inner(), commit_offsets)
+    }
+
+    #[test]
+    fn full_journal_salvages_clean() {
+        let (buf, _) = journal_bytes(true);
+        let s = JournalReader::salvage(&buf).unwrap();
+        assert!(s.clean);
+        assert_eq!(s.committed(), 3);
+        assert_eq!(s.dropped_bytes, 0);
+        assert_eq!(s.recording.epochs[2].end_machine_hash, 102);
+        assert_eq!(s.recording.meta.guest_name, "j");
+    }
+
+    #[test]
+    fn unfinalized_journal_salvages_all_commits_but_not_clean() {
+        let (buf, _) = journal_bytes(false);
+        let s = JournalReader::salvage(&buf).unwrap();
+        assert!(!s.clean);
+        assert_eq!(s.committed(), 3);
+        assert_eq!(s.dropped_bytes, 0);
+    }
+
+    #[test]
+    fn every_prefix_salvages_exactly_the_committed_epochs() {
+        let (buf, commits) = journal_bytes(true);
+        for cut in 0..=buf.len() {
+            let expect: usize = commits.iter().filter(|&&o| o as usize <= cut).count();
+            match JournalReader::salvage(&buf[..cut]) {
+                Ok(s) => {
+                    assert_eq!(
+                        s.committed(),
+                        expect,
+                        "cut {cut}: salvaged {} epochs, expected {expect}",
+                        s.committed()
+                    );
+                    assert_eq!(s.clean, cut == buf.len(), "cut {cut} clean flag");
+                }
+                Err(ReplayError::Corrupt { .. }) => {
+                    // Only acceptable before the header frame is durable.
+                    assert_eq!(expect, 0, "cut {cut}: header lost but epochs expected");
+                }
+                Err(e) => panic!("cut {cut}: unexpected error {e:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bitflips_after_header_never_gain_epochs_or_panic() {
+        let (buf, commits) = journal_bytes(true);
+        let full = commits.len();
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x40;
+            match JournalReader::salvage(&bad) {
+                Ok(s) => assert!(s.committed() <= full),
+                Err(ReplayError::Corrupt { .. }) => {}
+                Err(e) => panic!("flip at {i}: unexpected error {e:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn commit_marker_is_required() {
+        // Chop the journal right after an epoch frame but before its
+        // commit marker: the epoch must not be salvaged.
+        let (buf, commits) = journal_bytes(false);
+        let cut = commits[1] as usize - FRAME_HEAD - 8 - FRAME_TAIL - 1;
+        let s = JournalReader::salvage(&buf[..cut]).unwrap();
+        assert_eq!(s.committed(), 1);
+        assert!(s.detail.contains("commit marker") || s.detail.contains("torn"));
+    }
+
+    #[test]
+    fn garbage_and_foreign_magic_are_typed_errors() {
+        assert!(matches!(
+            JournalReader::salvage(b""),
+            Err(ReplayError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            JournalReader::salvage(b"DPRC\x01\x00\x00\x00rest"),
+            Err(ReplayError::Corrupt { .. })
+        ));
+        let mut bad_version = Vec::new();
+        bad_version.extend_from_slice(&JOURNAL_MAGIC);
+        bad_version.extend_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(
+            JournalReader::salvage(&bad_version),
+            Err(ReplayError::Corrupt { .. })
+        ));
+    }
+}

@@ -56,6 +56,7 @@
 //! | uniparallel coordination, forward recovery | [`record::coordinator`] |
 //! | offline replay (sequential / parallel / to-point) | [`replay`] |
 //! | the recording artifact | [`recording`] |
+//! | crash-consistent streaming journal & salvage | [`journal`] |
 
 #![warn(missing_docs)]
 
@@ -63,6 +64,7 @@ pub mod checkpoint;
 mod config;
 mod error;
 pub mod faults;
+pub mod journal;
 pub mod logs;
 pub mod observe;
 pub mod record;
@@ -73,10 +75,11 @@ mod world;
 
 pub use checkpoint::{Checkpoint, CheckpointImage, EpochTargets, ThreadTarget};
 pub use config::DoublePlayConfig;
-pub use error::{RecordError, ReplayError};
+pub use error::{RecordError, ReplayError, SaveError};
 pub use faults::FaultPlan;
+pub use journal::{JournalReader, JournalWriter, NullSink, RecordSink, Salvaged};
 pub use observe::{replay_observed, ReplayEvent, ReplayObserver};
-pub use record::coordinator::{measure_native, record, RecordingBundle};
+pub use record::coordinator::{measure_native, record, record_to, RecordingBundle};
 pub use record::epoch_parallel::Divergence;
 pub use recording::{EpochRecord, Recording, RecordingMeta};
 pub use replay::{

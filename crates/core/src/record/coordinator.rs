@@ -25,6 +25,7 @@ use crate::checkpoint::Checkpoint;
 use crate::config::DoublePlayConfig;
 use crate::error::RecordError;
 use crate::faults::{FaultPlan, INJECTED_PANIC_TAG};
+use crate::journal::{NullSink, RecordSink};
 use crate::logs::codec;
 use crate::record::epoch_parallel::{run_live, run_verify, EpOutcome, VerifyInputs};
 use crate::record::pipeline::WorkerPool;
@@ -65,6 +66,34 @@ const SERIALIZED_EPOCHS: u32 = 8;
 ///
 /// Guest faults, true deadlocks, or budget exhaustion.
 pub fn record(spec: &GuestSpec, config: &DoublePlayConfig) -> Result<RecordingBundle, RecordError> {
+    record_to(spec, config, &mut NullSink)
+}
+
+/// Maps a durable-sink failure into the typed recorder error.
+fn sink_err(e: std::io::Error) -> RecordError {
+    RecordError::Sink {
+        detail: e.to_string(),
+    }
+}
+
+/// Records one execution of `spec` under `config`, streaming the recording
+/// into `sink` as it is produced: the header (meta + boot state) before the
+/// first epoch, then every epoch the moment it commits, then a completion
+/// marker. With a [`crate::JournalWriter`] sink this makes the recording
+/// crash-consistent — a run that dies mid-way leaves a journal from which
+/// [`crate::JournalReader::salvage`] recovers every committed epoch.
+///
+/// # Errors
+///
+/// Everything [`record`] raises, plus [`RecordError::Sink`] when the sink
+/// fails (torn write, full disk, failed flush). Sink faults never perturb
+/// the guest: the epoch prefix committed before the failure is bit-exact
+/// with the same run against a healthy sink.
+pub fn record_to(
+    spec: &GuestSpec,
+    config: &DoublePlayConfig,
+    sink: &mut dyn RecordSink,
+) -> Result<RecordingBundle, RecordError> {
     let (mut machine, mut kernel) = spec.boot();
     if config.faults.is_active() {
         // Install before the initial checkpoint so the plan rides inside
@@ -74,6 +103,14 @@ pub fn record(spec: &GuestSpec, config: &DoublePlayConfig) -> Result<RecordingBu
     machine.mem_mut().take_dirty();
     let cost = *kernel.cost_model();
     let initial = Checkpoint::capture(&machine, &kernel);
+    let meta = RecordingMeta {
+        guest_name: spec.name.clone(),
+        program_hash: spec.program_hash(),
+        initial_machine_hash: initial.machine_hash,
+        config: *config,
+    };
+    let initial_image = initial.to_image();
+    sink.begin(&meta, &initial_image).map_err(sink_err)?;
     let mut tp = TpRunner::new(config);
     let mut pool = WorkerPool::new(config.spare_workers.max(1));
     let mut stats = RecorderStats::default();
@@ -138,6 +175,8 @@ pub fn record(spec: &GuestSpec, config: &DoublePlayConfig) -> Result<RecordingBu
                 start: config.keep_checkpoints.then(|| prev.to_image()),
                 tp_cycles: live.cycles,
             });
+            sink.epoch(epochs.last().expect("epoch just pushed"))
+                .map_err(sink_err)?;
             prev = Checkpoint::capture(&machine, &kernel);
             stats.committed += 1;
             stats.serialized_epochs += 1;
@@ -215,6 +254,8 @@ pub fn record(spec: &GuestSpec, config: &DoublePlayConfig) -> Result<RecordingBu
                 start: config.keep_checkpoints.then(|| prev.to_image()),
                 tp_cycles: tp_out.cycles,
             });
+            sink.epoch(epochs.last().expect("epoch just pushed"))
+                .map_err(sink_err)?;
             prev = ckpt_next;
             stats.committed += 1;
             clean_streak += 1;
@@ -284,6 +325,8 @@ pub fn record(spec: &GuestSpec, config: &DoublePlayConfig) -> Result<RecordingBu
                 start: config.keep_checkpoints.then(|| prev.to_image()),
                 tp_cycles: tp_out.cycles,
             });
+            sink.epoch(epochs.last().expect("epoch just pushed"))
+                .map_err(sink_err)?;
             prev = Checkpoint::capture(&machine, &kernel);
         }
 
@@ -306,18 +349,14 @@ pub fn record(spec: &GuestSpec, config: &DoublePlayConfig) -> Result<RecordingBu
         }
     }
 
+    sink.finish().map_err(sink_err)?;
     stats.recorded_cycles = tp_time.max(commit_time);
     stats.io_faults = kernel.stats.injected_faults;
     stats.native_cycles = measure_native(spec, config)?;
     Ok(RecordingBundle {
         recording: Recording {
-            meta: RecordingMeta {
-                guest_name: spec.name.clone(),
-                program_hash: spec.program_hash(),
-                initial_machine_hash: initial.machine_hash,
-                config: *config,
-            },
-            initial: initial.to_image(),
+            meta,
+            initial: initial_image,
             epochs,
         },
         stats,
@@ -411,7 +450,9 @@ pub fn measure_native(spec: &GuestSpec, config: &DoublePlayConfig) -> Result<u64
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::journal::{JournalReader, JournalWriter};
     use crate::record::testutil::{atomic_counter_spec, compute_counter_spec, racy_counter_spec};
+    use dp_os::FaultedSink;
 
     #[test]
     fn records_a_synchronized_program_without_divergence() {
@@ -544,6 +585,76 @@ mod tests {
             record(&spec, &config),
             Err(RecordError::DivergenceLoop { epoch: 0 })
         ));
+    }
+
+    #[test]
+    fn journaled_recording_salvages_identical_to_the_in_memory_one() {
+        let spec = atomic_counter_spec(1500, 2);
+        let config = DoublePlayConfig::new(2).epoch_cycles(4_000);
+        let mut journal = JournalWriter::new(Vec::new()).unwrap();
+        let bundle = record_to(&spec, &config, &mut journal).unwrap();
+        assert_eq!(
+            u64::from(journal.epochs_committed()),
+            bundle.stats.epochs,
+            "every epoch must hit the journal"
+        );
+        let bytes = journal.into_inner();
+        let salvaged = JournalReader::salvage(&bytes).unwrap();
+        assert!(salvaged.clean);
+        assert_eq!(salvaged.dropped_bytes, 0);
+        assert_eq!(salvaged.committed(), bundle.recording.epochs.len());
+        for (a, b) in salvaged
+            .recording
+            .epochs
+            .iter()
+            .zip(&bundle.recording.epochs)
+        {
+            assert_eq!(a.end_machine_hash, b.end_machine_hash);
+            assert_eq!(a.schedule, b.schedule);
+        }
+        let report = crate::replay::replay_sequential(&salvaged.recording, &spec.program).unwrap();
+        assert_eq!(report.epochs as u64, bundle.stats.epochs);
+    }
+
+    #[test]
+    fn torn_sink_aborts_the_run_but_leaves_a_salvageable_prefix() {
+        let spec = atomic_counter_spec(1500, 2);
+        let config = DoublePlayConfig::new(2).epoch_cycles(4_000);
+        // Reference run against a healthy sink: sink faults must not
+        // perturb the guest, so the crash run's prefix must bit-match it.
+        let mut healthy = JournalWriter::new(Vec::new()).unwrap();
+        let reference = record_to(&spec, &config, &mut healthy).unwrap();
+        let healthy_len = healthy.bytes_written();
+
+        let torn_at = healthy_len * 2 / 3;
+        let mut sink = JournalWriter::new(FaultedSink::new(
+            Vec::new(),
+            crate::faults::FaultPlan::none()
+                .sink_torn_at(torn_at)
+                .sink_faults(),
+        ))
+        .unwrap();
+        match record_to(&spec, &config, &mut sink) {
+            Err(RecordError::Sink { detail }) => assert!(detail.contains("torn")),
+            other => panic!("expected Sink error, got {other:?}"),
+        }
+        let faulted = sink.into_inner();
+        assert_eq!(faulted.durable_bytes(), torn_at);
+        let salvaged = JournalReader::salvage(faulted.get_ref()).unwrap();
+        assert!(!salvaged.clean);
+        assert!(
+            salvaged.committed() < reference.recording.epochs.len(),
+            "torn at 2/3 must lose the tail"
+        );
+        for (a, b) in salvaged
+            .recording
+            .epochs
+            .iter()
+            .zip(&reference.recording.epochs)
+        {
+            assert_eq!(a.end_machine_hash, b.end_machine_hash);
+        }
+        crate::replay::replay_sequential(&salvaged.recording, &spec.program).unwrap();
     }
 
     /// A storm-test config: the base micro-slice covers a whole per-CPU

@@ -9,7 +9,7 @@ use std::io::{Read, Write};
 
 use crate::checkpoint::CheckpointImage;
 use crate::config::DoublePlayConfig;
-use crate::error::ReplayError;
+use crate::error::{ReplayError, SaveError};
 use crate::logs::{codec, ScheduleLog, SyscallLog};
 use dp_os::kernel::ExternalChunk;
 use dp_support::crc32::crc32;
@@ -120,13 +120,18 @@ impl Recording {
     ///
     /// # Errors
     ///
-    /// I/O failures from the writer.
-    pub fn save<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+    /// [`SaveError::TooManyEpochs`] when the epoch count does not fit the
+    /// container's u32 count field (saving would silently truncate);
+    /// [`SaveError::Io`] for writer failures.
+    pub fn save<W: Write>(&self, mut writer: W) -> Result<(), SaveError> {
+        let count = u32::try_from(self.epochs.len()).map_err(|_| SaveError::TooManyEpochs {
+            count: self.epochs.len(),
+        })?;
         writer.write_all(&MAGIC)?;
         writer.write_all(&FORMAT_VERSION.to_le_bytes())?;
         write_section(&mut writer, &to_bytes(&self.meta))?;
         write_section(&mut writer, &to_bytes(&self.initial))?;
-        writer.write_all(&(self.epochs.len() as u32).to_le_bytes())?;
+        writer.write_all(&count.to_le_bytes())?;
         for epoch in &self.epochs {
             write_section(&mut writer, &to_bytes(epoch))?;
         }
@@ -160,6 +165,16 @@ impl Recording {
         let meta: RecordingMeta = c.section("meta")?;
         let initial: CheckpointImage = c.section("initial checkpoint")?;
         let count = c.u32_le("epoch count")?;
+        // Plausibility: every epoch section costs at least its length
+        // prefix and CRC trailer, so a count whose floor exceeds the
+        // remaining bytes is corrupt — reject it before looping.
+        let floor = (count as u64).saturating_mul(MIN_SECTION_BYTES);
+        let remaining = (c.buf.len() - c.pos) as u64;
+        if floor > remaining {
+            return Err(corrupt(format!(
+                "epoch count {count} implies at least {floor} bytes but only {remaining} remain"
+            )));
+        }
         let mut epochs = Vec::new();
         for i in 0..count {
             epochs.push(c.section_indexed("epoch", i)?);
@@ -182,6 +197,8 @@ impl Recording {
 const MAGIC: [u8; 4] = *b"DPRC";
 /// Container format version; bumped on any layout change.
 const FORMAT_VERSION: u32 = 1;
+/// Least bytes one section can occupy: u32 length prefix + u32 CRC32.
+pub(crate) const MIN_SECTION_BYTES: u64 = 8;
 
 fn corrupt(detail: String) -> ReplayError {
     ReplayError::Corrupt { detail }
@@ -327,5 +344,44 @@ mod tests {
         assert_eq!(back.epochs.len(), 1);
         assert_eq!(back.epochs[0].end_machine_hash, 3);
         assert_eq!(back.console_output(), b"hi");
+    }
+
+    #[test]
+    fn save_surfaces_writer_errors_as_typed_io() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        match tiny_recording().save(Broken) {
+            Err(SaveError::Io { detail }) => assert!(detail.contains("disk on fire")),
+            other => panic!("expected SaveError::Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implausible_epoch_count_is_rejected_without_looping() {
+        let r = tiny_recording();
+        let mut buf = Vec::new();
+        r.save(&mut buf).unwrap();
+        // Find the epoch-count field: it sits right after the two header
+        // sections. Overwrite it with u32::MAX; load must reject on the
+        // plausibility floor, not iterate four billion times.
+        let mut pos = 8; // magic + version
+        for _ in 0..2 {
+            let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4 + len + 4;
+        }
+        buf[pos..pos + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        match Recording::load(&buf[..]) {
+            Err(ReplayError::Corrupt { detail }) => {
+                assert!(detail.contains("epoch count"), "detail: {detail}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 }

@@ -1,4 +1,5 @@
-//! An in-memory filesystem with copy-on-write file contents.
+//! An in-memory filesystem with copy-on-write file contents, plus the
+//! host-side durable-sink fault machinery.
 //!
 //! The filesystem is *inside* the recorded world: checkpoints snapshot it
 //! (cloning is cheap — contents are `Arc`-shared) and rollback restores it,
@@ -6,11 +7,19 @@
 //! process under Speculator so that speculative file writes can be undone.
 //! Filesystem operations are therefore in the *re-executed* syscall class:
 //! given identical guest states they produce identical results.
+//!
+//! [`SinkFaults`] / [`FaultedSink`] live on the other side of the recording
+//! boundary: they model failures of the *host* filesystem the recorder
+//! persists its journal to (torn writes from a crash, `ENOSPC`, failed
+//! flushes, short writes). They never perturb the guest — only the
+//! durability of what the recorder managed to write before dying.
 
 use std::collections::BTreeMap;
+use std::io::{self, Write};
 use std::sync::Arc;
 
 use crate::abi::{self, EBADF, EINVAL, ENOENT};
+use dp_support::rng::{mix, roll};
 
 /// Open-file access mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -222,6 +231,176 @@ dp_support::impl_wire_struct!(SimFs {
     next_fd,
     io_bytes
 });
+
+const SALT_SHORT_WRITE: u64 = 0x5045_6b57;
+
+/// Deterministic fault plan for a host-side durable sink (the recorder's
+/// journal file). `Default` injects nothing.
+///
+/// Two of the classes are *fatal* (they model a crash of the recording
+/// machine or an exhausted disk, after which nothing more becomes durable)
+/// and two are *survivable* (a robust writer retries or reroutes them):
+///
+/// * `torn_at` — fatal: the sink dies mid-write at an exact byte offset;
+///   bytes up to the offset are durable, everything after is lost;
+/// * `enospc_at` — fatal: the device is full after the offset;
+/// * `fail_flush_at` — fatal: the n-th `flush` call fails (data already
+///   accepted stays durable, the writer learns its commit did not land);
+/// * `short_write_p` — survivable: a `write` call accepts only a prefix,
+///   which a correct writer (using `write_all`) simply retries.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SinkFaults {
+    /// Seed decorrelating plans with equal probabilities.
+    pub seed: u64,
+    /// Crash mid-write once this many bytes are durable (`None` = never).
+    pub torn_at: Option<u64>,
+    /// Device full once this many bytes are durable (`None` = never).
+    pub enospc_at: Option<u64>,
+    /// The n-th flush (1-based) fails and kills the sink (`None` = never).
+    pub fail_flush_at: Option<u64>,
+    /// Probability a `write` call transfers only a prefix of the buffer.
+    pub short_write_p: f64,
+}
+
+impl SinkFaults {
+    /// No injected faults.
+    pub fn none() -> Self {
+        SinkFaults::default()
+    }
+
+    /// True when any fault class is enabled.
+    pub fn is_active(&self) -> bool {
+        self.torn_at.is_some()
+            || self.enospc_at.is_some()
+            || self.fail_flush_at.is_some()
+            || self.short_write_p > 0.0
+    }
+
+    /// Byte offset at which the sink dies, if any (torn write or `ENOSPC`,
+    /// whichever comes first).
+    fn death_offset(&self) -> Option<u64> {
+        match (self.torn_at, self.enospc_at) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Should write call number `call` (0-based) be a short write, and if
+    /// so, how many of `len` bytes does it accept? Always at least one byte
+    /// so a retrying writer makes progress.
+    fn short_write(&self, call: u64, len: usize) -> Option<usize> {
+        if len <= 1 || self.short_write_p <= 0.0 {
+            return None;
+        }
+        let h = mix(&[self.seed, call, SALT_SHORT_WRITE]);
+        if roll(h, self.short_write_p) {
+            Some(1 + (mix(&[h, len as u64]) % len as u64) as usize)
+        } else {
+            None
+        }
+    }
+}
+
+dp_support::impl_wire_struct!(SinkFaults {
+    seed,
+    torn_at,
+    enospc_at,
+    fail_flush_at,
+    short_write_p
+});
+
+/// A [`Write`] adapter that injects a [`SinkFaults`] plan in front of an
+/// inner sink. Once a fatal fault fires the sink is dead: every later
+/// write or flush fails, exactly like a crashed recording machine. The
+/// bytes the inner sink received before the fault are what a salvage scan
+/// gets to work with.
+#[derive(Debug)]
+pub struct FaultedSink<W: Write> {
+    inner: W,
+    plan: SinkFaults,
+    durable: u64,
+    write_calls: u64,
+    flush_calls: u64,
+    dead: Option<&'static str>,
+}
+
+impl<W: Write> FaultedSink<W> {
+    /// Wraps `inner` with the given fault plan.
+    pub fn new(inner: W, plan: SinkFaults) -> Self {
+        FaultedSink {
+            inner,
+            plan,
+            durable: 0,
+            write_calls: 0,
+            flush_calls: 0,
+            dead: None,
+        }
+    }
+
+    /// Bytes the inner sink has durably accepted.
+    pub fn durable_bytes(&self) -> u64 {
+        self.durable
+    }
+
+    /// What killed the sink, if a fatal fault has fired.
+    pub fn cause_of_death(&self) -> Option<&'static str> {
+        self.dead
+    }
+
+    /// A shared view of the inner sink.
+    pub fn get_ref(&self) -> &W {
+        &self.inner
+    }
+
+    /// Unwraps the inner sink (e.g. to salvage the bytes it holds).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+
+    fn die(&mut self, cause: &'static str, kind: io::ErrorKind) -> io::Error {
+        self.dead = Some(cause);
+        io::Error::new(kind, format!("{cause} after {} bytes", self.durable))
+    }
+}
+
+impl<W: Write> Write for FaultedSink<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if let Some(cause) = self.dead {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, cause));
+        }
+        let call = self.write_calls;
+        self.write_calls += 1;
+        // Fatal limit first: accept only the durable prefix, then die.
+        if let Some(limit) = self.plan.death_offset() {
+            if self.durable + buf.len() as u64 > limit {
+                let keep = limit.saturating_sub(self.durable) as usize;
+                self.inner.write_all(&buf[..keep])?;
+                self.durable += keep as u64;
+                let (cause, kind) = if Some(limit) == self.plan.torn_at {
+                    ("injected torn write", io::ErrorKind::WriteZero)
+                } else {
+                    ("injected ENOSPC", io::ErrorKind::StorageFull)
+                };
+                return Err(self.die(cause, kind));
+            }
+        }
+        let n = self.plan.short_write(call, buf.len()).unwrap_or(buf.len());
+        self.inner.write_all(&buf[..n])?;
+        self.durable += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(cause) = self.dead {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, cause));
+        }
+        self.flush_calls += 1;
+        if self.plan.fail_flush_at == Some(self.flush_calls) {
+            return Err(self.die("injected flush failure", io::ErrorKind::Other));
+        }
+        self.inner.flush()
+    }
+}
 
 #[cfg(test)]
 mod tests {

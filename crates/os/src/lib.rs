@@ -63,6 +63,7 @@ pub mod net;
 pub use cost::CostModel;
 pub use exec::{DirectExecutor, ExecError, ExecOutcome};
 pub use faults::IoFaults;
+pub use fs::{FaultedSink, SinkFaults};
 pub use kernel::{
     Disposition, ExternalChunk, ExternalDest, Kernel, KernelStats, SysOutcome, SyscallEffect, Wake,
     WorldConfig,

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! dp record <workload> [--threads N] [--size small|medium|large]
-//!           [--epoch CYCLES] [--seed S] [--out FILE]
+//!           [--epoch CYCLES] [--seed S] [--out FILE] [--journal FILE]
+//! dp salvage <JOURNAL> [-o FILE]
 //! dp replay <FILE> --workload <workload> [--threads N] [--size ...] [--parallel N]
 //! dp analyze <FILE> race   --workload <name> [--threads N] [--size S]
 //!                          [--assert-races | --assert-clean]
@@ -18,6 +19,12 @@
 //! replay-based analyses need it again (with the same parameters) because
 //! recordings carry only a program hash, not the program itself.
 //!
+//! `--journal` streams the recording to a crash-consistent `DPRJ` journal
+//! while it is produced; `dp salvage` recovers the committed epoch prefix
+//! from a journal a crash left behind. Every output file is written
+//! atomically (`<path>.tmp` + rename) except the journal itself, whose
+//! entire point is to be written incrementally.
+//!
 //! Failures exit nonzero with a one-line `error: <command>: <detail>`
 //! message; a missing or truncated recording file is never a panic.
 
@@ -28,7 +35,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dp list\n  dp record <workload> [--threads N] [--size S] [--epoch C] [--seed X] [--out FILE]\n  dp replay <FILE> --workload <name> [--threads N] [--size S] [--parallel N]\n  dp analyze <FILE> race --workload <name> [--threads N] [--size S] [--assert-races|--assert-clean]\n  dp analyze <FILE> triage --workload <name> [--threads N] [--size S]\n  dp analyze <FILE> inspect\n  dp analyze <FILE> diff <FILE2>\n  dp analyze <FILE> compact [--out FILE] [--workload <name>]\n  dp inspect <FILE>"
+        "usage:\n  dp list\n  dp record <workload> [--threads N] [--size S] [--epoch C] [--seed X] [--out FILE] [--journal FILE]\n  dp salvage <JOURNAL> [-o FILE]\n  dp replay <FILE> --workload <name> [--threads N] [--size S] [--parallel N]\n  dp analyze <FILE> race --workload <name> [--threads N] [--size S] [--assert-races|--assert-clean]\n  dp analyze <FILE> triage --workload <name> [--threads N] [--size S]\n  dp analyze <FILE> inspect\n  dp analyze <FILE> diff <FILE2>\n  dp analyze <FILE> compact [--out FILE] [--workload <name>]\n  dp inspect <FILE>"
     );
     exit(2);
 }
@@ -39,8 +46,20 @@ fn fail(what: &str, detail: impl std::fmt::Display) -> ! {
     exit(1);
 }
 
-/// Reads and parses a recording in either container format (`DPRC` or
-/// compact `DPRZ`), failing with a structured error instead of panicking.
+/// Writes `bytes` to `path` atomically: the content goes to `<path>.tmp`,
+/// renamed over the destination only once fully written — a crash or a
+/// full disk mid-write never leaves a torn output file behind.
+fn write_atomic(cmd: &str, path: &str, bytes: &[u8]) {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, bytes)
+        .unwrap_or_else(|e| fail(cmd, format_args!("cannot write `{tmp}`: {e}")));
+    std::fs::rename(&tmp, path)
+        .unwrap_or_else(|e| fail(cmd, format_args!("cannot rename `{tmp}` to `{path}`: {e}")));
+}
+
+/// Reads and parses a recording in any container format (`DPRC`, compact
+/// `DPRZ`, or a finalized `DPRJ` journal), failing with a structured error
+/// instead of panicking.
 fn load_recording(cmd: &str, path: &str) -> Recording {
     let bytes = std::fs::read(path)
         .unwrap_or_else(|e| fail(cmd, format_args!("cannot read `{path}`: {e}")));
@@ -63,6 +82,7 @@ struct Opts {
     epoch: u64,
     seed: u64,
     out: Option<String>,
+    journal: Option<String>,
     workload: Option<String>,
     parallel: usize,
     assert_races: bool,
@@ -76,6 +96,7 @@ fn parse_opts(args: &[String]) -> Opts {
         epoch: 200_000,
         seed: DoublePlayConfig::new(2).hidden_seed,
         out: None,
+        journal: None,
         workload: None,
         parallel: 0,
         assert_races: false,
@@ -89,7 +110,8 @@ fn parse_opts(args: &[String]) -> Opts {
             "--size" => o.size = parse_size(&val()),
             "--epoch" => o.epoch = val().parse().unwrap_or_else(|_| usage()),
             "--seed" => o.seed = val().parse().unwrap_or_else(|_| usage()),
-            "--out" => o.out = Some(val()),
+            "--out" | "-o" => o.out = Some(val()),
+            "--journal" => o.journal = Some(val()),
             "--workload" => o.workload = Some(val()),
             "--parallel" => o.parallel = val().parse().unwrap_or_else(|_| usage()),
             "--assert-races" => o.assert_races = true,
@@ -188,9 +210,7 @@ fn cmd_analyze(argv: &[String]) {
             let mut buf = Vec::new();
             analyze::save_compact(&recording, &mut buf)
                 .unwrap_or_else(|e| fail("analyze", format_args!("serialization failed: {e}")));
-            std::fs::write(&out_path, &buf).unwrap_or_else(|e| {
-                fail("analyze", format_args!("cannot write `{out_path}`: {e}"))
-            });
+            write_atomic("analyze", &out_path, &buf);
             println!("wrote {out_path} ({} bytes)", buf.len());
             // With the workload at hand, prove the round trip.
             if o.workload.is_some() {
@@ -241,7 +261,32 @@ fn main() {
             let config = DoublePlayConfig::new(o.threads)
                 .epoch_cycles(o.epoch)
                 .hidden_seed(o.seed);
-            let bundle = match record(&case.spec, &config) {
+            // With --journal, every committed epoch streams to the journal
+            // file as it happens; a crash mid-run leaves a salvageable
+            // prefix instead of nothing. The journal is written in place
+            // (it IS the incremental artifact); the final recording below
+            // is still written atomically.
+            let result = match &o.journal {
+                Some(jpath) => {
+                    let file = std::fs::File::create(jpath).unwrap_or_else(|e| {
+                        fail("record", format_args!("cannot create `{jpath}`: {e}"))
+                    });
+                    let mut sink = JournalWriter::new(std::io::BufWriter::new(file))
+                        .unwrap_or_else(|e| {
+                            fail("record", format_args!("cannot write `{jpath}`: {e}"))
+                        });
+                    let r = record_to(&case.spec, &config, &mut sink);
+                    if r.is_err() {
+                        eprintln!(
+                            "note: journal `{jpath}` retains every committed epoch; \
+                             recover with `dp salvage {jpath}`"
+                        );
+                    }
+                    r
+                }
+                None => record(&case.spec, &config),
+            };
+            let bundle = match result {
                 Ok(b) => b,
                 Err(e) => fail("record", e),
             };
@@ -253,14 +298,40 @@ fn main() {
                 s.overhead() * 100.0,
                 s.log_bytes()
             );
+            if let Some(jpath) = &o.journal {
+                println!("journal {jpath} finalized");
+            }
             let path = o.out.unwrap_or_else(|| format!("{name}.dprec"));
-            let file = std::fs::File::create(&path)
-                .unwrap_or_else(|e| fail("record", format_args!("cannot create `{path}`: {e}")));
+            let mut buf = Vec::new();
             bundle
                 .recording
-                .save(file)
-                .unwrap_or_else(|e| fail("record", format_args!("cannot write `{path}`: {e}")));
+                .save(&mut buf)
+                .unwrap_or_else(|e| fail("record", format_args!("cannot serialize: {e}")));
+            write_atomic("record", &path, &buf);
             println!("wrote {path}");
+        }
+        "salvage" => {
+            let Some(path) = argv.get(1) else { usage() };
+            let o = parse_opts(&argv[2..]);
+            let bytes = std::fs::read(path)
+                .unwrap_or_else(|e| fail("salvage", format_args!("cannot read `{path}`: {e}")));
+            let salvaged = JournalReader::salvage(&bytes)
+                .unwrap_or_else(|e| fail("salvage", format_args!("cannot salvage `{path}`: {e}")));
+            println!(
+                "{path}: {} committed epoch(s), {} bytes salvaged, {} bytes dropped ({})",
+                salvaged.committed(),
+                salvaged.salvaged_bytes,
+                salvaged.dropped_bytes,
+                salvaged.detail
+            );
+            let out = o.out.unwrap_or_else(|| format!("{path}.dprec"));
+            let mut buf = Vec::new();
+            salvaged
+                .recording
+                .save(&mut buf)
+                .unwrap_or_else(|e| fail("salvage", format_args!("cannot serialize: {e}")));
+            write_atomic("salvage", &out, &buf);
+            println!("wrote {out} ({} bytes)", buf.len());
         }
         "replay" => {
             let Some(path) = argv.get(1) else { usage() };

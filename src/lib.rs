@@ -61,9 +61,9 @@ pub use dp_workloads as workloads;
 /// The commonly-used surface in one import.
 pub mod prelude {
     pub use dp_core::{
-        measure_native, record, replay_parallel, replay_sequential, replay_to_point,
-        DoublePlayConfig, FaultPlan, GuestSpec, RecordError, RecorderStats, Recording,
-        RecordingBundle, ReplayError,
+        measure_native, record, record_to, replay_parallel, replay_sequential, replay_to_point,
+        DoublePlayConfig, FaultPlan, GuestSpec, JournalReader, JournalWriter, RecordError,
+        RecorderStats, Recording, RecordingBundle, ReplayError, Salvaged, SaveError,
     };
     pub use dp_workloads::{racy_suite, suite, Size, WorkloadCase};
 }
