@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures. Usage:
 //!
 //! ```text
-//! report [small|medium|large] [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 | all]
+//! report [small|medium|large] [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 | all]
 //! ```
 
 use dp_bench::experiments as exp;
@@ -59,5 +59,8 @@ fn main() {
     }
     if want("e12") {
         println!("{}", exp::table_journal(size));
+    }
+    if want("e13") {
+        println!("{}", exp::table_wallclock(size));
     }
 }

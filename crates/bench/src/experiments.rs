@@ -749,6 +749,154 @@ pub fn table_journal(size: Size) -> Table {
     t
 }
 
+/// A verify-heavy guest for the wall-clock experiments: main touches
+/// `pages` distinct memory pages (one store each), making every
+/// subsequent state digest walk a large resident set, then two threads
+/// run a synchronized (atomic) counter loop. Verification — replay plus
+/// three full digests per epoch — dominates the thread-parallel run by a
+/// wide margin, which is exactly the regime where moving verify work onto
+/// real spare cores pays.
+pub fn verify_heavy_spec(pages: u64, iters: i64) -> dp_core::GuestSpec {
+    use dp_vm::builder::ProgramBuilder;
+    use dp_vm::Reg;
+    let mut pb = ProgramBuilder::new();
+    let counter = pb.global("counter", 8);
+    let arena = pb.global("arena", pages * 4096);
+    let mut w = pb.function("worker");
+    let top = w.label();
+    let done = w.label();
+    w.consti(Reg(10), 0);
+    w.consti(Reg(9), counter as i64);
+    w.bind(top);
+    w.bin(dp_vm::BinOp::Ltu, Reg(11), Reg(10), iters);
+    w.jz(Reg(11), done);
+    w.fetch_add(Reg(12), Reg(9), 1i64);
+    w.add(Reg(10), Reg(10), 1i64);
+    w.jmp(top);
+    w.bind(done);
+    w.consti(Reg(0), 0);
+    w.syscall(dp_os::abi::SYS_THREAD_EXIT);
+    w.finish();
+    let worker = pb.declare("worker");
+    let mut f = pb.function("main");
+    // Touch one word per page so the digest must walk `pages` pages.
+    let touch_top = f.label();
+    let touch_done = f.label();
+    f.consti(Reg(8), arena as i64);
+    f.consti(Reg(10), 0);
+    f.bind(touch_top);
+    f.bin(dp_vm::BinOp::Ltu, Reg(11), Reg(10), pages as i64);
+    f.jz(Reg(11), touch_done);
+    f.store(Reg(10), Reg(8), 0, dp_vm::Width::W8);
+    f.add(Reg(8), Reg(8), 4096i64);
+    f.add(Reg(10), Reg(10), 1i64);
+    f.jmp(touch_top);
+    f.bind(touch_done);
+    for _ in 0..2 {
+        f.consti(Reg(0), worker.0 as i64);
+        f.consti(Reg(1), 0);
+        f.consti(Reg(2), 0);
+        f.syscall(dp_os::abi::SYS_SPAWN);
+    }
+    for t in 1..=2i64 {
+        f.consti(Reg(0), t);
+        f.syscall(dp_os::abi::SYS_JOIN);
+    }
+    f.consti(Reg(9), counter as i64);
+    f.load(Reg(0), Reg(9), 0, dp_vm::Width::W8);
+    f.syscall(dp_os::abi::SYS_EXIT);
+    f.finish();
+    dp_core::GuestSpec::new(
+        "verify-heavy",
+        std::sync::Arc::new(pb.finish("main")),
+        dp_os::kernel::WorldConfig::default(),
+    )
+}
+
+/// The E13 recorder configuration: small epochs over a large resident set
+/// keep the per-epoch digest (verify-side) cost far above the
+/// thread-parallel cost, and per-epoch checkpoints are not retained so the
+/// commit stage stays light.
+pub fn wallclock_config(workers: usize) -> DoublePlayConfig {
+    DoublePlayConfig::new(2)
+        .epoch_cycles(6_000)
+        .spare_workers(workers)
+        .keep_checkpoints(false)
+}
+
+/// E13 / Table: real wall-clock uniparallelism — sequential recording vs
+/// the multithreaded pipeline at 1, 2 and 4 spare verify workers.
+///
+/// For each worker count the same guest records twice: once with the
+/// lockstep sequential driver, once with `pipelined(true)` (TP front-end
+/// speculating ahead, verify workers on real OS threads, in-order commit).
+/// The `identical` column asserts the contract that makes the pipeline
+/// safe to ship: byte-identical recordings and equal modeled stats. On a
+/// host with enough free cores, wall time strictly drops as workers are
+/// added (the verify-heavy workload leaves the front-end waiting on
+/// digests otherwise); on a starved host the speedup column degrades
+/// toward 1.0x but identity still holds.
+pub fn table_wallclock(size: Size) -> Table {
+    let mut t = Table::new(
+        "E13 / Table: wall-clock uniparallelism (2 guest CPUs, verify-heavy)",
+        "pipelined wall time should fall as spare workers grow (>=1.5x at 4 \
+         workers on an idle multicore host); recordings must stay \
+         byte-identical to the sequential driver at every worker count",
+        &[
+            "workers",
+            "seq wall",
+            "pipelined wall",
+            "speedup",
+            "util",
+            "depth p50",
+            "cancelled",
+            "identical",
+        ],
+    );
+    let pages = 192 * size.factor();
+    let iters = (1_500 * size.factor()) as i64;
+    let spec = verify_heavy_spec(pages, iters);
+    for workers in [1usize, 2, 4] {
+        let config = wallclock_config(workers);
+        let seq = record(&spec, &config.pipelined(false)).expect("sequential record");
+        let pip = record(&spec, &config.pipelined(true)).expect("pipelined record");
+        let mut seq_bytes = Vec::new();
+        let mut pip_bytes = Vec::new();
+        seq.recording.save(&mut seq_bytes).expect("save failed");
+        pip.recording.save(&mut pip_bytes).expect("save failed");
+        let identical = seq_bytes == pip_bytes && seq.stats == pip.stats;
+        assert!(
+            identical,
+            "pipelined recording diverged from sequential at {workers} workers"
+        );
+        let seq_ms = seq.stats.wall.wall_ns as f64 / 1e6;
+        let pip_ms = pip.stats.wall.wall_ns as f64 / 1e6;
+        let w = &pip.stats.wall;
+        // Median submit-time speculation depth from the histogram.
+        let total: u64 = w.depth_histogram.iter().sum();
+        let mut seen = 0u64;
+        let p50 = w
+            .depth_histogram
+            .iter()
+            .position(|&n| {
+                seen += n;
+                seen * 2 >= total
+            })
+            .unwrap_or(0);
+        t.row(vec![
+            workers.to_string(),
+            format!("{seq_ms:.1} ms"),
+            format!("{pip_ms:.1} ms"),
+            format!("{:.2}x", seq_ms / pip_ms.max(1e-9)),
+            pct(w.utilization()),
+            p50.to_string(),
+            w.cancelled_epochs.to_string(),
+            "yes".to_string(),
+        ]);
+    }
+    t
+}
+
 /// Saves `recording`, flips one deterministic bit per trial, and counts how
 /// many corrupted images `Recording::load` rejects with the typed
 /// `ReplayError::Corrupt` (anything else would violate the acceptance

@@ -48,6 +48,21 @@ impl Checkpoint {
         }
     }
 
+    /// Snapshots the current world *without* computing the machine digest
+    /// (left 0). The pipelined recorder uses this on its speculative
+    /// front-end: hashing is the dominant per-epoch cost, so it is deferred
+    /// to the verify worker, which recomputes the digest off the critical
+    /// path. A deferred checkpoint is only ever a verify/live *start* state
+    /// (whose digest is never read); it must not become authoritative
+    /// until the digest is filled in.
+    pub fn capture_deferred(machine: &Machine, kernel: &Kernel) -> Self {
+        Checkpoint {
+            machine: machine.clone(),
+            kernel: kernel.clone(),
+            machine_hash: 0,
+        }
+    }
+
     /// Epoch-boundary targets derived from this checkpoint's thread table:
     /// running the previous epoch must bring every thread to exactly these
     /// instruction counts.

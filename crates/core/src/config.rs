@@ -54,6 +54,17 @@ pub struct DoublePlayConfig {
     pub max_instructions: u64,
     /// Deterministic fault-injection plan (default: no faults).
     pub faults: FaultPlan,
+    /// Run the recorder as a real multithreaded pipeline: the
+    /// thread-parallel front-end speculates up to `spare_workers` epochs
+    /// ahead while OS-thread verify workers check epochs out of order and
+    /// a commit stage retires them strictly in order. Produces a recording
+    /// byte-identical to the sequential coordinator — this knob changes
+    /// wall-clock execution strategy only, so it is deliberately **not**
+    /// part of the wire encoding (see the hand-written [`Wire`] impl
+    /// below).
+    ///
+    /// [`Wire`]: dp_support::wire::Wire
+    pub pipelined: bool,
 }
 
 impl DoublePlayConfig {
@@ -74,6 +85,7 @@ impl DoublePlayConfig {
             keep_checkpoints: true,
             max_instructions: 2_000_000_000,
             faults: FaultPlan::none(),
+            pipelined: false,
         }
     }
 
@@ -132,22 +144,52 @@ impl DoublePlayConfig {
         self.faults = plan;
         self
     }
+
+    /// Enables or disables the real multithreaded recording pipeline.
+    pub fn pipelined(mut self, on: bool) -> Self {
+        self.pipelined = on;
+        self
+    }
 }
 
-dp_support::impl_wire_struct!(DoublePlayConfig {
-    cpus,
-    spare_workers,
-    epoch_cycles,
-    ep_quantum,
-    tp_quantum,
-    tp_jitter,
-    hidden_seed,
-    adaptive,
-    forward_recovery,
-    keep_checkpoints,
-    max_instructions,
-    faults
-});
+// Hand-written (not `impl_wire_struct!`) because `pipelined` must stay out
+// of the encoding: `RecordingMeta` embeds the config, and a pipelined run
+// must produce a recording byte-identical to a sequential one. Decoding
+// always yields `pipelined: false`; replay never pipelines.
+impl dp_support::wire::Wire for DoublePlayConfig {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.cpus.put(out);
+        self.spare_workers.put(out);
+        self.epoch_cycles.put(out);
+        self.ep_quantum.put(out);
+        self.tp_quantum.put(out);
+        self.tp_jitter.put(out);
+        self.hidden_seed.put(out);
+        self.adaptive.put(out);
+        self.forward_recovery.put(out);
+        self.keep_checkpoints.put(out);
+        self.max_instructions.put(out);
+        self.faults.put(out);
+    }
+
+    fn get(r: &mut dp_support::wire::Reader<'_>) -> Result<Self, dp_support::wire::WireError> {
+        Ok(DoublePlayConfig {
+            cpus: dp_support::wire::Wire::get(r)?,
+            spare_workers: dp_support::wire::Wire::get(r)?,
+            epoch_cycles: dp_support::wire::Wire::get(r)?,
+            ep_quantum: dp_support::wire::Wire::get(r)?,
+            tp_quantum: dp_support::wire::Wire::get(r)?,
+            tp_jitter: dp_support::wire::Wire::get(r)?,
+            hidden_seed: dp_support::wire::Wire::get(r)?,
+            adaptive: dp_support::wire::Wire::get(r)?,
+            forward_recovery: dp_support::wire::Wire::get(r)?,
+            keep_checkpoints: dp_support::wire::Wire::get(r)?,
+            max_instructions: dp_support::wire::Wire::get(r)?,
+            faults: dp_support::wire::Wire::get(r)?,
+            pipelined: false,
+        })
+    }
+}
 
 impl Default for DoublePlayConfig {
     fn default() -> Self {
@@ -192,5 +234,17 @@ mod tests {
     #[should_panic(expected = "at least one CPU")]
     fn zero_cpus_panics() {
         DoublePlayConfig::new(0);
+    }
+
+    #[test]
+    fn pipelined_is_not_part_of_the_wire_encoding() {
+        let seq = DoublePlayConfig::new(2).epoch_cycles(1234).hidden_seed(9);
+        let pip = seq.pipelined(true);
+        let a = dp_support::wire::to_bytes(&seq);
+        let b = dp_support::wire::to_bytes(&pip);
+        assert_eq!(a, b, "pipelined must not change the encoding");
+        let decoded: DoublePlayConfig = dp_support::wire::from_bytes(&b).unwrap();
+        assert!(!decoded.pipelined, "decode always yields sequential");
+        assert_eq!(decoded, seq);
     }
 }

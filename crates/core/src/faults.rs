@@ -190,6 +190,13 @@ impl FaultPlan {
     }
 
     /// Should the worker executing `epoch` panic on retry `attempt`?
+    ///
+    /// A pure hash of `(seed, epoch, attempt)` — no interior state, no
+    /// call-order dependence. This is what keeps panic injection
+    /// deterministic in the pipelined recorder, where concurrent verify
+    /// workers evaluate it in whatever order the OS schedules them: a
+    /// given `(epoch, attempt)` answers the same on every thread, every
+    /// run, so the pipelined and sequential drivers inject identically.
     pub fn worker_panics(&self, epoch: u32, attempt: u32) -> bool {
         self.worker_panic_p > 0.0
             && roll(

@@ -68,7 +68,11 @@ pub trait RecordSink {
     fn begin(&mut self, meta: &RecordingMeta, initial: &CheckpointImage) -> io::Result<()>;
     /// Called after each epoch commits (including recovered divergent
     /// epochs and serialized-fallback epochs — everything that becomes
-    /// part of the final recording, in order).
+    /// part of the final recording). Epochs arrive **strictly in index
+    /// order** (0, 1, 2, …): both recording drivers retire through the
+    /// same in-order commit stage — even the pipelined one, whose verify
+    /// workers finish out of order, holds results back until their turn.
+    /// Sinks may rely on this for append-only layouts.
     fn epoch(&mut self, epoch: &EpochRecord) -> io::Result<()>;
     /// Called once on clean completion of the whole run.
     fn finish(&mut self) -> io::Result<()>;
@@ -180,6 +184,18 @@ impl<W: Write> RecordSink for JournalWriter<W> {
     }
 
     fn epoch(&mut self, epoch: &EpochRecord) -> io::Result<()> {
+        // Enforce the RecordSink in-order contract: a commit stage bug
+        // (out-of-order retirement in the pipelined driver) must surface
+        // here, not as a silently unreplayable journal.
+        if epoch.index != self.epochs {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "out-of-order epoch {} (journal expects {})",
+                    epoch.index, self.epochs
+                ),
+            ));
+        }
         let payload = to_bytes(epoch);
         let payload_crc = crc32(&payload);
         self.frame(TAG_EPOCH, &payload)?;
@@ -430,6 +446,17 @@ mod tests {
         }
         assert_eq!(w.epochs_committed(), 3);
         (w.into_inner(), commit_offsets)
+    }
+
+    #[test]
+    fn out_of_order_epochs_are_rejected() {
+        let (meta, initial, epochs) = tiny_parts();
+        let mut w = JournalWriter::new(Vec::new()).unwrap();
+        w.begin(&meta, &initial).unwrap();
+        let err = w.epoch(&epochs[1]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        w.epoch(&epochs[0]).unwrap();
+        assert_eq!(w.epochs_committed(), 1);
     }
 
     #[test]

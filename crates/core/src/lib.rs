@@ -54,6 +54,7 @@
 //! | thread-parallel execution | [`record::thread_parallel`] |
 //! | epoch-parallel execution & divergence | [`record::epoch_parallel`] |
 //! | uniparallel coordination, forward recovery | [`record::coordinator`] |
+//! | multithreaded recording on real spare cores | [`record::pipelined`] |
 //! | offline replay (sequential / parallel / to-point) | [`replay`] |
 //! | the recording artifact | [`recording`] |
 //! | crash-consistent streaming journal & salvage | [`journal`] |
@@ -86,5 +87,5 @@ pub use replay::{
     replay_epoch, replay_epoch_observed, replay_parallel, replay_sequential, replay_to_point,
     ReplayReport,
 };
-pub use stats::RecorderStats;
+pub use stats::{RecorderStats, WallClockStats, DEPTH_BUCKETS, MAX_TRACKED_WORKERS};
 pub use world::GuestSpec;

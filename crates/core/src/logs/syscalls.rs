@@ -49,8 +49,20 @@ pub fn request_hash(machine: &Machine, req: &SyscallRequest) -> u64 {
         _ => None,
     };
     if let Some((ptr, len)) = payload {
-        let bytes = machine.mem().read_bytes(ptr, (len as usize).min(1 << 20));
-        h.write_bytes(&bytes);
+        // Verify hot path: one call per logged syscall per verify attempt.
+        // Stream the payload through a stack buffer instead of allocating
+        // a Vec per call.
+        let len = (len as usize).min(1 << 20);
+        let mut buf = [0u8; 1024];
+        let mut done = 0usize;
+        while done < len {
+            let n = (len - done).min(buf.len());
+            machine
+                .mem()
+                .read_into(ptr.wrapping_add(done as u64), &mut buf[..n]);
+            h.write_bytes(&buf[..n]);
+            done += n;
+        }
     }
     h.finish()
 }

@@ -13,28 +13,45 @@
 //!    is re-executed live on one CPU, its end state *becomes* the truth
 //!    (forward recovery), and the thread-parallel side restarts from it.
 //!
-//! The coordinator executes epochs in lockstep but accounts for time as the
-//! real system would pipeline them: the thread-parallel side runs ahead on
-//! `cpus` cores while committed epochs' single-CPU re-executions occupy the
-//! spare worker cores ([`crate::record::pipeline::WorkerPool`]). The
-//! recorded end-to-end runtime is the later of the two timelines; native
-//! runtime is measured by a separate thread-parallel run with recording
-//! work disabled (same hidden seed).
+//! Two drivers share this machinery:
+//!
+//! * the **sequential** driver below executes epochs in lockstep on one
+//!   OS thread and accounts for pipelining with the simulated-time
+//!   [`crate::record::pipeline::WorkerPool`] model only;
+//! * the **pipelined** driver ([`crate::record::pipelined`]) runs the same
+//!   stages on real OS threads: the thread-parallel front-end speculates
+//!   ahead while verify workers check epochs out of order and a commit
+//!   stage retires them strictly in order.
+//!
+//! Both produce byte-identical recordings: every piece of state that ends
+//! up in the recording or in the modeled statistics is mutated only by the
+//! shared stage functions in this module ([`charge_tp_side`],
+//! [`commit_clean`], [`retire_diverged`], [`record_serialized_epoch`]),
+//! applied in strict epoch order. The recorded end-to-end runtime is the
+//! later of the two modeled timelines; native runtime is measured by a
+//! separate thread-parallel run with recording work disabled (same hidden
+//! seed).
 
-use crate::checkpoint::Checkpoint;
+use crate::checkpoint::{Checkpoint, EpochTargets, ThreadTarget};
 use crate::config::DoublePlayConfig;
 use crate::error::RecordError;
 use crate::faults::{FaultPlan, INJECTED_PANIC_TAG};
 use crate::journal::{NullSink, RecordSink};
 use crate::logs::codec;
-use crate::record::epoch_parallel::{run_live, run_verify, EpOutcome, VerifyInputs};
+use crate::record::epoch_parallel::{
+    run_live, run_verify_cancellable, CancelToken, EpOutcome, VerifyInputs,
+};
 use crate::record::pipeline::WorkerPool;
 use crate::record::thread_parallel::TpRunner;
 use crate::recording::{EpochRecord, Recording, RecordingMeta};
-use crate::stats::RecorderStats;
+use crate::stats::{RecorderStats, WallClockStats};
 use crate::world::GuestSpec;
+use dp_os::kernel::Kernel;
+use dp_os::CostModel;
+use dp_vm::Machine;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
 /// A finished recording plus its measurements.
 #[derive(Debug)]
@@ -46,7 +63,7 @@ pub struct RecordingBundle {
 }
 
 /// Hard cap on recorded epochs (runaway-guest backstop).
-const MAX_EPOCHS: u32 = 1_000_000;
+pub(crate) const MAX_EPOCHS: u32 = 1_000_000;
 
 /// How many times a panicked epoch worker is re-executed before the epoch
 /// is declared unconvergeable ([`RecordError::DivergenceLoop`]).
@@ -70,7 +87,7 @@ pub fn record(spec: &GuestSpec, config: &DoublePlayConfig) -> Result<RecordingBu
 }
 
 /// Maps a durable-sink failure into the typed recorder error.
-fn sink_err(e: std::io::Error) -> RecordError {
+pub(crate) fn sink_err(e: std::io::Error) -> RecordError {
     RecordError::Sink {
         detail: e.to_string(),
     }
@@ -83,6 +100,10 @@ fn sink_err(e: std::io::Error) -> RecordError {
 /// crash-consistent — a run that dies mid-way leaves a journal from which
 /// [`crate::JournalReader::salvage`] recovers every committed epoch.
 ///
+/// With [`DoublePlayConfig::pipelined`] set (and at least one spare
+/// worker), recording runs on real OS threads — same bytes, same modeled
+/// stats, less wall-clock time; see [`crate::record::pipelined`].
+///
 /// # Errors
 ///
 /// Everything [`record`] raises, plus [`RecordError::Sink`] when the sink
@@ -94,6 +115,105 @@ pub fn record_to(
     config: &DoublePlayConfig,
     sink: &mut dyn RecordSink,
 ) -> Result<RecordingBundle, RecordError> {
+    if config.pipelined && config.spare_workers > 0 {
+        crate::record::pipelined::record_pipelined(spec, config, sink)
+    } else {
+        record_sequential(spec, config, sink)
+    }
+}
+
+/// Committed state of a recording run: everything the strictly-in-order
+/// retire stage reads and writes. Mutated only by the shared stage
+/// functions, so the sequential and pipelined drivers cannot disagree.
+pub(crate) struct CommitState {
+    pub stats: RecorderStats,
+    pub epochs: Vec<EpochRecord>,
+    pub pool: WorkerPool,
+    /// Thread-parallel timeline (with recording costs), simulated cycles.
+    pub tp_time: u64,
+    /// Epoch-commit timeline, simulated cycles.
+    pub commit_time: u64,
+    /// Start checkpoint of the next epoch to retire. Authoritative: its
+    /// digest is always the true machine hash.
+    pub prev: Checkpoint,
+}
+
+/// Adaptive-epoch and degradation control: epoch sizing and the sliding
+/// divergence window. The sequential driver mutates it in lockstep; the
+/// pipelined front-end speculates it forward (assuming clean commits) and
+/// restores a snapshot on rollback.
+#[derive(Debug, Clone)]
+pub(crate) struct ControlState {
+    pub epoch_len: u64,
+    pub clean_streak: u32,
+    /// Recent divergence outcomes (true = diverged).
+    pub window: VecDeque<bool>,
+    /// Remaining epochs to record in degraded serialized mode.
+    pub serialized_left: u32,
+}
+
+impl ControlState {
+    pub fn new(config: &DoublePlayConfig) -> Self {
+        ControlState {
+            epoch_len: config.epoch_cycles,
+            clean_streak: 0,
+            window: VecDeque::new(),
+            serialized_left: 0,
+        }
+    }
+
+    /// Adaptive growth after a sustained clean streak.
+    pub fn on_clean(&mut self, config: &DoublePlayConfig) {
+        self.clean_streak += 1;
+        if config.adaptive && self.clean_streak >= 8 {
+            self.epoch_len = (self.epoch_len + self.epoch_len / 4).min(config.epoch_cycles * 8);
+            self.clean_streak = 0;
+        }
+    }
+
+    /// Adaptive shrink on a divergence.
+    pub fn on_diverged(&mut self, config: &DoublePlayConfig) {
+        self.clean_streak = 0;
+        if config.adaptive {
+            self.epoch_len = (self.epoch_len / 2)
+                .max(config.epoch_cycles / 16)
+                .max(1_000);
+        }
+    }
+
+    /// Slides the divergence window; a saturated window switches the
+    /// coordinator to serialized recording for a while, making the
+    /// DivergenceLoop abort a genuine last resort. Only a divergence can
+    /// trip the threshold, so the pipelined front-end — which speculates
+    /// clean outcomes — can never speculate *into* serialized mode.
+    pub fn note_outcome(&mut self, diverged: bool) {
+        self.window.push_back(diverged);
+        if self.window.len() > DEGRADE_WINDOW {
+            self.window.pop_front();
+        }
+        if self.window.iter().filter(|&&d| d).count() >= DEGRADE_THRESHOLD {
+            self.serialized_left = SERIALIZED_EPOCHS;
+            self.window.clear();
+        }
+    }
+}
+
+/// A recording run's shared context: the commit state plus the immutable
+/// header produced at boot.
+pub(crate) struct Session {
+    pub commit: CommitState,
+    pub cost: CostModel,
+    pub meta: RecordingMeta,
+    pub initial_image: crate::checkpoint::CheckpointImage,
+}
+
+/// Boots the guest, captures the initial checkpoint, and writes the sink
+/// header. Returns the session plus the live (mutable) world.
+pub(crate) fn begin_session(
+    spec: &GuestSpec,
+    config: &DoublePlayConfig,
+    sink: &mut dyn RecordSink,
+) -> Result<(Session, Machine, Kernel), RecordError> {
     let (mut machine, mut kernel) = spec.boot();
     if config.faults.is_active() {
         // Install before the initial checkpoint so the plan rides inside
@@ -111,263 +231,520 @@ pub fn record_to(
     };
     let initial_image = initial.to_image();
     sink.begin(&meta, &initial_image).map_err(sink_err)?;
-    let mut tp = TpRunner::new(config);
-    let mut pool = WorkerPool::new(config.spare_workers.max(1));
-    let mut stats = RecorderStats::default();
-    let mut epochs: Vec<EpochRecord> = Vec::new();
+    let commit = CommitState {
+        stats: RecorderStats::default(),
+        epochs: Vec::new(),
+        pool: WorkerPool::new(config.spare_workers.max(1)),
+        tp_time: 0,
+        commit_time: 0,
+        prev: initial,
+    };
+    Ok((
+        Session {
+            commit,
+            cost,
+            meta,
+            initial_image,
+        },
+        machine,
+        kernel,
+    ))
+}
 
-    let mut prev = initial.clone();
-    let mut tp_time = 0u64; // thread-parallel timeline (with recording costs)
-    let mut commit_time = 0u64; // epoch-commit timeline
-    let mut epoch_len = config.epoch_cycles;
-    let mut clean_streak = 0u32;
-    let mut guest_clock = 0u64; // virtual time base for the guest
+/// Seals the run: completion marker, end-to-end timelines, native-runtime
+/// measurement. `kernel` is the final committed kernel (its fault counters
+/// are part of the stats).
+pub(crate) fn finish_session(
+    mut s: Session,
+    spec: &GuestSpec,
+    config: &DoublePlayConfig,
+    sink: &mut dyn RecordSink,
+    kernel: &Kernel,
+    wall: WallClockStats,
+) -> Result<RecordingBundle, RecordError> {
+    sink.finish().map_err(sink_err)?;
+    s.commit.stats.recorded_cycles = s.commit.tp_time.max(s.commit.commit_time);
+    s.commit.stats.io_faults = kernel.stats.injected_faults;
+    s.commit.stats.wall = wall;
+    s.commit.stats.native_cycles = measure_native(spec, config)?;
+    Ok(RecordingBundle {
+        recording: Recording {
+            meta: s.meta,
+            initial: s.initial_image,
+            epochs: s.commit.epochs,
+        },
+        stats: s.commit.stats,
+    })
+}
+
+/// Everything one thread-parallel epoch produced, carried from the submit
+/// stage to the in-order retire stage.
+pub(crate) struct EpochWork {
+    pub index: u32,
+    /// Guest clock at the epoch's start.
+    pub epoch_start: u64,
+    pub tp_cycles: u64,
+    pub tp_instructions: u64,
+    /// Pages dirtied by the epoch (checkpoint COW traffic).
+    pub dirty: u64,
+    pub syscalls: crate::logs::SyscallLog,
+    pub hint: crate::logs::ScheduleLog,
+    /// The world right after the epoch's thread-parallel run. Its digest is
+    /// *deferred*: the verify stage computes it ([`execute_verify`]), and
+    /// the retire stage attaches it when this state becomes the
+    /// authoritative checkpoint.
+    pub next_machine: Machine,
+    pub next_kernel: Kernel,
+}
+
+/// Runs one thread-parallel epoch on the live world and packages the
+/// result for the verify and retire stages.
+pub(crate) fn run_tp_epoch(
+    tp: &mut TpRunner<'_>,
+    machine: &mut Machine,
+    kernel: &mut Kernel,
+    index: u32,
+    epoch_start: u64,
+    epoch_len: u64,
+) -> Result<EpochWork, RecordError> {
+    let tp_out = tp.run_epoch(machine, kernel, epoch_start, epoch_len)?;
+    let dirty = machine.mem_mut().take_dirty().len() as u64;
+    kernel.take_external(); // thread-parallel output is speculative only
+    Ok(EpochWork {
+        index,
+        epoch_start,
+        tp_cycles: tp_out.cycles,
+        tp_instructions: tp_out.instructions,
+        dirty,
+        syscalls: tp_out.syscalls,
+        hint: tp_out.hint,
+        next_machine: machine.clone(),
+        next_kernel: kernel.clone(),
+    })
+}
+
+/// Borrowed inputs of one verify job: the sequential driver points these at
+/// its live state; the pipelined worker points them into the owned job it
+/// received over the channel.
+pub(crate) struct VerifyJobRef<'a> {
+    pub index: u32,
+    /// Start-of-epoch world. Only machine/kernel are read — the digest may
+    /// be deferred (0).
+    pub start: &'a Checkpoint,
+    pub hint: &'a crate::logs::ScheduleLog,
+    pub syscalls: &'a crate::logs::SyscallLog,
+    pub targets: &'a EpochTargets,
+    pub next_machine: &'a Machine,
+}
+
+/// How a verify attempt ended.
+pub(crate) enum VerifyVerdict {
+    /// The run completed; a divergence, if any, is inside the outcome.
+    Done(Box<EpOutcome>),
+    /// The worker panicked (injected or real); handled as a divergence.
+    Panicked,
+    /// A host-level error surfaced from the verify run.
+    Failed(RecordError),
+    /// A generation bump cancelled the job mid-run (pipelined only).
+    Cancelled,
+}
+
+/// Executes one verify job: computes the deferred end-state digest, then
+/// runs the panic-isolated verify. This is the single verify entry point
+/// for both drivers, so injected worker panics (keyed `(epoch, attempt 0)`
+/// — a pure hash, deterministic under any thread interleaving) and digest
+/// values can never differ between them.
+pub(crate) fn execute_verify(
+    job: VerifyJobRef<'_>,
+    plan: &FaultPlan,
+    cancel: Option<(&CancelToken, u64)>,
+) -> (u64, VerifyVerdict) {
+    let expected_hash = job.next_machine.state_hash();
+    let index = job.index;
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        if plan.worker_panics(index, 0) {
+            panic!("{INJECTED_PANIC_TAG} (epoch {index}, verify)");
+        }
+        run_verify_cancellable(
+            job.start,
+            VerifyInputs {
+                hint: job.hint,
+                targets: job.targets,
+                log: job.syscalls,
+                expected_hash,
+                expected_machine: Some(job.next_machine),
+            },
+            cancel,
+        )
+    }));
+    let verdict = match run {
+        Ok(Ok(Some(ep))) => VerifyVerdict::Done(Box::new(ep)),
+        Ok(Ok(None)) => VerifyVerdict::Cancelled,
+        Ok(Err(e)) => VerifyVerdict::Failed(e),
+        Err(_) => VerifyVerdict::Panicked,
+    };
+    (expected_hash, verdict)
+}
+
+/// Epoch-boundary targets of a machine's thread table (as
+/// [`Checkpoint::targets`], without needing a digest-bearing checkpoint).
+pub(crate) fn targets_of(machine: &Machine) -> EpochTargets {
+    machine
+        .threads()
+        .iter()
+        .map(|t| {
+            (
+                t.tid,
+                ThreadTarget {
+                    icount: t.icount,
+                    exited: t.is_exited(),
+                },
+            )
+        })
+        .collect()
+}
+
+/// Thread-parallel-side accounting for one epoch, applied at the in-order
+/// retire point. Returns the epoch's encoded syscall-log size (consumed by
+/// [`commit_clean`]).
+pub(crate) fn charge_tp_side(c: &mut CommitState, cost: &CostModel, work: &EpochWork) -> u64 {
+    let sys_bytes = codec::encode_syscalls(&work.syscalls).len() as u64;
+    let ckpt_cost = cost.checkpoint(work.dirty);
+    let tp_log_cost = cost.log_write(sys_bytes);
+    c.stats.tp_exec_cycles += work.tp_cycles;
+    c.stats.tp_instructions += work.tp_instructions;
+    c.stats.dirty_pages += work.dirty;
+    c.stats.checkpoint_cycles += ckpt_cost;
+    c.stats.log_write_cycles += tp_log_cost;
+    c.tp_time += work.tp_cycles + ckpt_cost + tp_log_cost;
+    sys_bytes
+}
+
+/// Commits a cleanly verified epoch: cost-model accounting, epoch record,
+/// sink write, authoritative-checkpoint advance. `expected_hash` is the
+/// digest of `work.next_machine` computed by the verify stage.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn commit_clean(
+    c: &mut CommitState,
+    config: &DoublePlayConfig,
+    cost: &CostModel,
+    sink: &mut dyn RecordSink,
+    work: EpochWork,
+    ep: EpOutcome,
+    expected_hash: u64,
+    sys_bytes: u64,
+) -> Result<(), RecordError> {
+    let hash_cost = cost.state_hash(ep.machine.mem().resident_pages() as u64);
+    let sched_bytes = codec::encode_schedule(&ep.schedule).len() as u64;
+    let ep_task = ep.cycles + hash_cost + cost.log_write(sched_bytes);
+    c.stats.ep_cycles += ep_task;
+    c.stats.log_write_cycles += cost.log_write(sched_bytes);
+    c.stats.schedule_bytes += sched_bytes;
+    c.stats.syscall_bytes += sys_bytes;
+    let ready = c.tp_time;
+    c.commit_time =
+        finish_epoch_task(config, &mut c.tp_time, &mut c.pool, ep_task, ready).max(c.commit_time);
+    c.epochs.push(EpochRecord {
+        index: work.index,
+        schedule: ep.schedule,
+        syscalls: work.syscalls,
+        end_machine_hash: expected_hash,
+        external: ep.external,
+        start: config.keep_checkpoints.then(|| c.prev.to_image()),
+        tp_cycles: work.tp_cycles,
+    });
+    sink.epoch(c.epochs.last().expect("epoch just pushed"))
+        .map_err(sink_err)?;
+    c.prev = Checkpoint {
+        machine: work.next_machine,
+        kernel: work.next_kernel,
+        machine_hash: expected_hash,
+    };
+    c.stats.committed += 1;
+    c.stats.epochs += 1;
+    Ok(())
+}
+
+/// The state a divergence retire adopts: the live re-execution's end world.
+pub(crate) struct Adopted {
+    pub machine: Machine,
+    pub kernel: Kernel,
+    /// Single-CPU cycles the live run consumed (advances the guest clock
+    /// from the epoch's start).
+    pub cycles: u64,
+}
+
+/// Retires a diverged (or worker-panicked) epoch: accounts for the wasted
+/// verify, re-executes the epoch live from the authoritative checkpoint,
+/// records the live outcome, and returns the adopted world (forward
+/// recovery). `verified` is the diverged outcome, `None` for a panic.
+pub(crate) fn retire_diverged(
+    c: &mut CommitState,
+    config: &DoublePlayConfig,
+    cost: &CostModel,
+    sink: &mut dyn RecordSink,
+    work: EpochWork,
+    verified: Option<EpOutcome>,
+) -> Result<Adopted, RecordError> {
+    c.stats.divergences += 1;
+    let verify_task = match &verified {
+        Some(ep) => ep.cycles + cost.state_hash(ep.machine.mem().resident_pages() as u64),
+        // A panicked worker's progress is unknowable; charge one epoch's
+        // worth of wasted work.
+        None => {
+            c.stats.worker_retries += 1;
+            work.tp_cycles
+        }
+    };
+    let ready = c.tp_time;
+    let detect = finish_epoch_task(config, &mut c.tp_time, &mut c.pool, verify_task, ready)
+        .max(c.commit_time);
+    c.stats.wasted_tp_cycles += detect.saturating_sub(c.tp_time);
+
+    let live_duration = work.tp_cycles.saturating_mul(config.cpus as u64).max(1);
+    let live = run_live_guarded(
+        &config.faults,
+        &mut c.stats,
+        work.index,
+        &c.prev,
+        live_duration,
+        config.ep_quantum,
+        work.epoch_start,
+    )?;
+    let live_sched_bytes = codec::encode_schedule(&live.schedule).len() as u64;
+    let live_sys_bytes = codec::encode_syscalls(&live.generated).len() as u64;
+    let live_hash_cost = cost.state_hash(live.machine.mem().resident_pages() as u64);
+    let live_task =
+        live.cycles + live_hash_cost + cost.log_write(live_sched_bytes + live_sys_bytes);
+    c.stats.recovery_cycles += live_task;
+    c.stats.ep_cycles += live_task;
+    c.stats.schedule_bytes += live_sched_bytes;
+    c.stats.syscall_bytes += live_sys_bytes;
+
+    let mut resume = detect + live_task;
+    if !config.forward_recovery {
+        // Full rollback also re-runs the thread-parallel epoch.
+        resume += work.tp_cycles;
+        c.stats.wasted_tp_cycles += work.tp_cycles;
+    }
+    c.commit_time = resume;
+    c.tp_time = resume;
+
+    // Adopt the live world by moving it out of the outcome — no full-world
+    // clones on the recovery path.
+    let EpOutcome {
+        schedule,
+        generated,
+        machine,
+        kernel,
+        end_hash,
+        external,
+        cycles,
+        ..
+    } = live;
+    c.epochs.push(EpochRecord {
+        index: work.index,
+        schedule,
+        syscalls: generated,
+        end_machine_hash: end_hash,
+        external,
+        start: config.keep_checkpoints.then(|| c.prev.to_image()),
+        tp_cycles: work.tp_cycles,
+    });
+    sink.epoch(c.epochs.last().expect("epoch just pushed"))
+        .map_err(sink_err)?;
+    c.prev = Checkpoint::capture(&machine, &kernel);
+    c.stats.epochs += 1;
+    Ok(Adopted {
+        machine,
+        kernel,
+        cycles,
+    })
+}
+
+/// Records one serialized (degraded-mode) epoch: a single uniprocessor-style
+/// execution — nothing speculative, nothing to diverge. Slower (no
+/// thread-parallelism) but guaranteed forward progress under a divergence
+/// storm. Returns the adopted world.
+pub(crate) fn record_serialized_epoch(
+    c: &mut CommitState,
+    config: &DoublePlayConfig,
+    cost: &CostModel,
+    sink: &mut dyn RecordSink,
+    index: u32,
+    epoch_start: u64,
+    epoch_len: u64,
+) -> Result<Adopted, RecordError> {
+    let duration = epoch_len.saturating_mul(config.cpus as u64).max(1);
+    let live = run_live_guarded(
+        &config.faults,
+        &mut c.stats,
+        index,
+        &c.prev,
+        duration,
+        config.ep_quantum,
+        epoch_start,
+    )?;
+    let sched_bytes = codec::encode_schedule(&live.schedule).len() as u64;
+    let sys_bytes = codec::encode_syscalls(&live.generated).len() as u64;
+    let hash_cost = cost.state_hash(live.machine.mem().resident_pages() as u64);
+    let task = live.cycles + hash_cost + cost.log_write(sched_bytes + sys_bytes);
+    c.stats.ep_cycles += task;
+    c.stats.log_write_cycles += cost.log_write(sched_bytes + sys_bytes);
+    c.stats.schedule_bytes += sched_bytes;
+    c.stats.syscall_bytes += sys_bytes;
+    c.stats.tp_instructions += live.instructions;
+    c.tp_time += task;
+    c.commit_time = c.commit_time.max(c.tp_time);
+
+    let EpOutcome {
+        schedule,
+        generated,
+        machine,
+        kernel,
+        end_hash,
+        external,
+        cycles,
+        ..
+    } = live;
+    c.epochs.push(EpochRecord {
+        index,
+        schedule,
+        syscalls: generated,
+        end_machine_hash: end_hash,
+        external,
+        start: config.keep_checkpoints.then(|| c.prev.to_image()),
+        tp_cycles: cycles,
+    });
+    sink.epoch(c.epochs.last().expect("epoch just pushed"))
+        .map_err(sink_err)?;
+    c.prev = Checkpoint::capture(&machine, &kernel);
+    c.stats.committed += 1;
+    c.stats.serialized_epochs += 1;
+    c.stats.epochs += 1;
+    Ok(Adopted {
+        machine,
+        kernel,
+        cycles,
+    })
+}
+
+/// The lockstep driver: submit, verify (inline), retire — one epoch at a
+/// time on the calling thread.
+fn record_sequential(
+    spec: &GuestSpec,
+    config: &DoublePlayConfig,
+    sink: &mut dyn RecordSink,
+) -> Result<RecordingBundle, RecordError> {
+    let wall_start = Instant::now();
+    let (mut s, mut machine, mut kernel) = begin_session(spec, config, sink)?;
+    let mut tp = TpRunner::new(config);
+    let mut control = ControlState::new(config);
+    let mut guest_clock = 0u64;
     let mut index = 0u32;
-    // Graceful degradation: recent divergence outcomes (true = diverged).
-    // When the window fills with divergences the coordinator stops
-    // speculating and records serialized epochs for a while.
-    let mut window: VecDeque<bool> = VecDeque::new();
-    let mut serialized_left = 0u32;
 
     loop {
-        if stats.tp_instructions > config.max_instructions || index >= MAX_EPOCHS {
+        if s.commit.stats.tp_instructions > config.max_instructions || index >= MAX_EPOCHS {
             return Err(RecordError::BudgetExhausted);
         }
         let epoch_start = guest_clock;
 
-        if serialized_left > 0 {
-            // Degraded mode: one uniprocessor-style execution per epoch —
-            // nothing speculative, nothing to diverge. Slower (no
-            // thread-parallelism) but guaranteed forward progress under a
-            // divergence storm.
-            serialized_left -= 1;
-            let duration = epoch_len.saturating_mul(config.cpus as u64).max(1);
-            let live = run_live_guarded(
-                &config.faults,
-                &mut stats,
+        if control.serialized_left > 0 {
+            control.serialized_left -= 1;
+            let adopted = record_serialized_epoch(
+                &mut s.commit,
+                config,
+                &s.cost,
+                sink,
                 index,
-                &prev,
-                duration,
-                config.ep_quantum,
                 epoch_start,
+                control.epoch_len,
             )?;
-            let sched_bytes = codec::encode_schedule(&live.schedule).len() as u64;
-            let sys_bytes = codec::encode_syscalls(&live.generated).len() as u64;
-            let hash_cost = cost.state_hash(live.machine.mem().resident_pages() as u64);
-            let task = live.cycles + hash_cost + cost.log_write(sched_bytes + sys_bytes);
-            stats.ep_cycles += task;
-            stats.log_write_cycles += cost.log_write(sched_bytes + sys_bytes);
-            stats.schedule_bytes += sched_bytes;
-            stats.syscall_bytes += sys_bytes;
-            stats.tp_instructions += live.instructions;
-            tp_time += task;
-            commit_time = commit_time.max(tp_time);
-
-            machine = live.machine;
-            kernel = live.kernel;
-            guest_clock = epoch_start + live.cycles;
-            epochs.push(EpochRecord {
-                index,
-                schedule: live.schedule,
-                syscalls: live.generated,
-                end_machine_hash: live.end_hash,
-                external: live.external,
-                start: config.keep_checkpoints.then(|| prev.to_image()),
-                tp_cycles: live.cycles,
-            });
-            sink.epoch(epochs.last().expect("epoch just pushed"))
-                .map_err(sink_err)?;
-            prev = Checkpoint::capture(&machine, &kernel);
-            stats.committed += 1;
-            stats.serialized_epochs += 1;
-
+            machine = adopted.machine;
+            kernel = adopted.kernel;
+            guest_clock = epoch_start + adopted.cycles;
             index += 1;
-            stats.epochs += 1;
             if machine.halted().is_some() || machine.live_threads() == 0 {
                 break;
             }
             continue;
         }
 
-        let tp_out = tp.run_epoch(&mut machine, &mut kernel, epoch_start, epoch_len)?;
-        guest_clock += tp_out.cycles;
-        let dirty = machine.mem_mut().take_dirty().len() as u64;
-        kernel.take_external(); // thread-parallel output is speculative only
-        let ckpt_next = Checkpoint::capture(&machine, &kernel);
+        let work = run_tp_epoch(
+            &mut tp,
+            &mut machine,
+            &mut kernel,
+            index,
+            epoch_start,
+            control.epoch_len,
+        )?;
+        guest_clock += work.tp_cycles;
+        let sys_bytes = charge_tp_side(&mut s.commit, &s.cost, &work);
 
-        let sys_bytes = codec::encode_syscalls(&tp_out.syscalls).len() as u64;
-        let ckpt_cost = cost.checkpoint(dirty);
-        let tp_log_cost = cost.log_write(sys_bytes);
-        stats.tp_exec_cycles += tp_out.cycles;
-        stats.tp_instructions += tp_out.instructions;
-        stats.dirty_pages += dirty;
-        stats.checkpoint_cycles += ckpt_cost;
-        stats.log_write_cycles += tp_log_cost;
-        tp_time += tp_out.cycles + ckpt_cost + tp_log_cost;
-
-        let targets = ckpt_next.targets();
-        // The verify worker is panic-isolated: an injected (or real) panic
-        // is contained by `catch_unwind` and handled like a divergence —
-        // the epoch is simply re-executed live.
-        let verified: Option<EpOutcome> = match catch_unwind(AssertUnwindSafe(|| {
-            if config.faults.worker_panics(index, 0) {
-                panic!("{INJECTED_PANIC_TAG} (epoch {index}, verify)");
-            }
-            run_verify(
-                &prev,
-                VerifyInputs {
-                    hint: &tp_out.hint,
-                    targets: &targets,
-                    log: &tp_out.syscalls,
-                    expected_hash: ckpt_next.machine_hash,
-                    expected_machine: Some(&ckpt_next.machine),
-                },
-            )
-        })) {
-            Ok(result) => Some(result?),
-            Err(_) => {
-                stats.worker_retries += 1;
-                None
-            }
-        };
-
-        let diverged = !matches!(&verified, Some(ep) if ep.divergence.is_none());
-        if !diverged {
-            // Commit.
-            let ep = verified.expect("clean verify has an outcome");
-            let hash_cost = cost.state_hash(ep.machine.mem().resident_pages() as u64);
-            let sched_bytes = codec::encode_schedule(&ep.schedule).len() as u64;
-            let ep_task = ep.cycles + hash_cost + cost.log_write(sched_bytes);
-            stats.ep_cycles += ep_task;
-            stats.log_write_cycles += cost.log_write(sched_bytes);
-            stats.schedule_bytes += sched_bytes;
-            stats.syscall_bytes += sys_bytes;
-            let ready = tp_time;
-            commit_time =
-                finish_epoch_task(config, &mut tp_time, &mut pool, ep_task, ready).max(commit_time);
-            epochs.push(EpochRecord {
+        let targets = targets_of(&work.next_machine);
+        let (expected_hash, verdict) = execute_verify(
+            VerifyJobRef {
                 index,
-                schedule: ep.schedule,
-                syscalls: tp_out.syscalls,
-                end_machine_hash: ckpt_next.machine_hash,
-                external: ep.external,
-                start: config.keep_checkpoints.then(|| prev.to_image()),
-                tp_cycles: tp_out.cycles,
-            });
-            sink.epoch(epochs.last().expect("epoch just pushed"))
-                .map_err(sink_err)?;
-            prev = ckpt_next;
-            stats.committed += 1;
-            clean_streak += 1;
-            if config.adaptive && clean_streak >= 8 {
-                epoch_len = (epoch_len + epoch_len / 4).min(config.epoch_cycles * 8);
-                clean_streak = 0;
+                start: &s.commit.prev,
+                hint: &work.hint,
+                syscalls: &work.syscalls,
+                targets: &targets,
+                next_machine: &work.next_machine,
+            },
+            &config.faults,
+            None,
+        );
+
+        match verdict {
+            VerifyVerdict::Done(ep) if ep.divergence.is_none() => {
+                commit_clean(
+                    &mut s.commit,
+                    config,
+                    &s.cost,
+                    sink,
+                    work,
+                    *ep,
+                    expected_hash,
+                    sys_bytes,
+                )?;
+                control.on_clean(config);
+                control.note_outcome(false);
             }
-        } else {
-            // Divergence (or a panicked verify worker, handled the same
-            // way): the verify attempt is wasted; re-execute the epoch live
-            // from the previous checkpoint. Its end state is adopted as the
-            // new truth (forward recovery).
-            stats.divergences += 1;
-            clean_streak = 0;
-            if config.adaptive {
-                epoch_len = (epoch_len / 2).max(config.epoch_cycles / 16).max(1_000);
+            VerifyVerdict::Failed(e) => return Err(e),
+            VerifyVerdict::Cancelled => unreachable!("inline verify has no cancel token"),
+            diverged => {
+                let verified = match diverged {
+                    VerifyVerdict::Done(ep) => Some(*ep),
+                    _ => None,
+                };
+                control.on_diverged(config);
+                let adopted =
+                    retire_diverged(&mut s.commit, config, &s.cost, sink, work, verified)?;
+                machine = adopted.machine;
+                kernel = adopted.kernel;
+                guest_clock = epoch_start + adopted.cycles;
+                control.note_outcome(true);
             }
-            let verify_task = match &verified {
-                Some(ep) => ep.cycles + cost.state_hash(ep.machine.mem().resident_pages() as u64),
-                // A panicked worker's progress is unknowable; charge one
-                // epoch's worth of wasted work.
-                None => tp_out.cycles,
-            };
-            let ready = tp_time;
-            let detect = finish_epoch_task(config, &mut tp_time, &mut pool, verify_task, ready)
-                .max(commit_time);
-            stats.wasted_tp_cycles += detect.saturating_sub(tp_time);
-
-            let live_duration = tp_out.cycles.saturating_mul(config.cpus as u64).max(1);
-            let live = run_live_guarded(
-                &config.faults,
-                &mut stats,
-                index,
-                &prev,
-                live_duration,
-                config.ep_quantum,
-                epoch_start,
-            )?;
-            let live_sched_bytes = codec::encode_schedule(&live.schedule).len() as u64;
-            let live_sys_bytes = codec::encode_syscalls(&live.generated).len() as u64;
-            let live_hash_cost = cost.state_hash(live.machine.mem().resident_pages() as u64);
-            let live_task =
-                live.cycles + live_hash_cost + cost.log_write(live_sched_bytes + live_sys_bytes);
-            stats.recovery_cycles += live_task;
-            stats.ep_cycles += live_task;
-            stats.schedule_bytes += live_sched_bytes;
-            stats.syscall_bytes += live_sys_bytes;
-
-            let mut resume = detect + live_task;
-            if !config.forward_recovery {
-                // Full rollback also re-runs the thread-parallel epoch.
-                resume += tp_out.cycles;
-                stats.wasted_tp_cycles += tp_out.cycles;
-            }
-            commit_time = resume;
-            tp_time = resume;
-
-            machine = live.machine.clone();
-            kernel = live.kernel.clone();
-            guest_clock = epoch_start + live.cycles;
-            epochs.push(EpochRecord {
-                index,
-                schedule: live.schedule,
-                syscalls: live.generated,
-                end_machine_hash: live.end_hash,
-                external: live.external,
-                start: config.keep_checkpoints.then(|| prev.to_image()),
-                tp_cycles: tp_out.cycles,
-            });
-            sink.epoch(epochs.last().expect("epoch just pushed"))
-                .map_err(sink_err)?;
-            prev = Checkpoint::capture(&machine, &kernel);
-        }
-
-        // Update the divergence window; a saturated window switches the
-        // coordinator to serialized recording for a while, making the
-        // DivergenceLoop abort a genuine last resort.
-        window.push_back(diverged);
-        if window.len() > DEGRADE_WINDOW {
-            window.pop_front();
-        }
-        if window.iter().filter(|&&d| d).count() >= DEGRADE_THRESHOLD {
-            serialized_left = SERIALIZED_EPOCHS;
-            window.clear();
         }
 
         index += 1;
-        stats.epochs += 1;
         if machine.halted().is_some() || machine.live_threads() == 0 {
             break;
         }
     }
 
-    sink.finish().map_err(sink_err)?;
-    stats.recorded_cycles = tp_time.max(commit_time);
-    stats.io_faults = kernel.stats.injected_faults;
-    stats.native_cycles = measure_native(spec, config)?;
-    Ok(RecordingBundle {
-        recording: Recording {
-            meta,
-            initial: initial_image,
-            epochs,
-        },
-        stats,
-    })
+    let wall = WallClockStats {
+        wall_ns: wall_start.elapsed().as_nanos() as u64,
+        ..Default::default()
+    };
+    finish_session(s, spec, config, sink, &kernel, wall)
 }
 
 /// Runs the live (single-CPU) re-execution with panic isolation: a worker
 /// that panics — injected by a [`FaultPlan`] or real — is retried with a
 /// fresh attempt number up to [`WORKER_RETRY_BUDGET`] times before the
 /// epoch is declared unconvergeable.
-fn run_live_guarded(
+pub(crate) fn run_live_guarded(
     plan: &FaultPlan,
     stats: &mut RecorderStats,
     index: u32,
@@ -473,6 +850,10 @@ mod tests {
             "overhead {} too large",
             bundle.stats.overhead()
         );
+        // The sequential driver measures wall time but uses no workers.
+        assert!(bundle.stats.wall.wall_ns > 0);
+        assert_eq!(bundle.stats.wall.workers, 0);
+        assert!(!bundle.stats.wall.pipelined);
     }
 
     #[test]

@@ -28,6 +28,7 @@ use dp_os::abi;
 use dp_os::kernel::{Disposition, Kernel, Wake};
 use dp_vm::observer::NullObserver;
 use dp_vm::{Fault, Machine, SliceLimits, StopReason, ThreadStatus, Tid, Word};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::checkpoint::{Checkpoint, EpochTargets};
 use crate::error::RecordError;
@@ -35,6 +36,46 @@ use crate::logs::{
     apply_entry, request_hash, request_hash_args, SchedEvent, ScheduleLog, SyscallLog,
     SyscallLogEntry,
 };
+
+/// How many instructions a cancellable verify run executes between token
+/// checks. Slices are chunked to this quantum; a mid-slice `Budget` stop
+/// just continues the slice, so chunking never changes the outcome.
+const CANCEL_CHECK_QUANTUM: u64 = 8_192;
+
+/// Generation-based cooperative cancellation for speculative verify work.
+///
+/// The pipelined coordinator stamps each verify job with the generation
+/// current at submission; a divergence at epoch *k* bumps the generation,
+/// which (a) tells every in-flight worker running an epoch > *k* to bail
+/// out at its next quantum boundary and (b) lets the commit stage discard
+/// results from the dead speculation by comparing stamps.
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    generation: AtomicU64,
+}
+
+impl CancelToken {
+    /// A fresh token at generation 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current generation (stamp new jobs with this).
+    pub fn current(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Invalidates every job stamped with an older generation; returns the
+    /// new generation.
+    pub fn bump(&self) -> u64 {
+        self.generation.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Whether a job stamped with `stamp` has been cancelled.
+    pub fn is_stale(&self, stamp: u64) -> bool {
+        self.current() != stamp
+    }
+}
 
 /// Why an epoch-parallel run diverged from the thread-parallel run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -146,6 +187,31 @@ pub struct VerifyInputs<'a> {
 /// for host-level problems and does not occur today, but the signature
 /// matches [`run_live`] for symmetry at call sites.
 pub fn run_verify(start: &Checkpoint, inputs: VerifyInputs<'_>) -> Result<EpOutcome, RecordError> {
+    Ok(run_verify_cancellable(start, inputs, None)?
+        .expect("verify without a cancel token always completes"))
+}
+
+/// [`run_verify`] with cooperative cancellation: when `cancel` is given as
+/// `(token, stamp)` the run checks the token at every schedule event and
+/// every [`CANCEL_CHECK_QUANTUM`] instructions within a slice, returning
+/// `Ok(None)` as soon as the stamp goes stale. A completed run is
+/// bit-identical to an uncancelled [`run_verify`] — chunked slices change
+/// only where the interpreter pauses, never what it computes.
+///
+/// # Errors
+///
+/// As [`run_verify`].
+pub fn run_verify_cancellable(
+    start: &Checkpoint,
+    inputs: VerifyInputs<'_>,
+    cancel: Option<(&CancelToken, u64)>,
+) -> Result<Option<EpOutcome>, RecordError> {
+    let stale = || matches!(cancel, Some((token, stamp)) if token.is_stale(stamp));
+    let chunk = if cancel.is_some() {
+        CANCEL_CHECK_QUANTUM
+    } else {
+        u64::MAX
+    };
     let mut machine = start.machine.clone();
     let mut kernel = start.kernel.clone();
     machine.mem_mut().take_dirty();
@@ -158,6 +224,9 @@ pub fn run_verify(start: &Checkpoint, inputs: VerifyInputs<'_>) -> Result<EpOutc
     let mut last_tid: Option<Tid> = None;
 
     'events: for event in inputs.hint.events() {
+        if stale() {
+            return Ok(None);
+        }
         match *event {
             SchedEvent::LoggedWake { tid } => {
                 let pending = match machine.threads().get(tid.index()).and_then(|t| t.pending) {
@@ -226,6 +295,9 @@ pub fn run_verify(start: &Checkpoint, inputs: VerifyInputs<'_>) -> Result<EpOutc
                 }
                 let mut remaining = instrs;
                 while remaining > 0 {
+                    if stale() {
+                        return Ok(None);
+                    }
                     if !machine.thread(tid).is_ready() {
                         divergence = Some(Divergence::SliceMismatch {
                             tid,
@@ -238,7 +310,7 @@ pub fn run_verify(start: &Checkpoint, inputs: VerifyInputs<'_>) -> Result<EpOutc
                     }
                     let run = match machine.run_slice(
                         tid,
-                        SliceLimits::budget(remaining),
+                        SliceLimits::budget(remaining.min(chunk)),
                         &mut NullObserver,
                     ) {
                         Ok(run) => run,
@@ -346,7 +418,7 @@ pub fn run_verify(start: &Checkpoint, inputs: VerifyInputs<'_>) -> Result<EpOutc
 
     let end_hash = machine.state_hash();
     let finished = machine.halted().is_some() || machine.live_threads() == 0;
-    Ok(EpOutcome {
+    Ok(Some(EpOutcome {
         schedule: inputs.hint.clone(),
         generated: SyscallLog::new(),
         end_hash,
@@ -357,7 +429,7 @@ pub fn run_verify(start: &Checkpoint, inputs: VerifyInputs<'_>) -> Result<EpOutc
         finished,
         machine,
         kernel,
-    })
+    }))
 }
 
 fn end_checks(
@@ -617,6 +689,44 @@ mod tests {
         assert_eq!(ep.end_hash, next.machine_hash);
         assert!(ep.instructions > 0);
         assert!(!ep.schedule.is_empty());
+    }
+
+    #[test]
+    fn cancellable_verify_matches_plain_verify_and_honors_the_token() {
+        let spec = sync_spec();
+        let config = DoublePlayConfig::new(2).epoch_cycles(5_000);
+        let (mut machine, mut kernel) = spec.boot();
+        let start = Checkpoint::capture(&machine, &kernel);
+        let mut tp = TpRunner::new(&config);
+        let tp_out = tp
+            .run_epoch(&mut machine, &mut kernel, 0, config.epoch_cycles)
+            .unwrap();
+        kernel.take_external();
+        let next = Checkpoint::capture(&machine, &kernel);
+        let targets = next.targets();
+        let inputs = || VerifyInputs {
+            hint: &tp_out.hint,
+            targets: &targets,
+            log: &tp_out.syscalls,
+            expected_hash: next.machine_hash,
+            expected_machine: Some(&next.machine),
+        };
+        let plain = run_verify(&start, inputs()).unwrap();
+        let token = CancelToken::new();
+        let stamp = token.current();
+        let chunked = run_verify_cancellable(&start, inputs(), Some((&token, stamp)))
+            .unwrap()
+            .expect("live token must not cancel");
+        assert_eq!(chunked.divergence, None);
+        assert_eq!(chunked.end_hash, plain.end_hash);
+        assert_eq!(chunked.cycles, plain.cycles);
+        assert_eq!(chunked.instructions, plain.instructions);
+        assert_eq!(chunked.schedule, plain.schedule);
+        // A stale stamp cancels before any work happens.
+        token.bump();
+        assert!(token.is_stale(stamp));
+        let cancelled = run_verify_cancellable(&start, inputs(), Some((&token, stamp))).unwrap();
+        assert!(cancelled.is_none(), "stale job must be abandoned");
     }
 
     #[test]

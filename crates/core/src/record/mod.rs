@@ -4,8 +4,11 @@
 //!   generates checkpoints and the syscall log;
 //! * [`epoch_parallel`] — the single-CPU-per-epoch execution of record,
 //!   with divergence detection;
-//! * [`coordinator`] — the loop tying them together: commit, divergence
-//!   recovery, adaptive epoch sizing, and the pipeline timing model;
+//! * [`coordinator`] — the shared stage machinery tying them together
+//!   (commit, divergence recovery, adaptive epoch sizing, the pipeline
+//!   timing model) plus the sequential lockstep driver;
+//! * [`pipelined`] — the real-thread driver: TP front-end speculating
+//!   ahead, verify workers on spare cores, strictly-in-order commit;
 //! * [`pipeline`] — worker-core scheduling for the simulated-time account;
 //! * [`interleave`] — the hidden nondeterminism source.
 
@@ -13,6 +16,7 @@ pub mod coordinator;
 pub mod epoch_parallel;
 pub mod interleave;
 pub mod pipeline;
+pub mod pipelined;
 pub mod thread_parallel;
 
 pub use coordinator::{measure_native, record, RecordingBundle};

@@ -1,0 +1,482 @@
+//! The multithreaded recording pipeline: uniparallelism on real spare
+//! cores.
+//!
+//! The sequential coordinator interleaves the thread-parallel (TP) run and
+//! the epoch-parallel verify on one OS thread, so recording wall-clock time
+//! is their *sum* even though the paper's whole point is that they overlap.
+//! This driver runs the same three stages on real threads:
+//!
+//! * **submit** (this thread): the TP front-end races ahead, up to
+//!   [`DoublePlayConfig::spare_workers`] epochs beyond the last retired
+//!   one. Each epoch's `(start checkpoint, TP outcome, targets)` is handed
+//!   to the worker pool over a channel. Checkpoints taken here are
+//!   *deferred* ([`Checkpoint::capture_deferred`]): the state digest — the
+//!   dominant per-epoch cost — moves off the critical path.
+//! * **verify** (worker threads): each worker dequeues a job, computes the
+//!   deferred digest, and runs the panic-isolated verify
+//!   ([`execute_verify`], the same entry point the sequential driver
+//!   calls inline). Workers finish out of order.
+//! * **commit** (this thread): epochs retire strictly in index order
+//!   through the shared stage functions, so the `RecordSink` sees the
+//!   exact byte sequence the sequential driver would produce.
+//!
+//! A divergence at epoch `k` invalidates every speculative epoch beyond
+//! it: the [`CancelToken`] generation is bumped (workers poll it at event
+//! boundaries and every few thousand instructions), in-flight state is
+//! discarded, the TP runner and the adaptive-epoch control are rewound to
+//! their post-`k` snapshots, live recovery runs, and the front-end restarts
+//! from the adopted world — exactly the state the sequential driver would
+//! hold at that point.
+//!
+//! **Byte-identity invariant**: for any seed, workload, and fault plan,
+//! this driver produces a `Recording` (and journal byte stream) identical
+//! to the sequential path, and identical modeled statistics; only the
+//! [`WallClockStats`] measurements differ. Everything that feeds the
+//! recording is computed either deterministically on this thread or as a
+//! pure function of the job (`expected_hash`, the verify outcome), never
+//! as a function of worker scheduling.
+
+use crate::checkpoint::{Checkpoint, EpochTargets};
+use crate::config::DoublePlayConfig;
+use crate::error::RecordError;
+use crate::faults::FaultPlan;
+use crate::journal::RecordSink;
+use crate::logs::{ScheduleLog, SyscallLog};
+use crate::record::coordinator::{
+    begin_session, charge_tp_side, commit_clean, execute_verify, finish_session,
+    record_serialized_epoch, retire_diverged, run_tp_epoch, targets_of, ControlState, EpochWork,
+    RecordingBundle, VerifyJobRef, VerifyVerdict, MAX_EPOCHS,
+};
+use crate::record::epoch_parallel::CancelToken;
+use crate::record::thread_parallel::{TpRunner, TpSnapshot};
+use crate::stats::{WallClockStats, DEPTH_BUCKETS, MAX_TRACKED_WORKERS};
+use dp_vm::Machine;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Instant;
+
+/// One verify job, owned so it can cross the channel. The clones are cheap:
+/// machine pages and kernel file contents are `Arc`-shared (copy-on-write).
+struct VerifyJob {
+    index: u32,
+    /// Cancellation generation at submit time.
+    stamp: u64,
+    /// Start-of-epoch world (digest deferred — never read by verify).
+    start: Checkpoint,
+    hint: ScheduleLog,
+    syscalls: SyscallLog,
+    targets: EpochTargets,
+    /// The TP end state whose digest the worker computes.
+    next_machine: Machine,
+}
+
+/// A worker's answer, tagged so the commit stage can discard stale
+/// generations and account busy time per worker.
+struct VerifyDone {
+    index: u32,
+    stamp: u64,
+    expected_hash: u64,
+    verdict: VerifyVerdict,
+    busy_ns: u64,
+    worker: usize,
+}
+
+/// One speculative epoch awaiting retirement, with everything needed to
+/// rewind past it.
+struct Speculation {
+    work: EpochWork,
+    /// TP-runner state right after this epoch's TP run (what the sequential
+    /// driver would hold entering the divergence branch).
+    tp_snap: TpSnapshot,
+    /// Adaptive-epoch control right before this epoch's speculative
+    /// clean-commit update.
+    control_before: ControlState,
+}
+
+/// Verify-worker body: dequeue, check staleness, verify, report.
+fn worker_loop(
+    worker: usize,
+    jobs: &Mutex<mpsc::Receiver<VerifyJob>>,
+    results: &mpsc::Sender<VerifyDone>,
+    cancel: &CancelToken,
+    plan: &FaultPlan,
+) {
+    loop {
+        // Hold the lock only for the dequeue; recv blocks at most one
+        // worker while the others run jobs.
+        let job = match jobs.lock().expect("job queue poisoned").recv() {
+            Ok(j) => j,
+            Err(_) => return, // submit side closed: drain complete
+        };
+        let begun = Instant::now();
+        let (expected_hash, verdict) = if cancel.is_stale(job.stamp) {
+            // Cancelled while queued: skip even the digest.
+            (0, VerifyVerdict::Cancelled)
+        } else {
+            execute_verify(
+                VerifyJobRef {
+                    index: job.index,
+                    start: &job.start,
+                    hint: &job.hint,
+                    syscalls: &job.syscalls,
+                    targets: &job.targets,
+                    next_machine: &job.next_machine,
+                },
+                plan,
+                Some((cancel, job.stamp)),
+            )
+        };
+        let done = VerifyDone {
+            index: job.index,
+            stamp: job.stamp,
+            expected_hash,
+            verdict,
+            busy_ns: begun.elapsed().as_nanos() as u64,
+            worker,
+        };
+        if results.send(done).is_err() {
+            return; // commit side gone (error exit); nothing left to report to
+        }
+    }
+}
+
+/// Records `spec` with the TP front-end, verify workers, and commit stage
+/// on real OS threads. Called through [`crate::record_to`] when
+/// [`DoublePlayConfig::pipelined`] is set with spare workers available.
+pub(crate) fn record_pipelined(
+    spec: &crate::world::GuestSpec,
+    config: &DoublePlayConfig,
+    sink: &mut dyn RecordSink,
+) -> Result<RecordingBundle, RecordError> {
+    let wall_start = Instant::now();
+    let (mut s, mut machine, mut kernel) = begin_session(spec, config, sink)?;
+    let mut tp = TpRunner::new(config);
+    let mut control = ControlState::new(config);
+    let workers = config.spare_workers;
+    let depth = workers; // speculate at most one epoch per spare core
+    let cancel = CancelToken::new();
+    let mut wall = WallClockStats {
+        workers: workers as u64,
+        pipelined: true,
+        ..Default::default()
+    };
+
+    let (job_tx, job_rx) = mpsc::channel::<VerifyJob>();
+    let (res_tx, res_rx) = mpsc::channel::<VerifyDone>();
+    let job_rx = Arc::new(Mutex::new(job_rx));
+
+    let drive = thread::scope(|scope| {
+        for w in 0..workers {
+            let job_rx = Arc::clone(&job_rx);
+            let res_tx = res_tx.clone();
+            let cancel = &cancel;
+            let plan = &config.faults;
+            scope.spawn(move || worker_loop(w, &job_rx, &res_tx, cancel, plan));
+        }
+        // Workers hold clones; results end when the last worker exits.
+        drop(res_tx);
+
+        // In-flight speculation, oldest (next to retire) first.
+        let mut inflight: VecDeque<Speculation> = VecDeque::new();
+        // Verdicts that arrived ahead of their retirement turn.
+        let mut stash: BTreeMap<u32, (u64, VerifyVerdict)> = BTreeMap::new();
+        let mut next_index = 0u32;
+        // Speculative guest clock / instruction count: what the committed
+        // counters will read if everything in flight retires clean.
+        let mut spec_clock = 0u64;
+        let mut spec_instr = 0u64;
+        let mut front_halted = false;
+        // A TP error is speculative until every earlier epoch retires
+        // clean: a divergence below it rewinds past the error entirely.
+        let mut front_err: Option<RecordError> = None;
+
+        let outcome = loop {
+            // Submit: race the TP front-end ahead while there is depth.
+            while front_err.is_none()
+                && !front_halted
+                && control.serialized_left == 0
+                && inflight.len() < depth
+                && spec_instr <= config.max_instructions
+                && next_index < MAX_EPOCHS
+            {
+                let epoch_start = spec_clock;
+                let start = Checkpoint::capture_deferred(&machine, &kernel);
+                let work = match run_tp_epoch(
+                    &mut tp,
+                    &mut machine,
+                    &mut kernel,
+                    next_index,
+                    epoch_start,
+                    control.epoch_len,
+                ) {
+                    Ok(w) => w,
+                    Err(e) => {
+                        front_err = Some(e);
+                        break;
+                    }
+                };
+                wall.depth_histogram[inflight.len().min(DEPTH_BUCKETS - 1)] += 1;
+                let job = VerifyJob {
+                    index: work.index,
+                    stamp: cancel.current(),
+                    start,
+                    hint: work.hint.clone(),
+                    syscalls: work.syscalls.clone(),
+                    targets: targets_of(&work.next_machine),
+                    next_machine: work.next_machine.clone(),
+                };
+                job_tx.send(job).expect("verify workers outlive the driver");
+                spec_clock += work.tp_cycles;
+                spec_instr += work.tp_instructions;
+                front_halted = machine.halted().is_some() || machine.live_threads() == 0;
+                let tp_snap = tp.snapshot();
+                let control_before = control.clone();
+                // Speculate a clean commit (the only outcome that leaves
+                // the pipeline running); rewound from `control_before` if
+                // the epoch diverges instead.
+                control.on_clean(config);
+                control.note_outcome(false);
+                inflight.push_back(Speculation {
+                    work,
+                    tp_snap,
+                    control_before,
+                });
+                next_index += 1;
+            }
+
+            if inflight.is_empty() {
+                // The pipeline is drained: speculative conditions are now
+                // authoritative, in the sequential driver's order.
+                if let Some(e) = front_err.take() {
+                    break Err(e);
+                }
+                if front_halted {
+                    break Ok(());
+                }
+                if s.commit.stats.tp_instructions > config.max_instructions
+                    || next_index >= MAX_EPOCHS
+                {
+                    break Err(RecordError::BudgetExhausted);
+                }
+                if control.serialized_left > 0 {
+                    // Degraded mode runs inline: it only engages at a
+                    // divergence retire, which always empties the pipeline
+                    // first, so there is never speculation to race with.
+                    control.serialized_left -= 1;
+                    let epoch_start = spec_clock;
+                    let adopted = match record_serialized_epoch(
+                        &mut s.commit,
+                        config,
+                        &s.cost,
+                        sink,
+                        next_index,
+                        epoch_start,
+                        control.epoch_len,
+                    ) {
+                        Ok(a) => a,
+                        Err(e) => break Err(e),
+                    };
+                    machine = adopted.machine;
+                    kernel = adopted.kernel;
+                    spec_clock = epoch_start + adopted.cycles;
+                    spec_instr = s.commit.stats.tp_instructions;
+                    next_index += 1;
+                    front_halted = machine.halted().is_some() || machine.live_threads() == 0;
+                    continue;
+                }
+                unreachable!("drained pipeline with nothing to do and no reason to stop");
+            }
+
+            // Commit stage: wait for the head epoch's verdict. Later
+            // epochs' verdicts are stashed until their turn.
+            let head_index = inflight.front().expect("checked non-empty").work.index;
+            let (expected_hash, verdict) = loop {
+                if let Some(v) = stash.remove(&head_index) {
+                    break v;
+                }
+                let done = res_rx
+                    .recv()
+                    .expect("workers hold the result channel while jobs are in flight");
+                wall.worker_busy_ns[done.worker.min(MAX_TRACKED_WORKERS - 1)] += done.busy_ns;
+                if cancel.is_stale(done.stamp) {
+                    continue; // a cancelled generation's answer: time counted, result dropped
+                }
+                stash.insert(done.index, (done.expected_hash, done.verdict));
+            };
+
+            let head = inflight.pop_front().expect("checked non-empty");
+            let sys_bytes = charge_tp_side(&mut s.commit, &s.cost, &head.work);
+            match verdict {
+                VerifyVerdict::Done(ep) if ep.divergence.is_none() => {
+                    if let Err(e) = commit_clean(
+                        &mut s.commit,
+                        config,
+                        &s.cost,
+                        sink,
+                        head.work,
+                        *ep,
+                        expected_hash,
+                        sys_bytes,
+                    ) {
+                        break Err(e);
+                    }
+                    // `control` already speculated this epoch's clean
+                    // update at submit time.
+                }
+                VerifyVerdict::Failed(e) => break Err(e),
+                VerifyVerdict::Cancelled => {
+                    unreachable!("current-generation jobs are never cancelled")
+                }
+                diverged => {
+                    // Divergence (or panicked worker): everything
+                    // speculated beyond this epoch is invalid.
+                    let verified = match diverged {
+                        VerifyVerdict::Done(ep) => Some(*ep),
+                        _ => None,
+                    };
+                    wall.cancelled_epochs += inflight.len() as u64;
+                    cancel.bump();
+                    inflight.clear();
+                    stash.clear();
+                    front_err = None;
+                    tp.restore(head.tp_snap);
+                    control = head.control_before;
+                    control.on_diverged(config);
+                    let epoch_start = head.work.epoch_start;
+                    let adopted = match retire_diverged(
+                        &mut s.commit,
+                        config,
+                        &s.cost,
+                        sink,
+                        head.work,
+                        verified,
+                    ) {
+                        Ok(a) => a,
+                        Err(e) => break Err(e),
+                    };
+                    control.note_outcome(true);
+                    machine = adopted.machine;
+                    kernel = adopted.kernel;
+                    next_index = head_index + 1;
+                    spec_clock = epoch_start + adopted.cycles;
+                    spec_instr = s.commit.stats.tp_instructions;
+                    front_halted = machine.halted().is_some() || machine.live_threads() == 0;
+                }
+            }
+        };
+        // Closing the job channel releases the workers; the scope joins
+        // them before returning.
+        drop(job_tx);
+        outcome
+    });
+
+    // Workers are joined: collect busy time from any trailing results
+    // (jobs that finished after their epoch was already retired or the
+    // run aborted).
+    while let Ok(done) = res_rx.try_recv() {
+        wall.worker_busy_ns[done.worker.min(MAX_TRACKED_WORKERS - 1)] += done.busy_ns;
+    }
+    drive?;
+
+    wall.wall_ns = wall_start.elapsed().as_nanos() as u64;
+    finish_session(s, spec, config, sink, &kernel, wall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::JournalWriter;
+    use crate::record::coordinator::record_to;
+    use crate::record::testutil::{atomic_counter_spec, compute_counter_spec, racy_counter_spec};
+    use crate::world::GuestSpec;
+
+    /// Records `spec` both ways and asserts byte-identical recordings,
+    /// byte-identical journals, and equal modeled stats.
+    fn assert_pipelined_matches_sequential(spec: &GuestSpec, config: &DoublePlayConfig) {
+        let seq_cfg = config.pipelined(false);
+        let pip_cfg = config.pipelined(true);
+        let mut seq_journal = JournalWriter::new(Vec::new()).unwrap();
+        let mut pip_journal = JournalWriter::new(Vec::new()).unwrap();
+        let seq = record_to(spec, &seq_cfg, &mut seq_journal).unwrap();
+        let pip = record_to(spec, &pip_cfg, &mut pip_journal).unwrap();
+        assert_eq!(seq.stats, pip.stats, "modeled stats must match");
+        let mut seq_bytes = Vec::new();
+        let mut pip_bytes = Vec::new();
+        seq.recording.save(&mut seq_bytes).unwrap();
+        pip.recording.save(&mut pip_bytes).unwrap();
+        assert_eq!(seq_bytes, pip_bytes, "recordings must be byte-identical");
+        assert_eq!(
+            seq_journal.into_inner(),
+            pip_journal.into_inner(),
+            "journals must be byte-identical"
+        );
+        assert!(pip.stats.wall.pipelined);
+        assert_eq!(pip.stats.wall.workers as usize, config.spare_workers);
+        assert!(!seq.stats.wall.pipelined);
+    }
+
+    #[test]
+    fn clean_run_is_byte_identical_to_sequential() {
+        let spec = compute_counter_spec(3_000, 2);
+        let config = DoublePlayConfig::new(2).epoch_cycles(25_000);
+        assert_pipelined_matches_sequential(&spec, &config);
+    }
+
+    #[test]
+    fn divergent_runs_are_byte_identical_to_sequential() {
+        for seed in 0..4 {
+            let spec = racy_counter_spec(3_000);
+            let config = DoublePlayConfig {
+                tp_quantum: 200,
+                tp_jitter: 300,
+                ..DoublePlayConfig::new(2)
+                    .epoch_cycles(20_000)
+                    .hidden_seed(seed)
+            };
+            assert_pipelined_matches_sequential(&spec, &config);
+        }
+    }
+
+    #[test]
+    fn worker_panics_are_byte_identical_to_sequential() {
+        crate::faults::silence_injected_panics();
+        let spec = atomic_counter_spec(1_500, 2);
+        let plan = crate::faults::FaultPlan::none()
+            .seed(5)
+            .worker_panics_with(0.3);
+        let config = DoublePlayConfig::new(2).epoch_cycles(4_000).faults(plan);
+        assert_pipelined_matches_sequential(&spec, &config);
+    }
+
+    #[test]
+    fn budget_exhaustion_matches_sequential() {
+        let spec = atomic_counter_spec(100_000, 2);
+        let config = DoublePlayConfig::new(2)
+            .max_instructions(10_000)
+            .pipelined(true);
+        assert!(matches!(
+            crate::record::coordinator::record(&spec, &config),
+            Err(RecordError::BudgetExhausted)
+        ));
+    }
+
+    #[test]
+    fn pipelined_run_reports_wall_measurements() {
+        let spec = compute_counter_spec(3_000, 2);
+        let config = DoublePlayConfig::new(2)
+            .epoch_cycles(25_000)
+            .pipelined(true);
+        let bundle = crate::record::coordinator::record(&spec, &config).unwrap();
+        let w = &bundle.stats.wall;
+        assert!(w.pipelined);
+        assert!(w.wall_ns > 0);
+        assert_eq!(w.workers as usize, config.spare_workers);
+        assert!(w.busy_ns() > 0, "workers never ran a verify job");
+        assert!(
+            w.depth_histogram.iter().sum::<u64>() >= bundle.stats.committed,
+            "every committed epoch was submitted through the pipeline"
+        );
+    }
+}

@@ -68,6 +68,19 @@ pub struct TpRunner<'a> {
     epoch: u32,
 }
 
+/// Everything a [`TpRunner`] carries across epochs. The pipelined
+/// coordinator snapshots this before each speculative epoch: rolling the
+/// runner back to a snapshot and re-running produces the exact schedule
+/// stream the sequential coordinator would have produced after a divergence
+/// at that epoch (the hidden RNG, atomic owners, and storm-window index are
+/// the runner's whole state).
+#[derive(Debug, Clone)]
+pub struct TpSnapshot {
+    rng: HiddenRng,
+    owners: BTreeMap<dp_vm::Word, Tid>,
+    epoch: u32,
+}
+
 /// Mutable per-epoch logging state threaded through the helpers.
 struct EpochLogs {
     syscalls: SyscallLog,
@@ -100,6 +113,22 @@ impl<'a> TpRunner<'a> {
             owners: BTreeMap::new(),
             epoch: 0,
         }
+    }
+
+    /// Captures the runner's cross-epoch state for later [`TpRunner::restore`].
+    pub fn snapshot(&self) -> TpSnapshot {
+        TpSnapshot {
+            rng: self.rng.clone(),
+            owners: self.owners.clone(),
+            epoch: self.epoch,
+        }
+    }
+
+    /// Rewinds the runner to a previously captured snapshot.
+    pub fn restore(&mut self, snap: TpSnapshot) {
+        self.rng = snap.rng;
+        self.owners = snap.owners;
+        self.epoch = snap.epoch;
     }
 
     /// Runs one epoch of at most `epoch_cycles` (per-CPU) on the live
@@ -379,6 +408,29 @@ mod tests {
             saw_loss,
             "no seed lost updates; interleaving too coarse: {results:?}"
         );
+    }
+
+    #[test]
+    fn snapshot_restore_replays_the_identical_epoch() {
+        let spec = racy_spec();
+        let config = DoublePlayConfig::new(2).epoch_cycles(3_000);
+        let (mut machine, mut kernel) = spec.boot();
+        let mut tp = TpRunner::new(&config);
+        let first = tp
+            .run_epoch(&mut machine, &mut kernel, 0, config.epoch_cycles)
+            .unwrap();
+        let snap = tp.snapshot();
+        let (mut m2, mut k2) = (machine.clone(), kernel.clone());
+        let a = tp
+            .run_epoch(&mut machine, &mut kernel, first.cycles, config.epoch_cycles)
+            .unwrap();
+        tp.restore(snap);
+        let b = tp
+            .run_epoch(&mut m2, &mut k2, first.cycles, config.epoch_cycles)
+            .unwrap();
+        assert_eq!(a.hint, b.hint);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(machine.state_hash(), m2.state_hash());
     }
 
     #[test]

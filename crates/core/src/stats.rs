@@ -1,5 +1,68 @@
 //! Recorder statistics: the numbers behind every table and figure.
 
+/// Per-worker busy-time slots tracked in [`WallClockStats`]; workers beyond
+/// this fold into the last slot.
+pub const MAX_TRACKED_WORKERS: usize = 8;
+
+/// Speculation-depth histogram buckets in [`WallClockStats`]: bucket `d`
+/// counts submissions made with `d` epochs already in flight; depths beyond
+/// the last bucket fold into it.
+pub const DEPTH_BUCKETS: usize = 9;
+
+/// Real (host) wall-clock measurements of one recording run.
+///
+/// Unlike the rest of [`RecorderStats`] these are *measurements of the
+/// host*, not of the modeled machine: they differ run to run with OS
+/// scheduling. To keep whole-`RecorderStats` equality meaningful for the
+/// deterministic model (`recording_is_deterministic_given_seed` asserts
+/// `a.stats == b.stats`), this struct compares equal to every other
+/// instance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WallClockStats {
+    /// Wall-clock nanoseconds of the recording loop (boot to final commit;
+    /// excludes the separate native-runtime measurement).
+    pub wall_ns: u64,
+    /// Verify workers the run used (0 = sequential in-line verification).
+    pub workers: u64,
+    /// Nanoseconds each worker spent executing verify jobs (including jobs
+    /// later cancelled); workers beyond [`MAX_TRACKED_WORKERS`] accumulate
+    /// into the last slot.
+    pub worker_busy_ns: [u64; MAX_TRACKED_WORKERS],
+    /// Histogram of speculation depth at submit time: bucket `d` counts
+    /// epochs handed to the verify pool while `d` earlier epochs were still
+    /// in flight.
+    pub depth_histogram: [u64; DEPTH_BUCKETS],
+    /// Speculative epochs cancelled by divergences (work discarded beyond
+    /// the diverging epoch: both queued jobs and the not-yet-verified
+    /// speculation the front-end had already run).
+    pub cancelled_epochs: u64,
+    /// Whether the run used the real multithreaded pipeline.
+    pub pipelined: bool,
+}
+
+impl WallClockStats {
+    /// Total worker busy nanoseconds.
+    pub fn busy_ns(&self) -> u64 {
+        self.worker_busy_ns.iter().sum()
+    }
+
+    /// Fraction of worker·wall capacity spent busy (0.0 when sequential).
+    pub fn utilization(&self) -> f64 {
+        if self.workers == 0 || self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.busy_ns() as f64 / (self.wall_ns as f64 * self.workers as f64)
+    }
+}
+
+/// Wall-clock readings are nondeterministic host measurements; two runs of
+/// the same seed must still satisfy `a.stats == b.stats`.
+impl PartialEq for WallClockStats {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
 /// Measurements accumulated while recording one execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RecorderStats {
@@ -46,6 +109,8 @@ pub struct RecorderStats {
     /// Injected I/O faults delivered to the guest on the committed
     /// timeline (syscall failures, short reads, connection resets).
     pub io_faults: u64,
+    /// Real wall-clock measurements (host time; excluded from equality).
+    pub wall: WallClockStats,
 }
 
 impl RecorderStats {
@@ -88,6 +153,33 @@ mod tests {
         let zero = RecorderStats::default();
         assert_eq!(zero.overhead(), 0.0);
         assert_eq!(zero.log_bytes_per_mcycle(), 0.0);
+    }
+
+    #[test]
+    fn wall_clock_stats_are_excluded_from_equality() {
+        let a = RecorderStats {
+            wall: WallClockStats {
+                wall_ns: 123,
+                workers: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let b = RecorderStats::default();
+        assert_eq!(a, b, "wall measurements must not break model equality");
+    }
+
+    #[test]
+    fn utilization_math() {
+        let mut w = WallClockStats {
+            wall_ns: 1_000,
+            workers: 2,
+            ..Default::default()
+        };
+        w.worker_busy_ns[0] = 600;
+        w.worker_busy_ns[1] = 400;
+        assert!((w.utilization() - 0.5).abs() < 1e-9);
+        assert_eq!(WallClockStats::default().utilization(), 0.0);
     }
 
     #[test]

@@ -148,12 +148,29 @@ impl Memory {
         }
     }
 
+    /// Copies `out.len()` bytes out of guest memory into a caller-provided
+    /// buffer, page by page. Unmapped ranges read as zero. This is the
+    /// allocation-free variant for hot paths (syscall-payload hashing runs
+    /// once per logged syscall per verify attempt); [`Memory::read_bytes`]
+    /// is the convenience wrapper.
+    pub fn read_into(&self, addr: Word, out: &mut [u8]) {
+        let mut done = 0usize;
+        while done < out.len() {
+            let a = addr.wrapping_add(done as u64);
+            let off = (a % PAGE_SIZE) as usize;
+            let n = (PAGE_SIZE as usize - off).min(out.len() - done);
+            match self.pages.get(&page_of(a)) {
+                Some(p) => out[done..done + n].copy_from_slice(&p[off..off + n]),
+                None => out[done..done + n].fill(0),
+            }
+            done += n;
+        }
+    }
+
     /// Copies `len` bytes out of guest memory.
     pub fn read_bytes(&self, addr: Word, len: usize) -> Vec<u8> {
-        let mut out = Vec::with_capacity(len);
-        for i in 0..len as u64 {
-            out.push(self.read_u8(addr.wrapping_add(i)));
-        }
+        let mut out = vec![0u8; len];
+        self.read_into(addr, &mut out);
         out
     }
 
@@ -366,5 +383,21 @@ mod tests {
         let data: Vec<u8> = (0..=255).collect();
         m.write_bytes(PAGE_SIZE - 100, &data);
         assert_eq!(m.read_bytes(PAGE_SIZE - 100, 256), data);
+    }
+
+    #[test]
+    fn read_into_spans_pages_and_holes() {
+        let mut m = Memory::new();
+        // Map pages 0 and 2, leave page 1 unmapped: the read must splice
+        // mapped bytes around an all-zero hole.
+        m.write_bytes(PAGE_SIZE - 4, &[1, 2, 3, 4]);
+        m.write_bytes(2 * PAGE_SIZE, &[5, 6]);
+        let len = (2 * PAGE_SIZE + 2 - (PAGE_SIZE - 4)) as usize;
+        let mut buf = vec![0xaa; len];
+        m.read_into(PAGE_SIZE - 4, &mut buf);
+        assert_eq!(&buf[..4], &[1, 2, 3, 4]);
+        assert!(buf[4..len - 2].iter().all(|&b| b == 0));
+        assert_eq!(&buf[len - 2..], &[5, 6]);
+        assert_eq!(m.read_bytes(PAGE_SIZE - 4, len), buf);
     }
 }

@@ -35,7 +35,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dp list\n  dp record <workload> [--threads N] [--size S] [--epoch C] [--seed X] [--out FILE] [--journal FILE]\n  dp salvage <JOURNAL> [-o FILE]\n  dp replay <FILE> --workload <name> [--threads N] [--size S] [--parallel N]\n  dp analyze <FILE> race --workload <name> [--threads N] [--size S] [--assert-races|--assert-clean]\n  dp analyze <FILE> triage --workload <name> [--threads N] [--size S]\n  dp analyze <FILE> inspect\n  dp analyze <FILE> diff <FILE2>\n  dp analyze <FILE> compact [--out FILE] [--workload <name>]\n  dp inspect <FILE>"
+        "usage:\n  dp list\n  dp record <workload> [--threads N] [--size S] [--epoch C] [--seed X] [--pipelined] [--workers N] [--out FILE] [--journal FILE]\n  dp salvage <JOURNAL> [-o FILE]\n  dp replay <FILE> --workload <name> [--threads N] [--size S] [--parallel N]\n  dp analyze <FILE> race --workload <name> [--threads N] [--size S] [--assert-races|--assert-clean]\n  dp analyze <FILE> triage --workload <name> [--threads N] [--size S]\n  dp analyze <FILE> inspect\n  dp analyze <FILE> diff <FILE2>\n  dp analyze <FILE> compact [--out FILE] [--workload <name>]\n  dp inspect <FILE>"
     );
     exit(2);
 }
@@ -85,6 +85,8 @@ struct Opts {
     journal: Option<String>,
     workload: Option<String>,
     parallel: usize,
+    pipelined: bool,
+    workers: Option<usize>,
     assert_races: bool,
     assert_clean: bool,
 }
@@ -99,6 +101,8 @@ fn parse_opts(args: &[String]) -> Opts {
         journal: None,
         workload: None,
         parallel: 0,
+        pipelined: false,
+        workers: None,
         assert_races: false,
         assert_clean: false,
     };
@@ -114,6 +118,8 @@ fn parse_opts(args: &[String]) -> Opts {
             "--journal" => o.journal = Some(val()),
             "--workload" => o.workload = Some(val()),
             "--parallel" => o.parallel = val().parse().unwrap_or_else(|_| usage()),
+            "--pipelined" => o.pipelined = true,
+            "--workers" => o.workers = Some(val().parse().unwrap_or_else(|_| usage())),
             "--assert-races" => o.assert_races = true,
             "--assert-clean" => o.assert_clean = true,
             _ => usage(),
@@ -258,9 +264,13 @@ fn main() {
             let Some(name) = argv.get(1) else { usage() };
             let o = parse_opts(&argv[2..]);
             let case = find_case(name, o.threads, o.size);
-            let config = DoublePlayConfig::new(o.threads)
+            let mut config = DoublePlayConfig::new(o.threads)
                 .epoch_cycles(o.epoch)
-                .hidden_seed(o.seed);
+                .hidden_seed(o.seed)
+                .pipelined(o.pipelined);
+            if let Some(w) = o.workers {
+                config = config.spare_workers(w);
+            }
             // With --journal, every committed epoch streams to the journal
             // file as it happens; a crash mid-run leaves a salvageable
             // prefix instead of nothing. The journal is written in place
@@ -298,6 +308,20 @@ fn main() {
                 s.overhead() * 100.0,
                 s.log_bytes()
             );
+            if s.wall.pipelined {
+                println!(
+                    "wall {:.1} ms, {} verify workers at {:.0}% utilization, {} speculative epoch(s) cancelled",
+                    s.wall.wall_ns as f64 / 1e6,
+                    s.wall.workers,
+                    s.wall.utilization() * 100.0,
+                    s.wall.cancelled_epochs
+                );
+            } else {
+                println!(
+                    "wall {:.1} ms (sequential driver)",
+                    s.wall.wall_ns as f64 / 1e6
+                );
+            }
             if let Some(jpath) = &o.journal {
                 println!("journal {jpath} finalized");
             }
