@@ -1,8 +1,12 @@
 //! Regenerates the paper's tables and figures. Usage:
 //!
 //! ```text
-//! report [small|medium|large] [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 | all]
+//! report [small|medium|large] [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 | all]
 //! ```
+//!
+//! `e14` (the multi-session service soak) additionally writes its
+//! machine-readable perf record to `BENCH_6.json` in the working
+//! directory.
 
 use dp_bench::experiments as exp;
 use dp_workloads::Size;
@@ -62,5 +66,14 @@ fn main() {
     }
     if want("e13") {
         println!("{}", exp::table_wallclock(size));
+    }
+    if want("e14") {
+        let run = exp::service_run(size);
+        println!("{}", exp::table_service(&run));
+        let json = exp::bench6_json(&run);
+        match std::fs::write("BENCH_6.json", &json) {
+            Ok(()) => println!("wrote BENCH_6.json"),
+            Err(e) => eprintln!("warning: cannot write BENCH_6.json: {e}"),
+        }
     }
 }

@@ -921,6 +921,209 @@ fn corruption_rejects(recording: &dp_core::Recording) -> String {
     format!("{rejected}/{TRIALS}")
 }
 
+/// One measured run of the `dpd` multi-session service: the raw material
+/// shared by the E14 table and the machine-readable `BENCH_6.json`, so the
+/// two views always describe the same run.
+pub struct ServiceRun {
+    /// Suite size the run was scaled from.
+    pub size: Size,
+    /// Sessions submitted.
+    pub sessions: usize,
+    /// Wall time from first submit to full drain.
+    pub wall: std::time::Duration,
+    /// Final daemon counters.
+    pub metrics: dp_dpd::DaemonMetrics,
+    /// Final registry rows, one per session.
+    pub reports: Vec<dp_dpd::SessionReport>,
+}
+
+/// E14 — drive the `dpd` service with a fault-class mix: clean sessions,
+/// injected record faults (storms + occasional worker panics), transient
+/// sink faults (fail, then retry clean), and permanent sink faults with no
+/// restart budget (salvage-only). Sessions alternate drivers and cycle
+/// priority lanes; the queue is kept small so backpressure is exercised.
+pub fn service_run(size: Size) -> ServiceRun {
+    use dp_core::FaultPlan;
+    use dp_dpd::{guests, Daemon, DaemonConfig, MemStore, Priority, SessionSpec};
+    use dp_os::SinkFaults;
+    use std::sync::Arc;
+
+    dp_core::faults::silence_injected_panics();
+    let sessions = (64 * size.factor() as usize).min(512);
+    let store = Arc::new(MemStore::new());
+    let daemon = Daemon::start(
+        DaemonConfig {
+            runners: 4,
+            verify_cores: 4,
+            queue_capacity: 16,
+        },
+        store,
+    );
+    let started = Instant::now();
+    for i in 0..sessions {
+        let guest = if i % 2 == 1 {
+            guests::racy_counter(2, 300 + (i % 5) as i64 * 60)
+        } else {
+            guests::atomic_counter(2, 300 + (i % 5) as i64 * 60)
+        };
+        let mut config = DoublePlayConfig::new(2)
+            .epoch_cycles(800)
+            .hidden_seed(dp_support::rng::mix(&[i as u64, 0xe14]));
+        if i.is_multiple_of(2) {
+            config = config.spare_workers(2).pipelined(true);
+        }
+        let class = i % 4;
+        if class == 1 {
+            let template = FaultPlan::none()
+                .seed(0xe14)
+                .io(0.0, 0.01, 0.0)
+                .storms(0.05, 3, 16);
+            config = config.faults(template.for_session(i as u64));
+        }
+        let mut spec = SessionSpec::new(format!("{}-{i}", CLASS_NAMES[class]), guest, config)
+            .priority(match i % 3 {
+                0 => Priority::High,
+                1 => Priority::Normal,
+                _ => Priority::Low,
+            })
+            .restart_budget(2);
+        // Sink-fault classes fail on the second flush-after-commit: for
+        // the transient class the retry then finalizes; the permanent
+        // class has no budget, so it salvages its committed prefix.
+        if class == 2 {
+            spec = spec
+                .sink_faults(SinkFaults {
+                    fail_flush_at: Some(2),
+                    ..SinkFaults::none()
+                })
+                .transient_sink_faults(true);
+        } else if class == 3 {
+            spec = spec
+                .sink_faults(SinkFaults {
+                    fail_flush_at: Some(2),
+                    ..SinkFaults::none()
+                })
+                .restart_budget(0);
+        }
+        daemon
+            .submit_retrying(spec, 100_000)
+            .expect("polite submission must land");
+    }
+    daemon.drain();
+    let wall = started.elapsed();
+    let metrics = daemon.metrics();
+    let reports = daemon.sessions();
+    daemon.shutdown();
+    ServiceRun {
+        size,
+        sessions,
+        wall,
+        metrics,
+        reports,
+    }
+}
+
+const CLASS_NAMES: [&str; 4] = ["clean", "recfault", "transink", "permsink"];
+
+/// E14 / Table: the multi-session service under mixed faulty load.
+pub fn table_service(run: &ServiceRun) -> Table {
+    use dp_dpd::SessionState;
+    let mut t = Table::new(
+        "E14 / Table: multi-session service (dpd), mixed fault classes",
+        "clean+transient-sink classes must all finalize (transient after a \
+         retry); permanent-sink sessions all salvage; faults never leak \
+         across sessions; a small queue sheds typed rejections",
+        &[
+            "class",
+            "sessions",
+            "finalized",
+            "salvaged",
+            "failed",
+            "avg attempts",
+            "epochs",
+        ],
+    );
+    for (class, name) in CLASS_NAMES.iter().enumerate() {
+        let rows: Vec<_> = run
+            .reports
+            .iter()
+            .filter(|r| r.name.starts_with(name))
+            .collect();
+        let count = |s: SessionState| rows.iter().filter(|r| r.state == s).count();
+        let attempts: u32 = rows.iter().map(|r| r.attempts).sum();
+        let epochs: u64 = rows.iter().map(|r| u64::from(r.epochs)).sum();
+        t.row(vec![
+            CLASS_NAMES[class].to_string(),
+            rows.len().to_string(),
+            count(SessionState::Finalized).to_string(),
+            count(SessionState::Salvaged).to_string(),
+            count(SessionState::Failed).to_string(),
+            format!("{:.2}", attempts as f64 / rows.len().max(1) as f64),
+            epochs.to_string(),
+        ]);
+    }
+    let m = &run.metrics;
+    t.row(vec![
+        "TOTAL".to_string(),
+        run.sessions.to_string(),
+        m.finalized.to_string(),
+        m.salvaged.to_string(),
+        m.failed.to_string(),
+        format!(
+            "{:.1}/s, p99 adm {:.2}ms",
+            run.sessions as f64 / run.wall.as_secs_f64(),
+            m.admission_p99_ns as f64 / 1e6
+        ),
+        m.epochs_committed.to_string(),
+    ]);
+    t
+}
+
+/// The machine-readable perf record for the service experiment
+/// (`BENCH_6.json`): service throughput, epoch throughput, admission
+/// latency, and the terminal-state counters. Hand-rolled JSON — the
+/// workspace has no serializer dependency, and the schema is flat.
+pub fn bench6_json(run: &ServiceRun) -> String {
+    let m = &run.metrics;
+    let secs = run.wall.as_secs_f64();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": 6,\n",
+            "  \"name\": \"dpd-service\",\n",
+            "  \"size\": \"{size}\",\n",
+            "  \"sessions\": {sessions},\n",
+            "  \"finalized\": {finalized},\n",
+            "  \"salvaged\": {salvaged},\n",
+            "  \"failed\": {failed},\n",
+            "  \"rejected\": {rejected},\n",
+            "  \"degraded_runs\": {degraded},\n",
+            "  \"retries\": {retries},\n",
+            "  \"wall_ms\": {wall_ms:.1},\n",
+            "  \"sessions_per_sec\": {sps:.2},\n",
+            "  \"epochs_committed\": {epochs},\n",
+            "  \"epochs_per_sec\": {eps:.1},\n",
+            "  \"admission_p50_ns\": {p50},\n",
+            "  \"admission_p99_ns\": {p99}\n",
+            "}}\n"
+        ),
+        size = run.size,
+        sessions = run.sessions,
+        finalized = m.finalized,
+        salvaged = m.salvaged,
+        failed = m.failed,
+        rejected = m.rejected,
+        degraded = m.degraded_runs,
+        retries = m.retries,
+        wall_ms = secs * 1e3,
+        sps = run.sessions as f64 / secs,
+        epochs = m.epochs_committed,
+        eps = m.epochs_committed as f64 / secs,
+        p50 = m.admission_p50_ns,
+        p99 = m.admission_p99_ns,
+    )
+}
+
 /// Sanity harness used by tests: native measurement agrees between the
 /// coordinator and a direct call.
 pub fn native_cycles(case: &WorkloadCase, threads: usize) -> u64 {

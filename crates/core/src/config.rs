@@ -1,6 +1,76 @@
 //! Recorder configuration.
 
 use crate::faults::FaultPlan;
+use std::fmt;
+
+/// Hard ceiling on spare verify workers: each one is a real OS thread in
+/// the pipelined driver, so an absurd count is a typo, not a request.
+pub const MAX_SPARE_WORKERS: usize = 512;
+
+/// A structurally invalid recorder configuration, caught before any guest
+/// boots. The CLI and the `dpd` service surface these as typed errors
+/// instead of letting the coordinator silently reinterpret (or panic on)
+/// degenerate worker counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `cpus == 0`: there is no thread-parallel execution to record.
+    NoCpus,
+    /// `pipelined` was requested with zero spare workers. The pipelined
+    /// driver *is* the spare-worker pool; without workers the request is
+    /// contradictory (the library would silently fall back to the
+    /// sequential driver, which is almost never what the caller meant).
+    PipelinedWithoutWorkers,
+    /// More spare workers than [`MAX_SPARE_WORKERS`]: each is a real OS
+    /// thread under the pipelined driver.
+    TooManyWorkers {
+        /// The requested worker count.
+        workers: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoCpus => write!(f, "at least one CPU is required"),
+            ConfigError::PipelinedWithoutWorkers => write!(
+                f,
+                "pipelined recording requires at least one spare worker (got --workers 0)"
+            ),
+            ConfigError::TooManyWorkers { workers } => write!(
+                f,
+                "{workers} spare workers exceed the maximum of {MAX_SPARE_WORKERS}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validates a `(cpus, spare_workers, pipelined)` triple *before* a
+/// [`DoublePlayConfig`] is constructed (construction itself asserts on
+/// zero CPUs, so callers handling untrusted input check here first).
+///
+/// # Errors
+///
+/// The violated [`ConfigError`] rule, most fundamental first.
+pub fn validate_worker_counts(
+    cpus: usize,
+    spare_workers: usize,
+    pipelined: bool,
+) -> Result<(), ConfigError> {
+    if cpus == 0 {
+        return Err(ConfigError::NoCpus);
+    }
+    if spare_workers > MAX_SPARE_WORKERS {
+        return Err(ConfigError::TooManyWorkers {
+            workers: spare_workers,
+        });
+    }
+    if pipelined && spare_workers == 0 {
+        return Err(ConfigError::PipelinedWithoutWorkers);
+    }
+    Ok(())
+}
 
 /// Configuration for a DoublePlay recording run.
 ///
@@ -150,6 +220,17 @@ impl DoublePlayConfig {
         self.pipelined = on;
         self
     }
+
+    /// Checks the configuration for degenerate worker counts
+    /// ([`validate_worker_counts`]). Call this on any configuration built
+    /// from untrusted input (CLI flags, service requests).
+    ///
+    /// # Errors
+    ///
+    /// The violated [`ConfigError`] rule.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        validate_worker_counts(self.cpus, self.spare_workers, self.pipelined)
+    }
 }
 
 // Hand-written (not `impl_wire_struct!`) because `pipelined` must stay out
@@ -234,6 +315,35 @@ mod tests {
     #[should_panic(expected = "at least one CPU")]
     fn zero_cpus_panics() {
         DoublePlayConfig::new(0);
+    }
+
+    #[test]
+    fn degenerate_worker_counts_are_typed_errors() {
+        assert_eq!(
+            validate_worker_counts(0, 2, false),
+            Err(ConfigError::NoCpus)
+        );
+        assert_eq!(
+            validate_worker_counts(2, 0, true),
+            Err(ConfigError::PipelinedWithoutWorkers)
+        );
+        assert_eq!(
+            validate_worker_counts(2, MAX_SPARE_WORKERS + 1, false),
+            Err(ConfigError::TooManyWorkers {
+                workers: MAX_SPARE_WORKERS + 1
+            })
+        );
+        assert_eq!(validate_worker_counts(2, 0, false), Ok(()));
+        assert!(DoublePlayConfig::new(2).validate().is_ok());
+        assert_eq!(
+            DoublePlayConfig::new(2)
+                .spare_workers(0)
+                .pipelined(true)
+                .validate(),
+            Err(ConfigError::PipelinedWithoutWorkers)
+        );
+        let msg = ConfigError::PipelinedWithoutWorkers.to_string();
+        assert!(msg.contains("spare worker"));
     }
 
     #[test]

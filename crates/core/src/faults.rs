@@ -29,6 +29,7 @@ use dp_support::rng::{mix, roll};
 
 const SALT_PANIC: u64 = 0x70a1_c0de;
 const SALT_STORM: u64 = 0x5708_4a11;
+const SALT_SESSION: u64 = 0x5e55_10fd;
 
 /// Marker carried in the payload of every injected worker panic, so the
 /// quiet panic hook can tell injected faults from real bugs.
@@ -179,6 +180,23 @@ impl FaultPlan {
         s
     }
 
+    /// Derives the per-session plan for session `sid` of a multi-session
+    /// service: identical probabilities, decorrelated decisions.
+    ///
+    /// The daemon hands every session the same operator-supplied template
+    /// plan; reseeding by session id keeps fault decisions independent
+    /// across sessions (session 7's storm windows say nothing about
+    /// session 8's) while staying a pure function of `(template, sid)`, so
+    /// a solo re-run of any one session injects the exact same faults. A
+    /// sink plan carrying its own seed is reseeded the same way.
+    pub fn for_session(mut self, sid: u64) -> Self {
+        self.seed = mix(&[self.seed, sid, SALT_SESSION]);
+        if self.sink.seed != 0 {
+            self.sink.seed = mix(&[self.sink.seed, sid, SALT_SESSION]);
+        }
+        self
+    }
+
     /// The kernel-level slice of this plan.
     pub fn io_faults(&self) -> IoFaults {
         IoFaults {
@@ -282,6 +300,34 @@ mod tests {
             ..SinkFaults::none()
         });
         assert_eq!(own_seed.sink_faults().seed, 4);
+    }
+
+    #[test]
+    fn per_session_plans_are_deterministic_and_decorrelated() {
+        let template = FaultPlan::none().seed(3).storms(0.5, 4, 8);
+        let a = template.for_session(7);
+        let b = template.for_session(8);
+        // Pure function of (template, sid): re-deriving gives the same plan.
+        assert_eq!(a, template.for_session(7));
+        // Distinct sessions draw from distinct decision streams.
+        assert_ne!(a.seed, b.seed);
+        let differs = (0..64u32).any(|w| a.storm(w * 4) != b.storm(w * 4));
+        assert!(differs, "sessions 7 and 8 share every storm window");
+        // Probabilities are untouched — only the seed moves.
+        assert_eq!(a.storm_p, template.storm_p);
+        assert_eq!(a.storm_len, template.storm_len);
+        // A sink plan with its own seed is reseeded too; a seedless one
+        // keeps inheriting the (already reseeded) plan seed.
+        let own = template
+            .sink(SinkFaults {
+                seed: 5,
+                short_write_p: 0.1,
+                ..SinkFaults::none()
+            })
+            .for_session(7);
+        assert_ne!(own.sink.seed, 5);
+        let inherit = template.sink_short_writes(0.1).for_session(7);
+        assert_eq!(inherit.sink_faults().seed, inherit.seed);
     }
 
     #[test]

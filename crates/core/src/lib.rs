@@ -75,7 +75,7 @@ mod stats;
 mod world;
 
 pub use checkpoint::{Checkpoint, CheckpointImage, EpochTargets, ThreadTarget};
-pub use config::DoublePlayConfig;
+pub use config::{validate_worker_counts, ConfigError, DoublePlayConfig, MAX_SPARE_WORKERS};
 pub use error::{RecordError, ReplayError, SaveError};
 pub use faults::FaultPlan;
 pub use journal::{JournalReader, JournalWriter, NullSink, RecordSink, Salvaged};

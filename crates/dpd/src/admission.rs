@@ -1,0 +1,74 @@
+//! Typed admission outcomes: the service sheds load, it never hangs.
+
+use dp_core::ConfigError;
+use std::fmt;
+use std::time::Duration;
+
+/// Why a submission was not admitted. Every variant is immediate and
+/// typed — the daemon never blocks a submitter and never panics on bad
+/// input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmitError {
+    /// The bounded admission queue is full. `retry_after` estimates when a
+    /// slot frees up (queue depth × smoothed session runtime / runners);
+    /// clients back off for that long and resubmit.
+    Rejected {
+        /// Sessions queued at rejection time.
+        queued: usize,
+        /// The configured queue capacity.
+        capacity: usize,
+        /// Suggested client back-off before resubmitting.
+        retry_after: Duration,
+    },
+    /// The daemon is draining for shutdown and accepts no new sessions.
+    Draining,
+    /// The submitted recorder configuration is structurally invalid
+    /// (degenerate worker counts — see [`dp_core::validate_worker_counts`]).
+    Invalid(ConfigError),
+}
+
+impl fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmitError::Rejected {
+                queued,
+                capacity,
+                retry_after,
+            } => write!(
+                f,
+                "admission queue full ({queued}/{capacity}); retry after {}ms",
+                retry_after.as_millis()
+            ),
+            AdmitError::Draining => write!(f, "daemon is draining; no new sessions"),
+            AdmitError::Invalid(e) => write!(f, "invalid session config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+impl From<ConfigError> for AdmitError {
+    fn from(e: ConfigError) -> Self {
+        AdmitError::Invalid(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_operator_context() {
+        let e = AdmitError::Rejected {
+            queued: 9,
+            capacity: 8,
+            retry_after: Duration::from_millis(250),
+        };
+        let s = e.to_string();
+        assert!(s.contains("9/8"));
+        assert!(s.contains("250ms"));
+        assert!(AdmitError::Draining.to_string().contains("draining"));
+        let inv = AdmitError::from(ConfigError::PipelinedWithoutWorkers);
+        assert!(inv.to_string().contains("spare worker"));
+    }
+}

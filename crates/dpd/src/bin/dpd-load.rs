@@ -1,0 +1,213 @@
+//! `dpd-load` — the load-generator client for the `dpd` recording service.
+//!
+//! Opens hundreds of sessions over the mixed workload suite from several
+//! client threads, with bursty submission, per-session derived fault
+//! plans, mixed priorities, and polite back-off on typed rejections.
+//! Prints the session table summary and service metrics at the end.
+//!
+//! ```text
+//! dpd-load [--sessions N] [--clients N] [--runners N] [--cores N]
+//!          [--capacity N] [--threads N] [--size small|medium|large]
+//!          [--faults] [--check] [--seed N]
+//! ```
+
+use dp_core::{record_to, DoublePlayConfig, FaultPlan, JournalWriter};
+use dp_dpd::{
+    AdmitError, Daemon, DaemonConfig, MemStore, Priority, SessionId, SessionSpec, SessionState,
+    SessionStore,
+};
+use dp_support::rng::mix;
+use dp_workloads::{mixed_suite, Size};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Opts {
+    sessions: usize,
+    clients: usize,
+    runners: usize,
+    cores: usize,
+    capacity: usize,
+    threads: usize,
+    size: Size,
+    faults: bool,
+    check: bool,
+    seed: u64,
+}
+
+fn fail(detail: &str) -> ! {
+    eprintln!("dpd-load: {detail}");
+    std::process::exit(1);
+}
+
+fn parse() -> Opts {
+    let mut o = Opts {
+        sessions: 200,
+        clients: 4,
+        runners: 4,
+        cores: 4,
+        capacity: 32,
+        threads: 2,
+        size: Size::Small,
+        faults: false,
+        check: false,
+        seed: 42,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut num = |what: &str| -> usize {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| fail(&format!("{what} needs a number")))
+        };
+        match a.as_str() {
+            "--sessions" => o.sessions = num("--sessions"),
+            "--clients" => o.clients = num("--clients").max(1),
+            "--runners" => o.runners = num("--runners").max(1),
+            "--cores" => o.cores = num("--cores"),
+            "--capacity" => o.capacity = num("--capacity").max(1),
+            "--threads" => o.threads = num("--threads").max(1),
+            "--seed" => o.seed = num("--seed") as u64,
+            "--size" => {
+                o.size = match args.next().as_deref() {
+                    Some("small") => Size::Small,
+                    Some("medium") => Size::Medium,
+                    Some("large") => Size::Large,
+                    other => fail(&format!("unknown size {other:?}")),
+                }
+            }
+            "--faults" => o.faults = true,
+            "--check" => o.check = true,
+            "--help" | "-h" => {
+                println!(
+                    "dpd-load [--sessions N] [--clients N] [--runners N] [--cores N] \
+                     [--capacity N] [--threads N] [--size small|medium|large] \
+                     [--faults] [--check] [--seed N]"
+                );
+                std::process::exit(0);
+            }
+            other => fail(&format!("unknown flag {other}")),
+        }
+    }
+    o
+}
+
+/// The spec for global session number `i`: workloads cycle through the
+/// mixed suite, priorities cycle through the lanes, and (with `--faults`)
+/// every third session carries a per-session decorrelated fault plan.
+fn spec_for(o: &Opts, i: usize) -> SessionSpec {
+    let cases = mixed_suite(o.threads, o.size);
+    let case = &cases[i % cases.len()];
+    let mut config = DoublePlayConfig::new(o.threads)
+        .epoch_cycles(50_000)
+        .hidden_seed(mix(&[o.seed, i as u64, 0x10ad]));
+    if i.is_multiple_of(2) {
+        config = config.spare_workers(o.threads).pipelined(true);
+    }
+    if o.faults && i.is_multiple_of(3) {
+        let template = FaultPlan::none()
+            .seed(o.seed)
+            .io(0.0, 0.002, 0.0)
+            .worker_panics_with(0.01)
+            .storms(0.05, 4, 32);
+        config = config.faults(template.for_session(i as u64));
+    }
+    let priority = match i % 3 {
+        0 => Priority::High,
+        1 => Priority::Normal,
+        _ => Priority::Low,
+    };
+    SessionSpec::new(case.name, case.spec.clone(), config)
+        .priority(priority)
+        .restart_budget(2)
+}
+
+fn main() {
+    let o = parse();
+    dp_core::faults::silence_injected_panics();
+    let store = Arc::new(MemStore::new());
+    let daemon = Arc::new(Daemon::start(
+        DaemonConfig {
+            runners: o.runners,
+            verify_cores: o.cores,
+            queue_capacity: o.capacity,
+        },
+        store.clone(),
+    ));
+
+    let started = Instant::now();
+    let ids = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for client in 0..o.clients {
+            let daemon = daemon.clone();
+            let o = &o;
+            handles.push(scope.spawn(move || {
+                let mut ids = Vec::new();
+                let mut i = client;
+                while i < o.sessions {
+                    match daemon.submit_retrying(spec_for(o, i), 1_000) {
+                        Ok(id) => ids.push((i, id)),
+                        Err(AdmitError::Draining) => break,
+                        Err(e) => fail(&format!("session {i} not admitted: {e}")),
+                    }
+                    i += o.clients;
+                }
+                ids
+            }));
+        }
+        let mut all: Vec<(usize, SessionId)> = Vec::new();
+        for h in handles {
+            all.extend(h.join().expect("client thread"));
+        }
+        all
+    });
+    daemon.drain();
+    let wall = started.elapsed();
+
+    let m = daemon.metrics();
+    let rows = daemon.sessions();
+    let terminal = rows.iter().filter(|r| r.state.is_terminal()).count();
+    println!(
+        "sessions: {} admitted, {} terminal ({} finalized, {} salvaged, {} failed)",
+        m.admitted, terminal, m.finalized, m.salvaged, m.failed
+    );
+    println!(
+        "backpressure: {} rejections shed, {} degraded runs, {} retries",
+        m.rejected, m.degraded_runs, m.retries
+    );
+    println!(
+        "throughput: {:.1} sessions/s, {:.0} epochs/s ({} epochs committed)",
+        m.admitted as f64 / wall.as_secs_f64(),
+        m.epochs_committed as f64 / wall.as_secs_f64(),
+        m.epochs_committed
+    );
+    println!(
+        "admission latency: p50 {:.2}ms, p99 {:.2}ms",
+        m.admission_p50_ns as f64 / 1e6,
+        m.admission_p99_ns as f64 / 1e6
+    );
+
+    if o.check {
+        // Byte-identity spot check: every 10th session's journal must be
+        // identical to a solo run of the same spec (isolation oracle).
+        let mut checked = 0;
+        for (i, id) in ids.iter().step_by(10) {
+            let spec = spec_for(&o, *i);
+            let row = rows.iter().find(|r| r.id == *id).expect("row");
+            if row.state != SessionState::Finalized {
+                continue;
+            }
+            let mut w = JournalWriter::new(Vec::new()).expect("journal");
+            record_to(&spec.guest, &spec.config, &mut w).expect("solo run");
+            if store.durable(*id).expect("durable") != w.into_inner() {
+                fail(&format!("session {id} diverged from its solo run"));
+            }
+            checked += 1;
+        }
+        println!("checked: {checked} sessions byte-identical to solo runs");
+    }
+
+    match Arc::try_unwrap(daemon) {
+        Ok(d) => d.shutdown(),
+        Err(_) => fail("daemon still shared at exit"),
+    }
+}

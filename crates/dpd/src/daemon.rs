@@ -1,0 +1,822 @@
+//! The daemon: registry, runner pool, verify-core leases, supervision.
+//!
+//! One mutex-guarded [`Registry`] holds every session as a row; a fixed
+//! pool of runner threads claims queued sessions and executes recording
+//! attempts outside the lock. The shared verify-core pool is a counting
+//! lease: a pipelined session needs `spare_workers` permits to run
+//! pipelined; when permits are short, low-priority sessions (and sessions
+//! whose demand exceeds the whole pool) *degrade* to the serialized
+//! driver instead of waiting — recording the same bytes (the pipelined
+//! flag is not wire-encoded) at lower throughput, which is the graceful
+//! form of backpressure. Every attempt runs under `catch_unwind`, so a
+//! panicking session is a row update, never a dead daemon.
+
+use crate::admission::AdmitError;
+use crate::session::{SessionId, SessionReport, SessionSpec, SessionState};
+use crate::store::SessionStore;
+use dp_core::{record_to, JournalReader, JournalWriter};
+use dp_os::FaultedSink;
+use std::collections::{HashMap, VecDeque};
+use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service-level tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct DaemonConfig {
+    /// Runner threads — the maximum number of concurrently recording
+    /// sessions.
+    pub runners: usize,
+    /// Size of the shared verify-core pool pipelined sessions lease from.
+    pub verify_cores: usize,
+    /// Bound on queued (not yet claimed) sessions; submissions beyond it
+    /// are shed with [`AdmitError::Rejected`]. Retries of already-admitted
+    /// sessions re-queue regardless — admission is the only gate.
+    pub queue_capacity: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            runners: 4,
+            verify_cores: 8,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// Aggregate service counters, for `dpd-load`, `dp serve`, and E14.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DaemonMetrics {
+    /// Sessions admitted.
+    pub admitted: u64,
+    /// Submissions shed with [`AdmitError::Rejected`].
+    pub rejected: u64,
+    /// Sessions that reached [`SessionState::Finalized`].
+    pub finalized: u64,
+    /// Sessions that reached [`SessionState::Salvaged`].
+    pub salvaged: u64,
+    /// Sessions that reached [`SessionState::Failed`].
+    pub failed: u64,
+    /// Attempts re-queued after a contained failure.
+    pub retries: u64,
+    /// Attempts run serialized because the verify-core pool was
+    /// oversubscribed.
+    pub degraded_runs: u64,
+    /// Epochs committed across all terminal sessions (their journals'
+    /// salvageable view).
+    pub epochs_committed: u64,
+    /// Median queue wait from submission to first claim, nanoseconds.
+    pub admission_p50_ns: u64,
+    /// 99th-percentile queue wait, nanoseconds.
+    pub admission_p99_ns: u64,
+}
+
+/// One registry row.
+struct Session {
+    spec: SessionSpec,
+    state: SessionState,
+    /// Attempts started (the next attempt to run is `attempts`).
+    attempts: u32,
+    epochs: u32,
+    degraded: bool,
+    submitted_at: Instant,
+    admission_wait_ns: Option<u64>,
+    error: Option<String>,
+}
+
+/// All daemon state behind one lock. Runners hold it only to claim and to
+/// retire; recording itself runs unlocked.
+struct Registry {
+    next_id: u64,
+    sessions: HashMap<u64, Session>,
+    /// Queued session ids, one FIFO deque per priority lane.
+    lanes: [VecDeque<u64>; 3],
+    free_cores: usize,
+    active: usize,
+    draining: bool,
+    shutdown: bool,
+    /// Exponentially smoothed attempt runtime, for `retry_after` hints.
+    ewma_run_ns: f64,
+    admission_waits: Vec<u64>,
+    metrics: DaemonMetrics,
+}
+
+struct Inner<S: SessionStore + ?Sized> {
+    cfg: DaemonConfig,
+    reg: Mutex<Registry>,
+    cv: Condvar,
+    store: Arc<S>,
+}
+
+/// A claimed unit of work: run `sid`'s next attempt holding `lease`
+/// verify-core permits (0 under degradation or for sequential configs).
+struct Claim {
+    sid: u64,
+    attempt: u32,
+    lease: usize,
+    degraded: bool,
+    spec: SessionSpec,
+}
+
+/// The multi-session recording service. See the crate docs for the
+/// contract; see [`DaemonConfig`] for sizing.
+pub struct Daemon<S: SessionStore + 'static> {
+    inner: Arc<Inner<S>>,
+    runners: Vec<JoinHandle<()>>,
+}
+
+impl<S: SessionStore + 'static> Daemon<S> {
+    /// Starts the runner pool over `store`.
+    pub fn start(cfg: DaemonConfig, store: Arc<S>) -> Self {
+        let inner = Arc::new(Inner {
+            cfg,
+            reg: Mutex::new(Registry {
+                next_id: 1,
+                sessions: HashMap::new(),
+                lanes: Default::default(),
+                free_cores: cfg.verify_cores,
+                active: 0,
+                draining: false,
+                shutdown: false,
+                ewma_run_ns: 0.0,
+                admission_waits: Vec::new(),
+                metrics: DaemonMetrics::default(),
+            }),
+            cv: Condvar::new(),
+            store,
+        });
+        let runners = (0..cfg.runners.max(1))
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("dpd-runner-{i}"))
+                    .spawn(move || runner_loop(&*inner))
+                    .expect("spawn dpd runner")
+            })
+            .collect();
+        Daemon { inner, runners }
+    }
+
+    /// Submits a session. Returns its id, or a typed admission error —
+    /// never blocks, never panics on bad input.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::Invalid`] for degenerate configurations,
+    /// [`AdmitError::Draining`] during shutdown, [`AdmitError::Rejected`]
+    /// (with a back-off hint) when the admission queue is full.
+    pub fn submit(&self, spec: SessionSpec) -> Result<SessionId, AdmitError> {
+        spec.config.validate()?;
+        let mut guard = self.inner.reg.lock().unwrap();
+        let reg = &mut *guard;
+        if reg.draining || reg.shutdown {
+            return Err(AdmitError::Draining);
+        }
+        let queued: usize = reg.lanes.iter().map(VecDeque::len).sum();
+        if queued >= self.inner.cfg.queue_capacity {
+            reg.metrics.rejected += 1;
+            let retry_after = retry_after(reg, &self.inner.cfg, queued);
+            return Err(AdmitError::Rejected {
+                queued,
+                capacity: self.inner.cfg.queue_capacity,
+                retry_after,
+            });
+        }
+        let id = reg.next_id;
+        reg.next_id += 1;
+        let lane = spec.priority.lane();
+        reg.sessions.insert(
+            id,
+            Session {
+                spec,
+                state: SessionState::Admitted,
+                attempts: 0,
+                epochs: 0,
+                degraded: false,
+                submitted_at: Instant::now(),
+                admission_wait_ns: None,
+                error: None,
+            },
+        );
+        reg.lanes[lane].push_back(id);
+        reg.metrics.admitted += 1;
+        self.inner.cv.notify_all();
+        Ok(SessionId(id))
+    }
+
+    /// [`submit`](Daemon::submit), retrying up to `tries` times on
+    /// [`AdmitError::Rejected`] with the suggested (capped) back-off —
+    /// the polite client loop, shared by the load generator and the soak.
+    ///
+    /// # Errors
+    ///
+    /// The last admission error once retries are exhausted.
+    pub fn submit_retrying(
+        &self,
+        spec: SessionSpec,
+        tries: usize,
+    ) -> Result<SessionId, AdmitError> {
+        let mut last = None;
+        for _ in 0..tries.max(1) {
+            match self.submit(spec.clone()) {
+                Ok(id) => return Ok(id),
+                Err(e @ AdmitError::Rejected { .. }) => {
+                    let AdmitError::Rejected { retry_after, .. } = e else {
+                        unreachable!()
+                    };
+                    last = Some(e);
+                    std::thread::sleep(retry_after.min(Duration::from_millis(10)));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("tries >= 1"))
+    }
+
+    /// A snapshot of one session's row.
+    pub fn report(&self, id: SessionId) -> Option<SessionReport> {
+        let reg = self.inner.reg.lock().unwrap();
+        reg.sessions.get(&id.0).map(|s| snapshot(id.0, s))
+    }
+
+    /// Snapshots every session, ordered by id.
+    pub fn sessions(&self) -> Vec<SessionReport> {
+        let reg = self.inner.reg.lock().unwrap();
+        let mut rows: Vec<SessionReport> = reg
+            .sessions
+            .iter()
+            .map(|(&id, s)| snapshot(id, s))
+            .collect();
+        rows.sort_by_key(|r| r.id);
+        rows
+    }
+
+    /// Aggregate counters plus admission-latency percentiles.
+    pub fn metrics(&self) -> DaemonMetrics {
+        let reg = self.inner.reg.lock().unwrap();
+        let mut m = reg.metrics;
+        let mut waits = reg.admission_waits.clone();
+        if !waits.is_empty() {
+            waits.sort_unstable();
+            m.admission_p50_ns = waits[waits.len() / 2];
+            m.admission_p99_ns = waits[(waits.len() * 99) / 100];
+        }
+        m
+    }
+
+    /// Stops admitting and blocks until every admitted session is
+    /// terminal. Queued and running work completes normally.
+    pub fn drain(&self) {
+        let mut reg = self.inner.reg.lock().unwrap();
+        reg.draining = true;
+        self.inner.cv.notify_all();
+        while reg.sessions.values().any(|s| !s.state.is_terminal()) {
+            reg = self.inner.cv.wait(reg).unwrap();
+        }
+    }
+
+    /// Drains, stops the runner pool, and joins it.
+    pub fn shutdown(self) {
+        self.drain();
+        {
+            let mut reg = self.inner.reg.lock().unwrap();
+            reg.shutdown = true;
+            self.inner.cv.notify_all();
+        }
+        for h in self.runners {
+            let _ = h.join();
+        }
+    }
+}
+
+fn snapshot(id: u64, s: &Session) -> SessionReport {
+    SessionReport {
+        id: SessionId(id),
+        name: s.spec.name.clone(),
+        priority: s.spec.priority,
+        state: s.state,
+        attempts: s.attempts,
+        epochs: s.epochs,
+        degraded: s.degraded,
+        admission_wait_ns: s.admission_wait_ns.unwrap_or(0),
+        error: s.error.clone(),
+    }
+}
+
+/// The `retry_after` hint: queue depth over runner count, in units of the
+/// smoothed attempt runtime (floored at 1ms so a cold daemon still
+/// suggests a sane back-off).
+fn retry_after(reg: &Registry, cfg: &DaemonConfig, queued: usize) -> Duration {
+    let per_slot = reg.ewma_run_ns.max(1_000_000.0);
+    let slots = (queued as f64 / cfg.runners.max(1) as f64).max(1.0);
+    Duration::from_nanos((per_slot * slots) as u64)
+}
+
+/// Picks the next runnable session, FIFO within each lane, lanes in
+/// priority order. A whole lane is scanned so one head session waiting
+/// for a big core lease does not block smaller siblings behind it.
+fn claim(reg: &mut Registry, cfg: &DaemonConfig) -> Option<Claim> {
+    for lane in 0..reg.lanes.len() {
+        for idx in 0..reg.lanes[lane].len() {
+            let sid = reg.lanes[lane][idx];
+            let s = &reg.sessions[&sid];
+            let want = if s.spec.config.pipelined {
+                s.spec.config.spare_workers
+            } else {
+                0
+            };
+            let (lease, degraded) = if want == 0 {
+                (0, false)
+            } else if want <= reg.free_cores {
+                (want, false)
+            } else if lane == 2 || want > cfg.verify_cores {
+                // Low priority never waits for cores, and a demand larger
+                // than the whole pool can never be satisfied: both degrade
+                // to the serialized driver (same bytes, no lease).
+                (0, true)
+            } else {
+                continue;
+            };
+            reg.lanes[lane].remove(idx);
+            reg.free_cores -= lease;
+            return Some(make_claim(reg, sid, lease, degraded));
+        }
+    }
+    // Stall breaker: if nothing is running and nothing was claimable,
+    // waiting can only deadlock — degrade the highest-priority head.
+    // (With lease release on every retire this is belt-and-braces: an
+    // idle pool is a full pool, so pass one should always have matched.)
+    if reg.active == 0 {
+        for lane in 0..reg.lanes.len() {
+            if let Some(sid) = reg.lanes[lane].pop_front() {
+                return Some(make_claim(reg, sid, 0, true));
+            }
+        }
+    }
+    None
+}
+
+fn make_claim(reg: &mut Registry, sid: u64, lease: usize, degraded: bool) -> Claim {
+    reg.active += 1;
+    if degraded {
+        reg.metrics.degraded_runs += 1;
+    }
+    let s = reg.sessions.get_mut(&sid).unwrap();
+    let attempt = s.attempts;
+    s.attempts += 1;
+    s.state = SessionState::Recording { attempt };
+    s.degraded |= degraded;
+    if s.admission_wait_ns.is_none() {
+        let wait = s.submitted_at.elapsed().as_nanos() as u64;
+        s.admission_wait_ns = Some(wait);
+        reg.admission_waits.push(wait);
+    }
+    Claim {
+        sid,
+        attempt,
+        lease,
+        degraded,
+        spec: s.spec.clone(),
+    }
+}
+
+/// What one recording attempt produced, gathered outside the lock.
+struct AttemptOutcome {
+    /// `None` = the run returned cleanly.
+    error: Option<String>,
+    run_ns: u64,
+}
+
+fn runner_loop<S: SessionStore + ?Sized>(inner: &Inner<S>) {
+    loop {
+        let claimed = {
+            let mut reg = self_lock(inner);
+            loop {
+                if let Some(c) = claim(&mut reg, &inner.cfg) {
+                    break Some(c);
+                }
+                if reg.shutdown {
+                    break None;
+                }
+                reg = inner.cv.wait(reg).unwrap();
+            }
+        };
+        let Some(c) = claimed else { return };
+        let outcome = run_attempt(&*inner.store, &c);
+        retire(inner, c, outcome);
+    }
+}
+
+fn self_lock<'a, S: SessionStore + ?Sized>(
+    inner: &'a Inner<S>,
+) -> std::sync::MutexGuard<'a, Registry> {
+    inner.reg.lock().unwrap()
+}
+
+/// Executes one attempt: open the store writer (faulted if the session's
+/// sink-fault plan applies to this attempt), stream the journal, contain
+/// panics. No daemon lock is held anywhere in here.
+fn run_attempt<S: SessionStore + ?Sized>(store: &S, c: &Claim) -> AttemptOutcome {
+    let started = Instant::now();
+    let mut cfg = c.spec.config;
+    if c.degraded {
+        // Serialized degradation changes the execution strategy only:
+        // `pipelined` is not wire-encoded, and `spare_workers` (which is)
+        // stays untouched, so the journal bytes are identical to the
+        // pipelined run the session asked for.
+        cfg.pipelined = false;
+    }
+    let error = (|| -> Option<String> {
+        let raw = match store.open(SessionId(c.sid), &c.spec.name, c.attempt) {
+            Ok(w) => w,
+            Err(e) => return Some(format!("store open failed: {e}")),
+        };
+        let faulted =
+            c.spec.sink_faults.is_active() && (c.attempt == 0 || !c.spec.transient_sink_faults);
+        let sink: Box<dyn Write + Send> = if faulted {
+            Box::new(FaultedSink::new(raw, c.spec.sink_faults))
+        } else {
+            raw
+        };
+        let mut journal = match JournalWriter::new(sink) {
+            Ok(j) => j,
+            Err(e) => return Some(format!("journal preamble failed: {e}")),
+        };
+        match catch_unwind(AssertUnwindSafe(|| {
+            record_to(&c.spec.guest, &cfg, &mut journal)
+        })) {
+            Ok(Ok(_bundle)) => None,
+            Ok(Err(e)) => Some(e.to_string()),
+            Err(payload) => Some(format!("session panicked: {}", panic_detail(&*payload))),
+        }
+    })();
+    AttemptOutcome {
+        error,
+        run_ns: started.elapsed().as_nanos() as u64,
+    }
+}
+
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".into())
+}
+
+/// Retires a finished attempt: release the lease, update the EWMA, then
+/// either re-queue (contained failure, budget left) or classify the
+/// durable journal into a terminal state.
+fn retire<S: SessionStore + ?Sized>(inner: &Inner<S>, c: Claim, out: AttemptOutcome) {
+    // Salvage the durable view outside the lock; it is pure byte work.
+    let terminal = out.error.is_none() || c.attempt >= c.spec.restart_budget;
+    let salvaged = if terminal {
+        match inner.store.durable(SessionId(c.sid)) {
+            Ok(bytes) => JournalReader::salvage(&bytes).ok(),
+            Err(_) => None,
+        }
+    } else {
+        None
+    };
+
+    let mut guard = self_lock(inner);
+    let reg = &mut *guard;
+    reg.active -= 1;
+    reg.free_cores += c.lease;
+    reg.ewma_run_ns = if reg.ewma_run_ns == 0.0 {
+        out.run_ns as f64
+    } else {
+        0.8 * reg.ewma_run_ns + 0.2 * out.run_ns as f64
+    };
+
+    let s = reg.sessions.get_mut(&c.sid).unwrap();
+    s.error = out.error;
+    if !terminal {
+        // Contained failure with budget left: back to the lane with a
+        // fresh journal. Re-queues bypass the admission capacity gate —
+        // the session was already admitted.
+        s.state = SessionState::Admitted;
+        reg.lanes[s.spec.priority.lane()].push_back(c.sid);
+        reg.metrics.retries += 1;
+    } else {
+        let (state, epochs) = match (&salvaged, &s.error) {
+            (Some(salv), None) if salv.clean => (SessionState::Finalized, salv.committed()),
+            (Some(salv), _) => (SessionState::Salvaged, salv.committed()),
+            (None, _) => (SessionState::Failed, 0),
+        };
+        s.state = state;
+        s.epochs = epochs as u32;
+        match state {
+            SessionState::Finalized => reg.metrics.finalized += 1,
+            SessionState::Salvaged => reg.metrics.salvaged += 1,
+            _ => reg.metrics.failed += 1,
+        }
+        reg.metrics.epochs_committed += epochs as u64;
+    }
+    inner.cv.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guests;
+    use crate::session::Priority;
+    use crate::store::MemStore;
+    use dp_core::{DoublePlayConfig, FaultPlan};
+
+    fn tiny_config() -> DoublePlayConfig {
+        DoublePlayConfig::new(2).epoch_cycles(800)
+    }
+
+    fn tiny_spec(name: &str) -> SessionSpec {
+        SessionSpec::new(name, guests::atomic_counter(2, 400), tiny_config())
+    }
+
+    /// A solo run of the same spec: the byte-identity oracle.
+    fn solo_bytes(spec: &SessionSpec) -> Vec<u8> {
+        let mut w = JournalWriter::new(Vec::new()).unwrap();
+        record_to(&spec.guest, &spec.config, &mut w).unwrap();
+        w.into_inner()
+    }
+
+    /// A solo run instrumented with per-epoch commit byte offsets — the
+    /// oracle for "salvages to exactly its committed prefix".
+    fn solo_with_offsets(spec: &SessionSpec) -> (Vec<u8>, Vec<u64>) {
+        struct Tap {
+            w: JournalWriter<Vec<u8>>,
+            offsets: Vec<u64>,
+        }
+        impl dp_core::RecordSink for Tap {
+            fn begin(
+                &mut self,
+                meta: &dp_core::RecordingMeta,
+                initial: &dp_core::CheckpointImage,
+            ) -> std::io::Result<()> {
+                self.w.begin(meta, initial)
+            }
+            fn epoch(&mut self, e: &dp_core::EpochRecord) -> std::io::Result<()> {
+                self.w.epoch(e)?;
+                self.offsets.push(self.w.bytes_written());
+                Ok(())
+            }
+            fn finish(&mut self) -> std::io::Result<()> {
+                self.w.finish()
+            }
+        }
+        let mut tap = Tap {
+            w: JournalWriter::new(Vec::new()).unwrap(),
+            offsets: Vec::new(),
+        };
+        record_to(&spec.guest, &spec.config, &mut tap).unwrap();
+        (tap.w.into_inner(), tap.offsets)
+    }
+
+    #[test]
+    fn clean_session_finalizes_byte_identical_to_solo() {
+        let store = Arc::new(MemStore::new());
+        let daemon = Daemon::start(DaemonConfig::default(), store.clone());
+        let spec = tiny_spec("clean");
+        let solo = solo_bytes(&spec);
+        let id = daemon.submit(spec).unwrap();
+        daemon.drain();
+        let r = daemon.report(id).unwrap();
+        assert_eq!(r.state, SessionState::Finalized);
+        assert!(r.epochs >= 2);
+        assert!(r.error.is_none());
+        assert_eq!(store.durable(id).unwrap(), solo);
+        let m = daemon.metrics();
+        assert_eq!(m.finalized, 1);
+        assert_eq!(m.epochs_committed, u64::from(r.epochs));
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_typed() {
+        let daemon = Daemon::start(DaemonConfig::default(), Arc::new(MemStore::new()));
+        let spec = SessionSpec::new(
+            "bad",
+            guests::atomic_counter(2, 8),
+            tiny_config().spare_workers(0).pipelined(true),
+        );
+        assert!(matches!(
+            daemon.submit(spec),
+            Err(AdmitError::Invalid(
+                dp_core::ConfigError::PipelinedWithoutWorkers
+            ))
+        ));
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn full_queue_sheds_with_retry_hint_and_draining_refuses() {
+        let cfg = DaemonConfig {
+            runners: 1,
+            verify_cores: 2,
+            queue_capacity: 2,
+        };
+        let daemon = Daemon::start(cfg, Arc::new(MemStore::new()));
+        // Saturate: the single runner can hold one, the queue two more.
+        let mut rejected = 0;
+        for i in 0..32 {
+            match daemon.submit(tiny_spec(&format!("s{i}"))) {
+                Ok(_) => {}
+                Err(AdmitError::Rejected { retry_after, .. }) => {
+                    rejected += 1;
+                    assert!(retry_after > Duration::ZERO);
+                }
+                Err(e) => panic!("unexpected admission error: {e}"),
+            }
+        }
+        assert!(rejected > 0, "queue of 2 absorbed 32 instant submissions");
+        assert_eq!(daemon.metrics().rejected, rejected);
+        daemon.drain();
+        assert!(matches!(
+            daemon.submit(tiny_spec("late")),
+            Err(AdmitError::Draining)
+        ));
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn oversubscribed_pool_degrades_low_priority_not_bytes() {
+        // One verify core, sessions wanting two: low priority degrades to
+        // serialized immediately; bytes stay identical to the solo run.
+        let cfg = DaemonConfig {
+            runners: 2,
+            verify_cores: 1,
+            queue_capacity: 64,
+        };
+        let store = Arc::new(MemStore::new());
+        let daemon = Daemon::start(cfg, store.clone());
+        let spec = SessionSpec::new(
+            "low",
+            guests::atomic_counter(2, 400),
+            tiny_config().spare_workers(2).pipelined(true),
+        )
+        .priority(Priority::Low);
+        let solo = solo_bytes(&spec);
+        let id = daemon.submit(spec).unwrap();
+        daemon.drain();
+        let r = daemon.report(id).unwrap();
+        assert_eq!(r.state, SessionState::Finalized);
+        assert!(r.degraded, "1-core pool must degrade a 2-core low session");
+        assert_eq!(store.durable(id).unwrap(), solo);
+        assert!(daemon.metrics().degraded_runs >= 1);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn transient_sink_fault_finalizes_after_retry() {
+        let store = Arc::new(MemStore::new());
+        let daemon = Daemon::start(DaemonConfig::default(), store.clone());
+        let spec = tiny_spec("flaky-disk")
+            .restart_budget(2)
+            .transient_sink_faults(true);
+        let solo = solo_bytes(&spec);
+        let spec = spec.sink_faults({
+            let mut f = dp_os::SinkFaults::none();
+            f.torn_at = Some(200);
+            f
+        });
+        let id = daemon.submit(spec).unwrap();
+        daemon.drain();
+        let r = daemon.report(id).unwrap();
+        assert_eq!(r.state, SessionState::Finalized, "error: {:?}", r.error);
+        assert!(r.attempts >= 2, "should have retried past the torn write");
+        assert_eq!(store.durable(id).unwrap(), solo);
+        assert_eq!(daemon.metrics().retries, u64::from(r.attempts - 1));
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn permanent_sink_fault_salvages_exact_committed_prefix() {
+        let store = Arc::new(MemStore::new());
+        let daemon = Daemon::start(DaemonConfig::default(), store.clone());
+        let base = tiny_spec("dead-disk").restart_budget(0);
+        let (_solo, offsets) = solo_with_offsets(&base);
+        assert!(offsets.len() >= 2, "need multiple epochs to cut between");
+        // Die between the first and second commit: exactly one epoch must
+        // survive salvage.
+        let torn_at = (offsets[0] + offsets[1]) / 2;
+        let spec = base.sink_faults({
+            let mut f = dp_os::SinkFaults::none();
+            f.torn_at = Some(torn_at);
+            f
+        });
+        let id = daemon.submit(spec).unwrap();
+        daemon.drain();
+        let r = daemon.report(id).unwrap();
+        let expect = offsets.iter().filter(|&&o| o <= torn_at).count();
+        assert_eq!(expect, 1);
+        assert_eq!(r.state, SessionState::Salvaged);
+        assert_eq!(r.epochs as usize, expect, "salvage != committed prefix");
+        assert!(r.error.as_deref().unwrap_or("").contains("torn"));
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn panicking_sink_is_contained_and_isolated_from_siblings() {
+        /// A store whose writers panic mid-journal — modelling a bug in a
+        /// session's sink plugin, the worst-case tenant.
+        struct PanicStore {
+            inner: MemStore,
+            panic_for: u64,
+        }
+        struct PanicWriter {
+            wrote: usize,
+        }
+        impl Write for PanicWriter {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.wrote += data.len();
+                if self.wrote > 100 {
+                    panic!("sink plugin bug");
+                }
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        impl SessionStore for PanicStore {
+            fn open(
+                &self,
+                id: SessionId,
+                name: &str,
+                attempt: u32,
+            ) -> std::io::Result<Box<dyn Write + Send>> {
+                if id.0 == self.panic_for {
+                    Ok(Box::new(PanicWriter { wrote: 0 }))
+                } else {
+                    self.inner.open(id, name, attempt)
+                }
+            }
+            fn durable(&self, id: SessionId) -> std::io::Result<Vec<u8>> {
+                if id.0 == self.panic_for {
+                    Err(std::io::Error::other("panicked sink has no bytes"))
+                } else {
+                    self.inner.durable(id)
+                }
+            }
+        }
+
+        let store = Arc::new(PanicStore {
+            inner: MemStore::new(),
+            panic_for: 1,
+        });
+        let daemon = Daemon::start(
+            DaemonConfig {
+                runners: 2,
+                verify_cores: 8,
+                queue_capacity: 64,
+            },
+            store.clone(),
+        );
+        let bad = daemon
+            .submit(tiny_spec("panicky").restart_budget(1))
+            .unwrap();
+        let good_spec = tiny_spec("innocent");
+        let solo = solo_bytes(&good_spec);
+        let good = daemon.submit(good_spec).unwrap();
+        daemon.drain();
+        let rb = daemon.report(bad).unwrap();
+        assert_eq!(rb.state, SessionState::Failed);
+        assert!(rb.error.as_deref().unwrap().contains("panicked"));
+        assert_eq!(rb.attempts, 2, "panic should be retried within budget");
+        let rg = daemon.report(good).unwrap();
+        assert_eq!(rg.state, SessionState::Finalized);
+        assert_eq!(store.durable(good).unwrap(), solo, "sibling perturbed");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn injected_record_faults_are_contained_per_session() {
+        dp_core::faults::silence_injected_panics();
+        let store = Arc::new(MemStore::new());
+        let daemon = Daemon::start(DaemonConfig::default(), store.clone());
+        // worker_panic_p = 1.0 defeats the coordinator's internal retry
+        // budget every time: the attempt fails, the daemon retries it,
+        // and the budget runs out -> the committed prefix salvages.
+        let storm = SessionSpec::new(
+            "doomed",
+            guests::racy_counter(2, 400),
+            tiny_config().faults(FaultPlan::none().seed(5).worker_panics_with(1.0)),
+        )
+        .restart_budget(1);
+        let doomed = daemon.submit(storm).unwrap();
+        let fine = daemon.submit(tiny_spec("fine")).unwrap();
+        daemon.drain();
+        let rd = daemon.report(doomed).unwrap();
+        assert!(
+            matches!(rd.state, SessionState::Salvaged | SessionState::Failed),
+            "state: {:?}",
+            rd.state
+        );
+        assert!(rd.error.is_some());
+        assert_eq!(rd.attempts, 2);
+        assert_eq!(daemon.report(fine).unwrap().state, SessionState::Finalized);
+        daemon.shutdown();
+    }
+}

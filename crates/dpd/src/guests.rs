@@ -1,0 +1,91 @@
+//! Tiny synthetic guests for service tests and soaks.
+//!
+//! The soak and crash-property tests run hundreds of sessions in debug
+//! builds, so they need guests that record in a handful of epochs. These
+//! builders are deliberately minimal counter loops — the real workload mix
+//! lives in `dp_workloads` and is what `dpd-load` and `dp serve` submit.
+
+use dp_core::GuestSpec;
+use dp_os::abi;
+use dp_os::kernel::WorldConfig;
+use dp_vm::builder::ProgramBuilder;
+use dp_vm::Reg;
+use std::sync::Arc;
+
+/// `workers` threads each perform `iters` increments on a shared counter,
+/// then main exits with the counter value. `racy` selects plain
+/// load/add/store (schedule-dependent — drives divergences) versus
+/// `fetch_add` (schedule-independent — never diverges).
+fn counter(workers: usize, iters: i64, racy: bool) -> GuestSpec {
+    let mut pb = ProgramBuilder::new();
+    let counter = pb.global("counter", 8);
+    let mut w = pb.function("worker");
+    let top = w.label();
+    let done = w.label();
+    w.consti(Reg(10), 0);
+    w.consti(Reg(9), counter as i64);
+    w.bind(top);
+    w.bin(dp_vm::BinOp::Ltu, Reg(11), Reg(10), iters);
+    w.jz(Reg(11), done);
+    if racy {
+        w.load(Reg(12), Reg(9), 0, dp_vm::Width::W8);
+        w.add(Reg(12), Reg(12), 1i64);
+        w.store(Reg(12), Reg(9), 0, dp_vm::Width::W8);
+    } else {
+        w.fetch_add(Reg(12), Reg(9), 1i64);
+    }
+    w.add(Reg(10), Reg(10), 1i64);
+    w.jmp(top);
+    w.bind(done);
+    w.consti(Reg(0), 0);
+    w.syscall(abi::SYS_THREAD_EXIT);
+    w.finish();
+    let worker = pb.declare("worker");
+    let mut f = pb.function("main");
+    for _ in 0..workers {
+        f.consti(Reg(0), worker.0 as i64);
+        f.consti(Reg(1), 0);
+        f.consti(Reg(2), 0);
+        f.syscall(abi::SYS_SPAWN);
+    }
+    for t in 1..=workers as i64 {
+        f.consti(Reg(0), t);
+        f.syscall(abi::SYS_JOIN);
+    }
+    f.consti(Reg(9), counter as i64);
+    f.load(Reg(0), Reg(9), 0, dp_vm::Width::W8);
+    f.syscall(abi::SYS_EXIT);
+    f.finish();
+    let name = if racy { "tiny-racy" } else { "tiny-atomic" };
+    GuestSpec::new(name, Arc::new(pb.finish("main")), WorldConfig::default())
+}
+
+/// A race-free counter guest: deterministic final state, no divergences.
+pub fn atomic_counter(workers: usize, iters: i64) -> GuestSpec {
+    counter(workers, iters, false)
+}
+
+/// A racy counter guest: unsynchronized read-modify-write increments, the
+/// divergence generator.
+pub fn racy_counter(workers: usize, iters: i64) -> GuestSpec {
+    counter(workers, iters, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_core::{record, DoublePlayConfig};
+
+    #[test]
+    fn tiny_guests_record_in_a_few_epochs() {
+        let cfg = DoublePlayConfig::new(2).epoch_cycles(800);
+        let atomic = record(&atomic_counter(2, 400), &cfg).unwrap();
+        assert!(
+            atomic.stats.epochs >= 2,
+            "want multiple epochs for crash tests"
+        );
+        assert_eq!(atomic.stats.divergences, 0);
+        let racy = record(&racy_counter(2, 400), &cfg).unwrap();
+        assert!(racy.stats.epochs >= 2);
+    }
+}

@@ -1,0 +1,73 @@
+//! # dp-dpd — the multi-session recording service
+//!
+//! DoublePlay's recorder logs one guest cheaply on spare cores. A fleet
+//! deployment needs the next layer up: many concurrent recording sessions
+//! sharing one machine, where any single tenant's divergence storm, sink
+//! failure, or worker panic must not take down its neighbors. `dpd` is
+//! that layer — a long-lived daemon that multiplexes sessions over a
+//! bounded pool of runner threads and one shared global verify-core pool,
+//! turning sessions into *data* (rows in a registry) instead of processes.
+//!
+//! ## The contract
+//!
+//! Following the partially-constrained-logging insight, the service
+//! relaxes *admission* freely — shed load, reorder lanes, degrade — but
+//! never relaxes *recoverability*: every admitted session is, at every
+//! instant, salvageable to exactly its committed epoch prefix, because
+//! each session streams its own `DPRJ` journal through
+//! [`dp_core::JournalWriter`] and the journal's commit rule makes the
+//! per-epoch flush the durability point.
+//!
+//! * **Session state machine** — `Admitted → Recording → Draining →
+//!   {Finalized, Salvaged, Failed}` ([`SessionState`]); retries within a
+//!   restart budget loop back to `Admitted`.
+//! * **Admission control** — a bounded queue with three priority lanes;
+//!   oversubscription yields a typed [`AdmitError::Rejected`] with a
+//!   `retry_after` hint, never a hang ([`admission`]).
+//! * **Graceful degradation** — when the shared verify-core pool is
+//!   exhausted, low-priority sessions record *serialized* (sequential
+//!   driver, same bytes — the pipelined flag is not wire-encoded) instead
+//!   of being refused ([`daemon`]).
+//! * **Fault isolation** — each session attempt runs under
+//!   `catch_unwind`; a `RecordError`, an injected panic, or a sink fault
+//!   is contained, retried within budget, and reported in the session's
+//!   own registry row without disturbing siblings.
+//! * **Crash story** — SIGKILL the whole daemon mid-run and every
+//!   admitted session salvages independently (`dp salvage` per journal);
+//!   [`store::MemStore`] plus [`store::CrashClock`] simulate exactly this
+//!   for the property tests.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dp_dpd::{guests, Daemon, DaemonConfig, MemStore, SessionSpec};
+//! use dp_core::DoublePlayConfig;
+//! use std::sync::Arc;
+//!
+//! let store = Arc::new(MemStore::new());
+//! let daemon = Daemon::start(DaemonConfig::default(), store.clone());
+//! let spec = SessionSpec::new(
+//!     "demo",
+//!     guests::atomic_counter(2, 400),
+//!     DoublePlayConfig::new(2).epoch_cycles(800),
+//! );
+//! let id = daemon.submit(spec)?;
+//! daemon.drain();
+//! let report = daemon.report(id).unwrap();
+//! assert!(report.state.is_terminal());
+//! daemon.shutdown();
+//! # Ok::<(), dp_dpd::AdmitError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod daemon;
+pub mod guests;
+pub mod session;
+pub mod store;
+
+pub use admission::AdmitError;
+pub use daemon::{Daemon, DaemonConfig, DaemonMetrics};
+pub use session::{Priority, SessionId, SessionReport, SessionSpec, SessionState};
+pub use store::{CrashClock, DirStore, MemStore, SessionStore};

@@ -1,0 +1,246 @@
+//! Sessions as data: identity, priority, state machine, spec, report.
+
+use dp_core::{DoublePlayConfig, GuestSpec};
+use dp_os::SinkFaults;
+use std::fmt;
+
+/// Daemon-assigned session identity, unique for the daemon's lifetime and
+/// embedded in the session's journal name so post-crash salvage can pair
+/// journals with sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{:04}", self.0)
+    }
+}
+
+/// Admission lane. Within a lane the queue is FIFO; across lanes, higher
+/// priority is always scanned first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Claimed first; waits for verify cores rather than degrade (unless
+    /// the whole daemon would otherwise stall).
+    High,
+    /// The default lane.
+    #[default]
+    Normal,
+    /// Claimed last; degrades to serialized recording immediately when the
+    /// verify-core pool is exhausted, instead of waiting or being refused.
+    Low,
+}
+
+impl Priority {
+    /// Lane index (0 = highest priority).
+    pub(crate) fn lane(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Priority::High => write!(f, "high"),
+            Priority::Normal => write!(f, "normal"),
+            Priority::Low => write!(f, "low"),
+        }
+    }
+}
+
+/// The per-session state machine:
+///
+/// ```text
+/// Admitted → Recording → Draining → Finalized   (clean journal)
+///     ↑          │            └───→ Salvaged    (committed prefix only)
+///     └──retry───┘            └───→ Failed      (nothing salvageable)
+/// ```
+///
+/// A failed attempt with remaining restart budget loops back to
+/// `Admitted` (the session re-queues on its lane with a fresh journal);
+/// past the budget the attempt's durable bytes decide between `Salvaged`
+/// and `Failed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// In the admission queue, waiting for a runner (and, for pipelined
+    /// sessions, a verify-core lease).
+    Admitted,
+    /// A runner is executing this attempt (0-based).
+    Recording {
+        /// The attempt number being executed.
+        attempt: u32,
+    },
+    /// The run finished; the daemon is classifying the durable journal.
+    Draining,
+    /// The journal is durable and clean (FINAL marker): nothing was lost.
+    Finalized,
+    /// The durable journal salvages to a committed epoch prefix, but the
+    /// run did not finalize cleanly (sink fault past the retry budget, or
+    /// durability lost to a crash).
+    Salvaged,
+    /// Nothing was salvageable (the journal header never became durable).
+    Failed,
+}
+
+impl SessionState {
+    /// True for the three terminal states.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            SessionState::Finalized | SessionState::Salvaged | SessionState::Failed
+        )
+    }
+}
+
+impl fmt::Display for SessionState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionState::Admitted => write!(f, "admitted"),
+            SessionState::Recording { attempt } => write!(f, "recording#{attempt}"),
+            SessionState::Draining => write!(f, "draining"),
+            SessionState::Finalized => write!(f, "finalized"),
+            SessionState::Salvaged => write!(f, "salvaged"),
+            SessionState::Failed => write!(f, "failed"),
+        }
+    }
+}
+
+/// Everything a client submits to open a recording session.
+///
+/// The guest-perturbing fault plan rides inside `config.faults` exactly as
+/// it does for a solo [`dp_core::record_to`] run — the daemon executes the
+/// submitted configuration verbatim, so a solo re-run of the same spec is
+/// byte-identical to the session's journal (the isolation oracle). Clients
+/// decorrelate per-session plans with [`dp_core::FaultPlan::for_session`].
+/// Sink faults are separate: they model *this session's* durable path
+/// dying, so they wrap the sink inside the daemon, outside the recorded
+/// world.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// Display name, embedded in the journal name.
+    pub name: String,
+    /// The guest to record.
+    pub guest: GuestSpec,
+    /// Recorder configuration (validated at admission).
+    pub config: DoublePlayConfig,
+    /// Admission lane.
+    pub priority: Priority,
+    /// Failed attempts are retried this many times (0 = one attempt).
+    pub restart_budget: u32,
+    /// Faults of this session's durable sink (default: none).
+    pub sink_faults: SinkFaults,
+    /// When true, `sink_faults` apply to attempt 0 only — modelling a
+    /// transient durable-path outage that a retry recovers from. When
+    /// false, every attempt hits the same faults (a dead disk).
+    pub transient_sink_faults: bool,
+}
+
+impl SessionSpec {
+    /// A normal-priority session with no sink faults and one retry.
+    pub fn new(name: impl Into<String>, guest: GuestSpec, config: DoublePlayConfig) -> Self {
+        SessionSpec {
+            name: name.into(),
+            guest,
+            config,
+            priority: Priority::Normal,
+            restart_budget: 1,
+            sink_faults: SinkFaults::none(),
+            transient_sink_faults: false,
+        }
+    }
+
+    /// Sets the admission lane.
+    pub fn priority(mut self, p: Priority) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Sets the restart budget (retries after a failed attempt).
+    pub fn restart_budget(mut self, n: u32) -> Self {
+        self.restart_budget = n;
+        self
+    }
+
+    /// Sets this session's durable-sink fault plan.
+    pub fn sink_faults(mut self, faults: SinkFaults) -> Self {
+        self.sink_faults = faults;
+        self
+    }
+
+    /// Marks the sink faults transient (attempt 0 only).
+    pub fn transient_sink_faults(mut self, transient: bool) -> Self {
+        self.transient_sink_faults = transient;
+        self
+    }
+}
+
+/// A snapshot of one session's registry row.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Daemon-assigned identity.
+    pub id: SessionId,
+    /// Submitted display name.
+    pub name: String,
+    /// Admission lane.
+    pub priority: Priority,
+    /// Current state.
+    pub state: SessionState,
+    /// Attempts started so far (1 = no retries yet).
+    pub attempts: u32,
+    /// Epochs committed to the journal by the most recent attempt.
+    pub epochs: u32,
+    /// True when at least one attempt ran serialized because the
+    /// verify-core pool was oversubscribed (backpressure by degradation).
+    pub degraded: bool,
+    /// Queue wait from submission to the first runner claim, in
+    /// nanoseconds (the admission-latency metric).
+    pub admission_wait_ns: u64,
+    /// The most recent attempt's error, if any.
+    pub error: Option<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_states() {
+        assert!(SessionState::Finalized.is_terminal());
+        assert!(SessionState::Salvaged.is_terminal());
+        assert!(SessionState::Failed.is_terminal());
+        assert!(!SessionState::Admitted.is_terminal());
+        assert!(!SessionState::Recording { attempt: 2 }.is_terminal());
+        assert!(!SessionState::Draining.is_terminal());
+        assert_eq!(
+            SessionState::Recording { attempt: 2 }.to_string(),
+            "recording#2"
+        );
+    }
+
+    #[test]
+    fn lanes_are_ordered() {
+        assert!(Priority::High.lane() < Priority::Normal.lane());
+        assert!(Priority::Normal.lane() < Priority::Low.lane());
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn spec_builder_chains() {
+        let spec = SessionSpec::new(
+            "x",
+            crate::guests::atomic_counter(2, 8),
+            DoublePlayConfig::new(2),
+        )
+        .priority(Priority::Low)
+        .restart_budget(3)
+        .transient_sink_faults(true);
+        assert_eq!(spec.priority, Priority::Low);
+        assert_eq!(spec.restart_budget, 3);
+        assert!(spec.transient_sink_faults);
+        assert_eq!(SessionId(7).to_string(), "s0007");
+    }
+}

@@ -1,0 +1,301 @@
+//! Pluggable per-session journal stores, including a crash-simulating one.
+//!
+//! The daemon streams each session's `DPRJ` journal through a
+//! [`SessionStore`], which hands out one writer per attempt and can later
+//! produce the bytes that would survive a machine crash. Two
+//! implementations:
+//!
+//! * [`MemStore`] — in-memory buffers, optionally threaded onto a shared
+//!   [`CrashClock`] that models a daemon-wide SIGKILL: one global byte
+//!   clock advances with every write from every session, and only bytes
+//!   written before the crash instant are durable (a write straddling the
+//!   instant is torn). This is the engine of the N-journal crash property
+//!   tests.
+//! * [`DirStore`] — one `s{id}-{name}.dprj` file per session in a
+//!   directory, for `dp serve`; a killed daemon leaves files that
+//!   `dp sessions` / `dp salvage` recover independently.
+
+use crate::session::SessionId;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Where per-session journals go. Implementations are shared across
+/// runner threads.
+pub trait SessionStore: Send + Sync {
+    /// Opens (or truncates, on a retry) the journal for `id`'s given
+    /// attempt and returns its writer. Attempts rewrite in place: the
+    /// journal a session leaves behind is always its *latest* attempt's.
+    ///
+    /// # Errors
+    ///
+    /// Store I/O failures (these surface as the session's sink error).
+    fn open(&self, id: SessionId, name: &str, attempt: u32) -> io::Result<Box<dyn Write + Send>>;
+
+    /// The bytes of `id`'s journal that would survive a crash right now —
+    /// what a post-mortem salvage scan would read.
+    ///
+    /// # Errors
+    ///
+    /// Unknown session, or store I/O failures.
+    fn durable(&self, id: SessionId) -> io::Result<Vec<u8>>;
+}
+
+/// A daemon-wide crash instant, measured on a global byte clock.
+///
+/// Every write from every session advances the clock by its length; bytes
+/// ticked off before `crash_at` are durable, bytes after are lost, and
+/// the write straddling the instant is torn (a prefix survives). Because
+/// sessions interleave on the clock in whatever order the OS schedules
+/// their commits, this reproduces the failure mode of one machine dying
+/// under N concurrent recording sessions — each journal is cut at an
+/// arbitrary, *different* point.
+#[derive(Debug)]
+pub struct CrashClock {
+    now: AtomicU64,
+    crash_at: u64,
+}
+
+impl CrashClock {
+    /// A clock that crashes once `crash_at` total bytes have been written.
+    pub fn new(crash_at: u64) -> Arc<Self> {
+        Arc::new(CrashClock {
+            now: AtomicU64::new(0),
+            crash_at,
+        })
+    }
+
+    /// Advances the clock by a write of `n` bytes and returns how many of
+    /// them land before the crash instant (possibly 0, possibly a torn
+    /// prefix).
+    fn grant(&self, n: u64) -> u64 {
+        let start = self.now.fetch_add(n, Ordering::Relaxed);
+        self.crash_at.saturating_sub(start).min(n)
+    }
+
+    /// Total bytes written on this clock so far.
+    pub fn elapsed(&self) -> u64 {
+        self.now.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct SessionBuf {
+    /// Everything the session wrote (the process's own view — writes keep
+    /// "succeeding" after the crash instant; the process just doesn't know
+    /// the machine is dead).
+    bytes: Vec<u8>,
+    /// Prefix of `bytes` that landed before the crash instant.
+    durable: usize,
+}
+
+/// An in-memory [`SessionStore`], optionally crash-simulating.
+#[derive(Default)]
+pub struct MemStore {
+    sessions: Mutex<HashMap<u64, Arc<Mutex<SessionBuf>>>>,
+    clock: Option<Arc<CrashClock>>,
+}
+
+impl MemStore {
+    /// A store with no crash: `durable` returns everything written.
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+
+    /// A store whose durability is cut by `clock`.
+    pub fn crashing(clock: Arc<CrashClock>) -> Self {
+        MemStore {
+            sessions: Mutex::new(HashMap::new()),
+            clock: Some(clock),
+        }
+    }
+
+    fn buf(&self, id: SessionId) -> Arc<Mutex<SessionBuf>> {
+        self.sessions
+            .lock()
+            .unwrap()
+            .entry(id.0)
+            .or_default()
+            .clone()
+    }
+
+    /// Everything the session has written, durable or not (the live view).
+    pub fn live(&self, id: SessionId) -> Vec<u8> {
+        self.buf(id).lock().unwrap().bytes.clone()
+    }
+}
+
+struct MemWriter {
+    buf: Arc<Mutex<SessionBuf>>,
+    clock: Option<Arc<CrashClock>>,
+}
+
+impl Write for MemWriter {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        let mut b = self.buf.lock().unwrap();
+        let granted = match &self.clock {
+            Some(c) => c.grant(data.len() as u64) as usize,
+            None => data.len(),
+        };
+        // The durable prefix only grows while the journal tail is exactly
+        // where the device left off; a crash freezes it forever.
+        if b.durable == b.bytes.len() {
+            b.durable += granted;
+        }
+        b.bytes.extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SessionStore for MemStore {
+    fn open(&self, id: SessionId, _name: &str, _attempt: u32) -> io::Result<Box<dyn Write + Send>> {
+        let buf = self.buf(id);
+        {
+            let mut b = buf.lock().unwrap();
+            // Truncating reopen. If the crash already happened, the
+            // truncate itself never reaches the device: the old durable
+            // prefix would in reality survive, but modelling that would
+            // need per-attempt files — the crash tests use budget 0, so
+            // a post-crash retry simply contributes nothing durable.
+            b.bytes.clear();
+            b.durable = 0;
+        }
+        Ok(Box::new(MemWriter {
+            buf,
+            clock: self.clock.clone(),
+        }))
+    }
+
+    fn durable(&self, id: SessionId) -> io::Result<Vec<u8>> {
+        let buf = self.buf(id);
+        let b = buf.lock().unwrap();
+        Ok(b.bytes[..b.durable].to_vec())
+    }
+}
+
+/// A directory of `s{id:04}-{name}.dprj` files, one per session.
+pub struct DirStore {
+    dir: PathBuf,
+    paths: Mutex<HashMap<u64, PathBuf>>,
+}
+
+impl DirStore {
+    /// Creates the directory (if needed) and the store.
+    ///
+    /// # Errors
+    ///
+    /// Directory creation failures.
+    pub fn new(dir: impl AsRef<Path>) -> io::Result<Self> {
+        std::fs::create_dir_all(dir.as_ref())?;
+        Ok(DirStore {
+            dir: dir.as_ref().to_path_buf(),
+            paths: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The journal path assigned to `id`, if it opened one.
+    pub fn path(&self, id: SessionId) -> Option<PathBuf> {
+        self.paths.lock().unwrap().get(&id.0).cloned()
+    }
+}
+
+impl SessionStore for DirStore {
+    fn open(&self, id: SessionId, name: &str, _attempt: u32) -> io::Result<Box<dyn Write + Send>> {
+        // Session names come from workload names, but sanitize anyway so a
+        // hostile name cannot escape the store directory.
+        let safe: String = name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let path = self.dir.join(format!("{id}-{safe}.dprj"));
+        let file = File::create(&path)?;
+        self.paths.lock().unwrap().insert(id.0, path);
+        Ok(Box::new(file))
+    }
+
+    fn durable(&self, id: SessionId) -> io::Result<Vec<u8>> {
+        let path = self.path(id).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, format!("no journal for {id}"))
+        })?;
+        std::fs::read(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_store_without_clock_is_fully_durable() {
+        let store = MemStore::new();
+        let id = SessionId(1);
+        let mut w = store.open(id, "a", 0).unwrap();
+        w.write_all(b"hello").unwrap();
+        w.flush().unwrap();
+        drop(w);
+        assert_eq!(store.durable(id).unwrap(), b"hello");
+        assert_eq!(store.live(id), b"hello");
+        // A retry truncates in place.
+        let mut w = store.open(id, "a", 1).unwrap();
+        w.write_all(b"x").unwrap();
+        drop(w);
+        assert_eq!(store.durable(id).unwrap(), b"x");
+    }
+
+    #[test]
+    fn crash_clock_tears_the_straddling_write() {
+        let clock = CrashClock::new(7);
+        let store = MemStore::crashing(clock.clone());
+        let id = SessionId(2);
+        let mut w = store.open(id, "b", 0).unwrap();
+        w.write_all(b"abcde").unwrap(); // bytes 0..5: durable
+        w.write_all(b"fghij").unwrap(); // bytes 5..10: 2 land, torn at 7
+        w.write_all(b"klmno").unwrap(); // after the crash: lost
+        drop(w);
+        assert_eq!(store.durable(id).unwrap(), b"abcdefg");
+        assert_eq!(store.live(id), b"abcdefghijklmno");
+        assert_eq!(clock.elapsed(), 15);
+    }
+
+    #[test]
+    fn crash_clock_interleaves_sessions() {
+        let clock = CrashClock::new(4);
+        let store = MemStore::crashing(clock);
+        let a = SessionId(1);
+        let b = SessionId(2);
+        let mut wa = store.open(a, "a", 0).unwrap();
+        let mut wb = store.open(b, "b", 0).unwrap();
+        wa.write_all(b"111").unwrap(); // clock 0..3: durable
+        wb.write_all(b"222").unwrap(); // clock 3..6: torn at 4
+        wa.write_all(b"333").unwrap(); // clock 6..9: lost
+        assert_eq!(store.durable(a).unwrap(), b"111");
+        assert_eq!(store.durable(b).unwrap(), b"2");
+    }
+
+    #[test]
+    fn dir_store_round_trips_and_sanitizes() {
+        let dir = std::env::temp_dir().join(format!("dpd-store-test-{}", std::process::id()));
+        let store = DirStore::new(&dir).unwrap();
+        let id = SessionId(3);
+        let mut w = store.open(id, "we/ird name", 0).unwrap();
+        w.write_all(b"journal").unwrap();
+        drop(w);
+        assert_eq!(store.durable(id).unwrap(), b"journal");
+        let path = store.path(id).unwrap();
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .contains("we_ird_name"));
+        assert!(store.durable(SessionId(99)).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

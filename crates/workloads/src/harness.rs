@@ -158,6 +158,23 @@ pub fn racy_suite(threads: usize, size: Size) -> Vec<WorkloadCase> {
     ]
 }
 
+/// The full suite plus the racy microbenchmarks — the session mix a
+/// multi-tenant recording service sees (experiment E14, `dpd-load`).
+pub fn mixed_suite(threads: usize, size: Size) -> Vec<WorkloadCase> {
+    let mut cases = suite(threads, size);
+    cases.extend(racy_suite(threads, size));
+    cases
+}
+
+/// Builds the named workload (searching [`mixed_suite`]), or `None` for an
+/// unknown name. Shared by the CLI, the load generator, and the bench
+/// runner so "a workload name" means the same thing everywhere.
+pub fn find(name: &str, threads: usize, size: Size) -> Option<WorkloadCase> {
+    mixed_suite(threads, size)
+        .into_iter()
+        .find(|c| c.name == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -36,4 +36,6 @@ pub mod radix;
 pub mod water;
 pub mod webserve;
 
-pub use harness::{racy_suite, suite, Category, Size, VerifyError, WorkloadCase};
+pub use harness::{
+    find, mixed_suite, racy_suite, suite, Category, Size, VerifyError, WorkloadCase,
+};

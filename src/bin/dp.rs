@@ -12,6 +12,9 @@
 //! dp analyze <FILE> diff <FILE2>
 //! dp analyze <FILE> compact [--out FILE] [--workload <name> ...]
 //! dp inspect <FILE>
+//! dp serve [--sessions N] [--dir PATH] [--runners N] [--cores N]
+//!          [--capacity N] [--threads N] [--size S] [--seed X] [--faults]
+//! dp sessions <DIR>
 //! dp list
 //! ```
 //!
@@ -25,6 +28,14 @@
 //! atomically (`<path>.tmp` + rename) except the journal itself, whose
 //! entire point is to be written incrementally.
 //!
+//! `dp serve` runs the `dpd` multi-session service in-process: it admits
+//! a batch of mixed-workload sessions (cycling priorities and, with
+//! `--faults`, per-session decorrelated fault plans) against a shared
+//! verify-core pool, streams one `DPRJ` journal per session into `--dir`,
+//! and prints the final session table. `dp sessions <DIR>` is the
+//! post-mortem view: it salvages every journal in the directory
+//! independently — exactly what you run after killing a serve mid-flight.
+//!
 //! Failures exit nonzero with a one-line `error: <command>: <detail>`
 //! message; a missing or truncated recording file is never a panic.
 
@@ -35,7 +46,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dp list\n  dp record <workload> [--threads N] [--size S] [--epoch C] [--seed X] [--pipelined] [--workers N] [--out FILE] [--journal FILE]\n  dp salvage <JOURNAL> [-o FILE]\n  dp replay <FILE> --workload <name> [--threads N] [--size S] [--parallel N]\n  dp analyze <FILE> race --workload <name> [--threads N] [--size S] [--assert-races|--assert-clean]\n  dp analyze <FILE> triage --workload <name> [--threads N] [--size S]\n  dp analyze <FILE> inspect\n  dp analyze <FILE> diff <FILE2>\n  dp analyze <FILE> compact [--out FILE] [--workload <name>]\n  dp inspect <FILE>"
+        "usage:\n  dp list\n  dp record <workload> [--threads N] [--size S] [--epoch C] [--seed X] [--pipelined] [--workers N] [--out FILE] [--journal FILE]\n  dp salvage <JOURNAL> [-o FILE]\n  dp replay <FILE> --workload <name> [--threads N] [--size S] [--parallel N]\n  dp analyze <FILE> race --workload <name> [--threads N] [--size S] [--assert-races|--assert-clean]\n  dp analyze <FILE> triage --workload <name> [--threads N] [--size S]\n  dp analyze <FILE> inspect\n  dp analyze <FILE> diff <FILE2>\n  dp analyze <FILE> compact [--out FILE] [--workload <name>]\n  dp inspect <FILE>\n  dp serve [--sessions N] [--dir PATH] [--runners N] [--cores N] [--capacity N] [--threads N] [--size S] [--seed X] [--faults]\n  dp sessions <DIR>"
     );
     exit(2);
 }
@@ -89,6 +100,12 @@ struct Opts {
     workers: Option<usize>,
     assert_races: bool,
     assert_clean: bool,
+    sessions: usize,
+    dir: String,
+    runners: usize,
+    cores: usize,
+    capacity: usize,
+    faults: bool,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -105,6 +122,12 @@ fn parse_opts(args: &[String]) -> Opts {
         workers: None,
         assert_races: false,
         assert_clean: false,
+        sessions: 24,
+        dir: "dpd-journals".to_string(),
+        runners: 4,
+        cores: 4,
+        capacity: 16,
+        faults: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -122,6 +145,12 @@ fn parse_opts(args: &[String]) -> Opts {
             "--workers" => o.workers = Some(val().parse().unwrap_or_else(|_| usage())),
             "--assert-races" => o.assert_races = true,
             "--assert-clean" => o.assert_clean = true,
+            "--sessions" => o.sessions = val().parse().unwrap_or_else(|_| usage()),
+            "--dir" => o.dir = val(),
+            "--runners" => o.runners = val().parse().unwrap_or_else(|_| usage()),
+            "--cores" => o.cores = val().parse().unwrap_or_else(|_| usage()),
+            "--capacity" => o.capacity = val().parse().unwrap_or_else(|_| usage()),
+            "--faults" => o.faults = true,
             _ => usage(),
         }
     }
@@ -248,6 +277,160 @@ fn cmd_analyze(argv: &[String]) {
     }
 }
 
+/// `dp serve`: run the `dpd` multi-session service over the mixed
+/// workload suite, one `DPRJ` journal per session in `--dir`.
+fn cmd_serve(o: &Opts) {
+    use doubleplay::dpd::guests;
+    use std::sync::Arc;
+
+    doubleplay::core::faults::silence_injected_panics();
+    let store = Arc::new(
+        DirStore::new(&o.dir)
+            .unwrap_or_else(|e| fail("serve", format_args!("cannot create `{}`: {e}", o.dir))),
+    );
+    let daemon = Daemon::start(
+        DaemonConfig {
+            runners: o.runners.max(1),
+            verify_cores: o.cores,
+            queue_capacity: o.capacity.max(1),
+        },
+        store.clone(),
+    );
+
+    let cases = mixed_suite(o.threads, o.size);
+    let started = std::time::Instant::now();
+    let mut ids = Vec::new();
+    for i in 0..o.sessions {
+        // Small-suite sizes record slowly per session; pad the tail of a
+        // large batch with tiny service guests so `--sessions 200` stays a
+        // service test, not a workload benchmark.
+        let (name, guest) = if i < cases.len() {
+            let case = &cases[i % cases.len()];
+            (case.name.to_string(), case.spec.clone())
+        } else if i.is_multiple_of(2) {
+            (format!("tiny-atomic-{i}"), guests::atomic_counter(2, 400))
+        } else {
+            (format!("tiny-racy-{i}"), guests::racy_counter(2, 400))
+        };
+        let epoch = if i < cases.len() { 50_000 } else { 800 };
+        let mut config = DoublePlayConfig::new(o.threads)
+            .epoch_cycles(epoch)
+            .hidden_seed(dp_support::rng::mix(&[o.seed, i as u64, 0x5e7e]));
+        if i.is_multiple_of(2) {
+            config = config.spare_workers(o.threads).pipelined(true);
+        }
+        if o.faults && i.is_multiple_of(3) {
+            let template = FaultPlan::none()
+                .seed(o.seed)
+                .io(0.0, 0.002, 0.0)
+                .worker_panics_with(0.005)
+                .storms(0.05, 4, 32);
+            config = config.faults(template.for_session(i as u64));
+        }
+        let spec = SessionSpec::new(name, guest, config)
+            .priority(match i % 3 {
+                0 => Priority::High,
+                1 => Priority::Normal,
+                _ => Priority::Low,
+            })
+            .restart_budget(2);
+        match daemon.submit_retrying(spec, 10_000) {
+            Ok(id) => ids.push(id),
+            Err(e) => fail("serve", format_args!("session {i} not admitted: {e}")),
+        }
+    }
+    daemon.drain();
+    let wall = started.elapsed();
+
+    println!("  id     workload              prio    state      att  epochs  journal");
+    for row in daemon.sessions() {
+        let journal = store
+            .path(row.id)
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "  {:6} {:21} {:7} {:10} {:3} {:7}  {}",
+            row.id.to_string(),
+            row.name,
+            format!("{:?}", row.priority),
+            format!("{:?}", row.state),
+            row.attempts,
+            row.epochs,
+            journal
+        );
+    }
+    let m = daemon.metrics();
+    println!(
+        "served {} sessions in {:.1}s: {} finalized, {} salvaged, {} failed \
+         ({} rejections shed, {} degraded runs, {} retries)",
+        m.admitted,
+        wall.as_secs_f64(),
+        m.finalized,
+        m.salvaged,
+        m.failed,
+        m.rejected,
+        m.degraded_runs,
+        m.retries
+    );
+    println!(
+        "throughput {:.1} sessions/s, {} epochs committed, admission p50 {:.2}ms p99 {:.2}ms",
+        m.admitted as f64 / wall.as_secs_f64(),
+        m.epochs_committed,
+        m.admission_p50_ns as f64 / 1e6,
+        m.admission_p99_ns as f64 / 1e6
+    );
+    println!(
+        "journals in {}/ — inspect with `dp sessions {}`",
+        o.dir, o.dir
+    );
+    daemon.shutdown();
+}
+
+/// `dp sessions <DIR>`: salvage every `.dprj` journal in a serve
+/// directory independently — the post-mortem view after a daemon crash.
+fn cmd_sessions(dir: &str) {
+    let entries = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| fail("sessions", format_args!("cannot read `{dir}`: {e}")));
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "dprj"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        fail("sessions", format_args!("no .dprj journals in `{dir}`"));
+    }
+    println!("  journal                                   epochs   salvaged    dropped  status");
+    let mut total = 0usize;
+    let mut recovered = 0usize;
+    for path in &paths {
+        total += 1;
+        let name = path.file_name().unwrap_or_default().to_string_lossy();
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                println!("  {name:40} unreadable: {e}");
+                continue;
+            }
+        };
+        match JournalReader::salvage(&bytes) {
+            Ok(s) => {
+                recovered += 1;
+                let status = if s.clean { "clean" } else { &*s.detail };
+                println!(
+                    "  {:40} {:6} {:10} {:10}  {}",
+                    name,
+                    s.committed(),
+                    s.salvaged_bytes,
+                    s.dropped_bytes,
+                    status
+                );
+            }
+            Err(e) => println!("  {name:40} unsalvageable: {e}"),
+        }
+    }
+    println!("{recovered}/{total} journals recovered independently");
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else { usage() };
@@ -263,6 +446,12 @@ fn main() {
         "record" => {
             let Some(name) = argv.get(1) else { usage() };
             let o = parse_opts(&argv[2..]);
+            // Degenerate worker counts (`--threads 0`, `--pipelined
+            // --workers 0`, absurd worker requests) are typed errors, not
+            // panics — checked before `DoublePlayConfig::new`, whose
+            // assertion is for programmer errors, not CLI input.
+            validate_worker_counts(o.threads, o.workers.unwrap_or(o.threads), o.pipelined)
+                .unwrap_or_else(|e| fail("record", e));
             let case = find_case(name, o.threads, o.size);
             let mut config = DoublePlayConfig::new(o.threads)
                 .epoch_cycles(o.epoch)
@@ -374,6 +563,11 @@ fn main() {
                 ),
                 Err(e) => fail("replay", e),
             }
+        }
+        "serve" => cmd_serve(&parse_opts(&argv[1..])),
+        "sessions" => {
+            let Some(dir) = argv.get(1) else { usage() };
+            cmd_sessions(dir);
         }
         "analyze" => cmd_analyze(&argv[1..]),
         "inspect" => {

@@ -14,7 +14,11 @@
 //!   lossless log compaction;
 //! * [`baselines`] — conventional multiprocessor record/replay schemes for
 //!   comparison;
-//! * [`workloads`] — the paper-style benchmark suite.
+//! * [`workloads`] — the paper-style benchmark suite;
+//! * [`dpd`] — the supervised multi-session recording service: admission
+//!   control with typed backpressure, a shared verify-core pool with
+//!   graceful degradation, per-session fault isolation, and per-session
+//!   crash-consistent journals.
 //!
 //! ## Record and replay in five lines
 //!
@@ -54,6 +58,7 @@
 pub use dp_analyze as analyze;
 pub use dp_baselines as baselines;
 pub use dp_core as core;
+pub use dp_dpd as dpd;
 pub use dp_os as os;
 pub use dp_vm as vm;
 pub use dp_workloads as workloads;
@@ -62,8 +67,13 @@ pub use dp_workloads as workloads;
 pub mod prelude {
     pub use dp_core::{
         measure_native, record, record_to, replay_parallel, replay_sequential, replay_to_point,
-        DoublePlayConfig, FaultPlan, GuestSpec, JournalReader, JournalWriter, RecordError,
-        RecorderStats, Recording, RecordingBundle, ReplayError, Salvaged, SaveError,
+        validate_worker_counts, ConfigError, DoublePlayConfig, FaultPlan, GuestSpec, JournalReader,
+        JournalWriter, RecordError, RecorderStats, Recording, RecordingBundle, ReplayError,
+        Salvaged, SaveError,
     };
-    pub use dp_workloads::{racy_suite, suite, Size, WorkloadCase};
+    pub use dp_dpd::{
+        AdmitError, Daemon, DaemonConfig, DirStore, MemStore, Priority, SessionSpec, SessionState,
+        SessionStore,
+    };
+    pub use dp_workloads::{mixed_suite, racy_suite, suite, Size, WorkloadCase};
 }
