@@ -1,12 +1,13 @@
 //! Regenerates the paper's tables and figures. Usage:
 //!
 //! ```text
-//! report [small|medium|large] [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 | all]
+//! report [small|medium|large] [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 | all]
 //! ```
 //!
 //! `e14` (the multi-session service soak) additionally writes its
 //! machine-readable perf record to `BENCH_6.json` in the working
-//! directory.
+//! directory; `e15` (sharded parallel journaling) writes
+//! `BENCH_7.json`.
 
 use dp_bench::experiments as exp;
 use dp_workloads::Size;
@@ -74,6 +75,15 @@ fn main() {
         match std::fs::write("BENCH_6.json", &json) {
             Ok(()) => println!("wrote BENCH_6.json"),
             Err(e) => eprintln!("warning: cannot write BENCH_6.json: {e}"),
+        }
+    }
+    if want("e15") {
+        let run = exp::shard_run(size);
+        println!("{}", exp::table_shards(&run));
+        let json = exp::bench7_json(&run);
+        match std::fs::write("BENCH_7.json", &json) {
+            Ok(()) => println!("wrote BENCH_7.json"),
+            Err(e) => eprintln!("warning: cannot write BENCH_7.json: {e}"),
         }
     }
 }

@@ -1124,6 +1124,299 @@ pub fn bench6_json(run: &ServiceRun) -> String {
     )
 }
 
+/// A durable sink with a modelled fsync: every `flush()` sleeps for
+/// [`FLUSH_COST`], counts itself, and — when it runs on the thread that
+/// drives the recording — bills the sleep as *commit-stage stall*. The
+/// single-stream journal and sync-mode shard lanes flush on the record
+/// thread; threaded shard lanes flush on their own threads, so their
+/// fsync cost leaves the commit stage entirely.
+struct SlowSink {
+    buf: Vec<u8>,
+    record_thread: std::thread::ThreadId,
+    flushes: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    stall_ns: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+/// The modelled fsync latency of [`SlowSink`] (per flush).
+const FLUSH_COST: std::time::Duration = std::time::Duration::from_micros(400);
+
+impl std::io::Write for SlowSink {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        Ok(data.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        use std::sync::atomic::Ordering;
+        std::thread::sleep(FLUSH_COST);
+        self.flushes.fetch_add(1, Ordering::SeqCst);
+        if std::thread::current().id() == self.record_thread {
+            self.stall_ns
+                .fetch_add(FLUSH_COST.as_nanos() as u64, Ordering::SeqCst);
+        }
+        Ok(())
+    }
+}
+
+/// One measured journaling configuration of E15.
+pub struct ShardRow {
+    /// Display label (`single`, `shard x4 sync`, ...).
+    pub mode: &'static str,
+    /// Shard streams (1 = classic single-stream `DPRJ`).
+    pub shards: u32,
+    /// Group-commit batch (epochs per shard between flushes).
+    pub batch: u32,
+    /// Total `flush()` calls across the mode's sinks.
+    pub flushes: u64,
+    /// Total journal bytes across the mode's sinks.
+    pub bytes: u64,
+    /// Modelled fsync time spent blocking the record thread, ms.
+    pub commit_stall_ms: f64,
+    /// Record wall time including lane join, ms.
+    pub wall_ms: f64,
+}
+
+/// One measured run of the sharded-journaling experiment: the raw
+/// material shared by the E15 table and `BENCH_7.json`.
+pub struct ShardRun {
+    /// Suite size the run was scaled from.
+    pub size: Size,
+    /// The recorded workload.
+    pub workload: String,
+    /// Epochs committed (identical across modes by construction).
+    pub epochs: u64,
+    /// One row per journaling configuration.
+    pub rows: Vec<ShardRow>,
+    /// True when every sharded mode's merged recording is byte-identical
+    /// to the single-stream run's recording.
+    pub merged_identical: bool,
+}
+
+/// E15 — sharded parallel journaling vs the single-stream journal at
+/// equal epochs: same workload, same seed, four durability layouts. The
+/// flush count drops by roughly the group-commit batch; threaded lanes
+/// additionally move the remaining fsync cost off the commit stage. Every
+/// sharded stream set must merge byte-identical to the single-stream
+/// recording.
+pub fn shard_run(size: Size) -> ShardRun {
+    use dp_core::{JournalReader, JournalWriter, ShardedJournalWriter, DEFAULT_SHARD_BATCH};
+    let case = suite(2, size)
+        .into_iter()
+        .find(|c| c.name == "pfscan")
+        .expect("pfscan in suite");
+    let config = config_for(2).epoch_cycles(100_000);
+    let record_thread = std::thread::current().id();
+    let make_sinks = |n: u32| -> (
+        Vec<SlowSink>,
+        std::sync::Arc<std::sync::atomic::AtomicU64>,
+        std::sync::Arc<std::sync::atomic::AtomicU64>,
+    ) {
+        let flushes = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let stall = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let sinks = (0..n)
+            .map(|_| SlowSink {
+                buf: Vec::new(),
+                record_thread,
+                flushes: flushes.clone(),
+                stall_ns: stall.clone(),
+            })
+            .collect();
+        (sinks, flushes, stall)
+    };
+
+    let mut rows = Vec::new();
+    let mut merged_identical = true;
+
+    // Mode 1: the classic single-stream journal (flush per commit).
+    let (epochs, reference) = {
+        let (mut sinks, flushes, stall) = make_sinks(1);
+        let mut w = JournalWriter::new(sinks.remove(0)).expect("journal preamble");
+        let started = Instant::now();
+        let bundle = dp_core::record_to(&case.spec, &config, &mut w).expect("single record");
+        let wall = started.elapsed();
+        let sink = w.into_inner();
+        let mut dprc = Vec::new();
+        bundle.recording.save(&mut dprc).expect("save");
+        rows.push(ShardRow {
+            mode: "single",
+            shards: 1,
+            batch: 1,
+            flushes: flushes.load(std::sync::atomic::Ordering::SeqCst),
+            bytes: sink.buf.len() as u64,
+            commit_stall_ms: stall.load(std::sync::atomic::Ordering::SeqCst) as f64 / 1e6,
+            wall_ms: wall.as_secs_f64() * 1e3,
+        });
+        (bundle.stats.epochs, dprc)
+    };
+
+    // Modes 2..: sharded layouts, sync lanes then threaded lanes.
+    let layouts: [(&'static str, u32, bool); 3] = [
+        ("shard x2 sync", 2, false),
+        ("shard x4 sync", 4, false),
+        ("shard x4 lanes", 4, true),
+    ];
+    for (mode, shards, threaded) in layouts {
+        let (sinks, flushes, stall) = make_sinks(shards);
+        let mut w = if threaded {
+            ShardedJournalWriter::threaded(sinks, DEFAULT_SHARD_BATCH)
+        } else {
+            ShardedJournalWriter::new(sinks, DEFAULT_SHARD_BATCH)
+        }
+        .expect("shard preamble");
+        let started = Instant::now();
+        let bundle = dp_core::record_to(&case.spec, &config, &mut w).expect("sharded record");
+        let lanes = w.into_writers().expect("lane join");
+        let wall = started.elapsed();
+        assert_eq!(
+            bundle.stats.epochs, epochs,
+            "modes must commit equal epochs"
+        );
+        let streams: Vec<Vec<u8>> = lanes.into_iter().map(|s| s.buf).collect();
+        let merged = JournalReader::salvage_shards(&streams).expect("merge");
+        let mut dprc = Vec::new();
+        merged.recording.save(&mut dprc).expect("save");
+        merged_identical &= merged.clean && dprc == reference;
+        rows.push(ShardRow {
+            mode,
+            shards,
+            batch: DEFAULT_SHARD_BATCH,
+            flushes: flushes.load(std::sync::atomic::Ordering::SeqCst),
+            bytes: streams.iter().map(|s| s.len() as u64).sum(),
+            commit_stall_ms: stall.load(std::sync::atomic::Ordering::SeqCst) as f64 / 1e6,
+            wall_ms: wall.as_secs_f64() * 1e3,
+        });
+    }
+
+    ShardRun {
+        size,
+        workload: case.name.to_string(),
+        epochs,
+        rows,
+        merged_identical,
+    }
+}
+
+/// E15 / Table: sharded journaling flush amortization & commit-stage
+/// stall.
+pub fn table_shards(run: &ShardRun) -> Table {
+    let mut t = Table::new(
+        "E15 / Table: sharded parallel journaling (2 threads, equal epochs)",
+        "every sharded layout must flush strictly less often than the \
+         single stream at the same epoch count, merge byte-identical to \
+         its recording, and (threaded lanes) move the modelled fsync \
+         stall off the commit stage",
+        &[
+            "layout",
+            "shards",
+            "batch",
+            "epochs",
+            "flushes",
+            "journal B",
+            "commit stall ms",
+            "wall ms",
+        ],
+    );
+    let single_flushes = run.rows.first().map_or(0, |r| r.flushes);
+    for r in &run.rows {
+        let note = if r.shards == 1 {
+            String::new()
+        } else if r.flushes < single_flushes {
+            format!(" ({:.1}x fewer)", single_flushes as f64 / r.flushes as f64)
+        } else {
+            " (NO REDUCTION)".to_string()
+        };
+        t.row(vec![
+            r.mode.to_string(),
+            r.shards.to_string(),
+            r.batch.to_string(),
+            run.epochs.to_string(),
+            format!("{}{note}", r.flushes),
+            r.bytes.to_string(),
+            format!("{:.2}", r.commit_stall_ms),
+            format!("{:.1}", r.wall_ms),
+        ]);
+    }
+    t.row(vec![
+        "MERGE".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        if run.merged_identical {
+            "byte-identical to single-stream recording".to_string()
+        } else {
+            "MERGE DIVERGED".to_string()
+        },
+    ]);
+    t
+}
+
+/// The machine-readable perf record for the sharded-journaling
+/// experiment (`BENCH_7.json`): per-layout flush counts, commit-stage
+/// stall, and the flush-reduction factor of the widest sharded layout
+/// vs the single stream. Hand-rolled JSON, same as `BENCH_6.json`.
+pub fn bench7_json(run: &ShardRun) -> String {
+    let single = run.rows.first().expect("single row");
+    let widest = run
+        .rows
+        .iter()
+        .filter(|r| r.shards > 1)
+        .max_by_key(|r| r.shards)
+        .expect("sharded row");
+    let rows: Vec<String> = run
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"mode\": \"{mode}\", \"shards\": {shards}, ",
+                    "\"batch\": {batch}, \"flushes\": {flushes}, ",
+                    "\"bytes\": {bytes}, \"commit_stall_ms\": {stall:.3}, ",
+                    "\"wall_ms\": {wall:.1}}}"
+                ),
+                mode = r.mode,
+                shards = r.shards,
+                batch = r.batch,
+                flushes = r.flushes,
+                bytes = r.bytes,
+                stall = r.commit_stall_ms,
+                wall = r.wall_ms,
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": 7,\n",
+            "  \"name\": \"sharded-journal\",\n",
+            "  \"size\": \"{size}\",\n",
+            "  \"workload\": \"{workload}\",\n",
+            "  \"epochs\": {epochs},\n",
+            "  \"flush_cost_us\": {flush_cost},\n",
+            "  \"merged_identical\": {identical},\n",
+            "  \"single_flushes\": {single_flushes},\n",
+            "  \"sharded_flushes\": {sharded_flushes},\n",
+            "  \"flush_reduction\": {reduction:.2},\n",
+            "  \"single_commit_stall_ms\": {single_stall:.3},\n",
+            "  \"sharded_commit_stall_ms\": {sharded_stall:.3},\n",
+            "  \"rows\": [\n{rows}\n  ]\n",
+            "}}\n"
+        ),
+        size = run.size,
+        workload = run.workload,
+        epochs = run.epochs,
+        flush_cost = FLUSH_COST.as_micros(),
+        identical = run.merged_identical,
+        single_flushes = single.flushes,
+        sharded_flushes = widest.flushes,
+        reduction = single.flushes as f64 / widest.flushes.max(1) as f64,
+        single_stall = single.commit_stall_ms,
+        sharded_stall = widest.commit_stall_ms,
+        rows = rows.join(",\n"),
+    )
+}
+
 /// Sanity harness used by tests: native measurement agrees between the
 /// coordinator and a direct call.
 pub fn native_cycles(case: &WorkloadCase, threads: usize) -> u64 {

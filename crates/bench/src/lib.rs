@@ -1,7 +1,7 @@
 //! # dp-bench — the evaluation harness
 //!
 //! Regenerates every table and figure of the DoublePlay evaluation
-//! (experiments E1–E14; the mapping to paper artifacts is in DESIGN.md).
+//! (experiments E1–E15; the mapping to paper artifacts is in DESIGN.md).
 //! The `report` binary prints them; the wall-clock benches (see
 //! [`walltime`]) measure the real cost of the same operations.
 

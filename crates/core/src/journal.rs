@@ -51,16 +51,21 @@ const TAG_COMMIT: u8 = 3;
 const TAG_FINAL: u8 = 4;
 
 /// Tag byte + u32 length prefix.
-const FRAME_HEAD: usize = 5;
+pub(crate) const FRAME_HEAD: usize = 5;
 /// CRC32 trailer.
-const FRAME_TAIL: usize = 4;
+pub(crate) const FRAME_TAIL: usize = 4;
 
 /// Where the coordinator streams a recording as it is produced.
 ///
-/// Implementations must treat [`epoch`](RecordSink::epoch) as the commit
-/// point: when it returns `Ok`, the epoch is expected to survive a crash
-/// of the recording process. Errors abort the recording run with
-/// [`crate::RecordError::Sink`]; everything already committed remains
+/// [`epoch`](RecordSink::epoch) returning `Ok` means the sink has
+/// *accepted* the epoch; each implementation defines its own durability
+/// point. [`JournalWriter`] makes every epoch durable before returning
+/// (flush per commit marker), while the sharded
+/// [`crate::ShardedJournalWriter`] group-commits: acceptance is immediate
+/// but durability arrives at the next per-shard batch flush — after a
+/// crash, [`crate::JournalReader`] recovers exactly the durable prefix
+/// either way. Errors abort the recording run with
+/// [`crate::RecordError::Sink`]; everything already durable remains
 /// salvageable.
 pub trait RecordSink {
     /// Called once, before the first epoch, with the recording identity
@@ -72,7 +77,8 @@ pub trait RecordSink {
     /// order** (0, 1, 2, …): both recording drivers retire through the
     /// same in-order commit stage — even the pipelined one, whose verify
     /// workers finish out of order, holds results back until their turn.
-    /// Sinks may rely on this for append-only layouts.
+    /// Sinks may rely on this for append-only layouts (the sharded writer
+    /// relies on it to assign epochs to shard streams deterministically).
     fn epoch(&mut self, epoch: &EpochRecord) -> io::Result<()>;
     /// Called once on clean completion of the whole run.
     fn finish(&mut self) -> io::Result<()>;
@@ -167,7 +173,7 @@ impl<W: Write> JournalWriter<W> {
 }
 
 /// CRC32 over the frame head and payload as one logical buffer.
-fn frame_crc(head: &[u8], payload: &[u8]) -> u32 {
+pub(crate) fn frame_crc(head: &[u8], payload: &[u8]) -> u32 {
     let mut buf = Vec::with_capacity(head.len() + payload.len());
     buf.extend_from_slice(head);
     buf.extend_from_slice(payload);
@@ -244,16 +250,16 @@ impl Salvaged {
 pub struct JournalReader;
 
 /// One intact frame: tag, payload slice, and the offset just past it.
-struct Frame<'a> {
-    tag: u8,
-    payload: &'a [u8],
-    end: usize,
+pub(crate) struct Frame<'a> {
+    pub(crate) tag: u8,
+    pub(crate) payload: &'a [u8],
+    pub(crate) end: usize,
 }
 
 /// Reads the frame at `pos`, validating bounds and CRC. `None` means the
 /// bytes from `pos` on do not form an intact frame — truncation, a torn
 /// write, or corruption; salvage treats all three identically.
-fn read_frame(buf: &[u8], pos: usize) -> Option<Frame<'_>> {
+pub(crate) fn read_frame(buf: &[u8], pos: usize) -> Option<Frame<'_>> {
     let head = buf.get(pos..pos + FRAME_HEAD)?;
     let len = u32::from_le_bytes(head[1..5].try_into().unwrap()) as usize;
     let payload_end = pos.checked_add(FRAME_HEAD)?.checked_add(len)?;

@@ -1,0 +1,1043 @@
+//! N-way sharded journaling (`DPRS`): parallel log streams with a
+//! deterministic merge.
+//!
+//! The single-stream [`crate::JournalWriter`] flushes once per epoch —
+//! the commit marker reaching the device *is* the durability point — so
+//! every committed epoch pays one synchronous flush on the commit stage,
+//! the largest remaining serial section of the pipelined recorder. The
+//! sharded writer splits the journal into `N` independent shard streams
+//! (Taurus-style parallel log streams): epoch `i` is appended to shard
+//! `i mod N`, stamped with its epoch index and an **epoch-dependency
+//! vector**, and each shard *group-commits* — it flushes once per `batch`
+//! epochs instead of once per epoch. In threaded mode each shard stream
+//! is appended by its own lane thread, so the commit stage only
+//! serializes the frame and hands it off; the flush leaves the hot path
+//! entirely.
+//!
+//! ## Shard stream format
+//!
+//! Each shard is a self-delimiting framed stream like `DPRJ` (same
+//! `tag | len | payload | crc32` frames, same commit rule) under its own
+//! magic:
+//!
+//! ```text
+//! shard  := magic "DPRS" | version u32 le | frame*
+//!
+//! tag 1 SHARD   payload = shard index u32 le ++ shard count u32 le
+//!                         ++ program hash u64 le ++ initial hash u64 le
+//!                         ++ full u8 ++ (full == 1: wire(meta) ++ wire(initial))
+//! tag 2 EPOCH   payload = epoch index u32 le
+//!                         ++ dep vector (shard count × u32 le)
+//!                         ++ wire(EpochRecord)
+//! tag 3 COMMIT  payload = epoch index u32 le ++ crc32(epoch payload) u32 le
+//! tag 4 FINAL   payload = total epoch count u32 le    (every shard, on finish)
+//! ```
+//!
+//! Only shard 0 carries the full header (`full == 1`: meta plus the
+//! initial checkpoint); every shard carries the identity hashes, so a
+//! stray shard file can be paired with — or rejected from — its siblings.
+//!
+//! ## Dependency vectors and the consistent cross-shard prefix
+//!
+//! Entry `t` of epoch `i`'s dependency vector is the number of epochs
+//! with index `< i` assigned to shard `t` — everything `i` depends on,
+//! expressed as per-shard durable-prefix lengths. After a crash an epoch
+//! is salvageable iff its own commit frame is durable in its shard *and*
+//! every dependency-vector entry is covered by that shard's durable
+//! committed epochs; [`JournalReader::salvage_shards`] recomposes the
+//! longest dependency-closed epoch prefix, which loads **byte-identical**
+//! to the recording the sequential driver (and single-stream journal)
+//! would have produced.
+
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::checkpoint::CheckpointImage;
+use crate::error::ReplayError;
+use crate::journal::{frame_crc, read_frame, JournalReader, RecordSink, FRAME_HEAD, FRAME_TAIL};
+use crate::recording::{EpochRecord, Recording, RecordingMeta};
+use dp_support::crc32::crc32;
+use dp_support::wire::{Reader, Wire};
+
+/// Shard stream magic: "DPRS" (DoublePlay Recording Shard).
+pub const SHARD_MAGIC: [u8; 4] = *b"DPRS";
+/// Shard stream format version; bumped on any layout change.
+const SHARD_VERSION: u32 = 1;
+
+const TAG_SHARD: u8 = 1;
+const TAG_EPOCH: u8 = 2;
+const TAG_COMMIT: u8 = 3;
+const TAG_FINAL: u8 = 4;
+
+/// Default group-commit size: epochs per shard between flushes.
+pub const DEFAULT_SHARD_BATCH: u32 = 8;
+
+/// Epoch `index`'s dependency vector over `shards` streams: entry `t` is
+/// the number of epochs with index `< index` assigned (round-robin) to
+/// shard `t`. Recorded with every epoch frame so salvage can check
+/// dependency closure without assuming the assignment policy.
+fn dep_vector(index: u32, shards: u32) -> Vec<u32> {
+    (0..shards)
+        .map(|t| {
+            if index > t {
+                (index - 1 - t) / shards + 1
+            } else {
+                0
+            }
+        })
+        .collect()
+}
+
+/// Builds one framed record (`tag | len | payload | crc32`) as bytes.
+fn frame_bytes(tag: u8, payload: &[u8]) -> Vec<u8> {
+    let mut head = [0u8; FRAME_HEAD];
+    head[0] = tag;
+    head[1..].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    let crc = frame_crc(&head, payload);
+    let mut out = Vec::with_capacity(FRAME_HEAD + payload.len() + FRAME_TAIL);
+    out.extend_from_slice(&head);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// What a lane carries per hand-off: bytes to append, how many epoch
+/// commits they contain (group-commit ticks), and whether to flush
+/// unconditionally (header and final frames — durability points).
+struct LaneMsg {
+    bytes: Vec<u8>,
+    ticks: u32,
+    force_flush: bool,
+}
+
+/// One shard stream's writer: either written inline by the caller of
+/// [`RecordSink::epoch`] (sync mode) or by a dedicated lane thread
+/// (threaded mode — the commit stage only serializes and sends).
+enum Lane<W: Write + Send> {
+    Sync {
+        w: W,
+        /// Epoch commits appended since the last flush.
+        pending: u32,
+    },
+    Threaded {
+        tx: mpsc::Sender<LaneMsg>,
+        handle: JoinHandle<W>,
+    },
+}
+
+/// Streams a recording into `N` shard streams with per-shard group
+/// commit. Implements [`RecordSink`], so both recording drivers accept it
+/// wherever a [`crate::JournalWriter`] goes.
+///
+/// Byte determinism: every shard's byte stream is a pure function of the
+/// epoch sequence (frames are serialized by the committing caller, in
+/// commit order, before any hand-off), so threading changes *when* bytes
+/// become durable, never *which* bytes the streams contain.
+pub struct ShardedJournalWriter<W: Write + Send> {
+    lanes: Vec<Lane<W>>,
+    batch: u32,
+    epochs: u32,
+    written: u64,
+    /// Flushes issued across all lanes (the E15 amortization metric).
+    flushes: Arc<AtomicU64>,
+    /// First error observed by a lane thread, surfaced on the next call.
+    lane_err: Arc<Mutex<Option<String>>>,
+}
+
+impl<W: Write + Send> ShardedJournalWriter<W> {
+    /// Wraps one writer per shard (sync mode: appends and flushes happen
+    /// inline on the committing thread) and writes each stream's
+    /// preamble. `batch` is the group-commit size; 0 is treated as 1
+    /// (flush per epoch, the single-stream behaviour per shard).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` when `writers` is empty; I/O failures from the
+    /// preamble writes.
+    pub fn new(writers: Vec<W>, batch: u32) -> io::Result<Self> {
+        if writers.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "sharded journal needs at least one shard",
+            ));
+        }
+        let mut this = ShardedJournalWriter {
+            lanes: writers
+                .into_iter()
+                .map(|w| Lane::Sync { w, pending: 0 })
+                .collect(),
+            batch: batch.max(1),
+            epochs: 0,
+            written: 0,
+            flushes: Arc::new(AtomicU64::new(0)),
+            lane_err: Arc::new(Mutex::new(None)),
+        };
+        this.preamble()?;
+        Ok(this)
+    }
+
+    fn preamble(&mut self) -> io::Result<()> {
+        let mut pre = Vec::with_capacity(8);
+        pre.extend_from_slice(&SHARD_MAGIC);
+        pre.extend_from_slice(&SHARD_VERSION.to_le_bytes());
+        for shard in 0..self.lanes.len() {
+            self.lane_write(shard, pre.clone(), 0, false)?;
+        }
+        Ok(())
+    }
+
+    /// Shard count.
+    pub fn shard_count(&self) -> u32 {
+        self.lanes.len() as u32
+    }
+
+    /// Epochs committed so far.
+    pub fn epochs_committed(&self) -> u32 {
+        self.epochs
+    }
+
+    /// Total bytes handed to shard streams (the write-overhead metric).
+    pub fn bytes_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes issued across all shards so far. In threaded mode lane
+    /// flushes race this read; the count is exact once the writer is
+    /// consumed by [`into_writers`](ShardedJournalWriter::into_writers).
+    pub fn flushes(&self) -> u64 {
+        self.flushes.load(Ordering::SeqCst)
+    }
+
+    /// Appends `bytes` to `shard`, advancing the group-commit state by
+    /// `ticks` epoch commits; `force_flush` flushes unconditionally.
+    fn lane_write(
+        &mut self,
+        shard: usize,
+        bytes: Vec<u8>,
+        ticks: u32,
+        force_flush: bool,
+    ) -> io::Result<()> {
+        self.written += bytes.len() as u64;
+        match &mut self.lanes[shard] {
+            Lane::Sync { w, pending } => {
+                w.write_all(&bytes)?;
+                *pending += ticks;
+                if force_flush || *pending >= self.batch {
+                    w.flush()?;
+                    *pending = 0;
+                    self.flushes.fetch_add(1, Ordering::SeqCst);
+                }
+                Ok(())
+            }
+            Lane::Threaded { tx, .. } => tx
+                .send(LaneMsg {
+                    bytes,
+                    ticks,
+                    force_flush,
+                })
+                .map_err(|_| io::Error::other("shard lane thread exited early")),
+        }
+    }
+
+    /// The first asynchronous lane error, as an `io::Error`.
+    fn check_lanes(&self) -> io::Result<()> {
+        match self
+            .lane_err
+            .lock()
+            .expect("lane error slot poisoned")
+            .as_ref()
+        {
+            Some(msg) => Err(io::Error::other(format!("shard lane failed: {msg}"))),
+            None => Ok(()),
+        }
+    }
+
+    /// Consumes the writer and returns the shard writers, joining lane
+    /// threads (threaded mode) so all buffered bytes are flushed first.
+    ///
+    /// # Errors
+    ///
+    /// The first lane error, if any shard stream failed.
+    pub fn into_writers(self) -> io::Result<Vec<W>> {
+        let mut out = Vec::with_capacity(self.lanes.len());
+        for lane in self.lanes {
+            match lane {
+                Lane::Sync { w, .. } => out.push(w),
+                Lane::Threaded { tx, handle } => {
+                    drop(tx);
+                    out.push(
+                        handle
+                            .join()
+                            .map_err(|_| io::Error::other("shard lane thread panicked"))?,
+                    );
+                }
+            }
+        }
+        match self
+            .lane_err
+            .lock()
+            .expect("lane error slot poisoned")
+            .take()
+        {
+            Some(msg) => Err(io::Error::other(format!("shard lane failed: {msg}"))),
+            None => Ok(out),
+        }
+    }
+}
+
+impl<W: Write + Send + 'static> ShardedJournalWriter<W> {
+    /// Like [`new`](ShardedJournalWriter::new), but each shard stream is
+    /// appended by its own lane thread: [`RecordSink::epoch`] only
+    /// serializes the frames and hands them off, so neither the append
+    /// nor the group-commit flush ever stalls the commit stage. Lane
+    /// errors surface on the next sink call (or at
+    /// [`into_writers`](ShardedJournalWriter::into_writers)).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` when `writers` is empty.
+    pub fn threaded(writers: Vec<W>, batch: u32) -> io::Result<Self> {
+        if writers.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "sharded journal needs at least one shard",
+            ));
+        }
+        let batch = batch.max(1);
+        let flushes = Arc::new(AtomicU64::new(0));
+        let lane_err = Arc::new(Mutex::new(None));
+        let lanes = writers
+            .into_iter()
+            .enumerate()
+            .map(|(shard, w)| {
+                let (tx, rx) = mpsc::channel::<LaneMsg>();
+                let flushes = Arc::clone(&flushes);
+                let lane_err = Arc::clone(&lane_err);
+                let handle = std::thread::Builder::new()
+                    .name(format!("dprs-lane-{shard}"))
+                    .spawn(move || lane_loop(w, &rx, batch, &flushes, &lane_err))
+                    .expect("spawn shard lane thread");
+                Lane::Threaded { tx, handle }
+            })
+            .collect();
+        let mut this = ShardedJournalWriter {
+            lanes,
+            batch,
+            epochs: 0,
+            written: 0,
+            flushes,
+            lane_err,
+        };
+        this.preamble()?;
+        Ok(this)
+    }
+}
+
+/// Lane-thread body: append, count commits, group-commit flush. On error
+/// the lane parks the message in the shared slot and keeps draining (the
+/// writer surfaces it on its next call); the writer is always returned so
+/// callers can inspect whatever bytes it holds.
+fn lane_loop<W: Write + Send>(
+    mut w: W,
+    rx: &mpsc::Receiver<LaneMsg>,
+    batch: u32,
+    flushes: &AtomicU64,
+    lane_err: &Mutex<Option<String>>,
+) -> W {
+    let mut pending = 0u32;
+    let mut dead = false;
+    while let Ok(msg) = rx.recv() {
+        if dead {
+            continue;
+        }
+        let r = (|| -> io::Result<()> {
+            w.write_all(&msg.bytes)?;
+            pending += msg.ticks;
+            if msg.force_flush || pending >= batch {
+                w.flush()?;
+                pending = 0;
+                flushes.fetch_add(1, Ordering::SeqCst);
+            }
+            Ok(())
+        })();
+        if let Err(e) = r {
+            let mut slot = lane_err.lock().expect("lane error slot poisoned");
+            slot.get_or_insert_with(|| e.to_string());
+            dead = true;
+        }
+    }
+    w
+}
+
+impl<W: Write + Send> RecordSink for ShardedJournalWriter<W> {
+    fn begin(&mut self, meta: &RecordingMeta, initial: &CheckpointImage) -> io::Result<()> {
+        self.check_lanes()?;
+        let shards = self.shard_count();
+        for shard in 0..shards {
+            let full = shard == 0;
+            let mut payload = Vec::new();
+            payload.extend_from_slice(&shard.to_le_bytes());
+            payload.extend_from_slice(&shards.to_le_bytes());
+            payload.extend_from_slice(&meta.program_hash.to_le_bytes());
+            payload.extend_from_slice(&meta.initial_machine_hash.to_le_bytes());
+            payload.push(u8::from(full));
+            if full {
+                meta.put(&mut payload);
+                initial.put(&mut payload);
+            }
+            // The shard header is a durability point: a stream whose
+            // header never reached the device contributes nothing.
+            self.lane_write(shard as usize, frame_bytes(TAG_SHARD, &payload), 0, true)?;
+        }
+        Ok(())
+    }
+
+    fn epoch(&mut self, epoch: &EpochRecord) -> io::Result<()> {
+        self.check_lanes()?;
+        // Same in-order contract as the single-stream writer: the shard
+        // assignment (and every dependency vector) is a function of the
+        // commit order, so an out-of-order epoch is a commit-stage bug.
+        if epoch.index != self.epochs {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "out-of-order epoch {} (sharded journal expects {})",
+                    epoch.index, self.epochs
+                ),
+            ));
+        }
+        let shards = self.shard_count();
+        let shard = (epoch.index % shards) as usize;
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&epoch.index.to_le_bytes());
+        for dep in dep_vector(epoch.index, shards) {
+            payload.extend_from_slice(&dep.to_le_bytes());
+        }
+        epoch.put(&mut payload);
+        let payload_crc = crc32(&payload);
+        let mut buf = frame_bytes(TAG_EPOCH, &payload);
+        let mut commit = [0u8; 8];
+        commit[..4].copy_from_slice(&epoch.index.to_le_bytes());
+        commit[4..].copy_from_slice(&payload_crc.to_le_bytes());
+        buf.extend_from_slice(&frame_bytes(TAG_COMMIT, &commit));
+        // One hand-off per epoch: frame and commit marker appended
+        // atomically, flushed at the shard's group-commit boundary.
+        self.lane_write(shard, buf, 1, false)?;
+        self.epochs += 1;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.check_lanes()?;
+        let final_frame = frame_bytes(TAG_FINAL, &self.epochs.to_le_bytes());
+        for shard in 0..self.lanes.len() {
+            // Force-flush: finish drains every shard's group-commit
+            // buffer, so a clean run is fully durable.
+            self.lane_write(shard, final_frame.clone(), 0, true)?;
+        }
+        Ok(())
+    }
+}
+
+/// What one shard stream's salvage scan recovered.
+struct ShardScan {
+    shard: u32,
+    shards: u32,
+    program_hash: u64,
+    initial_hash: u64,
+    header: Option<(RecordingMeta, CheckpointImage)>,
+    /// Committed epochs in stream order: (global index, dep vector, record).
+    epochs: Vec<(u32, Vec<u32>, EpochRecord)>,
+    final_count: Option<u32>,
+    salvaged_bytes: usize,
+    dropped_bytes: usize,
+}
+
+/// Scans one shard stream, applying the per-shard commit rule. Errors are
+/// `ReplayError::Corrupt` only when the stream is unusable outright (bad
+/// magic/version, torn shard header) — a torn tail just ends the scan.
+fn scan_shard(buf: &[u8]) -> Result<ShardScan, ReplayError> {
+    let corrupt = |detail: String| ReplayError::Corrupt { detail };
+    if buf.len() < 8 {
+        return Err(corrupt(format!(
+            "shard too short to be a journal ({} bytes)",
+            buf.len()
+        )));
+    }
+    if buf[..4] != SHARD_MAGIC {
+        return Err(corrupt(format!("bad shard magic {:02x?}", &buf[..4])));
+    }
+    let version = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    if version != SHARD_VERSION {
+        return Err(corrupt(format!(
+            "unsupported shard version {version} (expected {SHARD_VERSION})"
+        )));
+    }
+    let head = read_frame(buf, 8)
+        .filter(|f| f.tag == TAG_SHARD && f.payload.len() >= 25)
+        .ok_or_else(|| corrupt("shard header frame missing or torn".into()))?;
+    let shard = u32::from_le_bytes(head.payload[0..4].try_into().unwrap());
+    let shards = u32::from_le_bytes(head.payload[4..8].try_into().unwrap());
+    let program_hash = u64::from_le_bytes(head.payload[8..16].try_into().unwrap());
+    let initial_hash = u64::from_le_bytes(head.payload[16..24].try_into().unwrap());
+    if shards == 0 || shard >= shards {
+        return Err(corrupt(format!(
+            "shard header names shard {shard} of {shards}"
+        )));
+    }
+    let full = head.payload[24] == 1;
+    let header = if full {
+        let mut r = Reader::new(&head.payload[25..]);
+        let meta = RecordingMeta::get(&mut r)
+            .map_err(|e| corrupt(format!("shard header meta undecodable: {e}")))?;
+        let initial = CheckpointImage::get(&mut r)
+            .map_err(|e| corrupt(format!("shard header checkpoint undecodable: {e}")))?;
+        if !r.is_empty() {
+            return Err(corrupt(format!(
+                "{} trailing bytes inside shard header frame",
+                r.remaining()
+            )));
+        }
+        Some((meta, initial))
+    } else {
+        None
+    };
+
+    let dep_len = 4usize * shards as usize;
+    let mut epochs: Vec<(u32, Vec<u32>, EpochRecord)> = Vec::new();
+    let mut final_count = None;
+    let mut pos = head.end;
+    while let Some(frame) = read_frame(buf, pos) {
+        match frame.tag {
+            TAG_EPOCH => {
+                if frame.payload.len() < 4 + dep_len {
+                    break; // shorter than its own dependency vector: torn
+                }
+                let index = u32::from_le_bytes(frame.payload[0..4].try_into().unwrap());
+                let deps: Vec<u32> = (0..shards as usize)
+                    .map(|t| {
+                        u32::from_le_bytes(frame.payload[4 + 4 * t..8 + 4 * t].try_into().unwrap())
+                    })
+                    .collect();
+                let Ok(epoch) =
+                    dp_support::wire::from_bytes::<EpochRecord>(&frame.payload[4 + dep_len..])
+                else {
+                    break;
+                };
+                // Stamp, payload, and stream order must agree: the stamp
+                // names this shard's stream, the record names itself, and
+                // epochs are appended in global commit order.
+                if epoch.index != index
+                    || index % shards != shard
+                    || epochs.last().is_some_and(|(last, _, _)| index <= *last)
+                {
+                    break;
+                }
+                let payload_crc = crc32(frame.payload);
+                let Some(commit) = read_frame(buf, frame.end).filter(|c| {
+                    c.tag == TAG_COMMIT
+                        && c.payload.len() == 8
+                        && c.payload[..4] == index.to_le_bytes()
+                        && c.payload[4..] == payload_crc.to_le_bytes()
+                }) else {
+                    break;
+                };
+                epochs.push((index, deps, epoch));
+                pos = commit.end;
+            }
+            TAG_FINAL => {
+                if frame.payload.len() == 4 {
+                    final_count = Some(u32::from_le_bytes(frame.payload.try_into().unwrap()));
+                }
+                pos = frame.end;
+                break;
+            }
+            _ => break,
+        }
+    }
+    Ok(ShardScan {
+        shard,
+        shards,
+        program_hash,
+        initial_hash,
+        header,
+        epochs,
+        final_count,
+        salvaged_bytes: pos,
+        dropped_bytes: buf.len() - pos,
+    })
+}
+
+/// What a cross-shard salvage recovered.
+#[derive(Debug)]
+pub struct ShardSalvaged {
+    /// The merged recording: header plus the longest dependency-closed
+    /// committed epoch prefix, byte-identical (when saved) to the
+    /// sequential driver's output over the same prefix.
+    pub recording: Recording,
+    /// True when every shard is present, finalized with the same epoch
+    /// count, and the whole run merged — nothing was lost.
+    pub clean: bool,
+    /// Shard count the streams declare.
+    pub shard_count: u32,
+    /// Bytes consumed as valid frames, summed over shards.
+    pub salvaged_bytes: usize,
+    /// Trailing bytes dropped, summed over shards.
+    pub dropped_bytes: usize,
+    /// Epochs durable in some shard but outside the consistent prefix
+    /// (their dependencies died in a sibling shard).
+    pub dropped_epochs: usize,
+    /// Why the merge stopped, for operator-facing reporting.
+    pub detail: String,
+}
+
+impl ShardSalvaged {
+    /// Epochs recovered into the consistent prefix.
+    pub fn committed(&self) -> usize {
+        self.recording.epochs.len()
+    }
+}
+
+impl JournalReader {
+    /// Merges a set of `DPRS` shard streams back into a [`Recording`]:
+    /// salvages each shard independently (commit rule per stream), then
+    /// takes the longest epoch prefix in which every epoch is durable in
+    /// its shard *and* its dependency vector is covered by its siblings'
+    /// durable commits — the longest consistent cross-shard prefix.
+    ///
+    /// `bufs` may arrive in any order (streams carry their own shard
+    /// index); a missing or individually unsalvageable shard simply
+    /// bounds the prefix at its first assigned epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplayError::Corrupt`] only when nothing is reconstructible: no
+    /// usable stream, conflicting shard sets, or the full-header shard
+    /// (index 0) lost — without meta and the initial checkpoint there is
+    /// no valid `Recording` to build. Never panics, whatever the input.
+    pub fn salvage_shards(bufs: &[Vec<u8>]) -> Result<ShardSalvaged, ReplayError> {
+        let corrupt = |detail: String| ReplayError::Corrupt { detail };
+        let mut scans: Vec<ShardScan> = Vec::new();
+        let mut scan_failures: Vec<String> = Vec::new();
+        for (i, buf) in bufs.iter().enumerate() {
+            match scan_shard(buf) {
+                Ok(s) => scans.push(s),
+                Err(e) => scan_failures.push(format!("stream {i}: {e}")),
+            }
+        }
+        let Some(first) = scans.first() else {
+            return Err(corrupt(format!(
+                "no usable shard stream ({})",
+                scan_failures.join("; ")
+            )));
+        };
+        let shards = first.shards;
+        for s in &scans {
+            if s.shards != shards {
+                return Err(corrupt(format!(
+                    "conflicting shard counts ({} vs {shards})",
+                    s.shards
+                )));
+            }
+            if s.program_hash != first.program_hash || s.initial_hash != first.initial_hash {
+                return Err(corrupt(format!(
+                    "shard {} belongs to a different recording",
+                    s.shard
+                )));
+            }
+        }
+        // Place scans by their declared index; duplicates are conflicts.
+        let mut by_shard: Vec<Option<ShardScan>> = (0..shards).map(|_| None).collect();
+        for s in scans {
+            let slot = &mut by_shard[s.shard as usize];
+            if slot.is_some() {
+                return Err(corrupt(format!("two streams claim shard {}", s.shard)));
+            }
+            *slot = Some(s);
+        }
+        let (meta, initial) = by_shard[0]
+            .as_mut()
+            .and_then(|s| s.header.take())
+            .ok_or_else(|| {
+                corrupt("shard 0 (the full-header stream) is missing or headerless".into())
+            })?;
+
+        let salvaged_bytes: usize = by_shard.iter().flatten().map(|s| s.salvaged_bytes).sum();
+        let dropped_bytes: usize = by_shard.iter().flatten().map(|s| s.dropped_bytes).sum();
+        let durable: Vec<usize> = by_shard
+            .iter()
+            .map(|s| s.as_ref().map_or(0, |s| s.epochs.len()))
+            .collect();
+        let total_durable: usize = durable.iter().sum();
+
+        // The merge walk: epoch i must be the next durable epoch of shard
+        // i mod N (streams are in commit order) with a satisfied
+        // dependency vector.
+        let mut epochs: Vec<EpochRecord> = Vec::new();
+        let mut taken: Vec<usize> = vec![0; shards as usize];
+        let detail = loop {
+            let i = epochs.len() as u32;
+            let t = (i % shards) as usize;
+            let Some(scan) = by_shard[t].as_ref() else {
+                break format!("epoch {i}: shard {t} stream is missing");
+            };
+            let Some((index, deps, _)) = scan.epochs.get(taken[t]) else {
+                break format!("epoch {i} not durable in shard {t}");
+            };
+            if *index != i {
+                break format!(
+                    "epoch {i} not durable in shard {t} (next durable there is {index})"
+                );
+            }
+            if let Some(short) = (0..shards as usize).find(|&u| deps[u] as usize > durable[u]) {
+                break format!(
+                    "epoch {i} depends on {} epoch(s) of shard {short}, only {} durable",
+                    deps[short], durable[short]
+                );
+            }
+            let (_, _, record) =
+                by_shard[t].as_mut().expect("checked above").epochs[taken[t]].clone();
+            taken[t] += 1;
+            epochs.push(record);
+            if epochs.len() == u32::MAX as usize {
+                break "epoch index space exhausted".to_string();
+            }
+        };
+
+        let merged = epochs.len();
+        let finals: Vec<Option<u32>> = by_shard
+            .iter()
+            .map(|s| s.as_ref().and_then(|s| s.final_count))
+            .collect();
+        let clean = scan_failures.is_empty()
+            && by_shard.iter().all(Option::is_some)
+            && finals.iter().all(|f| *f == Some(merged as u32))
+            && total_durable == merged;
+        let detail = if clean {
+            "clean completion".to_string()
+        } else {
+            detail
+        };
+        Ok(ShardSalvaged {
+            recording: Recording {
+                meta,
+                initial,
+                epochs,
+            },
+            clean,
+            shard_count: shards,
+            salvaged_bytes,
+            dropped_bytes,
+            dropped_epochs: total_durable - merged,
+            detail,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DoublePlayConfig;
+    use crate::journal::JournalWriter;
+    use crate::record::coordinator::record_to;
+    use crate::record::testutil::{atomic_counter_spec, racy_counter_spec};
+
+    #[test]
+    fn dep_vectors_count_round_robin_predecessors() {
+        assert_eq!(dep_vector(0, 3), vec![0, 0, 0]);
+        assert_eq!(dep_vector(1, 3), vec![1, 0, 0]);
+        assert_eq!(dep_vector(5, 3), vec![2, 2, 1]);
+        assert_eq!(dep_vector(6, 3), vec![2, 2, 2]);
+        assert_eq!(dep_vector(7, 1), vec![7]);
+        // Entry t counts exactly the epochs < i assigned to shard t.
+        for shards in 1..6u32 {
+            for i in 0..40u32 {
+                let v = dep_vector(i, shards);
+                for t in 0..shards {
+                    let expect = (0..i).filter(|j| j % shards == t).count() as u32;
+                    assert_eq!(v[t as usize], expect, "i={i} shards={shards} t={t}");
+                }
+            }
+        }
+    }
+
+    /// Records `spec` through a sync sharded writer and returns the shard
+    /// streams plus, per epoch, its shard and that shard's stream length
+    /// right after the epoch's hand-off (the per-shard commit offsets —
+    /// group commit makes no difference to a byte-granular store).
+    fn sharded_solo(
+        spec: &crate::world::GuestSpec,
+        config: &DoublePlayConfig,
+        shards: u32,
+        batch: u32,
+    ) -> (Vec<Vec<u8>>, Vec<(usize, u64)>) {
+        struct Tap {
+            w: ShardedJournalWriter<Vec<u8>>,
+            offsets: Vec<(usize, u64)>,
+        }
+        impl RecordSink for Tap {
+            fn begin(&mut self, meta: &RecordingMeta, initial: &CheckpointImage) -> io::Result<()> {
+                self.w.begin(meta, initial)
+            }
+            fn epoch(&mut self, e: &EpochRecord) -> io::Result<()> {
+                let shard = (e.index % self.w.shard_count()) as usize;
+                self.w.epoch(e)?;
+                let len = match &self.w.lanes[shard] {
+                    Lane::Sync { w, .. } => w.len() as u64,
+                    Lane::Threaded { .. } => unreachable!("sync tap"),
+                };
+                self.offsets.push((shard, len));
+                Ok(())
+            }
+            fn finish(&mut self) -> io::Result<()> {
+                self.w.finish()
+            }
+        }
+        let writers = (0..shards).map(|_| Vec::new()).collect();
+        let mut tap = Tap {
+            w: ShardedJournalWriter::new(writers, batch).unwrap(),
+            offsets: Vec::new(),
+        };
+        record_to(spec, config, &mut tap).unwrap();
+        (tap.w.into_writers().unwrap(), tap.offsets)
+    }
+
+    /// The byte-identity acceptance sweep: for seeds × workers × shard
+    /// counts × fault plans, the sharded journal merges to a `Recording`
+    /// whose saved bytes equal the sequential driver's.
+    #[test]
+    fn sharded_merge_is_byte_identical_to_sequential_across_sweep() {
+        crate::faults::silence_injected_panics();
+        for seed in 0..3u64 {
+            for &workers in &[1usize, 2] {
+                for &shards in &[2u32, 3, 5] {
+                    for &faulty in &[false, true] {
+                        // Two regimes: a racy guest tuned to diverge (the
+                        // forward-recovery path), and an atomic guest with
+                        // injected worker panics over many short epochs.
+                        let (spec, config) = if faulty {
+                            (
+                                atomic_counter_spec(1_500, 2),
+                                DoublePlayConfig::new(2)
+                                    .epoch_cycles(4_000)
+                                    .hidden_seed(seed)
+                                    // Plan seed is fixed: the panic draw
+                                    // is a pure function of (plan seed,
+                                    // epoch, attempt), and this seed is
+                                    // known to stay within the retry
+                                    // budget for this guest.
+                                    .faults(
+                                        crate::faults::FaultPlan::none()
+                                            .seed(5)
+                                            .worker_panics_with(0.3),
+                                    ),
+                            )
+                        } else {
+                            (
+                                racy_counter_spec(3_000),
+                                DoublePlayConfig {
+                                    tp_quantum: 200,
+                                    tp_jitter: 300,
+                                    ..DoublePlayConfig::new(2)
+                                        .epoch_cycles(20_000)
+                                        .hidden_seed(seed)
+                                },
+                            )
+                        };
+                        let config = config.spare_workers(workers).pipelined(workers > 0);
+                        // Sequential single-stream reference.
+                        let mut seq_journal = JournalWriter::new(Vec::new()).unwrap();
+                        let seq =
+                            record_to(&spec, &config.pipelined(false), &mut seq_journal).unwrap();
+                        // Sharded pipelined run.
+                        let (streams, _) = sharded_solo(&spec, &config, shards, 4);
+                        let merged = JournalReader::salvage_shards(&streams).unwrap();
+                        assert!(merged.clean, "detail: {}", merged.detail);
+                        assert_eq!(merged.dropped_epochs, 0);
+                        assert_eq!(merged.shard_count, shards);
+                        let mut seq_bytes = Vec::new();
+                        let mut sharded_bytes = Vec::new();
+                        seq.recording.save(&mut seq_bytes).unwrap();
+                        merged.recording.save(&mut sharded_bytes).unwrap();
+                        assert_eq!(
+                            seq_bytes, sharded_bytes,
+                            "merge diverged (seed={seed} workers={workers} \
+                             shards={shards} faulty={faulty})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Crash sweep: cutting every shard-0 prefix (with siblings intact or
+    /// also cut) always yields exactly the dependency-closed prefix.
+    #[test]
+    fn every_shard_prefix_merges_to_the_dependency_closed_prefix() {
+        let spec = atomic_counter_spec(4_000, 2);
+        let config = DoublePlayConfig::new(2).epoch_cycles(1_500);
+        let shards = 3u32;
+        let (streams, offsets) = sharded_solo(&spec, &config, shards, 2);
+        let epochs = offsets.len();
+        assert!(epochs >= 6, "need several epochs per shard");
+        // Cut shard `cut_shard` after `keep` of its epochs; siblings stay
+        // complete. The consistent prefix must stop at the first epoch
+        // assigned to the cut shard beyond `keep`.
+        for cut_shard in 0..shards as usize {
+            let ends: Vec<u64> = offsets
+                .iter()
+                .filter(|(s, _)| *s == cut_shard)
+                .map(|(_, o)| *o)
+                .collect();
+            for (keep, &end) in ends.iter().enumerate() {
+                let mut bufs = streams.clone();
+                bufs[cut_shard].truncate(end as usize - 1);
+                let merged = JournalReader::salvage_shards(&bufs).unwrap();
+                // `keep` commits survive in the cut shard (the (keep+1)-th
+                // is torn), so the prefix ends at that shard's epoch
+                // number `keep`: global index cut_shard + keep*N.
+                let expect = (cut_shard + keep * shards as usize).min(epochs);
+                assert_eq!(
+                    merged.committed(),
+                    expect,
+                    "cut shard {cut_shard} after {keep} commits"
+                );
+                assert!(!merged.clean);
+                assert_eq!(
+                    merged.dropped_epochs,
+                    epochs - (epochs - expect).div_ceil(shards as usize) - expect,
+                    "cut shard {cut_shard} keep {keep}: durable-but-dropped count"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_lanes_produce_identical_streams() {
+        let spec = atomic_counter_spec(1_200, 2);
+        let config = DoublePlayConfig::new(2).epoch_cycles(2_500);
+        let (sync_streams, _) = sharded_solo(&spec, &config, 4, 8);
+        let writers = (0..4).map(|_| Vec::new()).collect();
+        let mut w = ShardedJournalWriter::threaded(writers, 8).unwrap();
+        record_to(&spec, &config, &mut w).unwrap();
+        assert!(w.flushes() >= 4, "headers alone flush once per shard");
+        let threaded_streams = w.into_writers().unwrap();
+        assert_eq!(sync_streams, threaded_streams);
+    }
+
+    #[test]
+    fn group_commit_amortizes_flushes() {
+        use std::sync::atomic::AtomicU64;
+
+        struct CountingSink(Vec<u8>, Arc<AtomicU64>);
+        impl Write for CountingSink {
+            fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+                self.0.extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                self.1.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }
+        }
+        let spec = atomic_counter_spec(2_000, 2);
+        let config = DoublePlayConfig::new(2).epoch_cycles(1_500);
+        // Single-stream: one flush per epoch plus header and final.
+        let single_flushes = Arc::new(AtomicU64::new(0));
+        let mut single =
+            JournalWriter::new(CountingSink(Vec::new(), Arc::clone(&single_flushes))).unwrap();
+        let bundle = record_to(&spec, &config, &mut single).unwrap();
+        let epochs = bundle.stats.committed;
+        assert!(epochs >= 8, "need enough epochs to amortize");
+        assert_eq!(single_flushes.load(Ordering::SeqCst), epochs + 2);
+        // Sharded, batch 8: headers + finals + ~epochs/8 group commits.
+        let shard_flushes = Arc::new(AtomicU64::new(0));
+        let writers = (0..2)
+            .map(|_| CountingSink(Vec::new(), Arc::clone(&shard_flushes)))
+            .collect();
+        let mut sharded = ShardedJournalWriter::new(writers, 8).unwrap();
+        record_to(&spec, &config, &mut sharded).unwrap();
+        let sharded_count = shard_flushes.load(Ordering::SeqCst);
+        assert_eq!(sharded.epochs_committed() as u64, epochs);
+        assert!(
+            sharded_count < single_flushes.load(Ordering::SeqCst),
+            "sharded {sharded_count} flushes vs single {} — no amortization",
+            single_flushes.load(Ordering::SeqCst)
+        );
+        assert_eq!(sharded.flushes(), sharded_count);
+    }
+
+    #[test]
+    fn out_of_order_epochs_are_rejected() {
+        let spec = atomic_counter_spec(800, 2);
+        let config = DoublePlayConfig::new(2).epoch_cycles(2_000);
+        let (streams, _) = sharded_solo(&spec, &config, 2, 4);
+        let merged = JournalReader::salvage_shards(&streams).unwrap();
+        let mut w = ShardedJournalWriter::new(vec![Vec::<u8>::new(), Vec::new()], 4).unwrap();
+        w.begin(&merged.recording.meta, &merged.recording.initial)
+            .unwrap();
+        let err = w.epoch(&merged.recording.epochs[1]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn foreign_mixed_and_duplicate_shards_are_typed_errors() {
+        let spec = atomic_counter_spec(800, 2);
+        let config = DoublePlayConfig::new(2).epoch_cycles(2_000);
+        let (streams, _) = sharded_solo(&spec, &config, 2, 4);
+        // Empty set, garbage, and single-stream DPRJ bytes are all typed.
+        assert!(matches!(
+            JournalReader::salvage_shards(&[]),
+            Err(ReplayError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            JournalReader::salvage_shards(&[b"garbage".to_vec()]),
+            Err(ReplayError::Corrupt { .. })
+        ));
+        // Duplicate shard index.
+        assert!(matches!(
+            JournalReader::salvage_shards(&[streams[0].clone(), streams[0].clone()]),
+            Err(ReplayError::Corrupt { .. })
+        ));
+        // A shard of a different recording (different seed → different
+        // identity hashes) must be rejected, not merged.
+        let other_cfg = config.hidden_seed(1234);
+        let (other, _) = sharded_solo(&spec, &other_cfg, 2, 4);
+        let r = JournalReader::salvage_shards(&[streams[0].clone(), other[1].clone()]);
+        if let Ok(ok) = &r {
+            // Same program and boot state can legitimately pair; then the
+            // merge must still be internally consistent.
+            assert!(ok.committed() <= streams.len() * ok.recording.epochs.len().max(1));
+        }
+        // Missing shard 0 (the full header) is unrecoverable.
+        assert!(matches!(
+            JournalReader::salvage_shards(&[streams[1].clone()]),
+            Err(ReplayError::Corrupt { .. })
+        ));
+        // Missing a sibling bounds the prefix at its first epoch.
+        let merged = JournalReader::salvage_shards(&[streams[0].clone()]).unwrap();
+        assert_eq!(merged.committed(), 1.min(merged.recording.epochs.len()));
+        assert!(!merged.clean);
+    }
+
+    #[test]
+    fn bitflips_never_gain_epochs_or_panic() {
+        let spec = atomic_counter_spec(800, 2);
+        let config = DoublePlayConfig::new(2).epoch_cycles(2_000);
+        let (streams, _) = sharded_solo(&spec, &config, 2, 4);
+        let full = JournalReader::salvage_shards(&streams).unwrap().committed();
+        for shard in 0..streams.len() {
+            for i in (0..streams[shard].len()).step_by(7) {
+                let mut bad = streams.clone();
+                bad[shard][i] ^= 0x40;
+                match JournalReader::salvage_shards(&bad) {
+                    Ok(s) => assert!(s.committed() <= full),
+                    Err(ReplayError::Corrupt { .. }) => {}
+                    Err(e) => panic!("flip at {shard}:{i}: unexpected error {e:?}"),
+                }
+            }
+        }
+    }
+}

@@ -58,6 +58,7 @@
 //! | offline replay (sequential / parallel / to-point) | [`replay`] |
 //! | the recording artifact | [`recording`] |
 //! | crash-consistent streaming journal & salvage | [`journal`] |
+//! | sharded parallel journaling & cross-shard merge | [`journal_shards`] |
 
 #![warn(missing_docs)]
 
@@ -66,6 +67,7 @@ mod config;
 mod error;
 pub mod faults;
 pub mod journal;
+pub mod journal_shards;
 pub mod logs;
 pub mod observe;
 pub mod record;
@@ -79,6 +81,7 @@ pub use config::{validate_worker_counts, ConfigError, DoublePlayConfig, MAX_SPAR
 pub use error::{RecordError, ReplayError, SaveError};
 pub use faults::FaultPlan;
 pub use journal::{JournalReader, JournalWriter, NullSink, RecordSink, Salvaged};
+pub use journal_shards::{ShardSalvaged, ShardedJournalWriter, DEFAULT_SHARD_BATCH, SHARD_MAGIC};
 pub use observe::{replay_observed, ReplayEvent, ReplayObserver};
 pub use record::coordinator::{measure_native, record, record_to, RecordingBundle};
 pub use record::epoch_parallel::Divergence;

@@ -424,6 +424,37 @@ mod tests {
         assert_pipelined_matches_sequential(&spec, &config);
     }
 
+    /// The pipelined commit stage feeding a *threaded* sharded sink —
+    /// the intended production pairing: verify on spare cores, shard lane
+    /// threads absorbing the journal flushes — still merges byte-identical
+    /// to the sequential driver's recording.
+    #[test]
+    fn pipelined_into_threaded_sharded_journal_merges_identically() {
+        use crate::journal_shards::ShardedJournalWriter;
+        let spec = atomic_counter_spec(4_000, 2);
+        let config = DoublePlayConfig::new(2)
+            .epoch_cycles(1_500)
+            .spare_workers(2)
+            .pipelined(true);
+        let mut seq_journal = JournalWriter::new(Vec::new()).unwrap();
+        let seq = record_to(&spec, &config.pipelined(false), &mut seq_journal).unwrap();
+        let mut sharded = ShardedJournalWriter::threaded(
+            (0..4).map(|_| Vec::new()).collect(),
+            crate::journal_shards::DEFAULT_SHARD_BATCH,
+        )
+        .unwrap();
+        let pip = record_to(&spec, &config, &mut sharded).unwrap();
+        assert_eq!(seq.stats, pip.stats);
+        let streams = sharded.into_writers().unwrap();
+        let merged = crate::journal::JournalReader::salvage_shards(&streams).unwrap();
+        assert!(merged.clean, "detail: {}", merged.detail);
+        let mut seq_bytes = Vec::new();
+        let mut merged_bytes = Vec::new();
+        seq.recording.save(&mut seq_bytes).unwrap();
+        merged.recording.save(&mut merged_bytes).unwrap();
+        assert_eq!(seq_bytes, merged_bytes);
+    }
+
     #[test]
     fn divergent_runs_are_byte_identical_to_sequential() {
         for seed in 0..4 {

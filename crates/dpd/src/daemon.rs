@@ -14,14 +14,23 @@
 use crate::admission::AdmitError;
 use crate::session::{SessionId, SessionReport, SessionSpec, SessionState};
 use crate::store::SessionStore;
-use dp_core::{record_to, JournalReader, JournalWriter};
+use dp_core::{record_to, JournalReader, JournalWriter, ShardedJournalWriter, DEFAULT_SHARD_BATCH};
 use dp_os::FaultedSink;
 use std::collections::{HashMap, VecDeque};
 use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Claim passes a core-short queue head survives before the scheduler
+/// earmarks freed cores for it (the anti-starvation threshold).
+const STARVATION_PASS_LIMIT: u32 = 16;
+
+/// Admission-wait samples kept for the latency percentiles — a sliding
+/// window over the most recent first-claims, so a long-lived daemon's
+/// metrics stay O(window) in memory and reflect *recent* behaviour.
+const ADMISSION_WINDOW: usize = 1024;
 
 /// Service-level tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -69,8 +78,11 @@ pub struct DaemonMetrics {
     /// salvageable view).
     pub epochs_committed: u64,
     /// Median queue wait from submission to first claim, nanoseconds.
+    /// Nearest-rank over a sliding window of the most recent admissions
+    /// (up to 1024 samples) — not the daemon's whole lifetime.
     pub admission_p50_ns: u64,
-    /// 99th-percentile queue wait, nanoseconds.
+    /// 99th-percentile queue wait, nanoseconds. Same sliding-window
+    /// nearest-rank semantics as `admission_p50_ns`.
     pub admission_p99_ns: u64,
 }
 
@@ -85,6 +97,9 @@ struct Session {
     submitted_at: Instant,
     admission_wait_ns: Option<u64>,
     error: Option<String>,
+    /// Claim passes that skipped this queued session because its core
+    /// demand outstripped the free pool (the starvation detector).
+    bypassed: u32,
 }
 
 /// All daemon state behind one lock. Runners hold it only to claim and to
@@ -98,9 +113,16 @@ struct Registry {
     active: usize,
     draining: bool,
     shutdown: bool,
+    /// A starved core-waiting session that freed cores are earmarked for:
+    /// while set, no other session may take cores (degrade-and-run and
+    /// zero-core claims still pass), so the pool can only refill until the
+    /// reservation holder fits.
+    reserved: Option<u64>,
     /// Exponentially smoothed attempt runtime, for `retry_after` hints.
     ewma_run_ns: f64,
-    admission_waits: Vec<u64>,
+    /// Sliding window (most recent [`ADMISSION_WINDOW`] samples) of
+    /// submission-to-first-claim waits, feeding the metrics percentiles.
+    admission_waits: VecDeque<u64>,
     metrics: DaemonMetrics,
 }
 
@@ -141,8 +163,9 @@ impl<S: SessionStore + 'static> Daemon<S> {
                 active: 0,
                 draining: false,
                 shutdown: false,
+                reserved: None,
                 ewma_run_ns: 0.0,
-                admission_waits: Vec::new(),
+                admission_waits: VecDeque::new(),
                 metrics: DaemonMetrics::default(),
             }),
             cv: Condvar::new(),
@@ -170,7 +193,7 @@ impl<S: SessionStore + 'static> Daemon<S> {
     /// (with a back-off hint) when the admission queue is full.
     pub fn submit(&self, spec: SessionSpec) -> Result<SessionId, AdmitError> {
         spec.config.validate()?;
-        let mut guard = self.inner.reg.lock().unwrap();
+        let mut guard = self_lock(&self.inner);
         let reg = &mut *guard;
         if reg.draining || reg.shutdown {
             return Err(AdmitError::Draining);
@@ -199,6 +222,7 @@ impl<S: SessionStore + 'static> Daemon<S> {
                 submitted_at: Instant::now(),
                 admission_wait_ns: None,
                 error: None,
+                bypassed: 0,
             },
         );
         reg.lanes[lane].push_back(id);
@@ -238,13 +262,13 @@ impl<S: SessionStore + 'static> Daemon<S> {
 
     /// A snapshot of one session's row.
     pub fn report(&self, id: SessionId) -> Option<SessionReport> {
-        let reg = self.inner.reg.lock().unwrap();
+        let reg = self_lock(&self.inner);
         reg.sessions.get(&id.0).map(|s| snapshot(id.0, s))
     }
 
     /// Snapshots every session, ordered by id.
     pub fn sessions(&self) -> Vec<SessionReport> {
-        let reg = self.inner.reg.lock().unwrap();
+        let reg = self_lock(&self.inner);
         let mut rows: Vec<SessionReport> = reg
             .sessions
             .iter()
@@ -254,15 +278,17 @@ impl<S: SessionStore + 'static> Daemon<S> {
         rows
     }
 
-    /// Aggregate counters plus admission-latency percentiles.
+    /// Aggregate counters plus admission-latency percentiles (computed
+    /// nearest-rank over the sliding sample window — see
+    /// [`DaemonMetrics::admission_p50_ns`]).
     pub fn metrics(&self) -> DaemonMetrics {
-        let reg = self.inner.reg.lock().unwrap();
+        let reg = self_lock(&self.inner);
         let mut m = reg.metrics;
-        let mut waits = reg.admission_waits.clone();
-        if !waits.is_empty() {
+        if !reg.admission_waits.is_empty() {
+            let mut waits: Vec<u64> = reg.admission_waits.iter().copied().collect();
             waits.sort_unstable();
-            m.admission_p50_ns = waits[waits.len() / 2];
-            m.admission_p99_ns = waits[(waits.len() * 99) / 100];
+            m.admission_p50_ns = percentile(&waits, 50);
+            m.admission_p99_ns = percentile(&waits, 99);
         }
         m
     }
@@ -270,11 +296,15 @@ impl<S: SessionStore + 'static> Daemon<S> {
     /// Stops admitting and blocks until every admitted session is
     /// terminal. Queued and running work completes normally.
     pub fn drain(&self) {
-        let mut reg = self.inner.reg.lock().unwrap();
+        let mut reg = self_lock(&self.inner);
         reg.draining = true;
         self.inner.cv.notify_all();
         while reg.sessions.values().any(|s| !s.state.is_terminal()) {
-            reg = self.inner.cv.wait(reg).unwrap();
+            reg = self
+                .inner
+                .cv
+                .wait(reg)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -282,7 +312,7 @@ impl<S: SessionStore + 'static> Daemon<S> {
     pub fn shutdown(self) {
         self.drain();
         {
-            let mut reg = self.inner.reg.lock().unwrap();
+            let mut reg = self_lock(&self.inner);
             reg.shutdown = true;
             self.inner.cv.notify_all();
         }
@@ -290,6 +320,17 @@ impl<S: SessionStore + 'static> Daemon<S> {
             let _ = h.join();
         }
     }
+}
+
+/// Nearest-rank percentile of an ascending-sorted, non-empty sample:
+/// `rank = ceil(pct/100 · n)`, clamped into `1..=n`, returning the
+/// rank-th smallest. Unlike the floor-biased `sorted[n·pct/100]`, this is
+/// exact for small n (n=10, p99 → the maximum, not the 9th value).
+fn percentile(sorted: &[u64], pct: u64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let n = sorted.len() as u64;
+    let rank = (n * pct).div_ceil(100).max(1);
+    sorted[(rank.min(n) - 1) as usize]
 }
 
 fn snapshot(id: u64, s: &Session) -> SessionReport {
@@ -317,20 +358,35 @@ fn retry_after(reg: &Registry, cfg: &DaemonConfig, queued: usize) -> Duration {
 
 /// Picks the next runnable session, FIFO within each lane, lanes in
 /// priority order. A whole lane is scanned so one head session waiting
-/// for a big core lease does not block smaller siblings behind it.
+/// for a big core lease does not block smaller siblings behind it —
+/// but only up to a point: a core-waiting session skipped
+/// [`STARVATION_PASS_LIMIT`] times acquires a *reservation*, after which
+/// freed cores are earmarked for it alone (no other session may take
+/// cores; degrade-and-run and zero-core claims still pass), so the pool
+/// refills monotonically until the starved head fits. Without this, a
+/// continuous stream of narrow siblings can bypass a wide high-priority
+/// session forever.
 fn claim(reg: &mut Registry, cfg: &DaemonConfig) -> Option<Claim> {
     for lane in 0..reg.lanes.len() {
-        for idx in 0..reg.lanes[lane].len() {
+        let mut idx = 0;
+        while idx < reg.lanes[lane].len() {
             let sid = reg.lanes[lane][idx];
-            let s = &reg.sessions[&sid];
+            // A stale queue entry (no row) is dropped, not indexed into —
+            // one bad id must never panic a runner mid-lock.
+            let Some(s) = reg.sessions.get(&sid) else {
+                reg.lanes[lane].remove(idx);
+                continue;
+            };
             let want = if s.spec.config.pipelined {
                 s.spec.config.spare_workers
             } else {
                 0
             };
+            let core_taking = want > 0 && want <= reg.free_cores;
+            let reserved_for_other = reg.reserved.is_some_and(|r| r != sid);
             let (lease, degraded) = if want == 0 {
                 (0, false)
-            } else if want <= reg.free_cores {
+            } else if core_taking && !reserved_for_other {
                 (want, false)
             } else if lane == 2 || want > cfg.verify_cores {
                 // Low priority never waits for cores, and a demand larger
@@ -338,10 +394,22 @@ fn claim(reg: &mut Registry, cfg: &DaemonConfig) -> Option<Claim> {
                 // to the serialized driver (same bytes, no lease).
                 (0, true)
             } else {
+                // Bypassed: cores are short (or earmarked for a starved
+                // session). Count the pass; past the threshold this
+                // session becomes the reservation holder.
+                let s = reg.sessions.get_mut(&sid).expect("row checked above");
+                s.bypassed += 1;
+                if s.bypassed >= STARVATION_PASS_LIMIT && reg.reserved.is_none() {
+                    reg.reserved = Some(sid);
+                }
+                idx += 1;
                 continue;
             };
             reg.lanes[lane].remove(idx);
             reg.free_cores -= lease;
+            if reg.reserved == Some(sid) {
+                reg.reserved = None;
+            }
             return Some(make_claim(reg, sid, lease, degraded));
         }
     }
@@ -352,6 +420,9 @@ fn claim(reg: &mut Registry, cfg: &DaemonConfig) -> Option<Claim> {
     if reg.active == 0 {
         for lane in 0..reg.lanes.len() {
             if let Some(sid) = reg.lanes[lane].pop_front() {
+                if reg.reserved == Some(sid) {
+                    reg.reserved = None;
+                }
                 return Some(make_claim(reg, sid, 0, true));
             }
         }
@@ -364,15 +435,22 @@ fn make_claim(reg: &mut Registry, sid: u64, lease: usize, degraded: bool) -> Cla
     if degraded {
         reg.metrics.degraded_runs += 1;
     }
-    let s = reg.sessions.get_mut(&sid).unwrap();
+    let s = reg
+        .sessions
+        .get_mut(&sid)
+        .expect("claimed session has a row");
     let attempt = s.attempts;
     s.attempts += 1;
     s.state = SessionState::Recording { attempt };
     s.degraded |= degraded;
+    s.bypassed = 0;
     if s.admission_wait_ns.is_none() {
         let wait = s.submitted_at.elapsed().as_nanos() as u64;
         s.admission_wait_ns = Some(wait);
-        reg.admission_waits.push(wait);
+        if reg.admission_waits.len() == ADMISSION_WINDOW {
+            reg.admission_waits.pop_front();
+        }
+        reg.admission_waits.push_back(wait);
     }
     Claim {
         sid,
@@ -401,7 +479,7 @@ fn runner_loop<S: SessionStore + ?Sized>(inner: &Inner<S>) {
                 if reg.shutdown {
                     break None;
                 }
-                reg = inner.cv.wait(reg).unwrap();
+                reg = inner.cv.wait(reg).unwrap_or_else(PoisonError::into_inner);
             }
         };
         let Some(c) = claimed else { return };
@@ -410,10 +488,14 @@ fn runner_loop<S: SessionStore + ?Sized>(inner: &Inner<S>) {
     }
 }
 
-fn self_lock<'a, S: SessionStore + ?Sized>(
-    inner: &'a Inner<S>,
-) -> std::sync::MutexGuard<'a, Registry> {
-    inner.reg.lock().unwrap()
+/// The single registry lock site: a poisoned mutex is *recovered*, not
+/// propagated. Every registry mutation is transactional (row updates and
+/// counter bumps complete before any panic-prone work, which runs outside
+/// the lock), so the state behind a poisoned lock is consistent — and one
+/// panicking API caller or runner must degrade to a row update, never to
+/// a daemon where every subsequent `lock().unwrap()` panics too.
+fn self_lock<S: SessionStore + ?Sized>(inner: &Inner<S>) -> MutexGuard<'_, Registry> {
+    inner.reg.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Executes one attempt: open the store writer (faulted if the session's
@@ -429,28 +511,56 @@ fn run_attempt<S: SessionStore + ?Sized>(store: &S, c: &Claim) -> AttemptOutcome
         // pipelined run the session asked for.
         cfg.pipelined = false;
     }
-    let error = (|| -> Option<String> {
-        let raw = match store.open(SessionId(c.sid), &c.spec.name, c.attempt) {
-            Ok(w) => w,
-            Err(e) => return Some(format!("store open failed: {e}")),
-        };
-        let faulted =
-            c.spec.sink_faults.is_active() && (c.attempt == 0 || !c.spec.transient_sink_faults);
-        let sink: Box<dyn Write + Send> = if faulted {
+    let faulted =
+        c.spec.sink_faults.is_active() && (c.attempt == 0 || !c.spec.transient_sink_faults);
+    let wrap = |raw: Box<dyn Write + Send>| -> Box<dyn Write + Send> {
+        if faulted {
             Box::new(FaultedSink::new(raw, c.spec.sink_faults))
         } else {
             raw
-        };
-        let mut journal = match JournalWriter::new(sink) {
-            Ok(j) => j,
-            Err(e) => return Some(format!("journal preamble failed: {e}")),
-        };
-        match catch_unwind(AssertUnwindSafe(|| {
-            record_to(&c.spec.guest, &cfg, &mut journal)
-        })) {
-            Ok(Ok(_bundle)) => None,
-            Ok(Err(e)) => Some(e.to_string()),
-            Err(payload) => Some(format!("session panicked: {}", panic_detail(&*payload))),
+        }
+    };
+    let error = (|| -> Option<String> {
+        if c.spec.journal_shards >= 2 {
+            // Sharded journaling: one store stream per shard, group
+            // commit inside the sharded writer. Sink faults wrap each
+            // shard stream independently — a faulted device cuts shards
+            // at uncorrelated points, which is exactly what the
+            // cross-shard salvage must cope with.
+            let mut sinks: Vec<Box<dyn Write + Send>> = Vec::new();
+            for shard in 0..c.spec.journal_shards {
+                match store.open_shard(SessionId(c.sid), &c.spec.name, c.attempt, shard) {
+                    Ok(w) => sinks.push(wrap(w)),
+                    Err(e) => return Some(format!("store open failed (shard {shard}): {e}")),
+                }
+            }
+            let mut journal = match ShardedJournalWriter::new(sinks, DEFAULT_SHARD_BATCH) {
+                Ok(j) => j,
+                Err(e) => return Some(format!("journal preamble failed: {e}")),
+            };
+            match catch_unwind(AssertUnwindSafe(|| {
+                record_to(&c.spec.guest, &cfg, &mut journal)
+            })) {
+                Ok(Ok(_bundle)) => None,
+                Ok(Err(e)) => Some(e.to_string()),
+                Err(payload) => Some(format!("session panicked: {}", panic_detail(&*payload))),
+            }
+        } else {
+            let raw = match store.open(SessionId(c.sid), &c.spec.name, c.attempt) {
+                Ok(w) => w,
+                Err(e) => return Some(format!("store open failed: {e}")),
+            };
+            let mut journal = match JournalWriter::new(wrap(raw)) {
+                Ok(j) => j,
+                Err(e) => return Some(format!("journal preamble failed: {e}")),
+            };
+            match catch_unwind(AssertUnwindSafe(|| {
+                record_to(&c.spec.guest, &cfg, &mut journal)
+            })) {
+                Ok(Ok(_bundle)) => None,
+                Ok(Err(e)) => Some(e.to_string()),
+                Err(payload) => Some(format!("session panicked: {}", panic_detail(&*payload))),
+            }
         }
     })();
     AttemptOutcome {
@@ -472,19 +582,32 @@ fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
 /// durable journal into a terminal state.
 fn retire<S: SessionStore + ?Sized>(inner: &Inner<S>, c: Claim, out: AttemptOutcome) {
     // Salvage the durable view outside the lock; it is pure byte work.
+    // Both journal modes reduce to the same classification inputs: was
+    // the durable view clean, and how many epochs does it commit.
     let terminal = out.error.is_none() || c.attempt >= c.spec.restart_budget;
-    let salvaged = if terminal {
+    let salvaged: Option<(bool, usize)> = if !terminal {
+        None
+    } else if c.spec.journal_shards >= 2 {
+        let bufs: Vec<Vec<u8>> = (0..c.spec.journal_shards)
+            .filter_map(|k| inner.store.durable_shard(SessionId(c.sid), k).ok())
+            .collect();
+        JournalReader::salvage_shards(&bufs)
+            .ok()
+            .map(|s| (s.clean, s.committed()))
+    } else {
         match inner.store.durable(SessionId(c.sid)) {
-            Ok(bytes) => JournalReader::salvage(&bytes).ok(),
+            Ok(bytes) => JournalReader::salvage(&bytes)
+                .ok()
+                .map(|s| (s.clean, s.committed())),
             Err(_) => None,
         }
-    } else {
-        None
     };
 
     let mut guard = self_lock(inner);
     let reg = &mut *guard;
-    reg.active -= 1;
+    // Saturating: a retire racing a recovered-from-poison state must
+    // never underflow (and re-poison) the active count.
+    reg.active = reg.active.saturating_sub(1);
     reg.free_cores += c.lease;
     reg.ewma_run_ns = if reg.ewma_run_ns == 0.0 {
         out.run_ns as f64
@@ -503,8 +626,8 @@ fn retire<S: SessionStore + ?Sized>(inner: &Inner<S>, c: Claim, out: AttemptOutc
         reg.metrics.retries += 1;
     } else {
         let (state, epochs) = match (&salvaged, &s.error) {
-            (Some(salv), None) if salv.clean => (SessionState::Finalized, salv.committed()),
-            (Some(salv), _) => (SessionState::Salvaged, salv.committed()),
+            (Some((true, committed)), None) => (SessionState::Finalized, *committed),
+            (Some((_, committed)), _) => (SessionState::Salvaged, *committed),
             (None, _) => (SessionState::Failed, 0),
         };
         s.state = state;
@@ -788,6 +911,193 @@ mod tests {
         let rg = daemon.report(good).unwrap();
         assert_eq!(rg.state, SessionState::Finalized);
         assert_eq!(store.durable(good).unwrap(), solo, "sibling perturbed");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn sharded_session_finalizes_and_merges_byte_identical_to_solo() {
+        let store = Arc::new(MemStore::new());
+        let daemon = Daemon::start(DaemonConfig::default(), store.clone());
+        let spec = tiny_spec("sharded").journal_shards(3);
+        // The oracle: a solo sequential run's *recording* bytes (the
+        // container bytes differ by design — DPRS streams vs one DPRJ).
+        let mut solo_rec = Vec::new();
+        {
+            let mut w = JournalWriter::new(Vec::new()).unwrap();
+            let bundle = record_to(&spec.guest, &spec.config, &mut w).unwrap();
+            bundle.recording.save(&mut solo_rec).unwrap();
+        }
+        let id = daemon.submit(spec).unwrap();
+        daemon.drain();
+        let r = daemon.report(id).unwrap();
+        assert_eq!(r.state, SessionState::Finalized, "error: {:?}", r.error);
+        assert!(r.epochs >= 2);
+        let bufs: Vec<Vec<u8>> = (0..3)
+            .map(|k| store.durable_shard(id, k).unwrap())
+            .collect();
+        let merged = JournalReader::salvage_shards(&bufs).unwrap();
+        assert!(merged.clean);
+        assert_eq!(merged.committed(), r.epochs as usize);
+        let mut merged_rec = Vec::new();
+        merged.recording.save(&mut merged_rec).unwrap();
+        assert_eq!(merged_rec, solo_rec);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn sharded_session_with_torn_sink_salvages_consistent_prefix() {
+        let store = Arc::new(MemStore::new());
+        let daemon = Daemon::start(DaemonConfig::default(), store.clone());
+        // Each shard stream dies after 300 durable bytes: the session
+        // cannot finalize, but the cross-shard salvage must still produce
+        // a dependency-closed prefix (possibly empty) without panicking.
+        let spec = tiny_spec("torn-shards")
+            .journal_shards(2)
+            .restart_budget(0)
+            .sink_faults({
+                let mut f = dp_os::SinkFaults::none();
+                f.torn_at = Some(300);
+                f
+            });
+        let id = daemon.submit(spec).unwrap();
+        daemon.drain();
+        let r = daemon.report(id).unwrap();
+        assert!(
+            matches!(r.state, SessionState::Salvaged | SessionState::Failed),
+            "state: {:?}",
+            r.state
+        );
+        assert!(r.error.as_deref().unwrap_or("").contains("torn"));
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn poisoned_registry_lock_does_not_kill_the_daemon() {
+        let store = Arc::new(MemStore::new());
+        let daemon = Daemon::start(DaemonConfig::default(), store);
+        let before = daemon.submit(tiny_spec("before")).unwrap();
+        // Poison the registry mutex the way a buggy in-lock code path
+        // would: panic while holding the guard.
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = self_lock(&daemon.inner);
+            panic!("simulated panic while holding the registry lock");
+        }));
+        assert!(daemon.inner.reg.is_poisoned(), "test failed to poison");
+        // Every API surface must keep working: submit, report, sessions,
+        // metrics, drain — one panicking caller is not a dead daemon.
+        let after = daemon.submit(tiny_spec("after")).unwrap();
+        assert!(daemon.report(before).is_some());
+        assert_eq!(daemon.sessions().len(), 2);
+        assert!(daemon.metrics().admitted == 2);
+        daemon.drain();
+        for id in [before, after] {
+            assert_eq!(
+                daemon.report(id).unwrap().state,
+                SessionState::Finalized,
+                "session {id} did not survive the poisoned lock"
+            );
+        }
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn wide_high_priority_session_is_not_starved_by_narrow_stream() {
+        // Two runners, four cores. A continuous stream of narrow
+        // low-priority pipelined sessions (1 core each) would bypass a
+        // wide lane-0 session (needs all 4 cores) forever without the
+        // reservation threshold: every time a core frees, a narrow
+        // sibling takes it first.
+        let cfg = DaemonConfig {
+            runners: 2,
+            verify_cores: 4,
+            queue_capacity: 2048,
+        };
+        let store = Arc::new(MemStore::new());
+        let daemon = Daemon::start(cfg, store);
+        let narrow = || {
+            SessionSpec::new(
+                "narrow",
+                guests::atomic_counter(2, 150),
+                tiny_config().spare_workers(1).pipelined(true),
+            )
+            .priority(Priority::Low)
+        };
+        // Prime both runners with narrow core-holding work, then queue
+        // the wide session plus a sustained narrow backlog behind it.
+        for _ in 0..4 {
+            daemon.submit(narrow()).unwrap();
+        }
+        let wide = daemon
+            .submit(
+                SessionSpec::new(
+                    "wide",
+                    guests::atomic_counter(2, 400),
+                    tiny_config().spare_workers(4).pipelined(true),
+                )
+                .priority(Priority::High),
+            )
+            .unwrap();
+        for _ in 0..1000 {
+            daemon.submit(narrow()).unwrap();
+        }
+        daemon.drain();
+        let r = daemon.report(wide).unwrap();
+        assert_eq!(r.state, SessionState::Finalized, "error: {:?}", r.error);
+        assert!(
+            !r.degraded,
+            "anti-starvation must grant the wide session its cores, \
+             not degrade it"
+        );
+        // Everyone else still finished too.
+        assert!(daemon
+            .sessions()
+            .iter()
+            .all(|s| s.state == SessionState::Finalized));
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let v: Vec<u64> = (1..=10).collect();
+        assert_eq!(percentile(&v, 50), 5, "p50 of 1..=10 is the 5th value");
+        assert_eq!(percentile(&v, 99), 10, "p99 of n=10 is the maximum");
+        assert_eq!(percentile(&v, 100), 10);
+        assert_eq!(percentile(&[42], 50), 42);
+        assert_eq!(percentile(&[42], 99), 42);
+        let two = [10, 20];
+        assert_eq!(percentile(&two, 50), 10);
+        assert_eq!(percentile(&two, 99), 20);
+        let hundred: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&hundred, 50), 50);
+        assert_eq!(percentile(&hundred, 99), 99);
+        // The old floor-biased formula read index (10*99)/100 = 9 only by
+        // accident for n=10 but index (50*99)/100 = 49 for n=50 — which
+        // is the p100, not p99, of a 50-sample window... the regression
+        // this pins: rank is ceil(p·n/100), clamped into 1..=n.
+        let fifty: Vec<u64> = (1..=50).collect();
+        assert_eq!(percentile(&fifty, 99), 50);
+        assert_eq!(percentile(&fifty, 50), 25);
+    }
+
+    #[test]
+    fn admission_wait_window_is_bounded() {
+        let store = Arc::new(MemStore::new());
+        let daemon = Daemon::start(DaemonConfig::default(), store);
+        {
+            let mut reg = self_lock(&daemon.inner);
+            for i in 0..(ADMISSION_WINDOW as u64 + 500) {
+                if reg.admission_waits.len() == ADMISSION_WINDOW {
+                    reg.admission_waits.pop_front();
+                }
+                reg.admission_waits.push_back(i);
+            }
+            assert_eq!(reg.admission_waits.len(), ADMISSION_WINDOW);
+            assert_eq!(*reg.admission_waits.front().unwrap(), 500);
+        }
+        // Percentiles come from the window that remains.
+        let m = daemon.metrics();
+        assert!(m.admission_p99_ns >= m.admission_p50_ns);
+        assert!(m.admission_p50_ns >= 500);
         daemon.shutdown();
     }
 

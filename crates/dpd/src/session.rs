@@ -137,6 +137,12 @@ pub struct SessionSpec {
     /// transient durable-path outage that a retry recovers from. When
     /// false, every attempt hits the same faults (a dead disk).
     pub transient_sink_faults: bool,
+    /// Journal shard streams. `0` or `1` records the classic single
+    /// `DPRJ` stream; `N >= 2` records `N` group-committed `DPRS` shard
+    /// streams (the store must support
+    /// [`SessionStore::open_shard`](crate::SessionStore::open_shard)),
+    /// which salvage to the longest consistent cross-shard prefix.
+    pub journal_shards: u32,
 }
 
 impl SessionSpec {
@@ -150,6 +156,7 @@ impl SessionSpec {
             restart_budget: 1,
             sink_faults: SinkFaults::none(),
             transient_sink_faults: false,
+            journal_shards: 0,
         }
     }
 
@@ -174,6 +181,12 @@ impl SessionSpec {
     /// Marks the sink faults transient (attempt 0 only).
     pub fn transient_sink_faults(mut self, transient: bool) -> Self {
         self.transient_sink_faults = transient;
+        self
+    }
+
+    /// Records into `n` sharded journal streams (`< 2` = single stream).
+    pub fn journal_shards(mut self, n: u32) -> Self {
+        self.journal_shards = n;
         self
     }
 }

@@ -42,6 +42,45 @@ pub trait SessionStore: Send + Sync {
     ///
     /// Unknown session, or store I/O failures.
     fn durable(&self, id: SessionId) -> io::Result<Vec<u8>>;
+
+    /// Opens (or truncates, on a retry) one `DPRS` shard stream of `id`'s
+    /// sharded journal. Sessions recording with `journal_shards >= 2`
+    /// open one writer per shard; single-stream sessions use
+    /// [`open`](SessionStore::open) instead. The default refuses, so a
+    /// store that never sees sharded sessions needs no shard support.
+    ///
+    /// # Errors
+    ///
+    /// `Unsupported` by default; store I/O failures otherwise.
+    fn open_shard(
+        &self,
+        id: SessionId,
+        name: &str,
+        attempt: u32,
+        shard: u32,
+    ) -> io::Result<Box<dyn Write + Send>> {
+        let _ = (id, name, attempt, shard);
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "store does not support sharded journals",
+        ))
+    }
+
+    /// The crash-surviving bytes of one shard stream of `id`'s sharded
+    /// journal — the per-shard counterpart of
+    /// [`durable`](SessionStore::durable).
+    ///
+    /// # Errors
+    ///
+    /// `Unsupported` by default; unknown session or store I/O failures
+    /// otherwise.
+    fn durable_shard(&self, id: SessionId, shard: u32) -> io::Result<Vec<u8>> {
+        let _ = (id, shard);
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "store does not support sharded journals",
+        ))
+    }
 }
 
 /// A daemon-wide crash instant, measured on a global byte clock.
@@ -92,10 +131,18 @@ struct SessionBuf {
     durable: usize,
 }
 
-/// An in-memory [`SessionStore`], optionally crash-simulating.
+/// [`MemStore`]'s buffer map: keyed by `(session id, shard)`.
+type SessionBufs = HashMap<(u64, u32), Arc<Mutex<SessionBuf>>>;
+
+/// An in-memory [`SessionStore`], optionally crash-simulating. Sharded
+/// journals are supported: each `(session, shard)` pair gets its own
+/// buffer on the same crash clock, so one machine death cuts every shard
+/// of every session at a different point.
 #[derive(Default)]
 pub struct MemStore {
-    sessions: Mutex<HashMap<u64, Arc<Mutex<SessionBuf>>>>,
+    /// Keyed by `(session id, shard)`; the single-stream journal is
+    /// shard 0.
+    sessions: Mutex<SessionBufs>,
     clock: Option<Arc<CrashClock>>,
 }
 
@@ -113,18 +160,36 @@ impl MemStore {
         }
     }
 
-    fn buf(&self, id: SessionId) -> Arc<Mutex<SessionBuf>> {
+    fn buf(&self, id: SessionId, shard: u32) -> Arc<Mutex<SessionBuf>> {
         self.sessions
             .lock()
             .unwrap()
-            .entry(id.0)
+            .entry((id.0, shard))
             .or_default()
             .clone()
     }
 
+    fn open_buf(&self, id: SessionId, shard: u32) -> Box<dyn Write + Send> {
+        let buf = self.buf(id, shard);
+        {
+            let mut b = buf.lock().unwrap();
+            // Truncating reopen. If the crash already happened, the
+            // truncate itself never reaches the device: the old durable
+            // prefix would in reality survive, but modelling that would
+            // need per-attempt files — the crash tests use budget 0, so
+            // a post-crash retry simply contributes nothing durable.
+            b.bytes.clear();
+            b.durable = 0;
+        }
+        Box::new(MemWriter {
+            buf,
+            clock: self.clock.clone(),
+        })
+    }
+
     /// Everything the session has written, durable or not (the live view).
     pub fn live(&self, id: SessionId) -> Vec<u8> {
-        self.buf(id).lock().unwrap().bytes.clone()
+        self.buf(id, 0).lock().unwrap().bytes.clone()
     }
 }
 
@@ -156,34 +221,35 @@ impl Write for MemWriter {
 
 impl SessionStore for MemStore {
     fn open(&self, id: SessionId, _name: &str, _attempt: u32) -> io::Result<Box<dyn Write + Send>> {
-        let buf = self.buf(id);
-        {
-            let mut b = buf.lock().unwrap();
-            // Truncating reopen. If the crash already happened, the
-            // truncate itself never reaches the device: the old durable
-            // prefix would in reality survive, but modelling that would
-            // need per-attempt files — the crash tests use budget 0, so
-            // a post-crash retry simply contributes nothing durable.
-            b.bytes.clear();
-            b.durable = 0;
-        }
-        Ok(Box::new(MemWriter {
-            buf,
-            clock: self.clock.clone(),
-        }))
+        Ok(self.open_buf(id, 0))
     }
 
     fn durable(&self, id: SessionId) -> io::Result<Vec<u8>> {
-        let buf = self.buf(id);
+        self.durable_shard(id, 0)
+    }
+
+    fn open_shard(
+        &self,
+        id: SessionId,
+        _name: &str,
+        _attempt: u32,
+        shard: u32,
+    ) -> io::Result<Box<dyn Write + Send>> {
+        Ok(self.open_buf(id, shard))
+    }
+
+    fn durable_shard(&self, id: SessionId, shard: u32) -> io::Result<Vec<u8>> {
+        let buf = self.buf(id, shard);
         let b = buf.lock().unwrap();
         Ok(b.bytes[..b.durable].to_vec())
     }
 }
 
-/// A directory of `s{id:04}-{name}.dprj` files, one per session.
+/// A directory of `s{id:04}-{name}.dprj` files, one per session; sharded
+/// sessions write `s{id:04}-{name}.s{shard}.dprs` siblings instead.
 pub struct DirStore {
     dir: PathBuf,
-    paths: Mutex<HashMap<u64, PathBuf>>,
+    paths: Mutex<HashMap<(u64, Option<u32>), PathBuf>>,
 }
 
 impl DirStore {
@@ -202,29 +268,75 @@ impl DirStore {
 
     /// The journal path assigned to `id`, if it opened one.
     pub fn path(&self, id: SessionId) -> Option<PathBuf> {
-        self.paths.lock().unwrap().get(&id.0).cloned()
+        self.paths.lock().unwrap().get(&(id.0, None)).cloned()
     }
-}
 
-impl SessionStore for DirStore {
-    fn open(&self, id: SessionId, name: &str, _attempt: u32) -> io::Result<Box<dyn Write + Send>> {
+    /// The path of one shard stream of `id`'s journal, if it opened one.
+    pub fn shard_path(&self, id: SessionId, shard: u32) -> Option<PathBuf> {
+        self.paths
+            .lock()
+            .unwrap()
+            .get(&(id.0, Some(shard)))
+            .cloned()
+    }
+
+    fn create(
+        &self,
+        id: SessionId,
+        name: &str,
+        shard: Option<u32>,
+    ) -> io::Result<Box<dyn Write + Send>> {
         // Session names come from workload names, but sanitize anyway so a
         // hostile name cannot escape the store directory.
         let safe: String = name
             .chars()
             .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
             .collect();
-        let path = self.dir.join(format!("{id}-{safe}.dprj"));
+        let file_name = match shard {
+            None => format!("{id}-{safe}.dprj"),
+            Some(k) => format!("{id}-{safe}.s{k}.dprs"),
+        };
+        let path = self.dir.join(file_name);
         let file = File::create(&path)?;
-        self.paths.lock().unwrap().insert(id.0, path);
+        self.paths.lock().unwrap().insert((id.0, shard), path);
         Ok(Box::new(file))
     }
 
-    fn durable(&self, id: SessionId) -> io::Result<Vec<u8>> {
-        let path = self.path(id).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::NotFound, format!("no journal for {id}"))
-        })?;
+    fn read_back(&self, id: SessionId, shard: Option<u32>) -> io::Result<Vec<u8>> {
+        let path = self
+            .paths
+            .lock()
+            .unwrap()
+            .get(&(id.0, shard))
+            .cloned()
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::NotFound, format!("no journal for {id}"))
+            })?;
         std::fs::read(path)
+    }
+}
+
+impl SessionStore for DirStore {
+    fn open(&self, id: SessionId, name: &str, _attempt: u32) -> io::Result<Box<dyn Write + Send>> {
+        self.create(id, name, None)
+    }
+
+    fn durable(&self, id: SessionId) -> io::Result<Vec<u8>> {
+        self.read_back(id, None)
+    }
+
+    fn open_shard(
+        &self,
+        id: SessionId,
+        name: &str,
+        _attempt: u32,
+        shard: u32,
+    ) -> io::Result<Box<dyn Write + Send>> {
+        self.create(id, name, Some(shard))
+    }
+
+    fn durable_shard(&self, id: SessionId, shard: u32) -> io::Result<Vec<u8>> {
+        self.read_back(id, Some(shard))
     }
 }
 
@@ -277,6 +389,65 @@ mod tests {
         wa.write_all(b"333").unwrap(); // clock 6..9: lost
         assert_eq!(store.durable(a).unwrap(), b"111");
         assert_eq!(store.durable(b).unwrap(), b"2");
+    }
+
+    #[test]
+    fn mem_store_shards_share_the_crash_clock() {
+        let clock = CrashClock::new(4);
+        let store = MemStore::crashing(clock);
+        let id = SessionId(7);
+        let mut w0 = store.open_shard(id, "s", 0, 0).unwrap();
+        let mut w1 = store.open_shard(id, "s", 0, 1).unwrap();
+        w0.write_all(b"111").unwrap(); // clock 0..3: durable
+        w1.write_all(b"222").unwrap(); // clock 3..6: torn at 4
+        w0.write_all(b"333").unwrap(); // clock 6..9: lost
+        assert_eq!(store.durable_shard(id, 0).unwrap(), b"111");
+        assert_eq!(store.durable_shard(id, 1).unwrap(), b"2");
+    }
+
+    #[test]
+    fn default_shard_methods_refuse() {
+        struct Plain;
+        impl SessionStore for Plain {
+            fn open(
+                &self,
+                _id: SessionId,
+                _name: &str,
+                _attempt: u32,
+            ) -> io::Result<Box<dyn Write + Send>> {
+                Ok(Box::new(Vec::new()))
+            }
+            fn durable(&self, _id: SessionId) -> io::Result<Vec<u8>> {
+                Ok(Vec::new())
+            }
+        }
+        let Err(err) = Plain.open_shard(SessionId(1), "x", 0, 0) else {
+            panic!("default open_shard must refuse");
+        };
+        assert_eq!(err.kind(), io::ErrorKind::Unsupported);
+        let err = Plain.durable_shard(SessionId(1), 0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Unsupported);
+    }
+
+    #[test]
+    fn dir_store_writes_shard_siblings() {
+        let dir = std::env::temp_dir().join(format!("dpd-shard-test-{}", std::process::id()));
+        let store = DirStore::new(&dir).unwrap();
+        let id = SessionId(5);
+        for k in 0..3u32 {
+            let mut w = store.open_shard(id, "job", 0, k).unwrap();
+            w.write_all(format!("shard{k}").as_bytes()).unwrap();
+        }
+        for k in 0..3u32 {
+            assert_eq!(
+                store.durable_shard(id, k).unwrap(),
+                format!("shard{k}").as_bytes()
+            );
+            let path = store.shard_path(id, k).unwrap();
+            assert!(path.to_str().unwrap().ends_with(&format!(".s{k}.dprs")));
+        }
+        assert!(store.durable(id).is_err(), "no single-stream journal");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

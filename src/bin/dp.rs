@@ -3,6 +3,7 @@
 //! ```text
 //! dp record <workload> [--threads N] [--size small|medium|large]
 //!           [--epoch CYCLES] [--seed S] [--out FILE] [--journal FILE]
+//!           [--journal-shards N]
 //! dp salvage <JOURNAL> [-o FILE]
 //! dp replay <FILE> --workload <workload> [--threads N] [--size ...] [--parallel N]
 //! dp analyze <FILE> race   --workload <name> [--threads N] [--size S]
@@ -14,6 +15,7 @@
 //! dp inspect <FILE>
 //! dp serve [--sessions N] [--dir PATH] [--runners N] [--cores N]
 //!          [--capacity N] [--threads N] [--size S] [--seed X] [--faults]
+//!          [--journal-shards N]
 //! dp sessions <DIR>
 //! dp list
 //! ```
@@ -24,17 +26,23 @@
 //!
 //! `--journal` streams the recording to a crash-consistent `DPRJ` journal
 //! while it is produced; `dp salvage` recovers the committed epoch prefix
-//! from a journal a crash left behind. Every output file is written
-//! atomically (`<path>.tmp` + rename) except the journal itself, whose
-//! entire point is to be written incrementally.
+//! from a journal a crash left behind. Adding `--journal-shards N` splits
+//! the journal into `N` group-committed `DPRS` shard streams
+//! (`FILE.s0`..`FILE.s{N-1}`) appended by independent lanes — far fewer
+//! flushes at the same durability grain — and `dp salvage FILE.s0`
+//! gathers the sibling shards and reconstructs the longest *consistent
+//! cross-shard prefix*. Every output file is written atomically
+//! (`<path>.tmp` + rename) except the journal itself, whose entire point
+//! is to be written incrementally.
 //!
 //! `dp serve` runs the `dpd` multi-session service in-process: it admits
 //! a batch of mixed-workload sessions (cycling priorities and, with
 //! `--faults`, per-session decorrelated fault plans) against a shared
 //! verify-core pool, streams one `DPRJ` journal per session into `--dir`,
 //! and prints the final session table. `dp sessions <DIR>` is the
-//! post-mortem view: it salvages every journal in the directory
-//! independently — exactly what you run after killing a serve mid-flight.
+//! post-mortem view: it salvages every single-stream journal in the
+//! directory independently and merges every `.s<K>.dprs` shard set it
+//! finds — exactly what you run after killing a serve mid-flight.
 //!
 //! Failures exit nonzero with a one-line `error: <command>: <detail>`
 //! message; a missing or truncated recording file is never a panic.
@@ -46,7 +54,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dp list\n  dp record <workload> [--threads N] [--size S] [--epoch C] [--seed X] [--pipelined] [--workers N] [--out FILE] [--journal FILE]\n  dp salvage <JOURNAL> [-o FILE]\n  dp replay <FILE> --workload <name> [--threads N] [--size S] [--parallel N]\n  dp analyze <FILE> race --workload <name> [--threads N] [--size S] [--assert-races|--assert-clean]\n  dp analyze <FILE> triage --workload <name> [--threads N] [--size S]\n  dp analyze <FILE> inspect\n  dp analyze <FILE> diff <FILE2>\n  dp analyze <FILE> compact [--out FILE] [--workload <name>]\n  dp inspect <FILE>\n  dp serve [--sessions N] [--dir PATH] [--runners N] [--cores N] [--capacity N] [--threads N] [--size S] [--seed X] [--faults]\n  dp sessions <DIR>"
+        "usage:\n  dp list\n  dp record <workload> [--threads N] [--size S] [--epoch C] [--seed X] [--pipelined] [--workers N] [--out FILE] [--journal FILE] [--journal-shards N]\n  dp salvage <JOURNAL> [-o FILE]\n  dp replay <FILE> --workload <name> [--threads N] [--size S] [--parallel N]\n  dp analyze <FILE> race --workload <name> [--threads N] [--size S] [--assert-races|--assert-clean]\n  dp analyze <FILE> triage --workload <name> [--threads N] [--size S]\n  dp analyze <FILE> inspect\n  dp analyze <FILE> diff <FILE2>\n  dp analyze <FILE> compact [--out FILE] [--workload <name>]\n  dp inspect <FILE>\n  dp serve [--sessions N] [--dir PATH] [--runners N] [--cores N] [--capacity N] [--threads N] [--size S] [--seed X] [--faults] [--journal-shards N]\n  dp sessions <DIR>"
     );
     exit(2);
 }
@@ -78,6 +86,13 @@ fn load_recording(cmd: &str, path: &str) -> Recording {
         .unwrap_or_else(|e| fail(cmd, format_args!("cannot parse `{path}`: {e}")))
 }
 
+/// Splits a `BASE.s<K>` shard-stream path into its base journal path, for
+/// gathering the sibling shards of a `DPRS` set.
+fn shard_base(path: &str) -> Option<&str> {
+    let (base, k) = path.rsplit_once(".s")?;
+    (!k.is_empty() && k.bytes().all(|b| b.is_ascii_digit())).then_some(base)
+}
+
 fn parse_size(s: &str) -> Size {
     match s {
         "small" => Size::Small,
@@ -94,6 +109,7 @@ struct Opts {
     seed: u64,
     out: Option<String>,
     journal: Option<String>,
+    journal_shards: u32,
     workload: Option<String>,
     parallel: usize,
     pipelined: bool,
@@ -116,6 +132,7 @@ fn parse_opts(args: &[String]) -> Opts {
         seed: DoublePlayConfig::new(2).hidden_seed,
         out: None,
         journal: None,
+        journal_shards: 0,
         workload: None,
         parallel: 0,
         pipelined: false,
@@ -139,6 +156,7 @@ fn parse_opts(args: &[String]) -> Opts {
             "--seed" => o.seed = val().parse().unwrap_or_else(|_| usage()),
             "--out" | "-o" => o.out = Some(val()),
             "--journal" => o.journal = Some(val()),
+            "--journal-shards" => o.journal_shards = val().parse().unwrap_or_else(|_| usage()),
             "--workload" => o.workload = Some(val()),
             "--parallel" => o.parallel = val().parse().unwrap_or_else(|_| usage()),
             "--pipelined" => o.pipelined = true,
@@ -327,13 +345,16 @@ fn cmd_serve(o: &Opts) {
                 .storms(0.05, 4, 32);
             config = config.faults(template.for_session(i as u64));
         }
-        let spec = SessionSpec::new(name, guest, config)
+        let mut spec = SessionSpec::new(name, guest, config)
             .priority(match i % 3 {
                 0 => Priority::High,
                 1 => Priority::Normal,
                 _ => Priority::Low,
             })
             .restart_budget(2);
+        if o.journal_shards >= 2 {
+            spec = spec.journal_shards(o.journal_shards);
+        }
         match daemon.submit_retrying(spec, 10_000) {
             Ok(id) => ids.push(id),
             Err(e) => fail("serve", format_args!("session {i} not admitted: {e}")),
@@ -346,6 +367,7 @@ fn cmd_serve(o: &Opts) {
     for row in daemon.sessions() {
         let journal = store
             .path(row.id)
+            .or_else(|| store.shard_path(row.id, 0))
             .map(|p| p.display().to_string())
             .unwrap_or_else(|| "-".to_string());
         println!(
@@ -387,17 +409,33 @@ fn cmd_serve(o: &Opts) {
 }
 
 /// `dp sessions <DIR>`: salvage every `.dprj` journal in a serve
-/// directory independently — the post-mortem view after a daemon crash.
+/// directory independently, and merge every `.s<K>.dprs` shard set to
+/// its longest consistent cross-shard prefix — the post-mortem view
+/// after a daemon crash.
 fn cmd_sessions(dir: &str) {
     let entries = std::fs::read_dir(dir)
         .unwrap_or_else(|e| fail("sessions", format_args!("cannot read `{dir}`: {e}")));
-    let mut paths: Vec<_> = entries
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| p.extension().is_some_and(|x| x == "dprj"))
-        .collect();
+    let mut paths = Vec::new();
+    let mut shard_bases = std::collections::BTreeSet::new();
+    for path in entries.filter_map(|e| e.ok().map(|e| e.path())) {
+        match path.extension() {
+            Some(x) if x == "dprj" => paths.push(path),
+            Some(x) if x == "dprs" => {
+                // `NAME.s<K>.dprs` — one row per NAME, not per shard.
+                let s = path.display().to_string();
+                if let Some(base) = s.strip_suffix(".dprs").and_then(shard_base) {
+                    shard_bases.insert(base.to_string());
+                }
+            }
+            _ => {}
+        }
+    }
     paths.sort();
-    if paths.is_empty() {
-        fail("sessions", format_args!("no .dprj journals in `{dir}`"));
+    if paths.is_empty() && shard_bases.is_empty() {
+        fail(
+            "sessions",
+            format_args!("no .dprj journals or .dprs shard sets in `{dir}`"),
+        );
     }
     println!("  journal                                   epochs   salvaged    dropped  status");
     let mut total = 0usize;
@@ -413,6 +451,43 @@ fn cmd_sessions(dir: &str) {
             }
         };
         match JournalReader::salvage(&bytes) {
+            Ok(s) => {
+                recovered += 1;
+                let status = if s.clean { "clean" } else { &*s.detail };
+                println!(
+                    "  {:40} {:6} {:10} {:10}  {}",
+                    name,
+                    s.committed(),
+                    s.salvaged_bytes,
+                    s.dropped_bytes,
+                    status
+                );
+            }
+            Err(e) => println!("  {name:40} unsalvageable: {e}"),
+        }
+    }
+    for base in &shard_bases {
+        total += 1;
+        let mut bufs = Vec::new();
+        loop {
+            let p = format!("{base}.s{}.dprs", bufs.len());
+            match std::fs::read(&p) {
+                Ok(b) => bufs.push(b),
+                Err(_) => break,
+            }
+        }
+        let name = format!(
+            "{}.s*",
+            std::path::Path::new(base)
+                .file_name()
+                .unwrap_or_default()
+                .to_string_lossy()
+        );
+        if bufs.is_empty() {
+            println!("  {name:40} shard 0 unreadable");
+            continue;
+        }
+        match JournalReader::salvage_shards(&bufs) {
             Ok(s) => {
                 recovered += 1;
                 let status = if s.clean { "clean" } else { &*s.detail };
@@ -464,8 +539,49 @@ fn main() {
             // file as it happens; a crash mid-run leaves a salvageable
             // prefix instead of nothing. The journal is written in place
             // (it IS the incremental artifact); the final recording below
-            // is still written atomically.
+            // is still written atomically. With --journal-shards N, the
+            // stream splits across `FILE.s0`..`FILE.s{N-1}` shard lanes
+            // that group-commit their flushes.
+            if o.journal_shards >= 2 && o.journal.is_none() {
+                fail("record", "--journal-shards requires --journal FILE");
+            }
             let result = match &o.journal {
+                Some(jpath) if o.journal_shards >= 2 => {
+                    let shards = o.journal_shards;
+                    let writers: Vec<_> = (0..shards)
+                        .map(|k| {
+                            let p = format!("{jpath}.s{k}");
+                            let file = std::fs::File::create(&p).unwrap_or_else(|e| {
+                                fail("record", format_args!("cannot create `{p}`: {e}"))
+                            });
+                            std::io::BufWriter::new(file)
+                        })
+                        .collect();
+                    let mut sink = ShardedJournalWriter::threaded(writers, DEFAULT_SHARD_BATCH)
+                        .unwrap_or_else(|e| {
+                            fail("record", format_args!("cannot write `{jpath}.s0`: {e}"))
+                        });
+                    let r = record_to(&case.spec, &config, &mut sink);
+                    let flushes = sink.flushes();
+                    let epochs = sink.epochs_committed();
+                    let lanes = sink.into_writers();
+                    match (&r, lanes) {
+                        (Ok(_), Err(e)) => {
+                            fail("record", format_args!("journal shard lane failed: {e}"))
+                        }
+                        (Err(_), _) => eprintln!(
+                            "note: shard journals `{jpath}.s0`..`{jpath}.s{}` retain every \
+                             consistent epoch; recover with `dp salvage {jpath}.s0`",
+                            shards - 1
+                        ),
+                        (Ok(_), Ok(_)) => println!(
+                            "journal {jpath}.s0..s{}: {epochs} epoch(s) across {shards} \
+                             shard(s), {flushes} group-committed flush(es)",
+                            shards - 1
+                        ),
+                    }
+                    r
+                }
                 Some(jpath) => {
                     let file = std::fs::File::create(jpath).unwrap_or_else(|e| {
                         fail("record", format_args!("cannot create `{jpath}`: {e}"))
@@ -512,7 +628,9 @@ fn main() {
                 );
             }
             if let Some(jpath) = &o.journal {
-                println!("journal {jpath} finalized");
+                if o.journal_shards < 2 {
+                    println!("journal {jpath} finalized");
+                }
             }
             let path = o.out.unwrap_or_else(|| format!("{name}.dprec"));
             let mut buf = Vec::new();
@@ -528,19 +646,65 @@ fn main() {
             let o = parse_opts(&argv[2..]);
             let bytes = std::fs::read(path)
                 .unwrap_or_else(|e| fail("salvage", format_args!("cannot read `{path}`: {e}")));
-            let salvaged = JournalReader::salvage(&bytes)
-                .unwrap_or_else(|e| fail("salvage", format_args!("cannot salvage `{path}`: {e}")));
-            println!(
-                "{path}: {} committed epoch(s), {} bytes salvaged, {} bytes dropped ({})",
-                salvaged.committed(),
-                salvaged.salvaged_bytes,
-                salvaged.dropped_bytes,
-                salvaged.detail
-            );
-            let out = o.out.unwrap_or_else(|| format!("{path}.dprec"));
+            // A DPRS shard stream names its siblings: `BASE.s0`..`BASE.s*`.
+            // Gather them all and reconstruct the longest consistent
+            // cross-shard prefix; a classic DPRJ file salvages alone.
+            let (recording, out_default) = if bytes.starts_with(&SHARD_MAGIC) {
+                let Some(base) = shard_base(path) else {
+                    fail(
+                        "salvage",
+                        format_args!(
+                            "`{path}` is a DPRS shard stream but is not named `BASE.s<K>`; \
+                             restore the shard set's `BASE.s0`..`BASE.s<N-1>` names"
+                        ),
+                    );
+                };
+                let mut bufs = Vec::new();
+                loop {
+                    let p = format!("{base}.s{}", bufs.len());
+                    match std::fs::read(&p) {
+                        Ok(b) => bufs.push(b),
+                        Err(_) => break,
+                    }
+                }
+                if bufs.is_empty() {
+                    fail("salvage", format_args!("cannot read `{base}.s0`"));
+                }
+                let salvaged = JournalReader::salvage_shards(&bufs).unwrap_or_else(|e| {
+                    fail(
+                        "salvage",
+                        format_args!("cannot salvage shard set `{base}.s*`: {e}"),
+                    )
+                });
+                println!(
+                    "{base}.s0..s{}: {} committed epoch(s) across {} shard(s), \
+                     {} bytes salvaged, {} bytes dropped, \
+                     {} durable-but-inconsistent epoch(s) ({})",
+                    bufs.len() - 1,
+                    salvaged.committed(),
+                    salvaged.shard_count,
+                    salvaged.salvaged_bytes,
+                    salvaged.dropped_bytes,
+                    salvaged.dropped_epochs,
+                    salvaged.detail
+                );
+                (salvaged.recording, format!("{base}.dprec"))
+            } else {
+                let salvaged = JournalReader::salvage(&bytes).unwrap_or_else(|e| {
+                    fail("salvage", format_args!("cannot salvage `{path}`: {e}"))
+                });
+                println!(
+                    "{path}: {} committed epoch(s), {} bytes salvaged, {} bytes dropped ({})",
+                    salvaged.committed(),
+                    salvaged.salvaged_bytes,
+                    salvaged.dropped_bytes,
+                    salvaged.detail
+                );
+                (salvaged.recording, format!("{path}.dprec"))
+            };
+            let out = o.out.unwrap_or(out_default);
             let mut buf = Vec::new();
-            salvaged
-                .recording
+            recording
                 .save(&mut buf)
                 .unwrap_or_else(|e| fail("salvage", format_args!("cannot serialize: {e}")));
             write_atomic("salvage", &out, &buf);
