@@ -1417,6 +1417,319 @@ pub fn bench7_json(run: &ShardRun) -> String {
     )
 }
 
+/// One measured run of the out-of-process `dpnet` service: the raw
+/// material shared by the E16 table and `BENCH_8.json`.
+pub struct DpnetRun {
+    /// Suite size the run was scaled from.
+    pub size: Size,
+    /// Sessions submitted over the socket.
+    pub sessions: usize,
+    /// Concurrent client connections driving the load.
+    pub clients: usize,
+    /// Wall time from first submit to the last terminal report.
+    pub wall: std::time::Duration,
+    /// Sorted round-trip latencies of *successful* submits, ns (rejected
+    /// attempts are excluded — they are counted in `metrics.rejected`).
+    pub submit_ns: Vec<u64>,
+    /// Sorted round-trip latencies of status calls, ns.
+    pub status_ns: Vec<u64>,
+    /// Attach stream frames (chunks) received across all sessions.
+    pub attach_frames: u64,
+    /// Attach stream bytes received across all sessions.
+    pub attach_bytes: u64,
+    /// Wall time spent attach-streaming every journal back out.
+    pub attach_wall: std::time::Duration,
+    /// Sessions whose attached bytes matched the daemon's durable copy.
+    pub identical: usize,
+    /// Final daemon counters.
+    pub metrics: dp_dpd::DaemonMetrics,
+}
+
+/// Nearest-rank percentile of an ascending-sorted latency series.
+fn nearest_rank(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let k = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[k.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// E16 — drive the daemon through the `dpnet` socket protocol the way an
+/// external supervisor would: several client connections submit a mixed
+/// (clean / pipelined / storm-perturbed) session stream against a small
+/// admission queue, poll status, and finally attach-stream every journal
+/// back out, checking each against the daemon's durable copy.
+pub fn dpnet_run(size: Size) -> DpnetRun {
+    use dp_core::FaultPlan;
+    use dp_dpd::{
+        serve, Client, ClientError, Daemon, DaemonConfig, GuestRef, MemStore, Priority,
+        ServerConfig, SessionStore, SubmitSpec, WireFault,
+    };
+    use std::sync::{Arc, Mutex};
+
+    let sessions = (16 * size.factor() as usize).min(96);
+    let clients = 3usize.min(sessions);
+    let daemon = Arc::new(Daemon::start(
+        DaemonConfig {
+            runners: 4,
+            verify_cores: 4,
+            queue_capacity: 16,
+        },
+        Arc::new(MemStore::new()),
+    ));
+    // Unix socket paths have a ~100-byte limit, so the system temp dir —
+    // not target/ — hosts the endpoint.
+    let path = std::env::temp_dir().join(format!("dpnet-e16-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let server = {
+        let d = daemon.clone();
+        let p = path.clone();
+        std::thread::spawn(move || serve(&d, &p, ServerConfig::default()))
+    };
+    while !path.exists() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    let spec_for = |i: usize| -> SubmitSpec {
+        let guest = if i % 2 == 1 {
+            GuestRef::RacyCounter {
+                workers: 2,
+                iters: 300 + (i % 5) as i64 * 60,
+            }
+        } else {
+            GuestRef::AtomicCounter {
+                workers: 2,
+                iters: 300 + (i % 5) as i64 * 60,
+            }
+        };
+        let mut config = DoublePlayConfig::new(2)
+            .epoch_cycles(800)
+            .hidden_seed(dp_support::rng::mix(&[i as u64, 0xe16]));
+        if i.is_multiple_of(2) {
+            config = config.spare_workers(2).pipelined(true);
+        }
+        if i % 4 == 1 {
+            config = config.faults(FaultPlan::none().seed(0xe16).storms(0.05, 3, 16));
+        }
+        let mut spec = SubmitSpec::new(format!("net-{i}"), guest, config);
+        spec.priority = match i % 3 {
+            0 => Priority::High,
+            1 => Priority::Normal,
+            _ => Priority::Low,
+        };
+        spec
+    };
+
+    let submit_ns = Mutex::new(Vec::new());
+    let status_ns = Mutex::new(Vec::new());
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let (submit_ns, status_ns, path, spec_for) = (&submit_ns, &status_ns, &path, &spec_for);
+            s.spawn(move || {
+                let mut conn = Client::connect(path).expect("connect");
+                let mut ids = Vec::new();
+                for i in (c..sessions).step_by(clients) {
+                    let spec = spec_for(i);
+                    // Time each round trip individually so the percentiles
+                    // measure the protocol, not the backoff sleeps; shed
+                    // attempts land in `metrics.rejected`.
+                    loop {
+                        let t = Instant::now();
+                        match conn.submit(&spec) {
+                            Ok(id) => {
+                                submit_ns
+                                    .lock()
+                                    .unwrap()
+                                    .push(t.elapsed().as_nanos() as u64);
+                                ids.push(id);
+                                break;
+                            }
+                            Err(ClientError::Fault(WireFault::Rejected {
+                                retry_after_ms, ..
+                            })) => std::thread::sleep(std::time::Duration::from_millis(
+                                retry_after_ms.clamp(1, 10),
+                            )),
+                            Err(e) => panic!("submission failed: {e}"),
+                        }
+                    }
+                }
+                for id in ids {
+                    let t = Instant::now();
+                    conn.status(id).expect("status");
+                    status_ns
+                        .lock()
+                        .unwrap()
+                        .push(t.elapsed().as_nanos() as u64);
+                    conn.wait(id).expect("wait");
+                }
+            });
+        }
+    });
+    let wall = started.elapsed();
+
+    // Attach-stream every journal back out over one connection and check
+    // it byte-for-byte against the daemon's durable copy.
+    let mut conn = Client::connect(&path).expect("connect for attach");
+    let (rows, _) = conn.sessions().expect("sessions");
+    let attach_started = Instant::now();
+    let (mut frames, mut bytes, mut identical) = (0u64, 0u64, 0usize);
+    for row in &rows {
+        let mut streamed = Vec::new();
+        let outcome = conn.attach(row.id, &mut streamed).expect("attach");
+        frames += outcome.chunks;
+        bytes += outcome.bytes;
+        if daemon
+            .store()
+            .durable(row.id)
+            .map(|durable| durable == streamed)
+            .unwrap_or(false)
+        {
+            identical += 1;
+        }
+    }
+    let attach_wall = attach_started.elapsed();
+    conn.shutdown().expect("shutdown");
+    server.join().expect("server thread").expect("serve");
+
+    let metrics = daemon.metrics();
+    match Arc::try_unwrap(daemon) {
+        Ok(d) => d.shutdown(),
+        Err(_) => unreachable!("server joined; no other daemon handles remain"),
+    }
+    let mut submit_ns = submit_ns.into_inner().expect("lock");
+    let mut status_ns = status_ns.into_inner().expect("lock");
+    submit_ns.sort_unstable();
+    status_ns.sort_unstable();
+    DpnetRun {
+        size,
+        sessions,
+        clients,
+        wall,
+        submit_ns,
+        status_ns,
+        attach_frames: frames,
+        attach_bytes: bytes,
+        attach_wall,
+        identical,
+        metrics,
+    }
+}
+
+/// E16 / Table: the out-of-process service driven over its unix socket.
+pub fn table_dpnet(run: &DpnetRun) -> Table {
+    let mut t = Table::new(
+        "E16 / Table: out-of-process service (dpnet) over a unix socket",
+        "every socket-submitted journal must attach-stream back byte-identical \
+         to the daemon's durable copy; round trips stay small and the tight \
+         queue sheds typed rejections instead of stalling clients",
+        &["metric", "value"],
+    );
+    let m = &run.metrics;
+    let secs = run.wall.as_secs_f64();
+    let attach_secs = run.attach_wall.as_secs_f64().max(1e-9);
+    let us = |ns: u64| format!("{:.1} us", ns as f64 / 1e3);
+    t.row(vec![
+        "sessions / clients".into(),
+        format!("{} / {}", run.sessions, run.clients),
+    ]);
+    t.row(vec![
+        "submissions/s".into(),
+        format!("{:.1}", run.sessions as f64 / secs),
+    ]);
+    t.row(vec![
+        "submit rtt p50 / p99".into(),
+        format!(
+            "{} / {}",
+            us(nearest_rank(&run.submit_ns, 50.0)),
+            us(nearest_rank(&run.submit_ns, 99.0))
+        ),
+    ]);
+    t.row(vec![
+        "status rtt p50 / p99".into(),
+        format!(
+            "{} / {}",
+            us(nearest_rank(&run.status_ns, 50.0)),
+            us(nearest_rank(&run.status_ns, 99.0))
+        ),
+    ]);
+    t.row(vec![
+        "attach frames (frames/s)".into(),
+        format!(
+            "{} ({:.0}/s)",
+            run.attach_frames,
+            run.attach_frames as f64 / attach_secs
+        ),
+    ]);
+    t.row(vec![
+        "attach stream".into(),
+        format!(
+            "{:.1} MiB at {:.1} MiB/s",
+            run.attach_bytes as f64 / (1 << 20) as f64,
+            run.attach_bytes as f64 / (1 << 20) as f64 / attach_secs
+        ),
+    ]);
+    t.row(vec![
+        "byte-identical journals".into(),
+        format!("{}/{}", run.identical, run.sessions),
+    ]);
+    t.row(vec![
+        "finalized / rejected".into(),
+        format!("{} / {}", m.finalized, m.rejected),
+    ]);
+    t
+}
+
+/// The machine-readable perf record for the socket-service experiment
+/// (`BENCH_8.json`): submission throughput, socket round-trip latency
+/// percentiles, and attach-stream throughput. Hand-rolled JSON, same as
+/// `BENCH_6.json`.
+pub fn bench8_json(run: &DpnetRun) -> String {
+    let m = &run.metrics;
+    let secs = run.wall.as_secs_f64();
+    let attach_secs = run.attach_wall.as_secs_f64().max(1e-9);
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": 8,\n",
+            "  \"name\": \"dpnet-socket\",\n",
+            "  \"size\": \"{size}\",\n",
+            "  \"sessions\": {sessions},\n",
+            "  \"clients\": {clients},\n",
+            "  \"finalized\": {finalized},\n",
+            "  \"rejected\": {rejected},\n",
+            "  \"wall_ms\": {wall_ms:.1},\n",
+            "  \"submissions_per_sec\": {sps:.2},\n",
+            "  \"submit_rtt_p50_ns\": {sub50},\n",
+            "  \"submit_rtt_p99_ns\": {sub99},\n",
+            "  \"status_rtt_p50_ns\": {st50},\n",
+            "  \"status_rtt_p99_ns\": {st99},\n",
+            "  \"attach_frames\": {frames},\n",
+            "  \"attach_frames_per_sec\": {fps:.1},\n",
+            "  \"attach_bytes\": {bytes},\n",
+            "  \"attach_mib_per_sec\": {mibps:.2},\n",
+            "  \"byte_identical\": {identical}\n",
+            "}}\n"
+        ),
+        size = run.size,
+        sessions = run.sessions,
+        clients = run.clients,
+        finalized = m.finalized,
+        rejected = m.rejected,
+        wall_ms = secs * 1e3,
+        sps = run.sessions as f64 / secs,
+        sub50 = nearest_rank(&run.submit_ns, 50.0),
+        sub99 = nearest_rank(&run.submit_ns, 99.0),
+        st50 = nearest_rank(&run.status_ns, 50.0),
+        st99 = nearest_rank(&run.status_ns, 99.0),
+        frames = run.attach_frames,
+        fps = run.attach_frames as f64 / attach_secs,
+        bytes = run.attach_bytes,
+        mibps = run.attach_bytes as f64 / (1 << 20) as f64 / attach_secs,
+        identical = run.identical,
+    )
+}
+
 /// Sanity harness used by tests: native measurement agrees between the
 /// coordinator and a direct call.
 pub fn native_cycles(case: &WorkloadCase, threads: usize) -> u64 {

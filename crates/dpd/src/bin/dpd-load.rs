@@ -8,13 +8,20 @@
 //! ```text
 //! dpd-load [--sessions N] [--clients N] [--runners N] [--cores N]
 //!          [--capacity N] [--threads N] [--size small|medium|large]
-//!          [--faults] [--check] [--seed N]
+//!          [--faults] [--check] [--seed N] [--socket PATH]
 //! ```
+//!
+//! With `--socket PATH` the same load runs over the `dpnet` protocol
+//! against an already-running `dp serve --socket` daemon: every client
+//! thread opens its own connection, submits by guest *reference*, and
+//! `--check` fetches each spot-checked journal over an attach stream —
+//! proving socket-submitted recordings byte-identical to solo in-process
+//! runs of the same spec.
 
 use dp_core::{record_to, DoublePlayConfig, FaultPlan, JournalWriter};
 use dp_dpd::{
-    AdmitError, Daemon, DaemonConfig, MemStore, Priority, SessionId, SessionSpec, SessionState,
-    SessionStore,
+    AdmitError, Client, ClientError, Daemon, DaemonConfig, GuestRef, MemStore, Priority, SessionId,
+    SessionSpec, SessionState, SessionStore, SizeRef, SubmitSpec, WireFault,
 };
 use dp_support::rng::mix;
 use dp_workloads::{mixed_suite, Size};
@@ -32,6 +39,7 @@ struct Opts {
     faults: bool,
     check: bool,
     seed: u64,
+    socket: Option<String>,
 }
 
 fn fail(detail: &str) -> ! {
@@ -51,6 +59,7 @@ fn parse() -> Opts {
         faults: false,
         check: false,
         seed: 42,
+        socket: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -77,11 +86,14 @@ fn parse() -> Opts {
             }
             "--faults" => o.faults = true,
             "--check" => o.check = true,
+            "--socket" => {
+                o.socket = Some(args.next().unwrap_or_else(|| fail("--socket needs a path")))
+            }
             "--help" | "-h" => {
                 println!(
                     "dpd-load [--sessions N] [--clients N] [--runners N] [--cores N] \
                      [--capacity N] [--threads N] [--size small|medium|large] \
-                     [--faults] [--check] [--seed N]"
+                     [--faults] [--check] [--seed N] [--socket PATH]"
                 );
                 std::process::exit(0);
             }
@@ -91,12 +103,10 @@ fn parse() -> Opts {
     o
 }
 
-/// The spec for global session number `i`: workloads cycle through the
-/// mixed suite, priorities cycle through the lanes, and (with `--faults`)
-/// every third session carries a per-session decorrelated fault plan.
-fn spec_for(o: &Opts, i: usize) -> SessionSpec {
-    let cases = mixed_suite(o.threads, o.size);
-    let case = &cases[i % cases.len()];
+/// The configuration and lane for global session number `i` — shared by
+/// the in-process and socket paths so `--check`'s solo oracle reproduces
+/// exactly what was submitted either way.
+fn config_for(o: &Opts, i: usize) -> (DoublePlayConfig, Priority) {
     let mut config = DoublePlayConfig::new(o.threads)
         .epoch_cycles(50_000)
         .hidden_seed(mix(&[o.seed, i as u64, 0x10ad]));
@@ -116,14 +126,134 @@ fn spec_for(o: &Opts, i: usize) -> SessionSpec {
         1 => Priority::Normal,
         _ => Priority::Low,
     };
+    (config, priority)
+}
+
+/// The spec for global session number `i`: workloads cycle through the
+/// mixed suite, priorities cycle through the lanes, and (with `--faults`)
+/// every third session carries a per-session decorrelated fault plan.
+fn spec_for(o: &Opts, i: usize) -> SessionSpec {
+    let cases = mixed_suite(o.threads, o.size);
+    let case = &cases[i % cases.len()];
+    let (config, priority) = config_for(o, i);
     SessionSpec::new(case.name, case.spec.clone(), config)
         .priority(priority)
         .restart_budget(2)
 }
 
+/// The wire twin of [`spec_for`]: the same session, with the guest by
+/// reference (the daemon resolves the identical workload on its side).
+fn submit_spec_for(o: &Opts, i: usize) -> SubmitSpec {
+    let cases = mixed_suite(o.threads, o.size);
+    let case = &cases[i % cases.len()];
+    let (config, priority) = config_for(o, i);
+    let guest = GuestRef::Workload {
+        name: case.name.to_string(),
+        threads: o.threads as u64,
+        size: SizeRef::from_size(o.size),
+    };
+    let mut spec = SubmitSpec::new(case.name, guest, config);
+    spec.priority = priority;
+    spec.restart_budget = 2;
+    spec
+}
+
+/// The `--socket` load path: the same burst of sessions, submitted over
+/// `dpnet` from one connection per client thread against a daemon that is
+/// already serving. `--check` fetches journals back over attach streams.
+fn run_socket(o: &Opts, socket: &str) {
+    let started = Instant::now();
+    let ids = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for client in 0..o.clients {
+            let o = &*o;
+            handles.push(scope.spawn(move || {
+                let mut conn = Client::connect(socket)
+                    .unwrap_or_else(|e| fail(&format!("cannot connect to `{socket}`: {e}")));
+                let mut ids = Vec::new();
+                let mut i = client;
+                while i < o.sessions {
+                    match conn.submit_retrying(&submit_spec_for(o, i), 1_000) {
+                        Ok(id) => ids.push((i, id)),
+                        Err(ClientError::Fault(WireFault::Draining)) => break,
+                        Err(e) => fail(&format!("session {i} not admitted: {e}")),
+                    }
+                    i += o.clients;
+                }
+                for (_, id) in &ids {
+                    conn.wait(*id)
+                        .unwrap_or_else(|e| fail(&format!("waiting on {id}: {e}")));
+                }
+                ids
+            }));
+        }
+        let mut all: Vec<(usize, SessionId)> = Vec::new();
+        for h in handles {
+            all.extend(h.join().expect("client thread"));
+        }
+        all
+    });
+    let wall = started.elapsed();
+
+    let mut conn = Client::connect(socket)
+        .unwrap_or_else(|e| fail(&format!("cannot connect to `{socket}`: {e}")));
+    let m = conn
+        .metrics()
+        .unwrap_or_else(|e| fail(&format!("metrics: {e}")));
+    let (rows, _notes) = conn
+        .sessions()
+        .unwrap_or_else(|e| fail(&format!("sessions: {e}")));
+    let terminal = rows.iter().filter(|r| r.state.is_terminal()).count();
+    println!(
+        "sessions: {} submitted over {socket}, {} terminal daemon-wide \
+         ({} finalized, {} salvaged, {} failed)",
+        ids.len(),
+        terminal,
+        m.finalized,
+        m.salvaged,
+        m.failed
+    );
+    println!(
+        "backpressure: {} rejections shed, {} degraded runs, {} retries",
+        m.rejected, m.degraded_runs, m.retries
+    );
+    println!(
+        "throughput: {:.1} sessions/s over the socket ({} epochs committed)",
+        ids.len() as f64 / wall.as_secs_f64(),
+        m.epochs_committed
+    );
+
+    if o.check {
+        // Byte-identity spot check over the wire: every 10th session's
+        // journal, fetched back through an attach stream, must be
+        // identical to a solo in-process run of the same spec.
+        let mut checked = 0;
+        for (i, id) in ids.iter().step_by(10) {
+            let row = rows.iter().find(|r| r.id == *id).expect("row");
+            if row.state != SessionState::Finalized {
+                continue;
+            }
+            let spec = spec_for(o, *i);
+            let mut w = JournalWriter::new(Vec::new()).expect("journal");
+            record_to(&spec.guest, &spec.config, &mut w).expect("solo run");
+            let mut streamed = Vec::new();
+            conn.attach(*id, &mut streamed)
+                .unwrap_or_else(|e| fail(&format!("attach {id}: {e}")));
+            if streamed != w.into_inner() {
+                fail(&format!("session {id} diverged from its solo run"));
+            }
+            checked += 1;
+        }
+        println!("checked: {checked} sessions byte-identical to solo runs via attach");
+    }
+}
+
 fn main() {
     let o = parse();
     dp_core::faults::silence_injected_panics();
+    if let Some(socket) = o.socket.clone() {
+        return run_socket(&o, &socket);
+    }
     let store = Arc::new(MemStore::new());
     let daemon = Arc::new(Daemon::start(
         DaemonConfig {

@@ -1,0 +1,302 @@
+//! The `dpnet` client: a blocking unix-socket handle to a remote
+//! [`Daemon`](crate::Daemon), mirroring the in-process API call for
+//! call. Every daemon-side failure arrives as a typed
+//! [`WireFault`] inside [`ClientError::Fault`]; transport and framing
+//! trouble stay distinguishable so callers can tell "the daemon said no"
+//! from "the daemon died".
+
+use crate::proto::frame::{expect_hello, read_frame, send_hello, write_frame, FrameError};
+use crate::proto::msg::{Request, Response, SubmitSpec, WireFault};
+use crate::session::{SessionId, SessionReport, SessionState};
+use crate::DaemonMetrics;
+use dp_support::wire::{from_bytes, to_bytes};
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+/// A typed client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport I/O failed.
+    Io(io::Error),
+    /// The framing layer failed (stream severed, corrupt frame).
+    Frame(FrameError),
+    /// The daemon answered with a typed fault.
+    Fault(WireFault),
+    /// The daemon answered with a response the protocol does not allow
+    /// here.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Frame(e) => write!(f, "framing error: {e}"),
+            ClientError::Fault(fault) => write!(f, "daemon refused: {fault}"),
+            ClientError::Protocol(detail) => write!(f, "protocol violation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// What a completed attach stream delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttachOutcome {
+    /// The session's terminal state.
+    pub state: SessionState,
+    /// Epochs its journal commits.
+    pub epochs: u32,
+    /// True when the journal finalized cleanly.
+    pub clean: bool,
+    /// Journal bytes received (after any restarts).
+    pub bytes: u64,
+    /// Chunk frames received over the stream's lifetime.
+    pub chunks: u64,
+}
+
+/// One connection to a serving daemon. Methods are blocking and the
+/// handle is single-threaded by design — open one per client thread.
+pub struct Client {
+    stream: UnixStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects and performs the `DPN1` handshake.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or a magic/version mismatch.
+    pub fn connect(path: impl AsRef<Path>) -> Result<Self, ClientError> {
+        let mut stream = UnixStream::connect(path).map_err(ClientError::Io)?;
+        send_hello(&mut stream).map_err(ClientError::Io)?;
+        expect_hello(&mut stream)?;
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        if let Err(e) = write_frame(&mut self.stream, &to_bytes(req)) {
+            // The server may have refused this connection with a typed
+            // fault before closing (its Busy backpressure): surface that
+            // instead of the raw broken-pipe error.
+            if read_frame(&mut self.stream, &mut self.buf).is_ok() {
+                if let Ok(Response::Error { fault }) = from_bytes::<Response>(&self.buf) {
+                    return Err(ClientError::Fault(fault));
+                }
+            }
+            return Err(ClientError::Io(e));
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Response, ClientError> {
+        read_frame(&mut self.stream, &mut self.buf)?;
+        let resp = from_bytes::<Response>(&self.buf)
+            .map_err(|e| ClientError::Protocol(format!("undecodable response: {e}")))?;
+        if let Response::Error { fault } = resp {
+            return Err(ClientError::Fault(fault));
+        }
+        Ok(resp)
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.send(req)?;
+        self.recv()
+    }
+
+    /// Submits a session; the socket twin of
+    /// [`Daemon::submit`](crate::Daemon::submit).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Fault`] mirroring the admission error, or
+    /// transport trouble.
+    pub fn submit(&mut self, spec: &SubmitSpec) -> Result<SessionId, ClientError> {
+        match self.call(&Request::Submit { spec: spec.clone() })? {
+            Response::Admitted { id } => Ok(id),
+            other => Err(unexpected("Admitted", &other)),
+        }
+    }
+
+    /// [`submit`](Client::submit) with polite back-off on
+    /// [`WireFault::Rejected`], up to `tries` attempts — the socket twin
+    /// of [`Daemon::submit_retrying`](crate::Daemon::submit_retrying).
+    ///
+    /// # Errors
+    ///
+    /// The last error once retries are exhausted; non-rejection errors
+    /// immediately.
+    pub fn submit_retrying(
+        &mut self,
+        spec: &SubmitSpec,
+        tries: usize,
+    ) -> Result<SessionId, ClientError> {
+        let mut last = None;
+        for _ in 0..tries.max(1) {
+            match self.submit(spec) {
+                Ok(id) => return Ok(id),
+                Err(ClientError::Fault(WireFault::Rejected { retry_after_ms, .. })) => {
+                    let wait = Duration::from_millis(retry_after_ms.min(10));
+                    last = Some(ClientError::Fault(WireFault::Rejected {
+                        queued: 0,
+                        capacity: 0,
+                        retry_after_ms,
+                    }));
+                    std::thread::sleep(wait);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("tries >= 1"))
+    }
+
+    /// One session's report.
+    ///
+    /// # Errors
+    ///
+    /// [`WireFault::UnknownSession`] as a fault, or transport trouble.
+    pub fn status(&mut self, id: SessionId) -> Result<SessionReport, ClientError> {
+        match self.call(&Request::Status { id })? {
+            Response::Report { report } => Ok(report),
+            other => Err(unexpected("Report", &other)),
+        }
+    }
+
+    /// Polls [`status`](Client::status) until the session is terminal.
+    ///
+    /// # Errors
+    ///
+    /// Any status failure.
+    pub fn wait(&mut self, id: SessionId) -> Result<SessionReport, ClientError> {
+        loop {
+            let report = self.status(id)?;
+            if report.state.is_terminal() {
+                return Ok(report);
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Every session's report plus operator notes (re-adoption garbage).
+    ///
+    /// # Errors
+    ///
+    /// Transport trouble.
+    pub fn sessions(&mut self) -> Result<(Vec<SessionReport>, Vec<String>), ClientError> {
+        match self.call(&Request::Sessions)? {
+            Response::SessionList { rows, notes } => Ok((rows, notes)),
+            other => Err(unexpected("SessionList", &other)),
+        }
+    }
+
+    /// Cancels a queued session; the socket twin of
+    /// [`Daemon::cancel`](crate::Daemon::cancel).
+    ///
+    /// # Errors
+    ///
+    /// [`WireFault::UnknownSession`] / [`WireFault::NotCancellable`] as
+    /// faults, or transport trouble.
+    pub fn cancel(&mut self, id: SessionId) -> Result<(), ClientError> {
+        match self.call(&Request::Cancel { id })? {
+            Response::Cancelled { .. } => Ok(()),
+            other => Err(unexpected("Cancelled", &other)),
+        }
+    }
+
+    /// Aggregate daemon counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport trouble.
+    pub fn metrics(&mut self) -> Result<DaemonMetrics, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::MetricsReport { metrics } => Ok(metrics),
+            other => Err(unexpected("MetricsReport", &other)),
+        }
+    }
+
+    /// Asks the server to shut down; returns once it acknowledges.
+    ///
+    /// # Errors
+    ///
+    /// Transport trouble.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+
+    /// Tails a session's journal live into `out`: committed bytes stream
+    /// in as the daemon records, a mid-run retry clears `out` and starts
+    /// over (attempts rewrite the journal in place), and the call
+    /// returns once the session is terminal and fully streamed.
+    ///
+    /// On error `out` keeps everything received so far — and because the
+    /// server cuts chunks at salvage boundaries, that prefix is itself a
+    /// salvageable journal: a client severed by a daemon crash holds
+    /// exactly the committed epochs (the crash-attach property tests
+    /// pin this).
+    ///
+    /// # Errors
+    ///
+    /// Typed faults (unknown session, sharded journal), a severed
+    /// stream as [`ClientError::Frame`], or protocol violations.
+    pub fn attach(
+        &mut self,
+        id: SessionId,
+        out: &mut Vec<u8>,
+    ) -> Result<AttachOutcome, ClientError> {
+        self.send(&Request::Attach { id })?;
+        match self.recv()? {
+            Response::AttachStart { .. } => {}
+            other => return Err(unexpected("AttachStart", &other)),
+        }
+        let mut chunks = 0u64;
+        loop {
+            match self.recv()? {
+                Response::AttachChunk { offset, bytes } => {
+                    if offset != out.len() as u64 {
+                        return Err(ClientError::Protocol(format!(
+                            "attach chunk at offset {offset}, expected {}",
+                            out.len()
+                        )));
+                    }
+                    out.extend_from_slice(&bytes.0);
+                    chunks += 1;
+                }
+                Response::AttachRestart => out.clear(),
+                Response::AttachEnd {
+                    state,
+                    epochs,
+                    clean,
+                } => {
+                    return Ok(AttachOutcome {
+                        state,
+                        epochs,
+                        clean,
+                        bytes: out.len() as u64,
+                        chunks,
+                    })
+                }
+                other => return Err(unexpected("Attach stream frame", &other)),
+            }
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted}, got {got:?}"))
+}

@@ -12,9 +12,12 @@
 //! panicking session is a row update, never a dead daemon.
 
 use crate::admission::AdmitError;
-use crate::session::{SessionId, SessionReport, SessionSpec, SessionState};
-use crate::store::SessionStore;
-use dp_core::{record_to, JournalReader, JournalWriter, ShardedJournalWriter, DEFAULT_SHARD_BATCH};
+use crate::session::{SessionError, SessionId, SessionReport, SessionSpec, SessionState};
+use crate::store::{DirStore, Orphan, OrphanClass, SessionStore};
+use dp_core::{
+    record_to, DoublePlayConfig, JournalReader, JournalWriter, ShardedJournalWriter,
+    DEFAULT_SHARD_BATCH,
+};
 use dp_os::FaultedSink;
 use std::collections::{HashMap, VecDeque};
 use std::io::Write;
@@ -84,7 +87,29 @@ pub struct DaemonMetrics {
     /// 99th-percentile queue wait, nanoseconds. Same sliding-window
     /// nearest-rank semantics as `admission_p50_ns`.
     pub admission_p99_ns: u64,
+    /// Queued sessions cancelled by a client before a runner claimed them
+    /// (counted separately from `failed`: no attempt ever ran).
+    pub cancelled: u64,
+    /// Sessions re-adopted from a previous incarnation's store at boot.
+    /// Their terminal states are *not* folded into `finalized` /
+    /// `salvaged` — those count this incarnation's own work.
+    pub adopted: u64,
 }
+
+dp_support::impl_wire_struct!(DaemonMetrics {
+    admitted,
+    rejected,
+    finalized,
+    salvaged,
+    failed,
+    retries,
+    degraded_runs,
+    epochs_committed,
+    admission_p50_ns,
+    admission_p99_ns,
+    cancelled,
+    adopted,
+});
 
 /// One registry row.
 struct Session {
@@ -123,6 +148,9 @@ struct Registry {
     /// Sliding window (most recent [`ADMISSION_WINDOW`] samples) of
     /// submission-to-first-claim waits, feeding the metrics percentiles.
     admission_waits: VecDeque<u64>,
+    /// Operator-facing notes from boot re-adoption: one line per garbage
+    /// file found in the store directory (surfaced by session listings).
+    orphan_notes: Vec<String>,
     metrics: DaemonMetrics,
 }
 
@@ -166,6 +194,7 @@ impl<S: SessionStore + 'static> Daemon<S> {
                 reserved: None,
                 ewma_run_ns: 0.0,
                 admission_waits: VecDeque::new(),
+                orphan_notes: Vec::new(),
                 metrics: DaemonMetrics::default(),
             }),
             cv: Condvar::new(),
@@ -181,6 +210,12 @@ impl<S: SessionStore + 'static> Daemon<S> {
             })
             .collect();
         Daemon { inner, runners }
+    }
+
+    /// The session store this daemon records into — the attach path
+    /// reads durable bytes through it.
+    pub fn store(&self) -> Arc<S> {
+        self.inner.store.clone()
     }
 
     /// Submits a session. Returns its id, or a typed admission error —
@@ -278,6 +313,99 @@ impl<S: SessionStore + 'static> Daemon<S> {
         rows
     }
 
+    /// Cancels a queued session: it leaves its lane and turns terminal
+    /// ([`SessionState::Failed`] with a "cancelled by client" error)
+    /// without any attempt running. Only [`SessionState::Admitted`]
+    /// sessions are cancellable — a running attempt is never killed
+    /// mid-journal (its journal would be a torn lie), and terminal rows
+    /// are history.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::UnknownSession`] for an id the registry has never
+    /// seen, [`SessionError::NotCancellable`] for any non-queued state.
+    pub fn cancel(&self, id: SessionId) -> Result<(), SessionError> {
+        let mut guard = self_lock(&self.inner);
+        let reg = &mut *guard;
+        let Some(s) = reg.sessions.get_mut(&id.0) else {
+            return Err(SessionError::UnknownSession(id));
+        };
+        if s.state != SessionState::Admitted {
+            return Err(SessionError::NotCancellable { id, state: s.state });
+        }
+        s.state = SessionState::Failed;
+        s.error = Some("cancelled by client".into());
+        let lane = s.spec.priority.lane();
+        reg.lanes[lane].retain(|&sid| sid != id.0);
+        if reg.reserved == Some(id.0) {
+            reg.reserved = None;
+        }
+        reg.metrics.cancelled += 1;
+        self.inner.cv.notify_all();
+        Ok(())
+    }
+
+    /// Adopts one session recovered from a previous incarnation as a
+    /// terminal registry row under its **original** id, so listings,
+    /// reports, and attach see it exactly as the dead daemon's clients
+    /// would have. The id counter jumps past adopted ids, keeping new
+    /// submissions collision-free. Returns `false` (and changes nothing)
+    /// if the id is already taken or `state` is not terminal.
+    pub fn adopt(
+        &self,
+        id: SessionId,
+        name: &str,
+        state: SessionState,
+        epochs: u32,
+        journal_shards: u32,
+        error: Option<String>,
+    ) -> bool {
+        if !state.is_terminal() {
+            return false;
+        }
+        let mut guard = self_lock(&self.inner);
+        let reg = &mut *guard;
+        if reg.sessions.contains_key(&id.0) {
+            return false;
+        }
+        // Terminal rows are never scheduled, so the spec's guest/config
+        // are inert placeholders — only name, priority, and shard count
+        // surface in reports.
+        let spec = SessionSpec::new(name, crate::guests::atomic_counter(1, 1), {
+            DoublePlayConfig::new(1)
+        })
+        .journal_shards(journal_shards);
+        reg.sessions.insert(
+            id.0,
+            Session {
+                spec,
+                state,
+                attempts: 0,
+                epochs,
+                degraded: false,
+                submitted_at: Instant::now(),
+                admission_wait_ns: Some(0),
+                error,
+                bypassed: 0,
+            },
+        );
+        reg.next_id = reg.next_id.max(id.0 + 1);
+        reg.metrics.adopted += 1;
+        true
+    }
+
+    /// Records an operator-facing note (a garbage file found during boot
+    /// re-adoption, for example) for session listings to surface.
+    pub fn add_orphan_note(&self, note: impl Into<String>) {
+        self_lock(&self.inner).orphan_notes.push(note.into());
+    }
+
+    /// The notes recorded by [`add_orphan_note`](Daemon::add_orphan_note)
+    /// / [`adopt_orphans`](Daemon::adopt_orphans), in insertion order.
+    pub fn orphan_notes(&self) -> Vec<String> {
+        self_lock(&self.inner).orphan_notes.clone()
+    }
+
     /// Aggregate counters plus admission-latency percentiles (computed
     /// nearest-rank over the sliding sample window — see
     /// [`DaemonMetrics::admission_p50_ns`]).
@@ -322,6 +450,49 @@ impl<S: SessionStore + 'static> Daemon<S> {
     }
 }
 
+impl Daemon<DirStore> {
+    /// Boot-time journal re-adoption: scans the store directory for
+    /// journals a previous incarnation left behind and re-adopts every
+    /// recoverable one — finalized journals become
+    /// [`SessionState::Finalized`] rows, crash-cut ones
+    /// [`SessionState::Salvaged`] rows at exactly their committed epoch
+    /// count, both under their original ids with their backing paths
+    /// registered (so attach and `durable` work). Garbage files become
+    /// operator notes, never wedged sessions. Returns the scan for
+    /// callers that want to print it.
+    ///
+    /// # Errors
+    ///
+    /// Store directory or file I/O failures.
+    pub fn adopt_orphans(&self) -> std::io::Result<Vec<Orphan>> {
+        let orphans = self.inner.store.scan_orphans()?;
+        for o in &orphans {
+            let (state, epochs, error) = match &o.class {
+                OrphanClass::Finalized { epochs } => (SessionState::Finalized, *epochs, None),
+                OrphanClass::Salvageable { epochs, detail } => (
+                    SessionState::Salvaged,
+                    *epochs,
+                    Some(format!("re-adopted after daemon crash: {detail}")),
+                ),
+                OrphanClass::Garbage { reason } => {
+                    self.add_orphan_note(format!("garbage: {} ({reason})", o.name));
+                    continue;
+                }
+            };
+            let Some(id) = o.id else { continue };
+            let shards = o.files.iter().filter(|(k, _)| k.is_some()).count() as u32;
+            if self.adopt(id, &o.name, state, epochs, shards, error) {
+                for (shard, path) in &o.files {
+                    self.inner.store.adopt_path(id, *shard, path.clone());
+                }
+            } else {
+                self.add_orphan_note(format!("skipped: {} ({id} already registered)", o.name));
+            }
+        }
+        Ok(orphans)
+    }
+}
+
 /// Nearest-rank percentile of an ascending-sorted, non-empty sample:
 /// `rank = ceil(pct/100 · n)`, clamped into `1..=n`, returning the
 /// rank-th smallest. Unlike the floor-biased `sorted[n·pct/100]`, this is
@@ -343,6 +514,7 @@ fn snapshot(id: u64, s: &Session) -> SessionReport {
         epochs: s.epochs,
         degraded: s.degraded,
         admission_wait_ns: s.admission_wait_ns.unwrap_or(0),
+        journal_shards: s.spec.journal_shards,
         error: s.error.clone(),
     }
 }
@@ -1099,6 +1271,107 @@ mod tests {
         assert!(m.admission_p99_ns >= m.admission_p50_ns);
         assert!(m.admission_p50_ns >= 500);
         daemon.shutdown();
+    }
+
+    #[test]
+    fn cancel_dequeues_admitted_sessions_only() {
+        // No runners claiming: a 0-runner pool is clamped to 1, so jam the
+        // single runner with a long session and queue a victim behind it.
+        let cfg = DaemonConfig {
+            runners: 1,
+            verify_cores: 2,
+            queue_capacity: 8,
+        };
+        let daemon = Daemon::start(cfg, Arc::new(MemStore::new()));
+        let long = daemon
+            .submit(SessionSpec::new(
+                "long",
+                guests::atomic_counter(2, 20_000),
+                tiny_config(),
+            ))
+            .unwrap();
+        let victim = daemon.submit(tiny_spec("victim")).unwrap();
+        assert_eq!(daemon.cancel(victim), Ok(()));
+        assert!(matches!(
+            daemon.cancel(SessionId(999)),
+            Err(SessionError::UnknownSession(_))
+        ));
+        // Cancelling twice: the row is now terminal.
+        assert!(matches!(
+            daemon.cancel(victim),
+            Err(SessionError::NotCancellable {
+                state: SessionState::Failed,
+                ..
+            })
+        ));
+        daemon.drain();
+        let r = daemon.report(victim).unwrap();
+        assert_eq!(r.state, SessionState::Failed);
+        assert_eq!(r.attempts, 0, "no attempt may run after cancel");
+        assert_eq!(r.error.as_deref(), Some("cancelled by client"));
+        assert_eq!(daemon.report(long).unwrap().state, SessionState::Finalized);
+        let m = daemon.metrics();
+        assert_eq!(m.cancelled, 1);
+        assert_eq!(m.failed, 0, "cancellation is not an attempt failure");
+        assert!(matches!(
+            daemon.cancel(long),
+            Err(SessionError::NotCancellable { .. })
+        ));
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn adopt_orphans_restores_previous_incarnation() {
+        let dir = std::env::temp_dir().join(format!("dpd-adopt-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // First incarnation: one finalized session, then the daemon "dies"
+        // leaving a truncated sibling and assorted junk.
+        let spec = tiny_spec("first");
+        let epochs;
+        {
+            let store = Arc::new(crate::store::DirStore::new(&dir).unwrap());
+            let daemon = Daemon::start(DaemonConfig::default(), store.clone());
+            let id = daemon.submit(spec.clone()).unwrap();
+            daemon.drain();
+            let r = daemon.report(id).unwrap();
+            assert_eq!(r.state, SessionState::Finalized);
+            epochs = r.epochs;
+            let full = std::fs::read(store.path(id).unwrap()).unwrap();
+            std::fs::write(dir.join("s0002-cut.dprj"), &full[..full.len() - 5]).unwrap();
+            std::fs::write(dir.join("s0003-empty.dprj"), b"").unwrap();
+            std::fs::write(dir.join("s0004-mid.dprj.tmp"), b"half").unwrap();
+            daemon.shutdown();
+        }
+        // Second incarnation re-adopts on boot.
+        let store = Arc::new(crate::store::DirStore::new(&dir).unwrap());
+        let daemon = Daemon::start(DaemonConfig::default(), store.clone());
+        let orphans = daemon.adopt_orphans().unwrap();
+        assert_eq!(orphans.len(), 4, "{orphans:?}");
+        let rows = daemon.sessions();
+        assert_eq!(rows.len(), 2, "{rows:?}");
+        assert_eq!(rows[0].id, SessionId(1));
+        assert_eq!(rows[0].state, SessionState::Finalized);
+        assert_eq!(rows[0].epochs, epochs);
+        assert_eq!(rows[1].id, SessionId(2));
+        assert_eq!(rows[1].state, SessionState::Salvaged);
+        assert!(rows[1]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("re-adopted after daemon crash"));
+        let notes = daemon.orphan_notes();
+        assert_eq!(notes.len(), 2, "{notes:?}");
+        assert!(notes.iter().any(|n| n.contains("s0003-empty.dprj")));
+        assert!(notes.iter().any(|n| n.contains("s0004-mid.dprj.tmp")));
+        // Adopted paths are registered: durable() serves the old bytes,
+        // and new ids don't collide with adopted ones.
+        assert!(!store.durable(SessionId(1)).unwrap().is_empty());
+        assert_eq!(daemon.metrics().adopted, 2);
+        let fresh = daemon.submit(spec).unwrap();
+        assert!(fresh.0 >= 3, "id counter must jump past adopted ids");
+        daemon.drain();
+        daemon.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

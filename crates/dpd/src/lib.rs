@@ -62,12 +62,18 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod client;
 pub mod daemon;
 pub mod guests;
+pub mod proto;
 pub mod session;
 pub mod store;
 
 pub use admission::AdmitError;
+pub use client::{AttachOutcome, Client, ClientError};
 pub use daemon::{Daemon, DaemonConfig, DaemonMetrics};
-pub use session::{Priority, SessionId, SessionReport, SessionSpec, SessionState};
-pub use store::{CrashClock, DirStore, MemStore, SessionStore};
+pub use proto::{serve, GuestRef, Request, Response, ServerConfig, SizeRef, SubmitSpec, WireFault};
+pub use session::{
+    sessions_json, Priority, SessionError, SessionId, SessionReport, SessionSpec, SessionState,
+};
+pub use store::{CrashClock, DirStore, MemStore, Orphan, OrphanClass, SessionStore};

@@ -1,0 +1,35 @@
+//! `dpnet`: the out-of-process face of the daemon — a framed
+//! request/response protocol over a unix-domain socket.
+//!
+//! Layering, bottom to top:
+//!
+//! - [`frame`] — transport framing and handshake. Each direction opens
+//!   with `magic "DPN1" | version u32 le`; every message after that is
+//!   one frame:
+//!
+//!   ```text
+//!   frame := len u32 le | crc32 u32 le | payload[len]      (len ≤ 4 MiB)
+//!   ```
+//!
+//! - [`msg`] — the payload grammar: [`msg::Request`] / [`msg::Response`]
+//!   encoded with the `dp_support::wire` codec, plus [`msg::WireFault`],
+//!   the typed error vocabulary mirroring the in-process
+//!   `AdmitError`/`SessionError` types. Every daemon-side failure is a
+//!   `Response::Error { fault }` frame — a protocol client never sees a
+//!   silently dropped connection.
+//!
+//! - [`server`] — the accept loop: one thread per connection, a
+//!   connection cap answered with typed [`msg::WireFault::Busy`]
+//!   backpressure, and live journal-attach streaming whose chunks are
+//!   cut at salvage boundaries so a severed client always holds a
+//!   salvageable journal prefix.
+//!
+//! The client half lives in [`crate::client`].
+
+pub mod frame;
+pub mod msg;
+pub mod server;
+
+pub use frame::{FrameError, MAX_FRAME, PROTO_MAGIC, PROTO_VERSION};
+pub use msg::{GuestRef, Request, Response, SizeRef, SubmitSpec, WireFault};
+pub use server::{serve, ServerConfig};

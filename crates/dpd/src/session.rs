@@ -1,4 +1,9 @@
 //! Sessions as data: identity, priority, state machine, spec, report.
+//!
+//! The identity/state/report types carry [`Wire`](dp_support::wire::Wire)
+//! impls so the `dpnet` socket protocol can ship them verbatim — the
+//! socket path and the in-process path expose the *same* rows, and the
+//! shared [`sessions_json`] formatter renders both identically.
 
 use dp_core::{DoublePlayConfig, GuestSpec};
 use dp_os::SinkFaults;
@@ -191,8 +196,40 @@ impl SessionSpec {
     }
 }
 
+/// A typed per-session operation error — the session-level counterpart of
+/// [`AdmitError`](crate::AdmitError), mirrored verbatim onto the wire by
+/// the `dpnet` protocol so a remote client sees exactly what an
+/// in-process caller would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionError {
+    /// No session with this id exists in the registry.
+    UnknownSession(SessionId),
+    /// The session is not in a cancellable state: only queued
+    /// ([`SessionState::Admitted`]) sessions can be cancelled — a running
+    /// attempt is never killed mid-journal, and terminal rows are history.
+    NotCancellable {
+        /// The session the caller tried to cancel.
+        id: SessionId,
+        /// Its state at the time of the attempt.
+        state: SessionState,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            SessionError::NotCancellable { id, state } => {
+                write!(f, "session {id} is {state}, not cancellable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
 /// A snapshot of one session's registry row.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionReport {
     /// Daemon-assigned identity.
     pub id: SessionId,
@@ -212,8 +249,114 @@ pub struct SessionReport {
     /// Queue wait from submission to the first runner claim, in
     /// nanoseconds (the admission-latency metric).
     pub admission_wait_ns: u64,
+    /// Journal shard streams the session records (`0` = the classic
+    /// single `DPRJ` stream) — the attach path needs this to know which
+    /// store streams back the session.
+    pub journal_shards: u32,
     /// The most recent attempt's error, if any.
     pub error: Option<String>,
+}
+
+dp_support::impl_wire_newtype!(SessionId);
+dp_support::impl_wire_enum!(Priority { 0 => High, 1 => Normal, 2 => Low });
+dp_support::impl_wire_enum!(SessionState {
+    0 => Admitted,
+    1 => Recording { attempt },
+    2 => Draining,
+    3 => Finalized,
+    4 => Salvaged,
+    5 => Failed,
+});
+dp_support::impl_wire_struct!(SessionReport {
+    id,
+    name,
+    priority,
+    state,
+    attempts,
+    epochs,
+    degraded,
+    admission_wait_ns,
+    journal_shards,
+    error,
+});
+
+/// Appends `s` to `out` with JSON string escaping (quotes, backslashes,
+/// and control characters).
+fn json_escape(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl SessionReport {
+    /// This row as one JSON object — the machine-readable form behind
+    /// `dp sessions --json`, shared by the in-process and socket paths so
+    /// tooling never screen-scrapes the human table.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{{\"id\":{},\"label\":\"{}\",\"name\":\"",
+            self.id.0, self.id
+        ));
+        json_escape(&mut s, &self.name);
+        s.push_str(&format!(
+            "\",\"priority\":\"{}\",\"state\":\"{}\",\"attempts\":{},\
+             \"epochs\":{},\"degraded\":{},\"admission_wait_ns\":{},\
+             \"journal_shards\":{},\"error\":",
+            self.priority,
+            self.state,
+            self.attempts,
+            self.epochs,
+            self.degraded,
+            self.admission_wait_ns,
+            self.journal_shards,
+        ));
+        match &self.error {
+            Some(e) => {
+                s.push('"');
+                json_escape(&mut s, e);
+                s.push('"');
+            }
+            None => s.push_str("null"),
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// A full session listing as one JSON document:
+/// `{"sessions":[...],"notes":[...]}`. `notes` carries operator-facing
+/// strings that are not session rows — garbage files found during boot
+/// re-adoption, for example.
+pub fn sessions_json(rows: &[SessionReport], notes: &[String]) -> String {
+    let mut s = String::from("{\"sessions\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&r.to_json());
+    }
+    s.push_str("],\"notes\":[");
+    for (i, n) in notes.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push('"');
+        json_escape(&mut s, n);
+        s.push('"');
+    }
+    s.push_str("]}");
+    s
 }
 
 #[cfg(test)]
@@ -255,5 +398,78 @@ mod tests {
         assert_eq!(spec.restart_budget, 3);
         assert!(spec.transient_sink_faults);
         assert_eq!(SessionId(7).to_string(), "s0007");
+    }
+
+    #[test]
+    fn report_round_trips_on_the_wire() {
+        use dp_support::wire::{from_bytes, to_bytes};
+        let r = SessionReport {
+            id: SessionId(42),
+            name: "we\"ird\nname".into(),
+            priority: Priority::High,
+            state: SessionState::Recording { attempt: 3 },
+            attempts: 4,
+            epochs: 17,
+            degraded: true,
+            admission_wait_ns: 12_345,
+            journal_shards: 3,
+            error: Some("torn write".into()),
+        };
+        let bytes = to_bytes(&r);
+        let back: SessionReport = from_bytes(&bytes).unwrap();
+        assert_eq!(back.id, r.id);
+        assert_eq!(back.name, r.name);
+        assert_eq!(back.priority, r.priority);
+        assert_eq!(back.state, r.state);
+        assert_eq!(back.attempts, r.attempts);
+        assert_eq!(back.epochs, r.epochs);
+        assert_eq!(back.degraded, r.degraded);
+        assert_eq!(back.admission_wait_ns, r.admission_wait_ns);
+        assert_eq!(back.journal_shards, r.journal_shards);
+        assert_eq!(back.error, r.error);
+        // Truncation at every prefix is a typed error, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(from_bytes::<SessionReport>(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn sessions_json_escapes_and_lists() {
+        let r = SessionReport {
+            id: SessionId(7),
+            name: "quo\"te".into(),
+            priority: Priority::Normal,
+            state: SessionState::Finalized,
+            attempts: 1,
+            epochs: 5,
+            degraded: false,
+            admission_wait_ns: 0,
+            journal_shards: 0,
+            error: None,
+        };
+        let doc = sessions_json(&[r], &["garbage: x.tmp".to_string()]);
+        assert!(doc.starts_with("{\"sessions\":["));
+        assert!(doc.contains("\"label\":\"s0007\""));
+        assert!(doc.contains("\"name\":\"quo\\\"te\""));
+        assert!(doc.contains("\"state\":\"finalized\""));
+        assert!(doc.contains("\"error\":null"));
+        assert!(doc.contains("\"notes\":[\"garbage: x.tmp\"]"));
+        assert_eq!(sessions_json(&[], &[]), "{\"sessions\":[],\"notes\":[]}");
+    }
+
+    #[test]
+    fn session_error_displays() {
+        assert_eq!(
+            SessionError::UnknownSession(SessionId(9)).to_string(),
+            "unknown session s0009"
+        );
+        assert_eq!(
+            SessionError::NotCancellable {
+                id: SessionId(2),
+                state: SessionState::Finalized,
+            }
+            .to_string(),
+            "session s0002 is finalized, not cancellable"
+        );
     }
 }

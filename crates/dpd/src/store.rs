@@ -16,7 +16,8 @@
 //!   `dp sessions` / `dp salvage` recover independently.
 
 use crate::session::SessionId;
-use std::collections::HashMap;
+use dp_core::JournalReader;
+use std::collections::{HashMap, HashSet};
 use std::fs::File;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
@@ -245,6 +246,74 @@ impl SessionStore for MemStore {
     }
 }
 
+/// How one orphaned journal left behind by a previous daemon incarnation
+/// classifies on re-adoption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrphanClass {
+    /// A clean, FINAL-marked journal: the session completed and nothing
+    /// was lost. Adopted as [`Finalized`](crate::SessionState::Finalized).
+    Finalized {
+        /// Epochs the journal commits.
+        epochs: u32,
+    },
+    /// The journal salvages to a committed epoch prefix but did not
+    /// finalize — the previous daemon died mid-recording. Adopted as
+    /// [`Salvaged`](crate::SessionState::Salvaged).
+    Salvageable {
+        /// Epochs in the committed prefix (possibly 0).
+        epochs: u32,
+        /// Why salvage stopped, for operator-facing reporting.
+        detail: String,
+    },
+    /// Not a recoverable journal: a zero-length file, a `.tmp` leftover
+    /// from an interrupted write, an unrecognized name, or bytes that no
+    /// salvage scan accepts. Reported, never adopted — garbage must not
+    /// wedge boot.
+    Garbage {
+        /// What disqualified the file.
+        reason: String,
+    },
+}
+
+/// One journal (or shard set) found in a [`DirStore`] directory that the
+/// current incarnation did not write — a candidate for boot re-adoption.
+#[derive(Debug)]
+pub struct Orphan {
+    /// The session id parsed from the file name; garbage entries whose
+    /// names do not parse have none.
+    pub id: Option<SessionId>,
+    /// The session name parsed from the file name (for garbage, the raw
+    /// file name).
+    pub name: String,
+    /// The backing files: a single `.dprj` as `(None, path)`, or the
+    /// `.dprs` shard set as `(Some(shard), path)` in shard order.
+    pub files: Vec<(Option<u32>, PathBuf)>,
+    /// What the salvage scan concluded.
+    pub class: OrphanClass,
+}
+
+/// Parses a journal file stem of the form `s{id:04}-{name}`.
+fn parse_stem(stem: &str) -> Option<(u64, &str)> {
+    let rest = stem.strip_prefix('s')?;
+    let dash = rest.find('-')?;
+    let (digits, name) = (&rest[..dash], &rest[dash + 1..]);
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    Some((digits.parse().ok()?, name))
+}
+
+/// Parses a shard-stream stem of the form `s{id:04}-{name}.s{shard}`.
+fn parse_shard_stem(stem: &str) -> Option<(u64, &str, u32)> {
+    let dot = stem.rfind('.')?;
+    let shard = stem[dot + 1..].strip_prefix('s')?;
+    if shard.is_empty() || !shard.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let (id, name) = parse_stem(&stem[..dot])?;
+    Some((id, name, shard.parse().ok()?))
+}
+
 /// A directory of `s{id:04}-{name}.dprj` files, one per session; sharded
 /// sessions write `s{id:04}-{name}.s{shard}.dprs` siblings instead.
 pub struct DirStore {
@@ -278,6 +347,131 @@ impl DirStore {
             .unwrap()
             .get(&(id.0, Some(shard)))
             .cloned()
+    }
+
+    /// Registers an existing journal file as `id`'s backing path (shard
+    /// `None` = the single `.dprj` stream), so
+    /// [`durable`](SessionStore::durable) /
+    /// [`durable_shard`](SessionStore::durable_shard) — and therefore the
+    /// attach path — work for sessions adopted from a previous
+    /// incarnation rather than opened by this one.
+    pub fn adopt_path(&self, id: SessionId, shard: Option<u32>, path: PathBuf) {
+        self.paths.lock().unwrap().insert((id.0, shard), path);
+    }
+
+    /// Scans the store directory for journal files this incarnation did
+    /// not write and classifies each: clean journals are
+    /// [`OrphanClass::Finalized`], crash-cut ones
+    /// [`OrphanClass::Salvageable`] (with their committed epoch count),
+    /// and everything unrecoverable — zero-length files, `.tmp` leftovers
+    /// from interrupted writes, unrecognized names, unsalvageable bytes —
+    /// is [`OrphanClass::Garbage`] with a reason, reported rather than
+    /// wedging boot. Shard sets (`.s{k}.dprs` siblings) are grouped and
+    /// classified by their cross-shard merge. Results are ordered by
+    /// session id, then name.
+    ///
+    /// # Errors
+    ///
+    /// Directory or file I/O failures.
+    pub fn scan_orphans(&self) -> io::Result<Vec<Orphan>> {
+        let own: HashSet<PathBuf> = self.paths.lock().unwrap().values().cloned().collect();
+        let garbage = |path: PathBuf, reason: String| {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.display().to_string());
+            Orphan {
+                id: None,
+                name,
+                files: vec![(None, path)],
+                class: OrphanClass::Garbage { reason },
+            }
+        };
+        let mut orphans: Vec<Orphan> = Vec::new();
+        let mut singles: Vec<(u64, String, PathBuf)> = Vec::new();
+        let mut shard_sets: HashMap<(u64, String), Vec<(u32, PathBuf)>> = HashMap::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if !entry.file_type()?.is_file() || own.contains(&path) {
+                continue;
+            }
+            let Some(fname) = path.file_name().and_then(|n| n.to_str()).map(String::from) else {
+                orphans.push(garbage(path, "non-UTF-8 file name".into()));
+                continue;
+            };
+            if fname.ends_with(".tmp") {
+                orphans.push(garbage(
+                    path,
+                    "temporary leftover from an interrupted write".into(),
+                ));
+            } else if entry.metadata()?.len() == 0 {
+                orphans.push(garbage(path, "zero-length file".into()));
+            } else if let Some(stem) = fname.strip_suffix(".dprj") {
+                match parse_stem(stem) {
+                    Some((id, name)) => singles.push((id, name.to_string(), path)),
+                    None => orphans.push(garbage(path, "unrecognized journal name".into())),
+                }
+            } else if let Some(stem) = fname.strip_suffix(".dprs") {
+                match parse_shard_stem(stem) {
+                    Some((id, name, shard)) => shard_sets
+                        .entry((id, name.to_string()))
+                        .or_default()
+                        .push((shard, path)),
+                    None => orphans.push(garbage(path, "unrecognized shard-stream name".into())),
+                }
+            } else {
+                orphans.push(garbage(path, "not a journal file".into()));
+            }
+        }
+        for (id, name, path) in singles {
+            let bytes = std::fs::read(&path)?;
+            let class = match JournalReader::salvage(&bytes) {
+                Ok(s) if s.clean => OrphanClass::Finalized {
+                    epochs: s.committed() as u32,
+                },
+                Ok(s) => OrphanClass::Salvageable {
+                    epochs: s.committed() as u32,
+                    detail: s.detail,
+                },
+                Err(e) => OrphanClass::Garbage {
+                    reason: e.to_string(),
+                },
+            };
+            orphans.push(Orphan {
+                id: Some(SessionId(id)),
+                name,
+                files: vec![(None, path)],
+                class,
+            });
+        }
+        for ((id, name), mut set) in shard_sets {
+            set.sort_by_key(|&(k, _)| k);
+            let bufs = set
+                .iter()
+                .map(|(_, p)| std::fs::read(p))
+                .collect::<io::Result<Vec<Vec<u8>>>>()?;
+            let class = match JournalReader::salvage_shards(&bufs) {
+                Ok(s) if s.clean => OrphanClass::Finalized {
+                    epochs: s.committed() as u32,
+                },
+                Ok(s) => OrphanClass::Salvageable {
+                    epochs: s.committed() as u32,
+                    detail: s.detail,
+                },
+                Err(e) => OrphanClass::Garbage {
+                    reason: e.to_string(),
+                },
+            };
+            orphans.push(Orphan {
+                id: Some(SessionId(id)),
+                name,
+                files: set.into_iter().map(|(k, p)| (Some(k), p)).collect(),
+                class,
+            });
+        }
+        orphans.sort_by(|a, b| a.id.cmp(&b.id).then_with(|| a.name.cmp(&b.name)));
+        Ok(orphans)
     }
 
     fn create(
@@ -447,6 +641,130 @@ mod tests {
             assert!(path.to_str().unwrap().ends_with(&format!(".s{k}.dprs")));
         }
         assert!(store.durable(id).is_err(), "no single-stream journal");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stem_parsers_accept_store_names_only() {
+        assert_eq!(
+            parse_stem("s0004-pfscan_2_small"),
+            Some((4, "pfscan_2_small"))
+        );
+        assert_eq!(parse_stem("s0123-x"), Some((123, "x")));
+        assert_eq!(parse_stem("0004-x"), None, "missing s prefix");
+        assert_eq!(parse_stem("s-x"), None, "no digits");
+        assert_eq!(parse_stem("s00x4-y"), None, "non-digit id");
+        assert_eq!(parse_stem("s0004"), None, "no name separator");
+        assert_eq!(
+            parse_shard_stem("s0004-job.s2"),
+            Some((4, "job", 2)),
+            "shard stems nest the plain stem"
+        );
+        assert_eq!(parse_shard_stem("s0004-job.2"), None, "missing s on shard");
+        assert_eq!(parse_shard_stem("s0004-job"), None, "no shard suffix");
+    }
+
+    #[test]
+    fn scan_classifies_orphans_and_reports_garbage() {
+        use dp_core::{record_to, DoublePlayConfig, JournalWriter};
+        let dir = std::env::temp_dir().join(format!("dpd-orphan-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // A previous incarnation: one clean journal, one truncated one.
+        let spec = crate::guests::atomic_counter(2, 300);
+        let cfg = DoublePlayConfig::new(2).epoch_cycles(600);
+        let mut w = JournalWriter::new(Vec::new()).unwrap();
+        record_to(&spec, &cfg, &mut w).unwrap();
+        let clean = w.into_inner();
+        {
+            let old = DirStore::new(&dir).unwrap();
+            let mut f = old.open(SessionId(1), "done", 0).unwrap();
+            f.write_all(&clean).unwrap();
+            let mut f = old.open(SessionId(2), "cut", 0).unwrap();
+            f.write_all(&clean[..clean.len() - 3]).unwrap();
+        }
+        // Crash leftovers that must be garbage, not wedge boot.
+        std::fs::write(dir.join("s0003-empty.dprj"), b"").unwrap();
+        std::fs::write(dir.join("s0004-half.dprj.tmp"), b"partial").unwrap();
+        std::fs::write(dir.join("notes.txt"), b"hi").unwrap();
+        std::fs::write(dir.join("weird.dprj"), b"DPRJ????").unwrap();
+
+        let store = DirStore::new(&dir).unwrap();
+        let orphans = store.scan_orphans().unwrap();
+        assert_eq!(orphans.len(), 6, "{orphans:?}");
+        let by_name = |n: &str| {
+            orphans
+                .iter()
+                .find(|o| o.name == n)
+                .unwrap_or_else(|| panic!("no orphan named {n}: {orphans:?}"))
+        };
+        let done = by_name("done");
+        assert_eq!(done.id, Some(SessionId(1)));
+        assert!(
+            matches!(done.class, OrphanClass::Finalized { epochs } if epochs >= 1),
+            "{:?}",
+            done.class
+        );
+        let cut = by_name("cut");
+        assert_eq!(cut.id, Some(SessionId(2)));
+        assert!(
+            matches!(cut.class, OrphanClass::Salvageable { .. }),
+            "{:?}",
+            cut.class
+        );
+        for n in [
+            "s0003-empty.dprj",
+            "s0004-half.dprj.tmp",
+            "notes.txt",
+            "weird.dprj",
+        ] {
+            assert!(
+                matches!(by_name(n).class, OrphanClass::Garbage { .. }),
+                "{n}: {:?}",
+                by_name(n).class
+            );
+            assert_eq!(by_name(n).id, None);
+        }
+        // Files registered by this incarnation are not orphans.
+        let mut f = store.open(SessionId(9), "mine", 0).unwrap();
+        f.write_all(&clean).unwrap();
+        drop(f);
+        assert_eq!(store.scan_orphans().unwrap().len(), 6);
+        // Adoption registers the path so durable() works.
+        store.adopt_path(SessionId(1), None, done.files[0].1.clone());
+        assert_eq!(store.durable(SessionId(1)).unwrap(), clean);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scan_groups_shard_sets() {
+        use dp_core::{record_to, DoublePlayConfig, ShardedJournalWriter};
+        let dir = std::env::temp_dir().join(format!("dpd-orphan-shards-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = crate::guests::atomic_counter(2, 300);
+        let cfg = DoublePlayConfig::new(2).epoch_cycles(600);
+        {
+            let old = DirStore::new(&dir).unwrap();
+            let sinks = (0..3u32)
+                .map(|k| old.open_shard(SessionId(5), "sharded", 0, k).unwrap())
+                .collect();
+            let mut w = ShardedJournalWriter::new(sinks, dp_core::DEFAULT_SHARD_BATCH).unwrap();
+            record_to(&spec, &cfg, &mut w).unwrap();
+        }
+        let store = DirStore::new(&dir).unwrap();
+        let orphans = store.scan_orphans().unwrap();
+        assert_eq!(orphans.len(), 1, "{orphans:?}");
+        let o = &orphans[0];
+        assert_eq!(o.id, Some(SessionId(5)));
+        assert_eq!(o.name, "sharded");
+        assert_eq!(
+            o.files.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![Some(0), Some(1), Some(2)]
+        );
+        assert!(
+            matches!(o.class, OrphanClass::Finalized { epochs } if epochs >= 1),
+            "{:?}",
+            o.class
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

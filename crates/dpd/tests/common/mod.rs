@@ -1,0 +1,82 @@
+//! Shared harness for the `dpnet` socket tests: unique socket paths (the
+//! test binary runs tests concurrently in one process), a server spun up
+//! on a background thread, and the solo-run commit-offset oracle the
+//! crash properties compare against.
+
+#![allow(dead_code)] // each test binary uses its own subset
+
+use dp_core::{record_to, JournalWriter, RecordSink, RecordingMeta};
+use dp_dpd::{Daemon, ServerConfig, SessionSpec, SessionStore};
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A socket path unique to this process and tag, in the system temp dir
+/// (unix-socket paths have a ~100-byte limit, so not under target/).
+pub fn sock_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dpnet-{}-{tag}.sock", std::process::id()))
+}
+
+/// A scratch directory unique to this process and tag.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dpnet-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Serves `daemon` on a fresh socket from a background thread, returning
+/// once the socket is accepting. Join the handle after a client sends
+/// shutdown.
+pub fn start_server<S: SessionStore + 'static>(
+    daemon: &Arc<Daemon<S>>,
+    tag: &str,
+    cfg: ServerConfig,
+) -> (PathBuf, JoinHandle<io::Result<()>>) {
+    let path = sock_path(tag);
+    let _ = std::fs::remove_file(&path);
+    let d = daemon.clone();
+    let p = path.clone();
+    let handle = std::thread::spawn(move || dp_dpd::serve(&d, &p, cfg));
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !path.exists() {
+        assert!(Instant::now() < deadline, "server never bound {path:?}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    (path, handle)
+}
+
+/// A solo run of `spec` capturing the journal bytes and each epoch's
+/// commit byte offset — the oracle for "salvages to exactly the
+/// committed prefix".
+pub fn solo_with_offsets(spec: &SessionSpec) -> (Vec<u8>, Vec<u64>) {
+    struct Tap {
+        w: JournalWriter<Vec<u8>>,
+        offsets: Vec<u64>,
+    }
+    impl RecordSink for Tap {
+        fn begin(
+            &mut self,
+            meta: &RecordingMeta,
+            initial: &dp_core::CheckpointImage,
+        ) -> io::Result<()> {
+            self.w.begin(meta, initial)
+        }
+        fn epoch(&mut self, e: &dp_core::EpochRecord) -> io::Result<()> {
+            self.w.epoch(e)?;
+            self.offsets.push(self.w.bytes_written());
+            Ok(())
+        }
+        fn finish(&mut self) -> io::Result<()> {
+            self.w.finish()
+        }
+    }
+    let mut tap = Tap {
+        w: JournalWriter::new(Vec::new()).unwrap(),
+        offsets: Vec::new(),
+    };
+    record_to(&spec.guest, &spec.config, &mut tap).unwrap();
+    (tap.w.into_inner(), tap.offsets)
+}

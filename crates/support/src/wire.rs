@@ -429,6 +429,44 @@ impl<T: Wire, const N: usize> Wire for [T; N] {
     }
 }
 
+/// An opaque byte payload with a fast-path encoding.
+///
+/// `Vec<u8>` already implements [`Wire`] through the generic `Vec<T>`
+/// impl, but that path dispatches per element — fine for small
+/// collections, wasteful for the multi-kilobyte journal chunks the
+/// `dpnet` attach stream carries. `Bytes` encodes the same way on the
+/// wire (varint length + raw bytes) but copies with one `memcpy` each
+/// direction, and decoding stays bounds-checked: the length read from
+/// the stream is validated against the remaining buffer *before* any
+/// allocation, so a corrupted length can never pre-allocate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes(pub Vec<u8>);
+
+impl Wire for Bytes {
+    fn put(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.0.len() as u64);
+        out.extend_from_slice(&self.0);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = usize::get(r)?;
+        // `take` refuses lengths past the end of the buffer, so the
+        // allocation below is always bounded by the input size.
+        Ok(Bytes(r.take(len, "byte payload")?.to_vec()))
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
 impl<T: Wire> Wire for Arc<T> {
     fn put(&self, out: &mut Vec<u8>) {
         T::put(self, out);
@@ -555,6 +593,25 @@ mod tests {
         let mut buf = Vec::new();
         put_varint(&mut buf, 1 << 60);
         assert!(from_bytes::<Vec<u8>>(&buf).is_err());
+    }
+
+    #[test]
+    fn bytes_fast_path_matches_vec_encoding_and_rejects_huge_lengths() {
+        let payload = Bytes(vec![7u8; 300]);
+        let encoded = to_bytes(&payload);
+        // Same wire layout as the generic Vec<u8> impl.
+        assert_eq!(encoded, to_bytes(&payload.0));
+        assert_eq!(from_bytes::<Bytes>(&encoded).unwrap(), payload);
+        // A length claiming far more than the buffer holds is a typed
+        // error before any allocation happens.
+        let mut lying = Vec::new();
+        put_varint(&mut lying, 1 << 60);
+        lying.extend_from_slice(b"xy");
+        assert!(from_bytes::<Bytes>(&lying).is_err());
+        // Truncation anywhere is an error, never a panic.
+        for cut in 0..encoded.len() {
+            assert!(from_bytes::<Bytes>(&encoded[..cut]).is_err());
+        }
     }
 
     #[test]

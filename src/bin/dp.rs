@@ -15,8 +15,15 @@
 //! dp inspect <FILE>
 //! dp serve [--sessions N] [--dir PATH] [--runners N] [--cores N]
 //!          [--capacity N] [--threads N] [--size S] [--seed X] [--faults]
-//!          [--journal-shards N]
+//!          [--journal-shards N] [--json]
+//! dp serve --socket PATH [--dir PATH] [--runners N] [--cores N]
+//!          [--capacity N] [--conns N]
+//! dp submit <workload> --socket PATH [--threads N] [--size S] [--epoch C]
+//!           [--seed X] [--pipelined] [--workers N] [--priority P] [--wait]
+//! dp attach <ID> --socket PATH [-o FILE]
+//! dp shutdown --socket PATH
 //! dp sessions <DIR>
+//! dp sessions --socket PATH [--json]
 //! dp list
 //! ```
 //!
@@ -44,6 +51,16 @@
 //! directory independently and merges every `.s<K>.dprs` shard set it
 //! finds — exactly what you run after killing a serve mid-flight.
 //!
+//! With `--socket PATH`, `dp serve` instead becomes a long-lived `dpnet`
+//! daemon: it re-adopts any journals a previous incarnation left in
+//! `--dir` (finalized, salvageable, or garbage — all surfaced), then
+//! accepts framed requests on a unix-domain socket until a client sends
+//! shutdown. `dp submit`, `dp attach`, `dp shutdown`, and
+//! `dp sessions --socket` are the matching clients; `dp attach` tails a
+//! session's committed journal bytes live and writes whatever prefix it
+//! received even if the daemon dies mid-stream — that prefix is always
+//! salvageable.
+//!
 //! Failures exit nonzero with a one-line `error: <command>: <detail>`
 //! message; a missing or truncated recording file is never a panic.
 
@@ -54,7 +71,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dp list\n  dp record <workload> [--threads N] [--size S] [--epoch C] [--seed X] [--pipelined] [--workers N] [--out FILE] [--journal FILE] [--journal-shards N]\n  dp salvage <JOURNAL> [-o FILE]\n  dp replay <FILE> --workload <name> [--threads N] [--size S] [--parallel N]\n  dp analyze <FILE> race --workload <name> [--threads N] [--size S] [--assert-races|--assert-clean]\n  dp analyze <FILE> triage --workload <name> [--threads N] [--size S]\n  dp analyze <FILE> inspect\n  dp analyze <FILE> diff <FILE2>\n  dp analyze <FILE> compact [--out FILE] [--workload <name>]\n  dp inspect <FILE>\n  dp serve [--sessions N] [--dir PATH] [--runners N] [--cores N] [--capacity N] [--threads N] [--size S] [--seed X] [--faults] [--journal-shards N]\n  dp sessions <DIR>"
+        "usage:\n  dp list\n  dp record <workload> [--threads N] [--size S] [--epoch C] [--seed X] [--pipelined] [--workers N] [--out FILE] [--journal FILE] [--journal-shards N]\n  dp salvage <JOURNAL> [-o FILE]\n  dp replay <FILE> --workload <name> [--threads N] [--size S] [--parallel N]\n  dp analyze <FILE> race --workload <name> [--threads N] [--size S] [--assert-races|--assert-clean]\n  dp analyze <FILE> triage --workload <name> [--threads N] [--size S]\n  dp analyze <FILE> inspect\n  dp analyze <FILE> diff <FILE2>\n  dp analyze <FILE> compact [--out FILE] [--workload <name>]\n  dp inspect <FILE>\n  dp serve [--sessions N] [--dir PATH] [--runners N] [--cores N] [--capacity N] [--threads N] [--size S] [--seed X] [--faults] [--journal-shards N] [--json]\n  dp serve --socket PATH [--dir PATH] [--runners N] [--cores N] [--capacity N] [--conns N]\n  dp submit <workload> --socket PATH [--threads N] [--size S] [--epoch C] [--seed X] [--pipelined] [--workers N] [--priority high|normal|low] [--wait]\n  dp attach <ID> --socket PATH [-o FILE]\n  dp shutdown --socket PATH\n  dp sessions <DIR> | dp sessions --socket PATH [--json]"
     );
     exit(2);
 }
@@ -122,6 +139,11 @@ struct Opts {
     cores: usize,
     capacity: usize,
     faults: bool,
+    socket: Option<String>,
+    conns: usize,
+    priority: Priority,
+    wait: bool,
+    json: bool,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -145,6 +167,11 @@ fn parse_opts(args: &[String]) -> Opts {
         cores: 4,
         capacity: 16,
         faults: false,
+        socket: None,
+        conns: 8,
+        priority: Priority::Normal,
+        wait: false,
+        json: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -169,6 +196,18 @@ fn parse_opts(args: &[String]) -> Opts {
             "--cores" => o.cores = val().parse().unwrap_or_else(|_| usage()),
             "--capacity" => o.capacity = val().parse().unwrap_or_else(|_| usage()),
             "--faults" => o.faults = true,
+            "--socket" => o.socket = Some(val()),
+            "--conns" => o.conns = val().parse().unwrap_or_else(|_| usage()),
+            "--priority" => {
+                o.priority = match val().as_str() {
+                    "high" => Priority::High,
+                    "normal" => Priority::Normal,
+                    "low" => Priority::Low,
+                    _ => usage(),
+                }
+            }
+            "--wait" => o.wait = true,
+            "--json" => o.json = true,
             _ => usage(),
         }
     }
@@ -295,11 +334,96 @@ fn cmd_analyze(argv: &[String]) {
     }
 }
 
+/// The session table both service paths print (in-process batch and
+/// socket daemon), or its JSON twin via the shared
+/// [`doubleplay::dpd::sessions_json`] formatter.
+fn print_sessions(rows: &[doubleplay::dpd::SessionReport], notes: &[String], json: bool) {
+    if json {
+        println!("{}", doubleplay::dpd::sessions_json(rows, notes));
+        return;
+    }
+    println!("  id     workload              prio    state      att  epochs  shards");
+    for row in rows {
+        println!(
+            "  {:6} {:21} {:7} {:10} {:3} {:7} {:7}",
+            row.id.to_string(),
+            row.name,
+            format!("{:?}", row.priority),
+            format!("{:?}", row.state),
+            row.attempts,
+            row.epochs,
+            row.journal_shards,
+        );
+    }
+    for note in notes {
+        println!("  note: {note}");
+    }
+}
+
+/// `dp serve --socket PATH`: run `dpd` as a long-lived `dpnet` daemon.
+/// Boot re-adopts every journal a previous incarnation left in `--dir`;
+/// the accept loop then serves framed requests until a client sends
+/// shutdown, after which in-flight sessions drain and the final table
+/// prints.
+fn cmd_serve_socket(o: &Opts, socket: &str) {
+    use doubleplay::dpd::{serve, OrphanClass, ServerConfig};
+    use std::sync::Arc;
+
+    doubleplay::core::faults::silence_injected_panics();
+    let store = Arc::new(
+        DirStore::new(&o.dir)
+            .unwrap_or_else(|e| fail("serve", format_args!("cannot create `{}`: {e}", o.dir))),
+    );
+    let daemon = Arc::new(Daemon::start(
+        DaemonConfig {
+            runners: o.runners.max(1),
+            verify_cores: o.cores,
+            queue_capacity: o.capacity.max(1),
+        },
+        store,
+    ));
+    let orphans = daemon
+        .adopt_orphans()
+        .unwrap_or_else(|e| fail("serve", format_args!("cannot scan `{}`: {e}", o.dir)));
+    for orphan in &orphans {
+        let verdict = match &orphan.class {
+            OrphanClass::Finalized { epochs } => format!("re-adopted, {epochs} epoch(s), clean"),
+            OrphanClass::Salvageable { epochs, detail } => {
+                format!("re-adopted, {epochs} epoch(s) salvaged ({detail})")
+            }
+            OrphanClass::Garbage { reason } => format!("garbage ({reason})"),
+        };
+        println!("orphan {}: {verdict}", orphan.name);
+    }
+    println!("dpd serving on {socket} (journals in {}/)", o.dir);
+    let cfg = ServerConfig {
+        max_connections: o.conns.max(1),
+        ..ServerConfig::default()
+    };
+    serve(&daemon, std::path::Path::new(socket), cfg)
+        .unwrap_or_else(|e| fail("serve", format_args!("socket `{socket}`: {e}")));
+    daemon.drain();
+    print_sessions(&daemon.sessions(), &daemon.orphan_notes(), o.json);
+    let m = daemon.metrics();
+    println!(
+        "shutdown: {} admitted ({} adopted), {} finalized, {} salvaged, {} failed, {} cancelled",
+        m.admitted, m.adopted, m.finalized, m.salvaged, m.failed, m.cancelled
+    );
+    match Arc::try_unwrap(daemon) {
+        Ok(d) => d.shutdown(),
+        Err(_) => fail("serve", "connection thread still holds the daemon"),
+    }
+}
+
 /// `dp serve`: run the `dpd` multi-session service over the mixed
 /// workload suite, one `DPRJ` journal per session in `--dir`.
 fn cmd_serve(o: &Opts) {
     use doubleplay::dpd::guests;
     use std::sync::Arc;
+
+    if let Some(socket) = &o.socket {
+        return cmd_serve_socket(o, socket);
+    }
 
     doubleplay::core::faults::silence_injected_panics();
     let store = Arc::new(
@@ -363,49 +487,183 @@ fn cmd_serve(o: &Opts) {
     daemon.drain();
     let wall = started.elapsed();
 
-    println!("  id     workload              prio    state      att  epochs  journal");
-    for row in daemon.sessions() {
-        let journal = store
-            .path(row.id)
-            .or_else(|| store.shard_path(row.id, 0))
-            .map(|p| p.display().to_string())
-            .unwrap_or_else(|| "-".to_string());
+    if o.json {
+        print_sessions(&daemon.sessions(), &daemon.orphan_notes(), true);
+    } else {
+        println!("  id     workload              prio    state      att  epochs  journal");
+        for row in daemon.sessions() {
+            let journal = store
+                .path(row.id)
+                .or_else(|| store.shard_path(row.id, 0))
+                .map(|p| p.display().to_string())
+                .unwrap_or_else(|| "-".to_string());
+            println!(
+                "  {:6} {:21} {:7} {:10} {:3} {:7}  {}",
+                row.id.to_string(),
+                row.name,
+                format!("{:?}", row.priority),
+                format!("{:?}", row.state),
+                row.attempts,
+                row.epochs,
+                journal
+            );
+        }
+    }
+    // With --json the session list is the whole (machine-readable) output.
+    if !o.json {
+        let m = daemon.metrics();
         println!(
-            "  {:6} {:21} {:7} {:10} {:3} {:7}  {}",
-            row.id.to_string(),
-            row.name,
-            format!("{:?}", row.priority),
-            format!("{:?}", row.state),
-            row.attempts,
-            row.epochs,
-            journal
+            "served {} sessions in {:.1}s: {} finalized, {} salvaged, {} failed \
+             ({} rejections shed, {} degraded runs, {} retries)",
+            m.admitted,
+            wall.as_secs_f64(),
+            m.finalized,
+            m.salvaged,
+            m.failed,
+            m.rejected,
+            m.degraded_runs,
+            m.retries
+        );
+        println!(
+            "throughput {:.1} sessions/s, {} epochs committed, admission p50 {:.2}ms p99 {:.2}ms",
+            m.admitted as f64 / wall.as_secs_f64(),
+            m.epochs_committed,
+            m.admission_p50_ns as f64 / 1e6,
+            m.admission_p99_ns as f64 / 1e6
+        );
+        println!(
+            "journals in {}/ — inspect with `dp sessions {}`",
+            o.dir, o.dir
         );
     }
-    let m = daemon.metrics();
-    println!(
-        "served {} sessions in {:.1}s: {} finalized, {} salvaged, {} failed \
-         ({} rejections shed, {} degraded runs, {} retries)",
-        m.admitted,
-        wall.as_secs_f64(),
-        m.finalized,
-        m.salvaged,
-        m.failed,
-        m.rejected,
-        m.degraded_runs,
-        m.retries
-    );
-    println!(
-        "throughput {:.1} sessions/s, {} epochs committed, admission p50 {:.2}ms p99 {:.2}ms",
-        m.admitted as f64 / wall.as_secs_f64(),
-        m.epochs_committed,
-        m.admission_p50_ns as f64 / 1e6,
-        m.admission_p99_ns as f64 / 1e6
-    );
-    println!(
-        "journals in {}/ — inspect with `dp sessions {}`",
-        o.dir, o.dir
-    );
     daemon.shutdown();
+}
+
+/// The `--socket PATH` every client subcommand requires.
+fn required_socket<'a>(cmd: &str, o: &'a Opts) -> &'a str {
+    o.socket
+        .as_deref()
+        .unwrap_or_else(|| fail(cmd, "missing --socket PATH (the daemon's listening socket)"))
+}
+
+/// Connects to a serving daemon, turning every failure into a one-line
+/// structured error.
+fn connect(cmd: &str, socket: &str) -> doubleplay::dpd::Client {
+    doubleplay::dpd::Client::connect(socket)
+        .unwrap_or_else(|e| fail(cmd, format_args!("cannot connect to `{socket}`: {e}")))
+}
+
+/// Accepts a session id as `s0007` (the display form) or a bare number.
+fn parse_session_id(cmd: &str, s: &str) -> doubleplay::dpd::SessionId {
+    let digits = s.strip_prefix('s').unwrap_or(s);
+    digits
+        .parse()
+        .map(doubleplay::dpd::SessionId)
+        .unwrap_or_else(|_| fail(cmd, format_args!("`{s}` is not a session id (try s0001)")))
+}
+
+/// `dp submit <workload> --socket PATH`: open a recording session on a
+/// remote daemon. The guest travels by name — the daemon resolves the
+/// same workload locally, which is what keeps socket-submitted journals
+/// byte-identical to in-process ones.
+fn cmd_submit(name: &str, o: &Opts) {
+    use doubleplay::dpd::{GuestRef, SizeRef, SubmitSpec};
+
+    let socket = required_socket("submit", o);
+    validate_worker_counts(o.threads, o.workers.unwrap_or(o.threads), o.pipelined)
+        .unwrap_or_else(|e| fail("submit", e));
+    let guest = GuestRef::Workload {
+        name: name.to_string(),
+        threads: o.threads as u64,
+        size: SizeRef::from_size(o.size),
+    };
+    let mut config = DoublePlayConfig::new(o.threads)
+        .epoch_cycles(o.epoch)
+        .hidden_seed(o.seed)
+        .pipelined(o.pipelined);
+    if let Some(w) = o.workers {
+        config = config.spare_workers(w);
+    }
+    let mut spec = SubmitSpec::new(name, guest, config);
+    spec.priority = o.priority;
+    if o.journal_shards >= 2 {
+        spec.journal_shards = o.journal_shards;
+    }
+    let mut client = connect("submit", socket);
+    let id = client
+        .submit_retrying(&spec, 500)
+        .unwrap_or_else(|e| fail("submit", e));
+    println!("admitted {id}");
+    if o.wait {
+        let report = client.wait(id).unwrap_or_else(|e| fail("submit", e));
+        println!(
+            "{id}: {:?} after {} attempt(s), {} epoch(s){}",
+            report.state,
+            report.attempts,
+            report.epochs,
+            report
+                .error
+                .as_deref()
+                .map(|e| format!(" — {e}"))
+                .unwrap_or_default()
+        );
+    }
+}
+
+/// `dp attach <ID> --socket PATH`: tail a session's journal live and
+/// write the received bytes to `-o FILE` (default `<ID>.dprj`). If the
+/// daemon dies mid-stream the prefix received so far is still written —
+/// it is salvageable by construction (`dp salvage` recovers it).
+fn cmd_attach(id_arg: &str, o: &Opts) {
+    let socket = required_socket("attach", o);
+    let id = parse_session_id("attach", id_arg);
+    let out_path = o.out.clone().unwrap_or_else(|| format!("{id}.dprj"));
+    let mut client = connect("attach", socket);
+    let mut bytes = Vec::new();
+    match client.attach(id, &mut bytes) {
+        Ok(outcome) => {
+            write_atomic("attach", &out_path, &bytes);
+            println!(
+                "{id}: {:?}, {} epoch(s), {} byte(s) in {} chunk(s){} — wrote {out_path}",
+                outcome.state,
+                outcome.epochs,
+                outcome.bytes,
+                outcome.chunks,
+                if outcome.clean { "" } else { " (not clean)" },
+            );
+        }
+        Err(e) => {
+            // The severed prefix is a valid journal prefix: keep it.
+            if !bytes.is_empty() {
+                write_atomic("attach", &out_path, &bytes);
+                eprintln!(
+                    "note: kept {} byte(s) received before the failure in `{out_path}`; \
+                     recover with `dp salvage {out_path}`",
+                    bytes.len()
+                );
+            }
+            fail("attach", e);
+        }
+    }
+}
+
+/// `dp shutdown --socket PATH`: ask the daemon to stop serving. The
+/// daemon drains in-flight sessions after its accept loop exits.
+fn cmd_shutdown(o: &Opts) {
+    let socket = required_socket("shutdown", o);
+    let mut client = connect("shutdown", socket);
+    client.shutdown().unwrap_or_else(|e| fail("shutdown", e));
+    println!("daemon on {socket} shutting down");
+}
+
+/// `dp sessions --socket PATH`: the live session table (or `--json`),
+/// fetched from a serving daemon with the same formatter the in-process
+/// paths use.
+fn cmd_sessions_socket(o: &Opts) {
+    let socket = required_socket("sessions", o);
+    let mut client = connect("sessions", socket);
+    let (rows, notes) = client.sessions().unwrap_or_else(|e| fail("sessions", e));
+    print_sessions(&rows, &notes, o.json);
 }
 
 /// `dp sessions <DIR>`: salvage every `.dprj` journal in a serve
@@ -729,9 +987,22 @@ fn main() {
             }
         }
         "serve" => cmd_serve(&parse_opts(&argv[1..])),
+        "submit" => {
+            let Some(name) = argv.get(1) else { usage() };
+            cmd_submit(name, &parse_opts(&argv[2..]));
+        }
+        "attach" => {
+            let Some(id) = argv.get(1) else { usage() };
+            cmd_attach(id, &parse_opts(&argv[2..]));
+        }
+        "shutdown" => cmd_shutdown(&parse_opts(&argv[1..])),
         "sessions" => {
-            let Some(dir) = argv.get(1) else { usage() };
-            cmd_sessions(dir);
+            let Some(first) = argv.get(1) else { usage() };
+            if first.starts_with("--") {
+                cmd_sessions_socket(&parse_opts(&argv[1..]));
+            } else {
+                cmd_sessions(first);
+            }
         }
         "analyze" => cmd_analyze(&argv[1..]),
         "inspect" => {
