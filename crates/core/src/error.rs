@@ -211,6 +211,86 @@ impl From<Fault> for ReplayError {
     }
 }
 
+/// Errors raised while resuming a crashed recording run from its salvaged
+/// committed prefix. Resume re-enacts the prefix through the deterministic
+/// VM and hash-checks every epoch against the journal, so a journal that
+/// does not belong to the offered guest/config — tampered, trimmed, or
+/// simply someone else's — surfaces as a typed error here, never as a
+/// silently wrong continuation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResumeError {
+    /// Re-enacting the salvaged prefix produced an end-of-epoch state that
+    /// disagrees with the journal's identity hash for that epoch: the
+    /// journal was recorded by a different execution (tampered hashes,
+    /// wrong seed, wrong program build).
+    PrefixDiverged {
+        /// Epoch whose re-enacted state differed.
+        epoch: u32,
+        /// Hash the journal stores for the epoch.
+        expected: u64,
+        /// Hash the re-enactment produced.
+        actual: u64,
+    },
+    /// The journal carries a clean completion marker: the run already
+    /// finished and there is nothing to resume. A typed no-op, not a
+    /// failure — the salvaged recording is complete and servable as-is.
+    AlreadyFinalized {
+        /// Epochs the finalized journal holds.
+        epochs: usize,
+    },
+    /// The salvaged prefix cannot belong to the offered guest/config
+    /// pairing: mismatched program hash, initial state, or recorder
+    /// configuration, out-of-sequence epoch indices, or a journal too
+    /// damaged to salvage at all.
+    BadPrefix {
+        /// What failed to line up.
+        detail: String,
+    },
+    /// Reopening or truncating the journal for append failed.
+    Io {
+        /// The underlying I/O error, formatted.
+        detail: String,
+    },
+    /// The recorder failed while re-enacting the prefix or continuing the
+    /// run past it.
+    Record(RecordError),
+}
+
+impl fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResumeError::PrefixDiverged {
+                epoch,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "salvaged prefix diverged at epoch {epoch}: journal says {expected:#x}, \
+                 re-enactment produced {actual:#x}"
+            ),
+            ResumeError::AlreadyFinalized { epochs } => {
+                write!(
+                    f,
+                    "journal is finalized ({epochs} epochs); nothing to resume"
+                )
+            }
+            ResumeError::BadPrefix { detail } => {
+                write!(f, "salvaged prefix unusable for resume: {detail}")
+            }
+            ResumeError::Io { detail } => write!(f, "journal reopen failed: {detail}"),
+            ResumeError::Record(e) => write!(f, "recording failed during resume: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+impl From<RecordError> for ResumeError {
+    fn from(e: RecordError) -> Self {
+        ResumeError::Record(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +305,21 @@ mod tests {
             func: FuncId(0),
         });
         assert!(f.to_string().contains("guest fault"));
+    }
+
+    #[test]
+    fn resume_error_display() {
+        let e = ResumeError::PrefixDiverged {
+            epoch: 2,
+            expected: 0x10,
+            actual: 0x20,
+        };
+        assert!(e.to_string().contains("epoch 2"));
+        assert!(ResumeError::AlreadyFinalized { epochs: 7 }
+            .to_string()
+            .contains("finalized"));
+        let wrapped = ResumeError::from(RecordError::BudgetExhausted);
+        assert!(wrapped.to_string().contains("budget"));
     }
 
     #[test]

@@ -35,7 +35,7 @@
 use std::io::{self, Write};
 
 use crate::checkpoint::CheckpointImage;
-use crate::error::ReplayError;
+use crate::error::{ReplayError, ResumeError};
 use crate::recording::{EpochRecord, Recording, RecordingMeta};
 use dp_support::crc32::crc32;
 use dp_support::wire::{to_bytes, Reader, Wire};
@@ -128,6 +128,20 @@ impl<W: Write> JournalWriter<W> {
         })
     }
 
+    /// Wraps a sink already holding exactly the committed prefix of
+    /// `salvaged` — the caller has truncated the torn tail to
+    /// [`Salvaged::committed_bytes`] — and positions the writer to append
+    /// epoch `salvaged.committed()` onward. Neither the preamble nor the
+    /// header frame is rewritten: the journal continues byte-for-byte
+    /// where the crashed incarnation's durable prefix ended.
+    pub fn resume_after(sink: W, salvaged: &Salvaged) -> Self {
+        JournalWriter {
+            sink,
+            written: salvaged.committed_bytes as u64,
+            epochs: salvaged.committed() as u32,
+        }
+    }
+
     /// Total journal bytes written so far (the write-overhead metric).
     pub fn bytes_written(&self) -> u64 {
         self.written
@@ -169,6 +183,48 @@ impl<W: Write> JournalWriter<W> {
         self.sink.write_all(&crc.to_le_bytes())?;
         self.written += (FRAME_HEAD + payload.len() + FRAME_TAIL) as u64;
         Ok(())
+    }
+}
+
+impl JournalWriter<std::fs::File> {
+    /// Reopens the journal at `path` for append: salvages the committed
+    /// prefix, truncates any torn tail back to the last COMMIT frame
+    /// (truncate-then-flush — the tail is gone and synced before any new
+    /// byte is appended), and returns a writer accepting epoch `k+1`
+    /// onward plus the salvage result (whose recording is the prefix to
+    /// re-enact).
+    ///
+    /// # Errors
+    ///
+    /// [`ResumeError::AlreadyFinalized`] when the journal completed
+    /// cleanly (nothing to resume), [`ResumeError::BadPrefix`] when
+    /// nothing is salvageable, [`ResumeError::Io`] on reopen/truncate
+    /// failures.
+    pub fn resume(path: &std::path::Path) -> Result<(Self, Salvaged), ResumeError> {
+        let io_err = |e: io::Error| ResumeError::Io {
+            detail: e.to_string(),
+        };
+        let bytes = std::fs::read(path).map_err(io_err)?;
+        let salvaged = JournalReader::salvage(&bytes).map_err(|e| ResumeError::BadPrefix {
+            detail: e.to_string(),
+        })?;
+        if salvaged.clean {
+            return Err(ResumeError::AlreadyFinalized {
+                epochs: salvaged.committed(),
+            });
+        }
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(io_err)?;
+        file.set_len(salvaged.committed_bytes as u64)
+            .map_err(io_err)?;
+        file.sync_data().map_err(io_err)?;
+        let mut file = file;
+        use std::io::Seek;
+        file.seek(io::SeekFrom::End(0)).map_err(io_err)?;
+        Ok((Self::resume_after(file, &salvaged), salvaged))
     }
 }
 
@@ -233,6 +289,12 @@ pub struct Salvaged {
     pub clean: bool,
     /// Journal bytes consumed as valid frames.
     pub salvaged_bytes: usize,
+    /// Bytes up to and including the last committed epoch's COMMIT frame
+    /// (the header frame's end when no epoch committed). This is the
+    /// truncation point for append-reopen: everything past it — a torn
+    /// frame, an uncommitted epoch, even a bogus FINAL marker — is tail
+    /// to drop before the journal accepts epoch `committed()` onward.
+    pub committed_bytes: usize,
     /// Trailing bytes dropped (torn frame, uncommitted epoch, garbage).
     pub dropped_bytes: usize,
     /// Why the scan stopped, for operator-facing reporting.
@@ -325,6 +387,7 @@ impl JournalReader {
 
         let mut epochs: Vec<EpochRecord> = Vec::new();
         let mut pos = header.end;
+        let mut committed_bytes = header.end;
         let mut clean = false;
         let detail = loop {
             let Some(frame) = read_frame(buf, pos) else {
@@ -361,6 +424,7 @@ impl JournalReader {
                     };
                     epochs.push(epoch);
                     pos = commit.end;
+                    committed_bytes = pos;
                 }
                 TAG_FINAL => {
                     let ok = frame.payload.len() == 4
@@ -385,6 +449,7 @@ impl JournalReader {
             },
             clean,
             salvaged_bytes: pos,
+            committed_bytes,
             dropped_bytes: buf.len() - pos,
             detail,
         })
@@ -533,6 +598,82 @@ mod tests {
         let s = JournalReader::salvage(&buf[..cut]).unwrap();
         assert_eq!(s.committed(), 1);
         assert!(s.detail.contains("commit marker") || s.detail.contains("torn"));
+    }
+
+    #[test]
+    fn committed_bytes_tracks_the_last_commit_frame() {
+        let (buf, commits) = journal_bytes(true);
+        let s = JournalReader::salvage(&buf).unwrap();
+        // Clean journal: committed_bytes excludes the FINAL frame.
+        assert_eq!(s.committed_bytes as u64, *commits.last().unwrap());
+        assert_eq!(s.salvaged_bytes, buf.len());
+        // Cut mid-epoch: committed_bytes stays at the previous commit.
+        let cut = commits[1] as usize + 3;
+        let s = JournalReader::salvage(&buf[..cut]).unwrap();
+        assert_eq!(s.committed(), 2);
+        assert_eq!(s.committed_bytes as u64, commits[1]);
+        // No epochs at all: committed_bytes is the header frame's end,
+        // and re-salvaging exactly that prefix is stable.
+        let s = JournalReader::salvage(&buf[..commits[0] as usize - 1]).unwrap();
+        assert_eq!(s.committed(), 0);
+        let s0 = JournalReader::salvage(&buf[..s.committed_bytes]).unwrap();
+        assert_eq!(s0.committed(), 0);
+        assert_eq!(s0.committed_bytes, s.committed_bytes);
+    }
+
+    #[test]
+    fn resume_after_continues_byte_identically() {
+        let (full, commits) = journal_bytes(true);
+        let (_, _, epochs) = tiny_parts();
+        // Crash after epoch 1's commit, mid-epoch-2: salvage, truncate to
+        // the committed prefix, and append the missing tail.
+        let cut = commits[1] as usize + 7;
+        let s = JournalReader::salvage(&full[..cut]).unwrap();
+        assert_eq!(s.committed(), 2);
+        let prefix = full[..s.committed_bytes].to_vec();
+        let mut w = JournalWriter::resume_after(prefix, &s);
+        assert_eq!(w.epochs_committed(), 2);
+        assert_eq!(w.bytes_written() as usize, s.committed_bytes);
+        // Out-of-order guard still holds across the crash boundary.
+        assert!(w.epoch(&epochs[0]).is_err());
+        w.epoch(&epochs[2]).unwrap();
+        w.finish().unwrap();
+        assert_eq!(w.into_inner(), full);
+    }
+
+    #[test]
+    fn file_resume_truncates_the_torn_tail_and_appends() {
+        let (full, commits) = journal_bytes(true);
+        let (_, _, epochs) = tiny_parts();
+        let dir = std::env::temp_dir().join(format!(
+            "dprj-resume-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.dprj");
+        let cut = commits[1] as usize + 7;
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let (mut w, s) = JournalWriter::resume(&path).unwrap();
+        assert_eq!(s.committed(), 2);
+        assert_eq!(w.epochs_committed(), 2);
+        w.epoch(&epochs[2]).unwrap();
+        w.finish().unwrap();
+        drop(w);
+        assert_eq!(std::fs::read(&path).unwrap(), full);
+        // A finalized journal is a typed no-op, not an append target.
+        assert!(matches!(
+            JournalWriter::resume(&path),
+            Err(crate::error::ResumeError::AlreadyFinalized { epochs: 3 })
+        ));
+        // Garbage is a typed error, never a panic.
+        let garbage = dir.join("garbage.dprj");
+        std::fs::write(&garbage, b"not a journal").unwrap();
+        assert!(matches!(
+            JournalWriter::resume(&garbage),
+            Err(crate::error::ResumeError::BadPrefix { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -178,6 +178,59 @@ impl<W: Write + Send> ShardedJournalWriter<W> {
         Ok(this)
     }
 
+    /// Wraps shard writers already holding exactly the merged prefix of
+    /// `salvaged` — the caller has truncated stream `t` to
+    /// `salvaged.shard_keep[t]` — and positions the writer to append
+    /// epoch `salvaged.committed()` onward. No preamble or header frame
+    /// is rewritten; every stream continues byte-for-byte where its
+    /// durable prefix ended.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` when the writer count disagrees with the salvage's
+    /// shard count or any shard stream was missing from the salvage
+    /// (resume needs all of them).
+    pub fn resume(writers: Vec<W>, batch: u32, salvaged: &ShardSalvaged) -> io::Result<Self> {
+        let keeps = Self::check_resume(writers.len(), salvaged)?;
+        Ok(ShardedJournalWriter {
+            lanes: writers
+                .into_iter()
+                .map(|w| Lane::Sync { w, pending: 0 })
+                .collect(),
+            batch: batch.max(1),
+            epochs: salvaged.committed() as u32,
+            written: keeps,
+            flushes: Arc::new(AtomicU64::new(0)),
+            lane_err: Arc::new(Mutex::new(None)),
+        })
+    }
+
+    /// Validates a resume request and returns the prefix byte total.
+    fn check_resume(writers: usize, salvaged: &ShardSalvaged) -> io::Result<u64> {
+        if writers != salvaged.shard_count as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "{writers} writers for a {}-shard journal",
+                    salvaged.shard_count
+                ),
+            ));
+        }
+        let mut total = 0u64;
+        for (t, keep) in salvaged.shard_keep.iter().enumerate() {
+            match keep {
+                Some(k) => total += *k as u64,
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("shard {t} stream is missing; cannot resume"),
+                    ))
+                }
+            }
+        }
+        Ok(total)
+    }
+
     fn preamble(&mut self) -> io::Result<()> {
         let mut pre = Vec::with_capacity(8);
         pre.extend_from_slice(&SHARD_MAGIC);
@@ -333,6 +386,45 @@ impl<W: Write + Send + 'static> ShardedJournalWriter<W> {
         this.preamble()?;
         Ok(this)
     }
+
+    /// Like [`resume`](ShardedJournalWriter::resume), but with one lane
+    /// thread per shard stream (the threaded-mode counterpart).
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`resume`](ShardedJournalWriter::resume).
+    pub fn resume_threaded(
+        writers: Vec<W>,
+        batch: u32,
+        salvaged: &ShardSalvaged,
+    ) -> io::Result<Self> {
+        let keeps = Self::check_resume(writers.len(), salvaged)?;
+        let batch = batch.max(1);
+        let flushes = Arc::new(AtomicU64::new(0));
+        let lane_err = Arc::new(Mutex::new(None));
+        let lanes = writers
+            .into_iter()
+            .enumerate()
+            .map(|(shard, w)| {
+                let (tx, rx) = mpsc::channel::<LaneMsg>();
+                let flushes = Arc::clone(&flushes);
+                let lane_err = Arc::clone(&lane_err);
+                let handle = std::thread::Builder::new()
+                    .name(format!("dprs-lane-{shard}"))
+                    .spawn(move || lane_loop(w, &rx, batch, &flushes, &lane_err))
+                    .expect("spawn shard lane thread");
+                Lane::Threaded { tx, handle }
+            })
+            .collect();
+        Ok(ShardedJournalWriter {
+            lanes,
+            batch,
+            epochs: salvaged.committed() as u32,
+            written: keeps,
+            flushes,
+            lane_err,
+        })
+    }
 }
 
 /// Lane-thread body: append, count commits, group-commit flush. On error
@@ -450,6 +542,12 @@ struct ShardScan {
     header: Option<(RecordingMeta, CheckpointImage)>,
     /// Committed epochs in stream order: (global index, dep vector, record).
     epochs: Vec<(u32, Vec<u32>, EpochRecord)>,
+    /// Per committed epoch, the stream offset just past its COMMIT frame
+    /// (parallel to `epochs`) — the candidate truncation points for
+    /// append-reopen.
+    commit_ends: Vec<usize>,
+    /// Stream offset just past the shard header frame.
+    header_end: usize,
     final_count: Option<u32>,
     salvaged_bytes: usize,
     dropped_bytes: usize,
@@ -507,7 +605,9 @@ fn scan_shard(buf: &[u8]) -> Result<ShardScan, ReplayError> {
 
     let dep_len = 4usize * shards as usize;
     let mut epochs: Vec<(u32, Vec<u32>, EpochRecord)> = Vec::new();
+    let mut commit_ends: Vec<usize> = Vec::new();
     let mut final_count = None;
+    let header_end = head.end;
     let mut pos = head.end;
     while let Some(frame) = read_frame(buf, pos) {
         match frame.tag {
@@ -545,6 +645,7 @@ fn scan_shard(buf: &[u8]) -> Result<ShardScan, ReplayError> {
                     break;
                 };
                 epochs.push((index, deps, epoch));
+                commit_ends.push(commit.end);
                 pos = commit.end;
             }
             TAG_FINAL => {
@@ -564,6 +665,8 @@ fn scan_shard(buf: &[u8]) -> Result<ShardScan, ReplayError> {
         initial_hash,
         header,
         epochs,
+        commit_ends,
+        header_end,
         final_count,
         salvaged_bytes: pos,
         dropped_bytes: buf.len() - pos,
@@ -589,6 +692,13 @@ pub struct ShardSalvaged {
     /// Epochs durable in some shard but outside the consistent prefix
     /// (their dependencies died in a sibling shard).
     pub dropped_epochs: usize,
+    /// Per shard, the byte offset to truncate that stream to for
+    /// append-reopen resume: just past the COMMIT frame of the shard's
+    /// last epoch *inside the merged prefix* (the shard header's end when
+    /// the prefix assigned it no epochs). `None` for a shard whose stream
+    /// was missing or unusable — resume needs every stream, so any `None`
+    /// forbids it.
+    pub shard_keep: Vec<Option<usize>>,
     /// Why the merge stopped, for operator-facing reporting.
     pub detail: String,
 }
@@ -707,6 +817,22 @@ impl JournalReader {
         };
 
         let merged = epochs.len();
+        // Truncation points: each present shard keeps exactly the commits
+        // the merged prefix consumed from it; epochs durable beyond the
+        // prefix are tail (their siblings lost the dependencies).
+        let shard_keep: Vec<Option<usize>> = by_shard
+            .iter()
+            .enumerate()
+            .map(|(t, s)| {
+                s.as_ref().map(|s| {
+                    if taken[t] == 0 {
+                        s.header_end
+                    } else {
+                        s.commit_ends[taken[t] - 1]
+                    }
+                })
+            })
+            .collect();
         let finals: Vec<Option<u32>> = by_shard
             .iter()
             .map(|s| s.as_ref().and_then(|s| s.final_count))
@@ -731,6 +857,7 @@ impl JournalReader {
             salvaged_bytes,
             dropped_bytes,
             dropped_epochs: total_durable - merged,
+            shard_keep,
             detail,
         })
     }
@@ -911,6 +1038,70 @@ mod tests {
                     "cut shard {cut_shard} keep {keep}: durable-but-dropped count"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn resume_continues_shard_streams_byte_identically() {
+        let spec = atomic_counter_spec(4_000, 2);
+        let config = DoublePlayConfig::new(2).epoch_cycles(1_500);
+        let shards = 3u32;
+        let (full_streams, offsets) = sharded_solo(&spec, &config, shards, 2);
+        let full = JournalReader::salvage_shards(&full_streams).unwrap();
+        assert!(full.clean);
+        // Crash: tear shard 1 after one commit; siblings stay intact. The
+        // merged prefix stops at shard 1's next assigned epoch, so intact
+        // siblings carry durable-but-unusable commits past it.
+        let cut_shard = 1usize;
+        let ends: Vec<u64> = offsets
+            .iter()
+            .filter(|(s, _)| *s == cut_shard)
+            .map(|(_, o)| *o)
+            .collect();
+        let mut torn = full_streams.clone();
+        torn[cut_shard].truncate(ends[1] as usize - 1);
+        let salvaged = JournalReader::salvage_shards(&torn).unwrap();
+        assert!(!salvaged.clean);
+        let committed = salvaged.committed();
+        assert!(committed < full.committed());
+        assert!(salvaged.dropped_epochs > 0);
+        let truncate_to_keep = |salv: &ShardSalvaged| -> Vec<Vec<u8>> {
+            torn.iter()
+                .enumerate()
+                .map(|(t, s)| s[..salv.shard_keep[t].unwrap()].to_vec())
+                .collect()
+        };
+        // Sync resume: truncate each stream to its keep point, append the
+        // missing tail, finish — byte-identical to the uninterrupted run.
+        let mut w =
+            ShardedJournalWriter::resume(truncate_to_keep(&salvaged), 2, &salvaged).unwrap();
+        assert_eq!(w.epochs_committed() as usize, committed);
+        for e in &full.recording.epochs[committed..] {
+            w.epoch(e).unwrap();
+        }
+        w.finish().unwrap();
+        assert_eq!(w.into_writers().unwrap(), full_streams);
+        // Threaded resume produces the same bytes.
+        let mut w =
+            ShardedJournalWriter::resume_threaded(truncate_to_keep(&salvaged), 4, &salvaged)
+                .unwrap();
+        for e in &full.recording.epochs[committed..] {
+            w.epoch(e).unwrap();
+        }
+        w.finish().unwrap();
+        assert_eq!(w.into_writers().unwrap(), full_streams);
+        // A missing sibling stream forbids resume outright.
+        let headerless = JournalReader::salvage_shards(&[torn[0].clone()]).unwrap();
+        assert!(headerless.shard_keep.iter().any(Option::is_none));
+        match ShardedJournalWriter::resume(vec![Vec::<u8>::new(); shards as usize], 2, &headerless)
+        {
+            Ok(_) => panic!("resume with a missing stream must fail"),
+            Err(e) => assert_eq!(e.kind(), io::ErrorKind::InvalidInput),
+        }
+        // So does a writer-count mismatch.
+        match ShardedJournalWriter::resume(vec![Vec::<u8>::new()], 2, &salvaged) {
+            Ok(_) => panic!("resume with a writer-count mismatch must fail"),
+            Err(e) => assert_eq!(e.kind(), io::ErrorKind::InvalidInput),
         }
     }
 

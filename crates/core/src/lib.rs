@@ -78,13 +78,14 @@ mod world;
 
 pub use checkpoint::{Checkpoint, CheckpointImage, EpochTargets, ThreadTarget};
 pub use config::{validate_worker_counts, ConfigError, DoublePlayConfig, MAX_SPARE_WORKERS};
-pub use error::{RecordError, ReplayError, SaveError};
+pub use error::{RecordError, ReplayError, ResumeError, SaveError};
 pub use faults::FaultPlan;
 pub use journal::{JournalReader, JournalWriter, NullSink, RecordSink, Salvaged};
 pub use journal_shards::{ShardSalvaged, ShardedJournalWriter, DEFAULT_SHARD_BATCH, SHARD_MAGIC};
 pub use observe::{replay_observed, ReplayEvent, ReplayObserver};
 pub use record::coordinator::{measure_native, record, record_to, RecordingBundle};
 pub use record::epoch_parallel::Divergence;
+pub use record::resume::resume_from;
 pub use recording::{EpochRecord, Recording, RecordingMeta};
 pub use replay::{
     replay_epoch, replay_epoch_observed, replay_parallel, replay_sequential, replay_to_point,

@@ -637,12 +637,33 @@ fn record_sequential(
     sink: &mut dyn RecordSink,
 ) -> Result<RecordingBundle, RecordError> {
     let wall_start = Instant::now();
-    let (mut s, mut machine, mut kernel) = begin_session(spec, config, sink)?;
-    let mut tp = TpRunner::new(config);
-    let mut control = ControlState::new(config);
-    let mut guest_clock = 0u64;
-    let mut index = 0u32;
+    let (s, machine, kernel) = begin_session(spec, config, sink)?;
+    let tp = TpRunner::new(config);
+    let control = ControlState::new(config);
+    drive_sequential(
+        s, spec, config, sink, machine, kernel, tp, control, 0, 0, wall_start,
+    )
+}
 
+/// The lockstep driver's epoch loop, entered either fresh (epoch 0, boot
+/// state) or mid-run by [`crate::record::resume::resume_from`] with the
+/// state a re-enacted salvaged prefix left behind. Everything a run
+/// carries across epochs arrives as a parameter, so resuming at epoch `k`
+/// continues exactly as an uninterrupted run would.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn drive_sequential<'a>(
+    mut s: Session,
+    spec: &GuestSpec,
+    config: &'a DoublePlayConfig,
+    sink: &mut dyn RecordSink,
+    mut machine: Machine,
+    mut kernel: Kernel,
+    mut tp: TpRunner<'a>,
+    mut control: ControlState,
+    mut guest_clock: u64,
+    mut index: u32,
+    wall_start: Instant,
+) -> Result<RecordingBundle, RecordError> {
     loop {
         if s.commit.stats.tp_instructions > config.max_instructions || index >= MAX_EPOCHS {
             return Err(RecordError::BudgetExhausted);

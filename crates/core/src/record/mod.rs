@@ -10,17 +10,21 @@
 //! * [`pipelined`] — the real-thread driver: TP front-end speculating
 //!   ahead, verify workers on spare cores, strictly-in-order commit;
 //! * [`pipeline`] — worker-core scheduling for the simulated-time account;
-//! * [`interleave`] — the hidden nondeterminism source.
+//! * [`interleave`] — the hidden nondeterminism source;
+//! * [`resume`] — crash-resume: re-enact a salvaged committed prefix,
+//!   then re-enter the normal coordinator at the next epoch.
 
 pub mod coordinator;
 pub mod epoch_parallel;
 pub mod interleave;
 pub mod pipeline;
 pub mod pipelined;
+pub mod resume;
 pub mod thread_parallel;
 
 pub use coordinator::{measure_native, record, RecordingBundle};
 pub use epoch_parallel::{run_live, run_verify, Divergence, EpOutcome, VerifyInputs};
+pub use resume::resume_from;
 pub use thread_parallel::{TpEpochOutcome, TpRunner};
 
 /// Shared guest fixtures for the recorder's unit tests.

@@ -45,7 +45,7 @@ use crate::logs::{ScheduleLog, SyscallLog};
 use crate::record::coordinator::{
     begin_session, charge_tp_side, commit_clean, execute_verify, finish_session,
     record_serialized_epoch, retire_diverged, run_tp_epoch, targets_of, ControlState, EpochWork,
-    RecordingBundle, VerifyJobRef, VerifyVerdict, MAX_EPOCHS,
+    RecordingBundle, Session, VerifyJobRef, VerifyVerdict, MAX_EPOCHS,
 };
 use crate::record::epoch_parallel::CancelToken;
 use crate::record::thread_parallel::{TpRunner, TpSnapshot};
@@ -151,9 +151,32 @@ pub(crate) fn record_pipelined(
     sink: &mut dyn RecordSink,
 ) -> Result<RecordingBundle, RecordError> {
     let wall_start = Instant::now();
-    let (mut s, mut machine, mut kernel) = begin_session(spec, config, sink)?;
-    let mut tp = TpRunner::new(config);
-    let mut control = ControlState::new(config);
+    let (s, machine, kernel) = begin_session(spec, config, sink)?;
+    let tp = TpRunner::new(config);
+    let control = ControlState::new(config);
+    drive_pipelined(
+        s, spec, config, sink, machine, kernel, tp, control, 0, 0, wall_start,
+    )
+}
+
+/// The pipelined driver's stage loop, entered either fresh (epoch 0, boot
+/// state) or mid-run by [`crate::record::resume::resume_from`] with the
+/// state a re-enacted salvaged prefix left behind — the pipelined
+/// counterpart of [`crate::record::coordinator::drive_sequential`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn drive_pipelined<'a>(
+    mut s: Session,
+    spec: &crate::world::GuestSpec,
+    config: &'a DoublePlayConfig,
+    sink: &mut dyn RecordSink,
+    mut machine: Machine,
+    mut kernel: dp_os::kernel::Kernel,
+    mut tp: TpRunner<'a>,
+    mut control: ControlState,
+    guest_clock: u64,
+    index: u32,
+    wall_start: Instant,
+) -> Result<RecordingBundle, RecordError> {
     let workers = config.spare_workers;
     let depth = workers; // speculate at most one epoch per spare core
     let cancel = CancelToken::new();
@@ -182,11 +205,12 @@ pub(crate) fn record_pipelined(
         let mut inflight: VecDeque<Speculation> = VecDeque::new();
         // Verdicts that arrived ahead of their retirement turn.
         let mut stash: BTreeMap<u32, (u64, VerifyVerdict)> = BTreeMap::new();
-        let mut next_index = 0u32;
+        let mut next_index = index;
         // Speculative guest clock / instruction count: what the committed
-        // counters will read if everything in flight retires clean.
-        let mut spec_clock = 0u64;
-        let mut spec_instr = 0u64;
+        // counters will read if everything in flight retires clean. On a
+        // resumed run both start where the re-enacted prefix left them.
+        let mut spec_clock = guest_clock;
+        let mut spec_instr = s.commit.stats.tp_instructions;
         let mut front_halted = false;
         // A TP error is speculative until every earlier epoch retires
         // clean: a divergence below it rewinds past the error entirely.

@@ -260,6 +260,7 @@ fn main() {
             runners: o.runners,
             verify_cores: o.cores,
             queue_capacity: o.capacity,
+            ..DaemonConfig::default()
         },
         store.clone(),
     ));

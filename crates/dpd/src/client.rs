@@ -12,7 +12,7 @@ use crate::DaemonMetrics;
 use dp_support::wire::{from_bytes, to_bytes};
 use std::io;
 use std::os::unix::net::UnixStream;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// A typed client-side failure.
@@ -68,6 +68,9 @@ pub struct AttachOutcome {
 pub struct Client {
     stream: UnixStream,
     buf: Vec<u8>,
+    /// The socket path, kept so retry loops can reconnect after the
+    /// server answers typed backpressure and closes the connection.
+    path: PathBuf,
 }
 
 impl Client {
@@ -77,12 +80,14 @@ impl Client {
     ///
     /// Transport failures, or a magic/version mismatch.
     pub fn connect(path: impl AsRef<Path>) -> Result<Self, ClientError> {
-        let mut stream = UnixStream::connect(path).map_err(ClientError::Io)?;
+        let path = path.as_ref().to_path_buf();
+        let mut stream = UnixStream::connect(&path).map_err(ClientError::Io)?;
         send_hello(&mut stream).map_err(ClientError::Io)?;
         expect_hello(&mut stream)?;
         Ok(Client {
             stream,
             buf: Vec::new(),
+            path,
         })
     }
 
@@ -130,36 +135,61 @@ impl Client {
         }
     }
 
-    /// [`submit`](Client::submit) with polite back-off on
-    /// [`WireFault::Rejected`], up to `tries` attempts — the socket twin
-    /// of [`Daemon::submit_retrying`](crate::Daemon::submit_retrying).
+    /// [`submit`](Client::submit) with polite back-off on typed
+    /// backpressure, up to `tries` attempts — the socket twin of
+    /// [`Daemon::submit_retrying`](crate::Daemon::submit_retrying).
+    ///
+    /// Retries both backpressure faults: [`WireFault::Rejected`] (the
+    /// admission queue is full; the connection stays usable) and
+    /// [`WireFault::Busy`] (the accept loop refused this *connection* and
+    /// closed it — the retry reconnects first). The wait is capped
+    /// exponential with deterministic jitter derived from the spec name
+    /// and attempt number, so a thundering herd of identical clients fans
+    /// out without sharing a clock or an RNG — and a given client's retry
+    /// schedule is reproducible.
     ///
     /// # Errors
     ///
-    /// The last error once retries are exhausted; non-rejection errors
-    /// immediately.
+    /// The last backpressure error once retries are exhausted; any other
+    /// error immediately.
     pub fn submit_retrying(
         &mut self,
         spec: &SubmitSpec,
         tries: usize,
     ) -> Result<SessionId, ClientError> {
         let mut last = None;
-        for _ in 0..tries.max(1) {
+        for attempt in 0..tries.max(1) as u32 {
             match self.submit(spec) {
                 Ok(id) => return Ok(id),
-                Err(ClientError::Fault(WireFault::Rejected { retry_after_ms, .. })) => {
-                    let wait = Duration::from_millis(retry_after_ms.min(10));
-                    last = Some(ClientError::Fault(WireFault::Rejected {
-                        queued: 0,
-                        capacity: 0,
-                        retry_after_ms,
-                    }));
-                    std::thread::sleep(wait);
+                Err(
+                    e @ ClientError::Fault(WireFault::Rejected { .. } | WireFault::Busy { .. }),
+                ) => {
+                    let reconnect = matches!(e, ClientError::Fault(WireFault::Busy { .. }));
+                    last = Some(e);
+                    std::thread::sleep(backoff(&spec.name, attempt));
+                    if reconnect {
+                        *self = Client::connect(self.path.clone())?;
+                    }
                 }
                 Err(e) => return Err(e),
             }
         }
         Err(last.expect("tries >= 1"))
+    }
+
+    /// Crash-resumes a salvaged session; the socket twin of
+    /// [`Daemon::resume`](crate::Daemon::resume). Returns the epoch the
+    /// resume continues from.
+    ///
+    /// # Errors
+    ///
+    /// [`WireFault::UnknownSession`] / [`WireFault::NotResumable`] as
+    /// faults, or transport trouble.
+    pub fn resume(&mut self, id: SessionId) -> Result<u32, ClientError> {
+        match self.call(&Request::Resume { id })? {
+            Response::Resumed { from_epoch, .. } => Ok(from_epoch),
+            other => Err(unexpected("Resumed", &other)),
+        }
     }
 
     /// One session's report.
@@ -299,4 +329,39 @@ impl Client {
 
 fn unexpected(wanted: &str, got: &Response) -> ClientError {
     ClientError::Protocol(format!("expected {wanted}, got {got:?}"))
+}
+
+/// Capped exponential back-off with deterministic jitter: attempt `k`
+/// waits `1ms·2^min(k,4)` plus a jitter slice (up to half the base)
+/// hashed from the spec name and attempt number. Purely a function of
+/// its inputs — no wall clock, no global RNG — so two clients submitting
+/// *different* specs desynchronize while any one client's schedule is
+/// reproducible run to run.
+fn backoff(name: &str, attempt: u32) -> Duration {
+    let base_us = 1_000u64 << attempt.min(4);
+    let name_hash = name
+        .bytes()
+        .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)));
+    let jitter_us = dp_support::rng::mix(&[name_hash, u64::from(attempt)]) % (base_us / 2 + 1);
+    Duration::from_micros(base_us + jitter_us)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_capped_exponential_with_deterministic_jitter() {
+        for attempt in 0..8 {
+            let base = Duration::from_micros(1_000 << attempt.min(4));
+            let d = backoff("spec-a", attempt);
+            assert!(d >= base, "attempt {attempt}: {d:?} < base {base:?}");
+            assert!(d <= base + base / 2, "attempt {attempt}: {d:?} over cap");
+            assert_eq!(d, backoff("spec-a", attempt), "must be reproducible");
+        }
+        // The cap holds forever.
+        assert!(backoff("spec-a", 1_000) <= Duration::from_micros(24_000));
+        // Different specs land on different schedules (the fan-out).
+        assert_ne!(backoff("spec-a", 3), backoff("spec-b", 3));
+    }
 }

@@ -12,11 +12,11 @@
 //! panicking session is a row update, never a dead daemon.
 
 use crate::admission::AdmitError;
-use crate::session::{SessionError, SessionId, SessionReport, SessionSpec, SessionState};
+use crate::session::{Priority, SessionError, SessionId, SessionReport, SessionSpec, SessionState};
 use crate::store::{DirStore, Orphan, OrphanClass, SessionStore};
 use dp_core::{
-    record_to, DoublePlayConfig, JournalReader, JournalWriter, ShardedJournalWriter,
-    DEFAULT_SHARD_BATCH,
+    record_to, resume_from, DoublePlayConfig, GuestSpec, JournalReader, JournalWriter,
+    RecordingMeta, ShardedJournalWriter, DEFAULT_SHARD_BATCH,
 };
 use dp_os::FaultedSink;
 use std::collections::{HashMap, VecDeque};
@@ -47,6 +47,16 @@ pub struct DaemonConfig {
     /// are shed with [`AdmitError::Rejected`]. Retries of already-admitted
     /// sessions re-queue regardless — admission is the only gate.
     pub queue_capacity: usize,
+    /// Per-daemon (per-boot) crash-resume budget: at most this many
+    /// [`resume`](Daemon::resume) requests are accepted for the daemon's
+    /// lifetime, bounding the prefix re-enactment work one boot can take
+    /// on. This is deliberately *not* per-attempt: a crash-looping machine
+    /// must converge on serving fresh work, not re-replay forever.
+    pub resume_budget: u32,
+    /// Admission lane resumed sessions re-queue on. Resumes flow through
+    /// the normal claim path — they share runners and verify cores with
+    /// fresh sessions at exactly this priority, nothing more.
+    pub resume_priority: Priority,
 }
 
 impl Default for DaemonConfig {
@@ -55,6 +65,8 @@ impl Default for DaemonConfig {
             runners: 4,
             verify_cores: 8,
             queue_capacity: 64,
+            resume_budget: 16,
+            resume_priority: Priority::Normal,
         }
     }
 }
@@ -94,6 +106,14 @@ pub struct DaemonMetrics {
     /// Their terminal states are *not* folded into `finalized` /
     /// `salvaged` — those count this incarnation's own work.
     pub adopted: u64,
+    /// Crash-resume requests accepted (the session re-queued as
+    /// [`SessionState::Resuming`]). A resumed session that finalizes
+    /// counts in `finalized` like any other.
+    pub resumed: u64,
+    /// Crash-resumes that did not finalize: the salvaged prefix failed to
+    /// parse or re-enact, the store refused the append-reopen, or the
+    /// resumed run itself failed. The session row keeps the typed detail.
+    pub resume_failed: u64,
 }
 
 dp_support::impl_wire_struct!(DaemonMetrics {
@@ -109,6 +129,8 @@ dp_support::impl_wire_struct!(DaemonMetrics {
     admission_p99_ns,
     cancelled,
     adopted,
+    resumed,
+    resume_failed,
 });
 
 /// One registry row.
@@ -125,6 +147,13 @@ struct Session {
     /// Claim passes that skipped this queued session because its core
     /// demand outstripped the free pool (the starvation detector).
     bypassed: u32,
+    /// Set while a crash-resume is queued or running: the epoch the
+    /// resumed attempt continues from (= epochs in the salvaged prefix).
+    resume_from: Option<u32>,
+    /// True for rows re-adopted from a previous incarnation's store —
+    /// their spec is a placeholder until a resume reconstructs it from
+    /// the journal's metadata.
+    adopted: bool,
 }
 
 /// All daemon state behind one lock. Runners hold it only to claim and to
@@ -151,6 +180,13 @@ struct Registry {
     /// Operator-facing notes from boot re-adoption: one line per garbage
     /// file found in the store directory (surfaced by session listings).
     orphan_notes: Vec<String>,
+    /// Crash-resume requests this boot may still accept (counts down from
+    /// [`DaemonConfig::resume_budget`]).
+    resume_budget_left: u32,
+    /// Idempotency-token dedup map: token → admitted session id. A
+    /// re-submission bearing a known token is answered with the original
+    /// id instead of admitting a duplicate.
+    idempotency: HashMap<String, u64>,
     metrics: DaemonMetrics,
 }
 
@@ -169,6 +205,9 @@ struct Claim {
     lease: usize,
     degraded: bool,
     spec: SessionSpec,
+    /// `Some(from_epoch)` for a crash-resume attempt: continue the
+    /// existing journal instead of rewriting it.
+    resume_from: Option<u32>,
 }
 
 /// The multi-session recording service. See the crate docs for the
@@ -195,6 +234,8 @@ impl<S: SessionStore + 'static> Daemon<S> {
                 ewma_run_ns: 0.0,
                 admission_waits: VecDeque::new(),
                 orphan_notes: Vec::new(),
+                resume_budget_left: cfg.resume_budget,
+                idempotency: HashMap::new(),
                 metrics: DaemonMetrics::default(),
             }),
             cv: Condvar::new(),
@@ -230,6 +271,15 @@ impl<S: SessionStore + 'static> Daemon<S> {
         spec.config.validate()?;
         let mut guard = self_lock(&self.inner);
         let reg = &mut *guard;
+        // Idempotent re-submission: a client that lost its connection
+        // mid-Submit re-issues with the same token and gets the already
+        // admitted session's id back — checked before every other gate,
+        // because the original admission already paid them.
+        if !spec.idempotency.is_empty() {
+            if let Some(&id) = reg.idempotency.get(&spec.idempotency) {
+                return Ok(SessionId(id));
+            }
+        }
         if reg.draining || reg.shutdown {
             return Err(AdmitError::Draining);
         }
@@ -246,6 +296,9 @@ impl<S: SessionStore + 'static> Daemon<S> {
         let id = reg.next_id;
         reg.next_id += 1;
         let lane = spec.priority.lane();
+        if !spec.idempotency.is_empty() {
+            reg.idempotency.insert(spec.idempotency.clone(), id);
+        }
         reg.sessions.insert(
             id,
             Session {
@@ -258,6 +311,8 @@ impl<S: SessionStore + 'static> Daemon<S> {
                 admission_wait_ns: None,
                 error: None,
                 bypassed: 0,
+                resume_from: None,
+                adopted: false,
             },
         );
         reg.lanes[lane].push_back(id);
@@ -345,6 +400,123 @@ impl<S: SessionStore + 'static> Daemon<S> {
         Ok(())
     }
 
+    /// Crash-resumes a [`SessionState::Salvaged`] session: its journal's
+    /// committed prefix stays byte-for-byte in place, the recorder
+    /// re-enacts it to reconstruct the carried state, and recording
+    /// continues from the next epoch — the finished journal is
+    /// byte-identical to a run that never crashed. The session re-queues
+    /// on the [`DaemonConfig::resume_priority`] lane and runs through the
+    /// normal claim path, reported as [`SessionState::Resuming`] until it
+    /// retires. Returns the epoch the resume continues from.
+    ///
+    /// Resuming is idempotent: a second request while the resume is
+    /// queued or running (two racing clients, a reconnect) returns the
+    /// same from-epoch without re-admitting anything.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::UnknownSession`] for an id the registry has never
+    /// seen; [`SessionError::NotResumable`] when the session is not
+    /// [`SessionState::Salvaged`], the per-boot
+    /// [`DaemonConfig::resume_budget`] is spent, the durable prefix does
+    /// not salvage, or (for adopted rows) the guest cannot be
+    /// reconstructed from the journal's metadata.
+    pub fn resume(&self, id: SessionId) -> Result<u32, SessionError> {
+        let not = |detail: String| SessionError::NotResumable { id, detail };
+        // Phase 1: validate the row and snapshot what reconstruction
+        // needs, under the lock.
+        let (spec, adopted) = {
+            let reg = self_lock(&self.inner);
+            let Some(s) = reg.sessions.get(&id.0) else {
+                return Err(SessionError::UnknownSession(id));
+            };
+            match s.state {
+                SessionState::Resuming { from_epoch } => return Ok(from_epoch),
+                SessionState::Salvaged => {}
+                state => {
+                    return Err(not(format!(
+                        "state is {state}; only salvaged sessions resume"
+                    )))
+                }
+            }
+            if reg.resume_budget_left == 0 {
+                return Err(not("per-boot resume budget exhausted".into()));
+            }
+            (s.spec.clone(), s.adopted)
+        };
+        // Phase 2: read and salvage the durable prefix and, for adopted
+        // rows, rebuild the real spec from the journal's metadata — pure
+        // byte and program-builder work, outside the lock.
+        let (meta, from_epoch) = match salvage_view(&*self.inner.store, id, spec.journal_shards) {
+            Ok(v) => v,
+            Err(detail) => {
+                self_lock(&self.inner).metrics.resume_failed += 1;
+                return Err(not(detail));
+            }
+        };
+        let spec = if adopted {
+            let Some(guest) = resolve_guest(&meta) else {
+                self_lock(&self.inner).metrics.resume_failed += 1;
+                return Err(not(format!(
+                    "cannot reconstruct guest '{}' (program {:#x}) from journal metadata",
+                    meta.guest_name, meta.program_hash
+                )));
+            };
+            SessionSpec::new(spec.name, guest, meta.config).journal_shards(spec.journal_shards)
+        } else {
+            spec
+        };
+        // Phase 3: commit the transition, re-validating against a racing
+        // resume (only the winner spends budget and queues).
+        let mut guard = self_lock(&self.inner);
+        let reg = &mut *guard;
+        let s = reg
+            .sessions
+            .get_mut(&id.0)
+            .expect("registry rows are never removed");
+        match s.state {
+            SessionState::Resuming { from_epoch } => return Ok(from_epoch),
+            SessionState::Salvaged => {}
+            state => {
+                return Err(not(format!(
+                    "state is {state}; only salvaged sessions resume"
+                )))
+            }
+        }
+        if reg.resume_budget_left == 0 {
+            return Err(not("per-boot resume budget exhausted".into()));
+        }
+        reg.resume_budget_left -= 1;
+        s.spec = spec;
+        s.spec.priority = self.inner.cfg.resume_priority;
+        s.resume_from = Some(from_epoch);
+        s.state = SessionState::Resuming { from_epoch };
+        reg.lanes[self.inner.cfg.resume_priority.lane()].push_back(id.0);
+        reg.metrics.resumed += 1;
+        self.inner.cv.notify_all();
+        Ok(from_epoch)
+    }
+
+    /// Crash-resumes every re-adopted [`SessionState::Salvaged`] row (in
+    /// id order, oldest first) until the per-boot resume budget runs out —
+    /// the engine behind `dp serve --resume-adopted`. Returns each
+    /// attempted id with its [`resume`](Daemon::resume) outcome, for the
+    /// caller to print.
+    pub fn resume_adopted(&self) -> Vec<(SessionId, Result<u32, SessionError>)> {
+        let mut ids: Vec<u64> = {
+            let reg = self_lock(&self.inner);
+            reg.sessions
+                .iter()
+                .filter(|(_, s)| s.adopted && s.state == SessionState::Salvaged)
+                .map(|(&id, _)| id)
+                .collect()
+        };
+        ids.sort_unstable();
+        ids.into_iter()
+            .map(|id| (SessionId(id), self.resume(SessionId(id))))
+            .collect()
+    }
+
     /// Adopts one session recovered from a previous incarnation as a
     /// terminal registry row under its **original** id, so listings,
     /// reports, and attach see it exactly as the dead daemon's clients
@@ -387,6 +559,8 @@ impl<S: SessionStore + 'static> Daemon<S> {
                 admission_wait_ns: Some(0),
                 error,
                 bypassed: 0,
+                resume_from: None,
+                adopted: true,
             },
         );
         reg.next_id = reg.next_id.max(id.0 + 1);
@@ -491,6 +665,66 @@ impl Daemon<DirStore> {
         }
         Ok(orphans)
     }
+}
+
+/// The salvaged durable view of a session's journal as crash-resume
+/// needs it: the recording metadata plus the committed epoch count.
+/// Errors are operator-facing strings (they become the
+/// [`SessionError::NotResumable`] detail).
+fn salvage_view<S: SessionStore + ?Sized>(
+    store: &S,
+    id: SessionId,
+    shards: u32,
+) -> Result<(RecordingMeta, u32), String> {
+    if shards >= 2 {
+        let mut bufs = Vec::new();
+        for k in 0..shards {
+            bufs.push(
+                store
+                    .durable_shard(id, k)
+                    .map_err(|e| format!("store read failed (shard {k}): {e}"))?,
+            );
+        }
+        let s = JournalReader::salvage_shards(&bufs).map_err(|e| format!("salvage failed: {e}"))?;
+        if s.shard_keep.iter().any(Option::is_none) {
+            return Err("a shard stream is missing its header; cannot resume".into());
+        }
+        let epochs = s.committed() as u32;
+        Ok((s.recording.meta, epochs))
+    } else {
+        let bytes = store
+            .durable(id)
+            .map_err(|e| format!("store read failed: {e}"))?;
+        let s = JournalReader::salvage(&bytes).map_err(|e| format!("salvage failed: {e}"))?;
+        let epochs = s.committed() as u32;
+        Ok((s.recording.meta, epochs))
+    }
+}
+
+/// Reconstructs an adopted session's guest from its journal metadata:
+/// tiny service guests rebuild from their parameter-encoding names
+/// ([`crate::guests::from_name`]); workload guests rebuild by sweeping
+/// the suite's thread/size grid under the journaled name. Either way the
+/// journal's program hash must confirm the reconstruction — a name
+/// collision yields `None`, never a wrong guest (and even a hash-colliding
+/// wrong guest would still die typed in the resume's per-epoch prefix
+/// checks, not continue silently).
+fn resolve_guest(meta: &RecordingMeta) -> Option<GuestSpec> {
+    let confirm = |g: GuestSpec| (g.program_hash() == meta.program_hash).then_some(g);
+    if let Some(g) = crate::guests::from_name(&meta.guest_name) {
+        return confirm(g);
+    }
+    use dp_workloads::Size;
+    for size in [Size::Small, Size::Medium, Size::Large] {
+        for threads in 1..=8 {
+            if let Some(case) = dp_workloads::find(&meta.guest_name, threads, size) {
+                if let Some(g) = confirm(case.spec) {
+                    return Some(g);
+                }
+            }
+        }
+    }
+    None
 }
 
 /// Nearest-rank percentile of an ascending-sorted, non-empty sample:
@@ -613,7 +847,12 @@ fn make_claim(reg: &mut Registry, sid: u64, lease: usize, degraded: bool) -> Cla
         .expect("claimed session has a row");
     let attempt = s.attempts;
     s.attempts += 1;
-    s.state = SessionState::Recording { attempt };
+    // A claimed resume keeps its Resuming state so Status/Sessions report
+    // the crash-resume (and its from-epoch) for the attempt's whole life.
+    s.state = match s.resume_from {
+        Some(from_epoch) => SessionState::Resuming { from_epoch },
+        None => SessionState::Recording { attempt },
+    };
     s.degraded |= degraded;
     s.bypassed = 0;
     if s.admission_wait_ns.is_none() {
@@ -630,6 +869,7 @@ fn make_claim(reg: &mut Registry, sid: u64, lease: usize, degraded: bool) -> Cla
         lease,
         degraded,
         spec: s.spec.clone(),
+        resume_from: s.resume_from,
     }
 }
 
@@ -674,6 +914,9 @@ fn self_lock<S: SessionStore + ?Sized>(inner: &Inner<S>) -> MutexGuard<'_, Regis
 /// sink-fault plan applies to this attempt), stream the journal, contain
 /// panics. No daemon lock is held anywhere in here.
 fn run_attempt<S: SessionStore + ?Sized>(store: &S, c: &Claim) -> AttemptOutcome {
+    if c.resume_from.is_some() {
+        return run_resume_attempt(store, c);
+    }
     let started = Instant::now();
     let mut cfg = c.spec.config;
     if c.degraded {
@@ -741,6 +984,89 @@ fn run_attempt<S: SessionStore + ?Sized>(store: &S, c: &Claim) -> AttemptOutcome
     }
 }
 
+/// Executes one crash-resume attempt: salvage the durable prefix, reopen
+/// every stream truncated to it and positioned for append, re-enact the
+/// prefix, and continue recording. Unlike [`run_attempt`]'s truncating
+/// opens, nothing here ever rewrites a committed byte. No daemon lock is
+/// held anywhere in here.
+fn run_resume_attempt<S: SessionStore + ?Sized>(store: &S, c: &Claim) -> AttemptOutcome {
+    let started = Instant::now();
+    let mut cfg = c.spec.config;
+    if c.degraded {
+        cfg.pipelined = false;
+    }
+    let faulted =
+        c.spec.sink_faults.is_active() && (c.attempt == 0 || !c.spec.transient_sink_faults);
+    let wrap = |raw: Box<dyn Write + Send>| -> Box<dyn Write + Send> {
+        if faulted {
+            Box::new(FaultedSink::new(raw, c.spec.sink_faults))
+        } else {
+            raw
+        }
+    };
+    let error = (|| -> Option<String> {
+        if c.spec.journal_shards >= 2 {
+            let mut bufs = Vec::new();
+            for k in 0..c.spec.journal_shards {
+                match store.durable_shard(SessionId(c.sid), k) {
+                    Ok(b) => bufs.push(b),
+                    Err(e) => return Some(format!("store read failed (shard {k}): {e}")),
+                }
+            }
+            let s = match JournalReader::salvage_shards(&bufs) {
+                Ok(s) => s,
+                Err(e) => return Some(format!("salvage failed: {e}")),
+            };
+            let Some(keeps) = s.shard_keep.iter().copied().collect::<Option<Vec<usize>>>() else {
+                return Some("a shard stream is missing its header; cannot resume".into());
+            };
+            let mut sinks: Vec<Box<dyn Write + Send>> = Vec::new();
+            for (k, keep) in keeps.iter().enumerate() {
+                match store.open_resume_shard(SessionId(c.sid), k as u32, *keep as u64) {
+                    Ok(w) => sinks.push(wrap(w)),
+                    Err(e) => return Some(format!("store resume open failed (shard {k}): {e}")),
+                }
+            }
+            let mut journal = match ShardedJournalWriter::resume(sinks, DEFAULT_SHARD_BATCH, &s) {
+                Ok(j) => j,
+                Err(e) => return Some(format!("journal resume failed: {e}")),
+            };
+            match catch_unwind(AssertUnwindSafe(|| {
+                resume_from(&c.spec.guest, &cfg, s.recording, &mut journal)
+            })) {
+                Ok(Ok(_bundle)) => None,
+                Ok(Err(e)) => Some(e.to_string()),
+                Err(payload) => Some(format!("session panicked: {}", panic_detail(&*payload))),
+            }
+        } else {
+            let bytes = match store.durable(SessionId(c.sid)) {
+                Ok(b) => b,
+                Err(e) => return Some(format!("store read failed: {e}")),
+            };
+            let s = match JournalReader::salvage(&bytes) {
+                Ok(s) => s,
+                Err(e) => return Some(format!("salvage failed: {e}")),
+            };
+            let raw = match store.open_resume(SessionId(c.sid), s.committed_bytes as u64) {
+                Ok(w) => w,
+                Err(e) => return Some(format!("store resume open failed: {e}")),
+            };
+            let mut journal = JournalWriter::resume_after(wrap(raw), &s);
+            match catch_unwind(AssertUnwindSafe(|| {
+                resume_from(&c.spec.guest, &cfg, s.recording, &mut journal)
+            })) {
+                Ok(Ok(_bundle)) => None,
+                Ok(Err(e)) => Some(e.to_string()),
+                Err(payload) => Some(format!("session panicked: {}", panic_detail(&*payload))),
+            }
+        }
+    })();
+    AttemptOutcome {
+        error,
+        run_ns: started.elapsed().as_nanos() as u64,
+    }
+}
+
 fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
     payload
         .downcast_ref::<&str>()
@@ -756,7 +1082,11 @@ fn retire<S: SessionStore + ?Sized>(inner: &Inner<S>, c: Claim, out: AttemptOutc
     // Salvage the durable view outside the lock; it is pure byte work.
     // Both journal modes reduce to the same classification inputs: was
     // the durable view clean, and how many epochs does it commit.
-    let terminal = out.error.is_none() || c.attempt >= c.spec.restart_budget;
+    // Resumed attempts are always terminal: the prefix re-enactment is
+    // deterministic, so a failed resume would fail identically on retry —
+    // the row returns to Salvaged (re-resumable within budget) instead.
+    let terminal =
+        out.error.is_none() || c.resume_from.is_some() || c.attempt >= c.spec.restart_budget;
     let salvaged: Option<(bool, usize)> = if !terminal {
         None
     } else if c.spec.journal_shards >= 2 {
@@ -789,6 +1119,7 @@ fn retire<S: SessionStore + ?Sized>(inner: &Inner<S>, c: Claim, out: AttemptOutc
 
     let s = reg.sessions.get_mut(&c.sid).unwrap();
     s.error = out.error;
+    s.resume_from = None;
     if !terminal {
         // Contained failure with budget left: back to the lane with a
         // fresh journal. Re-queues bypass the admission capacity gate —
@@ -809,7 +1140,17 @@ fn retire<S: SessionStore + ?Sized>(inner: &Inner<S>, c: Claim, out: AttemptOutc
             SessionState::Salvaged => reg.metrics.salvaged += 1,
             _ => reg.metrics.failed += 1,
         }
-        reg.metrics.epochs_committed += epochs as u64;
+        if let Some(from_epoch) = c.resume_from {
+            // A resumed retire adds only the epochs recorded past the
+            // crash point — the salvaged prefix was already counted when
+            // the session first retired as Salvaged.
+            reg.metrics.epochs_committed += (epochs as u64).saturating_sub(u64::from(from_epoch));
+            if state != SessionState::Finalized {
+                reg.metrics.resume_failed += 1;
+            }
+        } else {
+            reg.metrics.epochs_committed += epochs as u64;
+        }
     }
     inner.cv.notify_all();
 }
@@ -911,6 +1252,7 @@ mod tests {
             runners: 1,
             verify_cores: 2,
             queue_capacity: 2,
+            ..DaemonConfig::default()
         };
         let daemon = Daemon::start(cfg, Arc::new(MemStore::new()));
         // Saturate: the single runner can hold one, the queue two more.
@@ -943,6 +1285,7 @@ mod tests {
             runners: 2,
             verify_cores: 1,
             queue_capacity: 64,
+            ..DaemonConfig::default()
         };
         let store = Arc::new(MemStore::new());
         let daemon = Daemon::start(cfg, store.clone());
@@ -1066,6 +1409,7 @@ mod tests {
                 runners: 2,
                 verify_cores: 8,
                 queue_capacity: 64,
+                ..DaemonConfig::default()
             },
             store.clone(),
         );
@@ -1183,6 +1527,7 @@ mod tests {
             runners: 2,
             verify_cores: 4,
             queue_capacity: 2048,
+            ..DaemonConfig::default()
         };
         let store = Arc::new(MemStore::new());
         let daemon = Daemon::start(cfg, store);
@@ -1281,6 +1626,7 @@ mod tests {
             runners: 1,
             verify_cores: 2,
             queue_capacity: 8,
+            ..DaemonConfig::default()
         };
         let daemon = Daemon::start(cfg, Arc::new(MemStore::new()));
         let long = daemon
@@ -1322,8 +1668,8 @@ mod tests {
 
     #[test]
     fn adopt_orphans_restores_previous_incarnation() {
-        let dir = std::env::temp_dir().join(format!("dpd-adopt-test-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let tmp = crate::testdir::TempDir::new("dpd-adopt-test");
+        let dir = tmp.path().to_path_buf();
         // First incarnation: one finalized session, then the daemon "dies"
         // leaving a truncated sibling and assorted junk.
         let spec = tiny_spec("first");
@@ -1371,7 +1717,202 @@ mod tests {
         assert!(fresh.0 >= 3, "id counter must jump past adopted ids");
         daemon.drain();
         daemon.shutdown();
-        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Submits a session whose sink tears mid-epoch on attempt 0 only
+    /// (the daemon-crash model: the bytes are gone, the device is fine),
+    /// with no restart budget, so it retires [`SessionState::Salvaged`].
+    /// Returns the id, the uninterrupted oracle bytes, and the epochs the
+    /// torn run commits.
+    fn salvage_one(daemon: &Daemon<MemStore>, name: &str) -> (SessionId, Vec<u8>, u32) {
+        let base = tiny_spec(name)
+            .restart_budget(0)
+            .transient_sink_faults(true);
+        let (solo, offsets) = solo_with_offsets(&base);
+        assert!(offsets.len() >= 2, "need multiple epochs to cut between");
+        let torn_at = (offsets[0] + offsets[1]) / 2;
+        let spec = base.sink_faults({
+            let mut f = dp_os::SinkFaults::none();
+            f.torn_at = Some(torn_at);
+            f
+        });
+        let id = daemon.submit(spec).unwrap();
+        loop {
+            let r = daemon.report(id).unwrap();
+            if r.state.is_terminal() {
+                assert_eq!(r.state, SessionState::Salvaged, "error: {:?}", r.error);
+                return (id, solo, r.epochs);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn resumed_session_finishes_byte_identical_to_uninterrupted_run() {
+        let store = Arc::new(MemStore::new());
+        let daemon = Daemon::start(DaemonConfig::default(), store.clone());
+        let (id, solo, committed) = salvage_one(&daemon, "reborn");
+        assert_eq!(committed, 1, "cut between commits 1 and 2");
+        let from = daemon.resume(id).unwrap();
+        assert_eq!(from, committed);
+        daemon.drain();
+        let r = daemon.report(id).unwrap();
+        assert_eq!(r.state, SessionState::Finalized, "error: {:?}", r.error);
+        assert_eq!(
+            store.durable(id).unwrap(),
+            solo,
+            "resumed journal must be byte-identical to an uninterrupted run"
+        );
+        let m = daemon.metrics();
+        assert_eq!(m.resumed, 1);
+        assert_eq!(m.resume_failed, 0);
+        assert_eq!(m.finalized, 1);
+        assert_eq!(m.salvaged, 1, "the pre-resume retirement still counts");
+        assert_eq!(
+            m.epochs_committed,
+            u64::from(r.epochs),
+            "resume must add only the epochs past the crash point"
+        );
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn resume_is_idempotent_while_queued() {
+        // A single runner jammed with a long session keeps the resumed
+        // session queued, so the second resume call observes Resuming.
+        let cfg = DaemonConfig {
+            runners: 1,
+            ..DaemonConfig::default()
+        };
+        let store = Arc::new(MemStore::new());
+        let daemon = Daemon::start(cfg, store);
+        let (id, _solo, committed) = salvage_one(&daemon, "twice");
+        daemon
+            .submit(SessionSpec::new(
+                "jam",
+                guests::atomic_counter(2, 20_000),
+                tiny_config(),
+            ))
+            .unwrap();
+        let first = daemon.resume(id).unwrap();
+        assert_eq!(first, committed);
+        let second = daemon.resume(id).unwrap();
+        assert_eq!(second, first, "double-resume must not re-admit");
+        assert_eq!(daemon.metrics().resumed, 1, "exactly one admission");
+        daemon.drain();
+        assert_eq!(daemon.report(id).unwrap().state, SessionState::Finalized);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn resume_refusals_are_typed_and_budget_is_per_boot() {
+        let cfg = DaemonConfig {
+            resume_budget: 1,
+            ..DaemonConfig::default()
+        };
+        let store = Arc::new(MemStore::new());
+        let daemon = Daemon::start(cfg, store);
+        assert!(matches!(
+            daemon.resume(SessionId(999)),
+            Err(SessionError::UnknownSession(_))
+        ));
+        // A finalized session is not resumable — typed, not a no-op resume.
+        let done = daemon.submit(tiny_spec("done")).unwrap();
+        let (a, _, _) = salvage_one(&daemon, "first");
+        let (b, _, _) = salvage_one(&daemon, "second");
+        loop {
+            if daemon.report(done).unwrap().state.is_terminal() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        match daemon.resume(done) {
+            Err(SessionError::NotResumable { detail, .. }) => {
+                assert!(detail.contains("only salvaged sessions resume"), "{detail}")
+            }
+            other => panic!("expected NotResumable, got {other:?}"),
+        }
+        daemon.resume(a).unwrap();
+        match daemon.resume(b) {
+            Err(SessionError::NotResumable { detail, .. }) => {
+                assert!(detail.contains("resume budget exhausted"), "{detail}")
+            }
+            other => panic!("expected budget refusal, got {other:?}"),
+        }
+        let m = daemon.metrics();
+        assert_eq!(m.resumed, 1);
+        assert_eq!(m.resume_failed, 0, "budget refusals are not failures");
+        daemon.drain();
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn resume_adopted_continues_previous_incarnation_byte_identical() {
+        let tmp = crate::testdir::TempDir::new("dpd-resume-adopt");
+        let dir = tmp.path().to_path_buf();
+        let base = tiny_spec("carryover")
+            .restart_budget(0)
+            .transient_sink_faults(true);
+        let (solo, offsets) = solo_with_offsets(&base);
+        let torn_at = (offsets[0] + offsets[1]) / 2;
+        let id;
+        {
+            // First incarnation: the session's sink tears mid-epoch (the
+            // crash model) and the daemon dies with it Salvaged on disk.
+            let store = Arc::new(crate::store::DirStore::new(&dir).unwrap());
+            let daemon = Daemon::start(DaemonConfig::default(), store);
+            let spec = base.clone().sink_faults({
+                let mut f = dp_os::SinkFaults::none();
+                f.torn_at = Some(torn_at);
+                f
+            });
+            id = daemon.submit(spec).unwrap();
+            daemon.drain();
+            assert_eq!(daemon.report(id).unwrap().state, SessionState::Salvaged);
+            daemon.shutdown();
+        }
+        // Second incarnation: re-adopt, then resume every salvaged row.
+        let store = Arc::new(crate::store::DirStore::new(&dir).unwrap());
+        let daemon = Daemon::start(DaemonConfig::default(), store.clone());
+        daemon.adopt_orphans().unwrap();
+        let outcomes = daemon.resume_adopted();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].0, id);
+        let from = outcomes[0].1.as_ref().unwrap();
+        assert_eq!(*from, 1, "resume from the one committed epoch");
+        daemon.drain();
+        let r = daemon.report(id).unwrap();
+        assert_eq!(r.state, SessionState::Finalized, "error: {:?}", r.error);
+        assert_eq!(
+            store.durable(id).unwrap(),
+            solo,
+            "cross-incarnation resume must be byte-identical to an \
+             uninterrupted run"
+        );
+        let m = daemon.metrics();
+        assert_eq!(m.adopted, 1);
+        assert_eq!(m.resumed, 1);
+        assert_eq!(m.resume_failed, 0);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn idempotency_token_deduplicates_resubmission() {
+        let daemon = Daemon::start(DaemonConfig::default(), Arc::new(MemStore::new()));
+        let a = daemon
+            .submit(tiny_spec("one").idempotency("tok-1"))
+            .unwrap();
+        let again = daemon
+            .submit(tiny_spec("one").idempotency("tok-1"))
+            .unwrap();
+        assert_eq!(a, again, "same token must return the admitted id");
+        let other = daemon
+            .submit(tiny_spec("two").idempotency("tok-2"))
+            .unwrap();
+        assert_ne!(a, other);
+        assert_eq!(daemon.metrics().admitted, 2, "dedup is not an admission");
+        daemon.drain();
+        daemon.shutdown();
     }
 
     #[test]

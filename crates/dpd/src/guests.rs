@@ -56,8 +56,28 @@ fn counter(workers: usize, iters: i64, racy: bool) -> GuestSpec {
     f.load(Reg(0), Reg(9), 0, dp_vm::Width::W8);
     f.syscall(abi::SYS_EXIT);
     f.finish();
-    let name = if racy { "tiny-racy" } else { "tiny-atomic" };
+    // The parameters ride in the guest name so a journal's metadata alone
+    // (guest name + program hash) is enough to rebuild the guest — the
+    // crash-resume path reconstructs adopted sessions this way.
+    let kind = if racy { "tiny-racy" } else { "tiny-atomic" };
+    let name = format!("{kind}-{workers}x{iters}");
     GuestSpec::new(name, Arc::new(pb.finish("main")), WorldConfig::default())
+}
+
+/// Rebuilds a tiny guest from its parameter-encoding name
+/// (`tiny-atomic-{workers}x{iters}` / `tiny-racy-{workers}x{iters}`), or
+/// `None` if the name is not a tiny guest's. Callers confirm the result
+/// against the journal's program hash.
+pub fn from_name(name: &str) -> Option<GuestSpec> {
+    let (racy, rest) = if let Some(rest) = name.strip_prefix("tiny-atomic-") {
+        (false, rest)
+    } else if let Some(rest) = name.strip_prefix("tiny-racy-") {
+        (true, rest)
+    } else {
+        return None;
+    };
+    let (workers, iters) = rest.split_once('x')?;
+    Some(counter(workers.parse().ok()?, iters.parse().ok()?, racy))
 }
 
 /// A race-free counter guest: deterministic final state, no divergences.
@@ -87,5 +107,17 @@ mod tests {
         assert_eq!(atomic.stats.divergences, 0);
         let racy = record(&racy_counter(2, 400), &cfg).unwrap();
         assert!(racy.stats.epochs >= 2);
+    }
+
+    #[test]
+    fn names_round_trip_through_from_name() {
+        for spec in [atomic_counter(2, 400), racy_counter(3, 50)] {
+            let back = from_name(&spec.name).unwrap();
+            assert_eq!(back.name, spec.name);
+            assert_eq!(back.program_hash(), spec.program_hash());
+        }
+        assert!(from_name("pfscan").is_none());
+        assert!(from_name("tiny-atomic-2").is_none());
+        assert!(from_name("tiny-atomic-ax4").is_none());
     }
 }

@@ -77,3 +77,41 @@ pub use session::{
     sessions_json, Priority, SessionError, SessionId, SessionReport, SessionSpec, SessionState,
 };
 pub use store::{CrashClock, DirStore, MemStore, Orphan, OrphanClass, SessionStore};
+
+/// Unique scratch directories for this crate's unit tests. `cargo test`
+/// runs tests in parallel threads of one process, so a pid-keyed
+/// directory name is *not* unique — two tests (or an aborted earlier run)
+/// can collide. Each [`testdir::TempDir`] gets a process-wide counter
+/// suffix and removes its tree on drop, even when the test fails.
+#[cfg(test)]
+pub(crate) mod testdir {
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+
+    /// An exclusively-owned scratch directory, removed on drop.
+    pub struct TempDir(PathBuf);
+
+    impl TempDir {
+        /// Creates `$TMPDIR/{tag}-{pid}-{n}`, empty.
+        pub fn new(tag: &str) -> Self {
+            let n = NEXT.fetch_add(1, Ordering::Relaxed);
+            let dir = std::env::temp_dir().join(format!("{tag}-{}-{n}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+
+        /// The directory path.
+        pub fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+}

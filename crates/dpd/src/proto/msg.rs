@@ -141,6 +141,11 @@ pub struct SubmitSpec {
     pub transient_sink_faults: bool,
     /// Journal shard streams (`< 2` = single `DPRJ` stream).
     pub journal_shards: u32,
+    /// Idempotency token (empty = none): a client that loses its
+    /// connection mid-Submit re-issues the same spec with the same token
+    /// and receives the already-admitted session's id instead of a
+    /// duplicate admission.
+    pub idempotency: String,
 }
 
 dp_support::impl_wire_struct!(SubmitSpec {
@@ -153,6 +158,8 @@ dp_support::impl_wire_struct!(SubmitSpec {
     sink_faults,
     transient_sink_faults,
     journal_shards,
+    // Appended last: wire structs are append-only for compatibility.
+    idempotency,
 });
 
 impl SubmitSpec {
@@ -173,7 +180,15 @@ impl SubmitSpec {
             sink_faults: SinkFaults::none(),
             transient_sink_faults: false,
             journal_shards: 0,
+            idempotency: String::new(),
         }
+    }
+
+    /// Sets the idempotency token (builder style).
+    #[must_use]
+    pub fn idempotency(mut self, token: impl Into<String>) -> Self {
+        self.idempotency = token.into();
+        self
     }
 
     /// Resolves to the in-process [`SessionSpec`] the daemon runs — the
@@ -197,6 +212,7 @@ impl SubmitSpec {
             sink_faults: self.sink_faults,
             transient_sink_faults: self.transient_sink_faults,
             journal_shards: self.journal_shards,
+            idempotency: self.idempotency.clone(),
         })
     }
 }
@@ -234,6 +250,12 @@ pub enum Request {
     Metrics,
     /// Stop accepting connections and shut the server down.
     Shutdown,
+    /// Crash-resume a salvaged session: its committed journal prefix
+    /// stays in place and recording continues from the next epoch.
+    Resume {
+        /// Which session.
+        id: SessionId,
+    },
 }
 
 dp_support::impl_wire_enum!(Request {
@@ -244,6 +266,7 @@ dp_support::impl_wire_enum!(Request {
     4 => Attach { id },
     5 => Metrics,
     6 => Shutdown,
+    7 => Resume { id },
 });
 
 /// A server response. Errors are always the typed
@@ -311,6 +334,13 @@ pub enum Response {
         /// What went wrong.
         fault: WireFault,
     },
+    /// The crash-resume was accepted and the session re-queued.
+    Resumed {
+        /// The resumed session.
+        id: SessionId,
+        /// The epoch the resume continues from (= the committed prefix).
+        from_epoch: u32,
+    },
 }
 
 dp_support::impl_wire_enum!(Response {
@@ -325,6 +355,7 @@ dp_support::impl_wire_enum!(Response {
     8 => ShuttingDown,
     9 => Error { fault },
     10 => AttachRestart,
+    11 => Resumed { id, from_epoch },
 });
 
 /// The typed fault vocabulary: every in-process error
@@ -394,6 +425,14 @@ pub enum WireFault {
         /// What happened.
         detail: String,
     },
+    /// The session cannot be crash-resumed; mirror of
+    /// [`crate::SessionError::NotResumable`].
+    NotResumable {
+        /// The session.
+        id: SessionId,
+        /// Why (wrong state, budget spent, prefix does not salvage, ...).
+        detail: String,
+    },
 }
 
 dp_support::impl_wire_enum!(WireFault {
@@ -407,6 +446,7 @@ dp_support::impl_wire_enum!(WireFault {
     7 => Malformed { detail },
     8 => Busy { active, limit },
     9 => Internal { detail },
+    10 => NotResumable { id, detail },
 });
 
 impl fmt::Display for WireFault {
@@ -435,6 +475,9 @@ impl fmt::Display for WireFault {
                 write!(f, "server busy ({active}/{limit} connections)")
             }
             WireFault::Internal { detail } => write!(f, "internal error: {detail}"),
+            WireFault::NotResumable { id, detail } => {
+                write!(f, "session {id} is not resumable: {detail}")
+            }
         }
     }
 }
@@ -467,6 +510,9 @@ impl From<crate::SessionError> for WireFault {
             crate::SessionError::UnknownSession(id) => WireFault::UnknownSession { id },
             crate::SessionError::NotCancellable { id, state } => {
                 WireFault::NotCancellable { id, state }
+            }
+            crate::SessionError::NotResumable { id, detail } => {
+                WireFault::NotResumable { id, detail }
             }
         }
     }
@@ -519,7 +565,7 @@ mod tests {
         }
         .resolve()
         .unwrap();
-        assert_eq!(spec.name, "tiny-atomic");
+        assert_eq!(spec.name, "tiny-atomic-2x50");
         assert!(GuestRef::RacyCounter {
             workers: 2,
             iters: 50
@@ -549,6 +595,7 @@ mod tests {
             Request::Attach { id: SessionId(7) },
             Request::Metrics,
             Request::Shutdown,
+            Request::Resume { id: SessionId(7) },
         ];
         for r in reqs {
             let back: Request = from_bytes(&to_bytes(&r)).unwrap();
@@ -566,6 +613,10 @@ mod tests {
                 clean: false,
             },
             Response::ShuttingDown,
+            Response::Resumed {
+                id: SessionId(2),
+                from_epoch: 3,
+            },
             Response::Error {
                 fault: WireFault::Busy {
                     active: 8,
@@ -610,6 +661,10 @@ mod tests {
             WireFault::AttachUnsupported { detail: "z".into() },
             WireFault::Malformed { detail: "m".into() },
             WireFault::Internal { detail: "i".into() },
+            WireFault::NotResumable {
+                id: SessionId(4),
+                detail: "r".into(),
+            },
         ];
         for f in all {
             let back: WireFault = from_bytes(&to_bytes(&f)).unwrap();

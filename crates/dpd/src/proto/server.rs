@@ -12,7 +12,7 @@
 use super::frame::{expect_hello, read_frame, send_hello, write_frame, FrameError};
 use super::msg::{Request, Response, WireFault};
 use crate::daemon::Daemon;
-use crate::session::SessionId;
+use crate::session::{SessionId, SessionState};
 use crate::store::SessionStore;
 use dp_core::JournalReader;
 use dp_support::wire::{from_bytes, to_bytes, Bytes};
@@ -225,6 +225,13 @@ fn handle_conn<S: SessionStore + 'static>(
                 shutdown.store(true, Ordering::SeqCst);
                 return Ok(());
             }
+            Request::Resume { id } => {
+                let resp = match daemon.resume(id) {
+                    Ok(from_epoch) => Response::Resumed { id, from_epoch },
+                    Err(e) => Response::Error { fault: e.into() },
+                };
+                send(&mut stream, &resp)?;
+            }
         }
     }
 }
@@ -276,11 +283,18 @@ fn stream_attach<S: SessionStore + 'static>(
         let avail = salv.as_ref().map_or(0, |s| s.salvaged_bytes as u64);
         // A retry rewrites the journal in place: everything streamed so
         // far belongs to a dead attempt. Tell the client to start over.
-        if seen_attempts != Some(report.attempts) || avail < offset {
+        // A crash-resume also bumps the attempt counter, but *appends*
+        // past the committed prefix instead of rewriting — the streamed
+        // bytes stay valid, so the stream continues seamlessly across
+        // the crash boundary (no restart unless bytes actually shrank).
+        let resuming = matches!(report.state, SessionState::Resuming { .. });
+        if avail < offset || (seen_attempts != Some(report.attempts) && !resuming) {
             if offset > 0 {
                 send(stream, &Response::AttachRestart)?;
                 offset = 0;
             }
+            seen_attempts = Some(report.attempts);
+        } else if resuming {
             seen_attempts = Some(report.attempts);
         }
         while offset < avail {

@@ -69,6 +69,10 @@ impl fmt::Display for Priority {
 /// `Admitted` (the session re-queues on its lane with a fresh journal);
 /// past the budget the attempt's durable bytes decide between `Salvaged`
 /// and `Failed`.
+///
+/// `Salvaged` has one non-terminal exit: a crash-resume request moves the
+/// row to `Resuming`, which re-queues it and — on success — continues the
+/// journal from its committed prefix to `Finalized`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SessionState {
     /// In the admission queue, waiting for a runner (and, for pipelined
@@ -89,6 +93,13 @@ pub enum SessionState {
     Salvaged,
     /// Nothing was salvageable (the journal header never became durable).
     Failed,
+    /// A crash-resume is queued or running: the salvaged committed prefix
+    /// (epochs `0..from_epoch`) stays in place and recording continues
+    /// from `from_epoch`, byte-identical to an uninterrupted run.
+    Resuming {
+        /// First epoch the resumed attempt will append (= epochs salvaged).
+        from_epoch: u32,
+    },
 }
 
 impl SessionState {
@@ -110,6 +121,7 @@ impl fmt::Display for SessionState {
             SessionState::Finalized => write!(f, "finalized"),
             SessionState::Salvaged => write!(f, "salvaged"),
             SessionState::Failed => write!(f, "failed"),
+            SessionState::Resuming { from_epoch } => write!(f, "resuming@{from_epoch}"),
         }
     }
 }
@@ -148,6 +160,12 @@ pub struct SessionSpec {
     /// [`SessionStore::open_shard`](crate::SessionStore::open_shard)),
     /// which salvage to the longest consistent cross-shard prefix.
     pub journal_shards: u32,
+    /// Client-chosen idempotency token (empty = none). Submitting twice
+    /// with the same non-empty token admits exactly one session: the
+    /// second submission is answered with the first one's id, so a client
+    /// that lost its connection mid-`Submit` can re-issue without
+    /// double-admitting.
+    pub idempotency: String,
 }
 
 impl SessionSpec {
@@ -162,6 +180,7 @@ impl SessionSpec {
             sink_faults: SinkFaults::none(),
             transient_sink_faults: false,
             journal_shards: 0,
+            idempotency: String::new(),
         }
     }
 
@@ -194,13 +213,20 @@ impl SessionSpec {
         self.journal_shards = n;
         self
     }
+
+    /// Sets the idempotency token (duplicate submissions with the same
+    /// token are answered with the original session's id).
+    pub fn idempotency(mut self, token: impl Into<String>) -> Self {
+        self.idempotency = token.into();
+        self
+    }
 }
 
 /// A typed per-session operation error — the session-level counterpart of
 /// [`AdmitError`](crate::AdmitError), mirrored verbatim onto the wire by
 /// the `dpnet` protocol so a remote client sees exactly what an
 /// in-process caller would.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SessionError {
     /// No session with this id exists in the registry.
     UnknownSession(SessionId),
@@ -213,6 +239,17 @@ pub enum SessionError {
         /// Its state at the time of the attempt.
         state: SessionState,
     },
+    /// The session cannot be crash-resumed: it is not
+    /// [`SessionState::Salvaged`], its guest cannot be reconstructed, its
+    /// salvaged prefix does not parse, the store cannot reopen its
+    /// journal for append, or the daemon's per-boot resume budget is
+    /// spent.
+    NotResumable {
+        /// The session the caller tried to resume.
+        id: SessionId,
+        /// Why the resume was refused.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SessionError {
@@ -221,6 +258,9 @@ impl fmt::Display for SessionError {
             SessionError::UnknownSession(id) => write!(f, "unknown session {id}"),
             SessionError::NotCancellable { id, state } => {
                 write!(f, "session {id} is {state}, not cancellable")
+            }
+            SessionError::NotResumable { id, detail } => {
+                write!(f, "session {id} is not resumable: {detail}")
             }
         }
     }
@@ -266,6 +306,7 @@ dp_support::impl_wire_enum!(SessionState {
     3 => Finalized,
     4 => Salvaged,
     5 => Failed,
+    6 => Resuming { from_epoch },
 });
 dp_support::impl_wire_struct!(SessionReport {
     id,
@@ -371,9 +412,14 @@ mod tests {
         assert!(!SessionState::Admitted.is_terminal());
         assert!(!SessionState::Recording { attempt: 2 }.is_terminal());
         assert!(!SessionState::Draining.is_terminal());
+        assert!(!SessionState::Resuming { from_epoch: 4 }.is_terminal());
         assert_eq!(
             SessionState::Recording { attempt: 2 }.to_string(),
             "recording#2"
+        );
+        assert_eq!(
+            SessionState::Resuming { from_epoch: 4 }.to_string(),
+            "resuming@4"
         );
     }
 
@@ -470,6 +516,14 @@ mod tests {
             }
             .to_string(),
             "session s0002 is finalized, not cancellable"
+        );
+        assert_eq!(
+            SessionError::NotResumable {
+                id: SessionId(3),
+                detail: "resume budget exhausted".into(),
+            }
+            .to_string(),
+            "session s0003 is not resumable: resume budget exhausted"
         );
     }
 }

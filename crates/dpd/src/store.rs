@@ -82,6 +82,46 @@ pub trait SessionStore: Send + Sync {
             "store does not support sharded journals",
         ))
     }
+
+    /// Reopens `id`'s journal for crash-resume: truncates the stored
+    /// stream to its `keep`-byte salvaged prefix (dropping the torn tail)
+    /// and returns a writer positioned to **append** after it — unlike
+    /// [`open`](SessionStore::open), the prefix is preserved, not
+    /// rewritten. The default refuses, so stores predating resume keep
+    /// working (resume just reports the store can't).
+    ///
+    /// # Errors
+    ///
+    /// `Unsupported` by default; unknown session or store I/O failures
+    /// otherwise.
+    fn open_resume(&self, id: SessionId, keep: u64) -> io::Result<Box<dyn Write + Send>> {
+        let _ = (id, keep);
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "store does not support crash-resume",
+        ))
+    }
+
+    /// The sharded counterpart of [`open_resume`](SessionStore::open_resume):
+    /// truncates one shard stream to its `keep`-byte consistent prefix
+    /// and returns an appending writer.
+    ///
+    /// # Errors
+    ///
+    /// `Unsupported` by default; unknown session or store I/O failures
+    /// otherwise.
+    fn open_resume_shard(
+        &self,
+        id: SessionId,
+        shard: u32,
+        keep: u64,
+    ) -> io::Result<Box<dyn Write + Send>> {
+        let _ = (id, shard, keep);
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "store does not support crash-resume",
+        ))
+    }
 }
 
 /// A daemon-wide crash instant, measured on a global byte clock.
@@ -192,6 +232,34 @@ impl MemStore {
     pub fn live(&self, id: SessionId) -> Vec<u8> {
         self.buf(id, 0).lock().unwrap().bytes.clone()
     }
+
+    /// Seeds a `(session, shard)` stream with fully-durable `bytes` —
+    /// models a daemon reboot: the new incarnation's store starts from
+    /// whatever the dead one left durable. Shard `0` doubles as the
+    /// single-stream journal.
+    pub fn seed(&self, id: SessionId, shard: u32, bytes: Vec<u8>) {
+        let buf = self.buf(id, shard);
+        let mut b = buf.lock().unwrap();
+        b.durable = bytes.len();
+        b.bytes = bytes;
+    }
+
+    fn open_resume_buf(&self, id: SessionId, shard: u32, keep: u64) -> Box<dyn Write + Send> {
+        let buf = self.buf(id, shard);
+        {
+            let mut b = buf.lock().unwrap();
+            // Keep the salvaged prefix, drop the torn tail. The surviving
+            // prefix is durable by definition — it was salvaged from the
+            // device — so the appended continuation extends from there.
+            b.bytes.truncate(keep as usize);
+            let len = b.bytes.len();
+            b.durable = b.durable.min(len);
+        }
+        Box::new(MemWriter {
+            buf,
+            clock: self.clock.clone(),
+        })
+    }
 }
 
 struct MemWriter {
@@ -243,6 +311,19 @@ impl SessionStore for MemStore {
         let buf = self.buf(id, shard);
         let b = buf.lock().unwrap();
         Ok(b.bytes[..b.durable].to_vec())
+    }
+
+    fn open_resume(&self, id: SessionId, keep: u64) -> io::Result<Box<dyn Write + Send>> {
+        Ok(self.open_resume_buf(id, 0, keep))
+    }
+
+    fn open_resume_shard(
+        &self,
+        id: SessionId,
+        shard: u32,
+        keep: u64,
+    ) -> io::Result<Box<dyn Write + Send>> {
+        Ok(self.open_resume_buf(id, shard, keep))
     }
 }
 
@@ -496,6 +577,31 @@ impl DirStore {
         Ok(Box::new(file))
     }
 
+    fn reopen_truncated(
+        &self,
+        id: SessionId,
+        shard: Option<u32>,
+        keep: u64,
+    ) -> io::Result<Box<dyn Write + Send>> {
+        let path = self
+            .paths
+            .lock()
+            .unwrap()
+            .get(&(id.0, shard))
+            .cloned()
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::NotFound, format!("no journal for {id}"))
+            })?;
+        let mut file = std::fs::OpenOptions::new().write(true).open(&path)?;
+        // Make the truncation to the salvaged prefix durable before any
+        // continuation byte can land after it — a crash between the two
+        // must leave the prefix, never prefix + stale tail + new tail.
+        file.set_len(keep)?;
+        file.sync_data()?;
+        io::Seek::seek(&mut file, io::SeekFrom::End(0))?;
+        Ok(Box::new(file))
+    }
+
     fn read_back(&self, id: SessionId, shard: Option<u32>) -> io::Result<Vec<u8>> {
         let path = self
             .paths
@@ -531,6 +637,19 @@ impl SessionStore for DirStore {
 
     fn durable_shard(&self, id: SessionId, shard: u32) -> io::Result<Vec<u8>> {
         self.read_back(id, Some(shard))
+    }
+
+    fn open_resume(&self, id: SessionId, keep: u64) -> io::Result<Box<dyn Write + Send>> {
+        self.reopen_truncated(id, None, keep)
+    }
+
+    fn open_resume_shard(
+        &self,
+        id: SessionId,
+        shard: u32,
+        keep: u64,
+    ) -> io::Result<Box<dyn Write + Send>> {
+        self.reopen_truncated(id, Some(shard), keep)
     }
 }
 
@@ -625,8 +744,8 @@ mod tests {
 
     #[test]
     fn dir_store_writes_shard_siblings() {
-        let dir = std::env::temp_dir().join(format!("dpd-shard-test-{}", std::process::id()));
-        let store = DirStore::new(&dir).unwrap();
+        let tmp = crate::testdir::TempDir::new("dpd-shard-test");
+        let store = DirStore::new(tmp.path()).unwrap();
         let id = SessionId(5);
         for k in 0..3u32 {
             let mut w = store.open_shard(id, "job", 0, k).unwrap();
@@ -641,7 +760,6 @@ mod tests {
             assert!(path.to_str().unwrap().ends_with(&format!(".s{k}.dprs")));
         }
         assert!(store.durable(id).is_err(), "no single-stream journal");
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -667,8 +785,8 @@ mod tests {
     #[test]
     fn scan_classifies_orphans_and_reports_garbage() {
         use dp_core::{record_to, DoublePlayConfig, JournalWriter};
-        let dir = std::env::temp_dir().join(format!("dpd-orphan-test-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let tmp = crate::testdir::TempDir::new("dpd-orphan-test");
+        let dir = tmp.path().to_path_buf();
         // A previous incarnation: one clean journal, one truncated one.
         let spec = crate::guests::atomic_counter(2, 300);
         let cfg = DoublePlayConfig::new(2).epoch_cycles(600);
@@ -732,14 +850,13 @@ mod tests {
         // Adoption registers the path so durable() works.
         store.adopt_path(SessionId(1), None, done.files[0].1.clone());
         assert_eq!(store.durable(SessionId(1)).unwrap(), clean);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn scan_groups_shard_sets() {
         use dp_core::{record_to, DoublePlayConfig, ShardedJournalWriter};
-        let dir = std::env::temp_dir().join(format!("dpd-orphan-shards-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let tmp = crate::testdir::TempDir::new("dpd-orphan-shards");
+        let dir = tmp.path().to_path_buf();
         let spec = crate::guests::atomic_counter(2, 300);
         let cfg = DoublePlayConfig::new(2).epoch_cycles(600);
         {
@@ -765,13 +882,12 @@ mod tests {
             "{:?}",
             o.class
         );
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn dir_store_round_trips_and_sanitizes() {
-        let dir = std::env::temp_dir().join(format!("dpd-store-test-{}", std::process::id()));
-        let store = DirStore::new(&dir).unwrap();
+        let tmp = crate::testdir::TempDir::new("dpd-store-test");
+        let store = DirStore::new(tmp.path()).unwrap();
         let id = SessionId(3);
         let mut w = store.open(id, "we/ird name", 0).unwrap();
         w.write_all(b"journal").unwrap();
@@ -785,6 +901,63 @@ mod tests {
             .unwrap()
             .contains("we_ird_name"));
         assert!(store.durable(SessionId(99)).is_err());
-        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn default_resume_methods_refuse() {
+        struct Plain;
+        impl SessionStore for Plain {
+            fn open(
+                &self,
+                _id: SessionId,
+                _name: &str,
+                _attempt: u32,
+            ) -> io::Result<Box<dyn Write + Send>> {
+                Ok(Box::new(Vec::new()))
+            }
+            fn durable(&self, _id: SessionId) -> io::Result<Vec<u8>> {
+                Ok(Vec::new())
+            }
+        }
+        let Err(err) = Plain.open_resume(SessionId(1), 4) else {
+            panic!("default open_resume must refuse")
+        };
+        assert_eq!(err.kind(), io::ErrorKind::Unsupported);
+        let Err(err) = Plain.open_resume_shard(SessionId(1), 0, 4) else {
+            panic!("default open_resume_shard must refuse")
+        };
+        assert_eq!(err.kind(), io::ErrorKind::Unsupported);
+    }
+
+    #[test]
+    fn mem_store_resume_appends_after_the_kept_prefix() {
+        let store = MemStore::new();
+        let id = SessionId(4);
+        store.seed(id, 0, b"prefix+torn".to_vec());
+        let mut w = store.open_resume(id, 6).unwrap();
+        w.write_all(b"-more").unwrap();
+        drop(w);
+        assert_eq!(store.durable(id).unwrap(), b"prefix-more");
+        // Shard streams truncate and append independently.
+        store.seed(id, 1, b"abcdef".to_vec());
+        let mut w = store.open_resume_shard(id, 1, 3).unwrap();
+        w.write_all(b"XY").unwrap();
+        drop(w);
+        assert_eq!(store.durable_shard(id, 1).unwrap(), b"abcXY");
+    }
+
+    #[test]
+    fn dir_store_resume_truncates_then_appends() {
+        let tmp = crate::testdir::TempDir::new("dpd-resume-test");
+        let store = DirStore::new(tmp.path()).unwrap();
+        let id = SessionId(8);
+        let mut w = store.open(id, "r", 0).unwrap();
+        w.write_all(b"prefix+torn-tail").unwrap();
+        drop(w);
+        let mut w = store.open_resume(id, 6).unwrap();
+        w.write_all(b"-more").unwrap();
+        drop(w);
+        assert_eq!(store.durable(id).unwrap(), b"prefix-more");
+        assert!(store.open_resume(SessionId(99), 0).is_err());
     }
 }

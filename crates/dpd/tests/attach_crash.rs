@@ -52,6 +52,7 @@ fn severed_attach_stream_salvages_to_exactly_the_committed_epochs() {
             runners: 1,
             verify_cores: 2,
             queue_capacity: 8,
+            ..DaemonConfig::default()
         },
         Arc::new(MemStore::new()),
     ));

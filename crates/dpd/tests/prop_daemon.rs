@@ -104,6 +104,7 @@ fn daemon_wide_crash_leaves_every_journal_salvageable_to_its_commits() {
                     runners: 3,
                     verify_cores: 4,
                     queue_capacity: 64,
+                    ..DaemonConfig::default()
                 },
                 store.clone(),
             );

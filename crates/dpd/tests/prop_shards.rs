@@ -159,6 +159,7 @@ fn daemon_wide_crash_salvages_every_shard_set_to_its_consistent_prefix() {
                     runners: 3,
                     verify_cores: 4,
                     queue_capacity: 64,
+                    ..DaemonConfig::default()
                 },
                 store.clone(),
             );

@@ -25,6 +25,7 @@ fn start_default(tag: &str) -> (Arc<Daemon<MemStore>>, std::path::PathBuf) {
             runners: 2,
             verify_cores: 4,
             queue_capacity: 64,
+            ..DaemonConfig::default()
         },
         Arc::new(MemStore::new()),
     ));
@@ -298,6 +299,7 @@ fn cancel_over_the_socket_dequeues_a_queued_session() {
             runners: 1,
             verify_cores: 2,
             queue_capacity: 16,
+            ..DaemonConfig::default()
         },
         Arc::new(MemStore::new()),
     ));
@@ -324,6 +326,123 @@ fn cancel_over_the_socket_dequeues_a_queued_session() {
     let metrics = client.metrics().unwrap();
     assert_eq!(metrics.cancelled, 1);
     client.wait(jam).unwrap();
+    client.shutdown().unwrap();
+}
+
+#[test]
+fn resume_over_the_socket_continues_crashed_session_byte_identical() {
+    // One runner so the resume stays queued while we probe status,
+    // idempotency, and the attach stream across the crash boundary.
+    let daemon = Arc::new(Daemon::start(
+        DaemonConfig {
+            runners: 1,
+            ..DaemonConfig::default()
+        },
+        Arc::new(MemStore::new()),
+    ));
+    let (path, _handle) = start_server(&daemon, "resume", ServerConfig::default());
+    let mut client = Client::connect(&path).unwrap();
+    let base = SubmitSpec::new(
+        "reborn",
+        GuestRef::AtomicCounter {
+            workers: 2,
+            iters: 400,
+        },
+        DoublePlayConfig::new(2).epoch_cycles(800),
+    );
+    let session = base.to_session_spec().unwrap();
+    let (solo, offsets) = solo_with_offsets(&session);
+    assert!(offsets.len() >= 2);
+    // The crash model: the sink tears mid-epoch-2 on attempt 0 only (the
+    // bytes are gone, the device is fine), no restart budget.
+    let mut spec = base;
+    spec.restart_budget = 0;
+    spec.transient_sink_faults = true;
+    spec.sink_faults = {
+        let mut f = dp_os::SinkFaults::none();
+        f.torn_at = Some((offsets[0] + offsets[1]) / 2);
+        f
+    };
+    let id = client.submit(&spec).unwrap();
+    let crashed = client.wait(id).unwrap();
+    assert_eq!(crashed.state, SessionState::Salvaged, "{:?}", crashed.error);
+    assert_eq!(crashed.epochs, 1);
+
+    // Jam the runner, then resume: the session re-queues as Resuming.
+    let jam = client
+        .submit(&SubmitSpec::new(
+            "jam",
+            GuestRef::AtomicCounter {
+                workers: 2,
+                iters: 20_000,
+            },
+            DoublePlayConfig::new(2).epoch_cycles(800),
+        ))
+        .unwrap();
+    let from = client.resume(id).unwrap();
+    assert_eq!(from, 1, "resume from the one committed epoch");
+    let st = client.status(id).unwrap();
+    assert_eq!(st.state, SessionState::Resuming { from_epoch: 1 });
+    // A racing second client double-resumes: same answer, no re-admission.
+    let mut second = Client::connect(&path).unwrap();
+    assert_eq!(second.resume(id).unwrap(), 1);
+
+    // Attach before the resumed attempt runs: the stream must carry the
+    // salvaged prefix and the post-crash epochs as one seamless journal.
+    let attach_path = path.clone();
+    let attacher = std::thread::spawn(move || {
+        let mut c = Client::connect(&attach_path).unwrap();
+        let mut out = Vec::new();
+        let outcome = c.attach(id, &mut out).unwrap();
+        (outcome, out)
+    });
+    let (outcome, streamed) = attacher.join().unwrap();
+    assert_eq!(outcome.state, SessionState::Finalized);
+    assert!(outcome.clean);
+    assert_eq!(
+        streamed, solo,
+        "attach across the crash boundary diverges from an uninterrupted run"
+    );
+    assert_eq!(daemon.store().durable(id).unwrap(), solo);
+    let m = client.metrics().unwrap();
+    assert_eq!(m.resumed, 1, "double-resume must admit exactly once");
+    assert_eq!(m.resume_failed, 0);
+    client.wait(jam).unwrap();
+    client.shutdown().unwrap();
+}
+
+#[test]
+fn resume_refusals_and_idempotent_submit_over_the_socket() {
+    let (_daemon, path) = start_default("resume-refuse");
+    let mut client = Client::connect(&path).unwrap();
+    match client.resume(SessionId(404)) {
+        Err(ClientError::Fault(WireFault::UnknownSession { id })) => assert_eq!(id, SessionId(404)),
+        other => panic!("expected UnknownSession, got {other:?}"),
+    }
+    // A finalized session refuses with the typed wrong-state detail.
+    let spec = sweep_spec(21, Priority::Normal, false, 0);
+    let id = client.submit(&spec).unwrap();
+    assert_eq!(client.wait(id).unwrap().state, SessionState::Finalized);
+    match client.resume(id) {
+        Err(ClientError::Fault(WireFault::NotResumable { id: got, detail })) => {
+            assert_eq!(got, id);
+            assert!(detail.contains("only salvaged sessions resume"), "{detail}");
+        }
+        other => panic!("expected NotResumable, got {other:?}"),
+    }
+    // Idempotent re-submission: a reconnecting client re-issues Submit
+    // with its token and gets the original id, not a duplicate session.
+    let tok = sweep_spec(22, Priority::Normal, false, 1).idempotency("submit-tok-1");
+    let first = client.submit(&tok).unwrap();
+    let mut reconnected = Client::connect(&path).unwrap();
+    let again = reconnected.submit(&tok).unwrap();
+    assert_eq!(first, again, "token must dedupe across connections");
+    let admitted = client.metrics().unwrap().admitted;
+    assert_eq!(
+        admitted, 2,
+        "one for the finalized probe, one for the token"
+    );
+    client.wait(first).unwrap();
     client.shutdown().unwrap();
 }
 

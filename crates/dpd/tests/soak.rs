@@ -125,6 +125,7 @@ fn soak_mixed_faults_isolation_and_backpressure() {
             runners: 3,
             verify_cores: 4,
             queue_capacity: 4,
+            ..DaemonConfig::default()
         },
         store.clone(),
     ));

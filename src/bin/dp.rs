@@ -17,9 +17,10 @@
 //!          [--capacity N] [--threads N] [--size S] [--seed X] [--faults]
 //!          [--journal-shards N] [--json]
 //! dp serve --socket PATH [--dir PATH] [--runners N] [--cores N]
-//!          [--capacity N] [--conns N]
+//!          [--capacity N] [--conns N] [--resume-adopted] [--resume-budget N]
 //! dp submit <workload> --socket PATH [--threads N] [--size S] [--epoch C]
 //!           [--seed X] [--pipelined] [--workers N] [--priority P] [--wait]
+//! dp resume <ID> --socket PATH
 //! dp attach <ID> --socket PATH [-o FILE]
 //! dp shutdown --socket PATH
 //! dp sessions <DIR>
@@ -55,8 +56,14 @@
 //! daemon: it re-adopts any journals a previous incarnation left in
 //! `--dir` (finalized, salvageable, or garbage — all surfaced), then
 //! accepts framed requests on a unix-domain socket until a client sends
-//! shutdown. `dp submit`, `dp attach`, `dp shutdown`, and
-//! `dp sessions --socket` are the matching clients; `dp attach` tails a
+//! shutdown. With `--resume-adopted`, every salvageable journal the boot
+//! scan re-adopts is immediately *resumed*: the session continues
+//! recording from its committed prefix instead of being left terminal
+//! (`--resume-budget N` caps how many resumes one boot may spend).
+//! `dp submit`, `dp resume`, `dp attach`, `dp shutdown`, and
+//! `dp sessions --socket` are the matching clients; `dp resume <ID>`
+//! asks a serving daemon to continue a crashed (`Salvaged`) session from
+//! its committed prefix; `dp attach` tails a
 //! session's committed journal bytes live and writes whatever prefix it
 //! received even if the daemon dies mid-stream — that prefix is always
 //! salvageable.
@@ -71,7 +78,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dp list\n  dp record <workload> [--threads N] [--size S] [--epoch C] [--seed X] [--pipelined] [--workers N] [--out FILE] [--journal FILE] [--journal-shards N]\n  dp salvage <JOURNAL> [-o FILE]\n  dp replay <FILE> --workload <name> [--threads N] [--size S] [--parallel N]\n  dp analyze <FILE> race --workload <name> [--threads N] [--size S] [--assert-races|--assert-clean]\n  dp analyze <FILE> triage --workload <name> [--threads N] [--size S]\n  dp analyze <FILE> inspect\n  dp analyze <FILE> diff <FILE2>\n  dp analyze <FILE> compact [--out FILE] [--workload <name>]\n  dp inspect <FILE>\n  dp serve [--sessions N] [--dir PATH] [--runners N] [--cores N] [--capacity N] [--threads N] [--size S] [--seed X] [--faults] [--journal-shards N] [--json]\n  dp serve --socket PATH [--dir PATH] [--runners N] [--cores N] [--capacity N] [--conns N]\n  dp submit <workload> --socket PATH [--threads N] [--size S] [--epoch C] [--seed X] [--pipelined] [--workers N] [--priority high|normal|low] [--wait]\n  dp attach <ID> --socket PATH [-o FILE]\n  dp shutdown --socket PATH\n  dp sessions <DIR> | dp sessions --socket PATH [--json]"
+        "usage:\n  dp list\n  dp record <workload> [--threads N] [--size S] [--epoch C] [--seed X] [--pipelined] [--workers N] [--out FILE] [--journal FILE] [--journal-shards N]\n  dp salvage <JOURNAL> [-o FILE]\n  dp replay <FILE> --workload <name> [--threads N] [--size S] [--parallel N]\n  dp analyze <FILE> race --workload <name> [--threads N] [--size S] [--assert-races|--assert-clean]\n  dp analyze <FILE> triage --workload <name> [--threads N] [--size S]\n  dp analyze <FILE> inspect\n  dp analyze <FILE> diff <FILE2>\n  dp analyze <FILE> compact [--out FILE] [--workload <name>]\n  dp inspect <FILE>\n  dp serve [--sessions N] [--dir PATH] [--runners N] [--cores N] [--capacity N] [--threads N] [--size S] [--seed X] [--faults] [--journal-shards N] [--json]\n  dp serve --socket PATH [--dir PATH] [--runners N] [--cores N] [--capacity N] [--conns N] [--resume-adopted] [--resume-budget N]\n  dp submit <workload> --socket PATH [--threads N] [--size S] [--epoch C] [--seed X] [--pipelined] [--workers N] [--priority high|normal|low] [--wait]\n  dp resume <ID> --socket PATH\n  dp attach <ID> --socket PATH [-o FILE]\n  dp shutdown --socket PATH\n  dp sessions <DIR> | dp sessions --socket PATH [--json]"
     );
     exit(2);
 }
@@ -144,6 +151,8 @@ struct Opts {
     priority: Priority,
     wait: bool,
     json: bool,
+    resume_adopted: bool,
+    resume_budget: Option<u32>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -172,6 +181,8 @@ fn parse_opts(args: &[String]) -> Opts {
         priority: Priority::Normal,
         wait: false,
         json: false,
+        resume_adopted: false,
+        resume_budget: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -208,6 +219,10 @@ fn parse_opts(args: &[String]) -> Opts {
             }
             "--wait" => o.wait = true,
             "--json" => o.json = true,
+            "--resume-adopted" => o.resume_adopted = true,
+            "--resume-budget" => {
+                o.resume_budget = Some(val().parse().unwrap_or_else(|_| usage()));
+            }
             _ => usage(),
         }
     }
@@ -374,14 +389,16 @@ fn cmd_serve_socket(o: &Opts, socket: &str) {
         DirStore::new(&o.dir)
             .unwrap_or_else(|e| fail("serve", format_args!("cannot create `{}`: {e}", o.dir))),
     );
-    let daemon = Arc::new(Daemon::start(
-        DaemonConfig {
-            runners: o.runners.max(1),
-            verify_cores: o.cores,
-            queue_capacity: o.capacity.max(1),
-        },
-        store,
-    ));
+    let mut dcfg = DaemonConfig {
+        runners: o.runners.max(1),
+        verify_cores: o.cores,
+        queue_capacity: o.capacity.max(1),
+        ..DaemonConfig::default()
+    };
+    if let Some(budget) = o.resume_budget {
+        dcfg.resume_budget = budget;
+    }
+    let daemon = Arc::new(Daemon::start(dcfg, store));
     let orphans = daemon
         .adopt_orphans()
         .unwrap_or_else(|e| fail("serve", format_args!("cannot scan `{}`: {e}", o.dir)));
@@ -395,6 +412,17 @@ fn cmd_serve_socket(o: &Opts, socket: &str) {
         };
         println!("orphan {}: {verdict}", orphan.name);
     }
+    // --resume-adopted: spend the resume budget on the boot scan's
+    // salvageable rows so they continue recording from their committed
+    // prefixes instead of sitting terminal.
+    if o.resume_adopted {
+        for (id, outcome) in daemon.resume_adopted() {
+            match outcome {
+                Ok(from) => println!("resume {id}: continuing from epoch {from}"),
+                Err(e) => println!("resume {id}: refused ({e})"),
+            }
+        }
+    }
     println!("dpd serving on {socket} (journals in {}/)", o.dir);
     let cfg = ServerConfig {
         max_connections: o.conns.max(1),
@@ -406,8 +434,8 @@ fn cmd_serve_socket(o: &Opts, socket: &str) {
     print_sessions(&daemon.sessions(), &daemon.orphan_notes(), o.json);
     let m = daemon.metrics();
     println!(
-        "shutdown: {} admitted ({} adopted), {} finalized, {} salvaged, {} failed, {} cancelled",
-        m.admitted, m.adopted, m.finalized, m.salvaged, m.failed, m.cancelled
+        "shutdown: {} admitted ({} adopted, {} resumed), {} finalized, {} salvaged, {} failed, {} cancelled",
+        m.admitted, m.adopted, m.resumed, m.finalized, m.salvaged, m.failed, m.cancelled
     );
     match Arc::try_unwrap(daemon) {
         Ok(d) => d.shutdown(),
@@ -435,6 +463,7 @@ fn cmd_serve(o: &Opts) {
             runners: o.runners.max(1),
             verify_cores: o.cores,
             queue_capacity: o.capacity.max(1),
+            ..DaemonConfig::default()
         },
         store.clone(),
     );
@@ -596,6 +625,33 @@ fn cmd_submit(name: &str, o: &Opts) {
     println!("admitted {id}");
     if o.wait {
         let report = client.wait(id).unwrap_or_else(|e| fail("submit", e));
+        println!(
+            "{id}: {:?} after {} attempt(s), {} epoch(s){}",
+            report.state,
+            report.attempts,
+            report.epochs,
+            report
+                .error
+                .as_deref()
+                .map(|e| format!(" — {e}"))
+                .unwrap_or_default()
+        );
+    }
+}
+
+/// `dp resume <ID> --socket PATH`: ask a serving daemon to continue a
+/// crashed (`Salvaged`) session from its committed journal prefix. The
+/// daemon re-enacts the prefix deterministically and keeps recording;
+/// refusals (wrong state, spent budget, unresolvable guest) come back
+/// as one typed line.
+fn cmd_resume(id_arg: &str, o: &Opts) {
+    let socket = required_socket("resume", o);
+    let id = parse_session_id("resume", id_arg);
+    let mut client = connect("resume", socket);
+    let from = client.resume(id).unwrap_or_else(|e| fail("resume", e));
+    println!("{id}: resuming from epoch {from}");
+    if o.wait {
+        let report = client.wait(id).unwrap_or_else(|e| fail("resume", e));
         println!(
             "{id}: {:?} after {} attempt(s), {} epoch(s){}",
             report.state,
@@ -990,6 +1046,10 @@ fn main() {
         "submit" => {
             let Some(name) = argv.get(1) else { usage() };
             cmd_submit(name, &parse_opts(&argv[2..]));
+        }
+        "resume" => {
+            let Some(id) = argv.get(1) else { usage() };
+            cmd_resume(id, &parse_opts(&argv[2..]));
         }
         "attach" => {
             let Some(id) = argv.get(1) else { usage() };
