@@ -1,14 +1,15 @@
 //! Regenerates the paper's tables and figures. Usage:
 //!
 //! ```text
-//! report [small|medium|large] [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 e17 | all]
+//! report [small|medium|large] [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 e17 e18 | all]
 //! ```
 //!
 //! `e14` (the multi-session service soak) additionally writes its
 //! machine-readable perf record to `BENCH_6.json` in the working
 //! directory; `e15` (sharded parallel journaling) writes
 //! `BENCH_7.json`; `e16` (the `dpnet` socket service) writes
-//! `BENCH_8.json`; `e17` (crash-resume) writes `BENCH_9.json`.
+//! `BENCH_8.json`; `e17` (crash-resume) writes `BENCH_9.json`;
+//! `e18` (incremental state hashing) writes `BENCH_10.json`.
 
 use dp_bench::experiments as exp;
 use dp_workloads::Size;
@@ -103,6 +104,16 @@ fn main() {
         match std::fs::write("BENCH_9.json", &json) {
             Ok(()) => println!("wrote BENCH_9.json"),
             Err(e) => eprintln!("warning: cannot write BENCH_9.json: {e}"),
+        }
+    }
+    if want("e18") {
+        let run = exp::hash_run(size);
+        println!("{}", exp::table_hash_sweep(&run));
+        println!("{}", exp::table_hash_record(&run));
+        let json = exp::bench10_json(&run);
+        match std::fs::write("BENCH_10.json", &json) {
+            Ok(()) => println!("wrote BENCH_10.json"),
+            Err(e) => eprintln!("warning: cannot write BENCH_10.json: {e}"),
         }
     }
 }

@@ -2007,6 +2007,373 @@ pub fn bench9_json(run: &ResumeRun) -> String {
     )
 }
 
+/// One footprint point of the E18 hashing microbench: real wall time of
+/// one end-of-epoch state hash over a machine with `resident_pages`
+/// resident and `dirty_pages` freshly dirtied, incremental vs full rehash.
+pub struct HashSweepRow {
+    /// Resident (non-zero) pages in the machine.
+    pub resident_pages: u64,
+    /// Pages dirtied since the last digest refresh.
+    pub dirty_pages: u64,
+    /// Median wall time of the incremental `state_hash`.
+    pub incremental: std::time::Duration,
+    /// Median wall time of a from-scratch `state_hash_scratch`.
+    pub full: std::time::Duration,
+    /// Median wall time of `Checkpoint::capture` (hash + CoW clone) with a
+    /// warm digest cache.
+    pub checkpoint: std::time::Duration,
+}
+
+/// One end-to-end E18 recording: the same guest recorded with the
+/// incremental digest cache and with the full-rehash knob forced on.
+pub struct HashRecordRow {
+    /// Workload label.
+    pub name: String,
+    /// Epochs the run committed.
+    pub epochs: u64,
+    /// Modeled pages the incremental digest re-hashed (RecorderStats).
+    pub hashed_pages: u64,
+    /// Modeled resident pages it skipped (RecorderStats).
+    pub hash_skipped_pages: u64,
+    /// Journal bytes the run produced.
+    pub journal_bytes: u64,
+    /// Recording wall time with the incremental digest (best of two).
+    pub incremental_wall: std::time::Duration,
+    /// Recording wall time with full rehash forced (best of two).
+    pub full_wall: std::time::Duration,
+}
+
+/// The raw material shared by the E18 tables and `BENCH_10.json`.
+pub struct HashRun {
+    /// Suite size the run was scaled from.
+    pub size: Size,
+    /// Microbench sweep rows, smallest footprint first.
+    pub sweep: Vec<HashSweepRow>,
+    /// End-to-end recorder rows.
+    pub records: Vec<HashRecordRow>,
+}
+
+fn median_ns(samples: &mut [std::time::Duration]) -> std::time::Duration {
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Microbench: a machine with `resident` resident pages, `dirty` of which
+/// are re-dirtied before every timed hash. The incremental digest's wall
+/// time must track `dirty`; the scratch hash tracks `resident`.
+fn hash_sweep_row(resident: u64, dirty: u64, samples: usize) -> HashSweepRow {
+    use dp_vm::builder::ProgramBuilder;
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main");
+    f.ret();
+    f.finish();
+    let program = std::sync::Arc::new(pb.finish("main"));
+    let mut machine = dp_vm::Machine::new(program, &[]);
+    let kernel = dp_os::kernel::Kernel::new(Default::default());
+    for p in 0..resident {
+        // One non-zero byte per page keeps the page resident and hashable
+        // (all-zero pages are digested as absent).
+        machine.mem_mut().write_u8(p * 4096, (p % 251 + 1) as u8);
+    }
+    machine.mem_mut().take_dirty();
+    machine.state_hash(); // warm the digest cache
+
+    let mut inc = Vec::with_capacity(samples);
+    let mut full = Vec::with_capacity(samples);
+    let mut ckpt = Vec::with_capacity(samples);
+    for round in 0..samples as u64 {
+        let v = (round % 250 + 1) as u8;
+        for d in 0..dirty {
+            machine.mem_mut().write_u8(d * 4096 + 64, v);
+        }
+        let t = Instant::now();
+        std::hint::black_box(machine.state_hash());
+        inc.push(t.elapsed());
+        let t = Instant::now();
+        std::hint::black_box(machine.state_hash_scratch());
+        full.push(t.elapsed());
+        for d in 0..dirty {
+            machine.mem_mut().write_u8(d * 4096 + 64, v ^ 0x55);
+        }
+        let t = Instant::now();
+        std::hint::black_box(dp_core::Checkpoint::capture(&machine, &kernel));
+        ckpt.push(t.elapsed());
+    }
+    HashSweepRow {
+        resident_pages: resident,
+        dirty_pages: dirty,
+        incremental: median_ns(&mut inc),
+        full: median_ns(&mut full),
+        checkpoint: median_ns(&mut ckpt),
+    }
+}
+
+/// A guest with a deliberately large resident footprint and a tiny
+/// per-epoch dirty set: it touches `pages` pages once at startup, then
+/// spends the rest of the run bumping one counter — the workload shape
+/// where incremental hashing pays off most.
+fn big_footprint_spec(pages: u64, iters: u64) -> dp_core::GuestSpec {
+    use dp_vm::builder::ProgramBuilder;
+    use dp_vm::{Reg, Width};
+    let mut pb = ProgramBuilder::new();
+    let buf = pb.global("big", pages * 4096);
+    let counter = pb.global("counter", 8);
+    let mut f = pb.function("main");
+    // Populate: one non-zero byte per page.
+    f.consti(Reg(1), buf as i64);
+    f.constu(Reg(2), pages);
+    f.consti(Reg(3), 7);
+    let fill = f.label();
+    f.bind(fill);
+    f.store(Reg(3), Reg(1), 0, Width::W1);
+    f.add(Reg(1), Reg(1), 4096i64);
+    f.sub(Reg(2), Reg(2), 1i64);
+    f.jnz(Reg(2), fill);
+    // Work: a long single-page counter loop.
+    f.consti(Reg(4), counter as i64);
+    f.constu(Reg(5), iters);
+    let spin = f.label();
+    f.bind(spin);
+    f.load(Reg(6), Reg(4), 0, Width::W8);
+    f.add(Reg(6), Reg(6), 1i64);
+    f.store(Reg(6), Reg(4), 0, Width::W8);
+    f.sub(Reg(5), Reg(5), 1i64);
+    f.jnz(Reg(5), spin);
+    f.ret();
+    f.finish();
+    dp_core::GuestSpec::new(
+        format!("bigmem-{pages}p"),
+        std::sync::Arc::new(pb.finish("main")),
+        dp_os::kernel::WorldConfig::default(),
+    )
+}
+
+/// Records `spec` through a journal sink and returns (stats, journal
+/// bytes). The caller flips the full-rehash knob around this.
+fn timed_record(
+    spec: &dp_core::GuestSpec,
+    config: &DoublePlayConfig,
+) -> (dp_core::RecorderStats, u64) {
+    let mut w = dp_core::JournalWriter::new(Vec::new()).expect("journal header");
+    let bundle = dp_core::record_to(spec, config, &mut w).expect("record failed");
+    (bundle.stats, w.bytes_written())
+}
+
+fn hash_record_row(
+    name: &str,
+    spec: &dp_core::GuestSpec,
+    config: &DoublePlayConfig,
+) -> HashRecordRow {
+    // Best of two per mode; the modeled stats are identical across runs.
+    let (stats, journal_bytes) = timed_record(spec, config);
+    let (stats2, _) = timed_record(spec, config);
+    let incremental_wall =
+        std::time::Duration::from_nanos(stats.wall.wall_ns.min(stats2.wall.wall_ns));
+    dp_vm::memory::set_full_rehash(true);
+    let (full_a, _) = timed_record(spec, config);
+    let (full_b, _) = timed_record(spec, config);
+    dp_vm::memory::set_full_rehash(false);
+    let full_wall = std::time::Duration::from_nanos(full_a.wall.wall_ns.min(full_b.wall.wall_ns));
+    HashRecordRow {
+        name: name.to_string(),
+        epochs: stats.epochs,
+        hashed_pages: stats.hashed_pages,
+        hash_skipped_pages: stats.hash_skipped_pages,
+        journal_bytes,
+        incremental_wall,
+        full_wall,
+    }
+}
+
+/// E18 — incremental dirty-page state hashing in the recorder hot path.
+/// Part one is a microbench sweep: real wall time of one end-of-epoch
+/// state hash at growing resident footprints with a fixed dirty set —
+/// incremental time must track the dirty count while the full rehash
+/// tracks the footprint. Part two records real guests end to end, the
+/// same run with the digest cache and with full rehash forced, reporting
+/// recording wall, journal throughput, and the modeled hashed/skipped
+/// page split from `RecorderStats`.
+pub fn hash_run(size: Size) -> HashRun {
+    let factor = size.factor();
+    let samples = (40 * factor).clamp(40, 200) as usize;
+    // First hold the dirty set fixed while the footprint grows (the
+    // incremental column must stay flat), then hold the footprint fixed
+    // while the dirty set grows (it must scale with dirty pages).
+    let sweep = [
+        (256u64, 16u64),
+        (1024, 16),
+        (4096, 16),
+        (4096, 64),
+        (4096, 256),
+    ]
+    .iter()
+    .map(|&(resident, dirty)| hash_sweep_row(resident, dirty, samples))
+    .collect();
+
+    let config = config_for(2);
+    let pages = (384 * factor).min(4096);
+    let iters = (200_000 * factor).min(1_600_000);
+    let big = big_footprint_spec(pages, iters);
+    let big_name = big.name.clone();
+    let mut records = vec![hash_record_row(&big_name, &big, &config)];
+    // One ordinary suite workload for contrast (its footprint is modest,
+    // so the win is smaller — that asymmetry is part of the result).
+    if let Some(case) = suite(2, size).into_iter().next() {
+        records.push(hash_record_row(case.name, &case.spec, &config));
+    }
+    HashRun {
+        size,
+        sweep,
+        records,
+    }
+}
+
+/// E18 / Table A: the hashing microbench sweep.
+pub fn table_hash_sweep(run: &HashRun) -> Table {
+    let mut t = Table::new(
+        "E18 / Table A: state-hash wall time vs resident footprint",
+        "with a fixed dirty set, the incremental digest's cost must stay \
+         flat as the resident footprint grows (it re-hashes only dirty \
+         pages), while a full rehash grows linearly with the footprint; \
+         checkpoint capture rides the incremental path",
+        &[
+            "resident pages",
+            "dirty pages",
+            "incremental hash",
+            "full rehash",
+            "speedup",
+            "checkpoint capture",
+        ],
+    );
+    for row in &run.sweep {
+        let speedup = if row.incremental.as_nanos() > 0 {
+            row.full.as_nanos() as f64 / row.incremental.as_nanos() as f64
+        } else {
+            0.0
+        };
+        t.row(vec![
+            row.resident_pages.to_string(),
+            row.dirty_pages.to_string(),
+            format!("{:?}", row.incremental),
+            format!("{:?}", row.full),
+            format!("{speedup:.1}x"),
+            format!("{:?}", row.checkpoint),
+        ]);
+    }
+    t
+}
+
+/// E18 / Table B: end-to-end recorder wall, incremental vs full rehash.
+pub fn table_hash_record(run: &HashRun) -> Table {
+    let mut t = Table::new(
+        "E18 / Table B: recording wall time, incremental vs forced full rehash",
+        "the recorder's verify hot path hashes every epoch's end state; on \
+         a large-footprint/low-dirty guest the incremental digest cache \
+         must produce a measurable record wall-clock win, with identical \
+         recordings either way (the knob changes cost, never the value)",
+        &[
+            "workload",
+            "epochs",
+            "hashed pages",
+            "skipped pages",
+            "incremental wall",
+            "full-rehash wall",
+            "win",
+            "journal B/s",
+        ],
+    );
+    for row in &run.records {
+        let win = if row.incremental_wall.as_nanos() > 0 {
+            row.full_wall.as_nanos() as f64 / row.incremental_wall.as_nanos() as f64
+        } else {
+            0.0
+        };
+        let bps = if row.incremental_wall.as_secs_f64() > 0.0 {
+            row.journal_bytes as f64 / row.incremental_wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        t.row(vec![
+            row.name.clone(),
+            row.epochs.to_string(),
+            row.hashed_pages.to_string(),
+            row.hash_skipped_pages.to_string(),
+            format!("{:?}", row.incremental_wall),
+            format!("{:?}", row.full_wall),
+            format!("{win:.2}x"),
+            format!("{bps:.3e}"),
+        ]);
+    }
+    t
+}
+
+/// The machine-readable perf record for the hashing experiment
+/// (`BENCH_10.json`): the microbench sweep (per-hash wall nanoseconds,
+/// incremental vs full, plus checkpoint latency) and the end-to-end
+/// recordings (wall both ways, journal throughput, modeled hashed/skipped
+/// pages). Hand-rolled JSON, same as `BENCH_9.json`.
+pub fn bench10_json(run: &HashRun) -> String {
+    let sweep: Vec<String> = run
+        .sweep
+        .iter()
+        .map(|row| {
+            format!(
+                concat!(
+                    "    {{\"resident_pages\": {res}, \"dirty_pages\": {dirty}, ",
+                    "\"incremental_hash_ns\": {inc}, \"full_rehash_ns\": {full}, ",
+                    "\"checkpoint_capture_ns\": {ckpt}}}"
+                ),
+                res = row.resident_pages,
+                dirty = row.dirty_pages,
+                inc = row.incremental.as_nanos(),
+                full = row.full.as_nanos(),
+                ckpt = row.checkpoint.as_nanos(),
+            )
+        })
+        .collect();
+    let records: Vec<String> = run
+        .records
+        .iter()
+        .map(|row| {
+            let bps = if row.incremental_wall.as_secs_f64() > 0.0 {
+                row.journal_bytes as f64 / row.incremental_wall.as_secs_f64()
+            } else {
+                0.0
+            };
+            format!(
+                concat!(
+                    "    {{\"workload\": \"{name}\", \"epochs\": {epochs}, ",
+                    "\"hashed_pages\": {hashed}, \"hash_skipped_pages\": {skipped}, ",
+                    "\"incremental_wall_ms\": {inc:.2}, \"full_rehash_wall_ms\": {full:.2}, ",
+                    "\"journal_bytes\": {jb}, \"journal_bytes_per_sec\": {bps:.1}}}"
+                ),
+                name = row.name,
+                epochs = row.epochs,
+                hashed = row.hashed_pages,
+                skipped = row.hash_skipped_pages,
+                inc = row.incremental_wall.as_secs_f64() * 1e3,
+                full = row.full_wall.as_secs_f64() * 1e3,
+                jb = row.journal_bytes,
+                bps = bps,
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": 10,\n",
+            "  \"name\": \"incremental-hashing\",\n",
+            "  \"size\": \"{size}\",\n",
+            "  \"sweep\": [\n{sweep}\n  ],\n",
+            "  \"records\": [\n{records}\n  ]\n",
+            "}}\n"
+        ),
+        size = run.size,
+        sweep = sweep.join(",\n"),
+        records = records.join(",\n"),
+    )
+}
+
 /// Sanity harness used by tests: native measurement agrees between the
 /// coordinator and a direct call.
 pub fn native_cycles(case: &WorkloadCase, threads: usize) -> u64 {

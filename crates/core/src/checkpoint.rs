@@ -39,12 +39,16 @@ pub struct Checkpoint {
 }
 
 impl Checkpoint {
-    /// Snapshots the current world.
+    /// Snapshots the current world. The digest is computed *before* the
+    /// machine is cloned so the refreshed per-page digest cache is part of
+    /// the snapshot: restoring or re-hashing the checkpoint reuses it
+    /// instead of re-hashing the resident footprint.
     pub fn capture(machine: &Machine, kernel: &Kernel) -> Self {
+        let machine_hash = machine.state_hash();
         Checkpoint {
             machine: machine.clone(),
             kernel: kernel.clone(),
-            machine_hash: machine.state_hash(),
+            machine_hash,
         }
     }
 

@@ -149,8 +149,20 @@ pub enum ReplayError {
         /// Description of the unusable request.
         detail: String,
     },
-    /// The recording container is corrupt: bad magic, unsupported format
-    /// version, a failed per-section CRC32, or an undecodable payload.
+    /// The container is intact but written by an incompatible format
+    /// version — a file from an older (or newer) build, not corruption.
+    /// Distinguished from [`ReplayError::Corrupt`] so tooling can tell
+    /// "re-record with this build" apart from "the bytes are damaged".
+    UnsupportedVersion {
+        /// Which container ("recording", "journal", "journal shard").
+        container: &'static str,
+        /// Version stored in the file.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+    /// The recording container is corrupt: bad magic, a failed per-section
+    /// CRC32, or an undecodable payload.
     Corrupt {
         /// What failed to validate.
         detail: String,
@@ -191,6 +203,14 @@ impl fmt::Display for ReplayError {
             ),
             ReplayError::Guest(fault) => write!(f, "unexpected guest fault in replay: {fault}"),
             ReplayError::BadRequest { detail } => write!(f, "bad replay request: {detail}"),
+            ReplayError::UnsupportedVersion {
+                container,
+                found,
+                expected,
+            } => write!(
+                f,
+                "unsupported {container} format version {found} (this build reads version {expected})"
+            ),
             ReplayError::Corrupt { detail } => write!(f, "corrupt recording: {detail}"),
             ReplayError::Io { detail } => write!(f, "recording i/o error: {detail}"),
             ReplayError::WorkerPanicked { epoch: Some(e) } => {
@@ -320,6 +340,19 @@ mod tests {
             .contains("finalized"));
         let wrapped = ResumeError::from(RecordError::BudgetExhausted);
         assert!(wrapped.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn unsupported_version_display_names_the_container() {
+        let e = ReplayError::UnsupportedVersion {
+            container: "journal",
+            found: 1,
+            expected: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("journal"));
+        assert!(s.contains("version 1"));
+        assert!(s.contains("version 2"));
     }
 
     #[test]

@@ -36,14 +36,16 @@ use std::io::{self, Write};
 
 use crate::checkpoint::CheckpointImage;
 use crate::error::{ReplayError, ResumeError};
-use crate::recording::{EpochRecord, Recording, RecordingMeta};
+use crate::recording::{EncodedLogs, EpochRecord, Recording, RecordingMeta};
 use dp_support::crc32::crc32;
 use dp_support::wire::{to_bytes, Reader, Wire};
 
 /// Journal magic: "DPRJ" (DoublePlay Recording Journal).
 pub const JOURNAL_MAGIC: [u8; 4] = *b"DPRJ";
-/// Journal format version; bumped on any layout change.
-const FORMAT_VERSION: u32 = 1;
+/// Journal format version; bumped on any layout change. Version 2 switched
+/// the schedule/syscall log wire form to length-prefixed compact codec
+/// payloads (the encode-once commit path).
+const FORMAT_VERSION: u32 = 2;
 
 const TAG_HEADER: u8 = 1;
 const TAG_EPOCH: u8 = 2;
@@ -80,6 +82,16 @@ pub trait RecordSink {
     /// Sinks may rely on this for append-only layouts (the sharded writer
     /// relies on it to assign epochs to shard streams deterministically).
     fn epoch(&mut self, epoch: &EpochRecord) -> io::Result<()>;
+    /// Like [`epoch`](RecordSink::epoch), but with the compact-codec log
+    /// encodings the commit path already produced for cost accounting.
+    /// Serializing sinks override this to splice `logs` in verbatim
+    /// ([`EpochRecord::put_with`]) instead of re-encoding both logs; the
+    /// default ignores `logs` and delegates, so non-serializing sinks
+    /// (taps, [`NullSink`]) need not change.
+    fn epoch_encoded(&mut self, epoch: &EpochRecord, logs: &EncodedLogs) -> io::Result<()> {
+        let _ = logs;
+        self.epoch(epoch)
+    }
     /// Called once on clean completion of the whole run.
     fn finish(&mut self) -> io::Result<()>;
 }
@@ -184,6 +196,35 @@ impl<W: Write> JournalWriter<W> {
         self.written += (FRAME_HEAD + payload.len() + FRAME_TAIL) as u64;
         Ok(())
     }
+
+    /// Appends one epoch from its serialized payload: in-order check,
+    /// EPOCH frame, COMMIT marker, flush. Shared by both sink entry points
+    /// so the commit rule is stated once.
+    fn epoch_payload(&mut self, index: u32, payload: &[u8]) -> io::Result<()> {
+        // Enforce the RecordSink in-order contract: a commit stage bug
+        // (out-of-order retirement in the pipelined driver) must surface
+        // here, not as a silently unreplayable journal.
+        if index != self.epochs {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "out-of-order epoch {index} (journal expects {})",
+                    self.epochs
+                ),
+            ));
+        }
+        let payload_crc = crc32(payload);
+        self.frame(TAG_EPOCH, payload)?;
+        let mut commit = [0u8; 8];
+        commit[..4].copy_from_slice(&index.to_le_bytes());
+        commit[4..].copy_from_slice(&payload_crc.to_le_bytes());
+        self.frame(TAG_COMMIT, &commit)?;
+        // The flush is the durability point: an epoch whose commit marker
+        // never reached the device is, by the commit rule, uncommitted.
+        self.sink.flush()?;
+        self.epochs += 1;
+        Ok(())
+    }
 }
 
 impl JournalWriter<std::fs::File> {
@@ -246,30 +287,14 @@ impl<W: Write> RecordSink for JournalWriter<W> {
     }
 
     fn epoch(&mut self, epoch: &EpochRecord) -> io::Result<()> {
-        // Enforce the RecordSink in-order contract: a commit stage bug
-        // (out-of-order retirement in the pipelined driver) must surface
-        // here, not as a silently unreplayable journal.
-        if epoch.index != self.epochs {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!(
-                    "out-of-order epoch {} (journal expects {})",
-                    epoch.index, self.epochs
-                ),
-            ));
-        }
         let payload = to_bytes(epoch);
-        let payload_crc = crc32(&payload);
-        self.frame(TAG_EPOCH, &payload)?;
-        let mut commit = [0u8; 8];
-        commit[..4].copy_from_slice(&epoch.index.to_le_bytes());
-        commit[4..].copy_from_slice(&payload_crc.to_le_bytes());
-        self.frame(TAG_COMMIT, &commit)?;
-        // The flush is the durability point: an epoch whose commit marker
-        // never reached the device is, by the commit rule, uncommitted.
-        self.sink.flush()?;
-        self.epochs += 1;
-        Ok(())
+        self.epoch_payload(epoch.index, &payload)
+    }
+
+    fn epoch_encoded(&mut self, epoch: &EpochRecord, logs: &EncodedLogs) -> io::Result<()> {
+        let mut payload = Vec::new();
+        epoch.put_with(logs, &mut payload);
+        self.epoch_payload(epoch.index, &payload)
     }
 
     fn finish(&mut self) -> io::Result<()> {
@@ -349,8 +374,9 @@ impl JournalReader {
     ///
     /// # Errors
     ///
-    /// [`ReplayError::Corrupt`] only when nothing is salvageable: missing
-    /// or foreign magic, unsupported version, or an unrecoverable header
+    /// [`ReplayError::UnsupportedVersion`] for a journal written by a
+    /// different format version; [`ReplayError::Corrupt`] only when nothing
+    /// is salvageable: missing or foreign magic or an unrecoverable header
     /// frame (without meta and the initial checkpoint there is no valid
     /// `Recording` to build). Never panics, whatever the input.
     pub fn salvage(buf: &[u8]) -> Result<Salvaged, ReplayError> {
@@ -366,9 +392,11 @@ impl JournalReader {
         }
         let version = u32::from_le_bytes(buf[4..8].try_into().unwrap());
         if version != FORMAT_VERSION {
-            return Err(corrupt(format!(
-                "unsupported journal version {version} (expected {FORMAT_VERSION})"
-            )));
+            return Err(ReplayError::UnsupportedVersion {
+                container: "journal",
+                found: version,
+                expected: FORMAT_VERSION,
+            });
         }
         let header = read_frame(buf, 8)
             .filter(|f| f.tag == TAG_HEADER)
@@ -584,6 +612,9 @@ mod tests {
             match JournalReader::salvage(&bad) {
                 Ok(s) => assert!(s.committed() <= full),
                 Err(ReplayError::Corrupt { .. }) => {}
+                // A flip inside the 4-byte version field reads as a
+                // foreign version, which is typed separately.
+                Err(ReplayError::UnsupportedVersion { .. }) => assert!((4..8).contains(&i)),
                 Err(e) => panic!("flip at {i}: unexpected error {e:?}"),
             }
         }
@@ -686,12 +717,41 @@ mod tests {
             JournalReader::salvage(b"DPRC\x01\x00\x00\x00rest"),
             Err(ReplayError::Corrupt { .. })
         ));
-        let mut bad_version = Vec::new();
-        bad_version.extend_from_slice(&JOURNAL_MAGIC);
-        bad_version.extend_from_slice(&9u32.to_le_bytes());
-        assert!(matches!(
-            JournalReader::salvage(&bad_version),
-            Err(ReplayError::Corrupt { .. })
-        ));
+        // A mismatched version on an intact preamble is not corruption: it
+        // must surface as the typed version error (here, a version-1 file
+        // from before the encode-once log format).
+        for found in [1u32, 9] {
+            let mut bad_version = Vec::new();
+            bad_version.extend_from_slice(&JOURNAL_MAGIC);
+            bad_version.extend_from_slice(&found.to_le_bytes());
+            match JournalReader::salvage(&bad_version) {
+                Err(ReplayError::UnsupportedVersion {
+                    container,
+                    found: f,
+                    expected,
+                }) => {
+                    assert_eq!(container, "journal");
+                    assert_eq!(f, found);
+                    assert_eq!(expected, 2);
+                }
+                other => panic!("expected UnsupportedVersion, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_encoded_writes_identical_bytes() {
+        let (meta, initial, epochs) = tiny_parts();
+        let mut w1 = JournalWriter::new(Vec::new()).unwrap();
+        let mut w2 = JournalWriter::new(Vec::new()).unwrap();
+        w1.begin(&meta, &initial).unwrap();
+        w2.begin(&meta, &initial).unwrap();
+        for ep in &epochs {
+            w1.epoch(ep).unwrap();
+            w2.epoch_encoded(ep, &EncodedLogs::of(ep)).unwrap();
+        }
+        w1.finish().unwrap();
+        w2.finish().unwrap();
+        assert_eq!(w1.into_inner(), w2.into_inner());
     }
 }

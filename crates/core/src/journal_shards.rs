@@ -57,14 +57,16 @@ use std::thread::JoinHandle;
 use crate::checkpoint::CheckpointImage;
 use crate::error::ReplayError;
 use crate::journal::{frame_crc, read_frame, JournalReader, RecordSink, FRAME_HEAD, FRAME_TAIL};
-use crate::recording::{EpochRecord, Recording, RecordingMeta};
+use crate::recording::{EncodedLogs, EpochRecord, Recording, RecordingMeta};
 use dp_support::crc32::crc32;
 use dp_support::wire::{Reader, Wire};
 
 /// Shard stream magic: "DPRS" (DoublePlay Recording Shard).
 pub const SHARD_MAGIC: [u8; 4] = *b"DPRS";
-/// Shard stream format version; bumped on any layout change.
-const SHARD_VERSION: u32 = 1;
+/// Shard stream format version; bumped on any layout change. Version 2
+/// switched the schedule/syscall log wire form to length-prefixed compact
+/// codec payloads (the encode-once commit path).
+const SHARD_VERSION: u32 = 2;
 
 const TAG_SHARD: u8 = 1;
 const TAG_EPOCH: u8 = 2;
@@ -295,6 +297,45 @@ impl<W: Write + Send> ShardedJournalWriter<W> {
     }
 
     /// The first asynchronous lane error, as an `io::Error`.
+    /// Appends one epoch from its serialized record bytes: in-order check,
+    /// shard assignment, dependency vector, EPOCH + COMMIT frames handed to
+    /// the lane atomically. Shared by both [`RecordSink`] entry points so
+    /// the commit rule is stated once.
+    fn epoch_record_bytes(&mut self, index: u32, record: &[u8]) -> io::Result<()> {
+        self.check_lanes()?;
+        // Same in-order contract as the single-stream writer: the shard
+        // assignment (and every dependency vector) is a function of the
+        // commit order, so an out-of-order epoch is a commit-stage bug.
+        if index != self.epochs {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "out-of-order epoch {index} (sharded journal expects {})",
+                    self.epochs
+                ),
+            ));
+        }
+        let shards = self.shard_count();
+        let shard = (index % shards) as usize;
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&index.to_le_bytes());
+        for dep in dep_vector(index, shards) {
+            payload.extend_from_slice(&dep.to_le_bytes());
+        }
+        payload.extend_from_slice(record);
+        let payload_crc = crc32(&payload);
+        let mut buf = frame_bytes(TAG_EPOCH, &payload);
+        let mut commit = [0u8; 8];
+        commit[..4].copy_from_slice(&index.to_le_bytes());
+        commit[4..].copy_from_slice(&payload_crc.to_le_bytes());
+        buf.extend_from_slice(&frame_bytes(TAG_COMMIT, &commit));
+        // One hand-off per epoch: frame and commit marker appended
+        // atomically, flushed at the shard's group-commit boundary.
+        self.lane_write(shard, buf, 1, false)?;
+        self.epochs += 1;
+        Ok(())
+    }
+
     fn check_lanes(&self) -> io::Result<()> {
         match self
             .lane_err
@@ -487,38 +528,15 @@ impl<W: Write + Send> RecordSink for ShardedJournalWriter<W> {
     }
 
     fn epoch(&mut self, epoch: &EpochRecord) -> io::Result<()> {
-        self.check_lanes()?;
-        // Same in-order contract as the single-stream writer: the shard
-        // assignment (and every dependency vector) is a function of the
-        // commit order, so an out-of-order epoch is a commit-stage bug.
-        if epoch.index != self.epochs {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!(
-                    "out-of-order epoch {} (sharded journal expects {})",
-                    epoch.index, self.epochs
-                ),
-            ));
-        }
-        let shards = self.shard_count();
-        let shard = (epoch.index % shards) as usize;
-        let mut payload = Vec::new();
-        payload.extend_from_slice(&epoch.index.to_le_bytes());
-        for dep in dep_vector(epoch.index, shards) {
-            payload.extend_from_slice(&dep.to_le_bytes());
-        }
-        epoch.put(&mut payload);
-        let payload_crc = crc32(&payload);
-        let mut buf = frame_bytes(TAG_EPOCH, &payload);
-        let mut commit = [0u8; 8];
-        commit[..4].copy_from_slice(&epoch.index.to_le_bytes());
-        commit[4..].copy_from_slice(&payload_crc.to_le_bytes());
-        buf.extend_from_slice(&frame_bytes(TAG_COMMIT, &commit));
-        // One hand-off per epoch: frame and commit marker appended
-        // atomically, flushed at the shard's group-commit boundary.
-        self.lane_write(shard, buf, 1, false)?;
-        self.epochs += 1;
-        Ok(())
+        let mut record = Vec::new();
+        epoch.put(&mut record);
+        self.epoch_record_bytes(epoch.index, &record)
+    }
+
+    fn epoch_encoded(&mut self, epoch: &EpochRecord, logs: &EncodedLogs) -> io::Result<()> {
+        let mut record = Vec::new();
+        epoch.put_with(logs, &mut record);
+        self.epoch_record_bytes(epoch.index, &record)
     }
 
     fn finish(&mut self) -> io::Result<()> {
@@ -554,8 +572,9 @@ struct ShardScan {
 }
 
 /// Scans one shard stream, applying the per-shard commit rule. Errors are
+/// `ReplayError::UnsupportedVersion` for a foreign format version and
 /// `ReplayError::Corrupt` only when the stream is unusable outright (bad
-/// magic/version, torn shard header) — a torn tail just ends the scan.
+/// magic, torn shard header) — a torn tail just ends the scan.
 fn scan_shard(buf: &[u8]) -> Result<ShardScan, ReplayError> {
     let corrupt = |detail: String| ReplayError::Corrupt { detail };
     if buf.len() < 8 {
@@ -569,9 +588,11 @@ fn scan_shard(buf: &[u8]) -> Result<ShardScan, ReplayError> {
     }
     let version = u32::from_le_bytes(buf[4..8].try_into().unwrap());
     if version != SHARD_VERSION {
-        return Err(corrupt(format!(
-            "unsupported shard version {version} (expected {SHARD_VERSION})"
-        )));
+        return Err(ReplayError::UnsupportedVersion {
+            container: "journal shard",
+            found: version,
+            expected: SHARD_VERSION,
+        });
     }
     let head = read_frame(buf, 8)
         .filter(|f| f.tag == TAG_SHARD && f.payload.len() >= 25)

@@ -86,7 +86,7 @@ pub use observe::{replay_observed, ReplayEvent, ReplayObserver};
 pub use record::coordinator::{measure_native, record, record_to, RecordingBundle};
 pub use record::epoch_parallel::Divergence;
 pub use record::resume::resume_from;
-pub use recording::{EpochRecord, Recording, RecordingMeta};
+pub use recording::{EncodedLogs, EpochRecord, Recording, RecordingMeta};
 pub use replay::{
     replay_epoch, replay_epoch_observed, replay_parallel, replay_sequential, replay_to_point,
     ReplayReport,

@@ -43,7 +43,7 @@ use crate::record::epoch_parallel::{
 };
 use crate::record::pipeline::WorkerPool;
 use crate::record::thread_parallel::TpRunner;
-use crate::recording::{EpochRecord, Recording, RecordingMeta};
+use crate::recording::{EncodedLogs, EpochRecord, Recording, RecordingMeta};
 use crate::stats::{RecorderStats, WallClockStats};
 use crate::world::GuestSpec;
 use dp_os::kernel::Kernel;
@@ -310,6 +310,11 @@ pub(crate) fn run_tp_epoch(
     let tp_out = tp.run_epoch(machine, kernel, epoch_start, epoch_len)?;
     let dirty = machine.mem_mut().take_dirty().len() as u64;
     kernel.take_external(); // thread-parallel output is speculative only
+                            // Refresh the live machine's per-page digest cache before cloning it:
+                            // both clones below (the verify job's end-state machine and the
+                            // commit-stage checkpoint) inherit warm digests, so the verify stage's
+                            // state_hash re-hashes only the pages this epoch dirtied.
+    machine.mem().state_digest();
     Ok(EpochWork {
         index,
         epoch_start,
@@ -405,24 +410,41 @@ pub(crate) fn targets_of(machine: &Machine) -> EpochTargets {
 }
 
 /// Thread-parallel-side accounting for one epoch, applied at the in-order
-/// retire point. Returns the epoch's encoded syscall-log size (consumed by
-/// [`commit_clean`]).
-pub(crate) fn charge_tp_side(c: &mut CommitState, cost: &CostModel, work: &EpochWork) -> u64 {
-    let sys_bytes = codec::encode_syscalls(&work.syscalls).len() as u64;
+/// retire point. Returns the epoch's encoded syscall log — its length feeds
+/// the cost model here, and [`commit_clean`] hands the same bytes to the
+/// sink so the log is never encoded twice.
+pub(crate) fn charge_tp_side(c: &mut CommitState, cost: &CostModel, work: &EpochWork) -> Vec<u8> {
+    let sys_enc = codec::encode_syscalls(&work.syscalls);
     let ckpt_cost = cost.checkpoint(work.dirty);
-    let tp_log_cost = cost.log_write(sys_bytes);
+    let tp_log_cost = cost.log_write(sys_enc.len() as u64);
     c.stats.tp_exec_cycles += work.tp_cycles;
     c.stats.tp_instructions += work.tp_instructions;
     c.stats.dirty_pages += work.dirty;
     c.stats.checkpoint_cycles += ckpt_cost;
     c.stats.log_write_cycles += tp_log_cost;
     c.tp_time += work.tp_cycles + ckpt_cost + tp_log_cost;
-    sys_bytes
+    sys_enc
+}
+
+/// Hash-side accounting for one retiring epoch's end machine: charges the
+/// incremental digest (proportional to the pages the epoch dirtied, not the
+/// resident footprint) and records the modeled hashed/skipped page split.
+/// Both drivers retire through this, so the counts are deterministic and
+/// mode-independent — the real cache counters ([`dp_vm::memory::HashStats`])
+/// vary with clone topology and belong to bench introspection only.
+fn charge_state_hash(c: &mut CommitState, cost: &CostModel, machine: &Machine) -> u64 {
+    let dirty = machine.mem().dirty().len() as u64;
+    let resident = machine.mem().resident_pages() as u64;
+    c.stats.hashed_pages += dirty;
+    c.stats.hash_skipped_pages += resident.saturating_sub(dirty);
+    cost.state_hash(dirty)
 }
 
 /// Commits a cleanly verified epoch: cost-model accounting, epoch record,
 /// sink write, authoritative-checkpoint advance. `expected_hash` is the
-/// digest of `work.next_machine` computed by the verify stage.
+/// digest of `work.next_machine` computed by the verify stage; `sys_enc` is
+/// the encoded syscall log [`charge_tp_side`] produced, reused here for the
+/// sink write.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn commit_clean(
     c: &mut CommitState,
@@ -432,15 +454,16 @@ pub(crate) fn commit_clean(
     work: EpochWork,
     ep: EpOutcome,
     expected_hash: u64,
-    sys_bytes: u64,
+    sys_enc: Vec<u8>,
 ) -> Result<(), RecordError> {
-    let hash_cost = cost.state_hash(ep.machine.mem().resident_pages() as u64);
-    let sched_bytes = codec::encode_schedule(&ep.schedule).len() as u64;
+    let hash_cost = charge_state_hash(c, cost, &ep.machine);
+    let sched_enc = codec::encode_schedule(&ep.schedule);
+    let sched_bytes = sched_enc.len() as u64;
     let ep_task = ep.cycles + hash_cost + cost.log_write(sched_bytes);
     c.stats.ep_cycles += ep_task;
     c.stats.log_write_cycles += cost.log_write(sched_bytes);
     c.stats.schedule_bytes += sched_bytes;
-    c.stats.syscall_bytes += sys_bytes;
+    c.stats.syscall_bytes += sys_enc.len() as u64;
     let ready = c.tp_time;
     c.commit_time =
         finish_epoch_task(config, &mut c.tp_time, &mut c.pool, ep_task, ready).max(c.commit_time);
@@ -453,7 +476,11 @@ pub(crate) fn commit_clean(
         start: config.keep_checkpoints.then(|| c.prev.to_image()),
         tp_cycles: work.tp_cycles,
     });
-    sink.epoch(c.epochs.last().expect("epoch just pushed"))
+    let logs = EncodedLogs {
+        schedule: sched_enc,
+        syscalls: sys_enc,
+    };
+    sink.epoch_encoded(c.epochs.last().expect("epoch just pushed"), &logs)
         .map_err(sink_err)?;
     c.prev = Checkpoint {
         machine: work.next_machine,
@@ -488,7 +515,7 @@ pub(crate) fn retire_diverged(
 ) -> Result<Adopted, RecordError> {
     c.stats.divergences += 1;
     let verify_task = match &verified {
-        Some(ep) => ep.cycles + cost.state_hash(ep.machine.mem().resident_pages() as u64),
+        Some(ep) => ep.cycles + charge_state_hash(c, cost, &ep.machine),
         // A panicked worker's progress is unknowable; charge one epoch's
         // worth of wasted work.
         None => {
@@ -511,9 +538,13 @@ pub(crate) fn retire_diverged(
         config.ep_quantum,
         work.epoch_start,
     )?;
-    let live_sched_bytes = codec::encode_schedule(&live.schedule).len() as u64;
-    let live_sys_bytes = codec::encode_syscalls(&live.generated).len() as u64;
-    let live_hash_cost = cost.state_hash(live.machine.mem().resident_pages() as u64);
+    let live_logs = EncodedLogs {
+        schedule: codec::encode_schedule(&live.schedule),
+        syscalls: codec::encode_syscalls(&live.generated),
+    };
+    let live_sched_bytes = live_logs.schedule.len() as u64;
+    let live_sys_bytes = live_logs.syscalls.len() as u64;
+    let live_hash_cost = charge_state_hash(c, cost, &live.machine);
     let live_task =
         live.cycles + live_hash_cost + cost.log_write(live_sched_bytes + live_sys_bytes);
     c.stats.recovery_cycles += live_task;
@@ -551,7 +582,7 @@ pub(crate) fn retire_diverged(
         start: config.keep_checkpoints.then(|| c.prev.to_image()),
         tp_cycles: work.tp_cycles,
     });
-    sink.epoch(c.epochs.last().expect("epoch just pushed"))
+    sink.epoch_encoded(c.epochs.last().expect("epoch just pushed"), &live_logs)
         .map_err(sink_err)?;
     c.prev = Checkpoint::capture(&machine, &kernel);
     c.stats.epochs += 1;
@@ -585,9 +616,13 @@ pub(crate) fn record_serialized_epoch(
         config.ep_quantum,
         epoch_start,
     )?;
-    let sched_bytes = codec::encode_schedule(&live.schedule).len() as u64;
-    let sys_bytes = codec::encode_syscalls(&live.generated).len() as u64;
-    let hash_cost = cost.state_hash(live.machine.mem().resident_pages() as u64);
+    let logs = EncodedLogs {
+        schedule: codec::encode_schedule(&live.schedule),
+        syscalls: codec::encode_syscalls(&live.generated),
+    };
+    let sched_bytes = logs.schedule.len() as u64;
+    let sys_bytes = logs.syscalls.len() as u64;
+    let hash_cost = charge_state_hash(c, cost, &live.machine);
     let task = live.cycles + hash_cost + cost.log_write(sched_bytes + sys_bytes);
     c.stats.ep_cycles += task;
     c.stats.log_write_cycles += cost.log_write(sched_bytes + sys_bytes);
@@ -616,7 +651,7 @@ pub(crate) fn record_serialized_epoch(
         start: config.keep_checkpoints.then(|| c.prev.to_image()),
         tp_cycles: cycles,
     });
-    sink.epoch(c.epochs.last().expect("epoch just pushed"))
+    sink.epoch_encoded(c.epochs.last().expect("epoch just pushed"), &logs)
         .map_err(sink_err)?;
     c.prev = Checkpoint::capture(&machine, &kernel);
     c.stats.committed += 1;
@@ -700,7 +735,7 @@ pub(crate) fn drive_sequential<'a>(
             control.epoch_len,
         )?;
         guest_clock += work.tp_cycles;
-        let sys_bytes = charge_tp_side(&mut s.commit, &s.cost, &work);
+        let sys_enc = charge_tp_side(&mut s.commit, &s.cost, &work);
 
         let targets = targets_of(&work.next_machine);
         let (expected_hash, verdict) = execute_verify(
@@ -726,7 +761,7 @@ pub(crate) fn drive_sequential<'a>(
                     work,
                     *ep,
                     expected_hash,
-                    sys_bytes,
+                    sys_enc,
                 )?;
                 control.on_clean(config);
                 control.note_outcome(false);

@@ -331,7 +331,7 @@ pub(crate) fn drive_pipelined<'a>(
             };
 
             let head = inflight.pop_front().expect("checked non-empty");
-            let sys_bytes = charge_tp_side(&mut s.commit, &s.cost, &head.work);
+            let sys_enc = charge_tp_side(&mut s.commit, &s.cost, &head.work);
             match verdict {
                 VerifyVerdict::Done(ep) if ep.divergence.is_none() => {
                     if let Err(e) = commit_clean(
@@ -342,7 +342,7 @@ pub(crate) fn drive_pipelined<'a>(
                         head.work,
                         *ep,
                         expected_hash,
-                        sys_bytes,
+                        sys_enc,
                     ) {
                         break Err(e);
                     }

@@ -48,6 +48,48 @@ pub struct EpochRecord {
     pub tp_cycles: u64,
 }
 
+/// The compact-codec encodings of one epoch's logs, produced once in the
+/// recorder's commit path (where their lengths feed cost accounting) and
+/// spliced verbatim into the serialized [`EpochRecord`] by sinks that
+/// implement [`crate::journal::RecordSink::epoch_encoded`] — the logs are
+/// never encoded twice for one commit.
+#[derive(Debug, Clone, Default)]
+pub struct EncodedLogs {
+    /// [`codec::encode_schedule`] of the epoch's schedule log.
+    pub schedule: Vec<u8>,
+    /// [`codec::encode_syscalls`] of the epoch's syscall log.
+    pub syscalls: Vec<u8>,
+}
+
+impl EncodedLogs {
+    /// Encodes both logs of `epoch` (the fallback for callers that did not
+    /// carry encodings from the commit path).
+    pub fn of(epoch: &EpochRecord) -> Self {
+        EncodedLogs {
+            schedule: codec::encode_schedule(&epoch.schedule),
+            syscalls: codec::encode_syscalls(&epoch.syscalls),
+        }
+    }
+}
+
+impl EpochRecord {
+    /// Serializes the record like its [`Wire`] impl, but splices the
+    /// pre-encoded log payloads in instead of re-encoding them. Must mirror
+    /// the `impl_wire_struct!` field order exactly; the
+    /// `put_with_matches_wire_encoding` test pins the equivalence.
+    pub fn put_with(&self, logs: &EncodedLogs, out: &mut Vec<u8>) {
+        self.index.put(out);
+        dp_support::wire::put_varint(out, logs.schedule.len() as u64);
+        out.extend_from_slice(&logs.schedule);
+        dp_support::wire::put_varint(out, logs.syscalls.len() as u64);
+        out.extend_from_slice(&logs.syscalls);
+        self.end_machine_hash.put(out);
+        self.external.put(out);
+        self.start.put(out);
+        self.tp_cycles.put(out);
+    }
+}
+
 /// A complete recording.
 #[derive(Debug, Clone)]
 pub struct Recording {
@@ -144,6 +186,8 @@ impl Recording {
     /// # Errors
     ///
     /// [`ReplayError::Io`] if the reader fails;
+    /// [`ReplayError::UnsupportedVersion`] for an intact container written
+    /// by a different format version;
     /// [`ReplayError::Corrupt`] for any malformed, truncated, or
     /// bit-flipped container — never a panic.
     pub fn load<R: Read>(mut reader: R) -> Result<Self, ReplayError> {
@@ -158,9 +202,11 @@ impl Recording {
         }
         let version = c.u32_le("format version")?;
         if version != FORMAT_VERSION {
-            return Err(corrupt(format!(
-                "unsupported format version {version} (expected {FORMAT_VERSION})"
-            )));
+            return Err(ReplayError::UnsupportedVersion {
+                container: "recording",
+                found: version,
+                expected: FORMAT_VERSION,
+            });
         }
         let meta: RecordingMeta = c.section("meta")?;
         let initial: CheckpointImage = c.section("initial checkpoint")?;
@@ -195,8 +241,10 @@ impl Recording {
 
 /// Container magic: "DPRC" (DoublePlay ReCording).
 const MAGIC: [u8; 4] = *b"DPRC";
-/// Container format version; bumped on any layout change.
-const FORMAT_VERSION: u32 = 1;
+/// Container format version; bumped on any layout change. Version 2
+/// switched the schedule/syscall log wire form to length-prefixed compact
+/// codec payloads (the encode-once commit path).
+const FORMAT_VERSION: u32 = 2;
 /// Least bytes one section can occupy: u32 length prefix + u32 CRC32.
 pub(crate) const MIN_SECTION_BYTES: u64 = 8;
 
@@ -360,6 +408,38 @@ mod tests {
         match tiny_recording().save(Broken) {
             Err(SaveError::Io { detail }) => assert!(detail.contains("disk on fire")),
             other => panic!("expected SaveError::Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn put_with_matches_wire_encoding() {
+        let r = tiny_recording();
+        let epoch = &r.epochs[0];
+        let generic = to_bytes(epoch);
+        let mut spliced = Vec::new();
+        epoch.put_with(&EncodedLogs::of(epoch), &mut spliced);
+        assert_eq!(generic, spliced, "put_with must mirror the Wire impl");
+    }
+
+    #[test]
+    fn old_format_version_is_a_typed_version_error() {
+        let r = tiny_recording();
+        let mut buf = Vec::new();
+        r.save(&mut buf).unwrap();
+        // A version-1 file is not corrupt, just older: rewrite the version
+        // field and expect the typed error, never Corrupt or a bogus decode.
+        buf[4..8].copy_from_slice(&1u32.to_le_bytes());
+        match Recording::load(&buf[..]) {
+            Err(ReplayError::UnsupportedVersion {
+                container,
+                found,
+                expected,
+            }) => {
+                assert_eq!(container, "recording");
+                assert_eq!(found, 1);
+                assert_eq!(expected, FORMAT_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
         }
     }
 

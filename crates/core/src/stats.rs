@@ -95,6 +95,16 @@ pub struct RecorderStats {
     pub syscall_bytes: u64,
     /// Pages dirtied across all epochs (checkpoint COW traffic).
     pub dirty_pages: u64,
+    /// Pages the incremental state digest actually re-hashed across all
+    /// retiring epochs (the epoch's dirty pages). Modeled at the in-order
+    /// retire points, so the count is deterministic and identical across
+    /// sequential/pipelined/sharded runs — unlike the live cache counters
+    /// (`dp_vm::memory::HashStats`), which vary with clone topology.
+    pub hashed_pages: u64,
+    /// Resident pages the incremental digest did *not* have to re-hash at
+    /// retire time (resident minus dirty, per epoch) — the work a full
+    /// rehash would have done. Modeled; deterministic like `hashed_pages`.
+    pub hash_skipped_pages: u64,
     /// End-to-end recorded runtime in simulated cycles (the uniparallel
     /// pipeline's completion time).
     pub recorded_cycles: u64,

@@ -291,9 +291,25 @@ impl Machine {
     /// Digest of the complete machine state: memory, every thread, and halt
     /// status. Two machines with equal hashes will behave identically given
     /// identical future schedules and syscall results.
+    ///
+    /// The memory contribution is incremental ([`Memory::state_digest`]):
+    /// after the first call only pages written since the previous call are
+    /// re-hashed, so epoch-boundary hashing costs O(pages dirtied this
+    /// epoch), not O(resident footprint).
     pub fn state_hash(&self) -> u64 {
+        self.hash_with_mem(self.mem.state_digest())
+    }
+
+    /// [`Machine::state_hash`] with the memory digest recomputed from
+    /// scratch, bypassing the incremental cache. Always equal to
+    /// `state_hash` — the correctness oracle and benchmark baseline.
+    pub fn state_hash_scratch(&self) -> u64 {
+        self.hash_with_mem(self.mem.state_digest_scratch())
+    }
+
+    fn hash_with_mem(&self, mem_digest: u64) -> u64 {
         let mut h = crate::hash::Fnv1a::new();
-        self.mem.hash_into(&mut h);
+        h.write_u64(mem_digest);
         h.write_u64(self.threads.len() as u64);
         for t in &self.threads {
             t.hash_into(&mut h);

@@ -16,7 +16,8 @@ use crate::value::{Width, Word};
 use dp_support::wire::{put_varint, Reader, Wire, WireError};
 use std::collections::{BTreeSet, HashMap};
 use std::hash::{BuildHasherDefault, Hasher};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 /// A fast, deterministic hasher for page numbers (FxHash-style multiply).
 /// Page tables are in the interpreter's hottest path; SipHash would cost
@@ -60,18 +61,134 @@ pub fn page_of(addr: Word) -> u64 {
 
 type Page = [u8; PAGE_SIZE as usize];
 
+/// The process-wide shared zero page. Every caller gets the same `Arc`, so
+/// "is this page all zeros?" can often be answered by pointer identity
+/// before falling back to a byte scan.
 fn zero_page() -> Arc<Page> {
-    Arc::new([0u8; PAGE_SIZE as usize])
+    static ZERO: OnceLock<Arc<Page>> = OnceLock::new();
+    ZERO.get_or_init(|| Arc::new([0u8; PAGE_SIZE as usize]))
+        .clone()
+}
+
+/// Forces [`Memory::state_digest`] to recompute from scratch on every call,
+/// bypassing the incremental cache. The digest *value* is identical either
+/// way (property-tested); this knob exists so benchmarks can measure the
+/// full-rehash baseline through the unmodified recorder path.
+pub fn set_full_rehash(enabled: bool) {
+    FULL_REHASH.store(enabled, Ordering::Relaxed);
+}
+
+static FULL_REHASH: AtomicBool = AtomicBool::new(false);
+
+/// Mixes one `(page_no, page_digest)` pair into a 64-bit contribution
+/// (splitmix64 finalizer). Contributions combine by wrapping addition, so
+/// the memory digest is order-independent and can be updated per page
+/// without re-folding the whole page table.
+fn mix(pno: u64, digest: u64) -> u64 {
+    let mut x = pno
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(digest)
+        .wrapping_add(0x243f_6a88_85a3_08d3);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Digest of one page's bytes, or `None` for an all-zero page. A shared
+/// zero-page `Arc` short-circuits by pointer identity; otherwise the byte
+/// scan bails at the first nonzero byte and the page is FNV-hashed.
+/// `hashed` counts pages whose bytes were actually examined.
+fn page_digest(page: &Arc<Page>, hashed: &mut u64) -> Option<u64> {
+    if Arc::ptr_eq(page, &zero_page()) {
+        return None;
+    }
+    *hashed += 1;
+    if page.iter().all(|&b| b == 0) {
+        return None;
+    }
+    let mut h = Fnv1a::new();
+    h.write_bytes(page.as_slice());
+    Some(h.finish())
+}
+
+/// Cumulative counters of the incremental digest cache: how many pages'
+/// bytes refreshes actually hashed vs. how many cached digests were reused.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HashStats {
+    /// Pages whose bytes a digest refresh scanned (cache misses).
+    pub hashed_pages: u64,
+    /// Resident pages whose cached digest a [`Memory::state_digest`] call
+    /// reused without touching their bytes (cache hits).
+    pub skipped_pages: u64,
+}
+
+/// Incremental digest state for one `Memory`.
+///
+/// Lives behind a `Mutex` because [`Memory::state_digest`] refreshes
+/// through `&self` (state hashing happens on shared references in the
+/// verify hot path); the write paths go through `Mutex::get_mut`, which
+/// never locks. The staleness set is deliberately *separate* from the
+/// recorder's dirty set: `take_dirty` must not clear digest staleness, and
+/// a digest refresh must not clear recorder dirt.
+#[derive(Debug, Clone)]
+struct DigestCache {
+    /// Per-page digests. A page absent here contributes nothing — all-zero
+    /// and unmapped pages are both "absent", so zero-fill semantics cannot
+    /// cause false divergence.
+    digests: HashMap<u64, u64, BuildHasherDefault<PageHasher>>,
+    /// Wrapping sum of [`mix`]`(pno, digest)` over every entry of
+    /// `digests`: the commutative memory digest.
+    acc: u64,
+    /// Pages whose cached digest may be out of date.
+    stale: BTreeSet<u64>,
+    /// Fast path: the page most recently marked stale (writes cluster).
+    /// Reset whenever a refresh drains `stale`, so a write after a refresh
+    /// to the same page re-marks it.
+    last_stale: u64,
+    /// Cumulative refresh counters.
+    stats: HashStats,
+}
+
+impl DigestCache {
+    /// A cache where every resident page is stale: the first refresh
+    /// recomputes everything (the cold full rehash).
+    fn cold(pages: &PageMap) -> Self {
+        DigestCache {
+            digests: HashMap::default(),
+            acc: 0,
+            stale: pages.keys().copied().collect(),
+            last_stale: u64::MAX,
+            stats: HashStats::default(),
+        }
+    }
 }
 
 /// Sparse, copy-on-write paged memory.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Memory {
     pages: PageMap,
     /// Pages written since the last [`Memory::take_dirty`].
     dirty: BTreeSet<u64>,
     /// Fast path: the page most recently marked dirty (writes cluster).
     last_dirty: u64,
+    /// Incremental digest cache; see [`DigestCache`].
+    cache: Mutex<DigestCache>,
+}
+
+/// Cloning copies the digest cache, so a checkpoint inherits every cached
+/// page digest for free — the clone's next [`Memory::state_digest`] pays
+/// only for pages written since the source's last refresh.
+impl Clone for Memory {
+    fn clone(&self) -> Self {
+        Memory {
+            pages: self.pages.clone(),
+            dirty: self.dirty.clone(),
+            last_dirty: self.last_dirty,
+            cache: Mutex::new(self.lock_cache().clone()),
+        }
+    }
 }
 
 impl Memory {
@@ -81,7 +198,16 @@ impl Memory {
             pages: PageMap::default(),
             dirty: BTreeSet::new(),
             last_dirty: u64::MAX,
+            cache: Mutex::new(DigestCache::cold(&PageMap::default())),
         }
+    }
+
+    /// Poison-tolerant cache lock: a panicking verify worker (injected
+    /// faults are caught with `catch_unwind`) must not wedge digests.
+    fn lock_cache(&self) -> MutexGuard<'_, DigestCache> {
+        self.cache
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     /// Reads one byte.
@@ -107,6 +233,17 @@ impl Memory {
         if self.last_dirty != pno {
             self.last_dirty = pno;
             self.dirty.insert(pno);
+        }
+        // `&mut self` makes the lock free; the stale fast path is tracked
+        // separately from `last_dirty` because a digest refresh clears
+        // staleness without clearing recorder dirt.
+        let cache = match self.cache.get_mut() {
+            Ok(c) => c,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if cache.last_stale != pno {
+            cache.last_stale = pno;
+            cache.stale.insert(pno);
         }
     }
 
@@ -198,19 +335,63 @@ impl Memory {
         &self.dirty
     }
 
-    /// Digest of memory contents. All-zero pages hash identically to
-    /// unmapped pages, so zero-fill semantics cannot cause false divergence.
-    pub fn hash_into(&self, h: &mut Fnv1a) {
-        let mut pnos: Vec<u64> = self.pages.keys().copied().collect();
-        pnos.sort_unstable();
-        for pno in pnos {
-            let page = &self.pages[&pno];
-            if page.iter().all(|&b| b == 0) {
-                continue;
-            }
-            h.write_u64(pno);
-            h.write_bytes(page.as_slice());
+    /// Digest of memory contents, computed incrementally: only pages
+    /// written since the last call are re-hashed; everything else reuses
+    /// its cached per-page digest. All-zero pages digest identically to
+    /// unmapped pages, so zero-fill semantics cannot cause false
+    /// divergence. Equal to [`Memory::state_digest_scratch`] always.
+    pub fn state_digest(&self) -> u64 {
+        if FULL_REHASH.load(Ordering::Relaxed) {
+            return self.state_digest_scratch();
         }
+        let mut cache = self.lock_cache();
+        self.refresh(&mut cache);
+        cache.acc
+    }
+
+    /// Re-digests every stale page, adjusting the commutative accumulator
+    /// by the old and new per-page contributions.
+    fn refresh(&self, cache: &mut DigestCache) {
+        cache.last_stale = u64::MAX;
+        let stale = std::mem::take(&mut cache.stale);
+        let mut examined = 0u64;
+        for pno in stale {
+            examined += 1;
+            let fresh = self
+                .pages
+                .get(&pno)
+                .and_then(|p| page_digest(p, &mut cache.stats.hashed_pages));
+            let old = match fresh {
+                Some(d) => cache.digests.insert(pno, d),
+                None => cache.digests.remove(&pno),
+            };
+            if let Some(d) = old {
+                cache.acc = cache.acc.wrapping_sub(mix(pno, d));
+            }
+            if let Some(d) = fresh {
+                cache.acc = cache.acc.wrapping_add(mix(pno, d));
+            }
+        }
+        cache.stats.skipped_pages += (self.pages.len() as u64).saturating_sub(examined);
+    }
+
+    /// Digest of memory contents recomputed from scratch, ignoring (and
+    /// not touching) the incremental cache. The correctness oracle for
+    /// [`Memory::state_digest`] and the benchmark baseline.
+    pub fn state_digest_scratch(&self) -> u64 {
+        let mut hashed = 0u64;
+        let mut acc = 0u64;
+        for (&pno, page) in &self.pages {
+            if let Some(d) = page_digest(page, &mut hashed) {
+                acc = acc.wrapping_add(mix(pno, d));
+            }
+        }
+        acc
+    }
+
+    /// Cumulative digest-cache counters: pages hashed vs. cache hits.
+    pub fn hash_stats(&self) -> HashStats {
+        self.lock_cache().stats
     }
 
     /// Finds the first byte address at which `self` and `other` differ, if
@@ -247,7 +428,8 @@ impl Default for Memory {
 
 /// Wire encoding: pages as sorted `(page_no, raw 4096 bytes)` pairs (so the
 /// `Arc` sharing is transparent to the format), then the dirty set. The
-/// `last_dirty` fast-path cache is reset on decode.
+/// `last_dirty` fast path and the digest cache are reset on decode — a
+/// decoded memory pays one cold full rehash on its first digest.
 impl Wire for Memory {
     fn put(&self, out: &mut Vec<u8>) {
         let mut pnos: Vec<u64> = self.pages.keys().copied().collect();
@@ -266,15 +448,24 @@ impl Wire for Memory {
         for _ in 0..count {
             let pno = u64::get(r)?;
             let raw = r.take(PAGE_SIZE as usize, "memory page")?;
+            if raw.iter().all(|&b| b == 0) {
+                // Intern resident zero pages to the shared zero `Arc`:
+                // re-encoding is byte-identical, and digests skip them by
+                // pointer identity instead of a byte scan.
+                pages.insert(pno, zero_page());
+                continue;
+            }
             let mut page = [0u8; PAGE_SIZE as usize];
             page.copy_from_slice(raw);
             pages.insert(pno, Arc::new(page));
         }
         let dirty = <BTreeSet<u64> as Wire>::get(r)?;
+        let cache = Mutex::new(DigestCache::cold(&pages));
         Ok(Memory {
             pages,
             dirty,
             last_dirty: u64::MAX,
+            cache,
         })
     }
 }
@@ -282,6 +473,11 @@ impl Wire for Memory {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Serializes the tests that either flip the process-wide
+    /// [`set_full_rehash`] knob or assert exact cache-counter values (a
+    /// concurrently enabled knob would bypass the cache and skew counts).
+    static KNOB: Mutex<()> = Mutex::new(());
 
     #[test]
     fn zero_fill_reads() {
@@ -351,11 +547,87 @@ mod tests {
         let b = Memory::new();
         a.write(0x5000, 1, Width::W8);
         a.write(0x5000, 0, Width::W8); // page now all-zero again
-        let mut ha = Fnv1a::new();
-        a.hash_into(&mut ha);
-        let mut hb = Fnv1a::new();
-        b.hash_into(&mut hb);
-        assert_eq!(ha.finish(), hb.finish());
+        assert_eq!(a.state_digest(), b.state_digest());
+        assert_eq!(a.state_digest_scratch(), b.state_digest_scratch());
+    }
+
+    #[test]
+    fn incremental_digest_matches_scratch() {
+        let mut m = Memory::new();
+        assert_eq!(m.state_digest(), m.state_digest_scratch());
+        m.write(0x1000, 7, Width::W8);
+        m.write(PAGE_SIZE * 9, 0xff, Width::W1);
+        assert_eq!(m.state_digest(), m.state_digest_scratch());
+        // Mutating after a refresh must re-stale the page even though the
+        // dirty fast path still points at it.
+        m.write(0x1000, 8, Width::W8);
+        assert_eq!(m.state_digest(), m.state_digest_scratch());
+        // take_dirty must not clear digest staleness.
+        m.write(0x2000, 3, Width::W4);
+        m.take_dirty();
+        assert_eq!(m.state_digest(), m.state_digest_scratch());
+    }
+
+    #[test]
+    fn clones_inherit_the_digest_cache() {
+        let _serial = KNOB.lock().unwrap_or_else(|p| p.into_inner());
+        let mut m = Memory::new();
+        m.write_bytes(0x4000, b"checkpointed");
+        m.state_digest(); // warm
+        let hashed_before = m.hash_stats().hashed_pages;
+        let snap = m.clone();
+        // The clone's digest is served entirely from the inherited cache.
+        assert_eq!(snap.state_digest(), m.state_digest_scratch());
+        assert_eq!(snap.hash_stats().hashed_pages, hashed_before);
+        // Writes diverge the two digests independently and correctly.
+        let mut snap = snap;
+        snap.write(0x4000, 0xaa, Width::W1);
+        m.write(0x8000, 0xbb, Width::W1);
+        assert_eq!(snap.state_digest(), snap.state_digest_scratch());
+        assert_eq!(m.state_digest(), m.state_digest_scratch());
+        assert_ne!(m.state_digest(), snap.state_digest());
+    }
+
+    #[test]
+    fn digest_refresh_is_proportional_to_writes() {
+        let _serial = KNOB.lock().unwrap_or_else(|p| p.into_inner());
+        let mut m = Memory::new();
+        for p in 0..64u64 {
+            m.write(p * PAGE_SIZE, p + 1, Width::W8);
+        }
+        m.state_digest(); // cold rehash: 64 pages
+        assert_eq!(m.hash_stats().hashed_pages, 64);
+        m.write(5 * PAGE_SIZE, 99, Width::W8);
+        m.state_digest();
+        let stats = m.hash_stats();
+        assert_eq!(stats.hashed_pages, 65, "only the written page re-hashed");
+        assert_eq!(stats.skipped_pages, 63, "the other 63 served from cache");
+    }
+
+    #[test]
+    fn full_rehash_knob_preserves_the_digest_value() {
+        let _serial = KNOB.lock().unwrap_or_else(|p| p.into_inner());
+        let mut m = Memory::new();
+        m.write_bytes(0x7000, &[1, 2, 3]);
+        let incremental = m.state_digest();
+        set_full_rehash(true);
+        let forced = m.state_digest();
+        set_full_rehash(false);
+        assert_eq!(incremental, forced);
+    }
+
+    #[test]
+    fn decoded_memory_digests_identically() {
+        let mut m = Memory::new();
+        m.write_bytes(0x3000, b"roundtrip");
+        m.write(0x6000, 1, Width::W8);
+        m.write(0x6000, 0, Width::W8); // resident all-zero page
+        let warm = m.state_digest();
+        let bytes = dp_support::wire::to_bytes(&m);
+        let back: Memory = dp_support::wire::from_bytes(&bytes).unwrap();
+        assert_eq!(back.state_digest(), warm);
+        // Re-encoding after the zero-page interning is byte-identical.
+        assert_eq!(dp_support::wire::to_bytes(&back), bytes);
     }
 
     #[test]

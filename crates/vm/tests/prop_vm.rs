@@ -140,6 +140,47 @@ fn slicing_does_not_change_semantics() {
     });
 }
 
+/// The incremental per-page digest equals a from-scratch digest after any
+/// interleaving of writes, CoW clones, snapshot restores, and dirty-set
+/// drains — the invariant the recorder's verify hot path rests on. Clones
+/// share the digest cache, restores revive older cache states, and
+/// `take_dirty` exercises the separation between the recorder's dirty set
+/// and the cache's staleness set.
+#[test]
+fn incremental_digest_equals_scratch_under_any_interleaving() {
+    check("incremental_digest_equals_scratch", 96, |g| {
+        let mut mem = Memory::new();
+        let mut snapshots: Vec<Memory> = Vec::new();
+        for _ in 0..g.range(4, 40) {
+            match g.index(8) {
+                // Writes dominate: dirty some pages (occasionally writing
+                // zero, which must keep zero-fill equivalence).
+                0..=3 => {
+                    let op = write_op(g);
+                    let v = if g.index(8) == 0 { 0 } else { op.value };
+                    mem.write(op.addr, v, op.width);
+                }
+                4 => snapshots.push(mem.clone()),
+                5 => {
+                    if let Some(snap) = snapshots.pop() {
+                        mem = snap; // restore an older world
+                    }
+                }
+                6 => {
+                    mem.take_dirty();
+                }
+                _ => {
+                    assert_eq!(mem.state_digest(), mem.state_digest_scratch());
+                }
+            }
+        }
+        assert_eq!(mem.state_digest(), mem.state_digest_scratch());
+        for snap in &snapshots {
+            assert_eq!(snap.state_digest(), snap.state_digest_scratch());
+        }
+    });
+}
+
 /// state_hash distinguishes states that differ in a single memory byte.
 #[test]
 fn state_hash_detects_byte_flips() {

@@ -927,6 +927,10 @@ fn main() {
                 s.overhead() * 100.0,
                 s.log_bytes()
             );
+            println!(
+                "hashing: {} page(s) hashed, {} skipped by the incremental digest cache",
+                s.hashed_pages, s.hash_skipped_pages
+            );
             if s.wall.pipelined {
                 println!(
                     "wall {:.1} ms, {} verify workers at {:.0}% utilization, {} speculative epoch(s) cancelled",
